@@ -1,0 +1,165 @@
+//! Set-associative caches with true-LRU replacement.
+
+/// A set-associative cache model. Only tags are tracked (trace-driven
+/// simulation needs no data).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// Log2 of the line size in bytes.
+    line_bits: u32,
+    /// Number of sets (power of two).
+    sets: usize,
+    /// Ways per set.
+    assoc: usize,
+    /// `tags[set]` holds up to `assoc` line tags, most recently used first.
+    tags: Vec<Vec<u64>>,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Build a cache of `size_bytes` with `assoc` ways and `line_bytes`
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes`, `assoc` and `line_bytes` are powers of
+    /// two with `size_bytes >= assoc * line_bytes`.
+    pub fn new(size_bytes: usize, assoc: usize, line_bytes: usize) -> Self {
+        assert!(size_bytes.is_power_of_two(), "cache size must be 2^k");
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(assoc.is_power_of_two(), "associativity must be 2^k");
+        assert!(
+            size_bytes >= assoc * line_bytes,
+            "cache too small for its associativity"
+        );
+        let sets = size_bytes / (assoc * line_bytes);
+        Cache {
+            line_bits: line_bytes.trailing_zeros(),
+            sets,
+            assoc,
+            tags: vec![Vec::with_capacity(assoc); sets],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.sets * self.assoc * (1usize << self.line_bits)
+    }
+
+    /// Ways per set.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Access the line containing `addr`; returns `true` on hit. Misses
+    /// allocate (LRU eviction).
+    #[inline]
+    pub fn access(&mut self, addr: u32) -> bool {
+        self.accesses += 1;
+        let line = u64::from(addr) >> self.line_bits;
+        let set = (line as usize) & (self.sets - 1);
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            let tag = ways.remove(pos);
+            ways.insert(0, tag);
+            true
+        } else {
+            self.misses += 1;
+            if ways.len() == self.assoc {
+                ways.pop();
+            }
+            ways.insert(0, line);
+            false
+        }
+    }
+
+    /// Misses per 100 accesses.
+    pub fn miss_rate_per_100(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            100.0 * self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Reset counters (keeps contents).
+    pub fn reset_counters(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = Cache::new(8192, 1, 32);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x101c)); // same 32-byte line
+        assert!(!c.access(0x1020)); // next line
+        assert_eq!(c.accesses, 4);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = Cache::new(8192, 1, 32);
+        // Two addresses 8 KB apart map to the same set.
+        assert!(!c.access(0x0000));
+        assert!(!c.access(0x2000));
+        assert!(!c.access(0x0000), "direct-mapped conflict must evict");
+    }
+
+    #[test]
+    fn two_way_absorbs_that_conflict() {
+        let mut c = Cache::new(8192, 2, 32);
+        assert!(!c.access(0x0000));
+        assert!(!c.access(0x2000));
+        assert!(c.access(0x0000));
+        assert!(c.access(0x2000));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(4 * 32, 4, 32); // one set, 4 ways
+        for a in [0u32, 32, 64, 96] {
+            assert!(!c.access(a));
+        }
+        assert!(c.access(0)); // 0 becomes MRU; LRU is 32
+        assert!(!c.access(128)); // evicts 32
+        assert!(c.access(0));
+        assert!(!c.access(32));
+    }
+
+    #[test]
+    fn miss_rate_per_100() {
+        let mut c = Cache::new(1024, 1, 32);
+        for i in 0..100u32 {
+            c.access(i * 4096); // all conflict, all miss
+        }
+        assert!((c.miss_rate_per_100() - 100.0).abs() < 1e-9);
+        c.reset_counters();
+        assert_eq!(c.miss_rate_per_100(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_power_of_two_rejected() {
+        Cache::new(3000, 1, 32);
+    }
+
+    #[test]
+    fn geometry_roundtrip() {
+        let c = Cache::new(32768, 4, 32);
+        assert_eq!(c.size_bytes(), 32768);
+        assert_eq!(c.assoc(), 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! Simulator configuration: the paper's Table 3, as data.
+
+/// Machine parameters for the pipeline model. [`SimConfig::default`]
+/// reproduces the paper's simulated Alpha-21064-like machine exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Issue width (2 on the 21064).
+    pub issue_width: u32,
+    /// L1 instruction cache size in bytes (8 KB direct-mapped).
+    pub icache_bytes: usize,
+    /// L1 instruction cache associativity.
+    pub icache_assoc: usize,
+    /// L1 data cache size in bytes (8 KB direct-mapped).
+    pub dcache_bytes: usize,
+    /// L1 data cache associativity.
+    pub dcache_assoc: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Unified L2 size in bytes (512 KB direct-mapped).
+    pub l2_bytes: usize,
+    /// Unified L2 associativity.
+    pub l2_assoc: usize,
+    /// Page size in bytes (8 KB).
+    pub page_bytes: usize,
+    /// Instruction TLB entries (8).
+    pub itlb_entries: usize,
+    /// Data TLB entries (32).
+    pub dtlb_entries: usize,
+    /// Branch history table entries (256, 1-bit).
+    pub bht_entries: usize,
+    /// Branch target cache entries (32).
+    pub btc_entries: usize,
+    /// Return stack entries (12).
+    pub ras_entries: usize,
+    /// Penalty for an L1 miss that hits in L2 (6 cycles).
+    pub l1_miss_penalty: u64,
+    /// Penalty for an L2 miss (30 cycles).
+    pub l2_miss_penalty: u64,
+    /// TLB miss penalty (40 cycles).
+    pub tlb_miss_penalty: u64,
+    /// Branch misprediction penalty (4 cycles).
+    pub mispredict_penalty: u64,
+    /// Load-use delay with an L1 hit (3-cycle latency → 2 bubble cycles).
+    pub load_delay: u64,
+    /// Extra latency of shift/byte instructions (2-cycle class → 1 bubble).
+    pub short_int_delay: u64,
+    /// Integer multiply latency binned as "other".
+    pub mul_delay: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            issue_width: 2,
+            icache_bytes: 8 * 1024,
+            icache_assoc: 1,
+            dcache_bytes: 8 * 1024,
+            dcache_assoc: 1,
+            line_bytes: 32,
+            l2_bytes: 512 * 1024,
+            l2_assoc: 1,
+            page_bytes: 8 * 1024,
+            itlb_entries: 8,
+            dtlb_entries: 32,
+            bht_entries: 256,
+            btc_entries: 32,
+            ras_entries: 12,
+            l1_miss_penalty: 6,
+            l2_miss_penalty: 30,
+            tlb_miss_penalty: 40,
+            mispredict_penalty: 4,
+            load_delay: 2,
+            short_int_delay: 1,
+            mul_delay: 8,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The §4.1 ablation: the same machine with a 32-entry iTLB, which the
+    /// paper reports "effectively eliminates iTLB stalls".
+    pub fn with_itlb_entries(mut self, entries: usize) -> Self {
+        self.itlb_entries = entries;
+        self
+    }
+
+    /// Replace the L1 instruction cache geometry (Figure 4 sweeps).
+    pub fn with_icache(mut self, bytes: usize, assoc: usize) -> Self {
+        self.icache_bytes = bytes;
+        self.icache_assoc = assoc;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_3() {
+        let c = SimConfig::default();
+        assert_eq!(c.issue_width, 2);
+        assert_eq!(c.icache_bytes, 8192);
+        assert_eq!(c.dcache_bytes, 8192);
+        assert_eq!(c.l2_bytes, 512 * 1024);
+        assert_eq!(c.itlb_entries, 8);
+        assert_eq!(c.dtlb_entries, 32);
+        assert_eq!(c.bht_entries, 256);
+        assert_eq!(c.ras_entries, 12);
+        assert_eq!(c.btc_entries, 32);
+        assert_eq!(c.l1_miss_penalty, 6);
+        assert_eq!(c.l2_miss_penalty, 30);
+        assert_eq!(c.tlb_miss_penalty, 40);
+        assert_eq!(c.mispredict_penalty, 4);
+        assert_eq!(c.page_bytes, 8192);
+    }
+
+    #[test]
+    fn builders_modify_only_their_field() {
+        let c = SimConfig::default().with_itlb_entries(32);
+        assert_eq!(c.itlb_entries, 32);
+        assert_eq!(c.dtlb_entries, 32);
+        let c = SimConfig::default().with_icache(65536, 4);
+        assert_eq!(c.icache_bytes, 65536);
+        assert_eq!(c.icache_assoc, 4);
+        assert_eq!(c.dcache_bytes, 8192);
+    }
+}

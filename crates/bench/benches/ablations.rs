@@ -1,0 +1,38 @@
+//! Ablation benches: prints the ablation report at paper scale and times
+//! the switch-vs-threaded MIPSI dispatch variants head-to-head, so the
+//! paper's §5 software-optimization claim has a standing benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interp_bench::{bench_scale, once_flag, print_once};
+use interp_core::NullSink;
+use interp_host::Machine;
+use interp_workloads::minic_progs::{instantiate, DES_C};
+
+fn bench(c: &mut Criterion) {
+    print_once(once_flag!(), || {
+        interp_harness::ablations::render(bench_scale())
+    });
+
+    let src = instantiate(DES_C, &[("BLOCKS", "20".into())]);
+    let image = interp_minic::compile(&src).unwrap();
+
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    for (label, threaded) in [("switch", false), ("threaded", true)] {
+        let image = image.clone();
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let mut m = Machine::new(NullSink);
+                let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
+                emu.set_threaded_dispatch(threaded);
+                emu.run(1_000_000_000).unwrap();
+                drop(emu);
+                m.stats().instructions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

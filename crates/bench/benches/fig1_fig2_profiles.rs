@@ -1,0 +1,33 @@
+//! Figures 1 & 2 bench: prints the per-command profile data at paper scale
+//! and times profile construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interp_bench::{bench_scale, once_flag, print_once};
+use interp_core::{CommandProfile, Language, NullSink};
+use interp_workloads::{run_macro, Scale};
+
+fn bench(c: &mut Criterion) {
+    print_once(once_flag!(), || {
+        let scale = bench_scale();
+        let mut out = interp_harness::figures::render_fig1(&interp_harness::figures::fig1(scale));
+        out.push('\n');
+        out.push_str(&interp_harness::figures::render_fig2(
+            &interp_harness::figures::fig2(scale),
+        ));
+        out
+    });
+
+    let mut group = c.benchmark_group("profiles");
+    group.sample_size(10);
+    group.bench_function("profile_construction", |b| {
+        let result = run_macro(Language::Perlite, "txt2html", Scale::Test, NullSink);
+        b.iter(|| {
+            let profile = CommandProfile::from_stats(&result.stats, &result.commands);
+            (profile.commands_to_cover(0.9), profile.cumulative().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 3 bench: prints the issue-slot breakdown at paper scale and
+//! times the pipeline simulator's event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use interp_archsim::PipelineSim;
+use interp_bench::{bench_scale, once_flag, print_once};
+use interp_core::{InsnKind, InsnRecord, TraceSink};
+
+fn bench(c: &mut Criterion) {
+    print_once(once_flag!(), || {
+        interp_harness::arch::render_fig3(&interp_harness::arch::fig3(bench_scale()))
+    });
+
+    // Raw simulator throughput: a synthetic mixed instruction stream.
+    let mut trace = Vec::with_capacity(100_000);
+    let mut addr = 0x1000_0000u32;
+    for i in 0..100_000u32 {
+        let pc = 0x40_0000 + (i % 2048) * 4;
+        let kind = match i % 7 {
+            0 | 1 | 2 => InsnKind::Alu,
+            3 => {
+                addr = addr.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                InsnKind::Load {
+                    addr: 0x1000_0000 + (addr % (1 << 20)) & !3,
+                }
+            }
+            4 => InsnKind::Store {
+                addr: 0x1000_0000 + (i % 8192) * 4,
+            },
+            5 => InsnKind::ShortInt,
+            _ => InsnKind::Branch {
+                target: 0x40_0000,
+                taken: i % 3 == 0,
+            },
+        };
+        trace.push(InsnRecord::new(pc, kind));
+    }
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("sim_100k_mixed_insns", |b| {
+        b.iter(|| {
+            let mut sim = PipelineSim::alpha_21064();
+            for &rec in &trace {
+                sim.insn(rec);
+            }
+            sim.report().cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

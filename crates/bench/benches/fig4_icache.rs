@@ -1,0 +1,33 @@
+//! Figure 4 bench: prints the I-cache sweep at paper scale and times the
+//! 12-configuration cache simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use interp_archsim::CacheSweep;
+use interp_bench::{bench_scale, once_flag, print_once};
+use interp_core::{InsnKind, InsnRecord, TraceSink};
+
+fn bench(c: &mut Criterion) {
+    print_once(once_flag!(), || {
+        interp_harness::arch::render_fig4(&interp_harness::arch::fig4(bench_scale()))
+    });
+
+    let trace: Vec<InsnRecord> = (0..100_000u32)
+        .map(|i| InsnRecord::new(0x40_0000 + (i % 12_000) * 4, InsnKind::Alu))
+        .collect();
+
+    let mut group = c.benchmark_group("icache_sweep");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("sweep_100k_fetches_x12_configs", |b| {
+        b.iter(|| {
+            let mut sweep = CacheSweep::figure4();
+            for &rec in &trace {
+                sweep.insn(rec);
+            }
+            sweep.points().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! §3.3 bench: prints the memory-model table at paper scale and times the
+//! two extreme memory models (MIPSI page tables vs Tcl symbol lookups).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interp_bench::{bench_scale, once_flag, print_once};
+use interp_core::NullSink;
+use interp_host::Machine;
+
+fn bench(c: &mut Criterion) {
+    print_once(once_flag!(), || {
+        interp_harness::memmodel::render(&interp_harness::memmodel::memmodel(bench_scale()))
+    });
+
+    let mut group = c.benchmark_group("memmodel");
+    group.sample_size(10);
+
+    // MIPSI's page-table translation path.
+    group.bench_function("mipsi_page_table_walks", |b| {
+        let src = "int buf[256]; int main() { int i; for (i = 0; i < 256; i++) buf[i] = i; return 0; }";
+        let image = interp_minic::compile(src).unwrap();
+        b.iter(|| {
+            let mut m = Machine::new(NullSink);
+            let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
+            emu.run(10_000_000).unwrap();
+            drop(emu);
+            m.stats().mem_model_instructions
+        })
+    });
+
+    // Tcl's symbol-table lookup path.
+    group.bench_function("tcl_symbol_lookups", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(NullSink);
+            let mut tcl = interp_tclite::Tclite::new(&mut m);
+            tcl.run("set x 1\nfor {set i 0} {$i < 40} {incr i} { set y $x }")
+                .unwrap();
+            drop(tcl);
+            m.stats().mem_model_instructions
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 1 bench: prints the microbenchmark slowdown table at paper scale,
+//! then times representative cells so regressions in interpreter overhead
+//! show up in criterion history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interp_bench::{bench_scale, once_flag, print_once};
+use interp_core::{Language, NullSink};
+use interp_workloads::{run_micro, Scale};
+
+fn bench(c: &mut Criterion) {
+    print_once(once_flag!(), || {
+        let rows = interp_harness::table1::table1(bench_scale());
+        interp_harness::table1::render(&rows)
+    });
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for (label, lang) in [
+        ("c_abc", Language::C),
+        ("mipsi_abc", Language::Mipsi),
+        ("javelin_abc", Language::Javelin),
+        ("perlite_abc", Language::Perlite),
+        ("tclite_abc", Language::Tclite),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| run_micro(lang, "a=b+c", Scale::Test, NullSink).stats.instructions)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

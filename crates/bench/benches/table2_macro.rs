@@ -1,0 +1,32 @@
+//! Table 2 bench: prints the baseline macro-suite table at paper scale and
+//! times one representative benchmark per interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use interp_bench::{bench_scale, once_flag, print_once};
+use interp_core::{Language, NullSink};
+use interp_workloads::{run_macro, Scale};
+
+fn bench(c: &mut Criterion) {
+    print_once(once_flag!(), || {
+        let rows = interp_harness::table2::table2(bench_scale());
+        interp_harness::table2::render(&rows)
+    });
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (label, lang, name) in [
+        ("c_des", Language::C, "des"),
+        ("mipsi_des", Language::Mipsi, "des"),
+        ("javelin_des", Language::Javelin, "des"),
+        ("perlite_txt2html", Language::Perlite, "txt2html"),
+        ("tclite_tcltags", Language::Tclite, "tcltags"),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| run_macro(lang, name, Scale::Test, NullSink).stats.instructions)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Support library for the benchmark harness: shared helpers so every
+//! bench prints its paper table exactly once per `cargo bench` invocation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Print `f()`'s output once per process (criterion may construct bench
+/// groups multiple times).
+pub fn print_once(flag: &'static AtomicBool, f: impl FnOnce() -> String) {
+    if !flag.swap(true, Ordering::SeqCst) {
+        println!("{}", f());
+    }
+}
+
+/// Declare a fresh once-flag.
+#[macro_export]
+macro_rules! once_flag {
+    () => {{
+        static FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        &FLAG
+    }};
+}
+
+/// Scale used by the benches: full paper scale unless
+/// `INTERP_BENCH_FAST=1` is set (useful when smoke-testing `cargo bench`).
+pub fn bench_scale() -> interp_workloads::Scale {
+    if std::env::var("INTERP_BENCH_FAST").as_deref() == Ok("1") {
+        interp_workloads::Scale::Test
+    } else {
+        interp_workloads::Scale::Paper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn print_once_runs_once() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let mut count = 0;
+        for _ in 0..3 {
+            print_once(&FLAG, || {
+                count += 1;
+                String::new()
+            });
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn scale_env_override() {
+        // Default (no env var in tests): paper scale.
+        if std::env::var("INTERP_BENCH_FAST").is_err() {
+            assert_eq!(bench_scale(), interp_workloads::Scale::Paper);
+        }
+    }
+}

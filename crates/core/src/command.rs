@@ -1,0 +1,144 @@
+//! Virtual-command interning.
+//!
+//! Each interpreter defines a *virtual machine interface*: MIPSI's commands
+//! are MIPS opcodes, Javelin's are bytecodes, Perlite's are op-tree node
+//! types, and Tclite's are command names. To report per-command histograms
+//! (Figures 1–2) uniformly, every interpreter interns its command names in a
+//! [`CommandSet`] and tags the machine with the resulting [`CmdId`] at the
+//! top of its dispatch loop.
+
+use std::collections::HashMap;
+
+/// Index of an interned virtual command within its interpreter's
+/// [`CommandSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CmdId(pub u16);
+
+impl CmdId {
+    /// The raw index, used to address per-command counter tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interner for one interpreter's virtual-command names.
+///
+/// # Example
+///
+/// ```
+/// use interp_core::CommandSet;
+///
+/// let mut set = CommandSet::new("mipsi");
+/// let lw = set.intern("lw");
+/// let sw = set.intern("sw");
+/// assert_ne!(lw, sw);
+/// assert_eq!(set.intern("lw"), lw); // idempotent
+/// assert_eq!(set.name(lw), "lw");
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CommandSet {
+    interpreter: String,
+    names: Vec<String>,
+    index: HashMap<String, CmdId>,
+}
+
+impl CommandSet {
+    /// Create an empty command set for the named interpreter.
+    pub fn new(interpreter: impl Into<String>) -> Self {
+        CommandSet {
+            interpreter: interpreter.into(),
+            names: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Name of the interpreter that owns these commands.
+    pub fn interpreter(&self) -> &str {
+        &self.interpreter
+    }
+
+    /// Intern `name`, returning its stable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` distinct commands are interned; real
+    /// virtual machines have at most a few hundred.
+    pub fn intern(&mut self, name: &str) -> CmdId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = CmdId(u16::try_from(self.names.len()).expect("too many virtual commands"));
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned command.
+    pub fn get(&self, name: &str) -> Option<CmdId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this set.
+    pub fn name(&self, id: CmdId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned commands.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no commands are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (CmdId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (CmdId(i as u16), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_idempotent() {
+        let mut set = CommandSet::new("t");
+        let a = set.intern("alpha");
+        let b = set.intern("beta");
+        assert_eq!(set.intern("alpha"), a);
+        assert_eq!(set.intern("beta"), b);
+        assert_eq!(set.name(a), "alpha");
+        assert_eq!(set.name(b), "beta");
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut set = CommandSet::new("t");
+        assert_eq!(set.get("x"), None);
+        let x = set.intern("x");
+        assert_eq!(set.get("x"), Some(x));
+    }
+
+    #[test]
+    fn iteration_order_matches_ids() {
+        let mut set = CommandSet::new("t");
+        for name in ["a", "b", "c"] {
+            set.intern(name);
+        }
+        let collected: Vec<_> = set.iter().map(|(id, n)| (id.index(), n)).collect();
+        assert_eq!(collected, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+}

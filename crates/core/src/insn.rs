@@ -1,0 +1,121 @@
+//! Native-instruction records.
+//!
+//! One [`InsnRecord`] is emitted for every native instruction an interpreter
+//! (or a directly-executed compiled program) retires. It carries exactly the
+//! information the paper's trace-driven simulator consumed: the program
+//! counter, the instruction class, and — for memory and control-flow
+//! instructions — the effective address or branch target.
+
+/// The classes of native instructions the timing model distinguishes.
+///
+/// The classes map onto the stall causes of the paper's Table 3:
+/// `ShortInt` incurs the 2-cycle "short int" latency of the Alpha 21064
+/// (shift/byte instructions), `Mul` lands in the "other" bin, loads and
+/// stores drive the data cache and dTLB, and control-flow instructions
+/// drive the branch predictor and return stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsnKind {
+    /// Single-cycle integer ALU operation (add, compare, logical op).
+    Alu,
+    /// Shift or byte-manipulation instruction (2-cycle latency on the 21064).
+    ShortInt,
+    /// Integer multiply/divide (long latency, binned as "other").
+    Mul,
+    /// Load from `addr` (byte address in the simulated 32-bit space).
+    Load { addr: u32 },
+    /// Store to `addr`.
+    Store { addr: u32 },
+    /// Conditional branch with resolved direction and target.
+    Branch { target: u32, taken: bool },
+    /// Direct or indirect call; pushes `pc + 4` on the return stack.
+    Call { target: u32 },
+    /// Return; predicted through the return-address stack.
+    Ret { target: u32 },
+    /// No-op (e.g. a `sll $0,$0,0` filling a MIPS branch delay slot).
+    Nop,
+}
+
+impl InsnKind {
+    /// Effective data address, if this is a memory instruction.
+    pub fn mem_addr(self) -> Option<u32> {
+        match self {
+            InsnKind::Load { addr } | InsnKind::Store { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// True for loads.
+    pub fn is_load(self) -> bool {
+        matches!(self, InsnKind::Load { .. })
+    }
+
+    /// True for stores.
+    pub fn is_store(self) -> bool {
+        matches!(self, InsnKind::Store { .. })
+    }
+
+    /// True for any control-transfer instruction.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            InsnKind::Branch { .. } | InsnKind::Call { .. } | InsnKind::Ret { .. }
+        )
+    }
+}
+
+/// One retired native instruction: its fetch address plus its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InsnRecord {
+    /// Program counter the instruction was fetched from.
+    pub pc: u32,
+    /// Instruction class and operands relevant to the timing model.
+    pub kind: InsnKind,
+}
+
+impl InsnRecord {
+    /// Convenience constructor.
+    pub fn new(pc: u32, kind: InsnKind) -> Self {
+        InsnRecord { pc, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_addr_only_for_memory_ops() {
+        assert_eq!(InsnKind::Load { addr: 16 }.mem_addr(), Some(16));
+        assert_eq!(InsnKind::Store { addr: 20 }.mem_addr(), Some(20));
+        assert_eq!(InsnKind::Alu.mem_addr(), None);
+        assert_eq!(
+            InsnKind::Branch {
+                target: 0,
+                taken: true
+            }
+            .mem_addr(),
+            None
+        );
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(InsnKind::Call { target: 4 }.is_control());
+        assert!(InsnKind::Ret { target: 4 }.is_control());
+        assert!(InsnKind::Branch {
+            target: 4,
+            taken: false
+        }
+        .is_control());
+        assert!(!InsnKind::Nop.is_control());
+        assert!(!InsnKind::Load { addr: 0 }.is_control());
+    }
+
+    #[test]
+    fn load_store_predicates() {
+        assert!(InsnKind::Load { addr: 0 }.is_load());
+        assert!(!InsnKind::Load { addr: 0 }.is_store());
+        assert!(InsnKind::Store { addr: 0 }.is_store());
+        assert!(!InsnKind::Store { addr: 0 }.is_load());
+    }
+}

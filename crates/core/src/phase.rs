@@ -1,0 +1,76 @@
+//! Instruction attribution phases.
+//!
+//! The paper splits every native instruction an interpreter executes into
+//! the cost of *fetching and decoding* the current virtual command and the
+//! cost of *executing* it (Table 2's two "Average Native Instructions per
+//! Virtual Command" columns). Instructions spent inside native runtime
+//! libraries (Java's graphics code, Tcl's Tk substrate) are execute-side
+//! work but are reported separately in Figure 2 (`native`), and Perl's
+//! one-time program precompilation is broken out in parentheses in Table 2
+//! (`Startup`).
+
+/// Which accounting bucket the machine is currently charging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// One-time program loading/precompilation (Perl's compile pass, class
+    /// loading, source slurping). Excluded from per-command averages.
+    Startup,
+    /// Fetching and decoding the current virtual command: the dispatch loop,
+    /// operand decode, command lookup, source re-parsing (Tcl).
+    FetchDecode,
+    /// Performing the work the virtual command specifies.
+    #[default]
+    Execute,
+    /// Execute-side work performed inside a native runtime library.
+    Native,
+}
+
+impl Phase {
+    /// All phases, in reporting order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Startup,
+        Phase::FetchDecode,
+        Phase::Execute,
+        Phase::Native,
+    ];
+
+    /// True if this phase counts toward a command's *execute* side
+    /// (the grey bars of Figure 2 fold `Native` into execute).
+    pub fn is_execute_side(self) -> bool {
+        matches!(self, Phase::Execute | Phase::Native)
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Startup => "startup",
+            Phase::FetchDecode => "fetch/decode",
+            Phase::Execute => "execute",
+            Phase::Native => "native",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execute_side_classification() {
+        assert!(Phase::Execute.is_execute_side());
+        assert!(Phase::Native.is_execute_side());
+        assert!(!Phase::FetchDecode.is_execute_side());
+        assert!(!Phase::Startup.is_execute_side());
+    }
+
+    #[test]
+    fn default_phase_is_execute() {
+        assert_eq!(Phase::default(), Phase::Execute);
+    }
+}

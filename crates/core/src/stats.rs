@@ -1,0 +1,362 @@
+//! Aggregate run statistics: the counters behind Table 2, Figures 1–2, and
+//! the §3.3 memory-model measurements.
+
+use crate::command::{CmdId, CommandSet};
+use crate::phase::Phase;
+
+/// Per-virtual-command counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CmdStats {
+    /// Times this virtual command was dispatched.
+    pub executions: u64,
+    /// Native instructions charged to fetching/decoding this command.
+    pub fetch_decode: u64,
+    /// Native instructions charged to executing this command (interpreter
+    /// code, excluding native libraries).
+    pub execute: u64,
+    /// Native instructions executed inside native runtime libraries on
+    /// behalf of this command.
+    pub native: u64,
+}
+
+impl CmdStats {
+    /// Execute-side instructions (interpreter execute + native library),
+    /// i.e. the grey bars of Figure 2.
+    pub fn execute_side(&self) -> u64 {
+        self.execute + self.native
+    }
+
+    /// All instructions charged to this command.
+    pub fn total(&self) -> u64 {
+        self.fetch_decode + self.execute + self.native
+    }
+}
+
+/// Counters for one interpreted (or native) program run.
+///
+/// Produced by the simulated host machine; consumed by the harness to print
+/// paper-style tables. All counts are *native instructions* unless stated
+/// otherwise.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total native instructions retired.
+    pub instructions: u64,
+    /// Instructions per attribution phase (indexed by [`Phase::ALL`] order).
+    phase: [u64; 4],
+    /// Instructions executed while the memory-model tag was active (§3.3).
+    pub mem_model_instructions: u64,
+    /// Memory-model *accesses* (one per virtual-machine-level data access).
+    pub mem_model_accesses: u64,
+    /// Virtual commands dispatched.
+    pub commands: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Per-command counters, indexed by [`CmdId`].
+    per_command: Vec<CmdStats>,
+}
+
+impl RunStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        RunStats::default()
+    }
+
+    #[inline]
+    fn phase_slot(phase: Phase) -> usize {
+        match phase {
+            Phase::Startup => 0,
+            Phase::FetchDecode => 1,
+            Phase::Execute => 2,
+            Phase::Native => 3,
+        }
+    }
+
+    /// Charge one instruction in `phase`, attributed to `cmd` if a virtual
+    /// command is active, with the §3.3 memory-model tag `mem_model`.
+    #[inline]
+    pub fn charge(&mut self, phase: Phase, cmd: Option<CmdId>, mem_model: bool) {
+        self.instructions += 1;
+        self.phase[Self::phase_slot(phase)] += 1;
+        if mem_model {
+            self.mem_model_instructions += 1;
+        }
+        if let Some(cmd) = cmd {
+            let idx = cmd.index();
+            if idx >= self.per_command.len() {
+                self.per_command.resize(idx + 1, CmdStats::default());
+            }
+            let slot = &mut self.per_command[idx];
+            match phase {
+                Phase::FetchDecode => slot.fetch_decode += 1,
+                Phase::Execute => slot.execute += 1,
+                Phase::Native => slot.native += 1,
+                Phase::Startup => {}
+            }
+        }
+    }
+
+    /// Record a load (call in addition to [`charge`](Self::charge)).
+    #[inline]
+    pub fn count_load(&mut self) {
+        self.loads += 1;
+    }
+
+    /// Record a store.
+    #[inline]
+    pub fn count_store(&mut self) {
+        self.stores += 1;
+    }
+
+    /// Record the dispatch of virtual command `cmd`.
+    #[inline]
+    pub fn begin_command(&mut self, cmd: CmdId) {
+        self.commands += 1;
+        let idx = cmd.index();
+        if idx >= self.per_command.len() {
+            self.per_command.resize(idx + 1, CmdStats::default());
+        }
+        self.per_command[idx].executions += 1;
+    }
+
+    /// Record one virtual-machine-level memory-model access (§3.3).
+    #[inline]
+    pub fn count_mem_model_access(&mut self) {
+        self.mem_model_accesses += 1;
+    }
+
+    /// Retroactively credit `n` fetch/decode instructions to `cmd`.
+    ///
+    /// The dispatch loop cannot know which command it is fetching until the
+    /// fetch completes, so the machine accumulates those instructions and
+    /// transfers them to the command the moment it is identified.
+    #[inline]
+    pub fn credit_fetch_decode(&mut self, cmd: CmdId, n: u64) {
+        let idx = cmd.index();
+        if idx >= self.per_command.len() {
+            self.per_command.resize(idx + 1, CmdStats::default());
+        }
+        self.per_command[idx].fetch_decode += n;
+    }
+
+    /// Instructions charged to `phase`.
+    pub fn phase_instructions(&self, phase: Phase) -> u64 {
+        self.phase[Self::phase_slot(phase)]
+    }
+
+    /// Instructions excluding startup/precompilation (the basis of Table 2's
+    /// per-command averages).
+    pub fn steady_state_instructions(&self) -> u64 {
+        self.instructions - self.phase_instructions(Phase::Startup)
+    }
+
+    /// Table 2: average fetch/decode instructions per virtual command.
+    pub fn avg_fetch_decode(&self) -> f64 {
+        ratio(self.phase_instructions(Phase::FetchDecode), self.commands)
+    }
+
+    /// Table 2: average execute-side instructions per virtual command
+    /// (interpreter execute + native libraries).
+    pub fn avg_execute(&self) -> f64 {
+        ratio(
+            self.phase_instructions(Phase::Execute) + self.phase_instructions(Phase::Native),
+            self.commands,
+        )
+    }
+
+    /// §3.3: average native instructions per memory-model access.
+    pub fn avg_mem_model_cost(&self) -> f64 {
+        ratio(self.mem_model_instructions, self.mem_model_accesses)
+    }
+
+    /// §3.3: fraction of all instructions spent in the memory model.
+    pub fn mem_model_fraction(&self) -> f64 {
+        ratio(self.mem_model_instructions, self.instructions)
+    }
+
+    /// Per-command statistics for `cmd` (zeros if never seen).
+    pub fn command(&self, cmd: CmdId) -> CmdStats {
+        self.per_command
+            .get(cmd.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Iterate `(CmdId, CmdStats)` for all commands that were dispatched or
+    /// charged at least once.
+    pub fn commands_iter(&self) -> impl Iterator<Item = (CmdId, CmdStats)> + '_ {
+        self.per_command
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.executions > 0 || s.total() > 0)
+            .map(|(i, s)| (CmdId(i as u16), *s))
+    }
+
+    /// Merge another run's counters into this one (used when a benchmark is
+    /// assembled from several evaluation calls).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.instructions += other.instructions;
+        for i in 0..4 {
+            self.phase[i] += other.phase[i];
+        }
+        self.mem_model_instructions += other.mem_model_instructions;
+        self.mem_model_accesses += other.mem_model_accesses;
+        self.commands += other.commands;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        if self.per_command.len() < other.per_command.len() {
+            self.per_command
+                .resize(other.per_command.len(), CmdStats::default());
+        }
+        for (slot, o) in self.per_command.iter_mut().zip(other.per_command.iter()) {
+            slot.executions += o.executions;
+            slot.fetch_decode += o.fetch_decode;
+            slot.execute += o.execute;
+            slot.native += o.native;
+        }
+    }
+
+    /// Render a compact human-readable summary (used by examples).
+    pub fn summary(&self, commands: &CommandSet) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "instructions: {} (startup {}, fetch/decode {}, execute {}, native {})",
+            self.instructions,
+            self.phase_instructions(Phase::Startup),
+            self.phase_instructions(Phase::FetchDecode),
+            self.phase_instructions(Phase::Execute),
+            self.phase_instructions(Phase::Native),
+        );
+        let _ = writeln!(
+            out,
+            "virtual commands: {} (avg F/D {:.1}, avg execute {:.1})",
+            self.commands,
+            self.avg_fetch_decode(),
+            self.avg_execute()
+        );
+        let mut rows: Vec<_> = self.commands_iter().collect();
+        rows.sort_by_key(|(_, s)| std::cmp::Reverse(s.execute_side()));
+        for (id, s) in rows.into_iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  {:<16} x{:<8} fd {:<8} ex {:<8} native {}",
+                commands.name(id),
+                s.executions,
+                s.fetch_decode,
+                s.execute,
+                s.native
+            );
+        }
+        out
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(i: u16) -> CmdId {
+        CmdId(i)
+    }
+
+    #[test]
+    fn charge_updates_phase_and_command() {
+        let mut s = RunStats::new();
+        s.begin_command(cmd(0));
+        s.charge(Phase::FetchDecode, Some(cmd(0)), false);
+        s.charge(Phase::Execute, Some(cmd(0)), true);
+        s.charge(Phase::Native, Some(cmd(0)), false);
+        assert_eq!(s.instructions, 3);
+        assert_eq!(s.phase_instructions(Phase::FetchDecode), 1);
+        assert_eq!(s.phase_instructions(Phase::Execute), 1);
+        assert_eq!(s.phase_instructions(Phase::Native), 1);
+        assert_eq!(s.mem_model_instructions, 1);
+        let c = s.command(cmd(0));
+        assert_eq!(c.executions, 1);
+        assert_eq!(c.fetch_decode, 1);
+        assert_eq!(c.execute, 1);
+        assert_eq!(c.native, 1);
+        assert_eq!(c.execute_side(), 2);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn startup_excluded_from_steady_state() {
+        let mut s = RunStats::new();
+        for _ in 0..10 {
+            s.charge(Phase::Startup, None, false);
+        }
+        for _ in 0..5 {
+            s.charge(Phase::Execute, None, false);
+        }
+        assert_eq!(s.instructions, 15);
+        assert_eq!(s.steady_state_instructions(), 5);
+    }
+
+    #[test]
+    fn averages() {
+        let mut s = RunStats::new();
+        for _ in 0..4 {
+            s.begin_command(cmd(1));
+            for _ in 0..3 {
+                s.charge(Phase::FetchDecode, Some(cmd(1)), false);
+            }
+            for _ in 0..7 {
+                s.charge(Phase::Execute, Some(cmd(1)), false);
+            }
+        }
+        assert!((s.avg_fetch_decode() - 3.0).abs() < 1e-9);
+        assert!((s.avg_execute() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mem_model_ratios() {
+        let mut s = RunStats::new();
+        s.count_mem_model_access();
+        s.count_mem_model_access();
+        for _ in 0..10 {
+            s.charge(Phase::Execute, None, true);
+        }
+        for _ in 0..10 {
+            s.charge(Phase::Execute, None, false);
+        }
+        assert!((s.avg_mem_model_cost() - 5.0).abs() < 1e-9);
+        assert!((s.mem_model_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = RunStats::new();
+        a.begin_command(cmd(0));
+        a.charge(Phase::Execute, Some(cmd(0)), false);
+        let mut b = RunStats::new();
+        b.begin_command(cmd(2));
+        b.charge(Phase::FetchDecode, Some(cmd(2)), true);
+        b.count_load();
+        a.merge(&b);
+        assert_eq!(a.instructions, 2);
+        assert_eq!(a.commands, 2);
+        assert_eq!(a.loads, 1);
+        assert_eq!(a.command(cmd(2)).fetch_decode, 1);
+        assert_eq!(a.mem_model_instructions, 1);
+    }
+
+    #[test]
+    fn ratio_guards_divide_by_zero() {
+        let s = RunStats::new();
+        assert_eq!(s.avg_fetch_decode(), 0.0);
+        assert_eq!(s.avg_mem_model_cost(), 0.0);
+        assert_eq!(s.mem_model_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Section 4: architectural experiments — Figure 3's issue-slot breakdown
+//! and Figure 4's I-cache size/associativity sweep.
+
+use interp_archsim::{CacheSweep, PipelineSim, StallCause, SweepPoint};
+use interp_core::Language;
+use interp_workloads::{compiled_suite, macro_suite, run_macro, Scale};
+
+/// One bar of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Bar {
+    /// Language.
+    pub language: Language,
+    /// Benchmark (compiled programs get a `C-` prefix in labels).
+    pub benchmark: String,
+    /// Fraction of issue slots doing useful work.
+    pub busy: f64,
+    /// Unfilled-slot fractions in [`StallCause::ALL`] order.
+    pub stalls: [f64; 8],
+}
+
+impl Fig3Bar {
+    /// Stall fraction for `cause`.
+    pub fn stall(&self, cause: StallCause) -> f64 {
+        let idx = StallCause::ALL.iter().position(|&c| c == cause).unwrap();
+        self.stalls[idx]
+    }
+
+    /// Paper-style label (`C-compress`, `mipsi-des`, …).
+    pub fn label(&self) -> String {
+        let prefix = match self.language {
+            Language::C => "C",
+            Language::Mipsi => "mipsi",
+            Language::Javelin => "java",
+            Language::Perlite => "perl",
+            Language::Tclite => "tcl",
+        };
+        format!("{prefix}-{}", self.benchmark)
+    }
+}
+
+/// Run the pipeline model over the interpreted suite plus the compiled
+/// comparison set.
+pub fn fig3(scale: Scale) -> Vec<Fig3Bar> {
+    let mut all = compiled_suite();
+    all.extend(macro_suite().into_iter().filter(|(l, _)| *l != Language::C));
+    all.into_iter()
+        .map(|(language, name)| {
+            let result = run_macro(language, name, scale, PipelineSim::alpha_21064());
+            let report = result.sink.report();
+            let mut stalls = [0.0; 8];
+            for (i, &cause) in StallCause::ALL.iter().enumerate() {
+                stalls[i] = report.stall_fraction(cause);
+            }
+            Fig3Bar {
+                language,
+                benchmark: name.to_string(),
+                busy: report.busy_fraction(),
+                stalls,
+            }
+        })
+        .collect()
+}
+
+/// One Figure 4 series: a benchmark's I-cache miss rates over the
+/// size × associativity grid.
+#[derive(Debug, Clone)]
+pub struct Fig4Series {
+    /// Language.
+    pub language: Language,
+    /// Benchmark.
+    pub benchmark: String,
+    /// Twelve grid points (sizes 8/16/32/64 KB × assoc 1/2/4).
+    pub points: Vec<SweepPoint>,
+}
+
+impl Fig4Series {
+    /// Miss rate at one geometry.
+    pub fn at(&self, kb: usize, assoc: usize) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.size_bytes == kb * 1024 && p.assoc == assoc)
+            .map(|p| p.miss_per_100)
+            .expect("grid point exists")
+    }
+}
+
+/// Run the Figure 4 sweep for the Java/Perl/Tcl benchmarks (the paper's
+/// subjects; MIPSI fits any cache).
+pub fn fig4(scale: Scale) -> Vec<Fig4Series> {
+    macro_suite()
+        .into_iter()
+        .filter(|(lang, _)| {
+            matches!(
+                lang,
+                Language::Javelin | Language::Perlite | Language::Tclite
+            )
+        })
+        .map(|(language, name)| {
+            let result = run_macro(language, name, scale, CacheSweep::figure4());
+            Fig4Series {
+                language,
+                benchmark: name.to_string(),
+                points: result.sink.points(),
+            }
+        })
+        .collect()
+}
+
+/// Render Figure 3 as text.
+pub fn render_fig3(bars: &[Fig3Bar]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 3: issue-slot breakdown (2-issue, Table 3 machine)");
+    let _ = write!(out, "{:<16} {:>6}", "benchmark", "busy");
+    for cause in StallCause::ALL {
+        let _ = write!(out, " {:>10}", cause.label());
+    }
+    let _ = writeln!(out);
+    for bar in bars {
+        let _ = write!(out, "{:<16} {:>5.1}%", bar.label(), bar.busy * 100.0);
+        for s in bar.stalls {
+            let _ = write!(out, " {:>9.1}%", s * 100.0);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render Figure 4 as text.
+pub fn render_fig4(series: &[Fig4Series]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 4: I-cache misses per 100 instructions (size x associativity)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>7} {:>7} {:>7} {:>7}   {:>7} {:>7}   {:>7} {:>7}",
+        "benchmark", "8K/1w", "16K/1w", "32K/1w", "64K/1w", "32K/2w", "64K/2w", "32K/4w", "64K/4w"
+    );
+    for s in series {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>7.2} {:>7.2} {:>7.2} {:>7.2}   {:>7.2} {:>7.2}   {:>7.2} {:>7.2}",
+            format!("{}-{}", s.language.label().split(' ').next().unwrap(), s.benchmark),
+            s.at(8, 1),
+            s.at(16, 1),
+            s.at(32, 1),
+            s.at(64, 1),
+            s.at(32, 2),
+            s.at(64, 2),
+            s.at(32, 4),
+            s.at(64, 4)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// Each test needs the full Figure 3 run; compute it once.
+    fn fig3_bars() -> &'static [Fig3Bar] {
+        static BARS: OnceLock<Vec<Fig3Bar>> = OnceLock::new();
+        BARS.get_or_init(|| fig3(Scale::Test))
+    }
+
+    fn mean<'a>(bars: impl Iterator<Item = &'a Fig3Bar>, f: impl Fn(&Fig3Bar) -> f64) -> f64 {
+        let xs: Vec<f64> = bars.map(f).collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    fn spread(xs: &[f64]) -> f64 {
+        let (min, max) = xs
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(a, b), &x| (a.min(x), b.max(x)));
+        max - min
+    }
+
+    #[test]
+    fn fig3_reproduces_the_three_conclusions() {
+        let bars = fig3_bars();
+        assert!(bars.len() >= 29);
+
+        // (2) Low-level VMs (MIPSI) have good instruction locality; the
+        // high-level VMs (Perl, Tcl) lose far more slots to imiss.
+        let imiss = |lang: Language| {
+            mean(
+                bars.iter().filter(move |b| b.language == lang),
+                |b| b.stall(StallCause::Imiss),
+            )
+        };
+        let mipsi_imiss = imiss(Language::Mipsi);
+        let perl_imiss = imiss(Language::Perlite);
+        let tcl_imiss = imiss(Language::Tclite);
+        assert!(mipsi_imiss < 0.08, "mipsi imiss {mipsi_imiss}");
+        assert!(
+            perl_imiss > 1.5 * mipsi_imiss,
+            "perl {perl_imiss} vs mipsi {mipsi_imiss}"
+        );
+        assert!(
+            tcl_imiss > 1.5 * mipsi_imiss,
+            "tcl {tcl_imiss} vs mipsi {mipsi_imiss}"
+        );
+
+        // (1) The interpreter's behavior overwhelms the application's.
+        // Measure profile spread over the *processor-facing* categories
+        // the interpreter controls (short-int, load-delay, mispredict,
+        // imiss); data-side categories (dmiss/dtlb) legitimately keep
+        // some application character even under interpretation.
+        let shared: Vec<&str> = vec!["des", "compress", "eqntott", "espresso", "li"];
+        let causes = [
+            StallCause::ShortInt,
+            StallCause::LoadDelay,
+            StallCause::Mispredict,
+            StallCause::Imiss,
+        ];
+        let profile_spread = |lang: Language| -> f64 {
+            causes
+                .iter()
+                .map(|&cause| {
+                    let xs: Vec<f64> = shared
+                        .iter()
+                        .filter_map(|name| {
+                            bars.iter()
+                                .find(|b| b.language == lang && b.benchmark == *name)
+                                .map(|b| b.stall(cause))
+                        })
+                        .collect();
+                    spread(&xs)
+                })
+                .fold(0.0f64, f64::max)
+        };
+        let native_spread = profile_spread(Language::C);
+        let mipsi_spread = profile_spread(Language::Mipsi);
+        assert!(
+            mipsi_spread < native_spread,
+            "interpretation must homogenize profiles: mipsi {mipsi_spread:.3} vs native {native_spread:.3}"
+        );
+
+        // (3) Interpreted data-cache behavior is SPEC-like: mean dmiss of
+        // interpreters is within a small factor of the compiled suite's.
+        let compiled_dmiss = mean(
+            bars.iter().filter(|b| b.language == Language::C),
+            |b| b.stall(StallCause::Dmiss),
+        );
+        let interp_dmiss = mean(
+            bars.iter().filter(|b| b.language != Language::C),
+            |b| b.stall(StallCause::Dmiss),
+        );
+        assert!(
+            interp_dmiss < compiled_dmiss * 4.0 + 0.08,
+            "interp dmiss {interp_dmiss} vs compiled {compiled_dmiss}"
+        );
+
+        // Accounting sanity: busy + stalls ≤ 1 everywhere.
+        for bar in bars {
+            let total = bar.busy + bar.stalls.iter().sum::<f64>();
+            assert!(total <= 1.0 + 1e-9, "{}: {total}", bar.label());
+        }
+    }
+
+    #[test]
+    fn fig4_capacity_and_associativity_trends() {
+        let series = fig4(Scale::Test);
+        assert_eq!(series.len(), 18);
+        for s in &series {
+            // Capacity: miss rate non-increasing with size at fixed assoc.
+            for assoc in [1usize, 2, 4] {
+                let mut prev = f64::MAX;
+                for kb in [8usize, 16, 32, 64] {
+                    let rate = s.at(kb, assoc);
+                    assert!(
+                        rate <= prev + 0.05,
+                        "{}-{}: {}KB/{assoc}w rose to {rate} from {prev}",
+                        s.language.label(),
+                        s.benchmark,
+                        kb
+                    );
+                    prev = rate;
+                }
+            }
+            // Associativity helps (or is neutral) at 32 KB.
+            assert!(
+                s.at(32, 4) <= s.at(32, 1) + 0.05,
+                "{}-{}",
+                s.language.label(),
+                s.benchmark
+            );
+        }
+        // Tcl's working set: an 8 KB cache misses substantially more than
+        // a 64 KB cache (the 16-32 KB knee).
+        let tcl_des = series
+            .iter()
+            .find(|s| s.language == Language::Tclite && s.benchmark == "des")
+            .unwrap();
+        assert!(
+            tcl_des.at(8, 1) > 2.0 * tcl_des.at(64, 4) + 0.1,
+            "8K/1w {} vs 64K/4w {}",
+            tcl_des.at(8, 1),
+            tcl_des.at(64, 4)
+        );
+    }
+
+    #[test]
+    fn dtlb_inversion_compress() {
+        // §4.1: compress with a ~1 MB random-probe hash thrashes the
+        // 32-entry dTLB natively (paper: 49% of slots); interpreted by
+        // MIPSI, the same program's dTLB misses are diluted by the
+        // interpreter's instructions and become a minor category.
+        use interp_workloads::minic_progs::{instantiate, COMPRESS_C};
+        let src = instantiate(
+            COMPRESS_C,
+            &[
+                ("BUFSZ", "4096".into()),
+                ("HSIZE", "131072".into()),
+                ("HMASK", "131071".into()),
+            ],
+        );
+        let image = interp_minic::compile(&src).unwrap();
+        let input = interp_workloads::inputs::text_corpus(300);
+
+        let native = {
+            let mut m = interp_host::Machine::new(PipelineSim::alpha_21064());
+            m.fs_add_file("input.txt", input.clone());
+            let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
+            exec.run(1_000_000_000).unwrap();
+            drop(exec);
+            let (_, sim) = m.into_parts();
+            sim.report()
+        };
+        let interpreted = {
+            let mut m = interp_host::Machine::new(PipelineSim::alpha_21064());
+            m.fs_add_file("input.txt", input);
+            let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
+            emu.run(1_000_000_000).unwrap();
+            drop(emu);
+            let (_, sim) = m.into_parts();
+            sim.report()
+        };
+        let native_dtlb = native.stall_fraction(StallCause::Dtlb);
+        let interp_dtlb = interpreted.stall_fraction(StallCause::Dtlb);
+        assert!(native_dtlb > 0.10, "native dtlb only {native_dtlb}");
+        assert!(
+            interp_dtlb < native_dtlb / 3.0,
+            "interpretation must dilute dTLB stalls: {interp_dtlb} vs {native_dtlb}"
+        );
+    }
+
+    #[test]
+    fn renders() {
+        let bars = fig3_bars();
+        assert!(render_fig3(bars).contains("C-compress"));
+        let series = fig4(Scale::Test);
+        assert!(render_fig4(&series).contains("8K/1w"));
+    }
+}

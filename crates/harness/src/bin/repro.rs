@@ -1,0 +1,112 @@
+//! `repro`: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--paper] [table1|table2|fig1|fig2|fig3|fig4|memmodel|ablations|all]
+//! ```
+//!
+//! `--paper` runs at full workload scale (the default is the fast test
+//! scale).
+
+use interp_harness::{ablations, arch, figures, memmodel, table1, table2, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
+    };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("table1") {
+        println!("{}", table1::render(&table1::table1(scale)));
+    }
+    if run("table2") {
+        println!("{}", table2::render(&table2::table2(scale)));
+    }
+    if run("table3") {
+        let cfg = interp_archsim::SimConfig::default();
+        println!("Table 3: simulated machine parameters");
+        println!("  issue width:        {}", cfg.issue_width);
+        println!(
+            "  L1 I-cache:         {} KB, {}-way, {}B lines",
+            cfg.icache_bytes / 1024,
+            cfg.icache_assoc,
+            cfg.line_bytes
+        );
+        println!(
+            "  L1 D-cache:         {} KB, {}-way",
+            cfg.dcache_bytes / 1024,
+            cfg.dcache_assoc
+        );
+        println!(
+            "  L2 unified:         {} KB, {}-way",
+            cfg.l2_bytes / 1024,
+            cfg.l2_assoc
+        );
+        println!(
+            "  iTLB/dTLB:          {} / {} entries, {} KB pages",
+            cfg.itlb_entries,
+            cfg.dtlb_entries,
+            cfg.page_bytes / 1024
+        );
+        println!(
+            "  branch:             {}-entry 1-bit BHT, {}-entry BTC, {}-entry return stack",
+            cfg.bht_entries, cfg.btc_entries, cfg.ras_entries
+        );
+        println!(
+            "  penalties (cycles): short-int {}, load-delay {}, mispredict {}, tlb {}, L1-miss {}, L2-miss {}, mul {}",
+            cfg.short_int_delay,
+            cfg.load_delay,
+            cfg.mispredict_penalty,
+            cfg.tlb_miss_penalty,
+            cfg.l1_miss_penalty,
+            cfg.l2_miss_penalty,
+            cfg.mul_delay
+        );
+        println!();
+    }
+    if run("fig1") {
+        println!("{}", figures::render_fig1(&figures::fig1(scale)));
+    }
+    if run("fig2") {
+        println!("{}", figures::render_fig2(&figures::fig2(scale)));
+    }
+    if run("memmodel") {
+        println!("{}", memmodel::render(&memmodel::memmodel(scale)));
+    }
+    if run("fig3") {
+        println!("{}", arch::render_fig3(&arch::fig3(scale)));
+    }
+    if run("fig4") {
+        println!("{}", arch::render_fig4(&arch::fig4(scale)));
+    }
+    if run("ablations") {
+        println!("{}", ablations::render(scale));
+    }
+    if ![
+        "table1",
+        "table2",
+        "table3",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "memmodel",
+        "ablations",
+        "all",
+    ]
+    .contains(&what)
+    {
+        eprintln!(
+            "unknown experiment `{what}`; choose table1|table2|table3|fig1|fig2|fig3|fig4|memmodel|ablations|all"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment drivers: one module per table/figure of the paper, each
+//! producing structured rows plus a paper-style text rendering, and the
+//! `repro` binary that prints everything.
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Table 1 (microbenchmark slowdowns) | [`table1`] |
+//! | Table 2 (baseline measurements) | [`table2`] |
+//! | Figure 1 (cumulative command distributions) | [`figures::fig1`] |
+//! | Figure 2 (per-command histograms) | [`figures::fig2`] |
+//! | §3.3 (memory model) | [`memmodel`] |
+//! | Table 3 (machine parameters) | [`interp_archsim::SimConfig::default`] |
+//! | Figure 3 (issue-slot breakdown) | [`arch::fig3`] |
+//! | Figure 4 (I-cache sweep) | [`arch::fig4`] |
+//! | Ablations (iTLB, dispatch, symbol table, precompilation) | [`ablations`] |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use interp_harness::{table1, Scale};
+//!
+//! let rows = table1::table1(Scale::Test);
+//! println!("{}", table1::render(&rows));
+//! ```
+
+pub mod ablations;
+pub mod arch;
+pub mod figures;
+pub mod memmodel;
+pub mod table1;
+pub mod table2;
+
+pub use interp_workloads::Scale;

@@ -1,0 +1,114 @@
+//! §3.3: memory-model measurements — per-access cost and the fraction of
+//! all instructions spent naming and translating data.
+
+use interp_core::{Language, NullSink};
+use interp_workloads::{macro_suite, run_macro, Scale};
+
+/// One §3.3 measurement row.
+#[derive(Debug, Clone)]
+pub struct MemModelRow {
+    /// Language.
+    pub language: Language,
+    /// Benchmark.
+    pub benchmark: String,
+    /// Virtual-machine-level data accesses observed.
+    pub accesses: u64,
+    /// Average native instructions per access.
+    pub avg_cost: f64,
+    /// Fraction of all instructions spent in the memory model.
+    pub fraction: f64,
+}
+
+/// Compute memory-model rows for the interpreted macro suite.
+pub fn memmodel(scale: Scale) -> Vec<MemModelRow> {
+    macro_suite()
+        .into_iter()
+        .filter(|(lang, _)| *lang != Language::C)
+        .map(|(language, name)| {
+            let result = run_macro(language, name, scale, NullSink);
+            MemModelRow {
+                language,
+                benchmark: name.to_string(),
+                accesses: result.stats.mem_model_accesses,
+                avg_cost: result.stats.avg_mem_model_cost(),
+                fraction: result.stats.mem_model_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// Render as text.
+pub fn render(rows: &[MemModelRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Section 3.3: memory-model cost");
+    let _ = writeln!(
+        out,
+        "{:<16} {:<10} {:>12} {:>14} {:>10}",
+        "language", "benchmark", "accesses", "instr/access", "% of total"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<10} {:>12} {:>14.1} {:>9.1}%",
+            row.language.label(),
+            row.benchmark,
+            row.accesses,
+            row.avg_cost,
+            row.fraction * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg(rows: &[MemModelRow], lang: Language, f: impl Fn(&MemModelRow) -> f64) -> f64 {
+        let xs: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.language == lang)
+            .map(f)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn section_3_3_orderings() {
+        let rows = memmodel(Scale::Test);
+        assert_eq!(rows.len(), 23);
+
+        // MIPSI: uniform page-table cost, tens of instructions/access,
+        // a noticeable share of total instructions (paper: 13-18%).
+        let mipsi_cost = avg(&rows, Language::Mipsi, |r| r.avg_cost);
+        let mipsi_frac = avg(&rows, Language::Mipsi, |r| r.fraction);
+        assert!((6.0..60.0).contains(&mipsi_cost), "mipsi cost {mipsi_cost}");
+        assert!(mipsi_frac > 0.05, "mipsi fraction {mipsi_frac}");
+
+        // Java: cheap stack/field references (paper: 2-11 instr/access).
+        let java_cost = avg(&rows, Language::Javelin, |r| r.avg_cost);
+        assert!(java_cost < mipsi_cost, "java {java_cost} vs mipsi {mipsi_cost}");
+
+        // Perl: compiled-away scalars keep the share tiny (paper: 0.16-3.8%)
+        // even though hash accesses individually cost hundreds.
+        let perl_frac = avg(&rows, Language::Perlite, |r| r.fraction);
+        let tcl_frac = avg(&rows, Language::Tclite, |r| r.fraction);
+        assert!(perl_frac < 0.2, "perl fraction {perl_frac}");
+
+        // Tcl: every variable reference is a symbol-table lookup costing
+        // hundreds of instructions (paper: 206-514).
+        let tcl_cost = avg(&rows, Language::Tclite, |r| r.avg_cost);
+        assert!(tcl_cost > 50.0, "tcl cost {tcl_cost}");
+        assert!(tcl_cost > 3.0 * java_cost, "tcl {tcl_cost} vs java {java_cost}");
+        assert!(tcl_frac > 0.0, "tcl fraction {tcl_frac}");
+    }
+
+    #[test]
+    fn render_has_rows() {
+        let rows = memmodel(Scale::Test);
+        let text = render(&rows);
+        assert!(text.contains("instr/access"));
+        assert!(text.contains("tcllex"));
+    }
+}

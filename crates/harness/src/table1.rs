@@ -1,0 +1,154 @@
+//! Table 1: microbenchmark slowdowns relative to compiled C.
+//!
+//! The paper measured wall-clock time over ≥5-second trials; here the
+//! "time" is simulated cycles from the Alpha-21064-like pipeline model,
+//! normalized per iteration (each language runs a different iteration
+//! count, as the paper's fixed-duration trials did implicitly).
+
+use interp_archsim::PipelineSim;
+use interp_core::Language;
+use interp_workloads::{micro_iterations, run_micro, Scale};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Microbenchmark name.
+    pub name: &'static str,
+    /// Paper description.
+    pub description: &'static str,
+    /// Simulated cycles per iteration for compiled C.
+    pub c_cycles_per_iter: f64,
+    /// Slowdown vs. C per interpreter, in `[Mipsi, Javelin, Perlite,
+    /// Tclite]` order.
+    pub slowdown: [f64; 4],
+}
+
+const INTERPRETERS: [Language; 4] = [
+    Language::Mipsi,
+    Language::Javelin,
+    Language::Perlite,
+    Language::Tclite,
+];
+
+/// Cycles per iteration for one `(language, micro)` cell.
+fn cycles_per_iter(language: Language, name: &'static str, scale: Scale) -> f64 {
+    let result = run_micro(language, name, scale, PipelineSim::alpha_21064());
+    let report = result.sink.report();
+    report.cycles as f64 / micro_iterations(language, name, scale) as f64
+}
+
+/// Compute all Table 1 rows.
+pub fn table1(scale: Scale) -> Vec<Table1Row> {
+    interp_workloads::micro::MICRO_NAMES
+        .iter()
+        .map(|&name| {
+            let c = cycles_per_iter(Language::C, name, scale);
+            let slowdown = INTERPRETERS.map(|lang| cycles_per_iter(lang, name, scale) / c);
+            Table1Row {
+                name,
+                description: interp_workloads::micro::micro_description(name),
+                c_cycles_per_iter: c,
+                slowdown,
+            }
+        })
+        .collect()
+}
+
+/// Render paper-style text.
+pub fn render(rows: &[Table1Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: microbenchmark slowdown relative to C (simulated cycles/iteration)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<15} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "MIPSI", "Java", "Perl", "Tcl"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<15} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            row.name, row.slowdown[0], row.slowdown[1], row.slowdown[2], row.slowdown[3]
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_matches_the_paper() {
+        let rows = table1(Scale::Test);
+        assert_eq!(rows.len(), 6);
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+
+        // Every interpreter slows the non-string CPU-bound rows down
+        // substantially. (String rows may approach parity for Perl/Tcl:
+        // their native string runtimes compete with our -O0-style C
+        // baseline, an exaggerated form of the paper's 19x/78x rows.)
+        for row in &rows {
+            if row.name == "read" || row.name.starts_with("string") {
+                continue;
+            }
+            for (i, s) in row.slowdown.iter().enumerate() {
+                assert!(*s > 2.0, "{} col {i}: slowdown {s}", row.name);
+            }
+        }
+
+        // a=b+c: Tcl is the worst by a wide margin (paper: 6500 vs
+        // 260/96/770 — our -O0-flavor C baseline compresses all columns,
+        // but the ordering and the Tcl-dwarfs-Java gap survive).
+        let abc = by_name("a=b+c");
+        assert!(
+            abc.slowdown[3] > 10.0 * abc.slowdown[1],
+            "Tcl {} should dwarf Java {}",
+            abc.slowdown[3],
+            abc.slowdown[1]
+        );
+        assert!(abc.slowdown[3] > 100.0, "Tcl a=b+c = {}", abc.slowdown[3]);
+        assert!(
+            abc.slowdown[2] > abc.slowdown[1],
+            "Perl {} should exceed Java {}",
+            abc.slowdown[2],
+            abc.slowdown[1]
+        );
+
+        // string ops: Perl/Tcl (native string runtimes) beat their own
+        // arithmetic slowdowns by a large factor (paper: 19/78 vs 770/6500).
+        let concat = by_name("string-concat");
+        assert!(
+            concat.slowdown[2] < abc.slowdown[2] / 3.0,
+            "Perl concat {} vs a=b+c {}",
+            concat.slowdown[2],
+            abc.slowdown[2]
+        );
+        assert!(
+            concat.slowdown[3] < abc.slowdown[3] / 10.0,
+            "Tcl concat {} vs a=b+c {}",
+            concat.slowdown[3],
+            abc.slowdown[3]
+        );
+
+        // read: slowed least of all rows for every interpreter (paper:
+        // 1.2-15x), because the kernel copy is shared precompiled code.
+        let read = by_name("read");
+        for (i, s) in read.slowdown.iter().enumerate() {
+            assert!(*s < 60.0, "read col {i}: {s}");
+        }
+        assert!(read.slowdown[0] < abc.slowdown[0] / 2.0);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = table1(Scale::Test);
+        let text = render(&rows);
+        for name in interp_workloads::micro::MICRO_NAMES {
+            assert!(text.contains(name));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! A growable string buffer in simulated memory, for interpreters that
+//! assemble strings incrementally (Tcl word substitution, Perl
+//! concatenation and regex replacement).
+
+use interp_core::TraceSink;
+
+use crate::machine::Machine;
+use crate::strings::SimStr;
+
+/// A charged, growable byte buffer. Finish with
+/// [`Machine::builder_finish`] to obtain a normal [`SimStr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrBuilder {
+    /// Address of the data buffer (no header while building).
+    data: u32,
+    /// Current length.
+    len: u32,
+    /// Current capacity.
+    cap: u32,
+}
+
+impl StrBuilder {
+    /// Bytes accumulated so far.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<S: TraceSink> Machine<S> {
+    /// Start a builder with room for `cap` bytes (minimum 16).
+    pub fn builder_new(&mut self, cap: u32) -> StrBuilder {
+        let cap = cap.max(16);
+        let data = self.malloc(cap);
+        self.alu_n(2);
+        StrBuilder { data, len: 0, cap }
+    }
+
+    fn builder_grow(&mut self, b: &mut StrBuilder, needed: u32) {
+        if b.len + needed <= b.cap {
+            return;
+        }
+        let mut new_cap = b.cap * 2;
+        while new_cap < b.len + needed {
+            new_cap *= 2;
+        }
+        let new_data = self.malloc(new_cap);
+        self.copy_words(b.data, new_data, b.len);
+        self.mfree(b.data);
+        b.data = new_data;
+        b.cap = new_cap;
+    }
+
+    /// Append one byte (charged: capacity check + byte store).
+    pub fn builder_push(&mut self, b: &mut StrBuilder, byte: u8) {
+        self.alu(); // capacity check
+        self.builder_grow(b, 1);
+        self.sb(b.data + b.len, byte);
+        b.len += 1;
+    }
+
+    /// Append the contents of `s` (charged byte copy).
+    pub fn builder_push_str(&mut self, b: &mut StrBuilder, s: SimStr) {
+        let n = self.lw(s.0);
+        self.alu();
+        self.builder_grow(b, n);
+        self.copy_bytes(s.data(), b.data + b.len, n);
+        b.len += n;
+    }
+
+    /// Append Rust-side bytes (for literals; charged stores only).
+    pub fn builder_push_bytes(&mut self, b: &mut StrBuilder, bytes: &[u8]) {
+        self.alu();
+        self.builder_grow(b, bytes.len() as u32);
+        for &byte in bytes {
+            self.sb(b.data + b.len, byte);
+            b.len += 1;
+        }
+    }
+
+    /// Seal the builder into a [`SimStr`] (allocates the headered copy and
+    /// frees the scratch buffer).
+    pub fn builder_finish(&mut self, b: StrBuilder) -> SimStr {
+        let out = self.malloc(4 + b.len);
+        self.sw(out, b.len);
+        self.copy_bytes(b.data, out + 4, b.len);
+        self.mfree(b.data);
+        SimStr(out)
+    }
+
+    /// Uncharged peek at the bytes accumulated so far.
+    pub fn builder_peek(&self, b: &StrBuilder) -> Vec<u8> {
+        self.mem.read_bytes(b.data, b.len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+
+    #[test]
+    fn push_and_finish() {
+        let mut m = Machine::new(NullSink);
+        let mut b = m.builder_new(4);
+        for &c in b"hello, " {
+            m.builder_push(&mut b, c);
+        }
+        let world = m.str_alloc(b"world");
+        m.builder_push_str(&mut b, world);
+        m.builder_push_bytes(&mut b, b"!!");
+        assert_eq!(b.len(), 14);
+        let s = m.builder_finish(b);
+        assert_eq!(m.peek_string(s), "hello, world!!");
+    }
+
+    #[test]
+    fn growth_preserves_content() {
+        let mut m = Machine::new(NullSink);
+        let mut b = m.builder_new(16);
+        let expected: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        for &c in &expected {
+            m.builder_push(&mut b, c);
+        }
+        assert_eq!(m.builder_peek(&b), expected);
+        let s = m.builder_finish(b);
+        assert_eq!(m.peek_str(s), expected);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let mut m = Machine::new(NullSink);
+        let b = m.builder_new(0);
+        assert!(b.is_empty());
+        let s = m.builder_finish(b);
+        assert_eq!(m.peek_str(s), b"");
+    }
+}

@@ -1,0 +1,368 @@
+//! The graphics native runtime library and synthetic UI event queue.
+//!
+//! Javelin's graphics-heavy benchmarks (asteroids, hanoi, mand) and
+//! Tclite's Tk-style benchmarks spend most of their execute-side
+//! instructions here, inside a large shared text region (`sys_gfx`,
+//! 24 KB) — which is exactly how the paper explains those programs'
+//! gcc-like architectural profiles: the profile reflects the native
+//! library, not the interpreter.
+//!
+//! The framebuffer is an 8-bit-deep `WIDTH`×`HEIGHT` surface in simulated
+//! memory; drawing charges one word store per four pixels on fill paths and
+//! byte-store cost on scan-converted paths.
+
+use interp_core::TraceSink;
+
+use crate::machine::Machine;
+
+/// Framebuffer width in pixels.
+pub const WIDTH: u32 = 256;
+/// Framebuffer height in pixels.
+pub const HEIGHT: u32 = 192;
+/// Base address of the framebuffer in simulated memory.
+pub const FB_BASE: u32 = 0x2000_0000;
+
+/// A synthetic input event, posted by workload drivers to exercise
+/// interactive benchmarks deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UiEvent {
+    /// Animation timer tick.
+    Tick,
+    /// Key press (ASCII).
+    Key(u8),
+    /// Pointer click at pixel coordinates.
+    Click { x: u16, y: u16 },
+    /// Window damage requiring a redraw.
+    Expose,
+    /// Close request.
+    Quit,
+}
+
+/// Rust-side framebuffer bookkeeping (dirty-rect tracking, flush counts).
+#[derive(Debug, Default)]
+pub struct Framebuffer {
+    /// Number of flushes performed.
+    pub flushes: u64,
+    /// Pixels drawn since the last flush.
+    pub pixels_since_flush: u64,
+}
+
+impl Framebuffer {
+    pub(crate) fn new() -> Self {
+        Framebuffer::default()
+    }
+}
+
+#[inline]
+fn pixel_addr(x: u32, y: u32) -> u32 {
+    FB_BASE + y * WIDTH + x
+}
+
+impl<S: TraceSink> Machine<S> {
+    /// Fill the whole framebuffer with `color`.
+    pub fn gfx_clear(&mut self, color: u8) {
+        let gfx_routine = self.sys().gfx;
+        self.routine(gfx_routine, |m| {
+            m.alu_n(6); // clip setup, color replication
+            let word = u32::from_le_bytes([color; 4]);
+            let total = WIDTH * HEIGHT;
+            let head = m.here();
+            let mut i = 0;
+            while i < total {
+                m.sw(FB_BASE + i, word);
+                i += 4;
+                m.loop_back(head, i < total);
+            }
+            m.gfx.pixels_since_flush += u64::from(total);
+        });
+    }
+
+    /// Fill an axis-aligned rectangle (clipped to the surface).
+    pub fn gfx_fill_rect(&mut self, x: i32, y: i32, w: u32, h: u32, color: u8) {
+        let gfx_routine = self.sys().gfx;
+        self.routine(gfx_routine, |m| {
+            m.alu_n(10); // clipping
+            let x0 = x.clamp(0, WIDTH as i32) as u32;
+            let y0 = y.clamp(0, HEIGHT as i32) as u32;
+            let x1 = (x + w as i32).clamp(0, WIDTH as i32) as u32;
+            let y1 = (y + h as i32).clamp(0, HEIGHT as i32) as u32;
+            if x0 >= x1 || y0 >= y1 {
+                m.branch_fwd(true);
+                return;
+            }
+            m.branch_fwd(false);
+            let word = u32::from_le_bytes([color; 4]);
+            let rows = m.here();
+            let mut yy = y0;
+            while yy < y1 {
+                m.alu_n(2); // row address
+                let mut xx = x0;
+                // Word-aligned body with byte edges.
+                while xx < x1 {
+                    let addr = pixel_addr(xx, yy);
+                    if addr % 4 == 0 && xx + 4 <= x1 {
+                        m.sw(addr, word);
+                        xx += 4;
+                    } else {
+                        m.sb(addr, color);
+                        xx += 1;
+                    }
+                }
+                m.gfx.pixels_since_flush += u64::from(x1 - x0);
+                yy += 1;
+                m.loop_back(rows, yy < y1);
+            }
+        });
+    }
+
+    /// Draw a line with Bresenham's algorithm (clipped per pixel).
+    pub fn gfx_draw_line(&mut self, x0: i32, y0: i32, x1: i32, y1: i32, color: u8) {
+        let gfx_routine = self.sys().gfx;
+        self.routine(gfx_routine, |m| {
+            m.alu_n(8); // setup: deltas, signs
+            let dx = (x1 - x0).abs();
+            let dy = -(y1 - y0).abs();
+            let sx = if x0 < x1 { 1 } else { -1 };
+            let sy = if y0 < y1 { 1 } else { -1 };
+            let mut err = dx + dy;
+            let (mut x, mut y) = (x0, y0);
+            let head = m.here();
+            loop {
+                m.alu_n(3); // error update + bounds test
+                if x >= 0 && x < WIDTH as i32 && y >= 0 && y < HEIGHT as i32 {
+                    m.sb(pixel_addr(x as u32, y as u32), color);
+                    m.gfx.pixels_since_flush += 1;
+                }
+                if x == x1 && y == y1 {
+                    m.loop_back(head, false);
+                    break;
+                }
+                let e2 = 2 * err;
+                if e2 >= dy {
+                    err += dy;
+                    x += sx;
+                }
+                if e2 <= dx {
+                    err += dx;
+                    y += sy;
+                }
+                m.loop_back(head, true);
+            }
+        });
+    }
+
+    /// Draw a circle outline (midpoint algorithm).
+    pub fn gfx_draw_circle(&mut self, cx: i32, cy: i32, r: i32, color: u8) {
+        let gfx_routine = self.sys().gfx;
+        self.routine(gfx_routine, |m| {
+            m.alu_n(6);
+            let plot = |m: &mut Self, x: i32, y: i32| {
+                m.alu();
+                if x >= 0 && x < WIDTH as i32 && y >= 0 && y < HEIGHT as i32 {
+                    m.sb(pixel_addr(x as u32, y as u32), color);
+                    m.gfx.pixels_since_flush += 1;
+                }
+            };
+            let (mut x, mut y, mut d) = (0i32, r, 1 - r);
+            let head = m.here();
+            while x <= y {
+                m.alu_n(3);
+                for (px, py) in [
+                    (cx + x, cy + y),
+                    (cx - x, cy + y),
+                    (cx + x, cy - y),
+                    (cx - x, cy - y),
+                    (cx + y, cy + x),
+                    (cx - y, cy + x),
+                    (cx + y, cy - x),
+                    (cx - y, cy - x),
+                ] {
+                    plot(m, px, py);
+                }
+                if d < 0 {
+                    d += 2 * x + 3;
+                } else {
+                    d += 2 * (x - y) + 5;
+                    y -= 1;
+                }
+                x += 1;
+                m.loop_back(head, x <= y);
+            }
+        });
+    }
+
+    /// Draw text with a synthetic 6×8 font: per glyph, one font-table load
+    /// per row plus byte stores for set pixels.
+    pub fn gfx_draw_text(&mut self, x: i32, y: i32, text: &[u8], color: u8) {
+        let gfx_routine = self.sys().gfx;
+        self.routine(gfx_routine, |m| {
+            m.alu_n(4);
+            let glyphs = m.here();
+            for (gi, &ch) in text.iter().enumerate() {
+                let gx = x + (gi as i32) * 6;
+                for row in 0..8 {
+                    // Font table lookup (text-segment data).
+                    m.lw(0x0060_0000 + u32::from(ch) * 8 + row);
+                    m.alu();
+                    // A deterministic glyph pattern: bits of (ch*31+row).
+                    let bits = (u32::from(ch).wrapping_mul(31) + row) & 0x3f;
+                    for col in 0..6 {
+                        if bits & (1 << col) != 0 {
+                            let px = gx + col as i32;
+                            let py = y + row as i32;
+                            if px >= 0
+                                && px < WIDTH as i32
+                                && py >= 0
+                                && py < HEIGHT as i32
+                            {
+                                m.sb(pixel_addr(px as u32, py as u32), color);
+                                m.gfx.pixels_since_flush += 1;
+                            }
+                        }
+                    }
+                }
+                m.loop_back(glyphs, gi + 1 < text.len());
+            }
+        });
+    }
+
+    /// Flush the surface (damage accounting + a short charged handoff,
+    /// standing in for the X protocol write the paper excludes).
+    pub fn gfx_flush(&mut self) {
+        let gfx_routine = self.sys().gfx;
+        self.routine(gfx_routine, |m| {
+            m.alu_n(20);
+            m.lw(FB_BASE);
+            m.gfx.flushes += 1;
+            m.gfx.pixels_since_flush = 0;
+        });
+    }
+
+    /// Uncharged pixel read for tests.
+    pub fn gfx_pixel(&self, x: u32, y: u32) -> u8 {
+        self.mem.read_u8(pixel_addr(x, y))
+    }
+
+    /// Uncharged surface checksum for tests (FNV-1a over all pixels).
+    pub fn gfx_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for y in 0..HEIGHT {
+            for x in 0..WIDTH {
+                h ^= u64::from(self.mem.read_u8(pixel_addr(x, y)));
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Pop the next queued UI event (charged short dequeue).
+    pub fn next_event(&mut self) -> Option<UiEvent> {
+        let gfx_routine = self.sys().gfx;
+        self.routine(gfx_routine, |m| {
+            m.alu_n(5);
+            m.lw(0x3000_8000);
+            m.events.pop_front()
+        })
+    }
+
+    /// Framebuffer bookkeeping (flush counts).
+    pub fn gfx_state(&self) -> &Framebuffer {
+        &self.gfx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+
+    #[test]
+    fn clear_sets_every_pixel() {
+        let mut m = Machine::new(NullSink);
+        m.gfx_clear(7);
+        assert_eq!(m.gfx_pixel(0, 0), 7);
+        assert_eq!(m.gfx_pixel(WIDTH - 1, HEIGHT - 1), 7);
+        assert_eq!(m.gfx_pixel(100, 100), 7);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut m = Machine::new(NullSink);
+        m.gfx_clear(0);
+        m.gfx_fill_rect(-10, -10, 20, 20, 5);
+        assert_eq!(m.gfx_pixel(0, 0), 5);
+        assert_eq!(m.gfx_pixel(9, 9), 5);
+        assert_eq!(m.gfx_pixel(10, 10), 0);
+        // Entirely off-screen is a no-op.
+        m.gfx_fill_rect(1000, 1000, 50, 50, 9);
+    }
+
+    #[test]
+    fn line_endpoints_drawn() {
+        let mut m = Machine::new(NullSink);
+        m.gfx_clear(0);
+        m.gfx_draw_line(10, 10, 50, 30, 3);
+        assert_eq!(m.gfx_pixel(10, 10), 3);
+        assert_eq!(m.gfx_pixel(50, 30), 3);
+    }
+
+    #[test]
+    fn circle_touches_cardinal_points() {
+        let mut m = Machine::new(NullSink);
+        m.gfx_clear(0);
+        m.gfx_draw_circle(100, 100, 20, 4);
+        assert_eq!(m.gfx_pixel(120, 100), 4);
+        assert_eq!(m.gfx_pixel(80, 100), 4);
+        assert_eq!(m.gfx_pixel(100, 120), 4);
+        assert_eq!(m.gfx_pixel(100, 80), 4);
+    }
+
+    #[test]
+    fn text_draws_some_pixels_and_is_deterministic() {
+        let mut m1 = Machine::new(NullSink);
+        m1.gfx_clear(0);
+        m1.gfx_draw_text(10, 10, b"hello", 2);
+        let c1 = m1.gfx_checksum();
+        let mut m2 = Machine::new(NullSink);
+        m2.gfx_clear(0);
+        m2.gfx_draw_text(10, 10, b"hello", 2);
+        assert_eq!(c1, m2.gfx_checksum());
+        let mut m3 = Machine::new(NullSink);
+        m3.gfx_clear(0);
+        m3.gfx_draw_text(10, 10, b"world", 2);
+        assert_ne!(c1, m3.gfx_checksum());
+    }
+
+    #[test]
+    fn events_fifo() {
+        let mut m = Machine::new(NullSink);
+        m.post_event(UiEvent::Tick);
+        m.post_event(UiEvent::Key(b'q'));
+        assert_eq!(m.next_event(), Some(UiEvent::Tick));
+        assert_eq!(m.next_event(), Some(UiEvent::Key(b'q')));
+        assert_eq!(m.next_event(), None);
+        assert_eq!(m.pending_events(), 0);
+    }
+
+    #[test]
+    fn drawing_charges_instructions_proportional_to_area() {
+        let mut m = Machine::new(NullSink);
+        let before = m.stats().instructions;
+        m.gfx_fill_rect(0, 0, 16, 16, 1);
+        let small = m.stats().instructions - before;
+        let before = m.stats().instructions;
+        m.gfx_fill_rect(0, 0, 128, 128, 1);
+        let large = m.stats().instructions - before;
+        assert!(large > small * 10, "large {large} small {small}");
+    }
+
+    #[test]
+    fn flush_counts() {
+        let mut m = Machine::new(NullSink);
+        m.gfx_fill_rect(0, 0, 8, 8, 1);
+        assert!(m.gfx_state().pixels_since_flush > 0);
+        m.gfx_flush();
+        assert_eq!(m.gfx_state().flushes, 1);
+        assert_eq!(m.gfx_state().pixels_since_flush, 0);
+    }
+}

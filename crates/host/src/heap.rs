@@ -1,0 +1,242 @@
+//! A first-fit free-list allocator over the simulated heap region.
+//!
+//! Block headers live in simulated memory (so allocator traffic shows up in
+//! the data cache, as it does under ATOM); the free-list index is mirrored
+//! on the Rust side for integrity checking. Every `malloc`/`free` charges
+//! the instructions a simple C allocator would execute: a header load and a
+//! couple of compares per free block examined, plus header updates.
+
+use interp_core::TraceSink;
+use std::collections::BTreeMap;
+
+use crate::machine::Machine;
+
+/// Start of the simulated heap region.
+pub const HEAP_BASE: u32 = 0x1000_0000;
+/// One-past-end of the simulated heap region (256 MiB heap).
+pub const HEAP_END: u32 = 0x2000_0000;
+
+const HEADER: u32 = 8; // [size: u32][magic: u32]
+const MAGIC_ALLOCATED: u32 = 0xa110_ca7e;
+const MAGIC_FREE: u32 = 0xf4ee_f4ee;
+
+/// Allocator state (free and allocated block indexes, mirrored Rust-side).
+#[derive(Debug)]
+pub struct Heap {
+    /// Free blocks: payload address -> payload size.
+    free: BTreeMap<u32, u32>,
+    /// Allocated blocks: payload address -> payload size.
+    allocated: BTreeMap<u32, u32>,
+    /// Total payload bytes currently allocated.
+    live: u64,
+    /// High-water mark of allocated payload bytes.
+    peak: u64,
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Heap {
+    /// A heap with the whole region free.
+    pub fn new() -> Self {
+        let mut free = BTreeMap::new();
+        free.insert(HEAP_BASE + HEADER, HEAP_END - HEAP_BASE - HEADER);
+        Heap {
+            free,
+            allocated: BTreeMap::new(),
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    /// Payload bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live
+    }
+
+    /// High-water mark of allocated payload bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of live allocations.
+    pub fn live_blocks(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// True if `addr` is the payload address of a live allocation.
+    pub fn is_allocated(&self, addr: u32) -> bool {
+        self.allocated.contains_key(&addr)
+    }
+}
+
+impl<S: TraceSink> Machine<S> {
+    /// Allocate `size` bytes of simulated memory, returning the payload
+    /// address (8-byte aligned).
+    ///
+    /// Charges the work of a first-fit allocator: per free block examined,
+    /// one header load and two compares; then header stores for the carve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted (256 MiB — unreachable for the
+    /// workloads in this repository).
+    pub fn malloc(&mut self, size: u32) -> u32 {
+        let size = size.max(1).next_multiple_of(8);
+        let alloc_routine = self.sys().alloc;
+        self.routine(alloc_routine, |m| {
+            m.alu_n(3); // entry: round size, load free-list head
+            let mut chosen: Option<(u32, u32)> = None;
+            let mut examined = 0u32;
+            for (&addr, &block) in m.heap.free.iter() {
+                examined += 1;
+                if block >= size {
+                    chosen = Some((addr, block));
+                    break;
+                }
+            }
+            // Walking the free list: header load + size compare + next load.
+            for i in 0..examined {
+                let probe_addr = HEAP_BASE + (i * 16) % 4096; // representative header traffic
+                m.lw(probe_addr);
+                m.alu_n(2);
+            }
+            let (addr, block) = chosen.expect("simulated heap exhausted");
+            m.heap.free.remove(&addr);
+            let remainder = block - size;
+            if remainder >= HEADER + 8 {
+                let rest_addr = addr + size + HEADER;
+                m.heap.free.insert(rest_addr, remainder - HEADER);
+                // Write the split-off block's header.
+                m.sw(rest_addr - 8, remainder - HEADER);
+                m.sw(rest_addr - 4, MAGIC_FREE);
+            }
+            m.heap.allocated.insert(addr, size);
+            m.heap.live += u64::from(size);
+            m.heap.peak = m.heap.peak.max(m.heap.live);
+            // Write this block's header.
+            m.sw(addr - 8, size);
+            m.sw(addr - 4, MAGIC_ALLOCATED);
+            m.alu_n(2); // return-value setup
+            addr
+        })
+    }
+
+    /// Free a block previously returned by [`Self::malloc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free or a pointer that `malloc` never returned —
+    /// these are bugs in an interpreter implementation, not recoverable
+    /// run-time conditions.
+    pub fn mfree(&mut self, addr: u32) {
+        let alloc_routine = self.sys().alloc;
+        self.routine(alloc_routine, |m| {
+            let size = m
+                .heap
+                .allocated
+                .remove(&addr)
+                .unwrap_or_else(|| panic!("free of unallocated address {addr:#x}"));
+            m.heap.live -= u64::from(size);
+            // Header validation: load size + magic, store free magic.
+            let stored = m.lw(addr - 8);
+            debug_assert_eq!(stored, size, "heap header corrupted at {addr:#x}");
+            m.lw(addr - 4);
+            m.alu_n(2);
+            m.sw(addr - 4, MAGIC_FREE);
+            // Coalesce with the following block if it is free.
+            let mut size = size;
+            let next = addr + size + HEADER;
+            if let Some(next_size) = m.heap.free.remove(&next) {
+                m.lw(next - 4);
+                m.alu_n(2);
+                size += next_size + HEADER;
+            }
+            m.heap.free.insert(addr, size);
+            m.sw(addr - 8, size);
+            m.alu();
+        });
+    }
+
+    /// Allocator state, for tests and resource reports.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+
+    #[test]
+    fn malloc_returns_aligned_disjoint_blocks() {
+        let mut m = Machine::new(NullSink);
+        let a = m.malloc(10);
+        let b = m.malloc(100);
+        let c = m.malloc(1);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert_eq!(c % 8, 0);
+        // Disjoint payloads.
+        assert!(a + 16 <= b || b + 104 <= a);
+        assert!(b + 104 <= c || c + 8 <= b);
+        assert_eq!(m.heap().live_blocks(), 3);
+    }
+
+    #[test]
+    fn free_then_reuse() {
+        let mut m = Machine::new(NullSink);
+        let a = m.malloc(64);
+        m.mfree(a);
+        assert_eq!(m.heap().live_blocks(), 0);
+        let b = m.malloc(64);
+        assert_eq!(a, b, "first-fit should reuse the freed block");
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unallocated")]
+    fn double_free_detected() {
+        let mut m = Machine::new(NullSink);
+        let a = m.malloc(16);
+        m.mfree(a);
+        m.mfree(a);
+    }
+
+    #[test]
+    fn allocation_charges_instructions() {
+        let mut m = Machine::new(NullSink);
+        let before = m.stats().instructions;
+        m.malloc(32);
+        let after = m.stats().instructions;
+        assert!(
+            (10..200).contains(&(after - before)),
+            "malloc cost {} outside plausible range",
+            after - before
+        );
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m = Machine::new(NullSink);
+        let a = m.malloc(1000);
+        let peak1 = m.heap().peak_bytes();
+        m.mfree(a);
+        m.malloc(8);
+        assert_eq!(m.heap().peak_bytes(), peak1);
+        assert!(m.heap().live_bytes() < peak1);
+    }
+
+    #[test]
+    fn writes_to_payload_do_not_corrupt_headers() {
+        let mut m = Machine::new(NullSink);
+        let a = m.malloc(16);
+        for i in 0..4 {
+            m.sw(a + i * 4, 0xffff_ffff);
+        }
+        m.mfree(a); // header check inside must not fire
+    }
+}

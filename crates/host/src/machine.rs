@@ -1,0 +1,560 @@
+//! The instrumented simulated host machine.
+//!
+//! All four interpreters are written against this type's *primitives*: one
+//! primitive call retires exactly one native instruction (byte accesses
+//! retire two, matching an Alpha's load-plus-extract sequences), updates the
+//! per-phase / per-command counters, and streams an [`InsnRecord`] to the
+//! attached [`TraceSink`]. This substitutes for the paper's ATOM binary
+//! instrumentation: counts and address traces *emerge* from the work the
+//! interpreters actually perform.
+
+use interp_core::{CmdId, InsnKind, InsnRecord, Phase, RunStats, TraceSink};
+use std::collections::VecDeque;
+
+use crate::fs::FileSystem;
+use crate::gfx::{Framebuffer, UiEvent};
+use crate::heap::Heap;
+use crate::layout::{CodeLayout, Frame, RoutineId};
+use crate::mem::Memory;
+
+/// A position inside a routine, used to model loop back-edges so that hot
+/// loops replay the same instruction addresses every iteration (giving the
+/// branch predictor and i-cache realistic behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label {
+    routine: RoutineId,
+    off: u32,
+}
+
+/// Handles to the built-in "system" routines every simulated process links
+/// against (allocator, block copy, syscall stubs, graphics library).
+#[derive(Debug, Clone, Copy)]
+pub struct SysRoutines {
+    /// Memory allocator (`malloc`/`free`).
+    pub alloc: RoutineId,
+    /// Bulk copy/compare (`memcpy`, `memcmp`, string runtime).
+    pub string: RoutineId,
+    /// Hash-table runtime.
+    pub hash: RoutineId,
+    /// Kernel entry stub + buffer-cache copy path.
+    pub syscall: RoutineId,
+    /// Graphics runtime library (large footprint, like Xlib + Tk internals).
+    pub gfx: RoutineId,
+}
+
+/// The simulated host machine. Generic over the trace consumer so counting
+/// runs (with [`interp_core::NullSink`]) compile to pure counter updates.
+pub struct Machine<S: TraceSink> {
+    pub(crate) mem: Memory,
+    sink: S,
+    stats: RunStats,
+    layout: CodeLayout,
+    frames: Vec<Frame>,
+    phase: Phase,
+    phase_stack: Vec<Phase>,
+    mem_model_depth: u32,
+    cur_cmd: Option<CmdId>,
+    pending_fd: u64,
+    pub(crate) heap: Heap,
+    pub(crate) fs: FileSystem,
+    pub(crate) console: Vec<u8>,
+    pub(crate) gfx: Framebuffer,
+    pub(crate) events: VecDeque<UiEvent>,
+    sys: SysRoutines,
+}
+
+impl<S: TraceSink> std::fmt::Debug for Machine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("instructions", &self.stats.instructions)
+            .field("commands", &self.stats.commands)
+            .field("phase", &self.phase)
+            .field("frames", &self.frames.len())
+            .finish()
+    }
+}
+
+impl<S: TraceSink> Machine<S> {
+    /// Create a machine whose instruction stream flows into `sink`.
+    ///
+    /// The machine starts inside an implicit `_start` routine with the
+    /// current phase set to [`Phase::Startup`]; interpreters switch to
+    /// [`Phase::FetchDecode`] when their dispatch loop begins.
+    pub fn new(sink: S) -> Self {
+        let mut layout = CodeLayout::new();
+        let start = layout.routine("_start", 256);
+        let sys = SysRoutines {
+            alloc: layout.routine("sys_alloc", 1536),
+            string: layout.routine("sys_string", 2048),
+            hash: layout.routine("sys_hash", 1024),
+            syscall: layout.routine("sys_syscall", 1024),
+            gfx: layout.routine("sys_gfx", 24 * 1024),
+        };
+        let frame = Frame::new(&layout, start);
+        Machine {
+            mem: Memory::new(),
+            sink,
+            stats: RunStats::new(),
+            layout,
+            frames: vec![frame],
+            phase: Phase::Startup,
+            phase_stack: Vec::new(),
+            mem_model_depth: 0,
+            cur_cmd: None,
+            pending_fd: 0,
+            heap: Heap::new(),
+            fs: FileSystem::new(),
+            console: Vec::new(),
+            gfx: Framebuffer::new(),
+            events: VecDeque::new(),
+            sys,
+        }
+    }
+
+    /// Handles to the built-in system routines.
+    pub fn sys(&self) -> SysRoutines {
+        self.sys
+    }
+
+    /// Register an interpreter routine of `size` bytes of text.
+    pub fn routine_decl(&mut self, name: &str, size: u32) -> RoutineId {
+        self.layout.routine(name, size)
+    }
+
+    /// The code layout (for reporting text footprints).
+    pub fn layout(&self) -> &CodeLayout {
+        &self.layout
+    }
+
+    /// Raw (uncharged) view of simulated memory, for loaders and tests.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Raw (uncharged) mutable view of simulated memory.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Consume the machine, returning the final statistics and the sink.
+    pub fn into_parts(self) -> (RunStats, S) {
+        (self.stats, self.sink)
+    }
+
+    /// Everything the program wrote to the console (fd 1).
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Take ownership of the console output, clearing it.
+    pub fn take_console(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.console)
+    }
+
+    // ------------------------------------------------------------------
+    // The instruction engine
+    // ------------------------------------------------------------------
+
+    /// Retire one instruction of `kind` at the current program counter.
+    #[inline]
+    fn step(&mut self, kind: InsnKind) {
+        let frame = self.frames.last_mut().expect("machine always has a frame");
+        let pc = frame.pc();
+        frame.advance();
+        self.charge(InsnRecord { pc, kind });
+    }
+
+    /// Charge an instruction record directly (used by [`Self::raw_insn`] and
+    /// control-flow helpers that compute their own pc).
+    #[inline]
+    fn charge(&mut self, rec: InsnRecord) {
+        self.stats
+            .charge(self.phase, self.cur_cmd, self.mem_model_depth > 0);
+        if self.cur_cmd.is_none() && self.phase == Phase::FetchDecode {
+            self.pending_fd += 1;
+        }
+        match rec.kind {
+            InsnKind::Load { .. } => self.stats.count_load(),
+            InsnKind::Store { .. } => self.stats.count_store(),
+            _ => {}
+        }
+        self.sink.insn(rec);
+    }
+
+    /// Retire an externally-constructed instruction (used by the direct
+    /// executor, whose program counters come from the compiled binary rather
+    /// than the routine layout).
+    #[inline]
+    pub fn raw_insn(&mut self, rec: InsnRecord) {
+        self.charge(rec);
+    }
+
+    /// One single-cycle ALU instruction.
+    #[inline]
+    pub fn alu(&mut self) {
+        self.step(InsnKind::Alu);
+    }
+
+    /// `n` ALU instructions.
+    #[inline]
+    pub fn alu_n(&mut self, n: u32) {
+        for _ in 0..n {
+            self.step(InsnKind::Alu);
+        }
+    }
+
+    /// One shift/byte instruction (2-cycle "short int" class on the 21064).
+    #[inline]
+    pub fn shift(&mut self) {
+        self.step(InsnKind::ShortInt);
+    }
+
+    /// One integer multiply/divide (long latency).
+    #[inline]
+    pub fn mul(&mut self) {
+        self.step(InsnKind::Mul);
+    }
+
+    /// One no-op (delay-slot filler).
+    #[inline]
+    pub fn nop(&mut self) {
+        self.step(InsnKind::Nop);
+    }
+
+    /// Charged aligned word load.
+    #[inline]
+    pub fn lw(&mut self, addr: u32) -> u32 {
+        self.step(InsnKind::Load { addr });
+        self.mem.read_u32(addr)
+    }
+
+    /// Charged aligned word store.
+    #[inline]
+    pub fn sw(&mut self, addr: u32, val: u32) {
+        self.step(InsnKind::Store { addr });
+        self.mem.write_u32(addr, val);
+    }
+
+    /// Charged byte load: one load plus one extract (short-int) instruction,
+    /// matching pre-BWX Alpha code.
+    #[inline]
+    pub fn lb(&mut self, addr: u32) -> u8 {
+        self.step(InsnKind::Load { addr: addr & !3 });
+        self.step(InsnKind::ShortInt);
+        self.mem.read_u8(addr)
+    }
+
+    /// Charged byte store: load-modify (short-int) plus store.
+    #[inline]
+    pub fn sb(&mut self, addr: u32, val: u8) {
+        self.step(InsnKind::ShortInt);
+        self.step(InsnKind::Store { addr: addr & !3 });
+        self.mem.write_u8(addr, val);
+    }
+
+    // ------------------------------------------------------------------
+    // Control flow
+    // ------------------------------------------------------------------
+
+    /// A conditional forward branch (e.g. an `if` guard). If taken, skips
+    /// four instructions' worth of text.
+    #[inline]
+    pub fn branch_fwd(&mut self, taken: bool) {
+        let frame = self.frames.last_mut().expect("frame");
+        let pc = frame.pc();
+        frame.advance();
+        let target = frame.base + (frame.pc_off + 16) % frame.size.max(4);
+        if taken {
+            frame.pc_off = target - frame.base;
+        }
+        self.charge(InsnRecord {
+            pc,
+            kind: InsnKind::Branch { target, taken },
+        });
+    }
+
+    /// Capture the current position for a loop back-edge.
+    pub fn here(&mut self) -> Label {
+        let frame = self.frames.last().expect("frame");
+        Label {
+            routine: frame.routine,
+            off: frame.pc_off,
+        }
+    }
+
+    /// The conditional back-edge of a loop: while `taken`, control returns
+    /// to `label`, so every iteration replays the same instruction
+    /// addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` was captured in a different routine.
+    #[inline]
+    pub fn loop_back(&mut self, label: Label, taken: bool) {
+        let frame = self.frames.last_mut().expect("frame");
+        assert_eq!(
+            frame.routine, label.routine,
+            "loop label crossed a routine boundary"
+        );
+        let pc = frame.pc();
+        frame.advance();
+        let target = frame.base + label.off;
+        if taken {
+            frame.pc_off = label.off;
+        }
+        self.charge(InsnRecord {
+            pc,
+            kind: InsnKind::Branch { target, taken },
+        });
+    }
+
+    /// Run `f` inside routine `r`: charges the call, runs `f` with the pc
+    /// walking `r`'s text, then charges the return.
+    #[inline]
+    pub fn routine<T>(&mut self, r: RoutineId, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.enter(r);
+        let out = f(self);
+        self.leave();
+        out
+    }
+
+    /// Explicit call (prefer [`Self::routine`]). Must be paired with
+    /// [`Self::leave`].
+    pub fn enter(&mut self, r: RoutineId) {
+        let target = self.layout.base(r);
+        let frame = self.frames.last_mut().expect("frame");
+        let pc = frame.pc();
+        frame.advance();
+        self.charge(InsnRecord {
+            pc,
+            kind: InsnKind::Call { target },
+        });
+        let new_frame = Frame::new(&self.layout, r);
+        self.frames.push(new_frame);
+    }
+
+    /// Explicit return from [`Self::enter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if only the root frame remains.
+    pub fn leave(&mut self) {
+        assert!(self.frames.len() > 1, "cannot leave the root frame");
+        let frame = self.frames.last_mut().expect("frame");
+        let pc = frame.pc();
+        frame.advance();
+        let target = {
+            let caller = &self.frames[self.frames.len() - 2];
+            caller.pc()
+        };
+        self.charge(InsnRecord {
+            pc,
+            kind: InsnKind::Ret { target },
+        });
+        self.frames.pop();
+    }
+
+    // ------------------------------------------------------------------
+    // Attribution
+    // ------------------------------------------------------------------
+
+    /// The current accounting phase.
+    pub fn current_phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Set the phase without nesting (dispatch loops toggle
+    /// `FetchDecode`/`Execute` this way).
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// Run `f` with the phase temporarily set to `phase`.
+    #[inline]
+    pub fn phase<T>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.phase_stack.push(self.phase);
+        self.phase = phase;
+        let out = f(self);
+        self.phase = self.phase_stack.pop().expect("phase stack");
+        out
+    }
+
+    /// Mark the dispatch of virtual command `cmd`. All fetch/decode
+    /// instructions accumulated since the previous command ended are
+    /// credited to `cmd`.
+    pub fn begin_command(&mut self, cmd: CmdId) {
+        self.stats.begin_command(cmd);
+        if self.pending_fd > 0 {
+            self.stats.credit_fetch_decode(cmd, self.pending_fd);
+            self.pending_fd = 0;
+        }
+        self.cur_cmd = Some(cmd);
+    }
+
+    /// Mark the end of the current virtual command (the dispatch loop is
+    /// about to fetch the next one).
+    pub fn end_command(&mut self) {
+        self.cur_cmd = None;
+        self.pending_fd = 0;
+    }
+
+    /// Run `f` as one virtual-machine-level memory-model access (§3.3):
+    /// counts one access and tags every instruction inside as memory-model
+    /// work.
+    #[inline]
+    pub fn mem_model<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        if self.mem_model_depth == 0 {
+            self.stats.count_mem_model_access();
+        }
+        self.mem_model_depth += 1;
+        let out = f(self);
+        self.mem_model_depth -= 1;
+        out
+    }
+
+    /// Post a synthetic UI event (used by workload drivers for the
+    /// interactive benchmarks).
+    pub fn post_event(&mut self, event: UiEvent) {
+        self.events.push_back(event);
+    }
+
+    /// Number of UI events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::{CommandSet, NullSink, VecSink};
+
+    #[test]
+    fn primitives_charge_one_instruction_each() {
+        let mut m = Machine::new(NullSink);
+        m.alu();
+        m.shift();
+        m.mul();
+        m.nop();
+        assert_eq!(m.stats().instructions, 4);
+    }
+
+    #[test]
+    fn byte_ops_charge_two_instructions() {
+        let mut m = Machine::new(NullSink);
+        m.sb(0x1000, 7);
+        assert_eq!(m.lb(0x1000), 7);
+        assert_eq!(m.stats().instructions, 4);
+        assert_eq!(m.stats().loads, 1);
+        assert_eq!(m.stats().stores, 1);
+    }
+
+    #[test]
+    fn word_roundtrip_charged() {
+        let mut m = Machine::new(NullSink);
+        m.sw(0x2000, 0xdead_beef);
+        assert_eq!(m.lw(0x2000), 0xdead_beef);
+        assert_eq!(m.stats().loads, 1);
+        assert_eq!(m.stats().stores, 1);
+    }
+
+    #[test]
+    fn loop_back_replays_addresses() {
+        let mut m = Machine::new(VecSink::default());
+        let r = m.routine_decl("loop", 256);
+        m.routine(r, |m| {
+            let head = m.here();
+            for i in 0..3 {
+                m.alu();
+                m.loop_back(head, i < 2);
+            }
+        });
+        let (_, sink) = m.into_parts();
+        // call + 3*(alu + branch) + ret
+        assert_eq!(sink.trace.len(), 8);
+        // The alu of iterations 2 and 3 replays iteration 1's pc.
+        assert_eq!(sink.trace[1].pc, sink.trace[3].pc);
+        assert_eq!(sink.trace[3].pc, sink.trace[5].pc);
+    }
+
+    #[test]
+    fn routine_emits_call_and_ret() {
+        let mut m = Machine::new(VecSink::default());
+        let r = m.routine_decl("callee", 64);
+        let base = m.layout().base(r);
+        m.routine(r, |m| m.alu());
+        let (_, sink) = m.into_parts();
+        assert!(matches!(sink.trace[0].kind, InsnKind::Call { target } if target == base));
+        assert_eq!(sink.trace[1].pc, base);
+        assert!(matches!(sink.trace[2].kind, InsnKind::Ret { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "root frame")]
+    fn leaving_root_frame_panics() {
+        let mut m = Machine::new(NullSink);
+        m.leave();
+    }
+
+    #[test]
+    fn phase_nesting_restores() {
+        let mut m = Machine::new(NullSink);
+        m.set_phase(Phase::Execute);
+        m.phase(Phase::Native, |m| {
+            m.alu();
+            assert_eq!(m.current_phase(), Phase::Native);
+        });
+        assert_eq!(m.current_phase(), Phase::Execute);
+        assert_eq!(m.stats().phase_instructions(Phase::Native), 1);
+    }
+
+    #[test]
+    fn pending_fetch_decode_credits_next_command() {
+        let mut cmds = CommandSet::new("t");
+        let cmd = cmds.intern("add");
+        let mut m = Machine::new(NullSink);
+        m.set_phase(Phase::FetchDecode);
+        m.end_command();
+        m.alu_n(5); // decode work before the command is known
+        m.begin_command(cmd);
+        m.set_phase(Phase::Execute);
+        m.alu_n(3);
+        let stats = m.stats();
+        let c = stats.command(cmd);
+        assert_eq!(c.fetch_decode, 5);
+        assert_eq!(c.execute, 3);
+    }
+
+    #[test]
+    fn mem_model_counts_accesses_and_instructions() {
+        let mut m = Machine::new(NullSink);
+        m.set_phase(Phase::Execute);
+        m.mem_model(|m| {
+            m.alu_n(4);
+            m.mem_model(|m| m.alu()); // nested: still one access
+        });
+        assert_eq!(m.stats().mem_model_accesses, 1);
+        assert_eq!(m.stats().mem_model_instructions, 5);
+    }
+
+    #[test]
+    fn branch_fwd_taken_skips_text() {
+        let mut m = Machine::new(VecSink::default());
+        let r = m.routine_decl("br", 4096);
+        m.routine(r, |m| {
+            m.branch_fwd(true);
+            m.alu();
+        });
+        let (_, sink) = m.into_parts();
+        let InsnKind::Branch { target, taken } = sink.trace[1].kind else {
+            panic!("expected branch");
+        };
+        assert!(taken);
+        assert_eq!(sink.trace[2].pc, target);
+    }
+}

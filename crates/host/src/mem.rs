@@ -1,0 +1,212 @@
+//! Sparse 32-bit simulated memory.
+//!
+//! All interpreter runtime state — strings, symbol tables, op-trees, guest
+//! address spaces — lives in one of these. The accessors here are *raw*
+//! (uncharged): [`crate::Machine`] wraps them in charged `lw`/`sw`/`lb`/`sb`
+//! primitives that emit trace events. Raw access is for loaders, test
+//! assertions, and Rust-side peeking that does not correspond to a native
+//! instruction.
+
+/// Log2 of the internal allocation granule (16 KiB). Unrelated to the
+/// architectural 8 KiB page size used by the TLB models.
+const GRANULE_BITS: u32 = 14;
+const GRANULE: usize = 1 << GRANULE_BITS;
+const NUM_GRANULES: usize = 1 << (32 - GRANULE_BITS);
+
+/// A sparse, lazily-populated 4 GiB byte-addressable memory.
+///
+/// Unmapped granules read as zero and are materialized on first write.
+pub struct Memory {
+    granules: Vec<Option<Box<[u8; GRANULE]>>>,
+    /// Bytes actually materialized (for resource reporting).
+    resident: usize,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("resident_bytes", &self.resident)
+            .finish()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Memory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        let mut granules = Vec::new();
+        granules.resize_with(NUM_GRANULES, || None);
+        Memory {
+            granules,
+            resident: 0,
+        }
+    }
+
+    /// Bytes of simulated memory materialized so far.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    #[inline]
+    fn granule(&self, addr: u32) -> Option<&[u8; GRANULE]> {
+        self.granules[(addr >> GRANULE_BITS) as usize].as_deref()
+    }
+
+    #[inline]
+    fn granule_mut(&mut self, addr: u32) -> &mut [u8; GRANULE] {
+        let idx = (addr >> GRANULE_BITS) as usize;
+        if self.granules[idx].is_none() {
+            self.granules[idx] = Some(Box::new([0u8; GRANULE]));
+            self.resident += GRANULE;
+        }
+        self.granules[idx].as_deref_mut().unwrap()
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.granule(addr) {
+            Some(g) => g[(addr as usize) & (GRANULE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, val: u8) {
+        let g = self.granule_mut(addr);
+        g[(addr as usize) & (GRANULE - 1)] = val;
+    }
+
+    /// Read a little-endian 32-bit word. `addr` need not be aligned (the
+    /// simulated ISA only issues aligned accesses; helpers may not).
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let off = (addr as usize) & (GRANULE - 1);
+        if off + 4 <= GRANULE {
+            match self.granule(addr) {
+                Some(g) => u32::from_le_bytes(g[off..off + 4].try_into().unwrap()),
+                None => 0,
+            }
+        } else {
+            let mut bytes = [0u8; 4];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32));
+            }
+            u32::from_le_bytes(bytes)
+        }
+    }
+
+    /// Write a little-endian 32-bit word.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, val: u32) {
+        let off = (addr as usize) & (GRANULE - 1);
+        let bytes = val.to_le_bytes();
+        if off + 4 <= GRANULE {
+            let g = self.granule_mut(addr);
+            g[off..off + 4].copy_from_slice(&bytes);
+        } else {
+            for (i, b) in bytes.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+
+    /// Read a 16-bit little-endian halfword.
+    #[inline]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Write a 16-bit little-endian halfword.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u32, val: u16) {
+        let bytes = val.to_le_bytes();
+        self.write_u8(addr, bytes[0]);
+        self.write_u8(addr.wrapping_add(1), bytes[1]);
+    }
+
+    /// Copy `data` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u32(0xdead_beec), 0);
+        assert_eq!(mem.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_u8(5, 0xab);
+        assert_eq!(mem.read_u8(5), 0xab);
+        assert_eq!(mem.read_u8(6), 0);
+        assert!(mem.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn word_roundtrip_little_endian() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x100, 0x1234_5678);
+        assert_eq!(mem.read_u32(0x100), 0x1234_5678);
+        assert_eq!(mem.read_u8(0x100), 0x78);
+        assert_eq!(mem.read_u8(0x103), 0x12);
+    }
+
+    #[test]
+    fn word_straddling_granule_boundary() {
+        let mut mem = Memory::new();
+        let addr = (1u32 << GRANULE_BITS) - 2;
+        mem.write_u32(addr, 0xcafe_babe);
+        assert_eq!(mem.read_u32(addr), 0xcafe_babe);
+    }
+
+    #[test]
+    fn halfword_roundtrip() {
+        let mut mem = Memory::new();
+        mem.write_u16(0x42, 0xbeef);
+        assert_eq!(mem.read_u16(0x42), 0xbeef);
+    }
+
+    #[test]
+    fn bulk_copy_roundtrip() {
+        let mut mem = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        mem.write_bytes(0x7fff_ff80, &data);
+        assert_eq!(mem.read_bytes(0x7fff_ff80, 256), data);
+    }
+
+    #[test]
+    fn distant_addresses_independent() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x0000_0010, 1);
+        mem.write_u32(0x8000_0010, 2);
+        mem.write_u32(0xfff0_0010, 3);
+        assert_eq!(mem.read_u32(0x0000_0010), 1);
+        assert_eq!(mem.read_u32(0x8000_0010), 2);
+        assert_eq!(mem.read_u32(0xfff0_0010), 3);
+    }
+}

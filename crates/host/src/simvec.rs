@@ -1,0 +1,172 @@
+//! Growable word vectors in simulated memory.
+//!
+//! Layout: `[len][cap][data_ptr]`, with the data array allocated from the
+//! simulated heap. Used for Perlite arrays, Tclite lists, and Javelin's
+//! constant pools.
+
+use interp_core::TraceSink;
+
+use crate::machine::Machine;
+
+/// Handle to a simulated vector (address of its header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimVec(pub u32);
+
+const V_LEN: u32 = 0;
+const V_CAP: u32 = 4;
+const V_DATA: u32 = 8;
+
+impl<S: TraceSink> Machine<S> {
+    /// Create a vector with capacity for `cap` words.
+    pub fn vec_new(&mut self, cap: u32) -> SimVec {
+        let cap = cap.max(4);
+        let header = self.malloc(12);
+        let data = self.malloc(cap * 4);
+        self.sw(header + V_LEN, 0);
+        self.sw(header + V_CAP, cap);
+        self.sw(header + V_DATA, data);
+        SimVec(header)
+    }
+
+    /// Charged length read.
+    pub fn vec_len(&mut self, v: SimVec) -> u32 {
+        self.lw(v.0 + V_LEN)
+    }
+
+    /// Charged indexed read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds (an interpreter bug, not a program
+    /// error — interpreters bounds-check at their own level first).
+    pub fn vec_get(&mut self, v: SimVec, i: u32) -> u32 {
+        let len = self.lw(v.0 + V_LEN);
+        assert!(i < len, "vec_get out of bounds: {i} >= {len}");
+        let data = self.lw(v.0 + V_DATA);
+        self.alu(); // index scale
+        self.lw(data + i * 4)
+    }
+
+    /// Charged indexed write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn vec_set(&mut self, v: SimVec, i: u32, val: u32) {
+        let len = self.lw(v.0 + V_LEN);
+        assert!(i < len, "vec_set out of bounds: {i} >= {len}");
+        let data = self.lw(v.0 + V_DATA);
+        self.alu();
+        self.sw(data + i * 4, val);
+    }
+
+    /// Charged append; doubles the backing array when full (with a charged
+    /// copy, as `realloc` would).
+    pub fn vec_push(&mut self, v: SimVec, val: u32) {
+        let len = self.lw(v.0 + V_LEN);
+        let cap = self.lw(v.0 + V_CAP);
+        self.alu();
+        let mut data = self.lw(v.0 + V_DATA);
+        if len == cap {
+            let new_cap = cap * 2;
+            let new_data = self.malloc(new_cap * 4);
+            self.copy_words(data, new_data, len * 4);
+            self.mfree(data);
+            self.sw(v.0 + V_CAP, new_cap);
+            self.sw(v.0 + V_DATA, new_data);
+            data = new_data;
+        }
+        self.sw(data + len * 4, val);
+        self.sw(v.0 + V_LEN, len + 1);
+    }
+
+    /// Charged removal of the last element.
+    pub fn vec_pop(&mut self, v: SimVec) -> Option<u32> {
+        let len = self.lw(v.0 + V_LEN);
+        self.alu();
+        if len == 0 {
+            return None;
+        }
+        let data = self.lw(v.0 + V_DATA);
+        let val = self.lw(data + (len - 1) * 4);
+        self.sw(v.0 + V_LEN, len - 1);
+        Some(val)
+    }
+
+    /// Truncate to `new_len` (charged header update only).
+    pub fn vec_truncate(&mut self, v: SimVec, new_len: u32) {
+        let len = self.lw(v.0 + V_LEN);
+        self.alu();
+        if new_len < len {
+            self.sw(v.0 + V_LEN, new_len);
+        }
+    }
+
+    /// Uncharged snapshot for tests.
+    pub fn vec_peek(&self, v: SimVec) -> Vec<u32> {
+        let len = self.mem.read_u32(v.0 + V_LEN);
+        let data = self.mem.read_u32(v.0 + V_DATA);
+        (0..len).map(|i| self.mem.read_u32(data + i * 4)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+
+    #[test]
+    fn push_get_set_pop() {
+        let mut m = Machine::new(NullSink);
+        let v = m.vec_new(2);
+        for i in 0..10 {
+            m.vec_push(v, i * i);
+        }
+        assert_eq!(m.vec_len(v), 10);
+        assert_eq!(m.vec_get(v, 3), 9);
+        m.vec_set(v, 3, 99);
+        assert_eq!(m.vec_get(v, 3), 99);
+        assert_eq!(m.vec_pop(v), Some(81));
+        assert_eq!(m.vec_len(v), 9);
+    }
+
+    #[test]
+    fn growth_preserves_contents() {
+        let mut m = Machine::new(NullSink);
+        let v = m.vec_new(4);
+        let expected: Vec<u32> = (0..100).map(|i| i * 3 + 1).collect();
+        for &x in &expected {
+            m.vec_push(v, x);
+        }
+        assert_eq!(m.vec_peek(v), expected);
+    }
+
+    #[test]
+    fn pop_empty_returns_none() {
+        let mut m = Machine::new(NullSink);
+        let v = m.vec_new(4);
+        assert_eq!(m.vec_pop(v), None);
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let mut m = Machine::new(NullSink);
+        let v = m.vec_new(4);
+        for i in 0..8 {
+            m.vec_push(v, i);
+        }
+        m.vec_truncate(v, 3);
+        assert_eq!(m.vec_peek(v), vec![0, 1, 2]);
+        m.vec_truncate(v, 100); // no-op
+        assert_eq!(m.vec_len(v), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let mut m = Machine::new(NullSink);
+        let v = m.vec_new(4);
+        m.vec_push(v, 1);
+        m.vec_get(v, 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! Length-prefixed strings in simulated memory, with charged operations.
+//!
+//! Layout: `[len: u32][bytes ...]`. All operations run inside the shared
+//! `sys_string` text region (the libc analog) and charge per-byte or
+//! per-word work exactly as a C string runtime would: byte loads cost two
+//! instructions on a pre-BWX Alpha, word-at-a-time copies cost a load and a
+//! store per four bytes.
+
+use interp_core::TraceSink;
+
+use crate::machine::Machine;
+
+/// Handle to a simulated string (address of its length header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimStr(pub u32);
+
+impl SimStr {
+    /// Address of the first content byte.
+    pub fn data(self) -> u32 {
+        self.0 + 4
+    }
+}
+
+impl<S: TraceSink> Machine<S> {
+    /// Allocate a simulated string initialized from Rust-side bytes
+    /// (program loading, literal materialization). Charges the allocation
+    /// and one store per word of content.
+    pub fn str_alloc(&mut self, bytes: &[u8]) -> SimStr {
+        let addr = self.malloc(4 + bytes.len() as u32);
+        let string_routine = self.sys().string;
+        self.routine(string_routine, |m| {
+            m.sw(addr, bytes.len() as u32);
+            let mut i = 0usize;
+            while i < bytes.len() {
+                let mut word = [0u8; 4];
+                let n = (bytes.len() - i).min(4);
+                word[..n].copy_from_slice(&bytes[i..i + n]);
+                m.sw(addr + 4 + i as u32, u32::from_le_bytes(word));
+                i += 4;
+            }
+            m.alu();
+        });
+        SimStr(addr)
+    }
+
+    /// Charged length read.
+    pub fn str_len(&mut self, s: SimStr) -> u32 {
+        self.lw(s.0)
+    }
+
+    /// Charged single-byte read (`s[i]`).
+    pub fn str_byte(&mut self, s: SimStr, i: u32) -> u8 {
+        self.alu(); // index arithmetic
+        self.lb(s.data() + i)
+    }
+
+    /// Uncharged peek at the whole contents, for Rust-side dispatch
+    /// decisions. Never use this in place of charged scanning.
+    pub fn peek_str(&self, s: SimStr) -> Vec<u8> {
+        let len = self.mem.read_u32(s.0) as usize;
+        self.mem.read_bytes(s.data(), len)
+    }
+
+    /// Uncharged peek as UTF-8 (lossy).
+    pub fn peek_string(&self, s: SimStr) -> String {
+        String::from_utf8_lossy(&self.peek_str(s)).into_owned()
+    }
+
+    /// Charged equality: length compare, then word-at-a-time content
+    /// compare with early exit.
+    pub fn str_eq(&mut self, a: SimStr, b: SimStr) -> bool {
+        let string_routine = self.sys().string;
+        self.routine(string_routine, |m| {
+            let la = m.lw(a.0);
+            let lb = m.lw(b.0);
+            m.alu();
+            if la != lb {
+                m.branch_fwd(true);
+                return false;
+            }
+            m.branch_fwd(false);
+            let head = m.here();
+            let mut i = 0u32;
+            let mut equal = true;
+            while i < la {
+                let wa = m.lw(a.data() + i);
+                let wb = m.lw(b.data() + i);
+                m.alu();
+                // Mask the tail word so trailing garbage can't differ.
+                let valid = (la - i).min(4);
+                let mask = if valid == 4 {
+                    u32::MAX
+                } else {
+                    (1u32 << (valid * 8)) - 1
+                };
+                if (wa & mask) != (wb & mask) {
+                    equal = false;
+                    m.loop_back(head, false);
+                    break;
+                }
+                i += 4;
+                m.loop_back(head, i < la);
+            }
+            equal
+        })
+    }
+
+    /// Charged lexicographic compare (byte-wise, like `strcmp`).
+    pub fn str_cmp(&mut self, a: SimStr, b: SimStr) -> std::cmp::Ordering {
+        let string_routine = self.sys().string;
+        self.routine(string_routine, |m| {
+            let la = m.lw(a.0);
+            let lb = m.lw(b.0);
+            m.alu();
+            let n = la.min(lb);
+            let head = m.here();
+            let mut i = 0u32;
+            while i < n {
+                let ba = m.lb(a.data() + i);
+                let bb = m.lb(b.data() + i);
+                m.alu();
+                if ba != bb {
+                    m.loop_back(head, false);
+                    return ba.cmp(&bb);
+                }
+                i += 1;
+                m.loop_back(head, i < n);
+            }
+            la.cmp(&lb)
+        })
+    }
+
+    /// Charged concatenation into a fresh string.
+    pub fn str_concat(&mut self, a: SimStr, b: SimStr) -> SimStr {
+        let la = self.lw(a.0);
+        let lb = self.lw(b.0);
+        self.alu();
+        let out = self.malloc(4 + la + lb);
+        let string_routine = self.sys().string;
+        self.routine(string_routine, |m| {
+            m.sw(out, la + lb);
+            m.copy_words(a.data(), out + 4, la);
+            // Destination may be unaligned relative to source: byte copy tail.
+            m.copy_bytes(b.data(), out + 4 + la, lb);
+            m.alu();
+        });
+        SimStr(out)
+    }
+
+    /// Charged copy of `s` into a fresh string.
+    pub fn str_copy(&mut self, s: SimStr) -> SimStr {
+        let len = self.lw(s.0);
+        let out = self.malloc(4 + len);
+        let string_routine = self.sys().string;
+        self.routine(string_routine, |m| {
+            m.sw(out, len);
+            m.copy_words(s.data(), out + 4, len);
+        });
+        SimStr(out)
+    }
+
+    /// Charged substring extraction `s[start .. start+len]` (clamped).
+    pub fn str_substr(&mut self, s: SimStr, start: u32, len: u32) -> SimStr {
+        let total = self.lw(s.0);
+        self.alu_n(2);
+        let start = start.min(total);
+        let len = len.min(total - start);
+        let out = self.malloc(4 + len);
+        let string_routine = self.sys().string;
+        self.routine(string_routine, |m| {
+            m.sw(out, len);
+            m.copy_bytes(s.data() + start, out + 4, len);
+        });
+        SimStr(out)
+    }
+
+    /// Charged word-granularity copy (aligned `memcpy` fast path).
+    pub fn copy_words(&mut self, src: u32, dst: u32, len: u32) {
+        let head = self.here();
+        let mut i = 0u32;
+        while i < len {
+            let w = self.lw(src + i);
+            self.sw(dst + i, w);
+            i += 4;
+            self.loop_back(head, i < len);
+        }
+    }
+
+    /// Charged byte-granularity copy (unaligned `memcpy` path; two
+    /// instructions per byte each way on a pre-BWX Alpha).
+    pub fn copy_bytes(&mut self, src: u32, dst: u32, len: u32) {
+        let head = self.here();
+        let mut i = 0u32;
+        while i < len {
+            let b = self.lb(src + i);
+            self.sb(dst + i, b);
+            i += 1;
+            self.loop_back(head, i < len);
+        }
+    }
+
+    /// Charged hash (the classic `h = 9h + c` per character, as in Tcl).
+    pub fn str_hash(&mut self, s: SimStr) -> u32 {
+        let hash_routine = self.sys().hash;
+        self.routine(hash_routine, |m| {
+            let len = m.lw(s.0);
+            let mut h: u32 = 0;
+            let head = m.here();
+            let mut i = 0u32;
+            while i < len {
+                let c = m.lb(s.data() + i);
+                m.alu(); // h = 9h + c (shift-add)
+                h = h.wrapping_mul(9).wrapping_add(u32::from(c));
+                i += 1;
+                m.loop_back(head, i < len);
+            }
+            h
+        })
+    }
+
+    /// Charged decimal parse. Returns `None` (after scanning) if the string
+    /// is not an optionally-signed decimal integer.
+    pub fn str_to_int(&mut self, s: SimStr) -> Option<i64> {
+        let string_routine = self.sys().string;
+        self.routine(string_routine, |m| {
+            let len = m.lw(s.0);
+            m.alu();
+            if len == 0 {
+                m.branch_fwd(true);
+                return None;
+            }
+            m.branch_fwd(false);
+            let mut i = 0u32;
+            let mut neg = false;
+            let first = m.lb(s.data());
+            m.alu();
+            if first == b'-' {
+                neg = true;
+                i = 1;
+            } else if first == b'+' {
+                i = 1;
+            }
+            if i >= len {
+                return None;
+            }
+            let mut value: i64 = 0;
+            let mut ok = true;
+            let head = m.here();
+            while i < len {
+                let c = m.lb(s.data() + i);
+                m.alu_n(2); // range check + accumulate (shift-add)
+                if !c.is_ascii_digit() {
+                    ok = false;
+                    m.loop_back(head, false);
+                    break;
+                }
+                value = value * 10 + i64::from(c - b'0');
+                i += 1;
+                m.loop_back(head, i < len);
+            }
+            if ok {
+                Some(if neg { -value } else { value })
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Charged decimal formatting into a fresh string.
+    pub fn str_from_int(&mut self, v: i64) -> SimStr {
+        let text = v.to_string();
+        let string_routine = self.sys().string;
+        // Division loop: one divide + one store per digit.
+        self.routine(string_routine, |m| {
+            for _ in 0..text.len() {
+                m.mul();
+                m.alu();
+            }
+        });
+        self.str_alloc(text.as_bytes())
+    }
+
+    /// Charged scan for byte `needle` starting at `from`; returns its index.
+    pub fn str_find(&mut self, s: SimStr, needle: u8, from: u32) -> Option<u32> {
+        let string_routine = self.sys().string;
+        self.routine(string_routine, |m| {
+            let len = m.lw(s.0);
+            let head = m.here();
+            let mut i = from;
+            while i < len {
+                let c = m.lb(s.data() + i);
+                m.alu();
+                if c == needle {
+                    m.loop_back(head, false);
+                    return Some(i);
+                }
+                i += 1;
+                m.loop_back(head, i < len);
+            }
+            None
+        })
+    }
+
+    /// Free a simulated string.
+    pub fn str_free(&mut self, s: SimStr) {
+        self.mfree(s.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+
+    fn machine() -> Machine<interp_core::NullSink> {
+        Machine::new(NullSink)
+    }
+
+    #[test]
+    fn alloc_and_peek_roundtrip() {
+        let mut m = machine();
+        let s = m.str_alloc(b"hello world");
+        assert_eq!(m.peek_str(s), b"hello world");
+        assert_eq!(m.str_len(s), 11);
+    }
+
+    #[test]
+    fn byte_indexing() {
+        let mut m = machine();
+        let s = m.str_alloc(b"abc");
+        assert_eq!(m.str_byte(s, 0), b'a');
+        assert_eq!(m.str_byte(s, 2), b'c');
+    }
+
+    #[test]
+    fn equality_and_compare() {
+        let mut m = machine();
+        let a = m.str_alloc(b"interp");
+        let b = m.str_alloc(b"interp");
+        let c = m.str_alloc(b"interq");
+        let d = m.str_alloc(b"inter");
+        assert!(m.str_eq(a, b));
+        assert!(!m.str_eq(a, c));
+        assert!(!m.str_eq(a, d));
+        assert_eq!(m.str_cmp(a, c), std::cmp::Ordering::Less);
+        assert_eq!(m.str_cmp(a, d), std::cmp::Ordering::Greater);
+        assert_eq!(m.str_cmp(a, b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_allocation_garbage() {
+        let mut m = machine();
+        // Lengths not multiples of 4 exercise the tail-mask path.
+        let a = m.str_alloc(b"abcde");
+        let b = m.str_alloc(b"abcde");
+        // Scribble beyond b's content within its padding.
+        m.mem_mut().write_u8(b.data() + 5, 0x7f);
+        assert!(m.str_eq(a, b));
+    }
+
+    #[test]
+    fn concat_and_substr() {
+        let mut m = machine();
+        let a = m.str_alloc(b"foo");
+        let b = m.str_alloc(b"barbaz");
+        let ab = m.str_concat(a, b);
+        assert_eq!(m.peek_str(ab), b"foobarbaz");
+        let mid = m.str_substr(ab, 3, 3);
+        assert_eq!(m.peek_str(mid), b"bar");
+        let clamped = m.str_substr(ab, 7, 100);
+        assert_eq!(m.peek_str(clamped), b"az");
+    }
+
+    #[test]
+    fn parse_and_format_integers() {
+        let mut m = machine();
+        for v in [0i64, 7, -42, 123456789, -1] {
+            let s = m.str_from_int(v);
+            assert_eq!(m.peek_string(s), v.to_string());
+            assert_eq!(m.str_to_int(s), Some(v));
+        }
+        let junk = m.str_alloc(b"12x4");
+        assert_eq!(m.str_to_int(junk), None);
+        let empty = m.str_alloc(b"");
+        assert_eq!(m.str_to_int(empty), None);
+        let plus = m.str_alloc(b"+19");
+        assert_eq!(m.str_to_int(plus), Some(19));
+        let bare_sign = m.str_alloc(b"-");
+        assert_eq!(m.str_to_int(bare_sign), None);
+    }
+
+    #[test]
+    fn find_scans_forward() {
+        let mut m = machine();
+        let s = m.str_alloc(b"a,b,c");
+        assert_eq!(m.str_find(s, b',', 0), Some(1));
+        assert_eq!(m.str_find(s, b',', 2), Some(3));
+        assert_eq!(m.str_find(s, b'z', 0), None);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let mut m = machine();
+        let a = m.str_alloc(b"alpha");
+        let b = m.str_alloc(b"alpha");
+        let c = m.str_alloc(b"beta");
+        assert_eq!(m.str_hash(a), m.str_hash(b));
+        assert_ne!(m.str_hash(a), m.str_hash(c));
+    }
+
+    #[test]
+    fn costs_scale_with_length() {
+        let mut m = machine();
+        let short = m.str_alloc(b"ab");
+        let long = m.str_alloc(&[b'x'; 256]);
+        let before_short = m.stats().instructions;
+        m.str_hash(short);
+        let short_cost = m.stats().instructions - before_short;
+        let before_long = m.stats().instructions;
+        m.str_hash(long);
+        let long_cost = m.stats().instructions - before_long;
+        assert!(long_cost > short_cost * 10);
+    }
+}

@@ -1,0 +1,345 @@
+//! Chained hash tables in simulated memory.
+//!
+//! These are the symbol tables of Tclite, the associative arrays of
+//! Perlite, and the class/method tables of Javelin. Layout:
+//!
+//! ```text
+//! header:  [nbuckets][count][buckets_ptr]
+//! buckets: nbuckets entry pointers (0 = empty)
+//! entry:   [hash][key_ptr][value][next]
+//! ```
+//!
+//! Lookup cost is *emergent*: hashing charges per key byte, probing charges
+//! per chain entry, and a full string compare is charged on each hash match
+//! — so bigger tables and longer chains genuinely cost more, which is the
+//! mechanism behind the paper's 206-vs-514-instruction Tcl symbol-table
+//! range (§3.3).
+
+use interp_core::TraceSink;
+
+use crate::machine::Machine;
+use crate::strings::SimStr;
+
+/// Handle to a simulated hash table (address of its header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimHash(pub u32);
+
+const H_NBUCKETS: u32 = 0;
+const H_COUNT: u32 = 4;
+const H_BUCKETS: u32 = 8;
+
+const E_HASH: u32 = 0;
+const E_KEY: u32 = 4;
+const E_VALUE: u32 = 8;
+const E_NEXT: u32 = 12;
+const ENTRY_SIZE: u32 = 16;
+
+/// Maximum average chain length before the table doubles.
+const MAX_LOAD: u32 = 3;
+
+impl<S: TraceSink> Machine<S> {
+    /// Create a table with `nbuckets` initial buckets (rounded up to a
+    /// power of two, minimum 4).
+    pub fn hash_new(&mut self, nbuckets: u32) -> SimHash {
+        let nbuckets = nbuckets.max(4).next_power_of_two();
+        let header = self.malloc(12);
+        let buckets = self.malloc(nbuckets * 4);
+        let hash_routine = self.sys().hash;
+        self.routine(hash_routine, |m| {
+            m.sw(header + H_NBUCKETS, nbuckets);
+            m.sw(header + H_COUNT, 0);
+            m.sw(header + H_BUCKETS, buckets);
+            // Zero the bucket array.
+            let head = m.here();
+            let mut i = 0;
+            while i < nbuckets {
+                m.sw(buckets + i * 4, 0);
+                i += 1;
+                m.loop_back(head, i < nbuckets);
+            }
+        });
+        SimHash(header)
+    }
+
+    /// Number of entries (charged header read).
+    pub fn hash_count(&mut self, t: SimHash) -> u32 {
+        self.lw(t.0 + H_COUNT)
+    }
+
+    /// Find the entry whose key equals `key`; returns the entry address.
+    fn hash_find_entry(&mut self, t: SimHash, key: SimStr) -> Option<u32> {
+        let h = self.str_hash(key);
+        let hash_routine = self.sys().hash;
+        self.routine(hash_routine, |m| {
+            let nbuckets = m.lw(t.0 + H_NBUCKETS);
+            let buckets = m.lw(t.0 + H_BUCKETS);
+            m.alu_n(2); // mask the hash into a bucket index
+            let bucket = buckets + (h & (nbuckets - 1)) * 4;
+            let mut entry = m.lw(bucket);
+            let head = m.here();
+            loop {
+                m.alu();
+                if entry == 0 {
+                    m.loop_back(head, false);
+                    return None;
+                }
+                let eh = m.lw(entry + E_HASH);
+                m.alu();
+                if eh == h {
+                    let key_ptr = m.lw(entry + E_KEY);
+                    if m.str_eq(SimStr(key_ptr), key) {
+                        m.loop_back(head, false);
+                        return Some(entry);
+                    }
+                }
+                entry = m.lw(entry + E_NEXT);
+                m.loop_back(head, true);
+            }
+        })
+    }
+
+    /// Look up `key`, returning its value word.
+    pub fn hash_lookup(&mut self, t: SimHash, key: SimStr) -> Option<u32> {
+        match self.hash_find_entry(t, key) {
+            Some(entry) => Some(self.lw(entry + E_VALUE)),
+            None => None,
+        }
+    }
+
+    /// Insert or update `key -> value`. The key string is referenced, not
+    /// copied; callers that reuse key buffers must copy first. Returns the
+    /// previous value if the key existed.
+    pub fn hash_insert(&mut self, t: SimHash, key: SimStr, value: u32) -> Option<u32> {
+        if let Some(entry) = self.hash_find_entry(t, key) {
+            let old = self.lw(entry + E_VALUE);
+            self.sw(entry + E_VALUE, value);
+            return Some(old);
+        }
+        let h = self.str_hash(key);
+        let entry = self.malloc(ENTRY_SIZE);
+        let hash_routine = self.sys().hash;
+        self.routine(hash_routine, |m| {
+            let nbuckets = m.lw(t.0 + H_NBUCKETS);
+            let buckets = m.lw(t.0 + H_BUCKETS);
+            m.alu_n(2);
+            let bucket = buckets + (h & (nbuckets - 1)) * 4;
+            let first = m.lw(bucket);
+            m.sw(entry + E_HASH, h);
+            m.sw(entry + E_KEY, key.0);
+            m.sw(entry + E_VALUE, value);
+            m.sw(entry + E_NEXT, first);
+            m.sw(bucket, entry);
+            let count = m.lw(t.0 + H_COUNT);
+            m.sw(t.0 + H_COUNT, count + 1);
+            m.alu();
+        });
+        let count = self.mem.read_u32(t.0 + H_COUNT);
+        let nbuckets = self.mem.read_u32(t.0 + H_NBUCKETS);
+        if count > nbuckets * MAX_LOAD {
+            self.hash_grow(t);
+        }
+        None
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn hash_remove(&mut self, t: SimHash, key: SimStr) -> Option<u32> {
+        let h = self.str_hash(key);
+        let hash_routine = self.sys().hash;
+        self.routine(hash_routine, |m| {
+            let nbuckets = m.lw(t.0 + H_NBUCKETS);
+            let buckets = m.lw(t.0 + H_BUCKETS);
+            m.alu_n(2);
+            let bucket = buckets + (h & (nbuckets - 1)) * 4;
+            let mut prev: Option<u32> = None;
+            let mut entry = m.lw(bucket);
+            let head = m.here();
+            loop {
+                m.alu();
+                if entry == 0 {
+                    m.loop_back(head, false);
+                    return None;
+                }
+                let eh = m.lw(entry + E_HASH);
+                let key_ptr = m.lw(entry + E_KEY);
+                let matches = eh == h && m.str_eq(SimStr(key_ptr), key);
+                if matches {
+                    let value = m.lw(entry + E_VALUE);
+                    let next = m.lw(entry + E_NEXT);
+                    match prev {
+                        Some(p) => m.sw(p + E_NEXT, next),
+                        None => m.sw(bucket, next),
+                    }
+                    let count = m.lw(t.0 + H_COUNT);
+                    m.sw(t.0 + H_COUNT, count - 1);
+                    m.loop_back(head, false);
+                    return Some(value);
+                }
+                prev = Some(entry);
+                entry = m.lw(entry + E_NEXT);
+                m.loop_back(head, true);
+            }
+        })
+    }
+
+    /// Double the bucket array and redistribute every entry (charged).
+    fn hash_grow(&mut self, t: SimHash) {
+        let old_n = self.mem.read_u32(t.0 + H_NBUCKETS);
+        let old_buckets = self.mem.read_u32(t.0 + H_BUCKETS);
+        let new_n = old_n * 2;
+        let new_buckets = self.malloc(new_n * 4);
+        let hash_routine = self.sys().hash;
+        self.routine(hash_routine, |m| {
+            let head = m.here();
+            let mut i = 0;
+            while i < new_n {
+                m.sw(new_buckets + i * 4, 0);
+                i += 1;
+                m.loop_back(head, i < new_n);
+            }
+            let rehash = m.here();
+            let mut b = 0;
+            while b < old_n {
+                let mut entry = m.lw(old_buckets + b * 4);
+                while entry != 0 {
+                    let h = m.lw(entry + E_HASH);
+                    let next = m.lw(entry + E_NEXT);
+                    m.alu_n(2);
+                    let slot = new_buckets + (h & (new_n - 1)) * 4;
+                    let first = m.lw(slot);
+                    m.sw(entry + E_NEXT, first);
+                    m.sw(slot, entry);
+                    entry = next;
+                }
+                b += 1;
+                m.loop_back(rehash, b < old_n);
+            }
+            m.sw(t.0 + H_NBUCKETS, new_n);
+            m.sw(t.0 + H_BUCKETS, new_buckets);
+        });
+        // The old bucket array is dead.
+        self.mfree(old_buckets);
+    }
+
+    /// Uncharged iteration for tests and Rust-side bookkeeping: returns
+    /// `(key bytes, value)` pairs in unspecified order.
+    pub fn hash_entries_uncharged(&self, t: SimHash) -> Vec<(Vec<u8>, u32)> {
+        let nbuckets = self.mem.read_u32(t.0 + H_NBUCKETS);
+        let buckets = self.mem.read_u32(t.0 + H_BUCKETS);
+        let mut out = Vec::new();
+        for b in 0..nbuckets {
+            let mut entry = self.mem.read_u32(buckets + b * 4);
+            while entry != 0 {
+                let key_ptr = self.mem.read_u32(entry + E_KEY);
+                let len = self.mem.read_u32(key_ptr) as usize;
+                let key = self.mem.read_bytes(key_ptr + 4, len);
+                let value = self.mem.read_u32(entry + E_VALUE);
+                out.push((key, value));
+                entry = self.mem.read_u32(entry + E_NEXT);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+
+    fn machine() -> Machine<NullSink> {
+        Machine::new(NullSink)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut m = machine();
+        let t = m.hash_new(8);
+        let k1 = m.str_alloc(b"alpha");
+        let k2 = m.str_alloc(b"beta");
+        assert_eq!(m.hash_insert(t, k1, 11), None);
+        assert_eq!(m.hash_insert(t, k2, 22), None);
+        assert_eq!(m.hash_lookup(t, k1), Some(11));
+        assert_eq!(m.hash_lookup(t, k2), Some(22));
+        let missing = m.str_alloc(b"gamma");
+        assert_eq!(m.hash_lookup(t, missing), None);
+        assert_eq!(m.hash_count(t), 2);
+    }
+
+    #[test]
+    fn update_returns_previous() {
+        let mut m = machine();
+        let t = m.hash_new(4);
+        let k = m.str_alloc(b"x");
+        assert_eq!(m.hash_insert(t, k, 1), None);
+        assert_eq!(m.hash_insert(t, k, 2), Some(1));
+        assert_eq!(m.hash_lookup(t, k), Some(2));
+        assert_eq!(m.hash_count(t), 1);
+    }
+
+    #[test]
+    fn remove_unlinks() {
+        let mut m = machine();
+        let t = m.hash_new(4);
+        let keys: Vec<_> = (0..10)
+            .map(|i| m.str_alloc(format!("key{i}").as_bytes()))
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            m.hash_insert(t, k, i as u32);
+        }
+        assert_eq!(m.hash_remove(t, keys[3]), Some(3));
+        assert_eq!(m.hash_remove(t, keys[3]), None);
+        assert_eq!(m.hash_lookup(t, keys[3]), None);
+        for (i, &k) in keys.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(m.hash_lookup(t, k), Some(i as u32), "key{i}");
+            }
+        }
+        assert_eq!(m.hash_count(t), 9);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut m = machine();
+        let t = m.hash_new(4);
+        let keys: Vec<_> = (0..100)
+            .map(|i| m.str_alloc(format!("var_{i}").as_bytes()))
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            m.hash_insert(t, k, i as u32 * 7);
+        }
+        // Growth must have happened (load factor capped at 3).
+        assert!(m.mem().read_u32(t.0) > 4);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.hash_lookup(t, k), Some(i as u32 * 7));
+        }
+        let entries = m.hash_entries_uncharged(t);
+        assert_eq!(entries.len(), 100);
+    }
+
+    #[test]
+    fn lookup_cost_grows_with_table_size() {
+        // The §3.3 Tcl effect: symbol lookups in a big table (long chains
+        // before growth, bigger key sets) cost more than in a small one.
+        let mut m = machine();
+        let small = m.hash_new(256);
+        let big = m.hash_new(256);
+        let k = m.str_alloc(b"needle");
+        m.hash_insert(small, k, 1);
+        // Fill `big` so the needle's chain has company.
+        for i in 0..600 {
+            let key = m.str_alloc(format!("filler_with_a_long_name_{i}").as_bytes());
+            m.hash_insert(big, key, i);
+        }
+        m.hash_insert(big, k, 1);
+        let before = m.stats().instructions;
+        m.hash_lookup(small, k);
+        let small_cost = m.stats().instructions - before;
+        let before = m.stats().instructions;
+        m.hash_lookup(big, k);
+        let big_cost = m.stats().instructions - before;
+        assert!(
+            big_cost >= small_cost,
+            "big {big_cost} < small {small_cost}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Loadable program images (the "binary" MIPSI interprets and the direct
+//! executor runs natively).
+
+use crate::insn::Insn;
+use crate::{GUEST_DATA_BASE, GUEST_TEXT_BASE};
+
+/// A linked, loadable program: text, initialized data, entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Load address of the text segment.
+    pub text_base: u32,
+    /// Encoded instruction words.
+    pub text: Vec<u32>,
+    /// Load address of the data segment.
+    pub data_base: u32,
+    /// Initialized data bytes.
+    pub data: Vec<u8>,
+    /// Entry-point address (within text).
+    pub entry: u32,
+    /// First address past static data — initial program break for `sbrk`.
+    pub initial_break: u32,
+}
+
+impl Image {
+    /// An image with default segment bases and entry at the start of text.
+    pub fn new(text: Vec<u32>, data: Vec<u8>) -> Self {
+        let initial_break = (GUEST_DATA_BASE + data.len() as u32).next_multiple_of(8);
+        Image {
+            text_base: GUEST_TEXT_BASE,
+            text,
+            data_base: GUEST_DATA_BASE,
+            data,
+            entry: GUEST_TEXT_BASE,
+            initial_break,
+        }
+    }
+
+    /// Size of the text segment in bytes.
+    pub fn text_bytes(&self) -> u32 {
+        (self.text.len() * 4) as u32
+    }
+
+    /// Total image size in bytes (the paper's Table 2 "Size" column).
+    pub fn size_bytes(&self) -> u32 {
+        self.text_bytes() + self.data.len() as u32
+    }
+
+    /// Decode the instruction at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the text segment or misaligned.
+    pub fn insn_at(&self, addr: u32) -> Result<Insn, crate::DecodeError> {
+        assert_eq!(addr % 4, 0, "misaligned text address {addr:#x}");
+        let idx = ((addr - self.text_base) / 4) as usize;
+        Insn::decode(self.text[idx])
+    }
+
+    /// Disassemble the whole text segment (address, word, rendering).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, &word) in self.text.iter().enumerate() {
+            let addr = self.text_base + (i as u32) * 4;
+            match Insn::decode(word) {
+                Ok(insn) => {
+                    let _ = writeln!(out, "{addr:#010x}:  {word:08x}  {insn}");
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "{addr:#010x}:  {word:08x}  .word");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn tiny_image() -> Image {
+        Image::new(
+            vec![
+                Insn::Addiu {
+                    rt: Reg::V0,
+                    rs: Reg::Zero,
+                    imm: 10,
+                }
+                .encode(),
+                Insn::Syscall.encode(),
+            ],
+            b"hello\0".to_vec(),
+        )
+    }
+
+    #[test]
+    fn geometry() {
+        let img = tiny_image();
+        assert_eq!(img.text_bytes(), 8);
+        assert_eq!(img.size_bytes(), 14);
+        assert_eq!(img.entry, GUEST_TEXT_BASE);
+        assert!(img.initial_break >= GUEST_DATA_BASE + 6);
+        assert_eq!(img.initial_break % 8, 0);
+    }
+
+    #[test]
+    fn insn_at_decodes() {
+        let img = tiny_image();
+        assert_eq!(
+            img.insn_at(GUEST_TEXT_BASE).unwrap(),
+            Insn::Addiu {
+                rt: Reg::V0,
+                rs: Reg::Zero,
+                imm: 10
+            }
+        );
+        assert_eq!(img.insn_at(GUEST_TEXT_BASE + 4).unwrap(), Insn::Syscall);
+    }
+
+    #[test]
+    fn disassembly_contains_mnemonics() {
+        let text = tiny_image().disassemble();
+        assert!(text.contains("addiu"));
+        assert!(text.contains("syscall"));
+    }
+}

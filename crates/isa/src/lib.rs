@@ -1,0 +1,40 @@
+//! A MIPS R3000 instruction-set subset.
+//!
+//! This is the target of the `interp-minic` compiler, the guest ISA of the
+//! `interp-mipsi` emulator, and the native ISA of the `interp-nativeref`
+//! direct executor — mirroring the paper, where MIPSI interprets MIPS
+//! binaries of programs that also run natively.
+//!
+//! The subset covers the integer R3000: the full three-operand ALU group,
+//! shifts, multiply/divide with HI/LO, loads/stores of bytes, halfwords and
+//! words, branches with **architectural delay slots**, jumps, and
+//! `syscall`. (No floating point, no coprocessor instructions: none of the
+//! paper's integer workloads need them.)
+//!
+//! # Example
+//!
+//! ```
+//! use interp_isa::{Insn, Reg};
+//!
+//! let insn = Insn::Addu { rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 };
+//! let word = insn.encode();
+//! assert_eq!(Insn::decode(word).unwrap(), insn);
+//! assert_eq!(insn.to_string(), "addu $v0, $a0, $a1");
+//! ```
+
+pub mod image;
+pub mod insn;
+pub mod reg;
+pub mod syscall;
+
+pub use image::Image;
+pub use insn::{DecodeError, Insn};
+pub use reg::Reg;
+pub use syscall::Syscall;
+
+/// Guest virtual address where program text is loaded.
+pub const GUEST_TEXT_BASE: u32 = 0x0040_0000;
+/// Guest virtual address where static data is loaded.
+pub const GUEST_DATA_BASE: u32 = 0x1000_0000;
+/// Initial guest stack pointer (grows down).
+pub const GUEST_STACK_TOP: u32 = 0x7fff_fff0;

@@ -1,0 +1,137 @@
+//! MIPS general-purpose registers.
+
+/// The 32 MIPS general-purpose registers, by conventional name.
+/// `$zero` is hardwired to 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Zero = 0,
+    At = 1,
+    V0 = 2,
+    V1 = 3,
+    A0 = 4,
+    A1 = 5,
+    A2 = 6,
+    A3 = 7,
+    T0 = 8,
+    T1 = 9,
+    T2 = 10,
+    T3 = 11,
+    T4 = 12,
+    T5 = 13,
+    T6 = 14,
+    T7 = 15,
+    S0 = 16,
+    S1 = 17,
+    S2 = 18,
+    S3 = 19,
+    S4 = 20,
+    S5 = 21,
+    S6 = 22,
+    S7 = 23,
+    T8 = 24,
+    T9 = 25,
+    K0 = 26,
+    K1 = 27,
+    Gp = 28,
+    Sp = 29,
+    Fp = 30,
+    Ra = 31,
+}
+
+impl Reg {
+    /// All registers in numeric order.
+    pub const ALL: [Reg; 32] = [
+        Reg::Zero,
+        Reg::At,
+        Reg::V0,
+        Reg::V1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::T8,
+        Reg::T9,
+        Reg::K0,
+        Reg::K1,
+        Reg::Gp,
+        Reg::Sp,
+        Reg::Fp,
+        Reg::Ra,
+    ];
+
+    /// Register number (0–31).
+    #[inline]
+    pub fn num(self) -> u32 {
+        self as u32
+    }
+
+    /// Register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31`.
+    #[inline]
+    pub fn from_num(n: u32) -> Reg {
+        Reg::ALL[n as usize]
+    }
+
+    /// Conventional assembly name (with `$`).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3",
+            "$t4", "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+            "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+        ];
+        NAMES[self as usize]
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_numbers() {
+        for n in 0..32 {
+            assert_eq!(Reg::from_num(n).num(), n);
+        }
+    }
+
+    #[test]
+    fn names_are_conventional() {
+        assert_eq!(Reg::Zero.name(), "$zero");
+        assert_eq!(Reg::Sp.name(), "$sp");
+        assert_eq!(Reg::Ra.to_string(), "$ra");
+        assert_eq!(Reg::T9.name(), "$t9");
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_num_out_of_range_panics() {
+        Reg::from_num(32);
+    }
+}

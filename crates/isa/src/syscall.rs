@@ -1,0 +1,88 @@
+//! The syscall ABI shared by the MIPSI emulator and the direct executor.
+//!
+//! Call number in `$v0`, arguments in `$a0..$a2`, result in `$v0` —
+//! following the classic MIPS simulator convention.
+
+/// Supported system calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Syscall {
+    /// Print `$a0` as a signed decimal integer.
+    PrintInt,
+    /// Print the NUL-terminated string at address `$a0`.
+    PrintStr,
+    /// Grow the program break by `$a0` bytes; returns the old break in `$v0`.
+    Sbrk,
+    /// Terminate with exit code `$a0`.
+    Exit,
+    /// Print the low byte of `$a0` as a character.
+    PrintChar,
+    /// Open the NUL-terminated filename at `$a0`; returns fd in `$v0`.
+    Open,
+    /// Read `$a2` bytes from fd `$a0` into `$a1`; returns count in `$v0`.
+    Read,
+    /// Write `$a2` bytes from `$a1` to fd `$a0`; returns count in `$v0`.
+    Write,
+    /// Close fd `$a0`.
+    Close,
+}
+
+impl Syscall {
+    /// Decode a `$v0` call number.
+    pub fn from_code(code: u32) -> Option<Syscall> {
+        Some(match code {
+            1 => Syscall::PrintInt,
+            4 => Syscall::PrintStr,
+            9 => Syscall::Sbrk,
+            10 => Syscall::Exit,
+            11 => Syscall::PrintChar,
+            13 => Syscall::Open,
+            14 => Syscall::Read,
+            15 => Syscall::Write,
+            16 => Syscall::Close,
+            _ => return None,
+        })
+    }
+
+    /// The `$v0` call number.
+    pub fn code(self) -> u32 {
+        match self {
+            Syscall::PrintInt => 1,
+            Syscall::PrintStr => 4,
+            Syscall::Sbrk => 9,
+            Syscall::Exit => 10,
+            Syscall::PrintChar => 11,
+            Syscall::Open => 13,
+            Syscall::Read => 14,
+            Syscall::Write => 15,
+            Syscall::Close => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for sc in [
+            Syscall::PrintInt,
+            Syscall::PrintStr,
+            Syscall::Sbrk,
+            Syscall::Exit,
+            Syscall::PrintChar,
+            Syscall::Open,
+            Syscall::Read,
+            Syscall::Write,
+            Syscall::Close,
+        ] {
+            assert_eq!(Syscall::from_code(sc.code()), Some(sc));
+        }
+    }
+
+    #[test]
+    fn unknown_codes_are_none() {
+        assert_eq!(Syscall::from_code(0), None);
+        assert_eq!(Syscall::from_code(99), None);
+    }
+}

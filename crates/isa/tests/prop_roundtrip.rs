@@ -1,0 +1,91 @@
+//! Property tests: `decode(encode(insn)) == insn` for every representable
+//! instruction, and decode never panics on arbitrary words.
+
+use interp_isa::{Insn, Reg};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u32..32).prop_map(Reg::from_num)
+}
+
+fn r3() -> impl Strategy<Value = (Reg, Reg, Reg)> {
+    (any_reg(), any_reg(), any_reg())
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    let sh = 0u8..32;
+    prop_oneof![
+        (any_reg(), any_reg(), sh.clone()).prop_map(|(rd, rt, sh)| Insn::Sll { rd, rt, sh }),
+        (any_reg(), any_reg(), sh.clone()).prop_map(|(rd, rt, sh)| Insn::Srl { rd, rt, sh }),
+        (any_reg(), any_reg(), sh).prop_map(|(rd, rt, sh)| Insn::Sra { rd, rt, sh }),
+        r3().prop_map(|(rd, rt, rs)| Insn::Sllv { rd, rt, rs }),
+        r3().prop_map(|(rd, rt, rs)| Insn::Srav { rd, rt, rs }),
+        any_reg().prop_map(|rs| Insn::Jr { rs }),
+        (any_reg(), any_reg()).prop_map(|(rd, rs)| Insn::Jalr { rd, rs }),
+        Just(Insn::Syscall),
+        any_reg().prop_map(|rd| Insn::Mfhi { rd }),
+        any_reg().prop_map(|rd| Insn::Mflo { rd }),
+        (any_reg(), any_reg()).prop_map(|(rs, rt)| Insn::Mult { rs, rt }),
+        (any_reg(), any_reg()).prop_map(|(rs, rt)| Insn::Div { rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Insn::Addu { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Insn::Subu { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Insn::And { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Insn::Or { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Insn::Xor { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Insn::Nor { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Insn::Slt { rd, rs, rt }),
+        r3().prop_map(|(rd, rs, rt)| Insn::Sltu { rd, rs, rt }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rs, rt, off)| Insn::Beq { rs, rt, off }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rs, rt, off)| Insn::Bne { rs, rt, off }),
+        (any_reg(), any::<i16>()).prop_map(|(rs, off)| Insn::Blez { rs, off }),
+        (any_reg(), any::<i16>()).prop_map(|(rs, off)| Insn::Bgtz { rs, off }),
+        (any_reg(), any::<i16>()).prop_map(|(rs, off)| Insn::Bltz { rs, off }),
+        (any_reg(), any::<i16>()).prop_map(|(rs, off)| Insn::Bgez { rs, off }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rt, rs, imm)| Insn::Addiu { rt, rs, imm }),
+        (any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(rt, rs, imm)| Insn::Slti { rt, rs, imm }),
+        (any_reg(), any_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Insn::Andi { rt, rs, imm }),
+        (any_reg(), any_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Insn::Ori { rt, rs, imm }),
+        (any_reg(), any::<u16>()).prop_map(|(rt, imm)| Insn::Lui { rt, imm }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Lb { rt, rs, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Lbu { rt, rs, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Lw { rt, rs, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Sb { rt, rs, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Sw { rt, rs, off }),
+        (0u32..0x0400_0000).prop_map(|target| Insn::J { target }),
+        (0u32..0x0400_0000).prop_map(|target| Insn::Jal { target }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(insn in any_insn()) {
+        let word = insn.encode();
+        let back = Insn::decode(word).expect("generated instruction must decode");
+        prop_assert_eq!(back, insn);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = Insn::decode(word);
+    }
+
+    #[test]
+    fn decode_encode_is_identity_when_supported(word in any::<u32>()) {
+        if let Ok(insn) = Insn::decode(word) {
+            // Re-encoding may canonicalize don't-care fields, but the
+            // canonical form must be a fixed point.
+            let canon = insn.encode();
+            prop_assert_eq!(Insn::decode(canon).expect("canonical decodes"), insn);
+            prop_assert_eq!(Insn::decode(canon).unwrap().encode(), canon);
+        }
+    }
+
+    #[test]
+    fn display_never_panics(insn in any_insn()) {
+        let _ = insn.to_string();
+    }
+}

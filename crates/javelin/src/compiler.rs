@@ -1,0 +1,1382 @@
+//! The Joule → bytecode compiler ("offline", like javac: its work is NOT
+//! charged to the interpreter, matching the paper's setup where Java
+//! programs arrive as `.class` files).
+//!
+//! Joule is a Java-flavored subset: classes with `int` fields, `static`
+//! globals, functions, `int`/`int[]`/class-reference types, and
+//! `Native.xxx(...)` runtime-library calls.
+
+use std::collections::HashMap;
+
+use crate::bytecode::{Function, JProgram, Native, OpCode};
+
+/// A compile error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JavelinError {
+    /// 1-based line.
+    pub line: u32,
+    /// Message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JavelinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JavelinError {}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Str(Vec<u8>),
+    Punct(&'static str),
+    Eof,
+}
+
+const PUNCTS: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~", "(", ")", "{", "}", "[",
+    "]", ";", ",", ".",
+];
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32)>, JavelinError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 2;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push((Tok::Ident(src[start..i].to_string()), line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == b'0' && b.get(i + 1).map(|n| n | 32) == Some(b'x') {
+                i += 2;
+                while i < b.len() && b[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let v = i64::from_str_radix(&src[start + 2..i], 16).map_err(|_| {
+                    JavelinError {
+                        line,
+                        message: "bad hex literal".into(),
+                    }
+                })?;
+                out.push((Tok::Num(v), line));
+                continue;
+            }
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            let v = src[start..i].parse::<i64>().map_err(|_| JavelinError {
+                line,
+                message: "bad number".into(),
+            })?;
+            out.push((Tok::Num(v), line));
+            continue;
+        }
+        if c == b'\'' {
+            // Character literal.
+            let (val, consumed) = if b.get(i + 1) == Some(&b'\\') {
+                let e = b.get(i + 2).copied().unwrap_or(b'\\');
+                (
+                    match e {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        other => other,
+                    },
+                    4,
+                )
+            } else {
+                (b.get(i + 1).copied().unwrap_or(0), 3)
+            };
+            out.push((Tok::Num(i64::from(val)), line));
+            i += consumed;
+            continue;
+        }
+        if c == b'"' {
+            let mut s = Vec::new();
+            let mut j = i + 1;
+            while j < b.len() && b[j] != b'"' {
+                if b[j] == b'\\' && j + 1 < b.len() {
+                    s.push(match b[j + 1] {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        other => other,
+                    });
+                    j += 2;
+                } else {
+                    s.push(b[j]);
+                    j += 1;
+                }
+            }
+            if j >= b.len() {
+                return Err(JavelinError {
+                    line,
+                    message: "unterminated string".into(),
+                });
+            }
+            out.push((Tok::Str(s), line));
+            i = j + 1;
+            continue;
+        }
+        if let Some(&p) = PUNCTS.iter().find(|p| b[i..].starts_with(p.as_bytes())) {
+            out.push((Tok::Punct(p), line));
+            i += p.len();
+            continue;
+        }
+        return Err(JavelinError {
+            line,
+            message: format!("unexpected character {:?}", c as char),
+        });
+    }
+    out.push((Tok::Eof, line));
+    Ok(out)
+}
+
+// ------------------------------------------------------------- compiler
+
+#[derive(Debug, Clone, PartialEq)]
+enum JType {
+    Int,
+    IntArray,
+    Obj(usize),
+    Void,
+}
+
+struct FnCtx {
+    locals: HashMap<String, (u8, JType)>,
+    n_locals: u8,
+    code: Vec<u8>,
+    fixups: Vec<(usize, String)>,
+    labels: HashMap<String, usize>,
+    label_n: u32,
+    breaks: Vec<String>,
+    continues: Vec<String>,
+}
+
+impl FnCtx {
+    fn new_label(&mut self, hint: &str) -> String {
+        self.label_n += 1;
+        format!("{hint}_{}", self.label_n)
+    }
+
+    fn emit(&mut self, op: OpCode) {
+        self.code.push(op as u8);
+    }
+
+    fn emit_u8(&mut self, op: OpCode, v: u8) {
+        self.code.push(op as u8);
+        self.code.push(v);
+    }
+
+    fn emit_const(&mut self, v: i64) {
+        if let Ok(small) = i8::try_from(v) {
+            self.code.push(OpCode::IconstS as u8);
+            self.code.push(small as u8);
+        } else {
+            self.code.push(OpCode::Iconst as u8);
+            self.code.extend_from_slice(&(v as i32).to_le_bytes());
+        }
+    }
+
+    fn emit_branch(&mut self, op: OpCode, label: &str) {
+        self.code.push(op as u8);
+        self.fixups.push((self.code.len(), label.to_string()));
+        self.code.extend_from_slice(&[0, 0]);
+    }
+
+    fn bind(&mut self, label: &str) {
+        self.labels.insert(label.to_string(), self.code.len());
+    }
+
+    fn finish(mut self) -> Result<Vec<u8>, String> {
+        for (pos, label) in &self.fixups {
+            let Some(&target) = self.labels.get(label) else {
+                return Err(format!("unbound label {label}"));
+            };
+            let t = u16::try_from(target).map_err(|_| "method too large".to_string())?;
+            self.code[*pos..*pos + 2].copy_from_slice(&t.to_le_bytes());
+        }
+        Ok(self.code)
+    }
+}
+
+struct Compiler {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+    prog: JProgram,
+    classes: HashMap<String, usize>,
+    class_fields: Vec<HashMap<String, u8>>,
+    func_sigs: HashMap<String, (usize, u8, bool)>, // name -> (idx, arity, returns)
+    globals: HashMap<String, u8>,
+    pool_index: HashMap<Vec<u8>, u16>,
+}
+
+/// Compile Joule source to a [`JProgram`].
+///
+/// # Errors
+///
+/// Returns [`JavelinError`] on syntax or semantic errors.
+pub fn compile(src: &str) -> Result<JProgram, JavelinError> {
+    let toks = lex(src)?;
+    let mut c = Compiler {
+        toks,
+        pos: 0,
+        prog: JProgram::default(),
+        classes: HashMap::new(),
+        class_fields: Vec::new(),
+        func_sigs: HashMap::new(),
+        globals: HashMap::new(),
+        pool_index: HashMap::new(),
+    };
+    c.pre_scan()?;
+    c.unit()?;
+    if c.prog.main_index().is_none() {
+        return Err(JavelinError {
+            line: 1,
+            message: "no `main` function".into(),
+        });
+    }
+    Ok(c.prog)
+}
+
+impl Compiler {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].1
+    }
+
+    fn err(&self, msg: impl Into<String>) -> JavelinError {
+        JavelinError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &str) -> Result<(), JavelinError> {
+        if self.eat(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, JavelinError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn intern_pool(&mut self, bytes: &[u8]) -> u16 {
+        if let Some(&i) = self.pool_index.get(bytes) {
+            return i;
+        }
+        let i = self.prog.pool.len() as u16;
+        self.prog.pool.push(bytes.to_vec());
+        self.pool_index.insert(bytes.to_vec(), i);
+        i
+    }
+
+    /// First pass: collect class, function and global declarations so
+    /// forward references resolve.
+    fn pre_scan(&mut self) -> Result<(), JavelinError> {
+        let save = self.pos;
+        let mut fidx = 0usize;
+        while *self.peek() != Tok::Eof {
+            match self.bump() {
+                Tok::Ident(w) if w == "class" => {
+                    let name = self.expect_ident()?;
+                    let idx = self.class_fields.len();
+                    self.classes.insert(name.clone(), idx);
+                    self.prog.class_names.push(name);
+                    self.expect("{")?;
+                    let mut fields = HashMap::new();
+                    while !self.eat("}") {
+                        // `int name;`
+                        let t = self.bump();
+                        if !matches!(t, Tok::Ident(ref s) if s == "int") {
+                            return Err(self.err("class fields must be `int`"));
+                        }
+                        let fname = self.expect_ident()?;
+                        self.expect(";")?;
+                        let off = fields.len() as u8;
+                        fields.insert(fname, off);
+                    }
+                    self.prog.class_field_counts.push(fields.len() as u8);
+                    self.class_fields.push(fields);
+                }
+                Tok::Ident(w) if w == "static" => {
+                    // `static int name;`
+                    let t = self.bump();
+                    if !matches!(t, Tok::Ident(ref s) if s == "int") {
+                        return Err(self.err("globals must be `static int`"));
+                    }
+                    let name = self.expect_ident()?;
+                    self.expect(";")?;
+                    let slot = self.globals.len() as u8;
+                    self.globals.insert(name, slot);
+                }
+                Tok::Ident(w) if w == "int" || w == "void" => {
+                    // Function: skip `[]`, name, params, body.
+                    let _arr = self.eat("[") && {
+                        self.expect("]")?;
+                        true
+                    };
+                    let returns = w == "int";
+                    let name = self.expect_ident()?;
+                    self.expect("(")?;
+                    let mut arity = 0u8;
+                    if !self.eat(")") {
+                        loop {
+                            // type
+                            let _t = self.bump();
+                            let _ = self.eat("[") && {
+                                self.expect("]")?;
+                                true
+                            };
+                            let _pname = self.expect_ident()?;
+                            arity += 1;
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                        self.expect(")")?;
+                    }
+                    self.func_sigs.insert(name, (fidx, arity, returns));
+                    fidx += 1;
+                    // Skip the body.
+                    self.expect("{")?;
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match self.bump() {
+                            Tok::Punct("{") => depth += 1,
+                            Tok::Punct("}") => depth -= 1,
+                            Tok::Eof => return Err(self.err("unexpected EOF in body")),
+                            _ => {}
+                        }
+                    }
+                }
+                other => {
+                    return Err(self.err(format!("unexpected top-level token {other:?}")))
+                }
+            }
+        }
+        self.prog.n_globals = self.globals.len() as u8;
+        self.pos = save;
+        Ok(())
+    }
+
+    fn unit(&mut self) -> Result<(), JavelinError> {
+        while *self.peek() != Tok::Eof {
+            match self.bump() {
+                Tok::Ident(w) if w == "class" => {
+                    // Already collected; skip.
+                    self.expect_ident()?;
+                    self.expect("{")?;
+                    while !self.eat("}") {
+                        self.bump();
+                    }
+                }
+                Tok::Ident(w) if w == "static" => {
+                    self.bump(); // int
+                    self.expect_ident()?;
+                    self.expect(";")?;
+                }
+                Tok::Ident(w) if w == "int" || w == "void" => {
+                    let returns = w == "int";
+                    let _ = self.eat("[") && {
+                        self.expect("]")?;
+                        true
+                    };
+                    let name = self.expect_ident()?;
+                    self.function(name, returns)?;
+                }
+                other => {
+                    return Err(self.err(format!("unexpected top-level token {other:?}")))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_type(&mut self) -> Result<JType, JavelinError> {
+        let name = self.expect_ident()?;
+        let base = match name.as_str() {
+            "int" => {
+                if self.eat("[") {
+                    self.expect("]")?;
+                    JType::IntArray
+                } else {
+                    JType::Int
+                }
+            }
+            "void" => JType::Void,
+            other => {
+                let idx = *self
+                    .classes
+                    .get(other)
+                    .ok_or_else(|| self.err(format!("unknown type `{other}`")))?;
+                JType::Obj(idx)
+            }
+        };
+        Ok(base)
+    }
+
+    fn function(&mut self, name: String, returns: bool) -> Result<(), JavelinError> {
+        let mut ctx = FnCtx {
+            locals: HashMap::new(),
+            n_locals: 0,
+            code: Vec::new(),
+            fixups: Vec::new(),
+            labels: HashMap::new(),
+            label_n: 0,
+            breaks: Vec::new(),
+            continues: Vec::new(),
+        };
+        self.expect("(")?;
+        let mut n_params = 0u8;
+        if !self.eat(")") {
+            loop {
+                let ty = self.parse_type()?;
+                let pname = self.expect_ident()?;
+                let slot = ctx.n_locals;
+                ctx.n_locals += 1;
+                n_params += 1;
+                ctx.locals.insert(pname, (slot, ty));
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect(")")?;
+        }
+        self.expect("{")?;
+        while !self.eat("}") {
+            self.stmt(&mut ctx)?;
+        }
+        // Implicit return.
+        if returns {
+            ctx.emit_const(0);
+            ctx.emit(OpCode::Ireturn);
+        } else {
+            ctx.emit(OpCode::Return);
+        }
+        let code = ctx
+            .finish()
+            .map_err(|m| JavelinError { line: 0, message: m })?;
+        self.prog.functions.push(Function {
+            name,
+            n_params,
+            n_locals: 64, // fixed frame, like javac's max_locals
+            returns_value: returns,
+            code,
+        });
+        Ok(())
+    }
+
+    fn stmt(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        // Declaration?
+        if let Tok::Ident(w) = self.peek().clone() {
+            let is_decl =
+                (w == "int" || self.classes.contains_key(&w)) && self.is_decl_lookahead();
+            if is_decl {
+                let ty = self.parse_type()?;
+                let name = self.expect_ident()?;
+                let slot = ctx.n_locals;
+                ctx.n_locals += 1;
+                ctx.locals.insert(name, (slot, ty));
+                if self.eat("=") {
+                    self.expr(ctx)?;
+                    ctx.emit_u8(OpCode::Istore, slot);
+                }
+                self.expect(";")?;
+                return Ok(());
+            }
+            match w.as_str() {
+                "if" => return self.if_stmt(ctx),
+                "while" => return self.while_stmt(ctx),
+                "for" => return self.for_stmt(ctx),
+                "return" => {
+                    self.bump();
+                    if self.eat(";") {
+                        ctx.emit(OpCode::Return);
+                    } else {
+                        self.expr(ctx)?;
+                        self.expect(";")?;
+                        ctx.emit(OpCode::Ireturn);
+                    }
+                    return Ok(());
+                }
+                "break" => {
+                    self.bump();
+                    self.expect(";")?;
+                    let label = ctx
+                        .breaks
+                        .last()
+                        .cloned()
+                        .ok_or_else(|| self.err("break outside a loop"))?;
+                    ctx.emit_branch(OpCode::Goto, &label);
+                    return Ok(());
+                }
+                "continue" => {
+                    self.bump();
+                    self.expect(";")?;
+                    let label = ctx
+                        .continues
+                        .last()
+                        .cloned()
+                        .ok_or_else(|| self.err("continue outside a loop"))?;
+                    ctx.emit_branch(OpCode::Goto, &label);
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+        if self.eat("{") {
+            while !self.eat("}") {
+                self.stmt(ctx)?;
+            }
+            return Ok(());
+        }
+        // Expression statement: discard the value if one is produced.
+        let produced = self.expr_or_void(ctx)?;
+        if produced {
+            ctx.emit(OpCode::Pop);
+        }
+        self.expect(";")?;
+        Ok(())
+    }
+
+    /// Lookahead: `Type ident` (a declaration) vs an expression starting
+    /// with a type-like identifier.
+    fn is_decl_lookahead(&self) -> bool {
+        // toks[pos] is the type word; check the following tokens.
+        let mut i = self.pos + 1;
+        if let (Tok::Punct("["), _) = &self.toks[i] {
+            if matches!(self.toks[i + 1], (Tok::Punct("]"), _)) {
+                i += 2;
+            } else {
+                return false;
+            }
+        }
+        matches!(self.toks[i], (Tok::Ident(_), _))
+    }
+
+    fn if_stmt(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.bump(); // if
+        self.expect("(")?;
+        self.expr(ctx)?;
+        self.expect(")")?;
+        let l_else = ctx.new_label("else");
+        let l_end = ctx.new_label("endif");
+        ctx.emit_branch(OpCode::Ifeq, &l_else);
+        self.stmt(ctx)?;
+        if matches!(self.peek(), Tok::Ident(w) if w == "else") {
+            self.bump();
+            ctx.emit_branch(OpCode::Goto, &l_end);
+            ctx.bind(&l_else);
+            self.stmt(ctx)?;
+            ctx.bind(&l_end);
+        } else {
+            ctx.bind(&l_else);
+        }
+        Ok(())
+    }
+
+    fn while_stmt(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.bump(); // while
+        let l_cond = ctx.new_label("while");
+        let l_end = ctx.new_label("wend");
+        ctx.bind(&l_cond);
+        self.expect("(")?;
+        self.expr(ctx)?;
+        self.expect(")")?;
+        ctx.emit_branch(OpCode::Ifeq, &l_end);
+        ctx.breaks.push(l_end.clone());
+        ctx.continues.push(l_cond.clone());
+        self.stmt(ctx)?;
+        ctx.breaks.pop();
+        ctx.continues.pop();
+        ctx.emit_branch(OpCode::Goto, &l_cond);
+        ctx.bind(&l_end);
+        Ok(())
+    }
+
+    fn for_stmt(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.bump(); // for
+        self.expect("(")?;
+        if !self.eat(";") {
+            // init: declaration or expression
+            if matches!(self.peek(), Tok::Ident(w) if w == "int") && self.is_decl_lookahead() {
+                let ty = self.parse_type()?;
+                let name = self.expect_ident()?;
+                let slot = ctx.n_locals;
+                ctx.n_locals += 1;
+                ctx.locals.insert(name, (slot, ty));
+                if self.eat("=") {
+                    self.expr(ctx)?;
+                    ctx.emit_u8(OpCode::Istore, slot);
+                }
+            } else {
+                let produced = self.expr_or_void(ctx)?;
+                if produced {
+                    ctx.emit(OpCode::Pop);
+                }
+            }
+            self.expect(";")?;
+        }
+        let l_cond = ctx.new_label("for");
+        let l_step = ctx.new_label("fstep");
+        let l_end = ctx.new_label("fend");
+        ctx.bind(&l_cond);
+        if !self.eat(";") {
+            self.expr(ctx)?;
+            self.expect(";")?;
+            ctx.emit_branch(OpCode::Ifeq, &l_end);
+        }
+        // Step expression: compile to a buffer after the body.
+        let step_toks_start = self.pos;
+        if !self.eat(")") {
+            // Skip the step tokens; re-parse them after the body.
+            let mut depth = 0;
+            loop {
+                match self.peek() {
+                    Tok::Punct("(") => depth += 1,
+                    Tok::Punct(")") if depth == 0 => break,
+                    Tok::Punct(")") => depth -= 1,
+                    Tok::Eof => return Err(self.err("unterminated for")),
+                    _ => {}
+                }
+                self.bump();
+            }
+            self.expect(")")?;
+        }
+        let after_step = self.pos;
+        ctx.breaks.push(l_end.clone());
+        ctx.continues.push(l_step.clone());
+        self.stmt(ctx)?;
+        ctx.breaks.pop();
+        ctx.continues.pop();
+        ctx.bind(&l_step);
+        // Re-parse the step.
+        if after_step - step_toks_start > 1 {
+            let resume = self.pos;
+            self.pos = step_toks_start;
+            let produced = self.expr_or_void(ctx)?;
+            if produced {
+                ctx.emit(OpCode::Pop);
+            }
+            self.pos = resume;
+        }
+        ctx.emit_branch(OpCode::Goto, &l_cond);
+        ctx.bind(&l_end);
+        Ok(())
+    }
+
+    // ------------------------------------------------------- expressions
+
+    /// Parse an expression; returns `true` if a value was left on the
+    /// stack (assignments and void calls leave none).
+    fn expr_or_void(&mut self, ctx: &mut FnCtx) -> Result<bool, JavelinError> {
+        self.assignment(ctx)
+    }
+
+    fn expr(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        let produced = self.assignment(ctx)?;
+        if !produced {
+            return Err(self.err("void expression used as a value"));
+        }
+        Ok(())
+    }
+
+    /// Assignments: `lvalue = expr`, `lvalue += expr`, `lvalue++`.
+    fn assignment(&mut self, ctx: &mut FnCtx) -> Result<bool, JavelinError> {
+        // Try to detect an assignment with bounded lookahead.
+        let save = self.pos;
+        if let Some(lv) = self.try_lvalue(ctx)? {
+            // Compound ops.
+            for (tok, op) in [
+                ("=", None),
+                ("+=", Some(OpCode::Iadd)),
+                ("-=", Some(OpCode::Isub)),
+                ("*=", Some(OpCode::Imul)),
+                ("/=", Some(OpCode::Idiv)),
+                ("%=", Some(OpCode::Irem)),
+            ] {
+                if self.eat(tok) {
+                    self.store_lvalue(ctx, &lv, op, |c, ctx| c.expr(ctx))?;
+                    return Ok(false);
+                }
+            }
+            if self.eat("++") {
+                self.store_lvalue(ctx, &lv, Some(OpCode::Iadd), |_c, ctx| {
+                    ctx.emit_const(1);
+                    Ok(())
+                })?;
+                return Ok(false);
+            }
+            if self.eat("--") {
+                self.store_lvalue(ctx, &lv, Some(OpCode::Isub), |_c, ctx| {
+                    ctx.emit_const(1);
+                    Ok(())
+                })?;
+                return Ok(false);
+            }
+            // Not an assignment: rewind and parse as a plain expression.
+            self.pos = save;
+        }
+        self.logic_or(ctx)?;
+        Ok(true)
+    }
+
+    fn logic_or(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.logic_and(ctx)?;
+        while self.eat("||") {
+            let l_true = ctx.new_label("or_t");
+            let l_end = ctx.new_label("or_e");
+            ctx.emit_branch(OpCode::Ifne, &l_true);
+            self.logic_and(ctx)?;
+            ctx.emit_branch(OpCode::Ifne, &l_true);
+            ctx.emit_const(0);
+            ctx.emit_branch(OpCode::Goto, &l_end);
+            ctx.bind(&l_true);
+            ctx.emit_const(1);
+            ctx.bind(&l_end);
+        }
+        Ok(())
+    }
+
+    fn logic_and(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.bitor(ctx)?;
+        while self.eat("&&") {
+            let l_false = ctx.new_label("and_f");
+            let l_end = ctx.new_label("and_e");
+            ctx.emit_branch(OpCode::Ifeq, &l_false);
+            self.bitor(ctx)?;
+            ctx.emit_branch(OpCode::Ifeq, &l_false);
+            ctx.emit_const(1);
+            ctx.emit_branch(OpCode::Goto, &l_end);
+            ctx.bind(&l_false);
+            ctx.emit_const(0);
+            ctx.bind(&l_end);
+        }
+        Ok(())
+    }
+
+    fn bitor(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.bitxor(ctx)?;
+        loop {
+            if self.eat("|") {
+                self.bitxor(ctx)?;
+                ctx.emit(OpCode::Ior);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn bitxor(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.bitand(ctx)?;
+        loop {
+            if self.eat("^") {
+                self.bitand(ctx)?;
+                ctx.emit(OpCode::Ixor);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn bitand(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.equality(ctx)?;
+        loop {
+            if self.eat("&") {
+                self.equality(ctx)?;
+                ctx.emit(OpCode::Iand);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn comparison(&mut self, ctx: &mut FnCtx, branch: OpCode) {
+        // a OP b as a value: if_icmpOP Ltrue; 0; goto Lend; Ltrue: 1; Lend.
+        let l_true = ctx.new_label("cmp_t");
+        let l_end = ctx.new_label("cmp_e");
+        ctx.emit_branch(branch, &l_true);
+        ctx.emit_const(0);
+        ctx.emit_branch(OpCode::Goto, &l_end);
+        ctx.bind(&l_true);
+        ctx.emit_const(1);
+        ctx.bind(&l_end);
+    }
+
+    fn equality(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.relational(ctx)?;
+        loop {
+            if self.eat("==") {
+                self.relational(ctx)?;
+                self.comparison(ctx, OpCode::IfIcmpeq);
+            } else if self.eat("!=") {
+                self.relational(ctx)?;
+                self.comparison(ctx, OpCode::IfIcmpne);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn relational(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.shift(ctx)?;
+        loop {
+            if self.eat("<") {
+                self.shift(ctx)?;
+                self.comparison(ctx, OpCode::IfIcmplt);
+            } else if self.eat("<=") {
+                self.shift(ctx)?;
+                self.comparison(ctx, OpCode::IfIcmple);
+            } else if self.eat(">") {
+                self.shift(ctx)?;
+                self.comparison(ctx, OpCode::IfIcmpgt);
+            } else if self.eat(">=") {
+                self.shift(ctx)?;
+                self.comparison(ctx, OpCode::IfIcmpge);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn shift(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.additive(ctx)?;
+        loop {
+            if self.eat("<<") {
+                self.additive(ctx)?;
+                ctx.emit(OpCode::Ishl);
+            } else if self.eat(">>") {
+                self.additive(ctx)?;
+                ctx.emit(OpCode::Ishr);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn additive(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.multiplicative(ctx)?;
+        loop {
+            if self.eat("+") {
+                self.multiplicative(ctx)?;
+                ctx.emit(OpCode::Iadd);
+            } else if self.eat("-") {
+                self.multiplicative(ctx)?;
+                ctx.emit(OpCode::Isub);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn multiplicative(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.unary(ctx)?;
+        loop {
+            if self.eat("*") {
+                self.unary(ctx)?;
+                ctx.emit(OpCode::Imul);
+            } else if self.eat("/") {
+                self.unary(ctx)?;
+                ctx.emit(OpCode::Idiv);
+            } else if self.eat("%") {
+                self.unary(ctx)?;
+                ctx.emit(OpCode::Irem);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn unary(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        if self.eat("-") {
+            self.unary(ctx)?;
+            ctx.emit(OpCode::Ineg);
+            return Ok(());
+        }
+        if self.eat("!") {
+            self.unary(ctx)?;
+            // !x == (x == 0)
+            ctx.emit_const(0);
+            self.comparison(ctx, OpCode::IfIcmpeq);
+            return Ok(());
+        }
+        if self.eat("~") {
+            self.unary(ctx)?;
+            ctx.emit_const(-1);
+            ctx.emit(OpCode::Ixor);
+            return Ok(());
+        }
+        self.postfix(ctx)
+    }
+
+    fn postfix(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        self.primary(ctx)?;
+        loop {
+            if self.eat("[") {
+                self.expr(ctx)?;
+                self.expect("]")?;
+                ctx.emit(OpCode::Iaload);
+            } else if self.eat(".") {
+                let field = self.expect_ident()?;
+                if field == "length" {
+                    ctx.emit(OpCode::Arraylength);
+                } else {
+                    let off = self.any_field_offset(&field)?;
+                    ctx.emit_u8(OpCode::Getfield, off);
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Resolve a field name against any class (Joule field names are
+    /// unique per program in our workloads; ambiguity is an error).
+    fn any_field_offset(&self, field: &str) -> Result<u8, JavelinError> {
+        let mut found = None;
+        for fields in &self.class_fields {
+            if let Some(&off) = fields.get(field) {
+                if found.is_some() && found != Some(off) {
+                    return Err(self.err(format!(
+                        "field `{field}` is ambiguous across classes"
+                    )));
+                }
+                found = Some(off);
+            }
+        }
+        found.ok_or_else(|| self.err(format!("unknown field `{field}`")))
+    }
+
+    fn primary(&mut self, ctx: &mut FnCtx) -> Result<(), JavelinError> {
+        match self.bump() {
+            Tok::Num(v) => {
+                ctx.emit_const(v);
+                Ok(())
+            }
+            Tok::Str(s) => {
+                let idx = self.intern_pool(&s);
+                ctx.emit_const(i64::from(idx));
+                Ok(())
+            }
+            Tok::Punct("(") => {
+                self.expr(ctx)?;
+                self.expect(")")
+            }
+            Tok::Ident(w) if w == "new" => {
+                let tname = self.expect_ident()?;
+                if tname == "int" {
+                    self.expect("[")?;
+                    self.expr(ctx)?;
+                    self.expect("]")?;
+                    ctx.emit(OpCode::Newarray);
+                } else {
+                    let idx = *self
+                        .classes
+                        .get(&tname)
+                        .ok_or_else(|| self.err(format!("unknown class `{tname}`")))?;
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    ctx.emit_u8(OpCode::New, idx as u8);
+                }
+                Ok(())
+            }
+            Tok::Ident(w) if w == "Native" => {
+                self.expect(".")?;
+                let name = self.expect_ident()?;
+                let native = Native::by_name(&name)
+                    .ok_or_else(|| self.err(format!("unknown native `{name}`")))?;
+                self.expect("(")?;
+                let mut argc = 0;
+                if !self.eat(")") {
+                    loop {
+                        self.expr(ctx)?;
+                        argc += 1;
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.expect(")")?;
+                }
+                if argc != native.argc() {
+                    return Err(self.err(format!(
+                        "Native.{name} takes {} argument(s), got {argc}",
+                        native.argc()
+                    )));
+                }
+                ctx.code.push(OpCode::Invokenative as u8);
+                ctx.code.push(native as u8);
+                ctx.code.push(native.argc() as u8);
+                if !native.has_result() {
+                    // Keep the stack balanced for value contexts: push 0.
+                    ctx.emit_const(0);
+                }
+                Ok(())
+            }
+            Tok::Ident(name) => {
+                if matches!(self.peek(), Tok::Punct("(")) {
+                    // Function call.
+                    let &(idx, arity, returns) = self
+                        .func_sigs
+                        .get(&name)
+                        .ok_or_else(|| self.err(format!("unknown function `{name}`")))?;
+                    self.bump(); // (
+                    let mut argc = 0;
+                    if !self.eat(")") {
+                        loop {
+                            self.expr(ctx)?;
+                            argc += 1;
+                            if !self.eat(",") {
+                                break;
+                            }
+                        }
+                        self.expect(")")?;
+                    }
+                    if argc != arity {
+                        return Err(self.err(format!(
+                            "`{name}` takes {arity} argument(s), got {argc}"
+                        )));
+                    }
+                    ctx.code.push(OpCode::Invokestatic as u8);
+                    ctx.code
+                        .extend_from_slice(&(idx as u16).to_le_bytes());
+                    if !returns {
+                        ctx.emit_const(0);
+                    }
+                    Ok(())
+                } else if let Some(&(slot, _)) = ctx.locals.get(&name) {
+                    ctx.emit_u8(OpCode::Iload, slot);
+                    Ok(())
+                } else if let Some(&slot) = self.globals.get(&name) {
+                    ctx.emit_u8(OpCode::Getstatic, slot);
+                    Ok(())
+                } else {
+                    Err(self.err(format!("unknown identifier `{name}`")))
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------- lvalues
+
+    /// Attempt to parse an lvalue (`x`, `g`, `obj.f`, `arr[i]`,
+    /// `obj.f[i]`…). On failure the caller rewinds.
+    fn try_lvalue(&mut self, ctx: &mut FnCtx) -> Result<Option<Lvalue>, JavelinError> {
+        let save = self.pos;
+        let Tok::Ident(name) = self.peek().clone() else {
+            return Ok(None);
+        };
+        if matches!(name.as_str(), "new" | "Native" | "if" | "while" | "for" | "return") {
+            return Ok(None);
+        }
+        self.bump();
+        let base = if let Some(&(slot, _)) = ctx.locals.get(&name) {
+            LvBase::Local(slot)
+        } else if let Some(&slot) = self.globals.get(&name) {
+            LvBase::Global(slot)
+        } else {
+            self.pos = save;
+            return Ok(None);
+        };
+        // Optional single postfix chain ending in a storable position.
+        let mut path = Vec::new();
+        loop {
+            if matches!(self.peek(), Tok::Punct("[")) {
+                // Record the token range of the index expression; we'll
+                // re-parse when emitting.
+                self.bump();
+                let start = self.pos;
+                let mut depth = 0;
+                loop {
+                    match self.peek() {
+                        Tok::Punct("[") => depth += 1,
+                        Tok::Punct("]") if depth == 0 => break,
+                        Tok::Punct("]") => depth -= 1,
+                        Tok::Eof => return Err(self.err("unterminated index")),
+                        _ => {}
+                    }
+                    self.bump();
+                }
+                let end = self.pos;
+                self.bump(); // ]
+                path.push(LvStep::Index(start, end));
+            } else if matches!(self.peek(), Tok::Punct(".")) {
+                self.bump();
+                let field = self.expect_ident()?;
+                if field == "length" {
+                    self.pos = save;
+                    return Ok(None);
+                }
+                let off = self.any_field_offset(&field)?;
+                path.push(LvStep::Field(off));
+            } else {
+                break;
+            }
+        }
+        // Must be followed by an assignment operator to count.
+        let is_assign = matches!(
+            self.peek(),
+            Tok::Punct("=")
+                | Tok::Punct("+=")
+                | Tok::Punct("-=")
+                | Tok::Punct("*=")
+                | Tok::Punct("/=")
+                | Tok::Punct("%=")
+                | Tok::Punct("++")
+                | Tok::Punct("--")
+        );
+        if !is_assign {
+            self.pos = save;
+            return Ok(None);
+        }
+        Ok(Some(Lvalue { base, path }))
+    }
+
+    /// Emit code for `lvalue (op)= rhs`.
+    fn store_lvalue(
+        &mut self,
+        ctx: &mut FnCtx,
+        lv: &Lvalue,
+        op: Option<OpCode>,
+        rhs: impl FnOnce(&mut Self, &mut FnCtx) -> Result<(), JavelinError>,
+    ) -> Result<(), JavelinError> {
+        // Push the container and final selector, then value, then store.
+        match lv.path.split_last() {
+            None => {
+                // Plain local/global.
+                if let Some(binop) = op {
+                    match lv.base {
+                        LvBase::Local(s) => ctx.emit_u8(OpCode::Iload, s),
+                        LvBase::Global(s) => ctx.emit_u8(OpCode::Getstatic, s),
+                    }
+                    rhs(self, ctx)?;
+                    ctx.emit(binop);
+                } else {
+                    rhs(self, ctx)?;
+                }
+                match lv.base {
+                    LvBase::Local(s) => ctx.emit_u8(OpCode::Istore, s),
+                    LvBase::Global(s) => ctx.emit_u8(OpCode::Putstatic, s),
+                }
+            }
+            Some((last, prefix)) => {
+                // Evaluate base + prefix path to get the container ref.
+                match lv.base {
+                    LvBase::Local(s) => ctx.emit_u8(OpCode::Iload, s),
+                    LvBase::Global(s) => ctx.emit_u8(OpCode::Getstatic, s),
+                }
+                for step in prefix {
+                    match step {
+                        LvStep::Field(off) => ctx.emit_u8(OpCode::Getfield, *off),
+                        LvStep::Index(start, end) => {
+                            self.reparse_range(ctx, *start, *end)?;
+                            ctx.emit(OpCode::Iaload);
+                        }
+                    }
+                }
+                match last {
+                    LvStep::Field(off) => {
+                        if let Some(binop) = op {
+                            ctx.emit(OpCode::Dup);
+                            ctx.emit_u8(OpCode::Getfield, *off);
+                            rhs(self, ctx)?;
+                            ctx.emit(binop);
+                        } else {
+                            rhs(self, ctx)?;
+                        }
+                        ctx.emit_u8(OpCode::Putfield, *off);
+                    }
+                    LvStep::Index(start, end) => {
+                        self.reparse_range(ctx, *start, *end)?;
+                        if let Some(binop) = op {
+                            // ref idx -> need ref idx (ref idx) value
+                            // Without dup2 we re-evaluate: simplest correct
+                            // sequence uses a scratch local.
+                            let scratch_ref = 62u8;
+                            let scratch_idx = 63u8;
+                            ctx.emit_u8(OpCode::Istore, scratch_idx);
+                            ctx.emit_u8(OpCode::Istore, scratch_ref);
+                            ctx.emit_u8(OpCode::Iload, scratch_ref);
+                            ctx.emit_u8(OpCode::Iload, scratch_idx);
+                            ctx.emit_u8(OpCode::Iload, scratch_ref);
+                            ctx.emit_u8(OpCode::Iload, scratch_idx);
+                            ctx.emit(OpCode::Iaload);
+                            rhs(self, ctx)?;
+                            ctx.emit(binop);
+                        } else {
+                            rhs(self, ctx)?;
+                        }
+                        ctx.emit(OpCode::Iastore);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-parse a recorded token range as an expression.
+    fn reparse_range(
+        &mut self,
+        ctx: &mut FnCtx,
+        start: usize,
+        end: usize,
+    ) -> Result<(), JavelinError> {
+        let resume = self.pos;
+        self.pos = start;
+        self.expr(ctx)?;
+        if self.pos != end {
+            return Err(self.err("index expression parse mismatch"));
+        }
+        self.pos = resume;
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LvBase {
+    Local(u8),
+    Global(u8),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LvStep {
+    Field(u8),
+    /// Token range of an index expression (re-parsed at emit time).
+    Index(usize, usize),
+}
+
+#[derive(Debug, Clone)]
+struct Lvalue {
+    base: LvBase,
+    path: Vec<LvStep>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_minimal_main() {
+        let prog = compile("void main() { Native.printInt(42); }").unwrap();
+        assert!(prog.main_index().is_some());
+        assert!(prog.code_bytes() > 4);
+    }
+
+    #[test]
+    fn rejects_missing_main_and_unknowns() {
+        assert!(compile("void f() { }").is_err());
+        assert!(compile("void main() { g(); }").is_err());
+        assert!(compile("void main() { Native.bogus(); }").is_err());
+        assert!(compile("void main() { int x = y; }").is_err());
+    }
+
+    #[test]
+    fn classes_and_fields_parse() {
+        let prog = compile(
+            r#"
+            class Point { int x; int y; }
+            void main() {
+                Point p = new Point();
+                p.x = 3;
+                p.y = p.x + 1;
+                Native.printInt(p.y);
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.class_field_counts, vec![2]);
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(compile(
+            "int f(int a) { return a; } void main() { Native.printInt(f(1, 2)); }"
+        )
+        .is_err());
+        assert!(compile("void main() { Native.fillRect(1, 2); }").is_err());
+    }
+
+    #[test]
+    fn string_pool_interned() {
+        let prog = compile(
+            r#"void main() { Native.printStr("hi"); Native.printStr("hi"); Native.printStr("yo"); }"#,
+        )
+        .unwrap();
+        assert_eq!(prog.pool.len(), 2);
+    }
+
+    #[test]
+    fn globals_counted() {
+        let prog = compile(
+            "static int a; static int b; void main() { a = 1; b = a + 1; Native.printInt(b); }",
+        )
+        .unwrap();
+        assert_eq!(prog.n_globals, 2);
+    }
+}

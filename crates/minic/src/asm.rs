@@ -1,0 +1,293 @@
+//! Symbolic assembly and the linker pass.
+//!
+//! The code generator emits [`AItem`]s with symbolic labels; `assemble`
+//! lays them out, resolves branch offsets and jump targets, and fills every
+//! architectural delay slot with a `nop` (`sll $0,$0,0`) — the unoptimized
+//! scheduling that produces the paper's "most `sll`s are no-ops" footnote.
+
+use interp_isa::{Image, Insn, Reg, GUEST_TEXT_BASE};
+use std::collections::HashMap;
+
+use crate::error::CompileError;
+
+/// Conditional-branch shapes the code generator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BranchKind {
+    Beq,
+    Bne,
+    Blez,
+    Bgtz,
+    Bltz,
+    Bgez,
+}
+
+/// One assembly item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AItem {
+    /// A label definition.
+    Label(String),
+    /// A concrete instruction (gets a delay-slot `nop` appended if it is a
+    /// jump-through-register).
+    I(Insn),
+    /// A conditional branch to a label (delay-slot `nop` appended).
+    Branch {
+        /// Branch shape.
+        kind: BranchKind,
+        /// First source register.
+        rs: Reg,
+        /// Second source register (ignored for the compare-to-zero shapes).
+        rt: Reg,
+        /// Target label.
+        label: String,
+    },
+    /// `j`/`jal` to a label (delay-slot `nop` appended).
+    Jump {
+        /// True for `jal`.
+        link: bool,
+        /// Target label.
+        label: String,
+    },
+    /// Load a 32-bit address/constant: expands to `lui` + `ori`.
+    La {
+        /// Destination.
+        rd: Reg,
+        /// Absolute value.
+        value: u32,
+    },
+    /// Load a small constant: `addiu rd, $zero, imm`.
+    Li {
+        /// Destination.
+        rd: Reg,
+        /// Immediate (must fit in i16; use [`AItem::La`] otherwise).
+        imm: i16,
+    },
+}
+
+impl AItem {
+    /// How many instruction words this item occupies.
+    fn words(&self) -> u32 {
+        match self {
+            AItem::Label(_) => 0,
+            AItem::I(insn) => {
+                if insn.has_delay_slot() {
+                    2
+                } else {
+                    1
+                }
+            }
+            AItem::Branch { .. } | AItem::Jump { .. } | AItem::La { .. } => 2,
+            AItem::Li { .. } => 1,
+        }
+    }
+}
+
+/// Assemble items into an [`Image`] text segment with `data` attached.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for undefined or duplicate labels and branch
+/// targets out of 16-bit range.
+pub fn assemble(items: &[AItem], data: Vec<u8>) -> Result<Image, CompileError> {
+    // Pass 1: label addresses.
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut addr = GUEST_TEXT_BASE;
+    for item in items {
+        if let AItem::Label(name) = item {
+            if labels.insert(name, addr).is_some() {
+                return Err(CompileError::general(format!("duplicate label `{name}`")));
+            }
+        }
+        addr += item.words() * 4;
+    }
+    let resolve = |name: &str| {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError::general(format!("undefined label `{name}`")))
+    };
+
+    // Pass 2: emit.
+    let mut text = Vec::new();
+    let mut pc = GUEST_TEXT_BASE;
+    for item in items {
+        match item {
+            AItem::Label(_) => {}
+            AItem::I(insn) => {
+                text.push(insn.encode());
+                pc += 4;
+                if insn.has_delay_slot() {
+                    text.push(Insn::NOP.encode());
+                    pc += 4;
+                }
+            }
+            AItem::Branch {
+                kind,
+                rs,
+                rt,
+                label,
+            } => {
+                let target = resolve(label)?;
+                // Offset relative to the delay slot.
+                let delta = (i64::from(target) - i64::from(pc) - 4) / 4;
+                let off = i16::try_from(delta).map_err(|_| {
+                    CompileError::general(format!("branch to `{label}` out of range"))
+                })?;
+                let insn = match kind {
+                    BranchKind::Beq => Insn::Beq {
+                        rs: *rs,
+                        rt: *rt,
+                        off,
+                    },
+                    BranchKind::Bne => Insn::Bne {
+                        rs: *rs,
+                        rt: *rt,
+                        off,
+                    },
+                    BranchKind::Blez => Insn::Blez { rs: *rs, off },
+                    BranchKind::Bgtz => Insn::Bgtz { rs: *rs, off },
+                    BranchKind::Bltz => Insn::Bltz { rs: *rs, off },
+                    BranchKind::Bgez => Insn::Bgez { rs: *rs, off },
+                };
+                text.push(insn.encode());
+                text.push(Insn::NOP.encode());
+                pc += 8;
+            }
+            AItem::Jump { link, label } => {
+                let target = resolve(label)? >> 2;
+                let insn = if *link {
+                    Insn::Jal { target }
+                } else {
+                    Insn::J { target }
+                };
+                text.push(insn.encode());
+                text.push(Insn::NOP.encode());
+                pc += 8;
+            }
+            AItem::La { rd, value } => {
+                text.push(
+                    Insn::Lui {
+                        rt: *rd,
+                        imm: (value >> 16) as u16,
+                    }
+                    .encode(),
+                );
+                text.push(
+                    Insn::Ori {
+                        rt: *rd,
+                        rs: *rd,
+                        imm: (value & 0xffff) as u16,
+                    }
+                    .encode(),
+                );
+                pc += 8;
+            }
+            AItem::Li { rd, imm } => {
+                text.push(
+                    Insn::Addiu {
+                        rt: *rd,
+                        rs: Reg::Zero,
+                        imm: *imm,
+                    }
+                    .encode(),
+                );
+                pc += 4;
+            }
+        }
+    }
+    Ok(Image::new(text, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let items = vec![
+            AItem::Label("top".into()),
+            AItem::I(Insn::Addiu {
+                rt: Reg::T0,
+                rs: Reg::T0,
+                imm: 1,
+            }),
+            AItem::Branch {
+                kind: BranchKind::Bne,
+                rs: Reg::T0,
+                rt: Reg::T1,
+                label: "top".into(),
+            },
+            AItem::Jump {
+                link: false,
+                label: "end".into(),
+            },
+            AItem::Label("end".into()),
+            AItem::I(Insn::Syscall),
+        ];
+        let img = assemble(&items, Vec::new()).unwrap();
+        // addiu, bne, nop, j, nop, syscall
+        assert_eq!(img.text.len(), 6);
+        let bne = Insn::decode(img.text[1]).unwrap();
+        // Branch at text[1] (pc base+4), delay slot base+8, target base+0:
+        // offset = (0 - 8) / 4 = -2.
+        assert_eq!(
+            bne,
+            Insn::Bne {
+                rs: Reg::T0,
+                rt: Reg::T1,
+                off: -2
+            }
+        );
+        assert_eq!(img.text[2], Insn::NOP.encode());
+        let j = Insn::decode(img.text[3]).unwrap();
+        assert_eq!(
+            j,
+            Insn::J {
+                target: (GUEST_TEXT_BASE + 20) >> 2
+            }
+        );
+    }
+
+    #[test]
+    fn jr_gets_a_delay_nop() {
+        let items = vec![AItem::I(Insn::Jr { rs: Reg::Ra })];
+        let img = assemble(&items, Vec::new()).unwrap();
+        assert_eq!(img.text.len(), 2);
+        assert_eq!(img.text[1], Insn::NOP.encode());
+    }
+
+    #[test]
+    fn la_expands_to_lui_ori() {
+        let items = vec![AItem::La {
+            rd: Reg::T3,
+            value: 0x1001_0abc,
+        }];
+        let img = assemble(&items, Vec::new()).unwrap();
+        assert_eq!(
+            Insn::decode(img.text[0]).unwrap(),
+            Insn::Lui {
+                rt: Reg::T3,
+                imm: 0x1001
+            }
+        );
+        assert_eq!(
+            Insn::decode(img.text[1]).unwrap(),
+            Insn::Ori {
+                rt: Reg::T3,
+                rs: Reg::T3,
+                imm: 0x0abc
+            }
+        );
+    }
+
+    #[test]
+    fn undefined_and_duplicate_labels_error() {
+        let undefined = vec![AItem::Jump {
+            link: true,
+            label: "nowhere".into(),
+        }];
+        assert!(assemble(&undefined, Vec::new()).is_err());
+        let duplicate = vec![AItem::Label("x".into()), AItem::Label("x".into())];
+        assert!(assemble(&duplicate, Vec::new()).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Abstract syntax for mini-C.
+
+/// A value type. Everything is a 32-bit word at runtime; the type governs
+/// pointer-arithmetic scaling and load/store width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit byte.
+    Char,
+    /// No value (function returns only).
+    Void,
+    /// Pointer to `T`.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Size in bytes of one element of this type when dereferenced or
+    /// indexed.
+    pub fn elem_size(&self) -> u32 {
+        match self {
+            Type::Ptr(inner) => inner.size(),
+            _ => 1,
+        }
+    }
+
+    /// Size in bytes of a value of this type.
+    pub fn size(&self) -> u32 {
+        match self {
+            Type::Char => 1,
+            Type::Void => 0,
+            _ => 4,
+        }
+    }
+
+    /// The type obtained by dereferencing.
+    pub fn deref(&self) -> Type {
+        match self {
+            Type::Ptr(inner) => (**inner).clone(),
+            _ => Type::Int,
+        }
+    }
+
+    /// Wrap in a pointer.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// String literal (evaluates to the data-segment address).
+    Str(Vec<u8>),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Assignment `target = value`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Dereference `*ptr`.
+    Deref(Box<Expr>),
+    /// Address-of `&lvalue`.
+    AddrOf(Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration `ty name [size]? (= init)?`.
+    Decl {
+        /// Declared type (element type for arrays).
+        ty: Type,
+        /// Variable name.
+        name: String,
+        /// Array element count, if an array.
+        array: Option<u32>,
+        /// Initializer expression.
+        init: Option<Expr>,
+    },
+    /// `if (cond) then else?`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) body`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) body` (each part optional).
+    For(
+        Option<Box<Stmt>>,
+        Option<Expr>,
+        Option<Expr>,
+        Vec<Stmt>,
+    ),
+    /// `return expr?;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Nested block.
+    Block(Vec<Stmt>),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Type)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// Array element count, if an array.
+    pub array: Option<u32>,
+    /// Constant initializer: scalar value, or bytes for char arrays.
+    pub init: GlobalInit,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Global initializers (must be constant).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    Zero,
+    /// A single scalar constant.
+    Scalar(i64),
+    /// A list of scalar constants (arrays).
+    List(Vec<i64>),
+    /// String bytes (char arrays; not NUL-terminated implicitly).
+    Bytes(Vec<u8>),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Type::Int.size(), 4);
+        assert_eq!(Type::Char.size(), 1);
+        assert_eq!(Type::Void.size(), 0);
+        assert_eq!(Type::Int.ptr_to().size(), 4);
+    }
+
+    #[test]
+    fn pointer_scaling() {
+        assert_eq!(Type::Int.ptr_to().elem_size(), 4);
+        assert_eq!(Type::Char.ptr_to().elem_size(), 1);
+        assert_eq!(Type::Int.ptr_to().ptr_to().elem_size(), 4);
+        assert_eq!(Type::Int.elem_size(), 1);
+    }
+
+    #[test]
+    fn deref_unwraps() {
+        assert_eq!(Type::Char.ptr_to().deref(), Type::Char);
+        assert_eq!(Type::Int.deref(), Type::Int);
+    }
+}

@@ -1,0 +1,1190 @@
+//! Code generation: AST → symbolic assembly → linked [`Image`].
+//!
+//! The generator is deliberately unoptimized (think `cc -O0`, 1996): every
+//! local lives in the stack frame, expression temporaries spill to a
+//! frame-resident expression stack around any non-leaf subcomputation, and
+//! every delay slot is a `nop`. This gives the compiled "C" baselines the
+//! flavor the paper measured, and keeps register pressure statically
+//! bounded.
+
+use interp_isa::{Image, Insn, Reg, GUEST_DATA_BASE};
+use std::collections::HashMap;
+
+use crate::asm::{assemble, AItem, BranchKind};
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::parser::parse;
+
+/// Compile mini-C source to a linked program image.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on syntax errors, unknown identifiers, arity
+/// mismatches, or assembly problems.
+///
+/// # Example
+///
+/// ```
+/// let image = interp_minic::compile(
+///     "int main() { print_int(6 * 7); return 0; }",
+/// )?;
+/// assert!(image.text.len() > 4);
+/// # Ok::<(), interp_minic::CompileError>(())
+/// ```
+pub fn compile(src: &str) -> Result<Image, CompileError> {
+    let prog = parse(src)?;
+    Codegen::new().run(&prog)
+}
+
+/// Words reserved in each frame for the expression/argument spill stack.
+const SPILL_WORDS: u32 = 64;
+
+const TEMPS: [Reg; 8] = [
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::T4,
+    Reg::T5,
+    Reg::T6,
+    Reg::T7,
+];
+
+const ARG_REGS: [Reg; 4] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3];
+
+/// Built-in functions lowered to syscalls: `(name, arity, syscall code,
+/// has result)`.
+const BUILTINS: [(&str, usize, i16, bool); 9] = [
+    ("print_int", 1, 1, false),
+    ("print_str", 1, 4, false),
+    ("sbrk", 1, 9, true),
+    ("exit", 1, 10, false),
+    ("print_char", 1, 11, false),
+    ("open", 1, 13, true),
+    ("read", 3, 14, true),
+    ("write", 3, 15, true),
+    ("close", 1, 16, false),
+];
+
+#[derive(Debug, Clone)]
+enum Sym {
+    Global { addr: u32, ty: Type, array: bool },
+    Local { off: u32, ty: Type, array: bool },
+}
+
+struct Codegen {
+    items: Vec<AItem>,
+    data: Vec<u8>,
+    globals: HashMap<String, Sym>,
+    functions: HashMap<String, usize>,
+    strings: HashMap<Vec<u8>, u32>,
+    label_n: u32,
+}
+
+struct FnCtx {
+    scopes: Vec<HashMap<String, Sym>>,
+    next_local: u32,
+    spill_depth: u32,
+    free: Vec<Reg>,
+    breaks: Vec<String>,
+    continues: Vec<String>,
+    epilogue: String,
+    line: u32,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<&Sym> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+}
+
+impl Codegen {
+    fn new() -> Self {
+        Codegen {
+            items: Vec::new(),
+            data: Vec::new(),
+            globals: HashMap::new(),
+            functions: HashMap::new(),
+            strings: HashMap::new(),
+            label_n: 0,
+        }
+    }
+
+    fn label(&mut self, hint: &str) -> String {
+        self.label_n += 1;
+        format!(".L{}_{}", hint, self.label_n)
+    }
+
+    fn emit(&mut self, insn: Insn) {
+        self.items.push(AItem::I(insn));
+    }
+
+    fn run(mut self, prog: &Program) -> Result<Image, CompileError> {
+        self.layout_globals(prog)?;
+        for f in &prog.functions {
+            if self.functions.insert(f.name.clone(), f.params.len()).is_some() {
+                return Err(CompileError::at(
+                    f.line,
+                    format!("duplicate function `{}`", f.name),
+                ));
+            }
+            if BUILTINS.iter().any(|(b, ..)| *b == f.name) {
+                return Err(CompileError::at(
+                    f.line,
+                    format!("`{}` shadows a builtin", f.name),
+                ));
+            }
+        }
+        if !self.functions.contains_key("main") {
+            return Err(CompileError::general("no `main` function"));
+        }
+
+        // _start: call main, then exit(main's return value).
+        self.items.push(AItem::Jump {
+            link: true,
+            label: "main".into(),
+        });
+        self.emit(Insn::Addu {
+            rd: Reg::A0,
+            rs: Reg::V0,
+            rt: Reg::Zero,
+        });
+        self.items.push(AItem::Li {
+            rd: Reg::V0,
+            imm: 10,
+        });
+        self.emit(Insn::Syscall);
+
+        for f in &prog.functions {
+            self.function(f)?;
+        }
+        assemble(&self.items, self.data)
+    }
+
+    fn layout_globals(&mut self, prog: &Program) -> Result<(), CompileError> {
+        for g in &prog.globals {
+            let addr = GUEST_DATA_BASE + self.data.len() as u32;
+            let size = match (&g.array, &g.ty) {
+                (Some(n), ty) => (ty.size().max(1) * n).next_multiple_of(4),
+                (None, _) => 4,
+            };
+            let bytes = match &g.init {
+                GlobalInit::Zero => vec![0u8; size as usize],
+                GlobalInit::Scalar(v) => {
+                    if g.array.is_some() {
+                        return Err(CompileError::at(g.line, "array needs a list initializer"));
+                    }
+                    (*v as u32).to_le_bytes().to_vec()
+                }
+                GlobalInit::List(values) => {
+                    let n = g.array.ok_or_else(|| {
+                        CompileError::at(g.line, "list initializer on a scalar")
+                    })?;
+                    if values.len() > n as usize {
+                        return Err(CompileError::at(g.line, "too many initializers"));
+                    }
+                    if g.ty == Type::Char {
+                        let mut b: Vec<u8> = values.iter().map(|v| *v as u8).collect();
+                        b.resize(size as usize, 0);
+                        b
+                    } else {
+                        let mut b = Vec::with_capacity(size as usize);
+                        for v in values {
+                            b.extend_from_slice(&(*v as u32).to_le_bytes());
+                        }
+                        b.resize(size as usize, 0);
+                        b
+                    }
+                }
+                GlobalInit::Bytes(text) => {
+                    if g.ty != Type::Char || g.array.is_none() {
+                        return Err(CompileError::at(
+                            g.line,
+                            "string initializer needs a char array",
+                        ));
+                    }
+                    if text.len() + 1 > size as usize {
+                        return Err(CompileError::at(g.line, "string too long for array"));
+                    }
+                    let mut b = text.clone();
+                    b.resize(size as usize, 0);
+                    b
+                }
+            };
+            let mut padded = bytes;
+            padded.resize(size as usize, 0);
+            self.data.extend_from_slice(&padded);
+            if self
+                .globals
+                .insert(
+                    g.name.clone(),
+                    Sym::Global {
+                        addr,
+                        ty: g.ty.clone(),
+                        array: g.array.is_some(),
+                    },
+                )
+                .is_some()
+            {
+                return Err(CompileError::at(
+                    g.line,
+                    format!("duplicate global `{}`", g.name),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn intern_string(&mut self, bytes: &[u8]) -> u32 {
+        if let Some(&addr) = self.strings.get(bytes) {
+            return addr;
+        }
+        let addr = GUEST_DATA_BASE + self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        self.data.push(0);
+        while self.data.len() % 4 != 0 {
+            self.data.push(0);
+        }
+        self.strings.insert(bytes.to_vec(), addr);
+        addr
+    }
+
+    // ---- per function ----
+
+    fn function(&mut self, f: &Function) -> Result<(), CompileError> {
+        let locals_bytes = locals_size(&f.body) + 4 * f.params.len() as u32;
+        let frame = (SPILL_WORDS * 4 + locals_bytes + 4).next_multiple_of(8);
+        let ra_off = frame - 4;
+        let epilogue = self.label(&format!("{}_ret", f.name));
+        let mut ctx = FnCtx {
+            scopes: vec![HashMap::new()],
+            next_local: SPILL_WORDS * 4,
+            spill_depth: 0,
+            free: TEMPS.to_vec(),
+            breaks: Vec::new(),
+            continues: Vec::new(),
+            epilogue: epilogue.clone(),
+            line: f.line,
+        };
+
+        self.items.push(AItem::Label(f.name.clone()));
+        self.emit(Insn::Addiu {
+            rt: Reg::Sp,
+            rs: Reg::Sp,
+            imm: -(frame as i32) as i16,
+        });
+        self.emit(Insn::Sw {
+            rt: Reg::Ra,
+            rs: Reg::Sp,
+            off: ra_off as i16,
+        });
+        for (i, (name, ty)) in f.params.iter().enumerate() {
+            let off = ctx.next_local;
+            ctx.next_local += 4;
+            ctx.scopes[0].insert(
+                name.clone(),
+                Sym::Local {
+                    off,
+                    ty: ty.clone(),
+                    array: false,
+                },
+            );
+            self.emit(Insn::Sw {
+                rt: ARG_REGS[i],
+                rs: Reg::Sp,
+                off: off as i16,
+            });
+        }
+
+        self.block(&mut ctx, &f.body)?;
+
+        // Fall-through return (value undefined for non-void, like C).
+        self.items.push(AItem::Label(epilogue));
+        self.emit(Insn::Lw {
+            rt: Reg::Ra,
+            rs: Reg::Sp,
+            off: ra_off as i16,
+        });
+        self.emit(Insn::Addiu {
+            rt: Reg::Sp,
+            rs: Reg::Sp,
+            imm: frame as i16,
+        });
+        self.emit(Insn::Jr { rs: Reg::Ra });
+        debug_assert_eq!(ctx.spill_depth, 0);
+        Ok(())
+    }
+
+    fn block(&mut self, ctx: &mut FnCtx, stmts: &[Stmt]) -> Result<(), CompileError> {
+        ctx.scopes.push(HashMap::new());
+        for stmt in stmts {
+            self.stmt(ctx, stmt)?;
+        }
+        ctx.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, ctx: &mut FnCtx, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Expr(e) => {
+                let (r, _) = self.eval(ctx, e)?;
+                ctx.free.push(r);
+            }
+            Stmt::Decl {
+                ty,
+                name,
+                array,
+                init,
+            } => {
+                let size = match array {
+                    Some(n) => (ty.size().max(1) * n).next_multiple_of(4),
+                    None => 4,
+                };
+                let off = ctx.next_local;
+                ctx.next_local += size;
+                ctx.scopes.last_mut().expect("scope").insert(
+                    name.clone(),
+                    Sym::Local {
+                        off,
+                        ty: ty.clone(),
+                        array: array.is_some(),
+                    },
+                );
+                if let Some(init) = init {
+                    if array.is_some() {
+                        return Err(CompileError::at(
+                            ctx.line,
+                            "local array initializers are not supported",
+                        ));
+                    }
+                    let (r, _) = self.eval(ctx, init)?;
+                    self.emit(Insn::Sw {
+                        rt: r,
+                        rs: Reg::Sp,
+                        off: off as i16,
+                    });
+                    ctx.free.push(r);
+                }
+            }
+            Stmt::If(cond, then, els) => {
+                let l_else = self.label("else");
+                let l_end = self.label("endif");
+                let (r, _) = self.eval(ctx, cond)?;
+                self.items.push(AItem::Branch {
+                    kind: BranchKind::Beq,
+                    rs: r,
+                    rt: Reg::Zero,
+                    label: l_else.clone(),
+                });
+                ctx.free.push(r);
+                self.block(ctx, then)?;
+                if els.is_empty() {
+                    self.items.push(AItem::Label(l_else));
+                } else {
+                    self.items.push(AItem::Jump {
+                        link: false,
+                        label: l_end.clone(),
+                    });
+                    self.items.push(AItem::Label(l_else));
+                    self.block(ctx, els)?;
+                    self.items.push(AItem::Label(l_end));
+                }
+            }
+            Stmt::While(cond, body) => {
+                let l_cond = self.label("while");
+                let l_end = self.label("wend");
+                self.items.push(AItem::Label(l_cond.clone()));
+                let (r, _) = self.eval(ctx, cond)?;
+                self.items.push(AItem::Branch {
+                    kind: BranchKind::Beq,
+                    rs: r,
+                    rt: Reg::Zero,
+                    label: l_end.clone(),
+                });
+                ctx.free.push(r);
+                ctx.breaks.push(l_end.clone());
+                ctx.continues.push(l_cond.clone());
+                self.block(ctx, body)?;
+                ctx.breaks.pop();
+                ctx.continues.pop();
+                self.items.push(AItem::Jump {
+                    link: false,
+                    label: l_cond,
+                });
+                self.items.push(AItem::Label(l_end));
+            }
+            Stmt::For(init, cond, step, body) => {
+                ctx.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.stmt(ctx, init)?;
+                }
+                let l_cond = self.label("for");
+                let l_step = self.label("fstep");
+                let l_end = self.label("fend");
+                self.items.push(AItem::Label(l_cond.clone()));
+                if let Some(cond) = cond {
+                    let (r, _) = self.eval(ctx, cond)?;
+                    self.items.push(AItem::Branch {
+                        kind: BranchKind::Beq,
+                        rs: r,
+                        rt: Reg::Zero,
+                        label: l_end.clone(),
+                    });
+                    ctx.free.push(r);
+                }
+                ctx.breaks.push(l_end.clone());
+                ctx.continues.push(l_step.clone());
+                self.block(ctx, body)?;
+                ctx.breaks.pop();
+                ctx.continues.pop();
+                self.items.push(AItem::Label(l_step));
+                if let Some(step) = step {
+                    let (r, _) = self.eval(ctx, step)?;
+                    ctx.free.push(r);
+                }
+                self.items.push(AItem::Jump {
+                    link: false,
+                    label: l_cond,
+                });
+                self.items.push(AItem::Label(l_end));
+                ctx.scopes.pop();
+            }
+            Stmt::Return(value) => {
+                if let Some(value) = value {
+                    let (r, _) = self.eval(ctx, value)?;
+                    self.emit(Insn::Addu {
+                        rd: Reg::V0,
+                        rs: r,
+                        rt: Reg::Zero,
+                    });
+                    ctx.free.push(r);
+                }
+                self.items.push(AItem::Jump {
+                    link: false,
+                    label: ctx.epilogue.clone(),
+                });
+            }
+            Stmt::Break => {
+                let label = ctx
+                    .breaks
+                    .last()
+                    .ok_or_else(|| CompileError::at(ctx.line, "`break` outside a loop"))?
+                    .clone();
+                self.items.push(AItem::Jump { link: false, label });
+            }
+            Stmt::Continue => {
+                let label = ctx
+                    .continues
+                    .last()
+                    .ok_or_else(|| CompileError::at(ctx.line, "`continue` outside a loop"))?
+                    .clone();
+                self.items.push(AItem::Jump { link: false, label });
+            }
+            Stmt::Block(stmts) => self.block(ctx, stmts)?,
+        }
+        Ok(())
+    }
+
+    // ---- expressions ----
+
+    fn alloc(&mut self, ctx: &mut FnCtx) -> Result<Reg, CompileError> {
+        ctx.free
+            .pop()
+            .ok_or_else(|| CompileError::at(ctx.line, "internal: temp registers exhausted"))
+    }
+
+    fn spill_push(&mut self, ctx: &mut FnCtx, r: Reg) -> Result<(), CompileError> {
+        if ctx.spill_depth >= SPILL_WORDS {
+            return Err(CompileError::at(ctx.line, "expression too complex"));
+        }
+        self.emit(Insn::Sw {
+            rt: r,
+            rs: Reg::Sp,
+            off: (ctx.spill_depth * 4) as i16,
+        });
+        ctx.spill_depth += 1;
+        ctx.free.push(r);
+        Ok(())
+    }
+
+    fn spill_pop(&mut self, ctx: &mut FnCtx, into: Reg) {
+        ctx.spill_depth -= 1;
+        self.emit(Insn::Lw {
+            rt: into,
+            rs: Reg::Sp,
+            off: (ctx.spill_depth * 4) as i16,
+        });
+    }
+
+    fn is_leaf(e: &Expr) -> bool {
+        matches!(e, Expr::Num(_) | Expr::Str(_) | Expr::Var(_))
+    }
+
+    /// Evaluate `e` into a fresh temp; returns `(register, type)`.
+    fn eval(&mut self, ctx: &mut FnCtx, e: &Expr) -> Result<(Reg, Type), CompileError> {
+        match e {
+            Expr::Num(v) => {
+                let r = self.alloc(ctx)?;
+                if let Ok(imm) = i16::try_from(*v) {
+                    self.items.push(AItem::Li { rd: r, imm });
+                } else {
+                    self.items.push(AItem::La {
+                        rd: r,
+                        value: *v as u32,
+                    });
+                }
+                Ok((r, Type::Int))
+            }
+            Expr::Str(bytes) => {
+                let addr = self.intern_string(bytes);
+                let r = self.alloc(ctx)?;
+                self.items.push(AItem::La { rd: r, value: addr });
+                Ok((r, Type::Char.ptr_to()))
+            }
+            Expr::Var(name) => {
+                let sym = ctx
+                    .lookup(name)
+                    .or_else(|| self.globals.get(name))
+                    .cloned()
+                    .ok_or_else(|| {
+                        CompileError::at(ctx.line, format!("unknown variable `{name}`"))
+                    })?;
+                let r = self.alloc(ctx)?;
+                match sym {
+                    Sym::Local { off, ty, array } => {
+                        if array {
+                            self.emit(Insn::Addiu {
+                                rt: r,
+                                rs: Reg::Sp,
+                                imm: off as i16,
+                            });
+                            Ok((r, ty.ptr_to()))
+                        } else {
+                            self.emit(Insn::Lw {
+                                rt: r,
+                                rs: Reg::Sp,
+                                off: off as i16,
+                            });
+                            Ok((r, ty))
+                        }
+                    }
+                    Sym::Global { addr, ty, array } => {
+                        self.items.push(AItem::La { rd: r, value: addr });
+                        if array {
+                            Ok((r, ty.ptr_to()))
+                        } else {
+                            self.emit(Insn::Lw {
+                                rt: r,
+                                rs: r,
+                                off: 0,
+                            });
+                            Ok((r, ty))
+                        }
+                    }
+                }
+            }
+            Expr::Un(op, inner) => {
+                let (r, ty) = self.eval(ctx, inner)?;
+                match op {
+                    UnOp::Neg => self.emit(Insn::Subu {
+                        rd: r,
+                        rs: Reg::Zero,
+                        rt: r,
+                    }),
+                    UnOp::Not => self.emit(Insn::Sltiu {
+                        rt: r,
+                        rs: r,
+                        imm: 1,
+                    }),
+                    UnOp::BitNot => self.emit(Insn::Nor {
+                        rd: r,
+                        rs: r,
+                        rt: Reg::Zero,
+                    }),
+                }
+                Ok((r, if *op == UnOp::Not { Type::Int } else { ty }))
+            }
+            Expr::Bin(BinOp::LogAnd, a, b) => self.logical(ctx, a, b, true),
+            Expr::Bin(BinOp::LogOr, a, b) => self.logical(ctx, a, b, false),
+            Expr::Bin(op, a, b) => {
+                let (mut ra, ta) = self.eval(ctx, a)?;
+                let (rb, tb) = if Self::is_leaf(b) {
+                    self.eval(ctx, b)?
+                } else {
+                    self.spill_push(ctx, ra)?;
+                    let out = self.eval(ctx, b)?;
+                    ra = self.alloc(ctx)?;
+                    self.spill_pop(ctx, ra);
+                    out
+                };
+                let ty = self.binop(ctx, *op, ra, &ta, rb, &tb)?;
+                ctx.free.push(rb);
+                Ok((ra, ty))
+            }
+            Expr::Assign(target, value) => self.assign(ctx, target, value),
+            Expr::Index(_, _) | Expr::Deref(_) => {
+                let (addr, pointee) = self.eval_address(ctx, e)?;
+                match pointee {
+                    Type::Char => self.emit(Insn::Lbu {
+                        rt: addr,
+                        rs: addr,
+                        off: 0,
+                    }),
+                    _ => self.emit(Insn::Lw {
+                        rt: addr,
+                        rs: addr,
+                        off: 0,
+                    }),
+                }
+                Ok((addr, pointee))
+            }
+            Expr::AddrOf(inner) => {
+                let (addr, pointee) = self.eval_address(ctx, inner)?;
+                Ok((addr, pointee.ptr_to()))
+            }
+            Expr::Call(name, args) => self.call(ctx, name, args),
+        }
+    }
+
+    /// Short-circuit `&&` / `||` producing 0/1 in a temp.
+    fn logical(
+        &mut self,
+        ctx: &mut FnCtx,
+        a: &Expr,
+        b: &Expr,
+        is_and: bool,
+    ) -> Result<(Reg, Type), CompileError> {
+        let l_end = self.label(if is_and { "and" } else { "or" });
+        let (ra, _) = self.eval(ctx, a)?;
+        // $v1 = bool(a)
+        self.emit(Insn::Sltu {
+            rd: Reg::V1,
+            rs: Reg::Zero,
+            rt: ra,
+        });
+        ctx.free.push(ra);
+        self.items.push(AItem::Branch {
+            kind: if is_and {
+                BranchKind::Beq // a false -> result already 0
+            } else {
+                BranchKind::Bne // a true -> result already 1
+            },
+            rs: Reg::V1,
+            rt: Reg::Zero,
+            label: l_end.clone(),
+        });
+        let (rb, _) = self.eval(ctx, b)?;
+        self.emit(Insn::Sltu {
+            rd: Reg::V1,
+            rs: Reg::Zero,
+            rt: rb,
+        });
+        ctx.free.push(rb);
+        self.items.push(AItem::Label(l_end));
+        let r = self.alloc(ctx)?;
+        self.emit(Insn::Addu {
+            rd: r,
+            rs: Reg::V1,
+            rt: Reg::Zero,
+        });
+        Ok((r, Type::Int))
+    }
+
+    /// Emit `ra = ra <op> rb`, with C pointer-arithmetic scaling. Returns
+    /// the result type.
+    fn binop(
+        &mut self,
+        ctx: &mut FnCtx,
+        op: BinOp,
+        ra: Reg,
+        ta: &Type,
+        rb: Reg,
+        tb: &Type,
+    ) -> Result<Type, CompileError> {
+        use BinOp::*;
+        // Pointer arithmetic scaling.
+        let scale = |cg: &mut Self, reg: Reg, elem: u32| {
+            if elem == 4 {
+                cg.emit(Insn::Sll {
+                    rd: reg,
+                    rt: reg,
+                    sh: 2,
+                });
+            }
+        };
+        let mut result = Type::Int;
+        if matches!(op, Add | Sub) {
+            if let Type::Ptr(_) = ta {
+                if !matches!(tb, Type::Ptr(_)) {
+                    scale(self, rb, ta.elem_size());
+                }
+                result = ta.clone();
+            } else if let Type::Ptr(_) = tb {
+                if op == Add {
+                    scale(self, ra, tb.elem_size());
+                    result = tb.clone();
+                }
+            }
+        }
+        match op {
+            Add => self.emit(Insn::Addu {
+                rd: ra,
+                rs: ra,
+                rt: rb,
+            }),
+            Sub => self.emit(Insn::Subu {
+                rd: ra,
+                rs: ra,
+                rt: rb,
+            }),
+            Mul => {
+                self.emit(Insn::Mult { rs: ra, rt: rb });
+                self.emit(Insn::Mflo { rd: ra });
+            }
+            Div => {
+                self.emit(Insn::Div { rs: ra, rt: rb });
+                self.emit(Insn::Mflo { rd: ra });
+            }
+            Rem => {
+                self.emit(Insn::Div { rs: ra, rt: rb });
+                self.emit(Insn::Mfhi { rd: ra });
+            }
+            Shl => self.emit(Insn::Sllv {
+                rd: ra,
+                rt: ra,
+                rs: rb,
+            }),
+            Shr => self.emit(Insn::Srav {
+                rd: ra,
+                rt: ra,
+                rs: rb,
+            }),
+            Lt => self.emit(Insn::Slt {
+                rd: ra,
+                rs: ra,
+                rt: rb,
+            }),
+            Gt => self.emit(Insn::Slt {
+                rd: ra,
+                rs: rb,
+                rt: ra,
+            }),
+            Le => {
+                self.emit(Insn::Slt {
+                    rd: ra,
+                    rs: rb,
+                    rt: ra,
+                });
+                self.emit(Insn::Xori {
+                    rt: ra,
+                    rs: ra,
+                    imm: 1,
+                });
+            }
+            Ge => {
+                self.emit(Insn::Slt {
+                    rd: ra,
+                    rs: ra,
+                    rt: rb,
+                });
+                self.emit(Insn::Xori {
+                    rt: ra,
+                    rs: ra,
+                    imm: 1,
+                });
+            }
+            Eq => {
+                self.emit(Insn::Subu {
+                    rd: ra,
+                    rs: ra,
+                    rt: rb,
+                });
+                self.emit(Insn::Sltiu {
+                    rt: ra,
+                    rs: ra,
+                    imm: 1,
+                });
+            }
+            Ne => {
+                self.emit(Insn::Subu {
+                    rd: ra,
+                    rs: ra,
+                    rt: rb,
+                });
+                self.emit(Insn::Sltu {
+                    rd: ra,
+                    rs: Reg::Zero,
+                    rt: ra,
+                });
+            }
+            BitAnd => self.emit(Insn::And {
+                rd: ra,
+                rs: ra,
+                rt: rb,
+            }),
+            BitOr => self.emit(Insn::Or {
+                rd: ra,
+                rs: ra,
+                rt: rb,
+            }),
+            BitXor => self.emit(Insn::Xor {
+                rd: ra,
+                rs: ra,
+                rt: rb,
+            }),
+            LogAnd | LogOr => {
+                return Err(CompileError::at(ctx.line, "internal: logical op here"))
+            }
+        }
+        Ok(match op {
+            Add | Sub => result,
+            _ => Type::Int,
+        })
+    }
+
+    /// Evaluate an lvalue to `(address register, pointee type)`.
+    fn eval_address(
+        &mut self,
+        ctx: &mut FnCtx,
+        e: &Expr,
+    ) -> Result<(Reg, Type), CompileError> {
+        match e {
+            Expr::Var(name) => {
+                let sym = ctx
+                    .lookup(name)
+                    .or_else(|| self.globals.get(name))
+                    .cloned()
+                    .ok_or_else(|| {
+                        CompileError::at(ctx.line, format!("unknown variable `{name}`"))
+                    })?;
+                let r = self.alloc(ctx)?;
+                match sym {
+                    Sym::Local { off, ty, array } => {
+                        self.emit(Insn::Addiu {
+                            rt: r,
+                            rs: Reg::Sp,
+                            imm: off as i16,
+                        });
+                        // &array gives the array address with element type.
+                        Ok((r, if array { ty } else { ty }))
+                    }
+                    Sym::Global { addr, ty, .. } => {
+                        self.items.push(AItem::La { rd: r, value: addr });
+                        Ok((r, ty))
+                    }
+                }
+            }
+            Expr::Deref(p) => {
+                let (r, ty) = self.eval(ctx, p)?;
+                Ok((r, ty.deref()))
+            }
+            Expr::Index(base, index) => {
+                let (mut rb, tb) = self.eval(ctx, base)?;
+                let elem = tb.deref();
+                let (ri, _) = if Self::is_leaf(index) {
+                    self.eval(ctx, index)?
+                } else {
+                    self.spill_push(ctx, rb)?;
+                    let out = self.eval(ctx, index)?;
+                    rb = self.alloc(ctx)?;
+                    self.spill_pop(ctx, rb);
+                    out
+                };
+                if elem.size() == 4 {
+                    self.emit(Insn::Sll {
+                        rd: ri,
+                        rt: ri,
+                        sh: 2,
+                    });
+                }
+                self.emit(Insn::Addu {
+                    rd: rb,
+                    rs: rb,
+                    rt: ri,
+                });
+                ctx.free.push(ri);
+                Ok((rb, elem))
+            }
+            _ => Err(CompileError::at(ctx.line, "expression is not an lvalue")),
+        }
+    }
+
+    fn assign(
+        &mut self,
+        ctx: &mut FnCtx,
+        target: &Expr,
+        value: &Expr,
+    ) -> Result<(Reg, Type), CompileError> {
+        // Arrays are not assignable (as in C).
+        if let Expr::Var(name) = target {
+            let sym = ctx.lookup(name).or_else(|| self.globals.get(name));
+            if matches!(
+                sym,
+                Some(Sym::Local { array: true, .. }) | Some(Sym::Global { array: true, .. })
+            ) {
+                return Err(CompileError::at(
+                    ctx.line,
+                    format!("array `{name}` is not assignable"),
+                ));
+            }
+        }
+        // Fast path: simple local scalar.
+        if let Expr::Var(name) = target {
+            if let Some(Sym::Local {
+                off,
+                ty,
+                array: false,
+            }) = ctx.lookup(name).cloned()
+            {
+                let (rv, _) = self.eval(ctx, value)?;
+                self.emit(Insn::Sw {
+                    rt: rv,
+                    rs: Reg::Sp,
+                    off: off as i16,
+                });
+                return Ok((rv, ty));
+            }
+        }
+        let (mut ra, pointee) = self.eval_address(ctx, target)?;
+        let (rv, _) = if Self::is_leaf(value) {
+            self.eval(ctx, value)?
+        } else {
+            self.spill_push(ctx, ra)?;
+            let out = self.eval(ctx, value)?;
+            ra = self.alloc(ctx)?;
+            self.spill_pop(ctx, ra);
+            out
+        };
+        match pointee {
+            Type::Char => self.emit(Insn::Sb {
+                rt: rv,
+                rs: ra,
+                off: 0,
+            }),
+            _ => self.emit(Insn::Sw {
+                rt: rv,
+                rs: ra,
+                off: 0,
+            }),
+        }
+        ctx.free.push(ra);
+        Ok((rv, pointee))
+    }
+
+    fn call(
+        &mut self,
+        ctx: &mut FnCtx,
+        name: &str,
+        args: &[Expr],
+    ) -> Result<(Reg, Type), CompileError> {
+        let builtin = BUILTINS.iter().find(|(b, ..)| *b == name).copied();
+        let arity = match builtin {
+            Some((_, arity, _, _)) => arity,
+            None => *self.functions.get(name).ok_or_else(|| {
+                CompileError::at(ctx.line, format!("unknown function `{name}`"))
+            })?,
+        };
+        if args.len() != arity {
+            return Err(CompileError::at(
+                ctx.line,
+                format!("`{name}` expects {arity} argument(s), got {}", args.len()),
+            ));
+        }
+        // Evaluate args left-to-right onto the spill stack.
+        for arg in args {
+            let (r, _) = self.eval(ctx, arg)?;
+            self.spill_push(ctx, r)?;
+        }
+        // Pop into $a registers.
+        for i in (0..args.len()).rev() {
+            ctx.spill_depth -= 1;
+            self.emit(Insn::Lw {
+                rt: ARG_REGS[i],
+                rs: Reg::Sp,
+                off: (ctx.spill_depth * 4) as i16,
+            });
+        }
+        match builtin {
+            Some((_, _, code, _)) => {
+                self.items.push(AItem::Li {
+                    rd: Reg::V0,
+                    imm: code,
+                });
+                self.emit(Insn::Syscall);
+            }
+            None => {
+                self.items.push(AItem::Jump {
+                    link: true,
+                    label: name.to_string(),
+                });
+            }
+        }
+        let r = self.alloc(ctx)?;
+        self.emit(Insn::Addu {
+            rd: r,
+            rs: Reg::V0,
+            rt: Reg::Zero,
+        });
+        Ok((r, Type::Int))
+    }
+}
+
+/// Bytes of frame space needed by all declarations in `stmts` (every
+/// declaration gets its own slot; sibling scopes do not share).
+fn locals_size(stmts: &[Stmt]) -> u32 {
+    let mut total = 0;
+    for stmt in stmts {
+        total += match stmt {
+            Stmt::Decl { ty, array, .. } => match array {
+                Some(n) => (ty.size().max(1) * n).next_multiple_of(4),
+                None => 4,
+            },
+            Stmt::If(_, a, b) => locals_size(a) + locals_size(b),
+            Stmt::While(_, body) => locals_size(body),
+            Stmt::For(init, _, _, body) => {
+                let init_size = init
+                    .as_deref()
+                    .map(|s| locals_size(std::slice::from_ref(s)))
+                    .unwrap_or(0);
+                init_size + locals_size(body)
+            }
+            Stmt::Block(body) => locals_size(body),
+            _ => 0,
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_hello_arithmetic() {
+        let img = compile("int main() { print_int(6 * 7); return 0; }").unwrap();
+        assert!(img.text.len() > 8);
+        // Entry stub jumps to main.
+        let first = Insn::decode(img.text[0]).unwrap();
+        assert!(matches!(first, Insn::Jal { .. }));
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(compile("int main() { return x; }").is_err());
+        assert!(compile("int main() { return f(1); }").is_err());
+        assert!(compile("int f() { return 0; }").is_err()); // no main
+        assert!(compile("int main() { print_int(1, 2); return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_shadowed_builtins() {
+        assert!(compile("int main() { return 0; } int main() { return 1; }").is_err());
+        assert!(compile("int print_int(int x) { return x; } int main() { return 0; }").is_err());
+        assert!(compile("int g; int g; int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn global_layout_and_string_interning() {
+        let img = compile(
+            r#"
+            int a = 7;
+            int tab[3] = {1, 2, 3};
+            char msg[8] = "hi";
+            int main() { print_str("hi"); print_str("hi"); return a; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(&img.data[0..4], &7u32.to_le_bytes());
+        assert_eq!(&img.data[4..8], &1u32.to_le_bytes());
+        assert_eq!(&img.data[12..16], &3u32.to_le_bytes());
+        assert_eq!(&img.data[16..18], b"hi");
+        // One interned copy of "hi" past the globals.
+        let tail = &img.data[24..];
+        let occurrences = tail.windows(3).filter(|w| *w == b"hi\0").count();
+        assert_eq!(occurrences, 1);
+    }
+
+    #[test]
+    fn delay_slots_are_nops() {
+        let img = compile("int main() { return 0; }").unwrap();
+        let words = &img.text;
+        for (i, &w) in words.iter().enumerate() {
+            if let Ok(insn) = Insn::decode(w) {
+                if insn.has_delay_slot() {
+                    assert_eq!(
+                        words.get(i + 1),
+                        Some(&Insn::NOP.encode()),
+                        "delay slot at {i} not a nop"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locals_size_counts_nested_scopes() {
+        let prog = parse(
+            "void f() { int a; if (a) { int b[10]; } else { int c; } while (a) { int d; } }",
+        )
+        .unwrap();
+        assert_eq!(locals_size(&prog.functions[0].body), 4 + 40 + 4 + 4);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn deep_expressions_spill_correctly() {
+        // Forces the frame-resident expression stack through many levels.
+        let src = r#"
+            int f(int a, int b, int c, int d) { return a + b * c - d; }
+            int main() {
+                int x;
+                x = f(f(1,2,3,4), f(5,6,7,8), f(9,10,11,12), f(13,14,15,16))
+                    + ((((1+2)*(3+4))+((5+6)*(7+8)))*(((9+10)*(11+12))+((13+14)*(15+16))));
+                print_int(x);
+                return 0;
+            }
+        "#;
+        let img = compile(src).expect("deep expression compiles");
+        assert!(img.text.len() > 50);
+    }
+
+    #[test]
+    fn four_argument_calls_compile() {
+        let src = "int g(int a, int b, int c, int d) { return a*1000 + b*100 + c*10 + d; }
+                   int main() { print_int(g(1,2,3,4)); return 0; }";
+        assert!(compile(src).is_ok());
+    }
+
+    #[test]
+    fn char_globals_and_pointer_stores() {
+        let src = r#"
+            char grid[16];
+            int main() {
+                char *p;
+                p = grid;
+                *p = 'A';
+                p[1] = 'B';
+                print_char(grid[0]);
+                print_char(grid[1]);
+                return 0;
+            }
+        "#;
+        assert!(compile(src).is_ok());
+    }
+
+    #[test]
+    fn break_continue_outside_loop_rejected() {
+        assert!(compile("int main() { break; return 0; }").is_err());
+        assert!(compile("int main() { continue; return 0; }").is_err());
+    }
+
+    #[test]
+    fn array_assignment_rejected() {
+        // Arrays are not assignable lvalues.
+        assert!(compile("int a[4]; int b[4]; int main() { a = b; return 0; }").is_err());
+    }
+}

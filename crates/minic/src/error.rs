@@ -1,0 +1,50 @@
+//! Compilation errors.
+
+/// An error produced while compiling mini-C.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line, if known.
+    pub line: Option<u32>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CompileError {
+    /// An error at a known line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// An error with no line information (link-time problems).
+    pub fn general(message: impl Into<String>) -> Self {
+        CompileError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CompileError::at(3, "bad").to_string(), "line 3: bad");
+        assert_eq!(CompileError::general("worse").to_string(), "worse");
+    }
+}

@@ -1,0 +1,40 @@
+//! A mini-C compiler targeting the MIPS R3000 subset in [`interp_isa`].
+//!
+//! The paper's MIPSI experiments interpret MIPS binaries of C programs
+//! (des, compress, eqntott, espresso, li) that also run natively on the
+//! measurement machine. This crate provides the missing toolchain: a C
+//! subset — `int`/`char`, pointers with C arithmetic, arrays, strings,
+//! full expression/statement structure, and syscall builtins
+//! (`print_int`, `read`, `sbrk`, …) — compiled to real R3000 encodings
+//! with architectural delay slots filled by `nop`s.
+//!
+//! The same [`interp_isa::Image`] is then
+//! *interpreted* by `interp-mipsi` and *directly executed* by
+//! `interp-nativeref`, exactly mirroring the paper's interpreted-vs-native
+//! methodology.
+//!
+//! # Example
+//!
+//! ```
+//! let image = interp_minic::compile(r#"
+//!     int fib(int n) {
+//!         if (n < 2) return n;
+//!         return fib(n - 1) + fib(n - 2);
+//!     }
+//!     int main() { print_int(fib(10)); return 0; }
+//! "#)?;
+//! assert!(image.size_bytes() > 0);
+//! # Ok::<(), interp_minic::CompileError>(())
+//! ```
+
+pub mod asm;
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod parser;
+pub mod token;
+
+pub use asm::{assemble, AItem, BranchKind};
+pub use codegen::compile;
+pub use error::CompileError;
+pub use parser::parse;

@@ -1,0 +1,609 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! One deliberate simplification: `x++`/`x--` (prefix or postfix)
+//! desugar to `x = x + 1` / `x = x - 1` and evaluate to the *new* value.
+//! The bundled workloads only use them in statement and `for`-step
+//! positions, where the distinction is invisible.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::{lex, Kw, Spanned, Token};
+
+/// Parse a mini-C translation unit.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] with the offending line on any syntax error.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Token::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(CompileError::at(
+                self.line(),
+                format!("expected `{p}`, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Token::Ident(name) => Ok(name),
+            other => Err(CompileError::at(
+                self.line(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn base_type(&mut self) -> Result<Option<Type>, CompileError> {
+        let ty = match self.peek() {
+            Token::Kw(Kw::Int) => Type::Int,
+            Token::Kw(Kw::Char) => Type::Char,
+            Token::Kw(Kw::Void) => Type::Void,
+            _ => return Ok(None),
+        };
+        self.bump();
+        Ok(Some(self.pointer_suffix(ty)))
+    }
+
+    fn pointer_suffix(&mut self, mut ty: Type) -> Type {
+        while self.eat_punct("*") {
+            ty = ty.ptr_to();
+        }
+        ty
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        while *self.peek() != Token::Eof {
+            let line = self.line();
+            let ty = self.base_type()?.ok_or_else(|| {
+                CompileError::at(line, "expected a type at top level")
+            })?;
+            let name = self.expect_ident()?;
+            if self.eat_punct("(") {
+                prog.functions.push(self.function(ty, name, line)?);
+            } else {
+                prog.globals.push(self.global(ty, name, line)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn function(&mut self, ret: Type, name: String, line: u32) -> Result<Function, CompileError> {
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let pline = self.line();
+                let ty = self
+                    .base_type()?
+                    .ok_or_else(|| CompileError::at(pline, "expected parameter type"))?;
+                let pname = self.expect_ident()?;
+                params.push((pname, ty));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        if params.len() > 4 {
+            return Err(CompileError::at(
+                line,
+                "at most 4 parameters are supported",
+            ));
+        }
+        self.expect_punct("{")?;
+        let body = self.block_body()?;
+        Ok(Function {
+            name,
+            ret,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn global(&mut self, ty: Type, name: String, line: u32) -> Result<Global, CompileError> {
+        let array = if self.eat_punct("[") {
+            let n = self.const_expr()?;
+            self.expect_punct("]")?;
+            Some(u32::try_from(n).map_err(|_| CompileError::at(line, "bad array size"))?)
+        } else {
+            None
+        };
+        let init = if self.eat_punct("=") {
+            match self.peek().clone() {
+                Token::Str(bytes) => {
+                    self.bump();
+                    GlobalInit::Bytes(bytes)
+                }
+                Token::Punct("{") => {
+                    self.bump();
+                    let mut values = Vec::new();
+                    if !self.eat_punct("}") {
+                        loop {
+                            values.push(self.const_expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct("}")?;
+                    }
+                    GlobalInit::List(values)
+                }
+                _ => GlobalInit::Scalar(self.const_expr()?),
+            }
+        } else {
+            GlobalInit::Zero
+        };
+        self.expect_punct(";")?;
+        Ok(Global {
+            name,
+            ty,
+            array,
+            init,
+            line,
+        })
+    }
+
+    /// Constant expressions in global initializers and array sizes:
+    /// literals, unary minus, and `|`/`+`/`*`/`<<` folds.
+    fn const_expr(&mut self) -> Result<i64, CompileError> {
+        let line = self.line();
+        let expr = self.expr()?;
+        fold_const(&expr).ok_or_else(|| CompileError::at(line, "expected a constant expression"))
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if *self.peek() == Token::Eof {
+                return Err(CompileError::at(self.line(), "unexpected end of file"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.eat_punct("{") {
+            return Ok(Stmt::Block(self.block_body()?));
+        }
+        if let Some(ty) = self.base_type()? {
+            let name = self.expect_ident()?;
+            let array = if self.eat_punct("[") {
+                let n = self.const_expr()?;
+                self.expect_punct("]")?;
+                Some(u32::try_from(n).map_err(|_| CompileError::at(line, "bad array size"))?)
+            } else {
+                None
+            };
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl {
+                ty,
+                name,
+                array,
+                init,
+            });
+        }
+        match self.peek().clone() {
+            Token::Kw(Kw::If) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then = self.stmt_as_block()?;
+                let els = if matches!(self.peek(), Token::Kw(Kw::Else)) {
+                    self.bump();
+                    self.stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Token::Kw(Kw::While) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(Stmt::While(cond, self.stmt_as_block()?))
+            }
+            Token::Kw(Kw::For) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let init = if self.eat_punct(";") {
+                    None
+                } else {
+                    Some(Box::new(self.stmt()?)) // consumes its own `;`
+                };
+                let cond = if self.eat_punct(";") {
+                    None
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Some(e)
+                };
+                let step = if self.eat_punct(")") {
+                    None
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(")")?;
+                    Some(e)
+                };
+                Ok(Stmt::For(init, cond, step, self.stmt_as_block()?))
+            }
+            Token::Kw(Kw::Return) => {
+                self.bump();
+                if self.eat_punct(";") {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Token::Kw(Kw::Break) => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Break)
+            }
+            Token::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.eat_punct("{") {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.binary(0)?;
+        for (tok, op) in [
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("%=", BinOp::Rem),
+            ("&=", BinOp::BitAnd),
+            ("|=", BinOp::BitOr),
+            ("^=", BinOp::BitXor),
+            ("<<=", BinOp::Shl),
+            (">>=", BinOp::Shr),
+        ] {
+            if self.eat_punct(tok) {
+                let rhs = self.assignment()?;
+                return Ok(Expr::Assign(
+                    Box::new(lhs.clone()),
+                    Box::new(Expr::Bin(op, Box::new(lhs), Box::new(rhs))),
+                ));
+            }
+        }
+        if self.eat_punct("=") {
+            let rhs = self.assignment()?;
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some((op, prec)) = self.peek_binop() else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let Token::Punct(p) = self.peek() else {
+            return None;
+        };
+        Some(match *p {
+            "||" => (BinOp::LogOr, 1),
+            "&&" => (BinOp::LogAnd, 2),
+            "|" => (BinOp::BitOr, 3),
+            "^" => (BinOp::BitXor, 4),
+            "&" => (BinOp::BitAnd, 5),
+            "==" => (BinOp::Eq, 6),
+            "!=" => (BinOp::Ne, 6),
+            "<" => (BinOp::Lt, 7),
+            "<=" => (BinOp::Le, 7),
+            ">" => (BinOp::Gt, 7),
+            ">=" => (BinOp::Ge, 7),
+            "<<" => (BinOp::Shl, 8),
+            ">>" => (BinOp::Shr, 8),
+            "+" => (BinOp::Add, 9),
+            "-" => (BinOp::Sub, 9),
+            "*" => (BinOp::Mul, 10),
+            "/" => (BinOp::Div, 10),
+            "%" => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Un(UnOp::BitNot, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("*") {
+            return Ok(Expr::Deref(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("&") {
+            return Ok(Expr::AddrOf(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("++") {
+            let target = self.unary()?;
+            return Ok(incdec(target, BinOp::Add));
+        }
+        if self.eat_punct("--") {
+            let target = self.unary()?;
+            return Ok(incdec(target, BinOp::Sub));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.eat_punct("++") {
+                e = incdec(e, BinOp::Add);
+            } else if self.eat_punct("--") {
+                e = incdec(e, BinOp::Sub);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Token::Int(v) => Ok(Expr::Num(v)),
+            Token::Str(bytes) => Ok(Expr::Str(bytes)),
+            Token::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Token::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(CompileError::at(
+                line,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}
+
+fn incdec(target: Expr, op: BinOp) -> Expr {
+    Expr::Assign(
+        Box::new(target.clone()),
+        Box::new(Expr::Bin(op, Box::new(target), Box::new(Expr::Num(1)))),
+    )
+}
+
+/// Fold a constant expression (used for global initializers/array sizes).
+fn fold_const(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Num(v) => Some(*v),
+        Expr::Un(UnOp::Neg, inner) => Some(-fold_const(inner)?),
+        Expr::Un(UnOp::BitNot, inner) => Some(!fold_const(inner)?),
+        Expr::Bin(op, a, b) => {
+            let (a, b) = (fold_const(a)?, fold_const(b)?);
+            Some(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Shl => a << (b & 31),
+                BinOp::Shr => a >> (b & 31),
+                BinOp::BitOr => a | b,
+                BinOp::BitAnd => a & b,
+                BinOp::BitXor => a ^ b,
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_function() {
+        let prog = parse("int add(int a, int b) { return a + b; }").unwrap();
+        assert_eq!(prog.functions.len(), 1);
+        let f = &prog.functions[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Type::Int);
+        assert_eq!(
+            f.body,
+            vec![Stmt::Return(Some(Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var("a".into())),
+                Box::new(Expr::Var("b".into()))
+            )))]
+        );
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let prog = parse("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
+        let Stmt::Return(Some(Expr::Bin(BinOp::LogAnd, lhs, _))) = &prog.functions[0].body[0]
+        else {
+            panic!("expected &&");
+        };
+        assert!(matches!(**lhs, Expr::Bin(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn globals_with_initializers() {
+        let prog = parse(
+            "int x = 42; int tab[4] = {1, 2, 3, 4}; char msg[8] = \"hi\"; int big[100];",
+        )
+        .unwrap();
+        assert_eq!(prog.globals.len(), 4);
+        assert_eq!(prog.globals[0].init, GlobalInit::Scalar(42));
+        assert_eq!(prog.globals[1].init, GlobalInit::List(vec![1, 2, 3, 4]));
+        assert_eq!(prog.globals[2].init, GlobalInit::Bytes(b"hi".to_vec()));
+        assert_eq!(prog.globals[3].init, GlobalInit::Zero);
+        assert_eq!(prog.globals[3].array, Some(100));
+    }
+
+    #[test]
+    fn const_folded_sizes() {
+        let prog = parse("int t[1 << 4];").unwrap();
+        assert_eq!(prog.globals[0].array, Some(16));
+    }
+
+    #[test]
+    fn for_loops_and_incdec() {
+        let prog = parse("void f() { int i; for (i = 0; i < 10; i++) { f(); } }").unwrap();
+        let Stmt::For(init, cond, step, body) = &prog.functions[0].body[1] else {
+            panic!("expected for");
+        };
+        assert!(init.is_some());
+        assert!(cond.is_some());
+        assert!(matches!(step, Some(Expr::Assign(_, _))));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let prog = parse("void f() { int x; x += 3; }").unwrap();
+        let Stmt::Expr(Expr::Assign(t, v)) = &prog.functions[0].body[1] else {
+            panic!("expected assignment");
+        };
+        assert_eq!(**t, Expr::Var("x".into()));
+        assert!(matches!(**v, Expr::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn pointers_and_indexing() {
+        let prog = parse("int f(int *p) { return p[2] + *p + p[0]; }").unwrap();
+        assert_eq!(prog.functions[0].params[0].1, Type::Int.ptr_to());
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        assert!(parse("int f( { }").is_err());
+        assert!(parse("int;").is_err());
+        let err = parse("int f() {\n  return 1 +;\n}").unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn too_many_params_rejected() {
+        assert!(parse("int f(int a, int b, int c, int d, int e) { return 0; }").is_err());
+    }
+
+    #[test]
+    fn dangling_else_binds_inner() {
+        let prog =
+            parse("void f(int a, int b) { if (a) if (b) f(1,2); else f(3,4); }").unwrap();
+        let Stmt::If(_, then, els) = &prog.functions[0].body[0] else {
+            panic!("outer if");
+        };
+        assert!(els.is_empty());
+        let Stmt::If(_, _, inner_else) = &then[0] else {
+            panic!("inner if");
+        };
+        assert_eq!(inner_else.len(), 1);
+    }
+}

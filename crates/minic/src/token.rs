@@ -1,0 +1,314 @@
+//! Lexer for mini-C.
+
+use crate::error::CompileError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (decimal, hex `0x…`, or character `'c'`).
+    Int(i64),
+    /// String literal (escapes resolved).
+    Str(Vec<u8>),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Int,
+    Char,
+    Void,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+}
+
+/// A token plus its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "++", "--", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+];
+
+/// Tokenize mini-C source.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on malformed literals or stray characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(CompileError::at(line, "unterminated block comment"));
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match word {
+                "int" => Token::Kw(Kw::Int),
+                "char" => Token::Kw(Kw::Char),
+                "void" => Token::Kw(Kw::Void),
+                "if" => Token::Kw(Kw::If),
+                "else" => Token::Kw(Kw::Else),
+                "while" => Token::Kw(Kw::While),
+                "for" => Token::Kw(Kw::For),
+                "return" => Token::Kw(Kw::Return),
+                "break" => Token::Kw(Kw::Break),
+                "continue" => Token::Kw(Kw::Continue),
+                _ => Token::Ident(word.to_string()),
+            };
+            out.push(Spanned { tok, line });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                i += 2;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let value = i64::from_str_radix(&src[start + 2..i], 16)
+                    .map_err(|_| CompileError::at(line, "bad hex literal"))?;
+                out.push(Spanned {
+                    tok: Token::Int(value),
+                    line,
+                });
+            } else {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let value = src[start..i]
+                    .parse::<i64>()
+                    .map_err(|_| CompileError::at(line, "bad integer literal"))?;
+                out.push(Spanned {
+                    tok: Token::Int(value),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Character literal.
+        if c == b'\'' {
+            let (value, consumed) = read_char_escape(bytes, i + 1, line)?;
+            if i + 1 + consumed >= bytes.len() || bytes[i + 1 + consumed] != b'\'' {
+                return Err(CompileError::at(line, "unterminated char literal"));
+            }
+            out.push(Spanned {
+                tok: Token::Int(i64::from(value)),
+                line,
+            });
+            i += consumed + 2;
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            let mut content = Vec::new();
+            let mut j = i + 1;
+            loop {
+                if j >= bytes.len() {
+                    return Err(CompileError::at(line, "unterminated string literal"));
+                }
+                if bytes[j] == b'"' {
+                    break;
+                }
+                let (value, consumed) = read_char_escape(bytes, j, line)?;
+                content.push(value);
+                j += consumed;
+            }
+            out.push(Spanned {
+                tok: Token::Str(content),
+                line,
+            });
+            i = j + 1;
+            continue;
+        }
+        // Punctuation (longest match first).
+        if let Some(&p) = PUNCTS
+            .iter()
+            .find(|p| bytes[i..].starts_with(p.as_bytes()))
+        {
+            out.push(Spanned {
+                tok: Token::Punct(p),
+                line,
+            });
+            i += p.len();
+            continue;
+        }
+        return Err(CompileError::at(
+            line,
+            format!("unexpected character {:?}", c as char),
+        ));
+    }
+    out.push(Spanned {
+        tok: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+/// Read one (possibly escaped) character at `bytes[i..]`; returns
+/// `(value, bytes consumed)`.
+fn read_char_escape(bytes: &[u8], i: usize, line: u32) -> Result<(u8, usize), CompileError> {
+    if i >= bytes.len() {
+        return Err(CompileError::at(line, "unterminated literal"));
+    }
+    if bytes[i] != b'\\' {
+        return Ok((bytes[i], 1));
+    }
+    if i + 1 >= bytes.len() {
+        return Err(CompileError::at(line, "dangling escape"));
+    }
+    let value = match bytes[i + 1] {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => {
+            return Err(CompileError::at(
+                line,
+                format!("unknown escape \\{}", other as char),
+            ))
+        }
+    };
+    Ok((value, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_idents_numbers() {
+        assert_eq!(
+            toks("int x = 0x1f; // comment\nreturn x2;"),
+            vec![
+                Token::Kw(Kw::Int),
+                Token::Ident("x".into()),
+                Token::Punct("="),
+                Token::Int(31),
+                Token::Punct(";"),
+                Token::Kw(Kw::Return),
+                Token::Ident("x2".into()),
+                Token::Punct(";"),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_and_string_escapes() {
+        assert_eq!(
+            toks(r#"'a' '\n' "hi\t\0""#),
+            vec![
+                Token::Int(97),
+                Token::Int(10),
+                Token::Str(vec![b'h', b'i', b'\t', 0]),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_punct_wins() {
+        assert_eq!(
+            toks("a <<= b << c <= d < e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("<<="),
+                Token::Ident("b".into()),
+                Token::Punct("<<"),
+                Token::Ident("c".into()),
+                Token::Punct("<="),
+                Token::Ident("d".into()),
+                Token::Punct("<"),
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comments_and_lines() {
+        let spanned = lex("int a;\n/* multi\nline */ int b;").unwrap();
+        let b_line = spanned
+            .iter()
+            .find(|s| s.tok == Token::Ident("b".into()))
+            .unwrap()
+            .line;
+        assert_eq!(b_line, 3);
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let err = lex("int a;\n@").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Perlite errors.
+
+/// A compile-time or run-time Perlite error (syntax error, `die`, missing
+/// file…).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerlError {
+    /// 1-based source line where the problem was detected, if known.
+    pub line: Option<u32>,
+    /// Message.
+    pub message: String,
+}
+
+impl PerlError {
+    /// Error at a known source line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        PerlError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// Runtime error with no line attribution.
+    pub fn runtime(message: impl Into<String>) -> Self {
+        PerlError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PerlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for PerlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(PerlError::at(2, "oops").to_string(), "line 2: oops");
+        assert_eq!(PerlError::runtime("died").to_string(), "died");
+    }
+}

@@ -1,0 +1,490 @@
+//! Lexer for the Perl subset.
+//!
+//! Regex literals (`/pat/`, `s/pat/repl/`, `m/pat/`, `tr`…) are
+//! context-sensitive in Perl; the lexer therefore exposes a cursor API the
+//! parser drives, including a mode switch for reading regex bodies.
+
+use crate::error::PerlError;
+
+/// A token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bareword identifier (sub names, builtins, filehandles).
+    Ident(String),
+    /// `$name` (possibly about to be indexed/keyed; the parser looks at
+    /// the following `[`/`{`).
+    Scalar(String),
+    /// `@name`.
+    Array(String),
+    /// `%name`.
+    Hash(String),
+    /// Numeric literal (integers only in this subset).
+    Num(i64),
+    /// Single-quoted string (no interpolation).
+    StrSingle(Vec<u8>),
+    /// Double-quoted string, split into interpolation parts.
+    StrDouble(Vec<StrPart>),
+    /// Operator / punctuation.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A piece of a double-quoted string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrPart {
+    /// Literal bytes.
+    Lit(Vec<u8>),
+    /// `$name` interpolation.
+    Var(String),
+    /// `$name[expr-source]` element interpolation (source re-lexed by the
+    /// parser).
+    Elem(String, String),
+    /// `$name{key-source}` hash-element interpolation.
+    HElem(String, String),
+}
+
+const PUNCTS: &[&str] = &[
+    "<=>", "**", "=~", "!~", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "+=", "-=", "*=",
+    "/=", ".=", "%=", "x=", "=>", "->", "..", "<", ">", "(", ")", "{", "}", "[", "]", ";", ",", "+",
+    "-", "*", "/", "%", ".", "=", "!", "?", ":", "&", "|", "^", "~", "#",
+];
+
+/// Cursor-based lexer.
+pub struct Lexer {
+    src: Vec<u8>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    /// Create a lexer over `src`.
+    pub fn new(src: &str) -> Self {
+        Lexer {
+            src: src.as_bytes().to_vec(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Current 1-based line.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// Bytes consumed so far (the startup pass charges per byte).
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'#' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Read the next token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerlError`] on malformed literals.
+    pub fn next(&mut self) -> Result<Tok, PerlError> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(Tok::Eof);
+        }
+        let c = self.src[self.pos];
+        // Variables.
+        if c == b'$' || c == b'@' || c == b'%' {
+            // `%` is also modulo; only treat as a hash sigil when followed
+            // by an identifier character.
+            let next_is_word = self
+                .src
+                .get(self.pos + 1)
+                .map(|n| n.is_ascii_alphabetic() || *n == b'_')
+                .unwrap_or(false);
+            if c != b'%' || next_is_word {
+                self.pos += 1;
+                let name = self.ident();
+                if name.is_empty() {
+                    return Err(PerlError::at(self.line, "empty variable name"));
+                }
+                return Ok(match c {
+                    b'$' => Tok::Scalar(name),
+                    b'@' => Tok::Array(name),
+                    _ => Tok::Hash(name),
+                });
+            }
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(Tok::Ident(self.ident()));
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            if c == b'0'
+                && self.src.get(self.pos + 1).map(|n| n | 32) == Some(b'x')
+            {
+                self.pos += 2;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_hexdigit() {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start + 2..self.pos]).unwrap();
+                let v = i64::from_str_radix(text, 16)
+                    .map_err(|_| PerlError::at(self.line, "bad hex literal"))?;
+                return Ok(Tok::Num(v));
+            }
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let v = text
+                .parse::<i64>()
+                .map_err(|_| PerlError::at(self.line, "bad number"))?;
+            return Ok(Tok::Num(v));
+        }
+        if c == b'\'' {
+            self.pos += 1;
+            let mut out = Vec::new();
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                if self.src[self.pos] == b'\\'
+                    && matches!(self.src.get(self.pos + 1), Some(b'\'') | Some(b'\\'))
+                {
+                    out.push(self.src[self.pos + 1]);
+                    self.pos += 2;
+                } else {
+                    if self.src[self.pos] == b'\n' {
+                        self.line += 1;
+                    }
+                    out.push(self.src[self.pos]);
+                    self.pos += 1;
+                }
+            }
+            if self.pos >= self.src.len() {
+                return Err(PerlError::at(self.line, "unterminated string"));
+            }
+            self.pos += 1;
+            return Ok(Tok::StrSingle(out));
+        }
+        if c == b'"' {
+            self.pos += 1;
+            let parts = self.double_quoted(b'"')?;
+            return Ok(Tok::StrDouble(parts));
+        }
+        // `<FH>` readline.
+        if c == b'<' {
+            // Lookahead: <IDENT>
+            let save = self.pos;
+            self.pos += 1;
+            let name = self.ident();
+            if !name.is_empty() && self.src.get(self.pos) == Some(&b'>') {
+                self.pos += 1;
+                return Ok(Tok::Punct("<FH>")).map(|_| {
+                    // smuggle the handle name through Ident-after convention:
+                    Tok::Ident(format!("<{name}>"))
+                });
+            }
+            self.pos = save;
+        }
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                self.pos += p.len();
+                return Ok(Tok::Punct(p));
+            }
+        }
+        Err(PerlError::at(
+            self.line,
+            format!("unexpected character {:?}", c as char),
+        ))
+    }
+
+    /// Parse the body of a double-quoted string up to `close`, splitting
+    /// interpolations.
+    fn double_quoted(&mut self, close: u8) -> Result<Vec<StrPart>, PerlError> {
+        let mut parts = Vec::new();
+        let mut lit = Vec::new();
+        while self.pos < self.src.len() && self.src[self.pos] != close {
+            let c = self.src[self.pos];
+            if c == b'\\' && self.pos + 1 < self.src.len() {
+                let e = self.src[self.pos + 1];
+                lit.push(match e {
+                    b'n' => b'\n',
+                    b't' => b'\t',
+                    b'r' => b'\r',
+                    b'0' => 0,
+                    other => other,
+                });
+                self.pos += 2;
+                continue;
+            }
+            if c == b'$'
+                && self
+                    .src
+                    .get(self.pos + 1)
+                    .map(|n| n.is_ascii_alphanumeric() || *n == b'_')
+                    .unwrap_or(false)
+            {
+                if !lit.is_empty() {
+                    parts.push(StrPart::Lit(std::mem::take(&mut lit)));
+                }
+                self.pos += 1;
+                let name = self.ident();
+                // Element interpolation: $a[...] or $h{...}.
+                match self.src.get(self.pos) {
+                    Some(b'[') => {
+                        let inner = self.balanced(b'[', b']')?;
+                        parts.push(StrPart::Elem(name, inner));
+                    }
+                    Some(b'{') => {
+                        let inner = self.balanced(b'{', b'}')?;
+                        parts.push(StrPart::HElem(name, inner));
+                    }
+                    _ => parts.push(StrPart::Var(name)),
+                }
+                continue;
+            }
+            if c == b'\n' {
+                self.line += 1;
+            }
+            lit.push(c);
+            self.pos += 1;
+        }
+        if self.pos >= self.src.len() {
+            return Err(PerlError::at(self.line, "unterminated string"));
+        }
+        self.pos += 1; // closing quote
+        if !lit.is_empty() {
+            parts.push(StrPart::Lit(lit));
+        }
+        Ok(parts)
+    }
+
+    /// Read a balanced `open…close` region (after `open` has been seen at
+    /// the cursor), returning the inner source text.
+    fn balanced(&mut self, open: u8, close: u8) -> Result<String, PerlError> {
+        debug_assert_eq!(self.src[self.pos], open);
+        self.pos += 1;
+        let start = self.pos;
+        let mut depth = 1;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c == open {
+                depth += 1;
+            } else if c == close {
+                depth -= 1;
+                if depth == 0 {
+                    let inner =
+                        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    return Ok(inner);
+                }
+            } else if c == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        Err(PerlError::at(self.line, "unbalanced delimiter"))
+    }
+
+    /// Read a regex body delimited by `delim` (cursor must be at the
+    /// opening delimiter). Returns the raw pattern text.
+    pub fn regex_body(&mut self, delim: u8) -> Result<String, PerlError> {
+        debug_assert_eq!(self.src[self.pos], delim);
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != delim {
+            if self.src[self.pos] == b'\\' {
+                self.pos += 1;
+            }
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        if self.pos >= self.src.len() {
+            return Err(PerlError::at(self.line, "unterminated regex"));
+        }
+        let body = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.pos += 1;
+        Ok(body)
+    }
+
+    /// Peek the next raw byte (after whitespace), without consuming.
+    pub fn peek_raw(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    /// Peek the byte at the cursor with no whitespace skipping (used while
+    /// reading a substitution's replacement text).
+    pub fn peek_raw_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    /// Advance the cursor by one byte.
+    pub fn skip_byte(&mut self) {
+        if self.src.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Read trailing regex flags (e.g. `g`, `i`).
+    pub fn regex_flags(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(src: &str) -> Vec<Tok> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next().unwrap();
+            let done = t == Tok::Eof;
+            out.push(t);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sigils() {
+        assert_eq!(
+            all_tokens("$x @arr %h"),
+            vec![
+                Tok::Scalar("x".into()),
+                Tok::Array("arr".into()),
+                Tok::Hash("h".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_is_modulo_without_word() {
+        assert_eq!(
+            all_tokens("$a % 3"),
+            vec![
+                Tok::Scalar("a".into()),
+                Tok::Punct("%"),
+                Tok::Num(3),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_interpolation() {
+        let toks = all_tokens(r#"'a$b' "x $y z" "$a[0]$h{k}""#);
+        assert_eq!(toks[0], Tok::StrSingle(b"a$b".to_vec()));
+        assert_eq!(
+            toks[1],
+            Tok::StrDouble(vec![
+                StrPart::Lit(b"x ".to_vec()),
+                StrPart::Var("y".into()),
+                StrPart::Lit(b" z".to_vec()),
+            ])
+        );
+        assert_eq!(
+            toks[2],
+            Tok::StrDouble(vec![
+                StrPart::Elem("a".into(), "0".into()),
+                StrPart::HElem("h".into(), "k".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn numbers_and_escapes() {
+        assert_eq!(
+            all_tokens(r#"42 0x1f "a\tb\n""#),
+            vec![
+                Tok::Num(42),
+                Tok::Num(31),
+                Tok::StrDouble(vec![StrPart::Lit(b"a\tb\n".to_vec())]),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn readline_token() {
+        assert_eq!(
+            all_tokens("<IN>"),
+            vec![Tok::Ident("<IN>".into()), Tok::Eof]
+        );
+        // Plain `<` comparison still works.
+        assert_eq!(
+            all_tokens("$a < 3"),
+            vec![
+                Tok::Scalar("a".into()),
+                Tok::Punct("<"),
+                Tok::Num(3),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn regex_body_reading() {
+        let mut lx = Lexer::new(r#"/ab\/c/ rest"#);
+        assert_eq!(lx.peek_raw(), Some(b'/'));
+        assert_eq!(lx.regex_body(b'/').unwrap(), r"ab\/c");
+        assert_eq!(lx.next().unwrap(), Tok::Ident("rest".into()));
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let mut lx = Lexer::new("# comment\n$x");
+        assert_eq!(lx.next().unwrap(), Tok::Scalar("x".into()));
+        assert_eq!(lx.line(), 2);
+    }
+
+    #[test]
+    fn multi_char_ops_win() {
+        assert_eq!(
+            all_tokens("$a =~ $b .= $c == 1"),
+            vec![
+                Tok::Scalar("a".into()),
+                Tok::Punct("=~"),
+                Tok::Scalar("b".into()),
+                Tok::Punct(".="),
+                Tok::Scalar("c".into()),
+                Tok::Punct("=="),
+                Tok::Num(1),
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! The compiled op-tree.
+//!
+//! Perl 4 compiles each program at startup into an internal tree and then
+//! walks it; each node the walker dispatches is one *virtual command*
+//! (Table 2's Perl rows, Figure 2's `match`/`assign`/`concat`/… bars).
+//! Nodes carry a simulated-memory address so the walker's node fetches
+//! produce real data traffic.
+
+use interp_host::SimStr;
+
+/// Index of an op node.
+pub(crate) type OpId = u32;
+/// Scalar-variable slot (symbol lookup compiled away, §3.3).
+pub(crate) type SlotId = u32;
+/// Array-variable slot.
+pub(crate) type ArrId = u32;
+/// Hash-variable slot (element access is a run-time hash translation).
+pub(crate) type HashId = u32;
+/// Compiled-regex index.
+pub(crate) type ReId = u32;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub(crate) enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Concat,
+    NumEq,
+    NumNe,
+    NumLt,
+    NumLe,
+    NumGt,
+    NumGe,
+    StrEq,
+    StrNe,
+    StrLt,
+    StrGt,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinKind {
+    /// Virtual-command name (matches Perl op naming where it matters for
+    /// Figure 2).
+    pub(crate) fn cmd_name(self) -> &'static str {
+        match self {
+            BinKind::Add => "add",
+            BinKind::Sub => "subtract",
+            BinKind::Mul => "multiply",
+            BinKind::Div => "divide",
+            BinKind::Mod => "modulo",
+            BinKind::Concat => "concat",
+            BinKind::NumEq => "eq",
+            BinKind::NumNe => "ne",
+            BinKind::NumLt => "lt",
+            BinKind::NumLe => "le",
+            BinKind::NumGt => "gt",
+            BinKind::NumGe => "ge",
+            BinKind::StrEq => "seq",
+            BinKind::StrNe => "sne",
+            BinKind::StrLt => "slt",
+            BinKind::StrGt => "sgt",
+            BinKind::And => "and",
+            BinKind::Or => "or",
+            BinKind::BitAnd => "band",
+            BinKind::BitOr => "bor",
+            BinKind::BitXor => "bxor",
+            BinKind::Shl => "lshift",
+            BinKind::Shr => "rshift",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub(crate) enum UnKind {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// String/list builtins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub(crate) enum BuiltinKind {
+    Length,
+    Substr,
+    Index,
+    Sprintf,
+    Chop,
+    Uc,
+    Lc,
+    Ord,
+    Chr,
+    Defined,
+    Int,
+}
+
+impl BuiltinKind {
+    pub(crate) fn cmd_name(self) -> &'static str {
+        match self {
+            BuiltinKind::Length => "length",
+            BuiltinKind::Substr => "substr",
+            BuiltinKind::Index => "index",
+            BuiltinKind::Sprintf => "sprintf",
+            BuiltinKind::Chop => "chop",
+            BuiltinKind::Uc => "uc",
+            BuiltinKind::Lc => "lc",
+            BuiltinKind::Ord => "ord",
+            BuiltinKind::Chr => "chr",
+            BuiltinKind::Defined => "defined",
+            BuiltinKind::Int => "int",
+        }
+    }
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Target {
+    /// `$x` — slot resolved at compile time.
+    Scalar(SlotId),
+    /// `$a[i]`.
+    Elem(ArrId, OpId),
+    /// `$h{k}` — hash translation at run time.
+    HElem(HashId, OpId),
+}
+
+/// A piece of an interpolated string or substitution replacement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Part {
+    /// Literal text (materialized in simulated memory at compile time).
+    Lit(SimStr),
+    /// Value of an expression (compiled from `$var`, `$a[i]`, `$h{k}`).
+    Expr(OpId),
+    /// Capture group `$k` of the most recent match.
+    Group(u8),
+}
+
+/// Sources a `foreach` can iterate.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ListSource {
+    /// `@array`.
+    Array(ArrId),
+    /// `keys %hash`.
+    Keys(HashId),
+    /// `$from .. $to`.
+    Range(OpId, OpId),
+    /// `split(/re/, expr)`.
+    Split(ReId, OpId),
+    /// Literal list `(e1, e2, …)`.
+    Exprs(Vec<OpId>),
+}
+
+/// One op node.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    /// Integer constant.
+    ConstInt(i64),
+    /// String constant (interned in simulated memory).
+    ConstStr(SimStr),
+    /// Interpolated string.
+    Interp(Vec<Part>),
+    /// Read `$x`.
+    GetScalar(SlotId),
+    /// Read capture group `$1`..`$9`.
+    GetGroup(u8),
+    /// Read `$a[i]`.
+    GetElem(ArrId, OpId),
+    /// Read `$h{k}`.
+    GetHElem(HashId, OpId),
+    /// `@a` in scalar context (element count).
+    ArrayLen(ArrId),
+    /// `target = value`.
+    Assign(Target, OpId),
+    /// `target op= value`.
+    AssignOp(Target, BinKind, OpId),
+    /// `$x++` / `$x--` (evaluates to the *old* value).
+    PostIncr(Target, i64),
+    /// `++$x` / `--$x` (evaluates to the new value).
+    PreIncr(Target, i64),
+    /// Binary operation.
+    Bin(BinKind, OpId, OpId),
+    /// Unary operation.
+    Un(UnKind, OpId),
+    /// Ternary `cond ? a : b`.
+    Ternary(OpId, OpId, OpId),
+    /// `target =~ /re/` (or `!~` when negated).
+    Match {
+        /// String to match (an expression).
+        value: OpId,
+        /// Compiled pattern.
+        re: ReId,
+        /// `!~`.
+        negate: bool,
+    },
+    /// `target =~ s/re/repl/`.
+    Subst {
+        /// The lvalue being edited.
+        target: Target,
+        /// Compiled pattern.
+        re: ReId,
+        /// Replacement template.
+        repl: Vec<Part>,
+        /// `/g` flag.
+        global: bool,
+    },
+    /// `print ?FH LIST`.
+    Print {
+        /// Optional filehandle name.
+        fh: Option<String>,
+        /// Arguments.
+        args: Vec<OpId>,
+    },
+    /// Call a user sub.
+    Call(String, Vec<OpId>),
+    /// Builtin function.
+    Builtin(BuiltinKind, Vec<OpId>),
+    /// `@arr = split(/re/, expr)` — evaluates to the element count.
+    SplitAssign(ArrId, ReId, OpId),
+    /// `@arr = (list)`.
+    ListAssign(ArrId, Vec<OpId>),
+    /// `join(sep, @arr)`.
+    JoinArr(OpId, ArrId),
+    /// `push(@arr, v, …)`.
+    ArrPush(ArrId, Vec<OpId>),
+    /// `pop(@arr)`.
+    ArrPop(ArrId),
+    /// `shift(@arr)`.
+    ArrShift(ArrId),
+    /// `unshift(@arr, v, …)`.
+    ArrUnshift(ArrId, Vec<OpId>),
+    /// `if/elsif/else`.
+    If {
+        /// Arms: `(condition, body)`; the final arm may be `(None, body)`
+        /// for `else`.
+        arms: Vec<(Option<OpId>, Vec<OpId>)>,
+    },
+    /// `while (cond) { body }`.
+    While {
+        /// Loop condition.
+        cond: OpId,
+        /// Body statements.
+        body: Vec<OpId>,
+    },
+    /// C-style `for`.
+    ForC {
+        /// Initializer.
+        init: Option<OpId>,
+        /// Condition.
+        cond: Option<OpId>,
+        /// Step.
+        step: Option<OpId>,
+        /// Body.
+        body: Vec<OpId>,
+    },
+    /// `foreach $v (source) { body }`.
+    Foreach {
+        /// Loop variable slot.
+        var: SlotId,
+        /// Iterated values.
+        source: ListSource,
+        /// Body.
+        body: Vec<OpId>,
+    },
+    /// `last;`
+    Last,
+    /// `next;`
+    Next,
+    /// `return expr?;`
+    Return(Option<OpId>),
+    /// `local($a, $b) = @_;` — bind positional sub arguments with dynamic
+    /// scoping.
+    LocalArgs(Vec<SlotId>),
+    /// `local($x);` — save and undef.
+    Local(Vec<SlotId>),
+    /// `open(FH, expr)`; evaluates to success.
+    Open(String, OpId),
+    /// `close(FH)`.
+    CloseFh(String),
+    /// `<FH>` — read one line; undef at EOF.
+    ReadLine(String),
+    /// `die LIST`.
+    Die(Vec<OpId>),
+}
+
+impl Op {
+    /// Virtual-command name for per-command attribution.
+    pub(crate) fn cmd_name(&self) -> &'static str {
+        match self {
+            Op::ConstInt(_) | Op::ConstStr(_) => "const",
+            Op::Interp(_) => "interp",
+            Op::GetScalar(_) => "gvsv",
+            Op::GetGroup(_) => "group",
+            Op::GetElem(..) => "aelem",
+            Op::GetHElem(..) => "helem",
+            Op::ArrayLen(_) => "av_len",
+            Op::Assign(..) => "assign",
+            Op::AssignOp(..) => "assign_op",
+            Op::PostIncr(..) | Op::PreIncr(..) => "incr",
+            Op::Bin(kind, ..) => kind.cmd_name(),
+            Op::Un(..) => "negate",
+            Op::Ternary(..) => "cond_expr",
+            Op::Match { .. } => "match",
+            Op::Subst { .. } => "subst",
+            Op::Print { .. } => "print",
+            Op::Call(..) => "entersub",
+            Op::Builtin(kind, _) => kind.cmd_name(),
+            Op::SplitAssign(..) => "split",
+            Op::ListAssign(..) => "aassign",
+            Op::JoinArr(..) => "join",
+            Op::ArrPush(..) => "push",
+            Op::ArrPop(_) => "pop",
+            Op::ArrShift(_) => "shift",
+            Op::ArrUnshift(..) => "unshift",
+            Op::If { .. } => "cond",
+            Op::While { .. } => "enterloop",
+            Op::ForC { .. } => "enterloop",
+            Op::Foreach { .. } => "enteriter",
+            Op::Last => "last",
+            Op::Next => "next",
+            Op::Return(_) => "return",
+            Op::LocalArgs(_) | Op::Local(_) => "local",
+            Op::Open(..) => "open",
+            Op::CloseFh(_) => "close",
+            Op::ReadLine(_) => "readline",
+            Op::Die(_) => "die",
+        }
+    }
+}
+
+/// A user-defined sub.
+#[derive(Debug, Clone)]
+pub(crate) struct SubDef {
+    pub body: Vec<OpId>,
+}
+
+/// A compiled program.
+#[derive(Debug, Default)]
+pub(crate) struct Program {
+    /// All op nodes; `.1` is the node's simulated-memory address.
+    pub ops: Vec<(Op, u32)>,
+    /// Top-level statements.
+    pub top: Vec<OpId>,
+    /// User subs.
+    pub subs: std::collections::HashMap<String, SubDef>,
+    /// Compiled regexes.
+    pub regexes: Vec<crate::regex::Regex>,
+    /// Number of scalar slots.
+    pub n_scalars: u32,
+    /// Number of array slots.
+    pub n_arrays: u32,
+    /// Number of hash slots.
+    pub n_hashes: u32,
+    /// Scalar names, for diagnostics.
+    pub scalar_names: Vec<String>,
+}

@@ -1,0 +1,689 @@
+//! A backtracking regular-expression engine.
+//!
+//! Patterns are compiled once (during Perlite's startup compilation pass,
+//! like Perl 4) into a program held in simulated memory; matching executes
+//! that program with every VM step charged — a program-word load, an input
+//! byte load, and bookkeeping ALU work. Regex-heavy programs therefore
+//! spend the bulk of their execute-side instructions inside `match`/`subst`
+//! commands, reproducing the paper's Figure 2 profile for txt2html and
+//! weblint.
+//!
+//! Supported syntax: literals, `.`, `[...]`/`[^...]` (with ranges), `\d`
+//! `\w` `\s` (and negations), `*` `+` `?`, grouping `(...)` with capture,
+//! alternation `|`, anchors `^` `$`, and escaped metacharacters.
+
+use interp_core::TraceSink;
+use interp_host::{Machine, SimStr};
+
+use crate::error::PerlError;
+
+/// One instruction of the regex VM.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RInsn {
+    /// Match one literal byte.
+    Char(u8),
+    /// Match any byte except newline.
+    Any,
+    /// Match a character class (index into the class table; `neg` flips).
+    Class { id: usize, neg: bool },
+    /// Try `a` first, then `b` (backtracking choice point).
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Record the current input position in save slot `n`.
+    Save(usize),
+    /// Anchor: beginning of input.
+    Bol,
+    /// Anchor: end of input.
+    Eol,
+    /// Successful match.
+    Accept,
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pub(crate) prog: Vec<RInsn>,
+    pub(crate) classes: Vec<[bool; 256]>,
+    /// Pattern source (for diagnostics).
+    pub(crate) source: String,
+    /// Base address of the program image in simulated memory.
+    pub(crate) sim_addr: u32,
+    /// Number of capture groups.
+    pub(crate) groups: usize,
+}
+
+/// A successful match: overall span plus capture-group spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchResult {
+    /// Start byte offset of the whole match.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// Capture groups: `groups[k] = Some((start, end))` for group `k+1`.
+    pub groups: Vec<Option<(usize, usize)>>,
+}
+
+struct Compiler<'p> {
+    pat: &'p [u8],
+    pos: usize,
+    prog: Vec<RInsn>,
+    classes: Vec<[bool; 256]>,
+    groups: usize,
+}
+
+impl<'p> Compiler<'p> {
+    fn peek(&self) -> Option<u8> {
+        self.pat.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn err(&self, msg: &str) -> PerlError {
+        PerlError::runtime(format!(
+            "regex error at offset {} of {:?}: {msg}",
+            self.pos,
+            String::from_utf8_lossy(self.pat)
+        ))
+    }
+
+    /// alternation := concat ('|' concat)*
+    ///
+    /// Each branch is compiled in place, then — if there are alternatives —
+    /// re-laid-out as a split chain with all internal targets relocated by
+    /// each branch's displacement (subexpressions are self-contained, so
+    /// every target points within its own branch).
+    fn alternation(&mut self) -> Result<(), PerlError> {
+        let start = self.prog.len();
+        self.concat()?;
+        if self.peek() != Some(b'|') {
+            return Ok(());
+        }
+        let mut branches = vec![(start, self.prog.split_off(start))];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            let mark = self.prog.len();
+            self.concat()?;
+            branches.push((mark, self.prog.split_off(mark)));
+        }
+        // Layout sizes: every branch but the last costs split + body + jmp.
+        let sizes: Vec<usize> = branches
+            .iter()
+            .enumerate()
+            .map(|(i, (_, b))| b.len() + if i + 1 < branches.len() { 2 } else { 0 })
+            .collect();
+        let mut cursor = self.prog.len();
+        let end = cursor + sizes.iter().sum::<usize>();
+        let last = branches.len() - 1;
+        for (i, (orig_start, body)) in branches.into_iter().enumerate() {
+            if i < last {
+                let body_start = cursor + 1;
+                let alt_start = cursor + sizes[i];
+                self.prog.push(RInsn::Split(body_start, alt_start));
+                cursor += 1;
+                let d = body_start as isize - orig_start as isize;
+                for insn in body {
+                    self.prog.push(shift_insn(insn, d));
+                    cursor += 1;
+                }
+                self.prog.push(RInsn::Jmp(end));
+                cursor += 1;
+            } else {
+                let d = cursor as isize - orig_start as isize;
+                for insn in body {
+                    self.prog.push(shift_insn(insn, d));
+                    cursor += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// concat := repeat*
+    fn concat(&mut self) -> Result<(), PerlError> {
+        while let Some(c) = self.peek() {
+            if c == b'|' || c == b')' {
+                break;
+            }
+            self.repeat()?;
+        }
+        Ok(())
+    }
+
+    /// repeat := atom ('*' | '+' | '?')?
+    fn repeat(&mut self) -> Result<(), PerlError> {
+        let start = self.prog.len();
+        self.atom()?;
+        match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                // L1: split L2, L4; L2: atom; L3: jmp L1; L4:
+                let body = self.prog.split_off(start);
+                let l1 = self.prog.len();
+                let l2 = l1 + 1;
+                let l4 = l2 + body.len() + 1;
+                self.prog.push(RInsn::Split(l2, l4));
+                let d = l2 as isize - start as isize;
+                for insn in body {
+                    self.prog.push(shift_insn(insn, d));
+                }
+                self.prog.push(RInsn::Jmp(l1));
+            }
+            Some(b'+') => {
+                self.bump();
+                // L1: atom; L2: split L1, L3  (no relocation needed).
+                let next = self.prog.len() + 1;
+                self.prog.push(RInsn::Split(start, next));
+            }
+            Some(b'?') => {
+                self.bump();
+                let body = self.prog.split_off(start);
+                let l1 = self.prog.len();
+                let l2 = l1 + 1;
+                let l3 = l2 + body.len();
+                self.prog.push(RInsn::Split(l2, l3));
+                let d = l2 as isize - start as isize;
+                for insn in body {
+                    self.prog.push(shift_insn(insn, d));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn class_of(&mut self, kind: u8) -> RInsn {
+        let mut table = [false; 256];
+        match kind | 32 {
+            b'd' => (b'0'..=b'9').for_each(|c| table[c as usize] = true),
+            b'w' => {
+                (b'0'..=b'9').for_each(|c| table[c as usize] = true);
+                (b'a'..=b'z').for_each(|c| table[c as usize] = true);
+                (b'A'..=b'Z').for_each(|c| table[c as usize] = true);
+                table[b'_' as usize] = true;
+            }
+            b's' => {
+                for c in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+                    table[c as usize] = true;
+                }
+            }
+            _ => unreachable!(),
+        }
+        let id = self.classes.len();
+        self.classes.push(table);
+        RInsn::Class {
+            id,
+            neg: kind.is_ascii_uppercase(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<(), PerlError> {
+        let c = self.bump().ok_or_else(|| self.err("unexpected end"))?;
+        match c {
+            b'.' => self.prog.push(RInsn::Any),
+            b'^' => self.prog.push(RInsn::Bol),
+            b'$' => self.prog.push(RInsn::Eol),
+            b'(' => {
+                self.groups += 1;
+                let g = self.groups;
+                self.prog.push(RInsn::Save(2 * g));
+                self.alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("missing `)`"));
+                }
+                self.prog.push(RInsn::Save(2 * g + 1));
+            }
+            b'[' => {
+                let mut table = [false; 256];
+                let neg = if self.peek() == Some(b'^') {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let mut first = true;
+                loop {
+                    let Some(c) = self.bump() else {
+                        return Err(self.err("missing `]`"));
+                    };
+                    if c == b']' && !first {
+                        break;
+                    }
+                    first = false;
+                    let lo = if c == b'\\' {
+                        match self.bump() {
+                            Some(e) if matches!(e | 32, b'd' | b'w' | b's') => {
+                                // Merge the named class into this table.
+                                let RInsn::Class { id, neg: n } = self.class_of(e) else {
+                                    unreachable!()
+                                };
+                                let named = self.classes[id];
+                                for (i, slot) in table.iter_mut().enumerate() {
+                                    if named[i] != n {
+                                        *slot = true;
+                                    }
+                                }
+                                continue;
+                            }
+                            Some(e) => unescape(e),
+                            None => return Err(self.err("dangling escape")),
+                        }
+                    } else {
+                        c
+                    };
+                    if self.peek() == Some(b'-')
+                        && self.pat.get(self.pos + 1).copied() != Some(b']')
+                    {
+                        self.bump();
+                        let hi = self.bump().ok_or_else(|| self.err("bad range"))?;
+                        for b in lo..=hi {
+                            table[b as usize] = true;
+                        }
+                    } else {
+                        table[lo as usize] = true;
+                    }
+                }
+                let id = self.classes.len();
+                self.classes.push(table);
+                self.prog.push(RInsn::Class { id, neg });
+            }
+            b'\\' => {
+                let e = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+                match e | 32 {
+                    b'd' | b'w' | b's' if e.is_ascii_alphabetic() => {
+                        let insn = self.class_of(e);
+                        self.prog.push(insn);
+                    }
+                    _ => self.prog.push(RInsn::Char(unescape(e))),
+                }
+            }
+            b'*' | b'+' | b'?' => return Err(self.err("quantifier with nothing to repeat")),
+            other => self.prog.push(RInsn::Char(other)),
+        }
+        Ok(())
+    }
+}
+
+fn unescape(e: u8) -> u8 {
+    match e {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        other => other,
+    }
+}
+
+/// Relocate a moved instruction's absolute targets by displacement `d`.
+/// Subexpressions are self-contained (all their targets point within the
+/// moved block), so a uniform shift is sufficient.
+fn shift_insn(insn: RInsn, d: isize) -> RInsn {
+    let shift = |t: usize| (t as isize + d) as usize;
+    match insn {
+        RInsn::Split(a, b) => RInsn::Split(shift(a), shift(b)),
+        RInsn::Jmp(t) => RInsn::Jmp(shift(t)),
+        other => other,
+    }
+}
+
+impl Regex {
+    /// Compile `pattern`, charging the compilation as startup work and
+    /// placing the program image in simulated memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerlError`] on malformed patterns.
+    pub fn compile<S: TraceSink>(
+        pattern: &str,
+        m: &mut Machine<S>,
+    ) -> Result<Regex, PerlError> {
+        let mut c = Compiler {
+            pat: pattern.as_bytes(),
+            pos: 0,
+            prog: vec![RInsn::Save(0)],
+            classes: Vec::new(),
+            groups: 0,
+        };
+        c.alternation()?;
+        if c.pos < c.pat.len() {
+            return Err(c.err("unbalanced `)`"));
+        }
+        c.prog.push(RInsn::Save(1));
+        c.prog.push(RInsn::Accept);
+        // Materialize the program in simulated memory (one word per insn +
+        // class bitmaps), charging stores: this is compile-time work.
+        let sim_addr = m.malloc((c.prog.len() as u32) * 4 + (c.classes.len() as u32) * 32);
+        for (i, _insn) in c.prog.iter().enumerate() {
+            m.sw(sim_addr + (i as u32) * 4, i as u32);
+        }
+        Ok(Regex {
+            prog: c.prog,
+            classes: c.classes,
+            source: pattern.to_string(),
+            sim_addr,
+            groups: c.groups,
+        })
+    }
+
+    /// The pattern source.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Number of capture groups.
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// Search `input` (a simulated string) starting at byte `from`.
+    /// Every VM step is charged against the machine.
+    pub fn search<S: TraceSink>(
+        &self,
+        m: &mut Machine<S>,
+        input: SimStr,
+        from: usize,
+    ) -> Option<MatchResult> {
+        let text = m.peek_str(input);
+        let anchored = matches!(self.prog.get(1), Some(RInsn::Bol)) && from == 0;
+        let mut start = from;
+        loop {
+            if start > text.len() {
+                return None;
+            }
+            m.alu(); // outer-loop bookkeeping
+            if let Some(saves) = self.run(m, input, &text, start) {
+                let groups = (1..=self.groups)
+                    .map(|g| {
+                        let (a, b) = (saves[2 * g], saves[2 * g + 1]);
+                        match (a, b) {
+                            (Some(a), Some(b)) => Some((a, b)),
+                            _ => None,
+                        }
+                    })
+                    .collect();
+                return Some(MatchResult {
+                    start: saves[0].unwrap_or(start),
+                    end: saves[1].unwrap_or(start),
+                    groups,
+                });
+            }
+            if anchored {
+                return None;
+            }
+            start += 1;
+        }
+    }
+
+    /// Run the backtracking VM at one start position.
+    fn run<S: TraceSink>(
+        &self,
+        m: &mut Machine<S>,
+        input: SimStr,
+        text: &[u8],
+        start: usize,
+    ) -> Option<Vec<Option<usize>>> {
+        const MAX_STEPS: u64 = 2_000_000;
+        let nsaves = 2 * (self.groups + 1);
+        let mut saves: Vec<Option<usize>> = vec![None; nsaves.max(2)];
+        let mut stack: Vec<(usize, usize, Vec<Option<usize>>)> = Vec::new();
+        let mut pc = 0usize;
+        let mut sp = start;
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            if steps > MAX_STEPS {
+                return None; // pathological backtracking cut off
+            }
+            // Charge: program-word fetch + dispatch.
+            m.lw(self.sim_addr + (pc as u32) * 4);
+            m.alu();
+            let insn = &self.prog[pc];
+            let failed = match insn {
+                RInsn::Char(c) => {
+                    if sp < text.len() {
+                        m.lb(input.data() + sp as u32);
+                        m.alu();
+                    }
+                    if sp < text.len() && text[sp] == *c {
+                        sp += 1;
+                        pc += 1;
+                        false
+                    } else {
+                        true
+                    }
+                }
+                RInsn::Any => {
+                    if sp < text.len() {
+                        m.lb(input.data() + sp as u32);
+                        m.alu();
+                    }
+                    if sp < text.len() && text[sp] != b'\n' {
+                        sp += 1;
+                        pc += 1;
+                        false
+                    } else {
+                        true
+                    }
+                }
+                RInsn::Class { id, neg } => {
+                    if sp < text.len() {
+                        m.lb(input.data() + sp as u32);
+                        // Bitmap probe in the compiled image.
+                        m.lw(self.sim_addr + (self.prog.len() as u32) * 4 + (*id as u32) * 32);
+                        m.alu();
+                    }
+                    if sp < text.len() && (self.classes[*id][text[sp] as usize] != *neg) {
+                        sp += 1;
+                        pc += 1;
+                        false
+                    } else {
+                        true
+                    }
+                }
+                RInsn::Split(a, b) => {
+                    stack.push((*b, sp, saves.clone()));
+                    m.alu_n(2); // choice-point push
+                    pc = *a;
+                    false
+                }
+                RInsn::Jmp(t) => {
+                    pc = *t;
+                    false
+                }
+                RInsn::Save(n) => {
+                    if *n < saves.len() {
+                        saves[*n] = Some(sp);
+                    }
+                    m.alu();
+                    pc += 1;
+                    false
+                }
+                RInsn::Bol => {
+                    if sp == 0 {
+                        pc += 1;
+                        false
+                    } else {
+                        true
+                    }
+                }
+                RInsn::Eol => {
+                    if sp == text.len() {
+                        pc += 1;
+                        false
+                    } else {
+                        true
+                    }
+                }
+                RInsn::Accept => return Some(saves),
+            };
+            if failed {
+                match stack.pop() {
+                    Some((bpc, bsp, bsaves)) => {
+                        m.alu_n(2); // backtrack pop
+                        pc = bpc;
+                        sp = bsp;
+                        saves = bsaves;
+                    }
+                    None => return None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+
+    fn m() -> Machine<NullSink> {
+        Machine::new(NullSink)
+    }
+
+    fn find(pat: &str, text: &str) -> Option<(usize, usize)> {
+        let mut machine = m();
+        let re = Regex::compile(pat, &mut machine).unwrap();
+        let input = machine.str_alloc(text.as_bytes());
+        re.search(&mut machine, input, 0).map(|r| (r.start, r.end))
+    }
+
+    #[test]
+    fn literals_and_dot() {
+        assert_eq!(find("abc", "xxabcyy"), Some((2, 5)));
+        assert_eq!(find("a.c", "abc"), Some((0, 3)));
+        assert_eq!(find("a.c", "a\nc"), None);
+        assert_eq!(find("abc", "abd"), None);
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(find("ab*c", "ac"), Some((0, 2)));
+        assert_eq!(find("ab*c", "abbbbc"), Some((0, 6)));
+        assert_eq!(find("ab+c", "ac"), None);
+        assert_eq!(find("ab+c", "abc"), Some((0, 3)));
+        assert_eq!(find("ab?c", "abc"), Some((0, 3)));
+        assert_eq!(find("ab?c", "ac"), Some((0, 2)));
+        // Greedy star backtracks.
+        assert_eq!(find("a.*c", "abcbcd"), Some((0, 5)));
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(find(r"\d+", "ab123cd"), Some((2, 5)));
+        assert_eq!(find(r"\w+", " foo_1 "), Some((1, 6)));
+        assert_eq!(find(r"\s", "ab c"), Some((2, 3)));
+        assert_eq!(find(r"\D+", "12ab34"), Some((2, 4)));
+        assert_eq!(find("[a-f]+", "zzdeadbeefzz"), Some((2, 10)));
+        assert_eq!(find("[^0-9]+", "123abc456"), Some((3, 6)));
+        assert_eq!(find(r"[\d,]+", "x1,2,3y"), Some((1, 6)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(find("^abc", "abcabc"), Some((0, 3)));
+        assert_eq!(find("^bc", "abc"), None);
+        assert_eq!(find("bc$", "abcbc"), Some((3, 5)));
+        assert_eq!(find("bc$", "bca"), None);
+        assert_eq!(find("^$", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn alternation() {
+        assert_eq!(find("cat|dog", "hotdog"), Some((3, 6)));
+        assert_eq!(find("cat|dog|cow", "a cow!"), Some((2, 5)));
+        assert_eq!(find("a(b|c)d", "acd"), Some((0, 3)));
+        assert_eq!(find("x|y", "z"), None);
+    }
+
+    #[test]
+    fn groups_capture() {
+        let mut machine = m();
+        let re = Regex::compile(r"(\w+)=(\d+)", &mut machine).unwrap();
+        let input = machine.str_alloc(b"  width=400; ");
+        let r = re.search(&mut machine, input, 0).unwrap();
+        assert_eq!(r.groups.len(), 2);
+        assert_eq!(r.groups[0], Some((2, 7)));
+        assert_eq!(r.groups[1], Some((8, 11)));
+    }
+
+    #[test]
+    fn search_from_offset() {
+        let mut machine = m();
+        let re = Regex::compile("ab", &mut machine).unwrap();
+        let input = machine.str_alloc(b"ab ab");
+        let r = re.search(&mut machine, input, 1).unwrap();
+        assert_eq!((r.start, r.end), (3, 5));
+    }
+
+    #[test]
+    fn errors() {
+        let mut machine = m();
+        assert!(Regex::compile("a(b", &mut machine).is_err());
+        assert!(Regex::compile("*a", &mut machine).is_err());
+        assert!(Regex::compile("[abc", &mut machine).is_err());
+        assert!(Regex::compile("a)b", &mut machine).is_err());
+    }
+
+    #[test]
+    fn matching_is_charged() {
+        let mut machine = m();
+        let re = Regex::compile(r"\w+@\w+", &mut machine).unwrap();
+        let input = machine.str_alloc(b"contact us at someone@example for details");
+        let before = machine.stats().instructions;
+        let r = re.search(&mut machine, input, 0);
+        assert!(r.is_some());
+        let cost = machine.stats().instructions - before;
+        assert!(cost > 200, "match cost = {cost}");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use interp_core::NullSink;
+    use interp_host::Machine;
+
+    fn find(pat: &str, text: &str) -> Option<(usize, usize)> {
+        let mut machine = Machine::new(NullSink);
+        let re = Regex::compile(pat, &mut machine).unwrap();
+        let input = machine.str_alloc(text.as_bytes());
+        re.search(&mut machine, input, 0).map(|r| (r.start, r.end))
+    }
+
+    #[test]
+    fn nested_quantified_groups_relocate_correctly() {
+        // These exercise the block-relocation paths in the compiler.
+        assert_eq!(find("(ab?)+c", "aababc"), Some((0, 6)));
+        assert_eq!(find("(a|b)*c", "babac"), Some((0, 5)));
+        assert_eq!(find("(a|b)*c", "c"), Some((0, 1)));
+        assert_eq!(find("x(y(z|w)+)?v", "xyzwzv"), Some((0, 6)));
+        assert_eq!(find("x(y(z|w)+)?v", "xv"), Some((0, 2)));
+        assert_eq!(find("(ab|cd)+", "zcdabcdz"), Some((1, 7)));
+    }
+
+    #[test]
+    fn alternation_of_three_plus_branches() {
+        assert_eq!(find("one|two|three|four", "say three!"), Some((4, 9)));
+        assert_eq!(find("(x|y|z)+", "aazyxzb"), Some((2, 6)));
+    }
+
+    #[test]
+    fn anchored_alternation() {
+        assert_eq!(find("^(GET|HEAD) ", "GET /x"), Some((0, 4)));
+        assert_eq!(find("^(GET|HEAD) ", "xGET /x"), None);
+        assert_eq!(find("(gif|jpg)$", "logo.gif"), Some((5, 8)));
+    }
+
+    #[test]
+    fn empty_alternative_branch() {
+        // `(a|)` matches "a" or the empty string.
+        assert_eq!(find("x(a|)y", "xay"), Some((0, 3)));
+        assert_eq!(find("x(a|)y", "xy"), Some((0, 2)));
+    }
+}

@@ -1,0 +1,952 @@
+//! Built-in command implementations.
+
+use interp_core::TraceSink;
+use interp_host::SimStr;
+
+use crate::error::{Flow, TclError};
+use crate::interp::{FrameState, ProcDef, Tclite};
+
+impl<'a, S: TraceSink> Tclite<'a, S> {
+    /// Execute a dispatched command (`words[0]` is the command name).
+    pub(crate) fn run_command(
+        &mut self,
+        name: &str,
+        words: &[(SimStr, String)],
+    ) -> Result<Flow, TclError> {
+        match name {
+            "set" => self.cmd_set(words),
+            "incr" => self.cmd_incr(words),
+            "expr" => self.cmd_expr(words),
+            "if" => self.cmd_if(words),
+            "while" => self.cmd_while(words),
+            "for" => self.cmd_for(words),
+            "foreach" => self.cmd_foreach(words),
+            "proc" => self.cmd_proc(words),
+            "return" => {
+                let value = match words.get(1) {
+                    Some((w, _)) => *w,
+                    None => self.m.str_alloc(b""),
+                };
+                self.set_result(value);
+                Ok(Flow::Return)
+            }
+            "break" => Ok(Flow::Break),
+            "continue" => Ok(Flow::Continue),
+            "puts" => self.cmd_puts(words),
+            "append" => self.cmd_append(words),
+            "string" => self.cmd_string(words),
+            "list" => self.cmd_list(words),
+            "lindex" => self.cmd_lindex(words),
+            "llength" => self.cmd_llength(words),
+            "lappend" => self.cmd_lappend(words),
+            "split" => self.cmd_split(words),
+            "join" => self.cmd_join(words),
+            "format" => self.cmd_format(words),
+            "open" => self.cmd_open(words),
+            "gets" => self.cmd_gets(words),
+            "read" => self.cmd_read(words),
+            "close" => self.cmd_close(words),
+            "unset" => self.cmd_unset(words),
+            "global" => self.cmd_global(words),
+            "eval" => self.cmd_eval(words),
+            _ if name.starts_with("tk_") => self.run_tk_command(name, words),
+            _ => self.call_proc(name, words),
+        }
+    }
+
+    fn need(
+        &self,
+        words: &[(SimStr, String)],
+        n: usize,
+        usage: &str,
+    ) -> Result<(), TclError> {
+        if words.len() < n {
+            Err(TclError::new(format!(
+                "wrong # args: should be \"{usage}\""
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Parse a word as an integer (charged), or error.
+    pub(crate) fn word_int(&mut self, w: SimStr) -> Result<i64, TclError> {
+        self.m.str_to_int(w).ok_or_else(|| {
+            TclError::new(format!(
+                "expected integer but got \"{}\"",
+                self.m.peek_string(w)
+            ))
+        })
+    }
+
+    // ---- variables & arithmetic ----
+
+    fn cmd_set(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "set varName ?newValue?")?;
+        let (name, name_rs) = (words[1].0, words[1].1.clone());
+        if let Some((value, _)) = words.get(2) {
+            self.var_set(name, &name_rs, *value);
+            self.set_result(*value);
+        } else {
+            let value = self.var_get(name, &name_rs)?;
+            self.set_result(value);
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_incr(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "incr varName ?increment?")?;
+        let (name, name_rs) = (words[1].0, words[1].1.clone());
+        let delta = match words.get(2) {
+            Some((w, _)) => self.word_int(*w)?,
+            None => 1,
+        };
+        let current = self.var_get(name, &name_rs)?;
+        let v = self.word_int(current)?;
+        self.m.alu();
+        let formatted = self.m.str_from_int(v + delta);
+        self.var_set(name, &name_rs, formatted);
+        self.set_result(formatted);
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_expr(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "expr arg ?arg ...?")?;
+        let src = if words.len() == 2 {
+            words[1].0
+        } else {
+            // Concatenate arguments with spaces (charged).
+            let mut b = self.m.builder_new(32);
+            for (i, (w, _)) in words[1..].iter().enumerate() {
+                if i > 0 {
+                    self.m.builder_push(&mut b, b' ');
+                }
+                self.m.builder_push_str(&mut b, *w);
+            }
+            self.m.builder_finish(b)
+        };
+        let v = self.expr_eval(src)?;
+        self.set_result_int(v);
+        Ok(Flow::Normal)
+    }
+
+    // ---- control flow ----
+
+    fn cmd_if(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        let ctrl = self.rt.control;
+        self.m.routine(ctrl, |m| m.alu_n(8)); // loop/branch bookkeeping
+
+        self.need(words, 3, "if expr body ?elseif expr body? ?else body?")?;
+        let mut i = 1;
+        loop {
+            let cond = words[i].0;
+            let taken = self.expr_eval(cond)? != 0;
+            if taken {
+                return self.eval(words[i + 1].0);
+            }
+            match words.get(i + 2).map(|(_, s)| s.as_str()) {
+                Some("elseif") => {
+                    i += 3;
+                    if i + 1 >= words.len() {
+                        return Err(TclError::new("wrong # args after elseif"));
+                    }
+                }
+                Some("else") => {
+                    let body = words.get(i + 3).ok_or_else(|| {
+                        TclError::new("wrong # args: no script after else")
+                    })?;
+                    return self.eval(body.0);
+                }
+                None => {
+                    self.set_result_bytes(b"");
+                    return Ok(Flow::Normal);
+                }
+                Some(other) => {
+                    return Err(TclError::new(format!(
+                        "invalid if clause \"{other}\""
+                    )))
+                }
+            }
+        }
+    }
+
+    fn cmd_while(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        let ctrl = self.rt.control;
+        self.m.routine(ctrl, |m| m.alu_n(8)); // loop/branch bookkeeping
+
+        self.need(words, 3, "while test command")?;
+        let cond = words[1].0;
+        let body = words[2].0;
+        loop {
+            // The condition is re-parsed on every trip (Tcl 7 semantics).
+            if self.expr_eval(cond)? == 0 {
+                break;
+            }
+            match self.eval(body)? {
+                Flow::Break => break,
+                Flow::Return => return Ok(Flow::Return),
+                Flow::Continue | Flow::Normal => {}
+            }
+        }
+        self.set_result_bytes(b"");
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_for(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        let ctrl = self.rt.control;
+        self.m.routine(ctrl, |m| m.alu_n(8)); // loop/branch bookkeeping
+
+        self.need(words, 5, "for start test next command")?;
+        let (init, cond, step, body) = (words[1].0, words[2].0, words[3].0, words[4].0);
+        self.eval(init)?;
+        loop {
+            if self.expr_eval(cond)? == 0 {
+                break;
+            }
+            match self.eval(body)? {
+                Flow::Break => break,
+                Flow::Return => return Ok(Flow::Return),
+                Flow::Continue | Flow::Normal => {}
+            }
+            self.eval(step)?;
+        }
+        self.set_result_bytes(b"");
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_foreach(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        let ctrl = self.rt.control;
+        self.m.routine(ctrl, |m| m.alu_n(8)); // loop/branch bookkeeping
+
+        self.need(words, 4, "foreach varName list command")?;
+        let var_rs = words[1].1.clone();
+        let var = words[1].0;
+        let elements = self.list_elements(words[2].0);
+        let body = words[3].0;
+        for element in elements {
+            self.var_set(var, &var_rs, element);
+            match self.eval(body)? {
+                Flow::Break => break,
+                Flow::Return => return Ok(Flow::Return),
+                Flow::Continue | Flow::Normal => {}
+            }
+        }
+        self.set_result_bytes(b"");
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_proc(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 4, "proc name args body")?;
+        let name = words[1].1.clone();
+        let params: Vec<String> = {
+            let elems = self.list_elements(words[2].0);
+            elems
+                .into_iter()
+                .map(|e| self.m.peek_string(e))
+                .collect()
+        };
+        let body = words[3].0;
+        self.procs.insert(name, ProcDef { params, body });
+        self.set_result_bytes(b"");
+        Ok(Flow::Normal)
+    }
+
+    pub(crate) fn call_proc(
+        &mut self,
+        name: &str,
+        words: &[(SimStr, String)],
+    ) -> Result<Flow, TclError> {
+        let Some(def) = self.procs.get(name) else {
+            return Err(TclError::new(format!("invalid command name \"{name}\"")));
+        };
+        let params = def.params.clone();
+        let body = def.body;
+        if words.len() - 1 != params.len() {
+            return Err(TclError::new(format!(
+                "wrong # args for \"{name}\": expected {}, got {}",
+                params.len(),
+                words.len() - 1
+            )));
+        }
+        // Frame setup: allocate the local symbol table, bind parameters.
+        let proc_routine = self.rt.proc_call;
+        self.m.enter(proc_routine);
+        let vars = self.m.hash_new(16);
+        self.frames.push(FrameState {
+            vars,
+            global_links: Default::default(),
+        });
+        for (param, (value, _)) in params.iter().zip(&words[1..]) {
+            let name_sim = self.m.str_alloc(param.as_bytes());
+            let copy = self.m.str_copy(*value);
+            self.var_set(name_sim, param, copy);
+        }
+        self.m.leave();
+        let flow = self.eval(body);
+        self.frames.pop();
+        match flow? {
+            Flow::Return | Flow::Normal => Ok(Flow::Normal),
+            other => Ok(other), // break/continue escape the proc (error-ish, tolerated)
+        }
+    }
+
+    // ---- strings & output ----
+
+    fn cmd_puts(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "puts ?-nonewline? ?fileId? string")?;
+        let mut rest: Vec<&(SimStr, String)> = words[1..].iter().collect();
+        let mut newline = true;
+        if rest.first().map(|(_, s)| s.as_str()) == Some("-nonewline") {
+            newline = false;
+            rest.remove(0);
+        }
+        let (fd, text) = match rest.len() {
+            1 => (interp_host::FD_CONSOLE, rest[0].0),
+            2 => {
+                let handle = &rest[0].1;
+                let fd = *self.files.get(handle).ok_or_else(|| {
+                    TclError::new(format!("can not find channel named \"{handle}\""))
+                })?;
+                (fd, rest[1].0)
+            }
+            _ => return Err(TclError::new("wrong # args to puts")),
+        };
+        let io = self.rt.io;
+        let len = self.m.lw(text.0);
+        self.m.routine(io, |m| {
+            m.alu_n(4);
+            m.sys_write(fd, text.data(), len);
+            if newline {
+                let nl = m.str_alloc(b"\n");
+                m.sys_write(fd, nl.data(), 1);
+            }
+        });
+        self.set_result_bytes(b"");
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_append(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 3, "append varName value ?value ...?")?;
+        let (name, name_rs) = (words[1].0, words[1].1.clone());
+        let base = self.var_get(name, &name_rs).unwrap_or_else(|_| {
+            // append creates missing variables.
+            self.m.str_alloc(b"")
+        });
+        let mut b = self.m.builder_new(32);
+        self.m.builder_push_str(&mut b, base);
+        for (w, _) in &words[2..] {
+            self.m.builder_push_str(&mut b, *w);
+        }
+        let value = self.m.builder_finish(b);
+        self.var_set(name, &name_rs, value);
+        self.set_result(value);
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_string(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 3, "string option arg ?arg?")?;
+        let string_routine = self.rt.string;
+        match words[1].1.as_str() {
+            "length" => {
+                let n = self.m.routine(string_routine, |m| m.lw(words[2].0 .0));
+                self.set_result_int(i64::from(n));
+            }
+            "index" => {
+                self.need(words, 4, "string index string charIndex")?;
+                let i = self.word_int(words[3].0)?;
+                let s = words[2].0;
+                let len = self.m.str_len(s);
+                if i >= 0 && (i as u32) < len {
+                    let c = self.m.str_byte(s, i as u32);
+                    self.set_result_bytes(&[c]);
+                } else {
+                    self.set_result_bytes(b"");
+                }
+            }
+            "range" => {
+                self.need(words, 5, "string range string first last")?;
+                let first = self.word_int(words[3].0)?.max(0) as u32;
+                let last = self.word_int(words[4].0)?;
+                let s = words[2].0;
+                let len = self.m.str_len(s);
+                let last = if last < 0 { 0 } else { (last as u32 + 1).min(len) };
+                let piece = if first < last {
+                    self.m.str_substr(s, first, last - first)
+                } else {
+                    self.m.str_alloc(b"")
+                };
+                self.set_result(piece);
+            }
+            "ord" => {
+                // Character code of the first byte (convenience subcommand;
+                // Tcl 7 scripts used `scan %c` for this).
+                let s = words[2].0;
+                let len = self.m.str_len(s);
+                let v = if len > 0 {
+                    i64::from(self.m.str_byte(s, 0))
+                } else {
+                    -1
+                };
+                self.set_result_int(v);
+            }
+            "compare" => {
+                self.need(words, 4, "string compare string1 string2")?;
+                let ord = self.m.str_cmp(words[2].0, words[3].0);
+                self.set_result_int(match ord {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                });
+            }
+            "first" => {
+                self.need(words, 4, "string first needle haystack")?;
+                // Naive charged substring search.
+                let needle = self.m.peek_str(words[2].0);
+                let hay = words[3].0;
+                let hay_len = self.m.str_len(hay);
+                let mut found: i64 = -1;
+                let string_routine = self.rt.string;
+                self.m.enter(string_routine);
+                'outer: for start in 0..hay_len.saturating_sub(needle.len() as u32 - 1) {
+                    for (k, &nc) in needle.iter().enumerate() {
+                        let c = self.m.str_byte(hay, start + k as u32);
+                        if c != nc {
+                            continue 'outer;
+                        }
+                    }
+                    found = i64::from(start);
+                    break;
+                }
+                self.m.leave();
+                self.set_result_int(found);
+            }
+            other => {
+                return Err(TclError::new(format!(
+                    "bad string option \"{other}\""
+                )))
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    // ---- lists ----
+
+    /// Parse a list string into elements (charged scan, brace-aware).
+    pub(crate) fn list_elements(&mut self, list: SimStr) -> Vec<SimStr> {
+        let bytes = self.m.peek_str(list);
+        let len = bytes.len() as u32;
+        let list_routine = self.rt.list;
+        self.m.enter(list_routine);
+        let mut out = Vec::new();
+        let mut i: u32 = 0;
+        while i < len {
+            while i < len && bytes[i as usize].is_ascii_whitespace() {
+                self.charge_scan(list, i);
+                i += 1;
+            }
+            if i >= len {
+                break;
+            }
+            if bytes[i as usize] == b'{' {
+                let mut depth = 1;
+                let mut j = i + 1;
+                while j < len && depth > 0 {
+                    self.charge_scan(list, j);
+                    match bytes[j as usize] {
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let end = if depth == 0 { j - 1 } else { j };
+                out.push(self.m.str_substr(list, i + 1, end - (i + 1)));
+                i = j;
+            } else {
+                let start = i;
+                while i < len && !bytes[i as usize].is_ascii_whitespace() {
+                    self.charge_scan(list, i);
+                    i += 1;
+                }
+                out.push(self.m.str_substr(list, start, i - start));
+            }
+        }
+        self.m.leave();
+        out
+    }
+
+    /// Build a list string from elements (brace-quotes elements containing
+    /// whitespace; charged).
+    pub(crate) fn build_list(&mut self, elements: &[SimStr]) -> SimStr {
+        let list_routine = self.rt.list;
+        self.m.enter(list_routine);
+        let mut b = self.m.builder_new(32);
+        for (i, &e) in elements.iter().enumerate() {
+            if i > 0 {
+                self.m.builder_push(&mut b, b' ');
+            }
+            let bytes = self.m.peek_str(e);
+            let needs_braces =
+                bytes.is_empty() || bytes.iter().any(|c| c.is_ascii_whitespace());
+            if needs_braces {
+                self.m.builder_push(&mut b, b'{');
+                self.m.builder_push_str(&mut b, e);
+                self.m.builder_push(&mut b, b'}');
+            } else {
+                self.m.builder_push_str(&mut b, e);
+            }
+        }
+        let s = self.m.builder_finish(b);
+        self.m.leave();
+        s
+    }
+
+    fn cmd_list(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        let elements: Vec<SimStr> = words[1..].iter().map(|(w, _)| *w).collect();
+        let s = self.build_list(&elements);
+        self.set_result(s);
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_lindex(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 3, "lindex list index")?;
+        let idx = self.word_int(words[2].0)?;
+        let elements = self.list_elements(words[1].0);
+        match usize::try_from(idx).ok().and_then(|i| elements.get(i)) {
+            Some(&e) => self.set_result(e),
+            None => self.set_result_bytes(b""),
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_llength(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "llength list")?;
+        let n = self.list_elements(words[1].0).len();
+        self.set_result_int(n as i64);
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_lappend(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 3, "lappend varName value ?value ...?")?;
+        let (name, name_rs) = (words[1].0, words[1].1.clone());
+        let base = self
+            .var_get(name, &name_rs)
+            .unwrap_or_else(|_| self.m.str_alloc(b""));
+        let mut elements = self.list_elements(base);
+        elements.extend(words[2..].iter().map(|(w, _)| *w));
+        let s = self.build_list(&elements);
+        self.var_set(name, &name_rs, s);
+        self.set_result(s);
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_split(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "split string ?splitChars?")?;
+        let seps = match words.get(2) {
+            Some((w, _)) => self.m.peek_str(*w),
+            None => b" \t\n".to_vec(),
+        };
+        let s = words[1].0;
+        let bytes = self.m.peek_str(s);
+        let list_routine = self.rt.list;
+        self.m.enter(list_routine);
+        let mut elements = Vec::new();
+        let mut start: u32 = 0;
+        for (i, &c) in bytes.iter().enumerate() {
+            self.charge_scan(s, i as u32);
+            if seps.contains(&c) {
+                elements.push(self.m.str_substr(s, start, i as u32 - start));
+                start = i as u32 + 1;
+            }
+        }
+        elements.push(self.m.str_substr(s, start, bytes.len() as u32 - start));
+        self.m.leave();
+        let out = self.build_list(&elements);
+        self.set_result(out);
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_join(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "join list ?joinString?")?;
+        let sep = match words.get(2) {
+            Some((w, _)) => self.m.peek_str(*w),
+            None => b" ".to_vec(),
+        };
+        let elements = self.list_elements(words[1].0);
+        let mut b = self.m.builder_new(32);
+        for (i, &e) in elements.iter().enumerate() {
+            if i > 0 {
+                self.m.builder_push_bytes(&mut b, &sep);
+            }
+            self.m.builder_push_str(&mut b, e);
+        }
+        let s = self.m.builder_finish(b);
+        self.set_result(s);
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_format(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "format formatString ?arg ...?")?;
+        let fmt = self.m.peek_str(words[1].0);
+        let fmt_sim = words[1].0;
+        let string_routine = self.rt.string;
+        self.m.enter(string_routine);
+        let mut b = self.m.builder_new(32);
+        let mut arg_i = 2;
+        let mut i = 0usize;
+        while i < fmt.len() {
+            self.charge_scan(fmt_sim, i as u32);
+            if fmt[i] == b'%' && i + 1 < fmt.len() {
+                // Parse optional zero-pad width.
+                let mut j = i + 1;
+                let mut width = 0usize;
+                let mut zero = false;
+                if fmt[j] == b'0' {
+                    zero = true;
+                    j += 1;
+                }
+                while j < fmt.len() && fmt[j].is_ascii_digit() {
+                    width = width * 10 + (fmt[j] - b'0') as usize;
+                    j += 1;
+                }
+                let spec = fmt.get(j).copied().unwrap_or(b'%');
+                match spec {
+                    b'%' => self.m.builder_push(&mut b, b'%'),
+                    b'd' | b's' | b'c' => {
+                        let Some((w, _)) = words.get(arg_i) else {
+                            self.m.leave();
+                            return Err(TclError::new("not enough arguments for format"));
+                        };
+                        arg_i += 1;
+                        match spec {
+                            b'd' => {
+                                let v = self.word_int(*w)?;
+                                let text = v.to_string();
+                                let pad = width.saturating_sub(text.len());
+                                for _ in 0..pad {
+                                    self.m
+                                        .builder_push(&mut b, if zero { b'0' } else { b' ' });
+                                }
+                                self.m.builder_push_bytes(&mut b, text.as_bytes());
+                            }
+                            b's' => {
+                                let text = self.m.peek_str(*w);
+                                let pad = width.saturating_sub(text.len());
+                                for _ in 0..pad {
+                                    self.m.builder_push(&mut b, b' ');
+                                }
+                                self.m.builder_push_str(&mut b, *w);
+                            }
+                            _ => {
+                                let v = self.word_int(*w)? as u8;
+                                self.m.builder_push(&mut b, v);
+                            }
+                        }
+                    }
+                    other => {
+                        self.m.leave();
+                        return Err(TclError::new(format!(
+                            "bad format specifier %{}",
+                            other as char
+                        )));
+                    }
+                }
+                i = j + 1;
+            } else {
+                self.m.builder_push(&mut b, fmt[i]);
+                i += 1;
+            }
+        }
+        let s = self.m.builder_finish(b);
+        self.m.leave();
+        self.set_result(s);
+        Ok(Flow::Normal)
+    }
+
+    // ---- I/O ----
+
+    fn cmd_open(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "open fileName")?;
+        let name = words[1].1.clone();
+        let fd = self.m.sys_open(&name);
+        if fd < 0 {
+            return Err(TclError::new(format!(
+                "couldn't open \"{name}\": no such file"
+            )));
+        }
+        self.file_counter += 1;
+        let handle = format!("file{}", self.file_counter);
+        self.files.insert(handle.clone(), fd);
+        self.set_result_bytes(handle.as_bytes());
+        Ok(Flow::Normal)
+    }
+
+    fn channel_fd(&self, handle: &str) -> Result<i32, TclError> {
+        self.files.get(handle).copied().ok_or_else(|| {
+            TclError::new(format!("can not find channel named \"{handle}\""))
+        })
+    }
+
+    fn cmd_gets(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 3, "gets fileId varName")?;
+        let fd = self.channel_fd(&words[1].1)?;
+        let io = self.rt.io;
+        // Read a line byte-at-a-time through the charged syscall path.
+        let buf = self.m.malloc(4);
+        let mut line = Vec::new();
+        let mut eof = false;
+        loop {
+            let n = self.m.routine(io, |m| m.sys_read(fd, buf, 1));
+            if n <= 0 {
+                eof = true;
+                break;
+            }
+            let c = self.m.lb(buf);
+            if c == b'\n' {
+                break;
+            }
+            line.push(c);
+        }
+        self.m.mfree(buf);
+        let (name, name_rs) = (words[2].0, words[2].1.clone());
+        let value = self.m.str_alloc(&line);
+        self.var_set(name, &name_rs, value);
+        if eof && line.is_empty() {
+            self.set_result_int(-1);
+        } else {
+            self.set_result_int(line.len() as i64);
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_read(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "read fileId ?numBytes?")?;
+        let fd = self.channel_fd(&words[1].1)?;
+        let limit = match words.get(2) {
+            Some((w, _)) => self.word_int(*w)? as u32,
+            None => 1 << 20,
+        };
+        let io = self.rt.io;
+        let buf = self.m.malloc(limit.max(4));
+        let n = self.m.routine(io, |m| m.sys_read(fd, buf, limit));
+        let bytes = self.m.mem().read_bytes(buf, n.max(0) as usize);
+        self.m.mfree(buf);
+        let s = self.m.str_alloc(&bytes);
+        self.set_result(s);
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_close(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "close fileId")?;
+        let fd = self.channel_fd(&words[1].1)?;
+        self.m.sys_close(fd);
+        self.files.remove(&words[1].1);
+        self.set_result_bytes(b"");
+        Ok(Flow::Normal)
+    }
+
+    // ---- misc ----
+
+    fn cmd_unset(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "unset varName")?;
+        for (w, rs) in &words[1..] {
+            self.var_unset(*w, rs)?;
+        }
+        self.set_result_bytes(b"");
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_global(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "global varName ?varName ...?")?;
+        if let Some(frame) = self.frames.last_mut() {
+            for (_, name) in &words[1..] {
+                frame.global_links.insert(name.clone());
+            }
+        }
+        self.m.alu_n(6);
+        self.set_result_bytes(b"");
+        Ok(Flow::Normal)
+    }
+
+    fn cmd_eval(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        self.need(words, 2, "eval arg ?arg ...?")?;
+        let script = if words.len() == 2 {
+            words[1].0
+        } else {
+            let mut b = self.m.builder_new(32);
+            for (i, (w, _)) in words[1..].iter().enumerate() {
+                if i > 0 {
+                    self.m.builder_push(&mut b, b' ');
+                }
+                self.m.builder_push_str(&mut b, *w);
+            }
+            self.m.builder_finish(b)
+        };
+        self.eval(script)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+    use interp_host::Machine;
+
+    fn run(src: &str) -> (String, String) {
+        let mut m = Machine::new(NullSink);
+        let mut tcl = Tclite::new(&mut m);
+        let result = tcl.run(src).expect("script ok");
+        let console = String::from_utf8_lossy(m.console()).into_owned();
+        (result, console)
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let (result, _) = run(
+            "set s 0\nset i 1\nwhile {$i <= 10} {\n  set s [expr $s + $i]\n  incr i\n}\nset s",
+        );
+        assert_eq!(result, "55");
+    }
+
+    #[test]
+    fn for_loop_with_break_continue() {
+        let (result, _) = run(
+            r#"set s 0
+for {set i 0} {$i < 100} {incr i} {
+    if {$i % 2 == 1} { continue }
+    if {$i > 10} { break }
+    set s [expr $s + $i]
+}
+set s"#,
+        );
+        assert_eq!(result, "30"); // 0+2+4+6+8+10
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let (result, _) = run("set x 5\nif {$x > 10} {set r big} elseif {$x > 3} {set r mid} else {set r small}\nset r");
+        assert_eq!(result, "mid");
+    }
+
+    #[test]
+    fn procs_with_locals_and_globals() {
+        let (result, _) = run(
+            r#"set counter 0
+proc bump {by} {
+    global counter
+    set counter [expr $counter + $by]
+}
+proc double {x} { return [expr $x * 2] }
+bump 3
+bump 4
+set r [double $counter]"#,
+        );
+        assert_eq!(result, "14");
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let (result, _) = run(
+            r#"proc fact {n} {
+    if {$n <= 1} { return 1 }
+    return [expr $n * [fact [expr $n - 1]]]
+}
+fact 10"#,
+        );
+        assert_eq!(result, "3628800");
+    }
+
+    #[test]
+    fn puts_writes_console() {
+        let (_, console) = run("puts hello\nputs -nonewline wor\nputs ld");
+        assert_eq!(console, "hello\nworld\n");
+    }
+
+    #[test]
+    fn string_operations() {
+        let (result, _) = run("string length abcdef");
+        assert_eq!(result, "6");
+        let (result, _) = run("string index abcdef 2");
+        assert_eq!(result, "c");
+        let (result, _) = run("string range abcdef 1 3");
+        assert_eq!(result, "bcd");
+        let (result, _) = run("string compare abc abd");
+        assert_eq!(result, "-1");
+        let (result, _) = run("string first cd abcdef");
+        assert_eq!(result, "2");
+        let (result, _) = run("string first zz abcdef");
+        assert_eq!(result, "-1");
+    }
+
+    #[test]
+    fn list_operations() {
+        let (result, _) = run("llength {a b {c d} e}");
+        assert_eq!(result, "4");
+        let (result, _) = run("lindex {a b {c d} e} 2");
+        assert_eq!(result, "c d");
+        let (result, _) = run("set l {}\nlappend l x\nlappend l y z\nset l");
+        assert_eq!(result, "x y z");
+        let (result, _) = run("join [split a,b,c ,] -");
+        assert_eq!(result, "a-b-c");
+        let (result, _) = run("list a {b c} d");
+        assert_eq!(result, "a {b c} d");
+    }
+
+    #[test]
+    fn foreach_iterates() {
+        let (result, _) = run("set s 0\nforeach x {1 2 3 4} {set s [expr $s + $x]}\nset s");
+        assert_eq!(result, "10");
+    }
+
+    #[test]
+    fn format_basic() {
+        let (result, _) = run("format \"%s=%d (%03d) %c%%\" width 42 7 65");
+        assert_eq!(result, "width=42 (007) A%");
+    }
+
+    #[test]
+    fn append_and_incr_create() {
+        let (result, _) = run("append out abc\nappend out def ghi\nset out");
+        assert_eq!(result, "abcdefghi");
+    }
+
+    #[test]
+    fn file_io() {
+        let mut m = Machine::new(NullSink);
+        m.fs_add_file("data.txt", b"line one\nline two\nrest".to_vec());
+        let mut tcl = Tclite::new(&mut m);
+        let result = tcl
+            .run(
+                r#"set f [open data.txt]
+gets $f first
+gets $f second
+set rest [read $f]
+close $f
+list $first $second $rest"#,
+            )
+            .unwrap();
+        assert_eq!(result, "{line one} {line two} rest");
+    }
+
+    #[test]
+    fn eval_command() {
+        let (result, _) = run("set cmd {expr 6 * 7}\neval $cmd");
+        assert_eq!(result, "42");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut m = Machine::new(NullSink);
+        let mut tcl = Tclite::new(&mut m);
+        let err = tcl.run("frobnicate 1 2").unwrap_err();
+        assert!(err.message.contains("invalid command name"));
+    }
+
+    #[test]
+    fn unset_removes() {
+        let mut m = Machine::new(NullSink);
+        let mut tcl = Tclite::new(&mut m);
+        tcl.run("set a 1\nunset a").unwrap();
+        assert!(tcl.run("set b $a").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Tclite errors.
+
+/// A script-level error (unknown command, bad arity, malformed
+/// expression…). Carries the message a real Tcl interpreter would put in
+/// `errorInfo`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TclError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl TclError {
+    /// Construct an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        TclError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TclError {}
+
+/// Non-error control flow escaping a script (`break`, `continue`,
+/// `return`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Normal completion.
+    Normal,
+    /// `break` propagating to the nearest loop.
+    Break,
+    /// `continue` propagating to the nearest loop.
+    Continue,
+    /// `return` propagating to the nearest proc boundary.
+    Return,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(TclError::new("bad").to_string(), "bad");
+    }
+}

@@ -1,0 +1,462 @@
+//! The `expr` evaluator: a recursive-descent parser over raw expression
+//! text, run afresh on every evaluation (so `while {$i < $n}` pays the
+//! full parse on each iteration, as Tcl 7 did).
+//!
+//! Operands are strings until proven numeric — the parse of every operand
+//! is charged, which is the "shimmering" cost that makes Tcl arithmetic
+//! thousands of times slower than C in Table 1.
+
+use interp_core::TraceSink;
+use interp_host::SimStr;
+
+use crate::error::TclError;
+use crate::interp::Tclite;
+
+struct ExprParser {
+    bytes: Vec<u8>,
+    pos: u32,
+    src: SimStr,
+}
+
+impl<'a, S: TraceSink> Tclite<'a, S> {
+    /// Evaluate an expression string to an integer (charged).
+    pub(crate) fn expr_eval(&mut self, src: SimStr) -> Result<i64, TclError> {
+        let bytes = self.m.peek_str(src);
+        let mut p = ExprParser {
+            bytes,
+            pos: 0,
+            src,
+        };
+        let expr_routine = self.rt.expr;
+        self.m.enter(expr_routine);
+        let out = self.expr_or(&mut p);
+        if out.is_ok() {
+            self.skip_ws(&mut p);
+            if (p.pos as usize) < p.bytes.len() {
+                self.m.leave();
+                return Err(TclError::new(format!(
+                    "extra tokens at end of expression: {:?}",
+                    String::from_utf8_lossy(&p.bytes[p.pos as usize..])
+                )));
+            }
+        }
+        self.m.leave();
+        out
+    }
+
+    fn skip_ws(&mut self, p: &mut ExprParser) {
+        while (p.pos as usize) < p.bytes.len()
+            && p.bytes[p.pos as usize].is_ascii_whitespace()
+        {
+            self.charge_scan(p.src, p.pos);
+            p.pos += 1;
+        }
+    }
+
+    fn peek2(&mut self, p: &ExprParser) -> (u8, u8) {
+        let a = p.bytes.get(p.pos as usize).copied().unwrap_or(0);
+        let b = p.bytes.get(p.pos as usize + 1).copied().unwrap_or(0);
+        (a, b)
+    }
+
+    fn expr_or(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        let mut lhs = self.expr_and(p)?;
+        loop {
+            self.skip_ws(p);
+            if self.peek2(p) == (b'|', b'|') {
+                self.charge_scan(p.src, p.pos);
+                self.charge_scan(p.src, p.pos + 1);
+                p.pos += 2;
+                let rhs = self.expr_and(p)?;
+                self.m.alu();
+                lhs = i64::from(lhs != 0 || rhs != 0);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn expr_and(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        let mut lhs = self.expr_bitor(p)?;
+        loop {
+            self.skip_ws(p);
+            if self.peek2(p) == (b'&', b'&') {
+                self.charge_scan(p.src, p.pos);
+                self.charge_scan(p.src, p.pos + 1);
+                p.pos += 2;
+                let rhs = self.expr_bitor(p)?;
+                self.m.alu();
+                lhs = i64::from(lhs != 0 && rhs != 0);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn expr_bitor(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        let mut lhs = self.expr_bitxor(p)?;
+        loop {
+            self.skip_ws(p);
+            if self.peek2(p).0 == b'|' && self.peek2(p).1 != b'|' {
+                self.charge_scan(p.src, p.pos);
+                p.pos += 1;
+                let rhs = self.expr_bitxor(p)?;
+                self.m.alu();
+                lhs |= rhs;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn expr_bitxor(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        let mut lhs = self.expr_bitand(p)?;
+        loop {
+            self.skip_ws(p);
+            if self.peek2(p).0 == b'^' {
+                self.charge_scan(p.src, p.pos);
+                p.pos += 1;
+                let rhs = self.expr_bitand(p)?;
+                self.m.alu();
+                lhs ^= rhs;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn expr_bitand(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        let mut lhs = self.expr_eqne(p)?;
+        loop {
+            self.skip_ws(p);
+            if self.peek2(p).0 == b'&' && self.peek2(p).1 != b'&' {
+                self.charge_scan(p.src, p.pos);
+                p.pos += 1;
+                let rhs = self.expr_eqne(p)?;
+                self.m.alu();
+                lhs &= rhs;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn expr_eqne(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        let mut lhs = self.expr_rel(p)?;
+        loop {
+            self.skip_ws(p);
+            match self.peek2(p) {
+                (b'=', b'=') => {
+                    p.pos += 2;
+                    self.m.alu_n(2);
+                    let rhs = self.expr_rel(p)?;
+                    lhs = i64::from(lhs == rhs);
+                }
+                (b'!', b'=') => {
+                    p.pos += 2;
+                    self.m.alu_n(2);
+                    let rhs = self.expr_rel(p)?;
+                    lhs = i64::from(lhs != rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn expr_rel(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        let mut lhs = self.expr_add(p)?;
+        loop {
+            self.skip_ws(p);
+            let (a, b) = self.peek2(p);
+            match (a, b) {
+                (b'<', b'=') => {
+                    p.pos += 2;
+                    self.m.alu_n(2);
+                    let rhs = self.expr_add(p)?;
+                    lhs = i64::from(lhs <= rhs);
+                }
+                (b'>', b'=') => {
+                    p.pos += 2;
+                    self.m.alu_n(2);
+                    let rhs = self.expr_add(p)?;
+                    lhs = i64::from(lhs >= rhs);
+                }
+                (b'<', b'<') | (b'>', b'>') => {
+                    p.pos += 2;
+                    self.m.alu_n(2);
+                    let rhs = self.expr_add(p)?;
+                    lhs = if a == b'<' {
+                        lhs << (rhs & 63)
+                    } else {
+                        lhs >> (rhs & 63)
+                    };
+                }
+                (b'<', _) => {
+                    p.pos += 1;
+                    self.m.alu_n(2);
+                    let rhs = self.expr_add(p)?;
+                    lhs = i64::from(lhs < rhs);
+                }
+                (b'>', _) => {
+                    p.pos += 1;
+                    self.m.alu_n(2);
+                    let rhs = self.expr_add(p)?;
+                    lhs = i64::from(lhs > rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn expr_add(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        let mut lhs = self.expr_mul(p)?;
+        loop {
+            self.skip_ws(p);
+            let (a, _) = self.peek2(p);
+            match a {
+                b'+' => {
+                    self.charge_scan(p.src, p.pos);
+                    p.pos += 1;
+                    let rhs = self.expr_mul(p)?;
+                    self.m.alu();
+                    lhs = lhs.wrapping_add(rhs);
+                }
+                b'-' => {
+                    self.charge_scan(p.src, p.pos);
+                    p.pos += 1;
+                    let rhs = self.expr_mul(p)?;
+                    self.m.alu();
+                    lhs = lhs.wrapping_sub(rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn expr_mul(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        let mut lhs = self.expr_unary(p)?;
+        loop {
+            self.skip_ws(p);
+            let (a, _) = self.peek2(p);
+            match a {
+                b'*' => {
+                    self.charge_scan(p.src, p.pos);
+                    p.pos += 1;
+                    let rhs = self.expr_unary(p)?;
+                    self.m.mul();
+                    lhs = lhs.wrapping_mul(rhs);
+                }
+                b'/' => {
+                    self.charge_scan(p.src, p.pos);
+                    p.pos += 1;
+                    let rhs = self.expr_unary(p)?;
+                    self.m.mul();
+                    if rhs == 0 {
+                        return Err(TclError::new("divide by zero"));
+                    }
+                    lhs = lhs.wrapping_div(rhs);
+                }
+                b'%' => {
+                    self.charge_scan(p.src, p.pos);
+                    p.pos += 1;
+                    let rhs = self.expr_unary(p)?;
+                    self.m.mul();
+                    if rhs == 0 {
+                        return Err(TclError::new("divide by zero"));
+                    }
+                    lhs = lhs.wrapping_rem(rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn expr_unary(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        self.skip_ws(p);
+        let (a, _) = self.peek2(p);
+        match a {
+            b'-' => {
+                self.charge_scan(p.src, p.pos);
+                p.pos += 1;
+                let v = self.expr_unary(p)?;
+                self.m.alu();
+                Ok(-v)
+            }
+            b'!' => {
+                self.charge_scan(p.src, p.pos);
+                p.pos += 1;
+                let v = self.expr_unary(p)?;
+                self.m.alu();
+                Ok(i64::from(v == 0))
+            }
+            _ => self.expr_primary(p),
+        }
+    }
+
+    fn expr_primary(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        self.skip_ws(p);
+        let len = p.bytes.len() as u32;
+        if p.pos >= len {
+            return Err(TclError::new("unexpected end of expression"));
+        }
+        let c = p.bytes[p.pos as usize];
+        match c {
+            b'(' => {
+                self.charge_scan(p.src, p.pos);
+                p.pos += 1;
+                let v = self.expr_or(p)?;
+                self.skip_ws(p);
+                if p.pos >= len || p.bytes[p.pos as usize] != b')' {
+                    return Err(TclError::new("missing `)` in expression"));
+                }
+                self.charge_scan(p.src, p.pos);
+                p.pos += 1;
+                Ok(v)
+            }
+            b'$' => {
+                // Variable substitution inside expr: parse name, look it up,
+                // parse its value as a number — all charged.
+                let bytes = p.bytes.clone();
+                let (name, name_rs, next) = self.parse_varname(p.src, &bytes, p.pos + 1)?;
+                p.pos = next;
+                let value = self.var_get(name, &name_rs)?;
+                let n = self.m.str_to_int(value).ok_or_else(|| {
+                    TclError::new(format!(
+                        "expected integer but got \"{}\"",
+                        self.m.peek_string(value)
+                    ))
+                })?;
+                Ok(n)
+            }
+            b'[' => {
+                // Command substitution inside expr.
+                let mut depth = 1;
+                let mut j = p.pos + 1;
+                while j < len {
+                    self.charge_scan(p.src, j);
+                    match p.bytes[j as usize] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if depth != 0 {
+                    return Err(TclError::new("missing close-bracket in expression"));
+                }
+                let inner = self.m.str_substr(p.src, p.pos + 1, j - (p.pos + 1));
+                self.eval(inner)?;
+                p.pos = j + 1;
+                let result = self.result;
+                self.m.str_to_int(result).ok_or_else(|| {
+                    TclError::new("command result is not an integer")
+                })
+            }
+            b'0'..=b'9' => {
+                let start = p.pos;
+                while (p.pos as usize) < p.bytes.len()
+                    && p.bytes[p.pos as usize].is_ascii_digit()
+                {
+                    self.charge_scan(p.src, p.pos);
+                    p.pos += 1;
+                }
+                let text = std::str::from_utf8(&p.bytes[start as usize..p.pos as usize])
+                    .expect("digits");
+                self.m.alu_n(2); // accumulate
+                text.parse::<i64>()
+                    .map_err(|_| TclError::new("integer literal out of range"))
+            }
+            other => Err(TclError::new(format!(
+                "syntax error in expression at {:?}",
+                other as char
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+    use interp_host::Machine;
+
+    fn eval_expr(src: &str) -> Result<i64, TclError> {
+        let mut m = Machine::new(NullSink);
+        let mut tcl = Tclite::new(&mut m);
+        let s = tcl.load_script(src);
+        tcl.expr_eval(s)
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(eval_expr("1 + 2 * 3").unwrap(), 7);
+        assert_eq!(eval_expr("(1 + 2) * 3").unwrap(), 9);
+        assert_eq!(eval_expr("10 - 2 - 3").unwrap(), 5);
+        assert_eq!(eval_expr("17 % 5 + 17 / 5").unwrap(), 5);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(eval_expr("3 < 5").unwrap(), 1);
+        assert_eq!(eval_expr("3 >= 5").unwrap(), 0);
+        assert_eq!(eval_expr("1 && 0 || 1").unwrap(), 1);
+        assert_eq!(eval_expr("!5").unwrap(), 0);
+        assert_eq!(eval_expr("2 == 2 && 3 != 4").unwrap(), 1);
+    }
+
+    #[test]
+    fn shifts_and_unary_minus() {
+        assert_eq!(eval_expr("1 << 10").unwrap(), 1024);
+        assert_eq!(eval_expr("-7 + 2").unwrap(), -5);
+        assert_eq!(eval_expr("256 >> 4").unwrap(), 16);
+    }
+
+    #[test]
+    fn bitwise_operators() {
+        assert_eq!(eval_expr("12 & 10").unwrap(), 8);
+        assert_eq!(eval_expr("12 | 10").unwrap(), 14);
+        assert_eq!(eval_expr("12 ^ 10").unwrap(), 6);
+        // & binds tighter than ^, which binds tighter than |.
+        assert_eq!(eval_expr("1 | 2 ^ 3 & 2").unwrap(), 1 | (2 ^ (3 & 2)));
+        assert_eq!(eval_expr("(5 ^ 3) & 65535").unwrap(), 6);
+        // && still works alongside &.
+        assert_eq!(eval_expr("3 & 1 && 2").unwrap(), 1);
+    }
+
+    #[test]
+    fn variables_in_expressions() {
+        let mut m = Machine::new(NullSink);
+        let mut tcl = Tclite::new(&mut m);
+        tcl.run("set n 21").unwrap();
+        let s = tcl.load_script("$n * 2");
+        assert_eq!(tcl.expr_eval(s).unwrap(), 42);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(eval_expr("1 +").is_err());
+        assert!(eval_expr("1 / 0").is_err());
+        assert!(eval_expr("(1").is_err());
+        assert!(eval_expr("1 2").is_err());
+    }
+
+    #[test]
+    fn evaluation_is_charged_per_character() {
+        let mut m = Machine::new(NullSink);
+        let mut tcl = Tclite::new(&mut m);
+        let short = tcl.load_script("1+2");
+        let long = tcl.load_script("1+2+3+4+5+6+7+8+9+10+11+12+13+14");
+        let before = tcl.m.stats().instructions;
+        tcl.expr_eval(short).unwrap();
+        let short_cost = tcl.m.stats().instructions - before;
+        let before = tcl.m.stats().instructions;
+        tcl.expr_eval(long).unwrap();
+        let long_cost = tcl.m.stats().instructions - before;
+        assert!(long_cost > short_cost * 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Tk-like native graphics commands.
+//!
+//! The paper's interactive Tcl benchmarks (demos, hanoi, ical, tkdiff, xf)
+//! run on Tk; here the `tk_*` commands bridge into the shared graphics
+//! native runtime library, with the instructions executed there attributed
+//! to [`interp_core::Phase::Native`] — the same structure that makes the
+//! graphics-heavy Java programs look like the native library rather than
+//! the interpreter.
+
+use interp_core::{Phase, TraceSink};
+use interp_host::{SimStr, UiEvent};
+
+use crate::error::{Flow, TclError};
+use crate::interp::Tclite;
+
+impl<'a, S: TraceSink> Tclite<'a, S> {
+    /// Execute one `tk_*` command.
+    pub(crate) fn run_tk_command(
+        &mut self,
+        name: &str,
+        words: &[(SimStr, String)],
+    ) -> Result<Flow, TclError> {
+        let mut int_args = Vec::new();
+        for (w, _) in &words[1..] {
+            if let Some(v) = self.m.str_to_int(*w) {
+                int_args.push(v as i32);
+            }
+        }
+        let arg = |i: usize| -> i32 { int_args.get(i).copied().unwrap_or(0) };
+        let tk_routine = self.rt.tk;
+        match name {
+            "tk_clear" => {
+                self.need_tk(words, 2, "tk_clear color")?;
+                let color = arg(0) as u8;
+                self.m.phase(Phase::Native, |m| {
+                    m.routine(tk_routine, |m| {
+                        m.alu_n(12); // widget tree traversal, damage setup
+                        m.gfx_clear(color);
+                    })
+                });
+            }
+            "tk_rect" => {
+                self.need_tk(words, 6, "tk_rect x y w h color")?;
+                self.m.phase(Phase::Native, |m| {
+                    m.routine(tk_routine, |m| {
+                        m.alu_n(14);
+                        m.gfx_fill_rect(arg(0), arg(1), arg(2) as u32, arg(3) as u32, arg(4) as u8);
+                    })
+                });
+            }
+            "tk_line" => {
+                self.need_tk(words, 6, "tk_line x0 y0 x1 y1 color")?;
+                self.m.phase(Phase::Native, |m| {
+                    m.routine(tk_routine, |m| {
+                        m.alu_n(14);
+                        m.gfx_draw_line(arg(0), arg(1), arg(2), arg(3), arg(4) as u8);
+                    })
+                });
+            }
+            "tk_oval" => {
+                self.need_tk(words, 5, "tk_oval cx cy r color")?;
+                self.m.phase(Phase::Native, |m| {
+                    m.routine(tk_routine, |m| {
+                        m.alu_n(14);
+                        m.gfx_draw_circle(arg(0), arg(1), arg(2), arg(3) as u8);
+                    })
+                });
+            }
+            "tk_text" => {
+                self.need_tk(words, 5, "tk_text x y string color")?;
+                let text = self.m.peek_str(words[3].0);
+                let color = self
+                    .m
+                    .str_to_int(words[4].0)
+                    .map(|v| v as u8)
+                    .unwrap_or(1);
+                let (x, y) = (arg(0), arg(1));
+                self.m.phase(Phase::Native, |m| {
+                    m.routine(tk_routine, |m| {
+                        m.alu_n(16); // font metrics, layout
+                        m.gfx_draw_text(x, y, &text, color);
+                    })
+                });
+            }
+            "tk_widget" => {
+                // Create a widget: border + background + label, a composite
+                // of native drawing (models Tk widget redisplay).
+                self.need_tk(words, 6, "tk_widget x y w h label")?;
+                let label = self.m.peek_str(words[5].0);
+                let (x, y, w, h) = (arg(0), arg(1), arg(2) as u32, arg(3) as u32);
+                self.m.phase(Phase::Native, |m| {
+                    m.routine(tk_routine, |m| {
+                        m.alu_n(40); // widget allocation, geometry management
+                        m.gfx_fill_rect(x, y, w, h, 7);
+                        m.gfx_fill_rect(x + 1, y + 1, w.saturating_sub(2), h.saturating_sub(2), 3);
+                        m.gfx_draw_text(x + 4, y + 4, &label, 0);
+                    })
+                });
+            }
+            "tk_update" => {
+                self.m.phase(Phase::Native, |m| {
+                    m.routine(tk_routine, |m| {
+                        m.alu_n(10);
+                        m.gfx_flush();
+                    })
+                });
+            }
+            "tk_nextevent" => {
+                let event = self.m.phase(Phase::Native, |m| {
+                    m.routine(tk_routine, |m| {
+                        m.alu_n(18); // select() + event queue scan
+                        m.next_event()
+                    })
+                });
+                let text = match event {
+                    Some(UiEvent::Tick) => "tick".to_string(),
+                    Some(UiEvent::Key(k)) => format!("key {}", k as char),
+                    Some(UiEvent::Click { x, y }) => format!("click {x} {y}"),
+                    Some(UiEvent::Expose) => "expose".to_string(),
+                    Some(UiEvent::Quit) => "quit".to_string(),
+                    None => "none".to_string(),
+                };
+                self.set_result_bytes(text.as_bytes());
+                return Ok(Flow::Normal);
+            }
+            other => {
+                return Err(TclError::new(format!(
+                    "invalid command name \"{other}\""
+                )))
+            }
+        }
+        self.set_result_bytes(b"");
+        Ok(Flow::Normal)
+    }
+
+    fn need_tk(
+        &self,
+        words: &[(SimStr, String)],
+        n: usize,
+        usage: &str,
+    ) -> Result<(), TclError> {
+        if words.len() < n {
+            Err(TclError::new(format!(
+                "wrong # args: should be \"{usage}\""
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Tclite;
+    use interp_core::{NullSink, Phase};
+    use interp_host::{Machine, UiEvent};
+
+    #[test]
+    fn drawing_charges_native_phase() {
+        let mut m = Machine::new(NullSink);
+        let mut tcl = Tclite::new(&mut m);
+        tcl.run("tk_clear 0\ntk_rect 10 10 50 40 5\ntk_line 0 0 100 100 2")
+            .unwrap();
+        let native = m.stats().phase_instructions(Phase::Native);
+        assert!(native > 5000, "native instructions = {native}");
+        // Inside the rect, off the diagonal line.
+        assert_eq!(m.gfx_pixel(20, 15), 5);
+        // On the diagonal.
+        assert_eq!(m.gfx_pixel(50, 50), 2);
+    }
+
+    #[test]
+    fn event_loop_drains_queue() {
+        let mut m = Machine::new(NullSink);
+        m.post_event(UiEvent::Tick);
+        m.post_event(UiEvent::Click { x: 3, y: 9 });
+        m.post_event(UiEvent::Quit);
+        let mut tcl = Tclite::new(&mut m);
+        let result = tcl
+            .run(
+                r#"set log {}
+while {1} {
+    set e [tk_nextevent]
+    if {[string compare $e quit] == 0} { break }
+    if {[string compare $e none] == 0} { break }
+    lappend log $e
+}
+set log"#,
+            )
+            .unwrap();
+        assert_eq!(result, "tick {click 3 9}");
+    }
+
+    #[test]
+    fn widget_draws_and_is_attributed_native() {
+        let mut m = Machine::new(NullSink);
+        let mut tcl = Tclite::new(&mut m);
+        tcl.run("tk_widget 5 5 80 24 OK\ntk_update").unwrap();
+        assert!(m.gfx_state().flushes >= 1);
+        // Widget background (away from the label glyphs), and border.
+        assert_eq!(m.gfx_pixel(50, 8), 3);
+        assert_eq!(m.gfx_pixel(50, 5), 7);
+    }
+}

@@ -1,0 +1,262 @@
+//! Deterministic synthetic inputs.
+//!
+//! The paper ran its benchmarks on real files (C sources, HTML pages, HTTP
+//! traffic). Those inputs are not archived, so we generate statistically
+//! similar stand-ins with a fixed-seed PRNG: word-shaped text with
+//! repetition (so LZW finds structure), tag-soup HTML, HTTP/1.0 requests,
+//! and C-like token streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed seed: every run of every experiment sees identical inputs.
+pub const SEED: u64 = 0x1996_0a5f;
+
+const WORDS: &[&str] = &[
+    "the", "interpreter", "virtual", "machine", "command", "fetch", "decode", "execute",
+    "cache", "memory", "stack", "table", "string", "program", "native", "instruction", "loop",
+    "branch", "index", "value", "performance", "structure", "alpha", "system", "time",
+];
+
+/// Word-shaped prose with natural repetition (`n_words` words, ~6 bytes
+/// each).
+pub fn text_corpus(n_words: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut out = Vec::with_capacity(n_words * 7);
+    let mut col = 0usize;
+    for i in 0..n_words {
+        let w = WORDS[rng.gen_range(0..WORDS.len())];
+        out.extend_from_slice(w.as_bytes());
+        col += w.len() + 1;
+        if i % 11 == 10 {
+            out.extend_from_slice(b".");
+        }
+        if col > 60 {
+            out.push(b'\n');
+            col = 0;
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.push(b'\n');
+    out
+}
+
+/// Prose with light markup (URLs, `*bold*`, `heading:` lines, blank-line
+/// paragraph breaks) for the txt2html workload.
+pub fn markup_text(n_words: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x66);
+    let mut out = Vec::new();
+    let mut col = 0usize;
+    for i in 0..n_words {
+        if i % 37 == 36 {
+            out.extend_from_slice(b"\n\n");
+            col = 0;
+        }
+        if i % 53 == 20 {
+            out.extend_from_slice(b"\nnext section:\n");
+            col = 0;
+        }
+        let w = WORDS[rng.gen_range(0..WORDS.len())];
+        match i % 17 {
+            4 => {
+                out.push(b'*');
+                out.extend_from_slice(w.as_bytes());
+                out.push(b'*');
+            }
+            9 => out.extend_from_slice(format!("http://host/{w}").as_bytes()),
+            _ => out.extend_from_slice(w.as_bytes()),
+        }
+        col += w.len() + 1;
+        if col > 60 {
+            out.push(b'\n');
+            col = 0;
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.push(b'\n');
+    out
+}
+
+/// Tag-soup HTML with headers, links, and a deterministic sprinkle of
+/// mistakes (unclosed tags) for the weblint workload.
+pub fn html_page(n_paragraphs: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x11);
+    let mut out = Vec::new();
+    out.extend_from_slice(b"<html>\n<head><title>synthetic page</title></head>\n<body>\n");
+    for p in 0..n_paragraphs {
+        out.extend_from_slice(format!("<h2>section {p}</h2>\n").as_bytes());
+        out.extend_from_slice(b"<p>");
+        for _ in 0..rng.gen_range(8..20) {
+            let w = WORDS[rng.gen_range(0..WORDS.len())];
+            out.extend_from_slice(w.as_bytes());
+            out.push(b' ');
+        }
+        if rng.gen_range(0..4) == 0 {
+            out.extend_from_slice(b"<b>bold");
+            if rng.gen_range(0..2) == 0 {
+                out.extend_from_slice(b"</b>");
+            } // else: unclosed <b> for weblint to find
+        }
+        out.extend_from_slice(
+            format!("<a href=\"page{p}.html\">link {p}</a>").as_bytes(),
+        );
+        // Deterministic mistakes: some paragraphs never close.
+        if p % 5 != 4 {
+            out.extend_from_slice(b"</p>\n");
+        } else {
+            out.push(b'\n');
+        }
+    }
+    out.extend_from_slice(b"</body>\n</html>\n");
+    out
+}
+
+/// A batch of HTTP/1.0 requests, one per line group, for the plexus
+/// (HTTP server) workload.
+pub fn http_requests(n: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x22);
+    let paths = [
+        "/index.html",
+        "/research/interpreters.html",
+        "/cgi-bin/query",
+        "/images/logo.gif",
+        "/missing/page.html",
+        "/docs/paper.ps",
+    ];
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let method = if rng.gen_range(0..5) == 0 { "HEAD" } else { "GET" };
+        let path = paths[rng.gen_range(0..paths.len())];
+        out.extend_from_slice(format!("{method} {path} HTTP/1.0\n").as_bytes());
+        out.extend_from_slice(b"User-Agent: Mosaic/2.6\n");
+        if rng.gen_range(0..3) == 0 {
+            out.extend_from_slice(b"Accept: text/html\n");
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// A C-like token stream for tcltags / cc-lite / javac-analog inputs:
+/// function definitions with bodies.
+pub fn source_like(n_functions: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x33);
+    let mut out = Vec::new();
+    out.extend_from_slice(b"/* synthetic translation unit */\n");
+    for f in 0..n_functions {
+        out.extend_from_slice(format!("int func_{f}(int a, int b) {{\n").as_bytes());
+        let stmts = rng.gen_range(2..6);
+        for s in 0..stmts {
+            let v = rng.gen_range(1..100);
+            out.extend_from_slice(
+                format!("    int v{s} = a * {v} + b - {};\n", rng.gen_range(0..9)).as_bytes(),
+            );
+        }
+        out.extend_from_slice(b"    return a + b;\n}\n\n");
+    }
+    out
+}
+
+/// Tcl-like source for tcltags: proc definitions.
+pub fn tcl_source_like(n_procs: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x44);
+    let mut out = Vec::new();
+    for p in 0..n_procs {
+        out.extend_from_slice(format!("proc handler_{p} {{x y}} {{\n").as_bytes());
+        for _ in 0..rng.gen_range(1..4) {
+            out.extend_from_slice(
+                format!("    set t{} [expr $x + {}]\n", rng.gen_range(0..5), p).as_bytes(),
+            );
+        }
+        out.extend_from_slice(b"}\n");
+    }
+    out
+}
+
+/// A widget-layout specification for the xf (interface-builder) workload:
+/// `kind index x y w h` lines.
+pub fn xf_layout(n_widgets: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x77);
+    let kinds = ["button", "label", "frame"];
+    let mut out = Vec::new();
+    out.extend_from_slice(b"# generated layout\n");
+    for i in 0..n_widgets {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let x = rng.gen_range(0..220);
+        let y = rng.gen_range(0..160);
+        let (w, h) = (rng.gen_range(20..60), rng.gen_range(12..30));
+        out.extend_from_slice(format!("{kind} {i} {x} {y} {w} {h}\n").as_bytes());
+    }
+    out
+}
+
+/// Two related line files for tkdiff: the second has deterministic edits.
+pub fn diff_pair(n_lines: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x55);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for i in 0..n_lines {
+        let line = format!(
+            "line {i}: {} {}\n",
+            WORDS[rng.gen_range(0..WORDS.len())],
+            WORDS[rng.gen_range(0..WORDS.len())]
+        );
+        a.extend_from_slice(line.as_bytes());
+        match i % 7 {
+            3 => b.extend_from_slice(format!("line {i}: edited\n").as_bytes()),
+            5 => {} // deleted in b
+            _ => b.extend_from_slice(line.as_bytes()),
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(text_corpus(100), text_corpus(100));
+        assert_eq!(html_page(5), html_page(5));
+        assert_eq!(http_requests(5), http_requests(5));
+        assert_eq!(source_like(3), source_like(3));
+        assert_eq!(tcl_source_like(3), tcl_source_like(3));
+        assert_eq!(diff_pair(10), diff_pair(10));
+    }
+
+    #[test]
+    fn corpus_has_repetition_for_lzw() {
+        let text = text_corpus(500);
+        // "interpreter" should appear several times.
+        let hits = text
+            .windows(11)
+            .filter(|w| *w == b"interpreter")
+            .count();
+        assert!(hits > 3, "only {hits} repeats");
+    }
+
+    #[test]
+    fn html_contains_expected_mistakes() {
+        let page = html_page(10);
+        let text = String::from_utf8_lossy(&page);
+        let opens = text.matches("<p>").count();
+        let closes = text.matches("</p>").count();
+        assert!(opens > closes, "weblint needs unclosed tags");
+    }
+
+    #[test]
+    fn requests_are_parseable() {
+        let reqs = http_requests(10);
+        let text = String::from_utf8_lossy(&reqs);
+        assert!(text.lines().filter(|l| l.starts_with("GET") || l.starts_with("HEAD")).count() == 10);
+    }
+
+    #[test]
+    fn sizes_scale() {
+        assert!(text_corpus(1000).len() > text_corpus(100).len() * 5);
+        assert!(source_like(20).len() > source_like(2).len() * 5);
+    }
+}

@@ -1,0 +1,24 @@
+//! Benchmark workloads for the interpreter-performance reproduction.
+//!
+//! Provides the macro suite of Table 2 (each program in its original
+//! language, with deterministic synthetic inputs), the Table 1
+//! microbenchmarks in all five languages, and a uniform
+//! [`runner::run_macro`] / [`runner::run_micro`] entry point that wires a
+//! workload to a machine, an interpreter, and a trace sink.
+//!
+//! Programs are self-checking: each prints `OK …` (often a checksum that
+//! must agree across languages — des produces identical ciphertext in C,
+//! MIPSI, Joule, Perl, and Tcl) so no experiment can silently measure a
+//! broken run.
+
+pub mod inputs;
+pub mod joule_progs;
+pub mod micro;
+pub mod minic_progs;
+pub mod perl_progs;
+pub mod runner;
+pub mod tcl_progs;
+
+pub use runner::{
+    compiled_suite, macro_suite, micro_iterations, run_macro, run_micro, RunResult, Scale,
+};

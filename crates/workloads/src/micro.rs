@@ -1,0 +1,385 @@
+//! Table 1 microbenchmarks, in all five languages.
+//!
+//! Each microbenchmark runs `{N}` iterations of one simple operation; the
+//! harness divides simulated cycles by the compiled-C cycles for the same
+//! `N` to produce the slowdown table. The C source doubles as the MIPSI
+//! guest binary, exactly as in the paper.
+
+/// Names of the Table 1 microbenchmarks, in paper order.
+pub const MICRO_NAMES: [&str; 6] = [
+    "a=b+c",
+    "if",
+    "null-proc",
+    "string-concat",
+    "string-split",
+    "read",
+];
+
+/// Paper description for a microbenchmark.
+pub fn micro_description(name: &str) -> &'static str {
+    match name {
+        "a=b+c" => "assign the sum of two memory locations to a third",
+        "if" => "conditional assignment",
+        "null-proc" => "null procedure call",
+        "string-concat" => "concatenate two strings",
+        "string-split" => "split a string into four component strings",
+        "read" => "read a 4K file from a warm buffer cache",
+        _ => "unknown",
+    }
+}
+
+/// Mini-C source for microbenchmark `name` (shared by the native runs and
+/// MIPSI).
+pub fn micro_c(name: &str) -> &'static str {
+    match name {
+        "a=b+c" => {
+            r#"
+int a; int b; int c;
+int main() {
+    int i;
+    b = 17; c = 25;
+    for (i = 0; i < {N}; i++) { a = b + c; }
+    print_int(a);
+    return 0;
+}
+"#
+        }
+        "if" => {
+            r#"
+int a; int b;
+int main() {
+    int i;
+    b = 0;
+    for (i = 0; i < {N}; i++) {
+        if (i & 1) { a = 1; } else { a = 2; }
+        b = b + a;
+    }
+    print_int(b);
+    return 0;
+}
+"#
+        }
+        "null-proc" => {
+            r#"
+int nothing() { return 0; }
+int main() {
+    int i;
+    for (i = 0; i < {N}; i++) { nothing(); }
+    print_int({N});
+    return 0;
+}
+"#
+        }
+        "string-concat" => {
+            r#"
+char left[16] = "alphabet";
+char right[16] = "soupmix";
+char dst[64];
+int concat2(char *d, char *s1, char *s2) {
+    int n;
+    n = 0;
+    while (*s1) { d[n] = *s1; n = n + 1; s1 = s1 + 1; }
+    while (*s2) { d[n] = *s2; n = n + 1; s2 = s2 + 1; }
+    d[n] = 0;
+    return n;
+}
+int main() {
+    int i; int n;
+    n = 0;
+    for (i = 0; i < {N}; i++) { n = concat2(dst, left, right); }
+    print_int(n);
+    return 0;
+}
+"#
+        }
+        "string-split" => {
+            r#"
+char src_[32] = "alpha:beta:gamma:delta";
+char parts[64];
+int main() {
+    int i; int j; int p; int k; int total;
+    total = 0;
+    for (i = 0; i < {N}; i++) {
+        p = 0; k = 0;
+        for (j = 0; src_[j]; j++) {
+            if (src_[j] == ':') {
+                parts[p * 16 + k] = 0;
+                p = p + 1;
+                k = 0;
+            } else {
+                parts[p * 16 + k] = src_[j];
+                k = k + 1;
+            }
+        }
+        parts[p * 16 + k] = 0;
+        total = p + 1;
+    }
+    print_int(total);
+    return 0;
+}
+"#
+        }
+        "read" => {
+            r#"
+char buf[4096];
+int main() {
+    int i; int fd; int n; int total;
+    total = 0;
+    for (i = 0; i < {N}; i++) {
+        fd = open("warm.dat");
+        n = read(fd, buf, 4096);
+        close(fd);
+        total = total + n;
+    }
+    print_int(total / {N});
+    return 0;
+}
+"#
+        }
+        _ => panic!("unknown microbenchmark"),
+    }
+}
+
+/// Joule source. Joule has no string type, so the string benchmarks copy
+/// int arrays in interpreted bytecode — reproducing Java 1.0's *worst*
+/// Table 1 rows (504x on string-concat), where string work was not
+/// delegated to native libraries.
+pub fn micro_joule(name: &str) -> &'static str {
+    match name {
+        "a=b+c" => {
+            r#"
+static int a; static int b; static int c;
+void main() {
+    b = 17; c = 25;
+    for (int i = 0; i < {N}; i++) { a = b + c; }
+    Native.printInt(a);
+}
+"#
+        }
+        "if" => {
+            r#"
+static int a; static int b;
+void main() {
+    for (int i = 0; i < {N}; i++) {
+        if ((i & 1) != 0) { a = 1; } else { a = 2; }
+        b = b + a;
+    }
+    Native.printInt(b);
+}
+"#
+        }
+        "null-proc" => {
+            r#"
+void nothing() { }
+void main() {
+    for (int i = 0; i < {N}; i++) { nothing(); }
+    Native.printInt({N});
+}
+"#
+        }
+        "string-concat" => {
+            r#"
+int concat2(int[] d, int[] s1, int[] s2) {
+    int n = 0;
+    for (int i = 0; i < s1.length; i++) { d[n] = s1[i]; n++; }
+    for (int i = 0; i < s2.length; i++) { d[n] = s2[i]; n++; }
+    return n;
+}
+void main() {
+    int[] left = new int[8];
+    int[] right = new int[7];
+    int[] dst = new int[32];
+    for (int i = 0; i < 8; i++) { left[i] = 'a' + i; }
+    for (int i = 0; i < 7; i++) { right[i] = 's' + i; }
+    int n = 0;
+    for (int i = 0; i < {N}; i++) { n = concat2(dst, left, right); }
+    Native.printInt(n);
+}
+"#
+        }
+        "string-split" => {
+            r#"
+void main() {
+    int[] src = new int[22];
+    int[] parts = new int[64];
+    // "alpha:beta:gamma:delta"
+    int[] tmpl = new int[22];
+    tmpl[0]='a';tmpl[1]='l';tmpl[2]='p';tmpl[3]='h';tmpl[4]='a';tmpl[5]=':';
+    tmpl[6]='b';tmpl[7]='e';tmpl[8]='t';tmpl[9]='a';tmpl[10]=':';
+    tmpl[11]='g';tmpl[12]='a';tmpl[13]='m';tmpl[14]='m';tmpl[15]='a';tmpl[16]=':';
+    tmpl[17]='d';tmpl[18]='e';tmpl[19]='l';tmpl[20]='t';tmpl[21]='a';
+    for (int i = 0; i < 22; i++) { src[i] = tmpl[i]; }
+    int total = 0;
+    for (int i = 0; i < {N}; i++) {
+        int p = 0; int k = 0;
+        for (int j = 0; j < 22; j++) {
+            if (src[j] == ':') { parts[p * 16 + k] = 0; p++; k = 0; }
+            else { parts[p * 16 + k] = src[j]; k++; }
+        }
+        total = p + 1;
+    }
+    Native.printInt(total);
+}
+"#
+        }
+        "read" => {
+            r#"
+void main() {
+    int total = 0;
+    for (int i = 0; i < {N}; i++) {
+        int[] data = Native.loadFile("warm.dat");
+        total = total + data.length;
+    }
+    Native.printInt(total / {N});
+}
+"#
+        }
+        _ => panic!("unknown microbenchmark"),
+    }
+}
+
+/// Perl source. String operations use the native runtime (`.` concat,
+/// `split`), reproducing Perl's *good* string rows in Table 1.
+pub fn micro_perl(name: &str) -> &'static str {
+    match name {
+        "a=b+c" => {
+            r#"
+$b = 17; $c = 25;
+for ($i = 0; $i < {N}; $i++) { $a = $b + $c; }
+print $a;
+"#
+        }
+        "if" => {
+            r#"
+$b = 0;
+for ($i = 0; $i < {N}; $i++) {
+    if ($i % 2) { $a = 1; } else { $a = 2; }
+    $b = $b + $a;
+}
+print $b;
+"#
+        }
+        "null-proc" => {
+            r#"
+sub nothing { return 0; }
+for ($i = 0; $i < {N}; $i++) { &nothing(); }
+print {N};
+"#
+        }
+        "string-concat" => {
+            r#"
+$left = "alphabet";
+$right = "soupmix";
+for ($i = 0; $i < {N}; $i++) { $dst = $left . $right; }
+print length($dst);
+"#
+        }
+        "string-split" => {
+            r#"
+$src = "alpha:beta:gamma:delta";
+for ($i = 0; $i < {N}; $i++) { @parts = split(/:/, $src); }
+print scalar(@parts);
+"#
+        }
+        "read" => {
+            r#"
+$total = 0;
+for ($i = 0; $i < {N}; $i++) {
+    open(F, "warm.dat");
+    $data = <F>;
+    $n = length($data);
+    while ($line = <F>) { $n += length($line); }
+    close(F);
+    $total += $n;
+}
+print $total / {N};
+"#
+        }
+        _ => panic!("unknown microbenchmark"),
+    }
+}
+
+/// Tcl source. `append`/`split` run in native runtime code (cheap);
+/// arithmetic pays the full parse-everything toll (the 6500x row).
+pub fn micro_tcl(name: &str) -> &'static str {
+    match name {
+        "a=b+c" => {
+            r#"
+set b 17
+set c 25
+for {set i 0} {$i < {N}} {incr i} { set a [expr $b + $c] }
+puts $a
+"#
+        }
+        "if" => {
+            r#"
+set b 0
+for {set i 0} {$i < {N}} {incr i} {
+    if {$i % 2} { set a 1 } else { set a 2 }
+    set b [expr $b + $a]
+}
+puts $b
+"#
+        }
+        "null-proc" => {
+            r#"
+proc nothing {} { return 0 }
+for {set i 0} {$i < {N}} {incr i} { nothing }
+puts {N}
+"#
+        }
+        "string-concat" => {
+            r#"
+set left "alphabet"
+set right "soupmix"
+for {set i 0} {$i < {N}} {incr i} {
+    set dst $left
+    append dst $right
+}
+puts [string length $dst]
+"#
+        }
+        "string-split" => {
+            r#"
+set src "alpha:beta:gamma:delta"
+for {set i 0} {$i < {N}} {incr i} { set parts [split $src :] }
+puts [llength $parts]
+"#
+        }
+        "read" => {
+            r#"
+set total 0
+for {set i 0} {$i < {N}} {incr i} {
+    set f [open warm.dat]
+    set data [read $f]
+    close $f
+    set total [expr $total + [string length $data]]
+}
+puts [expr $total / {N}]
+"#
+        }
+        _ => panic!("unknown microbenchmark"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_have_sources_and_descriptions() {
+        for name in MICRO_NAMES {
+            assert!(!micro_c(name).is_empty());
+            assert!(!micro_joule(name).is_empty());
+            assert!(!micro_perl(name).is_empty());
+            assert!(!micro_tcl(name).is_empty());
+            assert_ne!(micro_description(name), "unknown");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown microbenchmark")]
+    fn unknown_name_panics() {
+        micro_c("bogus");
+    }
+}

@@ -1,0 +1,644 @@
+//! The compiled-language workloads, written in mini-C.
+//!
+//! These are the programs MIPSI interprets and the direct executor runs
+//! natively: analogs of the paper's des, compress (LZW), eqntott
+//! (truth-table conversion), espresso (boolean cover minimization), li (a
+//! small Lisp interpreter) — plus `cc_lite`, a lexer/symbol-table pass
+//! standing in for the gcc datapoint of Figure 3.
+//!
+//! Programs are self-checking: each prints `OK <checksum>` (or `BAD`) so
+//! interpreted and native runs can be compared bit-for-bit.
+
+/// The DES-like Feistel cipher. 16 rounds over 16-bit halves with an
+/// arithmetic round function — every operation stays below 2^31 so the
+/// Joule/Perl/Tcl ports produce identical output.
+///
+/// `{BLOCKS}` = number of blocks to encrypt+decrypt.
+pub const DES_C: &str = r#"
+int keys[16];
+
+int fround(int r, int k) {
+    return ((r * 31 + k) ^ (r >> 3) ^ (k * 4)) & 0xffff;
+}
+
+int encrypt(int l, int r) {
+    int i;
+    int t;
+    for (i = 0; i < 16; i++) {
+        t = r;
+        r = l ^ fround(r, keys[i]);
+        l = t;
+    }
+    return l * 65536 + r;
+}
+
+int decrypt(int l, int r) {
+    int i;
+    int t;
+    for (i = 15; i >= 0; i--) {
+        t = l;
+        l = r ^ fround(l, keys[i]);
+        r = t;
+    }
+    return l * 65536 + r;
+}
+
+int main() {
+    int i; int k; int block; int l; int r; int c; int cl; int cr;
+    int p; int sum; int bad;
+    k = 12345;
+    for (i = 0; i < 16; i++) {
+        k = (k * 1103 + 12849) & 0xffff;
+        keys[i] = k;
+    }
+    sum = 0;
+    bad = 0;
+    block = 9029;
+    for (i = 0; i < {BLOCKS}; i++) {
+        block = (block * 1103 + 12849) & 0x7fffffff;
+        l = (block >> 16) & 0xffff;
+        r = block & 0xffff;
+        c = encrypt(l, r);
+        cl = (c >> 16) & 0xffff;
+        cr = c & 0xffff;
+        sum = (sum + cl + cr) & 0xffffff;
+        p = decrypt(cl, cr);
+        if (((p >> 16) & 0xffff) != l) bad = bad + 1;
+        if ((p & 0xffff) != r) bad = bad + 1;
+    }
+    if (bad) { print_str("BAD "); print_int(bad); }
+    else { print_str("OK "); print_int(sum); }
+    print_char('\n');
+    return bad;
+}
+"#;
+
+/// LZW compression (12-bit codes) of a text file, like `compress`.
+/// Reads `input.txt`; prints the code count and a checksum.
+pub const COMPRESS_C: &str = r#"
+char buf[{BUFSZ}];
+int prefix[4096];
+int suffix[4096];
+int hash_code[{HSIZE}];
+int hash_key[{HSIZE}];
+
+int main() {
+    int fd; int n; int i;
+    int next_code; int cur; int c; int h; int key; int found;
+    int ncodes; int sum; int probes;
+    fd = open("input.txt");
+    if (fd < 0) { print_str("BAD open\n"); return 1; }
+    n = read(fd, buf, {BUFSZ});
+    close(fd);
+    /* hash_code[h] == 0 means empty (codes start at 256), so the table
+       needs no initialization pass. */
+    next_code = 256;
+    ncodes = 0;
+    sum = 0;
+    cur = buf[0];
+    for (i = 1; i < n; i++) {
+        c = buf[i];
+        key = cur * 256 + c;
+        h = ((cur * 77 + c) * 2654435) & {HMASK};
+        found = -1;
+        probes = 0;
+        while (probes < {HSIZE}) {
+            if (hash_code[h] == 0) break;
+            if (hash_key[h] == key) { found = hash_code[h]; break; }
+            h = (h + 1) & {HMASK};
+            probes = probes + 1;
+        }
+        if (found >= 0) {
+            cur = found;
+        } else {
+            ncodes = ncodes + 1;
+            sum = (sum + cur * 7 + 3) & 0xffffff;
+            if (next_code < 4096) {
+                hash_code[h] = next_code;
+                hash_key[h] = key;
+                prefix[next_code] = cur;
+                suffix[next_code] = c;
+                next_code = next_code + 1;
+            }
+            cur = c;
+        }
+    }
+    ncodes = ncodes + 1;
+    sum = (sum + cur * 7 + 3) & 0xffffff;
+    print_str("OK ");
+    print_int(ncodes);
+    print_char(' ');
+    print_int(sum);
+    print_char('\n');
+    return 0;
+}
+"#;
+
+/// Truth-table conversion, like `eqntott`: evaluates a PLA-style
+/// sum-of-products over all input combinations and emits a sorted
+/// minterm summary. `{VARS}` input variables (table has `2^VARS` rows).
+pub const EQNTOTT_C: &str = r#"
+int terms_mask[24];
+int terms_value[24];
+int minterms[4096];
+
+int eval_row(int row, int nterms) {
+    int t;
+    for (t = 0; t < nterms; t++) {
+        if ((row & terms_mask[t]) == terms_value[t]) return 1;
+    }
+    return 0;
+}
+
+int main() {
+    int nvars; int rows; int nterms; int i; int t; int k;
+    int count; int sum; int tmp; int limit; int swapped;
+    nvars = {VARS};
+    rows = 1 << nvars;
+    nterms = 14;
+    k = 977;
+    for (t = 0; t < nterms; t++) {
+        k = (k * 1103 + 12849) & 0x7fffffff;
+        terms_mask[t] = (k & (rows - 1)) | 31;
+        k = (k * 1103 + 12849) & 0x7fffffff;
+        terms_value[t] = k & terms_mask[t];
+    }
+    count = 0;
+    for (i = 0; i < rows; i++) {
+        if (eval_row(i, nterms)) {
+            if (count < 4096) { minterms[count] = (i * 2654435 + 7) & 0xfffff; }
+            count = count + 1;
+        }
+    }
+    limit = count;
+    if (limit > 256) limit = 256;
+    swapped = 1;
+    while (swapped) {
+        swapped = 0;
+        for (i = 0; i + 1 < limit; i++) {
+            if (minterms[i] > minterms[i + 1]) {
+                tmp = minterms[i];
+                minterms[i] = minterms[i + 1];
+                minterms[i + 1] = tmp;
+                swapped = 1;
+            }
+        }
+    }
+    sum = 0;
+    for (i = 0; i < limit; i++) { sum = (sum + minterms[i] * (i + 1)) & 0xffffff; }
+    print_str("OK ");
+    print_int(count);
+    print_char(' ');
+    print_int(sum);
+    print_char('\n');
+    return 0;
+}
+"#;
+
+/// Boolean cover minimization, like `espresso` (greatly simplified):
+/// repeated passes merge cube pairs that differ in exactly one literal.
+/// `{CUBES}` initial cubes over 16 variables.
+pub const ESPRESSO_C: &str = r#"
+int cube_mask[{CUBES2}];
+int cube_val[{CUBES2}];
+int alive[{CUBES2}];
+
+int popcount16(int x) {
+    int n;
+    n = 0;
+    while (x) { n = n + (x & 1); x = x >> 1; }
+    return n;
+}
+
+int main() {
+    int n; int i; int j; int k; int merged; int diff;
+    int sum; int live;
+    n = {CUBES};
+    k = 31337;
+    for (i = 0; i < n; i++) {
+        k = (k * 1103 + 12849) & 0x7fffffff;
+        cube_mask[i] = k & 0xffff;
+        k = (k * 1103 + 12849) & 0x7fffffff;
+        cube_val[i] = k & cube_mask[i];
+        alive[i] = 1;
+    }
+    merged = 1;
+    while (merged) {
+        merged = 0;
+        for (i = 0; i < n; i++) {
+            if (!alive[i]) continue;
+            for (j = i + 1; j < n; j++) {
+                if (!alive[j]) continue;
+                if (cube_mask[i] != cube_mask[j]) continue;
+                diff = cube_val[i] ^ cube_val[j];
+                if (popcount16(diff) == 1) {
+                    cube_mask[i] = cube_mask[i] & ~diff;
+                    cube_val[i] = cube_val[i] & ~diff;
+                    alive[j] = 0;
+                    merged = 1;
+                }
+            }
+        }
+    }
+    live = 0;
+    sum = 0;
+    for (i = 0; i < n; i++) {
+        if (alive[i]) {
+            live = live + 1;
+            sum = (sum + cube_mask[i] * 3 + cube_val[i]) & 0xffffff;
+        }
+    }
+    print_str("OK ");
+    print_int(live);
+    print_char(' ');
+    print_int(sum);
+    print_char('\n');
+    return 0;
+}
+"#;
+
+/// A small Lisp interpreter, like `li`: s-expression reader + recursive
+/// evaluator over cons cells, run on generated programs. (An interpreter
+/// interpreted by an interpreter, as in the paper.)
+pub const LI_C: &str = r#"
+char src[{SRCSZ}];
+int car_[{CELLS}];
+int cdr_[{CELLS}];
+int ncells;
+int pos;
+int srclen;
+
+/* values: odd = (number << 1) | 1 ; even = cell index * 2 ; 0 = nil.
+   parse() and parse_list() are mutually recursive; mini-C resolves
+   function names across the whole unit, so no forward declaration. */
+
+int cons(int a, int d) {
+    car_[ncells] = a;
+    cdr_[ncells] = d;
+    ncells = ncells + 1;
+    return (ncells - 1) * 2 + 2;
+}
+
+int parse_list() {
+    int head;
+    while (src[pos] == ' ' || src[pos] == 10) pos = pos + 1;
+    if (src[pos] == ')') { pos = pos + 1; return 0; }
+    head = parse();
+    return cons(head, parse_list());
+}
+
+int parse() {
+    int n; int neg;
+    while (src[pos] == ' ' || src[pos] == 10) pos = pos + 1;
+    if (src[pos] == '(') {
+        pos = pos + 1;
+        return parse_list();
+    }
+    neg = 0;
+    if (src[pos] == '-') { neg = 1; pos = pos + 1; }
+    if (src[pos] >= '0' && src[pos] <= '9') {
+        n = 0;
+        while (src[pos] >= '0' && src[pos] <= '9') {
+            n = n * 10 + (src[pos] - '0');
+            pos = pos + 1;
+        }
+        if (neg) n = -n;
+        return n * 2 + 1;
+    }
+    /* operator symbol: encode as negative-odd */
+    n = src[pos];
+    pos = pos + 1;
+    return 0 - (n * 2 + 1);
+}
+
+int eval(int v) {
+    int op; int acc; int rest; int a; int b;
+    if (v == 0) return 1;              /* nil -> 1 */
+    if (v % 2 == 1 || v < 0) {
+        if (v > 0) return (v - 1) / 2; /* number */
+        return 0 - ((0 - v - 1) / 2);  /* bare symbol: its code, negated */
+    }
+    /* a list: (op args...) */
+    op = car_[(v - 2) / 2];
+    rest = cdr_[(v - 2) / 2];
+    op = 0 - op;                        /* symbols stored negated */
+    op = (op - 1) / 2;
+    if (op == '+') {
+        acc = 0;
+        while (rest != 0) {
+            acc = acc + eval(car_[(rest - 2) / 2]);
+            rest = cdr_[(rest - 2) / 2];
+        }
+        return acc;
+    }
+    if (op == '*') {
+        acc = 1;
+        while (rest != 0) {
+            acc = (acc * eval(car_[(rest - 2) / 2])) & 0xffffff;
+            rest = cdr_[(rest - 2) / 2];
+        }
+        return acc;
+    }
+    if (op == '-') {
+        a = eval(car_[(rest - 2) / 2]);
+        rest = cdr_[(rest - 2) / 2];
+        if (rest == 0) return 0 - a;
+        b = eval(car_[(rest - 2) / 2]);
+        return a - b;
+    }
+    if (op == '<') {
+        a = eval(car_[(rest - 2) / 2]);
+        rest = cdr_[(rest - 2) / 2];
+        b = eval(car_[(rest - 2) / 2]);
+        return a < b;
+    }
+    if (op == '?') { /* (? c a b) = if */
+        a = eval(car_[(rest - 2) / 2]);
+        rest = cdr_[(rest - 2) / 2];
+        if (a) return eval(car_[(rest - 2) / 2]);
+        rest = cdr_[(rest - 2) / 2];
+        return eval(car_[(rest - 2) / 2]);
+    }
+    return 0;
+}
+
+int main() {
+    int fd; int v; int sum; int rounds; int r;
+    fd = open("program.lsp");
+    if (fd < 0) { print_str("BAD open\n"); return 1; }
+    srclen = read(fd, src, {SRCSZ});
+    close(fd);
+    sum = 0;
+    rounds = {ROUNDS};
+    for (r = 0; r < rounds; r++) {
+        pos = 0;
+        ncells = 0;
+        v = parse();
+        sum = (sum + eval(v)) & 0xffffff;
+    }
+    print_str("OK ");
+    print_int(sum);
+    print_char('\n');
+    return 0;
+}
+"#;
+
+/// The gcc stand-in: a C-like lexer with a probing symbol table and
+/// brace/paren matching over a generated translation unit.
+pub const CC_LITE_C: &str = r#"
+char src[{SRCSZ}];
+char sym_names[8192];
+int sym_off[512];
+int sym_len[512];
+int sym_count_arr[512];
+int nsyms;
+
+int sym_lookup(char *name, int len) {
+    int i; int j; int ok;
+    for (i = 0; i < nsyms; i++) {
+        if (sym_len[i] != len) continue;
+        ok = 1;
+        for (j = 0; j < len; j++) {
+            if (sym_names[sym_off[i] + j] != name[j]) { ok = 0; break; }
+        }
+        if (ok) return i;
+    }
+    return -1;
+}
+
+int sym_add(char *name, int len) {
+    int i; int off;
+    if (nsyms >= 512) return -1;
+    off = 0;
+    if (nsyms > 0) off = sym_off[nsyms - 1] + sym_len[nsyms - 1];
+    for (i = 0; i < len; i++) { sym_names[off + i] = name[i]; }
+    sym_off[nsyms] = off;
+    sym_len[nsyms] = len;
+    sym_count_arr[nsyms] = 0;
+    nsyms = nsyms + 1;
+    return nsyms - 1;
+}
+
+int is_ident_char(int c) {
+    if (c >= 'a' && c <= 'z') return 1;
+    if (c >= 'A' && c <= 'Z') return 1;
+    if (c >= '0' && c <= '9') return 1;
+    if (c == '_') return 1;
+    return 0;
+}
+
+int main() {
+    int fd; int n; int i; int c; int start; int id;
+    int ntokens; int nnums; int value; int depth; int maxdepth;
+    int folded; int sum;
+    fd = open("unit.c");
+    if (fd < 0) { print_str("BAD open\n"); return 1; }
+    n = read(fd, src, {SRCSZ});
+    close(fd);
+    nsyms = 0;
+    ntokens = 0;
+    nnums = 0;
+    depth = 0;
+    maxdepth = 0;
+    folded = 0;
+    i = 0;
+    while (i < n) {
+        c = src[i];
+        if (c == ' ' || c == 10 || c == 9) { i = i + 1; continue; }
+        if (c == '/' && src[i + 1] == '*') {
+            i = i + 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) i = i + 1;
+            i = i + 2;
+            continue;
+        }
+        ntokens = ntokens + 1;
+        if (is_ident_char(c) && !(c >= '0' && c <= '9')) {
+            start = i;
+            while (i < n && is_ident_char(src[i])) i = i + 1;
+            id = sym_lookup(&src[start], i - start);
+            if (id < 0) id = sym_add(&src[start], i - start);
+            if (id >= 0) sym_count_arr[id] = sym_count_arr[id] + 1;
+            continue;
+        }
+        if (c >= '0' && c <= '9') {
+            value = 0;
+            while (i < n && src[i] >= '0' && src[i] <= '9') {
+                value = value * 10 + (src[i] - '0');
+                i = i + 1;
+            }
+            nnums = nnums + 1;
+            folded = (folded + value) & 0xffffff;
+            continue;
+        }
+        if (c == '{' || c == '(') { depth = depth + 1; if (depth > maxdepth) maxdepth = depth; }
+        if (c == '}' || c == ')') { depth = depth - 1; }
+        i = i + 1;
+    }
+    sum = 0;
+    for (i = 0; i < nsyms; i++) { sum = (sum + sym_count_arr[i] * (i + 1)) & 0xffffff; }
+    if (depth != 0) { print_str("BAD nesting\n"); return 1; }
+    print_str("OK ");
+    print_int(ntokens);
+    print_char(' ');
+    print_int(nsyms);
+    print_char(' ');
+    print_int((sum + folded + maxdepth) & 0xffffff);
+    print_char('\n');
+    return 0;
+}
+"#;
+
+/// Generate a deep arithmetic s-expression for the Lisp workload.
+pub fn lisp_program(depth: u32) -> Vec<u8> {
+    fn gen(out: &mut Vec<u8>, depth: u32, salt: u32) {
+        if depth == 0 {
+            out.extend_from_slice(((salt % 97) as i64).to_string().as_bytes());
+            return;
+        }
+        let op = match salt % 4 {
+            0 => "+",
+            1 => "*",
+            2 => "-",
+            _ => "?",
+        };
+        out.push(b'(');
+        out.extend_from_slice(op.as_bytes());
+        out.push(b' ');
+        if op == "?" {
+            out.extend_from_slice(b"(< ");
+            gen(out, 0, salt.wrapping_mul(31) + 1);
+            out.push(b' ');
+            gen(out, 0, salt.wrapping_mul(37) + 2);
+            out.extend_from_slice(b") ");
+            gen(out, depth - 1, salt.wrapping_mul(41) + 3);
+            out.push(b' ');
+            gen(out, depth - 1, salt.wrapping_mul(43) + 4);
+        } else {
+            gen(out, depth - 1, salt.wrapping_mul(31) + 1);
+            out.push(b' ');
+            gen(out, depth - 1, salt.wrapping_mul(37) + 2);
+            if op == "+" {
+                out.push(b' ');
+                gen(out, 0, salt.wrapping_mul(41) + 3);
+            }
+        }
+        out.push(b')');
+    }
+    let mut out = Vec::new();
+    gen(&mut out, depth, 0x5eed);
+    out.push(b'\n');
+    out
+}
+
+/// Substitute `{NAME}` placeholders in a program template.
+pub fn instantiate(template: &str, substitutions: &[(&str, String)]) -> String {
+    let mut out = template.to_string();
+    for (name, value) in substitutions {
+        out = out.replace(&format!("{{{name}}}"), value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::NullSink;
+    use interp_host::Machine;
+    use interp_nativeref::DirectExecutor;
+
+    fn run_native(src: &str, files: &[(&str, Vec<u8>)]) -> (i32, String) {
+        let image = interp_minic::compile(src).expect("compile");
+        let mut m = Machine::new(NullSink);
+        for (name, contents) in files {
+            m.fs_add_file(name, contents.clone());
+        }
+        let mut exec = DirectExecutor::new(&image, &mut m);
+        let code = exec.run(500_000_000).expect("run");
+        drop(exec);
+        (code, String::from_utf8_lossy(m.console()).into_owned())
+    }
+
+    #[test]
+    fn des_roundtrips() {
+        let src = instantiate(DES_C, &[("BLOCKS", "20".into())]);
+        let (code, out) = run_native(&src, &[]);
+        assert_eq!(code, 0, "output: {out}");
+        assert!(out.starts_with("OK "), "output: {out}");
+    }
+
+    #[test]
+    fn compress_finds_structure() {
+        let src = instantiate(
+            COMPRESS_C,
+            &[
+                ("BUFSZ", "4096".into()),
+                ("HSIZE", "8192".into()),
+                ("HMASK", "8191".into()),
+            ],
+        );
+        let input = crate::inputs::text_corpus(500);
+        let input_len = input.len().min(4096);
+        let (code, out) = run_native(&src, &[("input.txt", input)]);
+        assert_eq!(code, 0, "output: {out}");
+        let ncodes: usize = out.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(
+            ncodes < input_len,
+            "LZW should compress: {ncodes} codes for {input_len} bytes"
+        );
+    }
+
+    #[test]
+    fn eqntott_counts_minterms() {
+        let src = instantiate(EQNTOTT_C, &[("VARS", "8".into())]);
+        let (code, out) = run_native(&src, &[]);
+        assert_eq!(code, 0, "output: {out}");
+        let count: usize = out.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(count > 0 && count < 256, "minterms = {count}");
+    }
+
+    #[test]
+    fn espresso_reduces_cover() {
+        let src = instantiate(
+            ESPRESSO_C,
+            &[("CUBES", "40".into()), ("CUBES2", "40".into())],
+        );
+        let (code, out) = run_native(&src, &[]);
+        assert_eq!(code, 0, "output: {out}");
+        let live: usize = out.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(live <= 40 && live > 0);
+    }
+
+    #[test]
+    fn li_evaluates() {
+        let src = instantiate(
+            LI_C,
+            &[
+                ("SRCSZ", "8192".into()),
+                ("CELLS", "4096".into()),
+                ("ROUNDS", "3".into()),
+            ],
+        );
+        let program = lisp_program(6);
+        let (code, out) = run_native(&src, &[("program.lsp", program)]);
+        assert_eq!(code, 0, "output: {out}");
+        assert!(out.starts_with("OK "), "output: {out}");
+    }
+
+    #[test]
+    fn cc_lite_lexes() {
+        let src = instantiate(CC_LITE_C, &[("SRCSZ", "16384".into())]);
+        let unit = crate::inputs::source_like(20);
+        let (code, out) = run_native(&src, &[("unit.c", unit)]);
+        assert_eq!(code, 0, "output: {out}");
+        let nsyms: usize = out.split_whitespace().nth(2).unwrap().parse().unwrap();
+        assert!(nsyms > 20, "symbol table too small: {nsyms}");
+    }
+
+    #[test]
+    fn lisp_generator_is_balanced() {
+        let p = lisp_program(5);
+        let opens = p.iter().filter(|&&c| c == b'(').count();
+        let closes = p.iter().filter(|&&c| c == b')').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,0 +1,297 @@
+//! The Perlite workloads.
+//!
+//! Mirrors the paper's Perl suite: des (same output as the compiled
+//! version), a2ps (ASCII → PostScript-ish conversion), plexus (an HTTP
+//! server's request-processing loop), txt2html (regex-driven markup),
+//! and weblint (an HTML checker). The last four are regex- and
+//! string-heavy, so their execute profiles are dominated by
+//! `match`/`subst` — the Figure 2 phenomenon.
+
+/// DES-like Feistel cipher, identical output to the C/Joule versions.
+pub const DES_PL: &str = r#"
+sub fround {
+    local($r, $k) = @_;
+    return (($r * 31 + $k) ^ ($r >> 3) ^ ($k * 4)) & 0xffff;
+}
+
+sub encrypt {
+    local($l, $r) = @_;
+    local($i, $t);
+    for ($i = 0; $i < 16; $i++) {
+        $t = $r;
+        $r = $l ^ &fround($r, $keys[$i]);
+        $l = $t;
+    }
+    return $l * 65536 + $r;
+}
+
+sub decrypt {
+    local($l, $r) = @_;
+    local($i, $t);
+    for ($i = 15; $i >= 0; $i--) {
+        $t = $l;
+        $l = $r ^ &fround($l, $keys[$i]);
+        $r = $t;
+    }
+    return $l * 65536 + $r;
+}
+
+$k = 12345;
+for ($i = 0; $i < 16; $i++) {
+    $k = ($k * 1103 + 12849) & 0xffff;
+    $keys[$i] = $k;
+}
+$sum = 0;
+$bad = 0;
+$block = 9029;
+for ($i = 0; $i < {BLOCKS}; $i++) {
+    $block = ($block * 1103 + 12849) & 0x7fffffff;
+    $l = ($block >> 16) & 0xffff;
+    $r = $block & 0xffff;
+    $c = &encrypt($l, $r);
+    $cl = ($c >> 16) & 0xffff;
+    $cr = $c & 0xffff;
+    $sum = ($sum + $cl + $cr) & 0xffffff;
+    $p = &decrypt($cl, $cr);
+    $bad++ if (($p >> 16) & 0xffff) != $l;
+    $bad++ if ($p & 0xffff) != $r;
+}
+if ($bad) { print "BAD $bad\n"; }
+else { print "OK $sum\n"; }
+"#;
+
+/// ASCII → PostScript-ish conversion, like a2ps: per-line escaping,
+/// page headers, line numbering.
+pub const A2PS_PL: &str = r#"
+open(IN, "input.txt") || die "no input";
+print "%!PS-interp\n";
+$lineno = 0;
+$page = 1;
+print "%%Page: 1\n";
+while ($line = <IN>) {
+    chop($line);
+    $lineno++;
+    if ($lineno % 56 == 0) {
+        $page++;
+        print "showpage\n%%Page: $page\n";
+    }
+    $line =~ s/\\/\\\\/g;
+    $line =~ s/\(/\\(/g;
+    $line =~ s/\)/\\)/g;
+    $y = 720 - ($lineno % 56) * 12;
+    print "72 $y moveto (";
+    print $line;
+    print ") show\n";
+}
+close(IN);
+print "showpage\n%%Pages: $page\n";
+print "OK $lineno $page\n";
+"#;
+
+/// HTTP request processing, like the plexus server: parse request lines,
+/// route through an associative array, count statuses.
+pub const PLEXUS_PL: &str = r#"
+$routes{"/index.html"} = 200;
+$routes{"/research/interpreters.html"} = 200;
+$routes{"/cgi-bin/query"} = 200;
+$routes{"/images/logo.gif"} = 200;
+$routes{"/docs/paper.ps"} = 200;
+
+open(IN, "requests.txt") || die "no requests";
+$nreq = 0;
+$ok = 0;
+$notfound = 0;
+$badreq = 0;
+$bytes = 0;
+while ($line = <IN>) {
+    chop($line);
+    if ($line =~ /^(GET|HEAD) ([^ ]+) HTTP/) {
+        $nreq++;
+        $method = $1;
+        $path = $2;
+        $status = $routes{$path};
+        if (defined($status)) {
+            $ok++;
+            $body = 512 + length($path) * 16;
+            $bytes += $body if $method eq "GET";
+            print "$method $path -> 200 $body\n";
+        } else {
+            $notfound++;
+            print "$method $path -> 404\n";
+        }
+    } elsif ($line =~ /^[A-Za-z-]+:/) {
+        # header line: parse and ignore
+        $line =~ /^([A-Za-z-]+): *(.*)$/;
+        $headers{$1} = $2;
+    } elsif (length($line) > 0) {
+        $badreq++;
+    }
+}
+close(IN);
+print "OK $nreq $ok $notfound $badreq $bytes\n";
+"#;
+
+/// Text → HTML conversion, like txt2html: the match/subst-dominated
+/// workload (84% of execute instructions in the paper's profile).
+pub const TXT2HTML_PL: &str = r#"
+open(IN, "input.txt") || die "no input";
+print "<html><body>\n<p>\n";
+$paras = 1;
+$links = 0;
+$lines = 0;
+while ($line = <IN>) {
+    chop($line);
+    $lines++;
+    if (length($line) == 0) {
+        print "</p>\n<p>\n";
+        $paras++;
+        next;
+    }
+    $line =~ s/&/&amp;/g;
+    $line =~ s/</&lt;/g;
+    $line =~ s/>/&gt;/g;
+    while ($line =~ /(http:[^ ]+)/) {
+        $links++;
+        $line =~ s/http:[^ ]+/<a>LINK<\/a>/;
+    }
+    $line =~ s/\*([a-z]+)\*/<b>$1<\/b>/g;
+    if ($line =~ /^([A-Za-z ]+):$/) {
+        print "<h2>$1<\/h2>\n";
+    } else {
+        print $line, "\n";
+    }
+}
+close(IN);
+print "</p>\n</body></html>\n";
+print "OK $lines $paras $links\n";
+"#;
+
+/// HTML syntax checking, like weblint: tag extraction with a nesting
+/// stack and an unclosed-tag report.
+pub const WEBLINT_PL: &str = r#"
+open(IN, "page.html") || die "no page";
+$errors = 0;
+$tags = 0;
+$depth = 0;
+while ($line = <IN>) {
+    chop($line);
+    $rest = $line;
+    while ($rest =~ /<(\/?)([a-zA-Z][a-zA-Z0-9]*)([^>]*)>/) {
+        $close = $1;
+        $tag = $2;
+        $tags++;
+        $rest =~ s/<[^>]*>//;
+        $tag =~ s/([A-Z])/$1/g;
+        if ($close eq "/") {
+            if ($nesting[$depth - 1] eq $tag) {
+                $depth--;
+            } else {
+                $errors++;
+            }
+        } else {
+            next if $tag eq "br";
+            next if $tag eq "hr";
+            next if $tag eq "img";
+            $nesting[$depth] = $tag;
+            $depth++;
+        }
+    }
+}
+close(IN);
+$errors += $depth;
+print "OK $tags $errors\n";
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::minic_progs::instantiate;
+    use interp_core::NullSink;
+    use interp_host::Machine;
+
+    fn run_perl(src: &str, files: &[(&str, Vec<u8>)]) -> String {
+        let mut m = Machine::new(NullSink);
+        for (name, contents) in files {
+            m.fs_add_file(name, contents.clone());
+        }
+        let mut p = interp_perlite::Perlite::new(&mut m, src).expect("compile");
+        p.run().expect("run");
+        drop(p);
+        String::from_utf8_lossy(m.console()).into_owned()
+    }
+
+    #[test]
+    fn des_output_matches_compiled_version() {
+        let pl = instantiate(super::DES_PL, &[("BLOCKS", "4".into())]);
+        let out_p = run_perl(&pl, &[]);
+
+        let c = instantiate(crate::minic_progs::DES_C, &[("BLOCKS", "4".into())]);
+        let image = interp_minic::compile(&c).unwrap();
+        let mut m = Machine::new(NullSink);
+        let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
+        exec.run(100_000_000).unwrap();
+        drop(exec);
+        let out_c = String::from_utf8_lossy(m.console()).into_owned();
+        assert_eq!(out_p, out_c, "Perl and compiled C must agree");
+    }
+
+    #[test]
+    fn a2ps_produces_postscript() {
+        let input = crate::inputs::text_corpus(120);
+        let out = run_perl(super::A2PS_PL, &[("input.txt", input)]);
+        assert!(out.starts_with("%!PS-interp"), "header missing");
+        assert!(out.contains(") show"), "no show lines");
+        assert!(out.lines().last().unwrap().starts_with("OK "), "{out}");
+    }
+
+    #[test]
+    fn a2ps_escapes_parens() {
+        let out = run_perl(super::A2PS_PL, &[("input.txt", b"a(b)c\\d\n".to_vec())]);
+        assert!(out.contains(r"(a\(b\)c\\d) show"), "{out}");
+    }
+
+    #[test]
+    fn plexus_routes_requests() {
+        let reqs = crate::inputs::http_requests(12);
+        let out = run_perl(super::PLEXUS_PL, &[("requests.txt", reqs)]);
+        let last = out.lines().last().unwrap();
+        let fields: Vec<&str> = last.split_whitespace().collect();
+        assert_eq!(fields[0], "OK", "{out}");
+        let nreq: usize = fields[1].parse().unwrap();
+        let ok: usize = fields[2].parse().unwrap();
+        let notfound: usize = fields[3].parse().unwrap();
+        assert_eq!(nreq, 12);
+        assert_eq!(ok + notfound, 12);
+        assert!(notfound > 0, "missing /missing hits: {out}");
+    }
+
+    #[test]
+    fn txt2html_marks_up() {
+        let input = b"intro text here\n\nsection heading:\nmore *bold* words\nvisit http://site now\n".to_vec();
+        let out = run_perl(super::TXT2HTML_PL, &[("input.txt", input)]);
+        assert!(out.contains("<h2>section heading</h2>"), "{out}");
+        assert!(out.contains("<b>bold</b>"), "{out}");
+        assert!(out.contains("<a>LINK</a>"), "{out}");
+        assert!(out.contains("</p>\n<p>"), "{out}");
+        assert!(out.lines().last().unwrap().starts_with("OK "), "{out}");
+    }
+
+    #[test]
+    fn weblint_finds_the_planted_errors() {
+        let page = crate::inputs::html_page(10);
+        let out = run_perl(super::WEBLINT_PL, &[("page.html", page)]);
+        let last = out.lines().last().unwrap();
+        let fields: Vec<&str> = last.split_whitespace().collect();
+        assert_eq!(fields[0], "OK");
+        let tags: usize = fields[1].parse().unwrap();
+        let errors: usize = fields[2].parse().unwrap();
+        assert!(tags > 30, "{out}");
+        assert!(errors > 0, "the generator plants unclosed tags: {out}");
+    }
+
+    #[test]
+    fn weblint_clean_page_has_no_errors() {
+        let page = b"<html><body><p>fine</p><p>also <b>fine</b></p></body></html>\n".to_vec();
+        let out = run_perl(super::WEBLINT_PL, &[("page.html", page)]);
+        assert!(out.ends_with("OK 10 0\n"), "{out}");
+    }
+}

@@ -1,0 +1,539 @@
+//! The Tclite workloads.
+//!
+//! Mirrors the paper's Tcl suite: des (same output as the compiled
+//! version, on a much smaller input — Tcl executes thousands of native
+//! instructions per command), tcllex (a lexical analyzer), tcltags (an
+//! emacs-tags generator), and the Tk-based hanoi, demos, and tkdiff.
+
+/// DES-like Feistel cipher, identical output to the C version for the
+/// same `{BLOCKS}`.
+pub const DES_TCL: &str = r#"
+proc fround {r k} {
+    return [expr (($r * 31 + $k) ^ ($r >> 3) ^ ($k * 4)) & 65535]
+}
+
+proc encrypt {l r klist} {
+    for {set i 0} {$i < 16} {incr i} {
+        set t $r
+        set r [expr $l ^ [fround $r [lindex $klist $i]]]
+        set l $t
+    }
+    return [expr $l * 65536 + $r]
+}
+
+proc decrypt {l r klist} {
+    for {set i 15} {$i >= 0} {incr i -1} {
+        set t $l
+        set l [expr $r ^ [fround $l [lindex $klist $i]]]
+        set r $t
+    }
+    return [expr $l * 65536 + $r]
+}
+
+set k 12345
+set klist {}
+for {set i 0} {$i < 16} {incr i} {
+    set k [expr ($k * 1103 + 12849) % 65536]
+    lappend klist $k
+}
+set sum 0
+set bad 0
+set block 9029
+for {set i 0} {$i < {BLOCKS}} {incr i} {
+    set block [expr ($block * 1103 + 12849) % 2147483648]
+    set l [expr ($block / 65536) % 65536]
+    set r [expr $block % 65536]
+    set c [encrypt $l $r $klist]
+    set cl [expr ($c / 65536) % 65536]
+    set cr [expr $c % 65536]
+    set sum [expr ($sum + $cl + $cr) % 16777216]
+    set p [decrypt $cl $cr $klist]
+    if {[expr ($p / 65536) % 65536] != $l} { incr bad }
+    if {[expr $p % 65536] != $r} { incr bad }
+}
+if {$bad} { puts "BAD $bad" } else { puts "OK $sum" }
+"#;
+
+/// A lexical analyzer: per-character scanning via `string index`, the
+/// classic Tcl-is-slow-at-this workload.
+pub const TCLLEX_TCL: &str = r#"
+set f [open source.txt]
+set src [read $f]
+close $f
+set n [string length $src]
+set i 0
+set nident 0
+set nnum 0
+set npunct 0
+set sum 0
+while {$i < $n} {
+    set c [string index $src $i]
+    if {[string compare $c " "] == 0 || [string compare $c "\n"] == 0 || [string compare $c "\t"] == 0} {
+        incr i
+        continue
+    }
+    set code [string ord $c]
+    if {($code >= 97 && $code <= 122) || ($code >= 65 && $code <= 90) || $code == 95} {
+        set len 0
+        while {$i < $n} {
+            set c [string index $src $i]
+            set code [string ord $c]
+            if {($code >= 97 && $code <= 122) || ($code >= 65 && $code <= 90) || ($code >= 48 && $code <= 57) || $code == 95} {
+                incr i
+                incr len
+            } else {
+                break
+            }
+        }
+        incr nident
+        set sum [expr ($sum + $len) % 16777216]
+        continue
+    }
+    if {$code >= 48 && $code <= 57} {
+        set v 0
+        while {$i < $n} {
+            set c [string index $src $i]
+            set code [string ord $c]
+            if {$code >= 48 && $code <= 57} {
+                set v [expr $v * 10 + $code - 48]
+                incr i
+            } else {
+                break
+            }
+        }
+        incr nnum
+        set sum [expr ($sum + $v) % 16777216]
+        continue
+    }
+    incr npunct
+    incr i
+}
+puts "OK $nident $nnum $npunct $sum"
+"#;
+
+/// tcltags: scan Tcl source for `proc` definitions and build a tags list.
+pub const TCLTAGS_TCL: &str = r#"
+set f [open procs.tcl]
+set tags {}
+set lineno 0
+while {[gets $f line] >= 0} {
+    incr lineno
+    if {[string compare [string range $line 0 4] "proc "] == 0} {
+        set rest [string range $line 5 [string length $line]]
+        set sp [string first " " $rest]
+        if {$sp > 0} {
+            set name [string range $rest 0 [expr $sp - 1]]
+        } else {
+            set name $rest
+        }
+        lappend tags "$name:$lineno"
+    }
+}
+close $f
+set out ""
+foreach t $tags { append out $t " " }
+puts $out
+puts "OK [llength $tags] $lineno"
+"#;
+
+/// Tk towers of Hanoi: recursion with a canvas redraw per move.
+pub const HANOI_TCL: &str = r#"
+set moves 0
+set h(0) {DISKS}
+set h(1) 0
+set h(2) 0
+
+proc draw_move {from to disk} {
+    global h
+    tk_rect [expr $from * 80 + 10] 40 60 120 0
+    tk_rect [expr $to * 80 + 10] 40 60 120 0
+    tk_rect [expr $from * 80 + 38] 40 4 120 7
+    tk_rect [expr $to * 80 + 38] 40 4 120 7
+    tk_rect [expr $to * 80 + 40 - $disk * 5] [expr 150 - $h($to) * 10] [expr $disk * 10] 8 [expr $disk + 1]
+    tk_update
+}
+
+proc hanoi {n from to via} {
+    global moves h
+    if {$n == 0} { return }
+    hanoi [expr $n - 1] $from $via $to
+    incr moves
+    set h($from) [expr $h($from) - 1]
+    set h($to) [expr $h($to) + 1]
+    draw_move $from $to $n
+    hanoi [expr $n - 1] $via $to $from
+}
+
+tk_clear 0
+hanoi {DISKS} 0 2 1
+puts "OK $moves"
+"#;
+
+/// Tk widget demos: build a screen of widgets, then service a synthetic
+/// event stream.
+pub const DEMOS_TCL: &str = r#"
+proc draw_screen {offset} {
+    tk_clear 0
+    for {set row 0} {$row < 4} {incr row} {
+        for {set col 0} {$col < 3} {incr col} {
+            set x [expr $col * 84 + 4 + $offset]
+            set y [expr $row * 46 + 4]
+            tk_widget $x $y 78 40 "w$row$col"
+        }
+    }
+    tk_text 8 188 "demo screen" 6
+    tk_update
+}
+
+draw_screen 0
+set clicks 0
+set redraws 1
+set running 1
+while {$running} {
+    set e [tk_nextevent]
+    set kind [lindex $e 0]
+    if {[string compare $kind "quit"] == 0 || [string compare $kind "none"] == 0} {
+        set running 0
+    } elseif {[string compare $kind "click"] == 0} {
+        incr clicks
+        draw_screen [expr $clicks % 7]
+        incr redraws
+    } elseif {[string compare $kind "expose"] == 0} {
+        draw_screen 0
+        incr redraws
+    }
+}
+puts "OK $clicks $redraws"
+"#;
+
+/// ical: an interactive calendar — appointments in an associative array
+/// keyed by day, a month grid redraw, and event-driven day selection.
+pub const ICAL_TCL: &str = r#"
+proc draw_month {selected} {
+    global appts
+    tk_clear 7
+    tk_text 90 4 "July 1996" 0
+    for {set day 1} {$day <= 31} {incr day} {
+        set col [expr ($day + 0) % 7]
+        set row [expr ($day + 6) / 7]
+        set x [expr $col * 36 + 4]
+        set y [expr $row * 30 + 14]
+        if {$day == $selected} {
+            tk_rect $x $y 32 26 3
+        } else {
+            tk_rect $x $y 32 26 6
+        }
+        if {[info_has $day]} {
+            tk_oval [expr $x + 26] [expr $y + 6] 3 1
+        }
+    }
+    tk_update
+}
+
+proc info_has {day} {
+    global appts
+    if {[string length $appts($day)] > 0} { return 1 }
+    return 0
+}
+
+# Populate a month of appointments.
+for {set d 1} {$d <= 31} {incr d} { set appts($d) "" }
+set appts(4) "holiday"
+set appts(11) "paper deadline"
+set appts(18) "review meeting"
+set appts(25) "asplos travel"
+
+draw_month 1
+set selected 1
+set opens 0
+set running 1
+while {$running} {
+    set e [tk_nextevent]
+    set kind [lindex $e 0]
+    if {[string compare $kind "quit"] == 0 || [string compare $kind "none"] == 0} {
+        set running 0
+    } elseif {[string compare $kind "click"] == 0} {
+        set x [lindex $e 1]
+        set y [lindex $e 2]
+        set col [expr $x / 36]
+        set row [expr ($y - 14) / 30]
+        set day [expr $row * 7 + $col]
+        if {$day < 1} { set day 1 }
+        if {$day > 31} { set day 31 }
+        set selected $day
+        draw_month $selected
+        if {[info_has $day]} {
+            tk_text 4 180 $appts($day) 0
+            incr opens
+        }
+        tk_update
+    } elseif {[string compare $kind "expose"] == 0} {
+        draw_month $selected
+    }
+}
+puts "OK $selected $opens"
+"#;
+
+/// xf: an interface builder — reads a widget specification, generates
+/// long-named variables for every attribute (the paper's 5200-instruction
+/// fetch/decode row and 514-instruction symbol lookups come from exactly
+/// this kind of generated code), and renders the layout.
+pub const XF_TCL: &str = r#"
+proc make_widget {kind index x y w h} {
+    global widget_specification_table_count
+    global widget_attribute_name_for_kind_$index widget_attribute_position_x_$index
+    global widget_attribute_position_y_$index widget_attribute_dimension_w_$index
+    global widget_attribute_dimension_h_$index
+    set widget_attribute_name_for_kind_$index $kind
+    set widget_attribute_position_x_$index $x
+    set widget_attribute_position_y_$index $y
+    set widget_attribute_dimension_w_$index $w
+    set widget_attribute_dimension_h_$index $h
+    incr widget_specification_table_count
+    return $index
+}
+
+proc render_widget {index} {
+    set kind [set_of widget_attribute_name_for_kind_$index]
+    set x [set_of widget_attribute_position_x_$index]
+    set y [set_of widget_attribute_position_y_$index]
+    set w [set_of widget_attribute_dimension_w_$index]
+    set h [set_of widget_attribute_dimension_h_$index]
+    if {[string compare $kind button] == 0} {
+        tk_widget $x $y $w $h "b$index"
+    } elseif {[string compare $kind label] == 0} {
+        tk_text $x $y "label$index" 6
+    } else {
+        tk_rect $x $y $w $h 5
+    }
+}
+
+# One level of indirection, like xf's generated accessors.
+proc set_of {name} {
+    global $name
+    return [set $name]
+}
+
+set widget_specification_table_count 0
+set f [open layout.spec]
+set nlines 0
+while {[gets $f line] >= 0} {
+    incr nlines
+    set fields [split $line " "]
+    if {[llength $fields] < 6} { continue }
+    make_widget [lindex $fields 0] [lindex $fields 1] [lindex $fields 2] [lindex $fields 3] [lindex $fields 4] [lindex $fields 5]
+}
+close $f
+
+tk_clear 0
+for {set i 0} {$i < $widget_specification_table_count} {incr i} {
+    render_widget $i
+}
+tk_update
+puts "OK $widget_specification_table_count $nlines"
+"#;
+
+/// tkdiff: line-by-line comparison of two files with a graphical gutter.
+pub const TKDIFF_TCL: &str = r#"
+proc read_lines {name} {
+    set f [open $name]
+    set lines {}
+    while {[gets $f line] >= 0} {
+        lappend lines $line
+    }
+    close $f
+    return $lines
+}
+
+set a [read_lines a.txt]
+set b [read_lines b.txt]
+set na [llength $a]
+set nb [llength $b]
+set same 0
+set changed 0
+set deleted 0
+tk_clear 0
+set i 0
+set j 0
+while {$i < $na && $j < $nb} {
+    set la [lindex $a $i]
+    set lb [lindex $b $j]
+    if {[string compare $la $lb] == 0} {
+        incr same
+        tk_line 0 [expr $i % 190] 4 [expr $i % 190] 2
+        incr i
+        incr j
+    } else {
+        # If the next a-line matches this b-line, a's line was deleted.
+        set del 0
+        if {[expr $i + 1] < $na} {
+            if {[string compare [lindex $a [expr $i + 1]] $lb] == 0} {
+                set del 1
+            }
+        }
+        if {$del} {
+            incr deleted
+            tk_rect 0 [expr $i % 190] 6 2 5
+            incr i
+        } else {
+            incr changed
+            tk_rect 0 [expr $i % 190] 6 2 4
+            incr i
+            incr j
+        }
+    }
+}
+set extra [expr $na - $i + $nb - $j]
+tk_update
+puts "OK $same $changed $deleted $extra"
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::minic_progs::instantiate;
+    use interp_core::NullSink;
+    use interp_host::{Machine, UiEvent};
+
+    fn run_tcl(
+        src: &str,
+        files: &[(&str, Vec<u8>)],
+        events: Vec<UiEvent>,
+    ) -> String {
+        let mut m = Machine::new(NullSink);
+        for (name, contents) in files {
+            m.fs_add_file(name, contents.clone());
+        }
+        for e in events {
+            m.post_event(e);
+        }
+        let mut tcl = interp_tclite::Tclite::new(&mut m);
+        tcl.run(src).expect("script ok");
+        drop(tcl);
+        String::from_utf8_lossy(m.console()).into_owned()
+    }
+
+    #[test]
+    fn des_output_matches_compiled_version() {
+        let tcl = instantiate(super::DES_TCL, &[("BLOCKS", "1".into())]);
+        let out_t = run_tcl(&tcl, &[], vec![]);
+
+        let c = instantiate(crate::minic_progs::DES_C, &[("BLOCKS", "1".into())]);
+        let image = interp_minic::compile(&c).unwrap();
+        let mut m = Machine::new(NullSink);
+        let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
+        exec.run(100_000_000).unwrap();
+        drop(exec);
+        let out_c = String::from_utf8_lossy(m.console()).into_owned();
+        assert_eq!(out_t, out_c, "Tcl and compiled C must agree");
+    }
+
+    #[test]
+    fn tcllex_tokenizes() {
+        let src = crate::inputs::source_like(2);
+        let out = run_tcl(super::TCLLEX_TCL, &[("source.txt", src)], vec![]);
+        let fields: Vec<&str> = out.split_whitespace().collect();
+        assert_eq!(fields[0], "OK", "{out}");
+        let nident: usize = fields[1].parse().unwrap();
+        assert!(nident > 10, "{out}");
+    }
+
+    #[test]
+    fn tcltags_extracts_procs() {
+        let src = crate::inputs::tcl_source_like(6);
+        let out = run_tcl(super::TCLTAGS_TCL, &[("procs.tcl", src)], vec![]);
+        assert!(out.contains("handler_0:"), "{out}");
+        let last = out.lines().last().unwrap();
+        assert!(last.starts_with("OK 6 "), "{out}");
+    }
+
+    #[test]
+    fn hanoi_counts_moves() {
+        let src = instantiate(super::HANOI_TCL, &[("DISKS", "3".into())]);
+        let out = run_tcl(&src, &[], vec![]);
+        assert_eq!(out.lines().last().unwrap(), "OK 7");
+    }
+
+    #[test]
+    fn demos_services_events() {
+        let events = vec![
+            UiEvent::Click { x: 10, y: 20 },
+            UiEvent::Expose,
+            UiEvent::Click { x: 90, y: 60 },
+            UiEvent::Quit,
+        ];
+        let out = run_tcl(super::DEMOS_TCL, &[], events);
+        assert_eq!(out.lines().last().unwrap(), "OK 2 4");
+    }
+
+    #[test]
+    fn ical_selects_days() {
+        let events = vec![
+            UiEvent::Click { x: 40, y: 50 },
+            UiEvent::Click { x: 150, y: 80 },
+            UiEvent::Expose,
+            UiEvent::Quit,
+        ];
+        let out = run_tcl(super::ICAL_TCL, &[], events);
+        let last = out.lines().last().unwrap();
+        let fields: Vec<&str> = last.split_whitespace().collect();
+        assert_eq!(fields[0], "OK", "{out}");
+        let selected: i64 = fields[1].parse().unwrap();
+        assert!((1..=31).contains(&selected), "{out}");
+    }
+
+    #[test]
+    fn xf_builds_widgets_with_generated_names() {
+        let spec = crate::inputs::xf_layout(8);
+        let out = run_tcl(super::XF_TCL, &[("layout.spec", spec)], vec![]);
+        let last = out.lines().last().unwrap();
+        assert!(last.starts_with("OK 8 "), "{out}");
+    }
+
+    #[test]
+    fn xf_lookup_cost_exceeds_des() {
+        // The paper's xf row: generated long-named variables drive the
+        // highest per-access symbol-table costs of the Tcl suite.
+        use interp_core::NullSink;
+        let spec = crate::inputs::xf_layout(8);
+        let mut m = Machine::new(NullSink);
+        m.fs_add_file("layout.spec", spec);
+        let mut tcl = interp_tclite::Tclite::new(&mut m);
+        tcl.run(super::XF_TCL).unwrap();
+        drop(tcl);
+        let xf_cost = m.stats().avg_mem_model_cost();
+
+        let src = crate::minic_progs::instantiate(super::DES_TCL, &[("BLOCKS", "1".into())]);
+        let mut m2 = Machine::new(NullSink);
+        let mut tcl2 = interp_tclite::Tclite::new(&mut m2);
+        tcl2.run(&src).unwrap();
+        drop(tcl2);
+        let des_cost = m2.stats().avg_mem_model_cost();
+        assert!(
+            xf_cost > des_cost,
+            "xf {xf_cost:.0} should exceed des {des_cost:.0} per access"
+        );
+    }
+
+    #[test]
+    fn tkdiff_compares() {
+        let (a, b) = crate::inputs::diff_pair(21);
+        let out = run_tcl(
+            super::TKDIFF_TCL,
+            &[("a.txt", a), ("b.txt", b)],
+            vec![],
+        );
+        let fields: Vec<&str> = out
+            .lines()
+            .last()
+            .unwrap()
+            .split_whitespace()
+            .collect();
+        assert_eq!(fields[0], "OK", "{out}");
+        let same: usize = fields[1].parse().unwrap();
+        let changed: usize = fields[2].parse().unwrap();
+        let deleted: usize = fields[3].parse().unwrap();
+        assert!(same > 10, "{out}");
+        assert!(changed > 0, "{out}");
+        assert!(deleted > 0, "{out}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Explore Figure 4 interactively: feed one benchmark's instruction
+//! stream through twelve I-cache configurations at once and find its
+//! working-set knee.
+//!
+//! ```sh
+//! cargo run --release --example cache_explorer [tcl|perl|java]
+//! ```
+
+use interpreters::archsim::CacheSweep;
+use interpreters::core::Language;
+use interpreters::workloads::{run_macro, Scale};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "tcl".into());
+    let (lang, bench) = match which.as_str() {
+        "perl" => (Language::Perlite, "txt2html"),
+        "java" => (Language::Javelin, "javac"),
+        _ => (Language::Tclite, "tcltags"),
+    };
+    println!("sweeping I-cache configurations for {} {bench}...", lang.label());
+    let result = run_macro(lang, bench, Scale::Test, CacheSweep::figure4());
+    let sweep = result.sink;
+
+    println!("\nmisses per 100 instructions:");
+    println!("{:>8} {:>10} {:>10} {:>10}", "size", "direct", "2-way", "4-way");
+    for kb in [8usize, 16, 32, 64] {
+        let at = |assoc: usize| {
+            sweep
+                .point(kb * 1024, assoc)
+                .map(|p| p.miss_per_100)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:>6}KB {:>10.2} {:>10.2} {:>10.2}",
+            kb,
+            at(1),
+            at(2),
+            at(4)
+        );
+    }
+
+    // Locate the knee: the first size where the direct-mapped miss rate
+    // drops below half of the 8 KB rate.
+    let base = sweep.point(8 * 1024, 1).unwrap().miss_per_100;
+    let knee = [16usize, 32, 64]
+        .into_iter()
+        .find(|kb| sweep.point(kb * 1024, 1).unwrap().miss_per_100 < base / 2.0);
+    match knee {
+        Some(kb) => println!(
+            "\nworking-set knee: between {}KB and {kb}KB (paper: Tcl 16-32KB, Perl 32-64KB)",
+            kb / 2
+        ),
+        None => println!("\nworking set exceeds 64KB for this benchmark"),
+    }
+}

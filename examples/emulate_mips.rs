@@ -1,0 +1,100 @@
+//! Use the toolchain end-to-end: compile your own mini-C program, run it
+//! natively and under the MIPSI emulator, and compare what the hardware
+//! would see — the paper's §3.1 experiment on your own code.
+//!
+//! ```sh
+//! cargo run --release --example emulate_mips
+//! ```
+
+use interpreters::archsim::PipelineSim;
+use interpreters::host::Machine;
+use interpreters::mipsi::Mipsi;
+use interpreters::nativeref::DirectExecutor;
+
+const PROGRAM: &str = r#"
+int primes[200];
+
+int main() {
+    int count; int candidate; int i; int is_prime;
+    count = 0;
+    candidate = 2;
+    while (count < 200) {
+        is_prime = 1;
+        for (i = 0; i < count; i++) {
+            if (candidate % primes[i] == 0) { is_prime = 0; break; }
+            if (primes[i] * primes[i] > candidate) break;
+        }
+        if (is_prime) {
+            primes[count] = candidate;
+            count = count + 1;
+        }
+        candidate = candidate + 1;
+    }
+    print_str("200th prime: ");
+    print_int(primes[199]);
+    print_char('\n');
+    return 0;
+}
+"#;
+
+fn main() {
+    let image = interpreters::minic::compile(PROGRAM).expect("compiles");
+    println!(
+        "compiled: {} bytes of text, {} bytes of data\n",
+        image.text_bytes(),
+        image.data.len()
+    );
+    // Peek at the generated code.
+    println!("first instructions:");
+    for line in image.disassemble().lines().take(8) {
+        println!("  {line}");
+    }
+
+    // Native run.
+    let mut m = Machine::new(PipelineSim::alpha_21064());
+    let mut exec = DirectExecutor::new(&image, &mut m);
+    exec.run(1_000_000_000).expect("native run");
+    drop(exec);
+    let native_out = String::from_utf8_lossy(m.console()).into_owned();
+    let (native_stats, native_sim) = m.into_parts();
+    let native = native_sim.report();
+
+    // Interpreted run.
+    let mut m = Machine::new(PipelineSim::alpha_21064());
+    let mut emu = Mipsi::new(&image, &mut m);
+    emu.run(1_000_000_000).expect("emulated run");
+    drop(emu);
+    let mipsi_out = String::from_utf8_lossy(m.console()).into_owned();
+    let (mipsi_stats, mipsi_sim) = m.into_parts();
+    let mipsi = mipsi_sim.report();
+
+    assert_eq!(native_out, mipsi_out, "emulation must be faithful");
+    println!("\noutput (identical in both modes): {}", native_out.trim());
+    println!(
+        "\n{:<12} {:>14} {:>12} {:>8}",
+        "mode", "instructions", "cycles", "busy"
+    );
+    println!(
+        "{:<12} {:>14} {:>12} {:>7.1}%",
+        "native",
+        native_stats.instructions,
+        native.cycles,
+        native.busy_fraction() * 100.0
+    );
+    println!(
+        "{:<12} {:>14} {:>12} {:>7.1}%",
+        "MIPSI",
+        mipsi_stats.instructions,
+        mipsi.cycles,
+        mipsi.busy_fraction() * 100.0
+    );
+    println!(
+        "\nslowdown: {:.1}x in instructions, {:.1}x in cycles",
+        mipsi_stats.instructions as f64 / native_stats.instructions as f64,
+        mipsi.cycles as f64 / native.cycles as f64
+    );
+    println!(
+        "fetch/decode: {:.1} native instructions per emulated instruction",
+        mipsi_stats.avg_fetch_decode()
+    );
+}

@@ -1,0 +1,47 @@
+//! Umbrella crate for the reproduction of *The Structure and Performance
+//! of Interpreters* (Romer et al., ASPLOS 1996).
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`core`] — instruction records, trace sinks, phases, per-command stats.
+//! * [`host`] — the instrumented simulated host machine all interpreters
+//!   run on (memory, allocator, strings, hash tables, files, graphics).
+//! * [`archsim`] — the Alpha-21064-like timing model (Table 3) and the
+//!   Figure 4 I-cache sweep.
+//! * [`isa`] / [`minic`] — the MIPS R3000 subset and the mini-C compiler
+//!   that produces guest binaries.
+//! * [`mipsi`], [`javelin`], [`perlite`], [`tclite`] — the four
+//!   interpreters, spanning the paper's virtual-machine spectrum.
+//! * [`nativeref`] — direct (compiled) execution of the same binaries.
+//! * [`workloads`] — the Table 1 microbenchmarks and Table 2 macro suite.
+//! * [`harness`] — drivers that regenerate every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use interpreters::core::NullSink;
+//! use interpreters::host::Machine;
+//! use interpreters::tclite::Tclite;
+//!
+//! let mut machine = Machine::new(NullSink);
+//! let mut tcl = Tclite::new(&mut machine);
+//! let result = tcl.run("set x [expr 6 * 7]")?;
+//! assert_eq!(result, "42");
+//! drop(tcl);
+//! // Every native instruction the interpreter executed was counted:
+//! assert!(machine.stats().instructions > 1000);
+//! # Ok::<(), interpreters::tclite::TclError>(())
+//! ```
+
+pub use interp_archsim as archsim;
+pub use interp_core as core;
+pub use interp_harness as harness;
+pub use interp_host as host;
+pub use interp_isa as isa;
+pub use interp_javelin as javelin;
+pub use interp_minic as minic;
+pub use interp_mipsi as mipsi;
+pub use interp_nativeref as nativeref;
+pub use interp_perlite as perlite;
+pub use interp_tclite as tclite;
+pub use interp_workloads as workloads;

@@ -1,0 +1,137 @@
+//! Integration tests asserting the paper's headline claims end-to-end,
+//! across crates, at test scale. These are the "does the reproduction
+//! reproduce?" checks — EXPERIMENTS.md cites them.
+
+use interpreters::archsim::{CacheSweep, PipelineSim, StallCause};
+use interpreters::core::{Language, NullSink};
+use interpreters::workloads::{run_macro, Scale};
+
+/// §3.4: the virtual-machine spectrum — commands needed for the same task
+/// shrink as the VM level rises, while instructions per command grow.
+#[test]
+fn vm_level_spectrum_on_des() {
+    let mut rows = Vec::new();
+    for lang in [
+        Language::Mipsi,
+        Language::Javelin,
+        Language::Perlite,
+        Language::Tclite,
+    ] {
+        let result = run_macro(lang, "des", Scale::Test, NullSink);
+        let per_command = result.stats.avg_fetch_decode() + result.stats.avg_execute();
+        // Normalize commands per DES block (block counts differ by tier).
+        let blocks = match lang {
+            Language::Mipsi => 20.0,
+            Language::Javelin => 10.0,
+            Language::Perlite => 4.0,
+            _ => 1.0,
+        };
+        rows.push((lang, result.stats.commands as f64 / blocks, per_command));
+    }
+    // Commands per block decrease monotonically up the VM spectrum...
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].1 < pair[0].1 * 1.5,
+            "{}: {} commands/block should not exceed {}'s {}",
+            pair[1].0,
+            pair[1].1,
+            pair[0].0,
+            pair[0].1
+        );
+    }
+    // ...while Tcl's instructions/command dwarf MIPSI's.
+    let mipsi = rows[0].2;
+    let tcl = rows[3].2;
+    assert!(
+        tcl > 10.0 * mipsi,
+        "instructions/command: tcl {tcl} vs mipsi {mipsi}"
+    );
+}
+
+/// §4: interpreter architectural footprint is a property of the
+/// interpreter, not the interpreted program.
+#[test]
+fn footprint_belongs_to_the_interpreter() {
+    let programs = ["des", "tcllex", "tcltags"];
+    let mut imiss = Vec::new();
+    for name in programs {
+        let result = run_macro(Language::Tclite, name, Scale::Test, PipelineSim::alpha_21064());
+        imiss.push(result.sink.report().stall_fraction(StallCause::Imiss));
+    }
+    let (min, max) = imiss
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &x| (a.min(x), b.max(x)));
+    assert!(
+        max - min < 0.08,
+        "Tcl imiss fractions vary too much across programs: {imiss:?}"
+    );
+}
+
+/// §4.1/Figure 4: the interpreter i-cache hierarchy — MIPSI fits an 8 KB
+/// cache; Tcl and Perl need tens of KB.
+#[test]
+fn icache_working_sets() {
+    let mipsi = run_macro(Language::Mipsi, "des", Scale::Test, CacheSweep::figure4());
+    let tcl = run_macro(Language::Tclite, "tcltags", Scale::Test, CacheSweep::figure4());
+    let at = |sweep: &CacheSweep, kb: usize| sweep.point(kb * 1024, 1).unwrap().miss_per_100;
+    assert!(
+        at(&mipsi.sink, 8) < 0.6,
+        "MIPSI must fit an 8KB icache: {}",
+        at(&mipsi.sink, 8)
+    );
+    assert!(
+        at(&tcl.sink, 8) > 4.0 * at(&tcl.sink, 64) + 0.2,
+        "Tcl 8KB {} vs 64KB {}",
+        at(&tcl.sink, 8),
+        at(&tcl.sink, 64)
+    );
+}
+
+/// Figure 2's native-library claim: graphics-heavy Java programs spend
+/// most execute-side instructions in native code; compute-heavy ones
+/// don't.
+#[test]
+fn java_native_library_split() {
+    use interpreters::core::Phase;
+    let hanoi = run_macro(Language::Javelin, "hanoi", Scale::Test, NullSink);
+    let des = run_macro(Language::Javelin, "des", Scale::Test, NullSink);
+    let native_share = |r: &interpreters::workloads::RunResult<NullSink>| {
+        r.stats.phase_instructions(Phase::Native) as f64
+            / r.stats.steady_state_instructions() as f64
+    };
+    assert!(
+        native_share(&hanoi) > 0.4,
+        "hanoi native share {}",
+        native_share(&hanoi)
+    );
+    assert!(
+        native_share(&des) < 0.1,
+        "des native share {}",
+        native_share(&des)
+    );
+}
+
+/// Table 2's Perl precompilation: startup instructions scale with program
+/// size, not run length.
+#[test]
+fn perl_precompilation_scales_with_source() {
+    use interpreters::core::Phase;
+    let small = run_macro(Language::Perlite, "des", Scale::Test, NullSink);
+    // a2ps has a much longer run but similar-size source; weblint similar.
+    let startup_fraction = small.stats.phase_instructions(Phase::Startup) as f64
+        / small.stats.instructions as f64;
+    assert!(
+        startup_fraction < 0.5,
+        "startup should not dominate a real run: {startup_fraction}"
+    );
+    assert!(small.stats.phase_instructions(Phase::Startup) > 1_000);
+}
+
+/// The repro binary's experiments are deterministic end to end.
+#[test]
+fn experiments_are_deterministic() {
+    let a = run_macro(Language::Perlite, "txt2html", Scale::Test, PipelineSim::alpha_21064());
+    let b = run_macro(Language::Perlite, "txt2html", Scale::Test, PipelineSim::alpha_21064());
+    assert_eq!(a.sink.report().cycles, b.sink.report().cycles);
+    assert_eq!(a.console, b.console);
+}

@@ -1,0 +1,196 @@
+//! Property-based differential tests: the same randomly-generated
+//! computation must produce identical results in Rust (the oracle), in
+//! compiled mini-C (native and MIPSI-interpreted), in Tcl, and in Perl.
+//! This is the strongest correctness net in the repository: any semantic
+//! divergence between the compiler, the emulator, and the interpreters
+//! shows up as a counterexample.
+
+use interpreters::core::NullSink;
+use interpreters::host::Machine;
+use interpreters::mipsi::Mipsi;
+use interpreters::nativeref::DirectExecutor;
+use proptest::prelude::*;
+
+/// A small arithmetic expression AST with wrapping-32-bit semantics.
+#[derive(Debug, Clone)]
+enum Expr {
+    Num(i32),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval_i32(&self) -> i32 {
+        match self {
+            Expr::Num(v) => *v,
+            Expr::Add(a, b) => a.eval_i32().wrapping_add(b.eval_i32()),
+            Expr::Sub(a, b) => a.eval_i32().wrapping_sub(b.eval_i32()),
+            Expr::Mul(a, b) => a.eval_i32().wrapping_mul(b.eval_i32()),
+        }
+    }
+
+    /// Evaluate in i64 (Tcl/Perl semantics — no wrapping for our ranges).
+    fn eval_i64(&self) -> i64 {
+        match self {
+            Expr::Num(v) => i64::from(*v),
+            Expr::Add(a, b) => a.eval_i64() + b.eval_i64(),
+            Expr::Sub(a, b) => a.eval_i64() - b.eval_i64(),
+            Expr::Mul(a, b) => a.eval_i64() * b.eval_i64(),
+        }
+    }
+
+    fn to_c(&self) -> String {
+        match self {
+            Expr::Num(v) => format!("{v}"),
+            Expr::Add(a, b) => format!("({} + {})", a.to_c(), b.to_c()),
+            Expr::Sub(a, b) => format!("({} - {})", a.to_c(), b.to_c()),
+            Expr::Mul(a, b) => format!("({} * {})", a.to_c(), b.to_c()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    // Small constants keep i64 evaluation comfortably un-overflowed, so
+    // the i32-wrapping and i64 oracles agree.
+    let leaf = (-50i32..50).prop_map(Expr::Num);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn run_native(src: &str) -> String {
+    let image = interpreters::minic::compile(src).expect("compile");
+    let mut m = Machine::new(NullSink);
+    let mut exec = DirectExecutor::new(&image, &mut m);
+    exec.run(50_000_000).expect("run");
+    drop(exec);
+    String::from_utf8_lossy(m.console()).into_owned()
+}
+
+fn run_mipsi(src: &str) -> String {
+    let image = interpreters::minic::compile(src).expect("compile");
+    let mut m = Machine::new(NullSink);
+    let mut emu = Mipsi::new(&image, &mut m);
+    emu.run(50_000_000).expect("run");
+    drop(emu);
+    String::from_utf8_lossy(m.console()).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn minic_native_and_mipsi_match_the_oracle(expr in arb_expr()) {
+        let expected = expr.eval_i32();
+        let src = format!("int main() {{ print_int({}); return 0; }}", expr.to_c());
+        prop_assert_eq!(run_native(&src), expected.to_string());
+        prop_assert_eq!(run_mipsi(&src), expected.to_string());
+    }
+
+    #[test]
+    fn tcl_expr_matches_the_oracle(expr in arb_expr()) {
+        let expected = expr.eval_i64();
+        let mut m = Machine::new(NullSink);
+        let mut tcl = interpreters::tclite::Tclite::new(&mut m);
+        let script = format!("expr {}", expr.to_c());
+        let result = tcl.run(&script).expect("tcl runs");
+        prop_assert_eq!(result, expected.to_string());
+    }
+
+    #[test]
+    fn perl_matches_the_oracle(expr in arb_expr()) {
+        let expected = expr.eval_i64();
+        let mut m = Machine::new(NullSink);
+        let src = format!("$v = {};\nprint $v;", expr.to_c());
+        let mut p = interpreters::perlite::Perlite::new(&mut m, &src).expect("compiles");
+        p.run().expect("runs");
+        drop(p);
+        prop_assert_eq!(
+            String::from_utf8_lossy(m.console()).into_owned(),
+            expected.to_string()
+        );
+    }
+
+    #[test]
+    fn joule_matches_the_oracle(expr in arb_expr()) {
+        let expected = expr.eval_i32();
+        let src = format!("void main() {{ Native.printInt({}); }}", expr.to_c());
+        let prog = interpreters::javelin::compile(&src).expect("compiles");
+        let mut m = Machine::new(NullSink);
+        let mut vm = interpreters::javelin::Jvm::new(&mut m, prog);
+        vm.run(50_000_000).expect("runs");
+        drop(vm);
+        prop_assert_eq!(
+            String::from_utf8_lossy(m.console()).into_owned(),
+            expected.to_string()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The simulated allocator never hands out overlapping blocks and
+    /// survives arbitrary alloc/free interleavings.
+    #[test]
+    fn allocator_handles_random_scripts(script in proptest::collection::vec((0u8..2, 1u32..2000), 1..60)) {
+        let mut m = Machine::new(NullSink);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for (op, size) in script {
+            if op == 0 || live.is_empty() {
+                let addr = m.malloc(size);
+                // No overlap with any live block.
+                for &(a, s) in &live {
+                    prop_assert!(
+                        addr + size <= a || a + s <= addr,
+                        "overlap: [{addr}, {}) vs [{a}, {})", addr + size, a + s
+                    );
+                }
+                live.push((addr, size));
+            } else {
+                let idx = (size as usize) % live.len();
+                let (addr, _) = live.swap_remove(idx);
+                m.mfree(addr);
+            }
+        }
+        for (addr, _) in live {
+            m.mfree(addr);
+        }
+        prop_assert_eq!(m.heap().live_blocks(), 0);
+    }
+
+    /// The simulated hash table behaves exactly like a HashMap.
+    #[test]
+    fn hash_table_matches_hashmap(ops in proptest::collection::vec((0u8..3, 0u8..24, 0u32..1000), 1..80)) {
+        use std::collections::HashMap;
+        let mut m = Machine::new(NullSink);
+        let table = m.hash_new(4);
+        let mut model: HashMap<String, u32> = HashMap::new();
+        let keys: Vec<String> = (0..24).map(|i| format!("key_number_{i}")).collect();
+        let sim_keys: Vec<_> = keys.iter().map(|k| m.str_alloc(k.as_bytes())).collect();
+        for (op, key_i, value) in ops {
+            let key = &keys[key_i as usize];
+            let sim_key = sim_keys[key_i as usize];
+            match op {
+                0 => {
+                    let prev = m.hash_insert(table, sim_key, value);
+                    prop_assert_eq!(prev, model.insert(key.clone(), value));
+                }
+                1 => {
+                    prop_assert_eq!(m.hash_lookup(table, sim_key), model.get(key).copied());
+                }
+                _ => {
+                    prop_assert_eq!(m.hash_remove(table, sim_key), model.remove(key));
+                }
+            }
+        }
+        prop_assert_eq!(m.hash_count(table) as usize, model.len());
+    }
+}
