@@ -1,0 +1,161 @@
+//! The shared typed error hierarchy and the three-way run outcome.
+
+use std::fmt;
+
+/// A structured, non-panicking failure in a guarded run.
+///
+/// Every interpreter maps its native error type into this hierarchy
+/// (via `From` impls defined in the interpreter crates, which sit above
+/// this one), so the workload runner and the fault-injection harness
+/// can classify any failure without string matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardError {
+    /// The run crossed `Limits::max_commands`.
+    CommandBudget { executed: u64, cap: u64 },
+    /// The run crossed `Limits::max_host_steps`.
+    HostStepBudget { executed: u64, cap: u64 },
+    /// An allocation would exceed `Limits::max_heap_bytes`, the
+    /// simulated heap region is exhausted, or an injected allocation
+    /// fault fired.
+    OutOfMemory { requested: u32, live_bytes: u64, cap: u64 },
+    /// Guest call depth crossed the effective cap.
+    CallDepth { depth: u32, cap: u32 },
+    /// The guest misused the heap API (double free, free of an address
+    /// that was never allocated).
+    HeapMisuse { addr: u32, detail: &'static str },
+    /// An instruction trace did not contain the record a consumer
+    /// required (e.g. a branch where none was emitted).
+    TraceMismatch { expected: &'static str },
+    /// The guest program is malformed: image/bytecode failed to decode
+    /// or the source failed to compile/parse.
+    BadProgram { lang: &'static str, detail: String },
+    /// The guest program failed at runtime (type error, `die`,
+    /// null pointer, bad syscall, ...).
+    Runtime { lang: &'static str, detail: String },
+}
+
+impl GuardError {
+    /// Short stable tag for tables and logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            GuardError::CommandBudget { .. } => "command-budget",
+            GuardError::HostStepBudget { .. } => "host-step-budget",
+            GuardError::OutOfMemory { .. } => "out-of-memory",
+            GuardError::CallDepth { .. } => "call-depth",
+            GuardError::HeapMisuse { .. } => "heap-misuse",
+            GuardError::TraceMismatch { .. } => "trace-mismatch",
+            GuardError::BadProgram { .. } => "bad-program",
+            GuardError::Runtime { .. } => "runtime",
+        }
+    }
+
+    /// True for errors caused by crossing a [`crate::Limits`] cap.
+    pub fn is_limit(&self) -> bool {
+        matches!(
+            self,
+            GuardError::CommandBudget { .. }
+                | GuardError::HostStepBudget { .. }
+                | GuardError::OutOfMemory { .. }
+                | GuardError::CallDepth { .. }
+        )
+    }
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::CommandBudget { executed, cap } => {
+                write!(f, "command budget exhausted: {executed} executed, cap {cap}")
+            }
+            GuardError::HostStepBudget { executed, cap } => {
+                write!(f, "host step budget exhausted: {executed} executed, cap {cap}")
+            }
+            GuardError::OutOfMemory { requested, live_bytes, cap } => write!(
+                f,
+                "simulated heap out of memory: {requested} bytes requested, {live_bytes} live, cap {cap}"
+            ),
+            GuardError::CallDepth { depth, cap } => {
+                write!(f, "call depth {depth} exceeds cap {cap}")
+            }
+            GuardError::HeapMisuse { addr, detail } => {
+                write!(f, "heap misuse at {addr:#010x}: {detail}")
+            }
+            GuardError::TraceMismatch { expected } => {
+                write!(f, "trace mismatch: expected {expected} record")
+            }
+            GuardError::BadProgram { lang, detail } => {
+                write!(f, "bad {lang} program: {detail}")
+            }
+            GuardError::Runtime { lang, detail } => {
+                write!(f, "{lang} runtime error: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+/// What a guarded run produced, after the `catch_unwind` backstop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The guest ran to completion with this exit code.
+    Completed { exit: i32 },
+    /// The guest stopped with a structured error (including limit trips).
+    Faulted(GuardError),
+    /// Something panicked despite the typed error paths; the payload is
+    /// the panic message. Any occurrence is a guard-layer bug.
+    Panicked(String),
+}
+
+impl RunOutcome {
+    /// True unless the run escaped through a panic.
+    pub fn is_structured(&self) -> bool {
+        !matches!(self, RunOutcome::Panicked(_))
+    }
+
+    /// Short stable tag for tables and logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RunOutcome::Completed { .. } => "completed",
+            RunOutcome::Faulted(e) => e.tag(),
+            RunOutcome::Panicked(_) => "PANICKED",
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed { exit } => write!(f, "completed (exit {exit})"),
+            RunOutcome::Faulted(e) => write!(f, "faulted: {e}"),
+            RunOutcome::Panicked(msg) => write!(f, "PANICKED: {msg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limit_classification() {
+        assert!(GuardError::CommandBudget { executed: 5, cap: 5 }.is_limit());
+        assert!(GuardError::OutOfMemory { requested: 16, live_bytes: 0, cap: 8 }.is_limit());
+        assert!(!GuardError::BadProgram { lang: "tcl", detail: "x".into() }.is_limit());
+    }
+
+    #[test]
+    fn outcome_structured() {
+        assert!(RunOutcome::Completed { exit: 0 }.is_structured());
+        assert!(RunOutcome::Faulted(GuardError::TraceMismatch { expected: "branch" })
+            .is_structured());
+        assert!(!RunOutcome::Panicked("boom".into()).is_structured());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = GuardError::OutOfMemory { requested: 64, live_bytes: 128, cap: 100 };
+        let s = e.to_string();
+        assert!(s.contains("64") && s.contains("128") && s.contains("100"), "{s}");
+    }
+}

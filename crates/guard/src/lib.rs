@@ -1,0 +1,30 @@
+//! Guarded execution layer shared by the host machine, all four
+//! interpreters, the workload runner, and the harness.
+//!
+//! Three pieces:
+//!
+//! * [`Limits`] — one resource-budget struct (virtual commands, host
+//!   steps, heap bytes, call depth) threaded through every run so that
+//!   Javelin/Perlite/Tclite gain the same bounded-execution semantics
+//!   Mipsi always had.
+//! * [`GuardError`] / [`RunOutcome`] — a typed error hierarchy replacing
+//!   `panic!` on hot paths, plus the three-way outcome (`Completed`,
+//!   `Faulted`, `Panicked`) the runner reports after its `catch_unwind`
+//!   backstop.
+//! * [`FaultPlan`] — seeded, deterministic fault injection: bit-flips in
+//!   guest images/bytecode, truncation or garbage bytes in guest
+//!   sources, and host heap-allocation failure at the Nth allocation.
+//!
+//! The crate is dependency-free (it sits *below* `interp-host` in the
+//! crate graph) and also hosts the repo's deterministic PRNG, [`Rng64`],
+//! used by the synthetic-input generators and the property tests.
+
+mod error;
+mod fault;
+mod limits;
+mod rng;
+
+pub use error::{GuardError, RunOutcome};
+pub use fault::{FaultKind, FaultPlan};
+pub use limits::Limits;
+pub use rng::Rng64;

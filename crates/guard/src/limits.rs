@@ -1,0 +1,97 @@
+//! The unified resource-budget struct threaded through every run.
+
+/// Resource caps for one guarded run.
+///
+/// `Machine` stores a copy and every interpreter polls it at its
+/// dispatch boundary, so all four interpreters honor the same budget
+/// semantics: a run stops with a typed [`crate::GuardError`] the moment
+/// any cap is crossed, instead of looping, recursing, or allocating
+/// forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum virtual commands (bytecodes, ops, script commands, guest
+    /// instructions) across the run. Enforced within ±1 command.
+    pub max_commands: u64,
+    /// Maximum simulated host instructions (every charged primitive).
+    pub max_host_steps: u64,
+    /// Maximum live bytes in the simulated heap.
+    pub max_heap_bytes: u64,
+    /// Maximum guest call depth. Interpreters with a tighter historical
+    /// cap keep the tighter of the two.
+    pub max_call_depth: u32,
+}
+
+impl Limits {
+    /// No caps at all — the historical behavior of an unguarded run.
+    pub const fn unlimited() -> Self {
+        Limits {
+            max_commands: u64::MAX,
+            max_host_steps: u64::MAX,
+            max_heap_bytes: u64::MAX,
+            max_call_depth: u32::MAX,
+        }
+    }
+
+    /// Defaults for fault-injection sweeps: generous enough that every
+    /// healthy `Scale::Test` workload completes, tight enough that a
+    /// corrupted guest cannot hang the harness. The call-depth cap is
+    /// deliberately low: the tree-walking interpreters recurse on the
+    /// Rust stack per guest frame, so the typed `CallDepth` fault must
+    /// fire long before a 2 MB test-thread stack would.
+    pub const fn guarded() -> Self {
+        Limits {
+            max_commands: 4_000_000,
+            max_host_steps: 400_000_000,
+            max_heap_bytes: 64 << 20,
+            max_call_depth: 256,
+        }
+    }
+
+    /// Builder-style override of `max_commands`.
+    pub const fn with_max_commands(mut self, cap: u64) -> Self {
+        self.max_commands = cap;
+        self
+    }
+
+    /// Builder-style override of `max_host_steps`.
+    pub const fn with_max_host_steps(mut self, cap: u64) -> Self {
+        self.max_host_steps = cap;
+        self
+    }
+
+    /// Builder-style override of `max_heap_bytes`.
+    pub const fn with_max_heap_bytes(mut self, cap: u64) -> Self {
+        self.max_heap_bytes = cap;
+        self
+    }
+
+    /// Builder-style override of `max_call_depth`.
+    pub const fn with_max_call_depth(mut self, cap: u32) -> Self {
+        self.max_call_depth = cap;
+        self
+    }
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert_eq!(Limits::default(), Limits::unlimited());
+    }
+
+    #[test]
+    fn builders_override_single_fields() {
+        let l = Limits::guarded().with_max_commands(10).with_max_call_depth(3);
+        assert_eq!(l.max_commands, 10);
+        assert_eq!(l.max_call_depth, 3);
+        assert_eq!(l.max_heap_bytes, Limits::guarded().max_heap_bytes);
+    }
+}

@@ -21,8 +21,10 @@ pub struct Fig3Bar {
 impl Fig3Bar {
     /// Stall fraction for `cause`.
     pub fn stall(&self, cause: StallCause) -> f64 {
-        let idx = StallCause::ALL.iter().position(|&c| c == cause).unwrap();
-        self.stalls[idx]
+        StallCause::ALL
+            .iter()
+            .position(|&c| c == cause)
+            .map_or(0.0, |idx| self.stalls[idx])
     }
 
     /// Paper-style label (`C-compress`, `mipsi-des`, …).
@@ -143,7 +145,11 @@ pub fn render_fig4(series: &[Fig4Series]) -> String {
         let _ = writeln!(
             out,
             "{:<18} {:>7.2} {:>7.2} {:>7.2} {:>7.2}   {:>7.2} {:>7.2}   {:>7.2} {:>7.2}",
-            format!("{}-{}", s.language.label().split(' ').next().unwrap(), s.benchmark),
+            format!(
+                "{}-{}",
+                s.language.label().split(' ').next().unwrap_or(""),
+                s.benchmark
+            ),
             s.at(8, 1),
             s.at(16, 1),
             s.at(32, 1),

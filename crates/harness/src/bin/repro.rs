@@ -1,13 +1,55 @@
-//! `repro`: regenerate every table and figure of the paper.
+//! `repro`: regenerate every table and figure of the paper, plus the
+//! robustness sweep.
 //!
 //! ```text
 //! repro [--paper] [table1|table2|fig1|fig2|fig3|fig4|memmodel|ablations|all]
+//! repro guard [--seeds N] [--scale test|paper]
 //! ```
 //!
 //! `--paper` runs at full workload scale (the default is the fast test
-//! scale).
+//! scale). `guard` sweeps N seeded fault plans per interpreter (default
+//! 64) and exits nonzero if any run escapes through a panic.
 
-use interp_harness::{ablations, arch, figures, memmodel, table1, table2, Scale};
+use interp_harness::{ablations, arch, figures, guard_sweep, memmodel, table1, table2, Scale};
+
+/// Parse `--flag N` / `--flag=N` style options.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn run_guard_sweep(args: &[String], scale: Scale) -> ! {
+    let seeds = match flag_value(args, "--seeds") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--seeds expects a positive integer, got `{v}`");
+                std::process::exit(2);
+            }
+        },
+        None => 64,
+    };
+    let scale = match flag_value(args, "--scale").as_deref() {
+        Some("test") => Scale::Test,
+        Some("paper") => Scale::Paper,
+        Some(other) => {
+            eprintln!("--scale expects test|paper, got `{other}`");
+            std::process::exit(2);
+        }
+        None => scale,
+    };
+    let report = guard_sweep::sweep(scale, seeds);
+    print!("{}", guard_sweep::render(&report));
+    std::process::exit(if report.total_panics() == 0 { 0 } else { 1 });
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +63,10 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("all");
+
+    if what == "guard" {
+        run_guard_sweep(&args, scale);
+    }
 
     let run = |name: &str| what == "all" || what == name;
 
@@ -105,7 +151,7 @@ fn main() {
     .contains(&what)
     {
         eprintln!(
-            "unknown experiment `{what}`; choose table1|table2|table3|fig1|fig2|fig3|fig4|memmodel|ablations|all"
+            "unknown experiment `{what}`; choose table1|table2|table3|fig1|fig2|fig3|fig4|memmodel|ablations|all, or `guard [--seeds N] [--scale test|paper]`"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,162 @@
+//! The `repro guard` fault-injection sweep: run every interpreter's
+//! `des` workload under N seeded corruption plans and tabulate how each
+//! run ended. The hard promise being checked: every outcome is
+//! *structured* — a completion or a typed [`interp_guard::GuardError`] —
+//! never a panic, and never a hang (the unified `Limits` budgets bound
+//! every run).
+//!
+//! Plans are pure functions of their seed, so any failure the sweep
+//! reports is replayable from `(language, seed)` alone.
+
+use interp_core::Language;
+use interp_guard::{FaultPlan, Limits, RunOutcome};
+use interp_workloads::{run_guarded, Scale};
+use std::collections::BTreeMap;
+
+/// One language's tally over the sweep.
+pub struct SweepRow {
+    /// The interpreter swept.
+    pub language: Language,
+    /// Workload each plan was applied to.
+    pub workload: &'static str,
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Outcome-tag histogram (`completed`, `bad-program`, `out-of-memory`…).
+    pub tags: BTreeMap<&'static str, u64>,
+    /// Panic messages with their seeds — must be empty.
+    pub panics: Vec<(u64, String)>,
+}
+
+impl SweepRow {
+    /// Runs that ended in `tag`.
+    pub fn count(&self, tag: &str) -> u64 {
+        self.tags.get(tag).copied().unwrap_or(0)
+    }
+}
+
+/// The full sweep: every language, `seeds` plans each.
+pub struct SweepReport {
+    /// Per-language tallies.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// Total panicking runs across the sweep (must be zero).
+    pub fn total_panics(&self) -> u64 {
+        self.rows.iter().map(|r| r.panics.len() as u64).sum()
+    }
+}
+
+/// Pick the corruption family that matches what the interpreter consumes:
+/// binary guests get bit-flips, textual guests get truncation/garbage.
+fn plan_for(language: Language, seed: u64) -> FaultPlan {
+    match language {
+        Language::C | Language::Mipsi | Language::Javelin => FaultPlan::image_sweep(seed),
+        Language::Perlite | Language::Tclite => FaultPlan::source_sweep(seed),
+    }
+}
+
+/// Sweep `seeds` fault plans per language over the shared `des` workload.
+pub fn sweep(scale: Scale, seeds: u64) -> SweepReport {
+    let limits = Limits::guarded();
+    let workload = "des";
+    let mut rows = Vec::new();
+    for language in Language::ALL {
+        let mut tags: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut panics = Vec::new();
+        for seed in 0..seeds {
+            let plan = plan_for(language, seed);
+            let run = run_guarded(language, workload, scale, limits, &plan);
+            *tags.entry(run.outcome.tag()).or_insert(0) += 1;
+            if let RunOutcome::Panicked(msg) = run.outcome {
+                panics.push((seed, msg));
+            }
+        }
+        rows.push(SweepRow {
+            language,
+            workload,
+            seeds,
+            tags,
+            panics,
+        });
+    }
+    SweepReport { rows }
+}
+
+/// Render the sweep as the `repro guard` table.
+pub fn render(report: &SweepReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Guard sweep: seeded fault injection, {} seeds per interpreter",
+        report.rows.first().map_or(0, |r| r.seeds)
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<9} {:>6} {:>10} {:>9}  outcome histogram",
+        "language", "workload", "seeds", "completed", "panicked"
+    );
+    for row in &report.rows {
+        let hist = row
+            .tags
+            .iter()
+            .filter(|(tag, _)| **tag != "completed")
+            .map(|(tag, n)| format!("{tag}×{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "{:<10} {:<9} {:>6} {:>10} {:>9}  {hist}",
+            row.language.to_string(),
+            row.workload,
+            row.seeds,
+            row.count("completed"),
+            row.count("PANICKED"),
+        );
+    }
+    let total_panics = report.total_panics();
+    if total_panics == 0 {
+        let _ = writeln!(out, "all outcomes structured; no panics, no hangs");
+    } else {
+        let _ = writeln!(out, "!! {total_panics} PANICKING RUNS:");
+        for row in &report.rows {
+            for (seed, msg) in &row.panics {
+                let _ = writeln!(out, "  {} seed {seed}: {msg}", row.language);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_all_structured() {
+        let report = sweep(Scale::Test, 8);
+        assert_eq!(report.rows.len(), 5);
+        assert_eq!(report.total_panics(), 0, "{}", render(&report));
+        for row in &report.rows {
+            let total: u64 = row.tags.values().sum();
+            assert_eq!(total, 8, "{}: every seed accounted for", row.language);
+            // Seed 0 is the no-fault lane, so at least one run completes.
+            assert!(
+                row.count("completed") >= 1,
+                "{}: no clean completion\n{}",
+                row.language,
+                render(&report)
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_language() {
+        let report = sweep(Scale::Test, 2);
+        let text = render(&report);
+        for language in Language::ALL {
+            assert!(text.contains(&language.to_string()), "{text}");
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! | Figure 3 (issue-slot breakdown) | [`arch::fig3`] |
 //! | Figure 4 (I-cache sweep) | [`arch::fig4`] |
 //! | Ablations (iTLB, dispatch, symbol table, precompilation) | [`ablations`] |
+//! | Robustness (seeded fault-injection sweep, not in the paper) | [`guard_sweep`] |
 //!
 //! # Example
 //!
@@ -26,6 +27,7 @@
 pub mod ablations;
 pub mod arch;
 pub mod figures;
+pub mod guard_sweep;
 pub mod memmodel;
 pub mod table1;
 pub mod table2;

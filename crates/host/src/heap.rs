@@ -7,6 +7,7 @@
 //! couple of compares per free block examined, plus header updates.
 
 use interp_core::TraceSink;
+use interp_guard::GuardError;
 use std::collections::BTreeMap;
 
 use crate::machine::Machine;
@@ -19,6 +20,12 @@ pub const HEAP_END: u32 = 0x2000_0000;
 const HEADER: u32 = 8; // [size: u32][magic: u32]
 const MAGIC_ALLOCATED: u32 = 0xa110_ca7e;
 const MAGIC_FREE: u32 = 0xf4ee_f4ee;
+
+/// Address handed out by the infallible [`Machine::malloc`] once the heap
+/// guard has tripped: the run is already poisoned (the sticky fault stops
+/// it at the next `guard_check`), so writes land in this scratch page of
+/// sparse simulated memory instead of corrupting allocator state.
+const EMERGENCY_ADDR: u32 = HEAP_END - 0x1000;
 
 /// Allocator state (free and allocated block indexes, mirrored Rust-side).
 #[derive(Debug)]
@@ -77,15 +84,52 @@ impl<S: TraceSink> Machine<S> {
     /// Allocate `size` bytes of simulated memory, returning the payload
     /// address (8-byte aligned).
     ///
+    /// Infallible by signature: if the allocation violates the heap byte
+    /// cap, hits an injected allocation fault, or exhausts the 256 MiB
+    /// region, the machine records a sticky [`GuardError::OutOfMemory`]
+    /// (reported at the next `guard_check`) and a scratch address is
+    /// returned so the caller can unwind without panicking. Callers that
+    /// can handle failure directly should use [`Self::try_malloc`].
+    pub fn malloc(&mut self, size: u32) -> u32 {
+        match self.malloc_guarded(size) {
+            Ok(addr) => addr,
+            Err(fault) => {
+                self.set_guard_fault(fault);
+                EMERGENCY_ADDR
+            }
+        }
+    }
+
+    /// Fallible allocation: like [`Self::malloc`] but returns the typed
+    /// [`GuardError::OutOfMemory`] to the caller (and records it as the
+    /// machine's sticky guard fault).
+    pub fn try_malloc(&mut self, size: u32) -> Result<u32, GuardError> {
+        self.malloc_guarded(size).map_err(|fault| {
+            self.set_guard_fault(fault.clone());
+            fault
+        })
+    }
+
     /// Charges the work of a first-fit allocator: per free block examined,
     /// one header load and two compares; then header stores for the carve.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the heap is exhausted (256 MiB — unreachable for the
-    /// workloads in this repository).
-    pub fn malloc(&mut self, size: u32) -> u32 {
+    fn malloc_guarded(&mut self, size: u32) -> Result<u32, GuardError> {
         let size = size.max(1).next_multiple_of(8);
+        self.alloc_count += 1;
+        if self.alloc_fail_at == Some(self.alloc_count) {
+            return Err(GuardError::OutOfMemory {
+                requested: size,
+                live_bytes: self.heap.live,
+                cap: self.limits().max_heap_bytes,
+            });
+        }
+        let cap = self.limits().max_heap_bytes;
+        if self.heap.live + u64::from(size) > cap {
+            return Err(GuardError::OutOfMemory {
+                requested: size,
+                live_bytes: self.heap.live,
+                cap,
+            });
+        }
         let alloc_routine = self.sys().alloc;
         self.routine(alloc_routine, |m| {
             m.alu_n(3); // entry: round size, load free-list head
@@ -104,7 +148,11 @@ impl<S: TraceSink> Machine<S> {
                 m.lw(probe_addr);
                 m.alu_n(2);
             }
-            let (addr, block) = chosen.expect("simulated heap exhausted");
+            let (addr, block) = chosen.ok_or(GuardError::OutOfMemory {
+                requested: size,
+                live_bytes: m.heap.live,
+                cap,
+            })?;
             m.heap.free.remove(&addr);
             let remainder = block - size;
             if remainder >= HEADER + 8 {
@@ -121,25 +169,26 @@ impl<S: TraceSink> Machine<S> {
             m.sw(addr - 8, size);
             m.sw(addr - 4, MAGIC_ALLOCATED);
             m.alu_n(2); // return-value setup
-            addr
+            Ok(addr)
         })
     }
 
     /// Free a block previously returned by [`Self::malloc`].
     ///
-    /// # Panics
-    ///
-    /// Panics on double-free or a pointer that `malloc` never returned —
-    /// these are bugs in an interpreter implementation, not recoverable
-    /// run-time conditions.
+    /// A double-free or a pointer that `malloc` never returned records a
+    /// sticky [`GuardError::HeapMisuse`] (reported at the next
+    /// `guard_check`) instead of panicking, so a buggy or corrupted guest
+    /// yields a structured error.
     pub fn mfree(&mut self, addr: u32) {
         let alloc_routine = self.sys().alloc;
         self.routine(alloc_routine, |m| {
-            let size = m
-                .heap
-                .allocated
-                .remove(&addr)
-                .unwrap_or_else(|| panic!("free of unallocated address {addr:#x}"));
+            let Some(size) = m.heap.allocated.remove(&addr) else {
+                m.set_guard_fault(GuardError::HeapMisuse {
+                    addr,
+                    detail: "free of unallocated address",
+                });
+                return;
+            };
             m.heap.live -= u64::from(size);
             // Header validation: load size + magic, store free magic.
             let stored = m.lw(addr - 8);
@@ -198,12 +247,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "free of unallocated")]
-    fn double_free_detected() {
+    fn double_free_reports_heap_misuse() {
         let mut m = Machine::new(NullSink);
         let a = m.malloc(16);
         m.mfree(a);
         m.mfree(a);
+        assert!(matches!(
+            m.guard_fault(),
+            Some(GuardError::HeapMisuse { addr, .. }) if *addr == a
+        ));
+        assert!(m.guard_check().is_err(), "sticky fault surfaces at the next poll");
+    }
+
+    #[test]
+    fn heap_byte_cap_yields_out_of_memory() {
+        use interp_guard::Limits;
+        let mut m =
+            Machine::with_limits(NullSink, Limits::unlimited().with_max_heap_bytes(1024));
+        let a = m.try_malloc(512).expect("within cap");
+        assert!(m.heap().is_allocated(a));
+        let err = m.try_malloc(1024).expect_err("cap crossed");
+        assert!(matches!(err, GuardError::OutOfMemory { requested: 1024, .. }));
+        // Infallible malloc after the trip returns the scratch address and
+        // leaves allocator state untouched.
+        let before = m.heap().live_blocks();
+        let scratch = m.malloc(2048);
+        assert!(!m.heap().is_allocated(scratch));
+        assert_eq!(m.heap().live_blocks(), before);
+    }
+
+    #[test]
+    fn injected_alloc_failure_fires_at_nth() {
+        let mut m = Machine::new(NullSink);
+        m.inject_alloc_failure(3);
+        assert!(m.try_malloc(8).is_ok());
+        assert!(m.try_malloc(8).is_ok());
+        let err = m.try_malloc(8).expect_err("third allocation fails");
+        assert!(matches!(err, GuardError::OutOfMemory { .. }));
+        assert!(m.guard_check().is_err(), "injected fault is sticky");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! interpreters actually perform.
 
 use interp_core::{CmdId, InsnKind, InsnRecord, Phase, RunStats, TraceSink};
+use interp_guard::{GuardError, Limits};
 use std::collections::VecDeque;
 
 use crate::fs::FileSystem;
@@ -61,6 +62,13 @@ pub struct Machine<S: TraceSink> {
     pub(crate) gfx: Framebuffer,
     pub(crate) events: VecDeque<UiEvent>,
     sys: SysRoutines,
+    limits: Limits,
+    /// First guard violation observed (sticky until the run ends).
+    pub(crate) guard_fault: Option<GuardError>,
+    /// Total `malloc` calls, for deterministic allocation-fault injection.
+    pub(crate) alloc_count: u64,
+    /// If set, the 1-based allocation ordinal that fails (fault injection).
+    pub(crate) alloc_fail_at: Option<u64>,
 }
 
 impl<S: TraceSink> std::fmt::Debug for Machine<S> {
@@ -108,7 +116,75 @@ impl<S: TraceSink> Machine<S> {
             gfx: Framebuffer::new(),
             events: VecDeque::new(),
             sys,
+            limits: Limits::unlimited(),
+            guard_fault: None,
+            alloc_count: 0,
+            alloc_fail_at: None,
         }
+    }
+
+    /// Create a machine with resource caps. Interpreters poll
+    /// [`Self::guard_check`] at their dispatch boundaries, so every cap in
+    /// `limits` turns into a typed [`GuardError`] instead of a hang or a
+    /// panic.
+    pub fn with_limits(sink: S, limits: Limits) -> Self {
+        let mut m = Self::new(sink);
+        m.limits = limits;
+        m
+    }
+
+    /// The resource caps this machine enforces.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Replace the resource caps (takes effect at the next check).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// Fault injection: fail the `nth` (1-based) subsequent `malloc` with a
+    /// sticky [`GuardError::OutOfMemory`].
+    pub fn inject_alloc_failure(&mut self, nth: u64) {
+        self.alloc_fail_at = Some(self.alloc_count + nth);
+    }
+
+    /// The first guard violation observed so far, if any. Sticky: once a
+    /// fault is recorded the run is considered poisoned until it unwinds.
+    pub fn guard_fault(&self) -> Option<&GuardError> {
+        self.guard_fault.as_ref()
+    }
+
+    /// Record a guard violation (first one wins).
+    pub(crate) fn set_guard_fault(&mut self, fault: GuardError) {
+        self.guard_fault.get_or_insert(fault);
+    }
+
+    /// The per-dispatch guard poll: reports the sticky fault (heap cap,
+    /// heap misuse, injected allocation failure) or a freshly-crossed
+    /// command/host-step budget. Cheap — a few compares — so interpreters
+    /// call it once per virtual command.
+    pub fn guard_check(&mut self) -> Result<(), GuardError> {
+        if let Some(fault) = &self.guard_fault {
+            return Err(fault.clone());
+        }
+        if self.stats.instructions >= self.limits.max_host_steps {
+            let fault = GuardError::HostStepBudget {
+                executed: self.stats.instructions,
+                cap: self.limits.max_host_steps,
+            };
+            self.guard_fault = Some(fault.clone());
+            return Err(fault);
+        }
+        if self.stats.commands >= self.limits.max_commands {
+            let fault = GuardError::CommandBudget {
+                executed: self.stats.commands,
+                cap: self.limits.max_commands,
+            };
+            self.guard_fault = Some(fault.clone());
+            return Err(fault);
+        }
+        Ok(())
     }
 
     /// Handles to the built-in system routines.
@@ -543,7 +619,7 @@ mod tests {
     }
 
     #[test]
-    fn branch_fwd_taken_skips_text() {
+    fn branch_fwd_taken_skips_text() -> Result<(), GuardError> {
         let mut m = Machine::new(VecSink::default());
         let r = m.routine_decl("br", 4096);
         m.routine(r, |m| {
@@ -552,9 +628,45 @@ mod tests {
         });
         let (_, sink) = m.into_parts();
         let InsnKind::Branch { target, taken } = sink.trace[1].kind else {
-            panic!("expected branch");
+            return Err(GuardError::TraceMismatch { expected: "branch" });
         };
         assert!(taken);
         assert_eq!(sink.trace[2].pc, target);
+        Ok(())
+    }
+
+    #[test]
+    fn guard_check_trips_host_step_budget() {
+        let mut m =
+            Machine::with_limits(NullSink, Limits::unlimited().with_max_host_steps(10));
+        assert!(m.guard_check().is_ok());
+        m.alu_n(10);
+        let err = m.guard_check().expect_err("budget crossed");
+        assert!(matches!(err, GuardError::HostStepBudget { executed: 10, cap: 10 }));
+        // Sticky: still tripped on the next poll.
+        assert!(m.guard_check().is_err());
+    }
+
+    #[test]
+    fn guard_check_trips_command_budget_within_one() {
+        let mut cmds = CommandSet::new("t");
+        let cmd = cmds.intern("add");
+        let mut m = Machine::with_limits(NullSink, Limits::unlimited().with_max_commands(3));
+        for i in 0..3 {
+            assert!(m.guard_check().is_ok(), "command {i} within budget");
+            m.begin_command(cmd);
+            m.alu();
+            m.end_command();
+        }
+        let err = m.guard_check().expect_err("budget crossed");
+        assert!(matches!(err, GuardError::CommandBudget { executed: 3, cap: 3 }));
+    }
+
+    #[test]
+    fn unlimited_machine_never_trips() {
+        let mut m = Machine::new(NullSink);
+        m.alu_n(10_000);
+        assert!(m.guard_check().is_ok());
+        assert!(m.guard_fault().is_none());
     }
 }

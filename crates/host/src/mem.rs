@@ -60,11 +60,11 @@ impl Memory {
     #[inline]
     fn granule_mut(&mut self, addr: u32) -> &mut [u8; GRANULE] {
         let idx = (addr >> GRANULE_BITS) as usize;
-        if self.granules[idx].is_none() {
-            self.granules[idx] = Some(Box::new([0u8; GRANULE]));
+        let slot = &mut self.granules[idx];
+        if slot.is_none() {
             self.resident += GRANULE;
         }
-        self.granules[idx].as_deref_mut().unwrap()
+        slot.get_or_insert_with(|| Box::new([0u8; GRANULE]))
     }
 
     /// Read one byte.
@@ -90,7 +90,11 @@ impl Memory {
         let off = (addr as usize) & (GRANULE - 1);
         if off + 4 <= GRANULE {
             match self.granule(addr) {
-                Some(g) => u32::from_le_bytes(g[off..off + 4].try_into().unwrap()),
+                Some(g) => {
+                    let mut word = [0u8; 4];
+                    word.copy_from_slice(&g[off..off + 4]);
+                    u32::from_le_bytes(word)
+                }
                 None => 0,
             }
         } else {

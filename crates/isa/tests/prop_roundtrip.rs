@@ -1,91 +1,121 @@
 //! Property tests: `decode(encode(insn)) == insn` for every representable
 //! instruction, and decode never panics on arbitrary words.
+//!
+//! Driven by the repo's deterministic PRNG (`interp_guard::Rng64`) with
+//! fixed seeds, so failures are replayable and no external
+//! property-testing dependency is needed.
 
+use interp_guard::Rng64;
 use interp_isa::{Insn, Reg};
-use proptest::prelude::*;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u32..32).prop_map(Reg::from_num)
+fn reg(rng: &mut Rng64) -> Reg {
+    Reg::from_num(rng.range(0, 32) as u32)
 }
 
-fn r3() -> impl Strategy<Value = (Reg, Reg, Reg)> {
-    (any_reg(), any_reg(), any_reg())
+fn imm16(rng: &mut Rng64) -> i16 {
+    rng.next_u64() as i16
 }
 
-fn any_insn() -> impl Strategy<Value = Insn> {
-    let sh = 0u8..32;
-    prop_oneof![
-        (any_reg(), any_reg(), sh.clone()).prop_map(|(rd, rt, sh)| Insn::Sll { rd, rt, sh }),
-        (any_reg(), any_reg(), sh.clone()).prop_map(|(rd, rt, sh)| Insn::Srl { rd, rt, sh }),
-        (any_reg(), any_reg(), sh).prop_map(|(rd, rt, sh)| Insn::Sra { rd, rt, sh }),
-        r3().prop_map(|(rd, rt, rs)| Insn::Sllv { rd, rt, rs }),
-        r3().prop_map(|(rd, rt, rs)| Insn::Srav { rd, rt, rs }),
-        any_reg().prop_map(|rs| Insn::Jr { rs }),
-        (any_reg(), any_reg()).prop_map(|(rd, rs)| Insn::Jalr { rd, rs }),
-        Just(Insn::Syscall),
-        any_reg().prop_map(|rd| Insn::Mfhi { rd }),
-        any_reg().prop_map(|rd| Insn::Mflo { rd }),
-        (any_reg(), any_reg()).prop_map(|(rs, rt)| Insn::Mult { rs, rt }),
-        (any_reg(), any_reg()).prop_map(|(rs, rt)| Insn::Div { rs, rt }),
-        r3().prop_map(|(rd, rs, rt)| Insn::Addu { rd, rs, rt }),
-        r3().prop_map(|(rd, rs, rt)| Insn::Subu { rd, rs, rt }),
-        r3().prop_map(|(rd, rs, rt)| Insn::And { rd, rs, rt }),
-        r3().prop_map(|(rd, rs, rt)| Insn::Or { rd, rs, rt }),
-        r3().prop_map(|(rd, rs, rt)| Insn::Xor { rd, rs, rt }),
-        r3().prop_map(|(rd, rs, rt)| Insn::Nor { rd, rs, rt }),
-        r3().prop_map(|(rd, rs, rt)| Insn::Slt { rd, rs, rt }),
-        r3().prop_map(|(rd, rs, rt)| Insn::Sltu { rd, rs, rt }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rs, rt, off)| Insn::Beq { rs, rt, off }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rs, rt, off)| Insn::Bne { rs, rt, off }),
-        (any_reg(), any::<i16>()).prop_map(|(rs, off)| Insn::Blez { rs, off }),
-        (any_reg(), any::<i16>()).prop_map(|(rs, off)| Insn::Bgtz { rs, off }),
-        (any_reg(), any::<i16>()).prop_map(|(rs, off)| Insn::Bltz { rs, off }),
-        (any_reg(), any::<i16>()).prop_map(|(rs, off)| Insn::Bgez { rs, off }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rt, rs, imm)| Insn::Addiu { rt, rs, imm }),
-        (any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(rt, rs, imm)| Insn::Slti { rt, rs, imm }),
-        (any_reg(), any_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Insn::Andi { rt, rs, imm }),
-        (any_reg(), any_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Insn::Ori { rt, rs, imm }),
-        (any_reg(), any::<u16>()).prop_map(|(rt, imm)| Insn::Lui { rt, imm }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Lb { rt, rs, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Lbu { rt, rs, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Lw { rt, rs, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Sb { rt, rs, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, rs, off)| Insn::Sw { rt, rs, off }),
-        (0u32..0x0400_0000).prop_map(|target| Insn::J { target }),
-        (0u32..0x0400_0000).prop_map(|target| Insn::Jal { target }),
-    ]
+fn uimm16(rng: &mut Rng64) -> u16 {
+    rng.next_u64() as u16
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(insn in any_insn()) {
+/// One uniformly-chosen representable instruction.
+fn gen_insn(rng: &mut Rng64) -> Insn {
+    let (rd, rt, rs) = (reg(rng), reg(rng), reg(rng));
+    let sh = rng.range(0, 32) as u8;
+    match rng.range(0, 36) {
+        0 => Insn::Sll { rd, rt, sh },
+        1 => Insn::Srl { rd, rt, sh },
+        2 => Insn::Sra { rd, rt, sh },
+        3 => Insn::Sllv { rd, rt, rs },
+        4 => Insn::Srav { rd, rt, rs },
+        5 => Insn::Jr { rs },
+        6 => Insn::Jalr { rd, rs },
+        7 => Insn::Syscall,
+        8 => Insn::Mfhi { rd },
+        9 => Insn::Mflo { rd },
+        10 => Insn::Mult { rs, rt },
+        11 => Insn::Div { rs, rt },
+        12 => Insn::Addu { rd, rs, rt },
+        13 => Insn::Subu { rd, rs, rt },
+        14 => Insn::And { rd, rs, rt },
+        15 => Insn::Or { rd, rs, rt },
+        16 => Insn::Xor { rd, rs, rt },
+        17 => Insn::Nor { rd, rs, rt },
+        18 => Insn::Slt { rd, rs, rt },
+        19 => Insn::Sltu { rd, rs, rt },
+        20 => Insn::Beq { rs, rt, off: imm16(rng) },
+        21 => Insn::Bne { rs, rt, off: imm16(rng) },
+        22 => Insn::Blez { rs, off: imm16(rng) },
+        23 => Insn::Bgtz { rs, off: imm16(rng) },
+        24 => Insn::Bltz { rs, off: imm16(rng) },
+        25 => Insn::Bgez { rs, off: imm16(rng) },
+        26 => Insn::Addiu { rt, rs, imm: imm16(rng) },
+        27 => Insn::Slti { rt, rs, imm: imm16(rng) },
+        28 => Insn::Andi { rt, rs, imm: uimm16(rng) },
+        29 => Insn::Ori { rt, rs, imm: uimm16(rng) },
+        30 => Insn::Lui { rt, imm: uimm16(rng) },
+        31 => Insn::Lb { rt, rs, off: imm16(rng) },
+        32 => Insn::Lbu { rt, rs, off: imm16(rng) },
+        33 => Insn::Lw { rt, rs, off: imm16(rng) },
+        34 => Insn::Sb { rt, rs, off: imm16(rng) },
+        _ => {
+            let target = rng.range(0, 0x0400_0000) as u32;
+            if rng.chance(1, 2) {
+                Insn::J { target }
+            } else {
+                Insn::Jal { target }
+            }
+        }
+    }
+}
+
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng64::new(0x1505_0001);
+    for case in 0..4_000 {
+        let insn = gen_insn(&mut rng);
         let word = insn.encode();
-        let back = Insn::decode(word).expect("generated instruction must decode");
-        prop_assert_eq!(back, insn);
+        let back = Insn::decode(word)
+            .unwrap_or_else(|e| panic!("case {case}: {insn:?} must decode, got {e:?}"));
+        assert_eq!(back, insn, "case {case}: word {word:#010x}");
     }
+}
 
-    #[test]
-    fn decode_never_panics(word in any::<u32>()) {
+#[test]
+fn decode_never_panics() {
+    let mut rng = Rng64::new(0x1505_0002);
+    for _ in 0..100_000 {
+        let _ = Insn::decode(rng.next_u64() as u32);
+    }
+    // Dense low words and structured patterns, beyond pure uniform.
+    for word in 0..=0xFFFFu32 {
         let _ = Insn::decode(word);
+        let _ = Insn::decode(word << 16);
+        let _ = Insn::decode(word | 0xFC00_0000);
     }
+}
 
-    #[test]
-    fn decode_encode_is_identity_when_supported(word in any::<u32>()) {
+#[test]
+fn decode_encode_is_identity_when_supported() {
+    let mut rng = Rng64::new(0x1505_0003);
+    for _ in 0..50_000 {
+        let word = rng.next_u64() as u32;
         if let Ok(insn) = Insn::decode(word) {
             // Re-encoding may canonicalize don't-care fields, but the
             // canonical form must be a fixed point.
             let canon = insn.encode();
-            prop_assert_eq!(Insn::decode(canon).expect("canonical decodes"), insn);
-            prop_assert_eq!(Insn::decode(canon).unwrap().encode(), canon);
+            assert_eq!(Insn::decode(canon).expect("canonical decodes"), insn);
+            assert_eq!(Insn::decode(canon).expect("canonical decodes").encode(), canon);
         }
     }
+}
 
-    #[test]
-    fn display_never_panics(insn in any_insn()) {
-        let _ = insn.to_string();
+#[test]
+fn display_never_panics() {
+    let mut rng = Rng64::new(0x1505_0004);
+    for _ in 0..2_000 {
+        let _ = gen_insn(&mut rng).to_string();
     }
 }

@@ -9,6 +9,7 @@
 //! to [`Phase::Native`].
 
 use interp_core::{CommandSet, Phase, RunStats, TraceSink};
+use interp_guard::GuardError;
 use interp_host::{Machine, RoutineId, SimStr, UiEvent};
 
 use crate::bytecode::{JProgram, Native, OpCode};
@@ -41,6 +42,8 @@ pub enum JvmError {
     DivideByZero,
     /// Call stack exhausted.
     StackOverflow,
+    /// A resource guard tripped (limits, heap cap, injected fault).
+    Guard(GuardError),
 }
 
 impl std::fmt::Display for JvmError {
@@ -56,11 +59,34 @@ impl std::fmt::Display for JvmError {
             }
             JvmError::DivideByZero => write!(f, "arithmetic exception: / by zero"),
             JvmError::StackOverflow => write!(f, "stack overflow"),
+            JvmError::Guard(e) => write!(f, "guard: {e}"),
         }
     }
 }
 
 impl std::error::Error for JvmError {}
+
+impl From<GuardError> for JvmError {
+    fn from(e: GuardError) -> Self {
+        JvmError::Guard(e)
+    }
+}
+
+impl From<JvmError> for GuardError {
+    fn from(e: JvmError) -> Self {
+        match e {
+            JvmError::Guard(g) => g,
+            JvmError::Timeout { executed } => {
+                GuardError::CommandBudget { executed, cap: executed }
+            }
+            JvmError::BadBytecode { func, pc } => GuardError::BadProgram {
+                lang: "javelin",
+                detail: format!("bad bytecode in function {func} at pc {pc}"),
+            },
+            other => GuardError::Runtime { lang: "javelin", detail: other.to_string() },
+        }
+    }
+}
 
 struct Routines {
     dispatch: RoutineId,
@@ -168,7 +194,12 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
     /// See [`JvmError`]; also fails if the program has no `main`.
     pub fn run(&mut self, max_bytecodes: u64) -> Result<i32, JvmError> {
         self.budget = max_bytecodes;
-        let main = self.prog.main_index().expect("compiler enforces main");
+        let Some(main) = self.prog.main_index() else {
+            return Err(JvmError::Guard(GuardError::BadProgram {
+                lang: "javelin",
+                detail: "program has no main function".into(),
+            }));
+        };
         self.m.set_phase(Phase::FetchDecode);
         let out = self.call(main, &[]);
         self.m.end_command();
@@ -178,6 +209,14 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
     /// Invoke function `idx` with `args`; returns its value if any.
     fn call(&mut self, idx: usize, args: &[i32]) -> Result<Option<i32>, JvmError> {
         self.call_depth += 1;
+        let depth_cap = self.m.limits().max_call_depth;
+        if self.call_depth > depth_cap {
+            self.call_depth -= 1;
+            return Err(JvmError::Guard(GuardError::CallDepth {
+                depth: self.call_depth + 1,
+                cap: depth_cap,
+            }));
+        }
         if self.call_depth > 2000 || self.frame_top + FRAME_WORDS * 4 > STACK_BYTES {
             self.call_depth -= 1;
             return Err(JvmError::StackOverflow);
@@ -202,15 +241,19 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
         stack.push(v);
     }
 
+    /// Pop the operand stack. `None` means stack underflow — unreachable
+    /// from compiled programs (the compiler keeps the stack balanced) but
+    /// reachable from corrupted bytecode, so the dispatch loop turns it
+    /// into [`JvmError::BadBytecode`].
     #[inline]
-    fn pop(&mut self, stack: &mut Vec<i32>, frame_base: u32) -> i32 {
-        let v = stack.pop().expect("compiler keeps the stack balanced");
+    fn pop(&mut self, stack: &mut Vec<i32>, frame_base: u32) -> Option<i32> {
+        let v = stack.pop()?;
         let addr = frame_base + 64 * 4 + (stack.len() as u32) * 4;
         self.m.mem_model(|m| {
             m.lw(addr);
             m.alu();
         });
-        v
+        Some(v)
     }
 
     #[allow(clippy::too_many_lines)]
@@ -239,11 +282,23 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 return Err($e);
             }};
         }
+        // Stack underflow on a pop can only come from corrupted bytecode.
+        macro_rules! pop {
+            () => {
+                match self.pop(&mut stack, frame_base) {
+                    Some(v) => v,
+                    None => bail!(JvmError::BadBytecode { func: idx, pc }),
+                }
+            };
+        }
         loop {
             if self.executed >= self.budget {
                 bail!(JvmError::Timeout {
                     executed: self.executed
                 });
+            }
+            if let Err(g) = self.m.guard_check() {
+                bail!(JvmError::Guard(g));
             }
             // ---- fetch/decode ----
             self.m.end_command();
@@ -300,6 +355,9 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 }
                 OpCode::Iload => {
                     let slot = u8_op() as usize;
+                    if slot >= locals.len() {
+                        bail!(JvmError::BadBytecode { func: idx, pc });
+                    }
                     self.m.mem_model(|m| {
                         m.lw(frame_base + (slot as u32) * 4);
                     });
@@ -308,7 +366,10 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 }
                 OpCode::Istore => {
                     let slot = u8_op() as usize;
-                    let v = self.pop(&mut stack, frame_base);
+                    if slot >= locals.len() {
+                        bail!(JvmError::BadBytecode { func: idx, pc });
+                    }
+                    let v = pop!();
                     self.m.mem_model(|m| {
                         m.sw(frame_base + (slot as u32) * 4, v as u32);
                     });
@@ -324,8 +385,8 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 | OpCode::Ixor
                 | OpCode::Ishl
                 | OpCode::Ishr => {
-                    let b = self.pop(&mut stack, frame_base);
-                    let a = self.pop(&mut stack, frame_base);
+                    let b = pop!();
+                    let a = pop!();
                     let v = match op {
                         OpCode::Iadd => {
                             self.m.alu();
@@ -377,7 +438,7 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     self.push(&mut stack, frame_base, v);
                 }
                 OpCode::Ineg => {
-                    let a = self.pop(&mut stack, frame_base);
+                    let a = pop!();
                     self.m.alu();
                     self.push(&mut stack, frame_base, a.wrapping_neg());
                 }
@@ -386,7 +447,7 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     next_pc = u16_op();
                 }
                 OpCode::Ifeq | OpCode::Ifne => {
-                    let v = self.pop(&mut stack, frame_base);
+                    let v = pop!();
                     let taken = (v == 0) == (op == OpCode::Ifeq);
                     self.m.branch_fwd(taken);
                     if taken {
@@ -399,8 +460,8 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 | OpCode::IfIcmple
                 | OpCode::IfIcmpeq
                 | OpCode::IfIcmpne => {
-                    let b = self.pop(&mut stack, frame_base);
-                    let a = self.pop(&mut stack, frame_base);
+                    let b = pop!();
+                    let a = pop!();
                     let taken = match op {
                         OpCode::IfIcmplt => a < b,
                         OpCode::IfIcmpge => a >= b,
@@ -416,30 +477,44 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 }
                 OpCode::New => {
                     let class = u8_op() as usize;
-                    let nfields = u32::from(self.prog.class_field_counts[class]);
+                    let Some(&count) = self.prog.class_field_counts.get(class) else {
+                        bail!(JvmError::BadBytecode { func: idx, pc });
+                    };
+                    let nfields = u32::from(count);
                     let heap_rtn = self.rt.heap;
                     let addr = self.m.routine(heap_rtn, |m| {
-                        let addr = m.malloc(4 + nfields * 4);
+                        let addr = m.try_malloc(4 + nfields * 4)?;
                         m.sw(addr, class as u32); // class header
                         // Zero the fields.
                         for i in 0..nfields {
                             m.sw(addr + 4 + i * 4, 0);
                         }
-                        addr
+                        Ok::<u32, GuardError>(addr)
                     });
+                    let addr = match addr {
+                        Ok(a) => a,
+                        Err(g) => bail!(JvmError::Guard(g)),
+                    };
                     self.push(&mut stack, frame_base, addr as i32);
                 }
                 OpCode::Newarray => {
-                    let len = self.pop(&mut stack, frame_base);
+                    let len = pop!();
                     if len < 0 {
                         bail!(JvmError::Bounds {
                             index: len,
                             length: 0
                         });
                     }
+                    // Corrupted bytecode can request absurd lengths; the
+                    // checked size and the fallible allocation turn both
+                    // into structured errors.
+                    let Some(bytes) = (len as u32).checked_mul(4).and_then(|b| b.checked_add(4))
+                    else {
+                        bail!(JvmError::Bounds { index: len, length: 0 });
+                    };
                     let heap_rtn = self.rt.heap;
                     let addr = self.m.routine(heap_rtn, |m| {
-                        let addr = m.malloc(4 + (len as u32) * 4);
+                        let addr = m.try_malloc(bytes)?;
                         m.sw(addr, len as u32);
                         // Java arrays are zero-initialized.
                         let head = m.here();
@@ -447,8 +522,12 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                             m.sw(addr + 4 + i * 4, 0);
                             m.loop_back(head, i + 1 < len as u32);
                         }
-                        addr
+                        Ok::<u32, GuardError>(addr)
                     });
+                    let addr = match addr {
+                        Ok(a) => a,
+                        Err(g) => bail!(JvmError::Guard(g)),
+                    };
                     self.push(&mut stack, frame_base, addr as i32);
                 }
                 OpCode::Getfield => {
@@ -456,7 +535,7 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     // memory-model access (null check + offset + load,
                     // plus the surrounding stack refs).
                     let off = u32::from(u8_op());
-                    let obj = self.pop(&mut stack, frame_base);
+                    let obj = pop!();
                     let v = self.m.mem_model(|m| {
                         m.alu_n(3); // deref setup + offset scale
                         m.branch_fwd(obj == 0); // null check
@@ -473,8 +552,8 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 }
                 OpCode::Putfield => {
                     let off = u32::from(u8_op());
-                    let v = self.pop(&mut stack, frame_base);
-                    let obj = self.pop(&mut stack, frame_base);
+                    let v = pop!();
+                    let obj = pop!();
                     let ok = self.m.mem_model(|m| {
                         m.alu_n(3);
                         m.branch_fwd(obj == 0);
@@ -491,13 +570,13 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 }
                 OpCode::Iaload | OpCode::Iastore => {
                     let (v, iidx, aref) = if op == OpCode::Iastore {
-                        let v = self.pop(&mut stack, frame_base);
-                        let i = self.pop(&mut stack, frame_base);
-                        let r = self.pop(&mut stack, frame_base);
+                        let v = pop!();
+                        let i = pop!();
+                        let r = pop!();
                         (Some(v), i, r)
                     } else {
-                        let i = self.pop(&mut stack, frame_base);
-                        let r = self.pop(&mut stack, frame_base);
+                        let i = pop!();
+                        let r = pop!();
                         (None, i, r)
                     };
                     self.m.branch_fwd(aref == 0);
@@ -523,7 +602,7 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     }
                 }
                 OpCode::Arraylength => {
-                    let aref = self.pop(&mut stack, frame_base);
+                    let aref = pop!();
                     self.m.branch_fwd(aref == 0);
                     if aref == 0 {
                         bail!(JvmError::NullPointer);
@@ -533,12 +612,14 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 }
                 OpCode::Invokestatic => {
                     let target = u16_op();
-                    let callee = &self.prog.functions[target];
+                    let Some(callee) = self.prog.functions.get(target) else {
+                        bail!(JvmError::BadBytecode { func: idx, pc });
+                    };
                     let argc = callee.n_params as usize;
                     let returns = callee.returns_value;
                     let mut args = vec![0i32; argc];
                     for slot in (0..argc).rev() {
-                        args[slot] = self.pop(&mut stack, frame_base);
+                        args[slot] = pop!();
                     }
                     // Method-table load + frame setup.
                     let support = self.rt.support;
@@ -568,7 +649,7 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     let argc = native.argc();
                     let mut args = vec![0i32; argc];
                     for slot in (0..argc).rev() {
-                        args[slot] = self.pop(&mut stack, frame_base);
+                        args[slot] = pop!();
                     }
                     let result = match self.native(native, &args) {
                         Ok(r) => r,
@@ -579,7 +660,7 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     }
                 }
                 OpCode::Ireturn => {
-                    let v = self.pop(&mut stack, frame_base);
+                    let v = pop!();
                     self.m.leave();
                     return Ok(Some(v));
                 }
@@ -588,22 +669,29 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     return Ok(None);
                 }
                 OpCode::Pop => {
-                    self.pop(&mut stack, frame_base);
+                    pop!();
                 }
                 OpCode::Dup => {
-                    let v = *stack.last().expect("dup on empty stack");
+                    let Some(&v) = stack.last() else {
+                        bail!(JvmError::BadBytecode { func: idx, pc });
+                    };
                     self.push(&mut stack, frame_base, v);
                 }
                 OpCode::Getstatic => {
                     let slot = u8_op() as usize;
+                    let Some(&actual) = self.globals.get(slot) else {
+                        bail!(JvmError::BadBytecode { func: idx, pc });
+                    };
                     let v = self.m.lw(self.globals_addr + (slot as u32) * 4) as i32;
                     let _ = v;
-                    let actual = self.globals[slot];
                     self.push(&mut stack, frame_base, actual);
                 }
                 OpCode::Putstatic => {
                     let slot = u8_op() as usize;
-                    let v = self.pop(&mut stack, frame_base);
+                    if slot >= self.globals.len() {
+                        bail!(JvmError::BadBytecode { func: idx, pc });
+                    }
+                    let v = pop!();
                     self.m.sw(self.globals_addr + (slot as u32) * 4, v as u32);
                     self.globals[slot] = v;
                 }
@@ -621,6 +709,21 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
     }
 
     fn native_body(&mut self, native: Native, args: &[i32]) -> Result<i32, JvmError> {
+        // String-pool indices come from operand bytes; corrupted bytecode
+        // can point anywhere, so every lookup is checked.
+        macro_rules! pool_str {
+            ($i:expr) => {
+                match self.pool.get($i as usize) {
+                    Some(&s) => s,
+                    None => {
+                        return Err(JvmError::Guard(GuardError::BadProgram {
+                            lang: "javelin",
+                            detail: format!("string pool index {} out of range", $i),
+                        }))
+                    }
+                }
+            };
+        }
         let m = &mut *self.m;
         {
             Ok(match native {
@@ -633,7 +736,7 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     0
                 }
                 Native::PrintStr => {
-                    let s = self.pool[args[0] as usize];
+                    let s = pool_str!(args[0]);
                     let bytes = m.peek_str(s);
                     // Charge the string walk.
                     let len = m.lw(s.0);
@@ -664,7 +767,7 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     0
                 }
                 Native::DrawText => {
-                    let s = self.pool[args[0] as usize];
+                    let s = pool_str!(args[0]);
                     let bytes = m.peek_str(s);
                     m.gfx_draw_text(args[1], args[2], &bytes, args[3] as u8);
                     0
@@ -693,7 +796,7 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 }
                 Native::LoadFile => {
                     let name = {
-                        let s = self.pool[args[0] as usize];
+                        let s = pool_str!(args[0]);
                         m.peek_string(s)
                     };
                     let contents = m.fs_file(&name).map(|c| c.to_vec()).unwrap_or_default();
@@ -717,6 +820,14 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 Native::WriteBytes => {
                     let aref = args[0] as u32;
                     let n = args[1].max(0) as u32;
+                    // A corrupted length operand could ask for gigabytes;
+                    // anything past the 16 MiB console bound is garbage.
+                    if n > 1 << 24 {
+                        return Err(JvmError::Guard(GuardError::Runtime {
+                            lang: "javelin",
+                            detail: format!("writeBytes length {n} exceeds console bound"),
+                        }));
+                    }
                     let mut bytes = Vec::with_capacity(n as usize);
                     for i in 0..n {
                         let v = m.lw(aref + 4 + i * 4);

@@ -66,6 +66,8 @@ pub enum MipsiError {
         /// `$v0` contents.
         code: u32,
     },
+    /// A resource guard tripped (limits, heap cap, injected fault).
+    Guard(interp_guard::GuardError),
 }
 
 impl std::fmt::Display for MipsiError {
@@ -78,11 +80,38 @@ impl std::fmt::Display for MipsiError {
                 write!(f, "undecodable guest instruction {word:#010x} at {pc:#010x}")
             }
             MipsiError::BadSyscall { code } => write!(f, "unknown guest syscall {code}"),
+            MipsiError::Guard(e) => write!(f, "guard: {e}"),
         }
     }
 }
 
 impl std::error::Error for MipsiError {}
+
+impl From<interp_guard::GuardError> for MipsiError {
+    fn from(e: interp_guard::GuardError) -> Self {
+        MipsiError::Guard(e)
+    }
+}
+
+impl From<MipsiError> for interp_guard::GuardError {
+    fn from(e: MipsiError) -> Self {
+        use interp_guard::GuardError;
+        match e {
+            MipsiError::Guard(g) => g,
+            MipsiError::Timeout { executed } => {
+                GuardError::CommandBudget { executed, cap: executed }
+            }
+            MipsiError::BadInstruction { pc, word } => GuardError::BadProgram {
+                lang: "mipsi",
+                detail: format!("undecodable guest instruction {word:#010x} at {pc:#010x}"),
+            },
+            MipsiError::BadSyscall { code } => GuardError::Runtime {
+                lang: "mipsi",
+                detail: format!("unknown guest syscall {code}"),
+            },
+        }
+    }
+}
 
 struct Routines {
     main_loop: RoutineId,
@@ -284,6 +313,9 @@ impl<'a, S: TraceSink> Mipsi<'a, S> {
                 break Err(MipsiError::Timeout {
                     executed: self.executed,
                 });
+            }
+            if let Err(g) = self.machine.guard_check() {
+                break Err(MipsiError::Guard(g));
             }
             match self.step(head) {
                 Ok(Some(code)) => break Ok(code),
@@ -792,7 +824,9 @@ impl<'a, S: TraceSink> Mipsi<'a, S> {
             }
         };
         self.machine.leave();
-        Ok(result.expect("handled"))
+        // Every syscall arm produces Some; treat a gap as a plain no-op
+        // rather than a panic path.
+        Ok(result.unwrap_or(None))
     }
 }
 

@@ -59,6 +59,37 @@ pub enum ExecError {
         /// The `$v0` value.
         code: u32,
     },
+    /// A host resource guard tripped (budget, heap cap, sticky fault).
+    Guard(interp_guard::GuardError),
+}
+
+impl From<interp_guard::GuardError> for ExecError {
+    fn from(g: interp_guard::GuardError) -> Self {
+        ExecError::Guard(g)
+    }
+}
+
+impl From<ExecError> for interp_guard::GuardError {
+    fn from(e: ExecError) -> Self {
+        use interp_guard::GuardError;
+        match e {
+            ExecError::Guard(g) => g,
+            ExecError::Timeout { executed } => GuardError::CommandBudget {
+                executed,
+                cap: executed,
+            },
+            ExecError::BadInstruction { .. } | ExecError::PcOutOfRange { .. } => {
+                GuardError::BadProgram {
+                    lang: "c",
+                    detail: e.to_string(),
+                }
+            }
+            ExecError::BadSyscall { .. } => GuardError::Runtime {
+                lang: "c",
+                detail: e.to_string(),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -72,6 +103,7 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::PcOutOfRange { pc } => write!(f, "pc {pc:#010x} outside text"),
             ExecError::BadSyscall { code } => write!(f, "unknown syscall {code}"),
+            ExecError::Guard(g) => write!(f, "guard: {g}"),
         }
     }
 }
@@ -159,6 +191,9 @@ impl<'a, S: TraceSink> DirectExecutor<'a, S> {
                 return Err(ExecError::Timeout {
                     executed: self.executed,
                 });
+            }
+            if let Err(g) = self.machine.guard_check() {
+                return Err(ExecError::Guard(g));
             }
             if let Some(code) = self.step()? {
                 return Ok(code);

@@ -1,5 +1,7 @@
 //! Perlite errors.
 
+use interp_guard::GuardError;
+
 /// A compile-time or run-time Perlite error (syntax error, `die`, missing
 /// file…).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -8,6 +10,9 @@ pub struct PerlError {
     pub line: Option<u32>,
     /// Message.
     pub message: String,
+    /// The typed guard fault behind this error, when it came from the
+    /// host's resource guard (budget trip, heap cap, call-depth cap…).
+    pub guard: Option<GuardError>,
 }
 
 impl PerlError {
@@ -16,6 +21,7 @@ impl PerlError {
         PerlError {
             line: Some(line),
             message: message.into(),
+            guard: None,
         }
     }
 
@@ -24,6 +30,35 @@ impl PerlError {
         PerlError {
             line: None,
             message: message.into(),
+            guard: None,
+        }
+    }
+}
+
+impl From<GuardError> for PerlError {
+    fn from(g: GuardError) -> Self {
+        PerlError {
+            line: None,
+            message: format!("guard: {g}"),
+            guard: Some(g),
+        }
+    }
+}
+
+impl From<PerlError> for GuardError {
+    fn from(e: PerlError) -> Self {
+        match e.guard {
+            Some(g) => g,
+            None => match e.line {
+                Some(_) => GuardError::BadProgram {
+                    lang: "perl",
+                    detail: e.to_string(),
+                },
+                None => GuardError::Runtime {
+                    lang: "perl",
+                    detail: e.message,
+                },
+            },
         }
     }
 }
@@ -47,5 +82,25 @@ mod tests {
     fn display() {
         assert_eq!(PerlError::at(2, "oops").to_string(), "line 2: oops");
         assert_eq!(PerlError::runtime("died").to_string(), "died");
+    }
+
+    #[test]
+    fn guard_round_trip_preserves_fault() {
+        let g = GuardError::CallDepth { depth: 5000, cap: 4096 };
+        let e = PerlError::from(g.clone());
+        assert!(e.message.starts_with("guard: "));
+        assert_eq!(GuardError::from(e), g);
+    }
+
+    #[test]
+    fn plain_errors_map_by_attribution() {
+        assert!(matches!(
+            GuardError::from(PerlError::at(3, "syntax error")),
+            GuardError::BadProgram { lang: "perl", .. }
+        ));
+        assert!(matches!(
+            GuardError::from(PerlError::runtime("died")),
+            GuardError::Runtime { lang: "perl", .. }
+        ));
     }
 }

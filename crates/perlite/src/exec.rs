@@ -158,9 +158,19 @@ impl<'a, S: TraceSink> Perlite<'a, S> {
 
     /// Dispatch one op node: the virtual-command boundary.
     fn exec(&mut self, id: OpId) -> Result<PFlow, PerlError> {
+        if let Err(g) = self.m.guard_check() {
+            return Err(PerlError::from(g));
+        }
         self.depth += 1;
-        if self.depth > 4000 {
+        let cap = self.m.limits().max_call_depth.min(4000);
+        if self.depth > cap {
             self.depth -= 1;
+            if cap < 4000 {
+                return Err(PerlError::from(interp_guard::GuardError::CallDepth {
+                    depth: self.depth + 1,
+                    cap,
+                }));
+            }
             return Err(PerlError::runtime("deep recursion"));
         }
         // --- fetch/decode: runops node fetch + dispatch ---
@@ -388,8 +398,12 @@ impl<'a, S: TraceSink> Perlite<'a, S> {
                 self.locals.push(Vec::new());
                 self.m.leave();
                 let flow = self.exec_block(&def.body);
-                // Restore dynamically-scoped locals.
-                let frame = self.locals.pop().expect("local frame");
+                // Restore dynamically-scoped locals. The frame pushed above
+                // must still be there; a missing one means the interpreter
+                // state was corrupted, which we report instead of panicking.
+                let Some(frame) = self.locals.pop() else {
+                    return Err(PerlError::runtime("local-variable frame stack underflow"));
+                };
                 for (slot, old) in frame.into_iter().rev() {
                     self.scalar_write(slot, old);
                 }

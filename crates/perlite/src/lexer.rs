@@ -150,7 +150,8 @@ impl Lexer {
                 while self.pos < self.src.len() && self.src[self.pos].is_ascii_hexdigit() {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.src[start + 2..self.pos]).unwrap();
+                let text = std::str::from_utf8(&self.src[start + 2..self.pos])
+                    .map_err(|_| PerlError::at(self.line, "bad hex literal"))?;
                 let v = i64::from_str_radix(text, 16)
                     .map_err(|_| PerlError::at(self.line, "bad hex literal"))?;
                 return Ok(Tok::Num(v));
@@ -158,7 +159,8 @@ impl Lexer {
             while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
                 self.pos += 1;
             }
-            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .map_err(|_| PerlError::at(self.line, "bad number"))?;
             let v = text
                 .parse::<i64>()
                 .map_err(|_| PerlError::at(self.line, "bad number"))?;

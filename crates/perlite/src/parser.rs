@@ -29,7 +29,17 @@ pub(crate) struct Parser<'m, S: TraceSink> {
     src_sim: interp_host::SimStr,
     charged_upto: usize,
     loop_depth: u32,
+    /// Recursive-descent nesting depth, capped so hostile input (e.g. ten
+    /// thousand open parens) yields a syntax error instead of exhausting
+    /// the Rust call stack.
+    nest: u32,
 }
+
+/// Deepest statement/expression nesting the parser will follow. Each
+/// level costs a full precedence-ladder of Rust frames (tens of KB in
+/// debug builds), so the cap must hold total parse recursion far below
+/// a 2 MB thread stack.
+const MAX_PARSE_NEST: u32 = 40;
 
 /// Compile `src` into a [`Program`] (charged startup work).
 pub(crate) fn parse_program<S: TraceSink>(
@@ -48,6 +58,7 @@ pub(crate) fn parse_program<S: TraceSink>(
         src_sim,
         charged_upto: 0,
         loop_depth: 0,
+        nest: 0,
     };
     while p.peek()? != &Tok::Eof {
         let stmt = p.statement()?;
@@ -177,6 +188,17 @@ impl<'m, S: TraceSink> Parser<'m, S> {
     // ------------------------------------------------------------------
 
     fn statement(&mut self) -> Result<OpId, PerlError> {
+        self.nest += 1;
+        if self.nest > MAX_PARSE_NEST {
+            self.nest -= 1;
+            return Err(self.err("statement nesting too deep"));
+        }
+        let out = self.statement_nested();
+        self.nest -= 1;
+        out
+    }
+
+    fn statement_nested(&mut self) -> Result<OpId, PerlError> {
         match self.peek()?.clone() {
             Tok::Ident(word) => match word.as_str() {
                 "if" | "unless" => return self.if_statement(),
@@ -452,6 +474,17 @@ impl<'m, S: TraceSink> Parser<'m, S> {
     // ------------------------------------------------------------------
 
     fn expr(&mut self) -> Result<OpId, PerlError> {
+        self.nest += 1;
+        if self.nest > MAX_PARSE_NEST {
+            self.nest -= 1;
+            return Err(self.err("expression nesting too deep"));
+        }
+        let out = self.expr_nested();
+        self.nest -= 1;
+        out
+    }
+
+    fn expr_nested(&mut self) -> Result<OpId, PerlError> {
         self.assignment()
     }
 
@@ -654,7 +687,9 @@ impl<'m, S: TraceSink> Parser<'m, S> {
                         let s = self.m.str_alloc(&std::mem::take(&mut lit));
                         parts.push(Part::Lit(s));
                     }
-                    let name = std::str::from_utf8(&bytes[i + 1..j]).unwrap().to_string();
+                    // The range is ASCII alphanumerics/underscores by
+                    // construction, so the lossy path never triggers.
+                    let name = String::from_utf8_lossy(&bytes[i + 1..j]).into_owned();
                     let slot = self.scalar_slot(&name);
                     let op = self.emit(Op::GetScalar(slot));
                     parts.push(Part::Expr(op));
@@ -883,6 +918,7 @@ impl<'m, S: TraceSink> Parser<'m, S> {
             src_sim: self.src_sim,
             charged_upto: 0,
             loop_depth: 0,
+            nest: 0,
         };
         let result = sub.expr();
         self.prog = std::mem::take(&mut sub.prog);

@@ -1,5 +1,7 @@
 //! Tclite errors.
 
+use interp_guard::GuardError;
+
 /// A script-level error (unknown command, bad arity, malformed
 /// expression…). Carries the message a real Tcl interpreter would put in
 /// `errorInfo`.
@@ -7,6 +9,9 @@
 pub struct TclError {
     /// Human-readable message.
     pub message: String,
+    /// The typed guard fault behind this error, when it came from the
+    /// host's resource guard (budget trip, heap cap, call-depth cap…).
+    pub guard: Option<GuardError>,
 }
 
 impl TclError {
@@ -14,6 +19,28 @@ impl TclError {
     pub fn new(message: impl Into<String>) -> Self {
         TclError {
             message: message.into(),
+            guard: None,
+        }
+    }
+}
+
+impl From<GuardError> for TclError {
+    fn from(g: GuardError) -> Self {
+        TclError {
+            message: format!("guard: {g}"),
+            guard: Some(g),
+        }
+    }
+}
+
+impl From<TclError> for GuardError {
+    fn from(e: TclError) -> Self {
+        match e.guard {
+            Some(g) => g,
+            None => GuardError::Runtime {
+                lang: "tcl",
+                detail: e.message,
+            },
         }
     }
 }
@@ -47,5 +74,21 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(TclError::new("bad").to_string(), "bad");
+    }
+
+    #[test]
+    fn guard_round_trip_preserves_fault() {
+        let g = GuardError::CommandBudget { executed: 10, cap: 10 };
+        let e = TclError::from(g.clone());
+        assert!(e.message.starts_with("guard: "));
+        assert_eq!(GuardError::from(e), g);
+    }
+
+    #[test]
+    fn plain_error_maps_to_runtime() {
+        assert!(matches!(
+            GuardError::from(TclError::new("unknown command")),
+            GuardError::Runtime { lang: "tcl", .. }
+        ));
     }
 }

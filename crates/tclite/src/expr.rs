@@ -16,7 +16,13 @@ struct ExprParser {
     bytes: Vec<u8>,
     pos: u32,
     src: SimStr,
+    /// Recursion depth of the descent, capped so hostile input (a long
+    /// run of `(` or `-`) errors out instead of exhausting the Rust stack.
+    nest: u32,
 }
+
+/// Deepest operator/paren nesting `expr` will follow.
+const MAX_EXPR_NEST: u32 = 100;
 
 impl<'a, S: TraceSink> Tclite<'a, S> {
     /// Evaluate an expression string to an integer (charged).
@@ -26,6 +32,7 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
             bytes,
             pos: 0,
             src,
+            nest: 0,
         };
         let expr_routine = self.rt.expr;
         self.m.enter(expr_routine);
@@ -272,6 +279,20 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
     }
 
     fn expr_unary(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
+        // Every recursive path through the descent (parenthesized
+        // subexpressions and unary chains alike) passes through here, so
+        // this is the one place the nesting cap must be enforced.
+        p.nest += 1;
+        if p.nest > MAX_EXPR_NEST {
+            p.nest -= 1;
+            return Err(TclError::new("expression nesting too deep"));
+        }
+        let out = self.expr_unary_nested(p);
+        p.nest -= 1;
+        out
+    }
+
+    fn expr_unary_nested(&mut self, p: &mut ExprParser) -> Result<i64, TclError> {
         self.skip_ws(p);
         let (a, _) = self.peek2(p);
         match a {
@@ -280,7 +301,7 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
                 p.pos += 1;
                 let v = self.expr_unary(p)?;
                 self.m.alu();
-                Ok(-v)
+                Ok(v.wrapping_neg())
             }
             b'!' => {
                 self.charge_scan(p.src, p.pos);
@@ -365,8 +386,11 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
                     self.charge_scan(p.src, p.pos);
                     p.pos += 1;
                 }
-                let text = std::str::from_utf8(&p.bytes[start as usize..p.pos as usize])
-                    .expect("digits");
+                let Ok(text) =
+                    std::str::from_utf8(&p.bytes[start as usize..p.pos as usize])
+                else {
+                    return Err(TclError::new("malformed integer literal"));
+                };
                 self.m.alu_n(2); // accumulate
                 text.parse::<i64>()
                     .map_err(|_| TclError::new("integer literal out of range"))

@@ -160,8 +160,15 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
     /// Evaluate `script`: parse and dispatch commands one at a time.
     pub fn eval(&mut self, script: SimStr) -> Result<Flow, TclError> {
         self.depth += 1;
-        if self.depth > 200 {
+        let cap = self.m.limits().max_call_depth.min(200);
+        if self.depth > cap {
             self.depth -= 1;
+            if cap < 200 {
+                return Err(TclError::from(interp_guard::GuardError::CallDepth {
+                    depth: self.depth + 1,
+                    cap,
+                }));
+            }
             return Err(TclError::new("recursion limit exceeded"));
         }
         let out = self.eval_inner(script);
@@ -520,6 +527,11 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
     /// Dispatch one parsed command: charged command-table lookup, virtual
     /// command attribution, then the builtin/proc body.
     fn dispatch(&mut self, words: &[(SimStr, String)]) -> Result<Flow, TclError> {
+        // Poll the host guard once per command: resource-limit trips and
+        // sticky heap faults surface here as typed errors.
+        if let Err(g) = self.m.guard_check() {
+            return Err(TclError::from(g));
+        }
         let name = words[0].1.clone();
         // Charged command lookup plus the per-command frame Tcl 7 builds
         // before any command runs: the argv/argc array, the interp result

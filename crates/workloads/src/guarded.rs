@@ -1,0 +1,320 @@
+//! The guarded runner: the same workloads as [`crate::runner`], but with
+//! explicit resource [`Limits`], deterministic fault injection, and a
+//! panic barrier — every ending, good or bad, comes back as a structured
+//! [`RunOutcome`] instead of a crash.
+//!
+//! This is the entry point the fault-injection harness (`repro guard`)
+//! sweeps: corrupt a guest according to a seeded [`FaultPlan`], run it
+//! under a bounded machine, and report exactly how it ended.
+
+use interp_core::{Language, NullSink};
+use interp_guard::{FaultPlan, GuardError, Limits, RunOutcome};
+use interp_host::Machine;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::runner::{
+    joule_workload, minic_workload, perl_workload, tcl_workload, Scale,
+};
+
+/// Everything a guarded run reports.
+#[derive(Debug, Clone)]
+pub struct GuardedRun {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Native (host) instructions retired before the run ended; zero if
+    /// the run died in a panic before the machine could be inspected.
+    pub instructions: u64,
+    /// Virtual commands dispatched before the run ended.
+    pub commands: u64,
+}
+
+/// Valid macro-workload names per language (the guarded runner refuses
+/// unknown names with a typed error instead of panicking).
+pub fn workload_names(language: Language) -> &'static [&'static str] {
+    match language {
+        Language::C => &["des", "compress", "eqntott", "espresso", "li", "cc_lite"],
+        Language::Mipsi => &["des", "compress", "eqntott", "espresso", "li"],
+        Language::Javelin => &["des", "asteroids", "hanoi", "javac", "mand"],
+        Language::Perlite => &["des", "a2ps", "plexus", "txt2html", "weblint"],
+        Language::Tclite => &[
+            "des", "tcllex", "tcltags", "hanoi", "demos", "ical", "tkdiff", "xf",
+        ],
+    }
+}
+
+/// Instruction/bytecode budget handed to the interpreters that take one.
+/// Deliberately far above `Limits::guarded()`'s host-step budget so the
+/// unified guard — not each interpreter's legacy budget — is what trips.
+const LEGACY_BUDGET: u64 = u64::MAX / 2;
+
+/// Run one macro workload under `limits` with `plan`'s corruption
+/// applied, converting every possible ending into a [`RunOutcome`].
+///
+/// Never panics: interpreter panics are caught at the boundary and
+/// reported as [`RunOutcome::Panicked`] (a robustness bug to fix, but a
+/// reportable one).
+pub fn run_guarded(
+    language: Language,
+    name: &str,
+    scale: Scale,
+    limits: Limits,
+    plan: &FaultPlan,
+) -> GuardedRun {
+    if !workload_names(language).contains(&name) {
+        return GuardedRun {
+            outcome: RunOutcome::Faulted(GuardError::BadProgram {
+                lang: lang_tag(language),
+                detail: format!("unknown workload `{name}`"),
+            }),
+            instructions: 0,
+            commands: 0,
+        };
+    }
+    let plan = *plan;
+    let result = catch_unwind(AssertUnwindSafe(move || {
+        run_inner(language, name, scale, limits, &plan)
+    }));
+    match result {
+        Ok(run) => run,
+        Err(payload) => GuardedRun {
+            outcome: RunOutcome::Panicked(panic_message(payload.as_ref())),
+            instructions: 0,
+            commands: 0,
+        },
+    }
+}
+
+fn lang_tag(language: Language) -> &'static str {
+    match language {
+        Language::C => "c",
+        Language::Mipsi => "mipsi",
+        Language::Javelin => "javelin",
+        Language::Perlite => "perl",
+        Language::Tclite => "tcl",
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Build the machine for a guarded run: limits, guest files, events, and
+/// any planned allocation failure.
+fn guarded_machine(
+    limits: Limits,
+    plan: &FaultPlan,
+    files: Vec<(String, Vec<u8>)>,
+    events: Vec<interp_host::UiEvent>,
+) -> Machine<NullSink> {
+    let mut m = Machine::with_limits(NullSink, limits);
+    if let Some(nth) = plan.alloc_fail_at() {
+        m.inject_alloc_failure(nth);
+    }
+    for (fname, contents) in files {
+        m.fs_add_file(&fname, contents);
+    }
+    for e in events {
+        m.post_event(e);
+    }
+    m
+}
+
+fn report<E: Into<GuardError>>(
+    m: &Machine<NullSink>,
+    res: Result<i32, E>,
+) -> GuardedRun {
+    let stats = m.stats();
+    GuardedRun {
+        outcome: match res {
+            Ok(exit) => RunOutcome::Completed { exit },
+            Err(e) => RunOutcome::Faulted(e.into()),
+        },
+        instructions: stats.instructions,
+        commands: stats.commands,
+    }
+}
+
+fn run_inner(
+    language: Language,
+    name: &str,
+    scale: Scale,
+    limits: Limits,
+    plan: &FaultPlan,
+) -> GuardedRun {
+    match language {
+        Language::C => {
+            let (src, files) = minic_workload(name, scale);
+            let mut image = match interp_minic::compile(&src) {
+                Ok(image) => image,
+                Err(e) => return compile_fault("c", e.to_string()),
+            };
+            plan.corrupt_words(&mut image.text);
+            let mut m = guarded_machine(limits, plan, files, vec![]);
+            let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
+            let res = exec.run(LEGACY_BUDGET);
+            drop(exec);
+            report(&m, res)
+        }
+        Language::Mipsi => {
+            let (src, files) = minic_workload(name, scale);
+            let mut image = match interp_minic::compile(&src) {
+                Ok(image) => image,
+                Err(e) => return compile_fault("mipsi", e.to_string()),
+            };
+            plan.corrupt_words(&mut image.text);
+            let mut m = guarded_machine(limits, plan, files, vec![]);
+            let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
+            let res = emu.run(LEGACY_BUDGET);
+            drop(emu);
+            report(&m, res)
+        }
+        Language::Javelin => {
+            let (src, files, events) = joule_workload(name, scale);
+            let mut prog = match interp_javelin::compile(&src) {
+                Ok(prog) => prog,
+                Err(e) => return compile_fault("javelin", e.to_string()),
+            };
+            for f in &mut prog.functions {
+                plan.corrupt_bytes(&mut f.code);
+            }
+            let mut m = guarded_machine(limits, plan, files, events);
+            let mut vm = interp_javelin::Jvm::new(&mut m, prog);
+            let res = vm.run(LEGACY_BUDGET);
+            drop(vm);
+            report(&m, res)
+        }
+        Language::Perlite => {
+            let (mut src, files) = perl_workload(name, scale);
+            plan.corrupt_text(&mut src);
+            let mut m = guarded_machine(limits, plan, files, vec![]);
+            let res = match interp_perlite::Perlite::new(&mut m, &src) {
+                Ok(mut p) => {
+                    let r = p.run().map(|()| 0);
+                    drop(p);
+                    r
+                }
+                Err(e) => Err(e),
+            };
+            report(&m, res)
+        }
+        Language::Tclite => {
+            let (mut src, files, events) = tcl_workload(name, scale);
+            plan.corrupt_text(&mut src);
+            let mut m = guarded_machine(limits, plan, files, events);
+            let res = {
+                let mut tcl = interp_tclite::Tclite::new(&mut m);
+                tcl.run(&src).map(|_| 0)
+            };
+            report(&m, res)
+        }
+    }
+}
+
+fn compile_fault(lang: &'static str, detail: String) -> GuardedRun {
+    GuardedRun {
+        outcome: RunOutcome::Faulted(GuardError::BadProgram { lang, detail }),
+        instructions: 0,
+        commands: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_guard::FaultKind;
+
+    #[test]
+    fn clean_runs_complete_for_every_interpreter() {
+        for lang in Language::ALL {
+            let run = run_guarded(
+                lang,
+                "des",
+                Scale::Test,
+                Limits::guarded(),
+                &FaultPlan::none(),
+            );
+            assert!(
+                matches!(run.outcome, RunOutcome::Completed { .. }),
+                "{lang} des under no-fault plan: {}",
+                run.outcome
+            );
+            assert!(run.instructions > 1000, "{lang}: {} insns", run.instructions);
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_a_typed_fault() {
+        let run = run_guarded(
+            Language::Tclite,
+            "no-such-workload",
+            Scale::Test,
+            Limits::guarded(),
+            &FaultPlan::none(),
+        );
+        assert!(
+            matches!(run.outcome, RunOutcome::Faulted(GuardError::BadProgram { .. })),
+            "{}",
+            run.outcome
+        );
+    }
+
+    #[test]
+    fn command_budget_is_honored_within_one() {
+        for lang in Language::ALL {
+            let cap = 50u64;
+            let run = run_guarded(
+                lang,
+                "des",
+                Scale::Test,
+                Limits::guarded().with_max_commands(cap),
+                &FaultPlan::none(),
+            );
+            match run.outcome {
+                RunOutcome::Faulted(GuardError::CommandBudget { executed, .. }) => {
+                    assert!(
+                        executed >= cap && executed <= cap + 1,
+                        "{lang}: tripped at {executed}, cap {cap}"
+                    );
+                    assert!(
+                        run.commands <= cap + 1,
+                        "{lang}: dispatched {} commands past cap {cap}",
+                        run.commands
+                    );
+                }
+                ref other => panic!("{lang}: expected CommandBudget, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_alloc_failure_faults_not_panics() {
+        let plan = FaultPlan { seed: 1, kind: FaultKind::AllocFail { nth: 5 } };
+        for lang in Language::ALL {
+            let run = run_guarded(lang, "des", Scale::Test, Limits::guarded(), &plan);
+            assert!(
+                run.outcome.is_structured(),
+                "{lang} alloc-fail: {}",
+                run.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tcl_source_faults_or_completes() {
+        let plan = FaultPlan { seed: 9, kind: FaultKind::Truncate };
+        let run = run_guarded(
+            Language::Tclite,
+            "des",
+            Scale::Test,
+            Limits::guarded(),
+            &plan,
+        );
+        assert!(run.outcome.is_structured(), "{}", run.outcome);
+    }
+}

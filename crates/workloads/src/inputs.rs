@@ -6,8 +6,7 @@
 //! repetition (so LZW finds structure), tag-soup HTML, HTTP/1.0 requests,
 //! and C-like token streams.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use interp_guard::Rng64;
 
 /// Fixed seed: every run of every experiment sees identical inputs.
 pub const SEED: u64 = 0x1996_0a5f;
@@ -21,11 +20,11 @@ const WORDS: &[&str] = &[
 /// Word-shaped prose with natural repetition (`n_words` words, ~6 bytes
 /// each).
 pub fn text_corpus(n_words: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rng = Rng64::new(SEED);
     let mut out = Vec::with_capacity(n_words * 7);
     let mut col = 0usize;
     for i in 0..n_words {
-        let w = WORDS[rng.gen_range(0..WORDS.len())];
+        let w = WORDS[rng.index(0, WORDS.len())];
         out.extend_from_slice(w.as_bytes());
         col += w.len() + 1;
         if i % 11 == 10 {
@@ -45,7 +44,7 @@ pub fn text_corpus(n_words: usize) -> Vec<u8> {
 /// Prose with light markup (URLs, `*bold*`, `heading:` lines, blank-line
 /// paragraph breaks) for the txt2html workload.
 pub fn markup_text(n_words: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(SEED ^ 0x66);
+    let mut rng = Rng64::new(SEED ^ 0x66);
     let mut out = Vec::new();
     let mut col = 0usize;
     for i in 0..n_words {
@@ -57,7 +56,7 @@ pub fn markup_text(n_words: usize) -> Vec<u8> {
             out.extend_from_slice(b"\nnext section:\n");
             col = 0;
         }
-        let w = WORDS[rng.gen_range(0..WORDS.len())];
+        let w = WORDS[rng.index(0, WORDS.len())];
         match i % 17 {
             4 => {
                 out.push(b'*');
@@ -82,20 +81,20 @@ pub fn markup_text(n_words: usize) -> Vec<u8> {
 /// Tag-soup HTML with headers, links, and a deterministic sprinkle of
 /// mistakes (unclosed tags) for the weblint workload.
 pub fn html_page(n_paragraphs: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(SEED ^ 0x11);
+    let mut rng = Rng64::new(SEED ^ 0x11);
     let mut out = Vec::new();
     out.extend_from_slice(b"<html>\n<head><title>synthetic page</title></head>\n<body>\n");
     for p in 0..n_paragraphs {
         out.extend_from_slice(format!("<h2>section {p}</h2>\n").as_bytes());
         out.extend_from_slice(b"<p>");
-        for _ in 0..rng.gen_range(8..20) {
-            let w = WORDS[rng.gen_range(0..WORDS.len())];
+        for _ in 0..rng.range(8, 20) {
+            let w = WORDS[rng.index(0, WORDS.len())];
             out.extend_from_slice(w.as_bytes());
             out.push(b' ');
         }
-        if rng.gen_range(0..4) == 0 {
+        if rng.range(0, 4) == 0 {
             out.extend_from_slice(b"<b>bold");
-            if rng.gen_range(0..2) == 0 {
+            if rng.range(0, 2) == 0 {
                 out.extend_from_slice(b"</b>");
             } // else: unclosed <b> for weblint to find
         }
@@ -116,7 +115,7 @@ pub fn html_page(n_paragraphs: usize) -> Vec<u8> {
 /// A batch of HTTP/1.0 requests, one per line group, for the plexus
 /// (HTTP server) workload.
 pub fn http_requests(n: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(SEED ^ 0x22);
+    let mut rng = Rng64::new(SEED ^ 0x22);
     let paths = [
         "/index.html",
         "/research/interpreters.html",
@@ -127,11 +126,11 @@ pub fn http_requests(n: usize) -> Vec<u8> {
     ];
     let mut out = Vec::new();
     for _ in 0..n {
-        let method = if rng.gen_range(0..5) == 0 { "HEAD" } else { "GET" };
-        let path = paths[rng.gen_range(0..paths.len())];
+        let method = if rng.range(0, 5) == 0 { "HEAD" } else { "GET" };
+        let path = paths[rng.index(0, paths.len())];
         out.extend_from_slice(format!("{method} {path} HTTP/1.0\n").as_bytes());
         out.extend_from_slice(b"User-Agent: Mosaic/2.6\n");
-        if rng.gen_range(0..3) == 0 {
+        if rng.range(0, 3) == 0 {
             out.extend_from_slice(b"Accept: text/html\n");
         }
         out.push(b'\n');
@@ -142,16 +141,16 @@ pub fn http_requests(n: usize) -> Vec<u8> {
 /// A C-like token stream for tcltags / cc-lite / javac-analog inputs:
 /// function definitions with bodies.
 pub fn source_like(n_functions: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(SEED ^ 0x33);
+    let mut rng = Rng64::new(SEED ^ 0x33);
     let mut out = Vec::new();
     out.extend_from_slice(b"/* synthetic translation unit */\n");
     for f in 0..n_functions {
         out.extend_from_slice(format!("int func_{f}(int a, int b) {{\n").as_bytes());
-        let stmts = rng.gen_range(2..6);
+        let stmts = rng.range(2, 6);
         for s in 0..stmts {
-            let v = rng.gen_range(1..100);
+            let v = rng.range(1, 100);
             out.extend_from_slice(
-                format!("    int v{s} = a * {v} + b - {};\n", rng.gen_range(0..9)).as_bytes(),
+                format!("    int v{s} = a * {v} + b - {};\n", rng.range(0, 9)).as_bytes(),
             );
         }
         out.extend_from_slice(b"    return a + b;\n}\n\n");
@@ -161,13 +160,13 @@ pub fn source_like(n_functions: usize) -> Vec<u8> {
 
 /// Tcl-like source for tcltags: proc definitions.
 pub fn tcl_source_like(n_procs: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(SEED ^ 0x44);
+    let mut rng = Rng64::new(SEED ^ 0x44);
     let mut out = Vec::new();
     for p in 0..n_procs {
         out.extend_from_slice(format!("proc handler_{p} {{x y}} {{\n").as_bytes());
-        for _ in 0..rng.gen_range(1..4) {
+        for _ in 0..rng.range(1, 4) {
             out.extend_from_slice(
-                format!("    set t{} [expr $x + {}]\n", rng.gen_range(0..5), p).as_bytes(),
+                format!("    set t{} [expr $x + {}]\n", rng.range(0, 5), p).as_bytes(),
             );
         }
         out.extend_from_slice(b"}\n");
@@ -178,15 +177,15 @@ pub fn tcl_source_like(n_procs: usize) -> Vec<u8> {
 /// A widget-layout specification for the xf (interface-builder) workload:
 /// `kind index x y w h` lines.
 pub fn xf_layout(n_widgets: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(SEED ^ 0x77);
+    let mut rng = Rng64::new(SEED ^ 0x77);
     let kinds = ["button", "label", "frame"];
     let mut out = Vec::new();
     out.extend_from_slice(b"# generated layout\n");
     for i in 0..n_widgets {
-        let kind = kinds[rng.gen_range(0..kinds.len())];
-        let x = rng.gen_range(0..220);
-        let y = rng.gen_range(0..160);
-        let (w, h) = (rng.gen_range(20..60), rng.gen_range(12..30));
+        let kind = kinds[rng.index(0, kinds.len())];
+        let x = rng.range(0, 220);
+        let y = rng.range(0, 160);
+        let (w, h) = (rng.range(20, 60), rng.range(12, 30));
         out.extend_from_slice(format!("{kind} {i} {x} {y} {w} {h}\n").as_bytes());
     }
     out
@@ -194,14 +193,14 @@ pub fn xf_layout(n_widgets: usize) -> Vec<u8> {
 
 /// Two related line files for tkdiff: the second has deterministic edits.
 pub fn diff_pair(n_lines: usize) -> (Vec<u8>, Vec<u8>) {
-    let mut rng = StdRng::seed_from_u64(SEED ^ 0x55);
+    let mut rng = Rng64::new(SEED ^ 0x55);
     let mut a = Vec::new();
     let mut b = Vec::new();
     for i in 0..n_lines {
         let line = format!(
             "line {i}: {} {}\n",
-            WORDS[rng.gen_range(0..WORDS.len())],
-            WORDS[rng.gen_range(0..WORDS.len())]
+            WORDS[rng.index(0, WORDS.len())],
+            WORDS[rng.index(0, WORDS.len())]
         );
         a.extend_from_slice(line.as_bytes());
         match i % 7 {

@@ -11,6 +11,7 @@
 //! MIPSI, Joule, Perl, and Tcl) so no experiment can silently measure a
 //! broken run.
 
+pub mod guarded;
 pub mod inputs;
 pub mod joule_progs;
 pub mod micro;
@@ -19,6 +20,7 @@ pub mod perl_progs;
 pub mod runner;
 pub mod tcl_progs;
 
+pub use guarded::{run_guarded, workload_names, GuardedRun};
 pub use runner::{
     compiled_suite, macro_suite, micro_iterations, run_macro, run_micro, RunResult, Scale,
 };

@@ -77,7 +77,10 @@ fn nu(scale: Scale, test: usize, paper: usize) -> usize {
 }
 
 /// Mini-C source + input files for a compiled/MIPSI workload.
-fn minic_workload(name: &str, scale: Scale) -> (String, Vec<(String, Vec<u8>)>) {
+// Workload names are a closed, compile-time set; `guarded::run_guarded`
+// validates names before this lookup, so the panic is a programmer error.
+#[allow(clippy::panic)]
+pub(crate) fn minic_workload(name: &str, scale: Scale) -> (String, Vec<(String, Vec<u8>)>) {
     match name {
         "des" => (
             instantiate(minic_progs::DES_C, &[("BLOCKS", n(scale, 20, 400))]),
@@ -141,7 +144,10 @@ fn minic_workload(name: &str, scale: Scale) -> (String, Vec<(String, Vec<u8>)>) 
 }
 
 /// Joule source + files + events.
-fn joule_workload(
+// Workload names are a closed, compile-time set; `guarded::run_guarded`
+// validates names before this lookup, so the panic is a programmer error.
+#[allow(clippy::panic)]
+pub(crate) fn joule_workload(
     name: &str,
     scale: Scale,
 ) -> (String, Vec<(String, Vec<u8>)>, Vec<UiEvent>) {
@@ -202,7 +208,10 @@ fn joule_workload(
     }
 }
 
-fn perl_workload(name: &str, scale: Scale) -> (String, Vec<(String, Vec<u8>)>) {
+// Workload names are a closed, compile-time set; `guarded::run_guarded`
+// validates names before this lookup, so the panic is a programmer error.
+#[allow(clippy::panic)]
+pub(crate) fn perl_workload(name: &str, scale: Scale) -> (String, Vec<(String, Vec<u8>)>) {
     match name {
         "des" => (
             instantiate(perl_progs::DES_PL, &[("BLOCKS", n(scale, 4, 40))]),
@@ -237,7 +246,10 @@ fn perl_workload(name: &str, scale: Scale) -> (String, Vec<(String, Vec<u8>)>) {
     }
 }
 
-fn tcl_workload(
+// Workload names are a closed, compile-time set; `guarded::run_guarded`
+// validates names before this lookup, so the panic is a programmer error.
+#[allow(clippy::panic)]
+pub(crate) fn tcl_workload(
     name: &str,
     scale: Scale,
 ) -> (String, Vec<(String, Vec<u8>)>, Vec<UiEvent>) {

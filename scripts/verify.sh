@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate.
+#
+#   build + tests      — the seed acceptance bar (must stay green)
+#   clippy strictness  — `unwrap_used` / `panic` are denied workspace-wide
+#                        in shipped code. Test modules are exempt (the
+#                        default clippy targets do not lint `#[cfg(test)]`
+#                        code, which is where the historical unwrap/assert
+#                        sites live). The new crates additionally build
+#                        warning-free.
+#   guard smoke        — a fast 16-seed fault-injection sweep across all
+#                        five execution engines; exits nonzero if any run
+#                        panics instead of returning a typed outcome.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy gate (no unwrap, no panic in shipped code) =="
+cargo clippy --workspace -q -- \
+  -D clippy::unwrap_used -D clippy::panic
+cargo clippy -p interp-guard -p interp-microbench -q -- \
+  -D warnings -D clippy::unwrap_used -D clippy::panic
+
+echo "== guard smoke sweep (16 seeds, test scale) =="
+cargo build --release -p interp-harness --bins
+./target/release/repro guard --seeds 16 --scale test
+
+echo "verify: OK"

@@ -34,6 +34,7 @@
 //! ```
 
 pub use interp_archsim as archsim;
+pub use interp_guard as guard;
 pub use interp_core as core;
 pub use interp_harness as harness;
 pub use interp_host as host;

@@ -1,0 +1,145 @@
+//! Fault-injection property tests: corrupted guests must die politely.
+//!
+//! The contract under test, for every seeded corruption of a guest
+//! program: the interpreter returns a typed error or completes, it never
+//! panics, and it never runs past the unified command budget — so a
+//! corrupted guest can neither crash nor hang the host.
+
+use interpreters::core::NullSink;
+use interpreters::guard::{FaultKind, FaultPlan, Limits};
+use interpreters::host::Machine;
+use interpreters::workloads::minic_progs::instantiate;
+use interpreters::workloads::{joule_progs, perl_progs, tcl_progs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Tight command budget so even "accidentally still valid" corrupted
+/// guests finish the test quickly.
+const CMD_CAP: u64 = 100_000;
+
+fn limits() -> Limits {
+    Limits::guarded().with_max_commands(CMD_CAP)
+}
+
+/// Build a machine for one fault lane (applying any planned allocation
+/// failure), run `body`, and assert the ending was structured and within
+/// budget.
+fn assert_structured<F>(what: &str, seed: u64, plan: &FaultPlan, body: F)
+where
+    F: FnOnce(&mut Machine<NullSink>) -> Result<(), String>,
+{
+    let plan = *plan;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut m = Machine::with_limits(NullSink, limits());
+        if let Some(nth) = plan.alloc_fail_at() {
+            m.inject_alloc_failure(nth);
+        }
+        let res = body(&mut m);
+        (res, m.stats().commands)
+    }));
+    match outcome {
+        Ok((_res, commands)) => {
+            // Ok and Err are both acceptable endings — a flip can be
+            // harmless — but the command budget must hold within one.
+            assert!(
+                commands <= CMD_CAP + 1,
+                "{what} seed {seed}: ran {commands} commands past cap {CMD_CAP}"
+            );
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string payload".into());
+            panic!("{what} seed {seed} panicked: {msg}");
+        }
+    }
+}
+
+#[test]
+fn bitflipped_javelin_bytecode_always_ends_structured() {
+    let src = instantiate(joule_progs::HANOI_JL, &[("DISKS", "4".to_string())]);
+    let prog = interpreters::javelin::compile(&src).expect("clean program compiles");
+    for seed in 0..150u64 {
+        let plan = FaultPlan {
+            seed,
+            kind: FaultKind::BitFlips {
+                count: 1 + (seed % 7) as u32,
+            },
+        };
+        let mut corrupted = prog.clone();
+        for f in &mut corrupted.functions {
+            plan.corrupt_bytes(&mut f.code);
+        }
+        assert_structured("javelin bitflip", seed, &plan, move |m| {
+            let mut vm = interpreters::javelin::Jvm::new(m, corrupted);
+            vm.run(u64::MAX / 2).map(|_| ()).map_err(|e| e.to_string())
+        });
+    }
+}
+
+#[test]
+fn corrupted_perl_sources_always_end_structured() {
+    let base = instantiate(perl_progs::DES_PL, &[("BLOCKS", "2".to_string())]);
+    for seed in 0..150u64 {
+        let plan = FaultPlan::source_sweep(seed);
+        let mut src = base.clone();
+        plan.corrupt_text(&mut src);
+        assert_structured("perl source fault", seed, &plan, |m| {
+            let mut p = interpreters::perlite::Perlite::new(m, &src)
+                .map_err(|e| e.to_string())?;
+            p.run().map_err(|e| e.to_string())
+        });
+    }
+}
+
+#[test]
+fn corrupted_tcl_sources_always_end_structured() {
+    let base = instantiate(tcl_progs::DES_TCL, &[("BLOCKS", "1".to_string())]);
+    for seed in 0..150u64 {
+        let plan = FaultPlan::source_sweep(seed);
+        let mut src = base.clone();
+        plan.corrupt_text(&mut src);
+        assert_structured("tcl source fault", seed, &plan, |m| {
+            let mut tcl = interpreters::tclite::Tclite::new(m);
+            tcl.run(&src).map(|_| ()).map_err(|e| e.to_string())
+        });
+    }
+}
+
+#[test]
+fn pathological_sources_hit_typed_limits_not_the_rust_stack() {
+    // Deep nesting is the classic recursive-descent stack killer; both
+    // parsers must refuse it with a typed error.
+    let deep_perl = format!("$x = {}1{};\n", "(".repeat(20_000), ")".repeat(20_000));
+    let mut m = Machine::with_limits(NullSink, limits());
+    let err = match interpreters::perlite::Perlite::new(&mut m, &deep_perl) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("20k-deep parens compiled"),
+    };
+    assert!(err.contains("nesting too deep"), "{err}");
+
+    let deep_tcl = format!("set x [expr {}1{}]", "(".repeat(20_000), ")".repeat(20_000));
+    let mut m = Machine::with_limits(NullSink, limits());
+    let mut tcl = interpreters::tclite::Tclite::new(&mut m);
+    let err = tcl.run(&deep_tcl).expect_err("20k-deep parens evaluated");
+    assert!(err.message.contains("nesting too deep"), "{}", err.message);
+}
+
+#[test]
+fn runaway_guests_trip_the_command_budget() {
+    // An honest infinite loop in each source interpreter must end in a
+    // typed budget trip, not a hang.
+    let mut m = Machine::with_limits(NullSink, limits());
+    let mut p = interpreters::perlite::Perlite::new(&mut m, "while (1) { $i = $i + 1; }\n")
+        .expect("loop compiles");
+    let err = p.run().expect_err("infinite loop must trip");
+    let g = interpreters::guard::GuardError::from(err);
+    assert!(g.is_limit(), "perl: {g}");
+
+    let mut m = Machine::with_limits(NullSink, limits());
+    let mut tcl = interpreters::tclite::Tclite::new(&mut m);
+    let err = tcl.run("while {1} {set i 1}").expect_err("infinite loop must trip");
+    let g = interpreters::guard::GuardError::from(err);
+    assert!(g.is_limit(), "tcl: {g}");
+}
