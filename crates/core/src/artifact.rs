@@ -1,0 +1,194 @@
+//! Memoizable run artifacts: everything an experiment can want from one
+//! finished run, in sink-independent form.
+//!
+//! A [`RunArtifact`] is what the run-plan engine stores per executed
+//! [`RunRequest`](crate::RunRequest): the raw counters, the interned
+//! command names (so per-command profiles can be recomputed), a digest of
+//! the console output (runs are self-checking), the program size, and —
+//! when the run streamed into a timing sink — a [`CycleSummary`] or the
+//! Figure 4 sweep points. Experiments consume artifacts instead of
+//! invoking interpreters, so one run can serve many tables.
+
+use crate::command::CommandSet;
+use crate::profile::CommandProfile;
+use crate::stats::RunStats;
+
+/// Digest of a run's console output. The full text is not kept — runs are
+/// validated by their self-check line and compared by hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsoleDigest {
+    /// Console length in bytes.
+    pub bytes: usize,
+    /// Number of lines.
+    pub lines: usize,
+    /// FNV-1a 64-bit hash of the full console text.
+    pub fnv64: u64,
+    /// Whether the self-check passed (`OK` printed, no `BAD`).
+    pub ok: bool,
+}
+
+impl ConsoleDigest {
+    /// Digest `console`.
+    pub fn of(console: &str) -> Self {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for b in console.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        ConsoleDigest {
+            bytes: console.len(),
+            lines: console.lines().count(),
+            fnv64: hash,
+            ok: console.contains("OK") && !console.contains("BAD"),
+        }
+    }
+}
+
+/// One stacked bar segment of Figure 3: an issue-slot loss cause and the
+/// fraction of slots it claimed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallShare {
+    /// Cause label, matching the timing model's legend (`imiss`, `dtlb`, …).
+    pub label: &'static str,
+    /// Fraction of issue slots lost to this cause.
+    pub fraction: f64,
+}
+
+/// Sink-independent summary of a pipeline-timing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleSummary {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions the timing model retired.
+    pub instructions: u64,
+    /// Fraction of issue slots doing useful work.
+    pub busy_fraction: f64,
+    /// Unfilled-slot fractions in the model's stacking order.
+    pub stalls: Vec<StallShare>,
+}
+
+impl CycleSummary {
+    /// Stall fraction for the cause labelled `label` (0 if absent).
+    pub fn stall_fraction(&self, label: &str) -> f64 {
+        self.stalls
+            .iter()
+            .find(|s| s.label == label)
+            .map_or(0.0, |s| s.fraction)
+    }
+}
+
+/// One point of the Figure 4 I-cache grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPointSummary {
+    /// Cache size in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub assoc: usize,
+    /// Misses per 100 instructions.
+    pub miss_per_100: f64,
+}
+
+/// Everything one finished run yields, in memoizable (sink-independent)
+/// form.
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    /// The counters behind Tables 1–2 and the §3.3 rows.
+    pub stats: RunStats,
+    /// Interned virtual-command names (Figures 1–2 recompute profiles
+    /// from these plus `stats`).
+    pub commands: CommandSet,
+    /// Console digest (self-check validation and run comparison).
+    pub console: ConsoleDigest,
+    /// Program size in bytes (Table 2 "Size").
+    pub program_bytes: usize,
+    /// Cycle summary, present for pipeline-timing runs.
+    pub cycles: Option<CycleSummary>,
+    /// Figure 4 sweep points, present for I-cache-sweep runs.
+    pub sweep: Option<Vec<SweepPointSummary>>,
+}
+
+impl RunArtifact {
+    /// An empty artifact: the shape of a run that died before producing
+    /// anything (e.g. a guarded run ending in a caught panic).
+    pub fn empty() -> Self {
+        RunArtifact {
+            stats: RunStats::new(),
+            commands: CommandSet::new(""),
+            console: ConsoleDigest::of(""),
+            program_bytes: 0,
+            cycles: None,
+            sweep: None,
+        }
+    }
+
+    /// Per-command profile (Figures 1–2), recomputed from the counters.
+    pub fn profile(&self) -> CommandProfile {
+        CommandProfile::from_stats(&self.stats, &self.commands)
+    }
+
+    /// The cycle summary of a timing run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this artifact came from a non-timing sink — requesting
+    /// cycles from a counting artifact is a planner bug.
+    pub fn cycle_summary(&self) -> &CycleSummary {
+        self.cycles
+            .as_ref()
+            .expect("artifact has no cycle summary (counting run)")
+    }
+
+    /// The Figure 4 sweep points of an I-cache-sweep run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this artifact came from a non-sweep sink.
+    pub fn sweep_points(&self) -> &[SweepPointSummary] {
+        self.sweep
+            .as_deref()
+            .expect("artifact has no sweep points (non-sweep run)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn console_digest_distinguishes_text() {
+        let a = ConsoleDigest::of("OK 123\n");
+        let b = ConsoleDigest::of("OK 124\n");
+        assert_ne!(a.fnv64, b.fnv64);
+        assert_eq!(a.bytes, 7);
+        assert_eq!(a.lines, 1);
+        assert!(a.ok);
+        assert!(!ConsoleDigest::of("BAD checksum\n").ok);
+        assert!(!ConsoleDigest::of("").ok);
+    }
+
+    #[test]
+    fn cycle_summary_lookup_by_label() {
+        let s = CycleSummary {
+            cycles: 100,
+            instructions: 150,
+            busy_fraction: 0.75,
+            stalls: vec![
+                StallShare { label: "imiss", fraction: 0.1 },
+                StallShare { label: "dtlb", fraction: 0.05 },
+            ],
+        };
+        assert_eq!(s.stall_fraction("imiss"), 0.1);
+        assert_eq!(s.stall_fraction("nothing"), 0.0);
+    }
+
+    #[test]
+    fn empty_artifact_has_no_timing() {
+        let a = RunArtifact::empty();
+        assert!(a.cycles.is_none());
+        assert!(a.sweep.is_none());
+        assert_eq!(a.stats.instructions, 0);
+        assert!(a.profile().is_empty());
+    }
+}

@@ -16,6 +16,12 @@
 //!   interpreter can report per-command instruction histograms (Figures 1–2).
 //! * [`RunStats`] — the aggregate counters behind every row of Table 2 and
 //!   every bar of Figure 2.
+//! * [`WorkloadId`] / [`RunRequest`] — the typed workload vocabulary: which
+//!   program, at which [`Scale`], measured through which [`SinkKind`]. The
+//!   run-plan engine deduplicates requests across experiments.
+//! * [`RunArtifact`] — the memoizable, sink-independent result of one run
+//!   (counters, command names, console digest, cycle summary, sweep points)
+//!   that every table and figure consumes instead of re-running workloads.
 //!
 //! # Example
 //!
@@ -31,19 +37,23 @@
 //! assert_eq!(sink.instructions, 1);
 //! ```
 
+pub mod artifact;
 pub mod command;
 pub mod insn;
 pub mod phase;
 pub mod profile;
 pub mod sink;
 pub mod stats;
+pub mod workload;
 
+pub use artifact::{ConsoleDigest, CycleSummary, RunArtifact, StallShare, SweepPointSummary};
 pub use command::{CmdId, CommandSet};
 pub use insn::{InsnKind, InsnRecord};
 pub use phase::Phase;
 pub use profile::{CommandProfile, CumulativePoint, HistogramRow};
 pub use sink::{CountingSink, NullSink, TeeSink, TraceSink, VecSink};
 pub use stats::{CmdStats, RunStats};
+pub use workload::{RunRequest, Scale, SinkKind, WorkloadId, WorkloadKind};
 
 /// The four interpreters the paper studies, plus the compiled-C reference.
 ///
@@ -82,6 +92,18 @@ impl Language {
             Language::Javelin => "Java (javelin)",
             Language::Perlite => "Perl (perlite)",
             Language::Tclite => "Tcl (tclite)",
+        }
+    }
+
+    /// Short lowercase tag (`c`, `mipsi`, …) for CLI labels and error
+    /// messages.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Language::C => "c",
+            Language::Mipsi => "mipsi",
+            Language::Javelin => "javelin",
+            Language::Perlite => "perlite",
+            Language::Tclite => "tclite",
         }
     }
 }

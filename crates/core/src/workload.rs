@@ -1,0 +1,232 @@
+//! The typed workload vocabulary: which program, at which scale, measured
+//! through which sink.
+//!
+//! Every experiment used to thread stringly-typed `(Language, &str)` pairs
+//! through three divergent runner entry points; a [`WorkloadId`] names a
+//! run unambiguously, and a [`RunRequest`] pairs it with the [`SinkKind`]
+//! the requesting experiment needs. Requests are plain `Copy + Ord` data,
+//! so the run-plan engine can deduplicate them across experiments and
+//! execute each distinct request exactly once.
+
+use crate::Language;
+
+/// Workload sizing: `Test` finishes in milliseconds for CI; `Paper` is
+/// the scale the benchmark harness uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scale {
+    /// Tiny inputs for fast test runs.
+    Test,
+    /// Full-size inputs for the experiment harness.
+    Paper,
+}
+
+impl Scale {
+    /// CLI-style label (`test` / `paper`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parse a CLI-style label.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "test" => Some(Scale::Test),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which registry a workload name lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WorkloadKind {
+    /// A Table 2 macro benchmark (`des`, `compress`, …).
+    Macro,
+    /// A Table 1 microbenchmark (`a=b+c`, `read`, …).
+    Micro,
+}
+
+impl WorkloadKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Macro => "macro",
+            WorkloadKind::Micro => "micro",
+        }
+    }
+}
+
+/// One fully-specified workload: language, benchmark name, registry kind,
+/// and input scale. Names are a closed compile-time set, so the id stays
+/// `Copy` and can key maps directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkloadId {
+    /// Interpreter (or compiled-C reference) that executes the program.
+    pub language: Language,
+    /// Benchmark name within the registry.
+    pub name: &'static str,
+    /// Macro suite or micro suite.
+    pub kind: WorkloadKind,
+    /// Input sizing.
+    pub scale: Scale,
+}
+
+impl WorkloadId {
+    /// A macro-suite workload.
+    pub fn macro_bench(language: Language, name: &'static str, scale: Scale) -> Self {
+        WorkloadId {
+            language,
+            name,
+            kind: WorkloadKind::Macro,
+            scale,
+        }
+    }
+
+    /// A Table 1 microbenchmark.
+    pub fn micro(language: Language, name: &'static str, scale: Scale) -> Self {
+        WorkloadId {
+            language,
+            name,
+            kind: WorkloadKind::Micro,
+            scale,
+        }
+    }
+
+    /// Compact display label (`mipsi/des@test`).
+    pub fn label(&self) -> String {
+        format!("{}/{}@{}", self.language.tag(), self.name, self.scale)
+    }
+}
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Which measurement apparatus a run streams its trace into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SinkKind {
+    /// Counting only (`NullSink`): stats, commands, console — no timing.
+    Counting,
+    /// The Table 3 pipeline model: everything `Counting` yields plus a
+    /// cycle summary (Figure 3 stall breakdown, Table 1–2 cycles).
+    Pipeline,
+    /// The pipeline model with a 32-entry iTLB (the §4.1 ablation).
+    PipelineWideItlb,
+    /// The Figure 4 I-cache size × associativity sweep.
+    ICacheSweep,
+}
+
+impl SinkKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SinkKind::Counting => "counting",
+            SinkKind::Pipeline => "pipeline",
+            SinkKind::PipelineWideItlb => "pipeline+itlb32",
+            SinkKind::ICacheSweep => "icache-sweep",
+        }
+    }
+}
+
+/// One deduplicatable unit of work: run `workload` into a `sink`-kind
+/// measurement apparatus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RunRequest {
+    /// What to run.
+    pub workload: WorkloadId,
+    /// What to measure it with.
+    pub sink: SinkKind,
+}
+
+impl RunRequest {
+    /// Pair a workload with a sink kind.
+    pub fn new(workload: WorkloadId, sink: SinkKind) -> Self {
+        RunRequest { workload, sink }
+    }
+
+    /// Counting-only request.
+    pub fn counting(workload: WorkloadId) -> Self {
+        RunRequest::new(workload, SinkKind::Counting)
+    }
+
+    /// Pipeline-timing request.
+    pub fn pipeline(workload: WorkloadId) -> Self {
+        RunRequest::new(workload, SinkKind::Pipeline)
+    }
+
+    /// The *stronger* request whose artifact also satisfies this one, if
+    /// any: a pipeline run produces everything a counting run does (the
+    /// sink never feeds back into the counters), so a planner holding both
+    /// only needs the pipeline run.
+    pub fn subsumed_by(&self) -> Option<RunRequest> {
+        match self.sink {
+            SinkKind::Counting => Some(RunRequest::new(self.workload, SinkKind::Pipeline)),
+            _ => None,
+        }
+    }
+
+    /// Compact display label (`pipeline:mipsi/des@test`).
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.sink.label(), self.workload)
+    }
+}
+
+impl std::fmt::Display for RunRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_labels_round_trip() {
+        for scale in [Scale::Test, Scale::Paper] {
+            assert_eq!(Scale::parse(scale.label()), Some(scale));
+        }
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn requests_order_deterministically() {
+        let a = RunRequest::counting(WorkloadId::macro_bench(Language::C, "des", Scale::Test));
+        let b = RunRequest::pipeline(WorkloadId::macro_bench(Language::C, "des", Scale::Test));
+        let c = RunRequest::pipeline(WorkloadId::micro(Language::Tclite, "if", Scale::Test));
+        let mut v = vec![c, b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn counting_is_subsumed_by_pipeline_only() {
+        let id = WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Test);
+        assert_eq!(
+            RunRequest::counting(id).subsumed_by(),
+            Some(RunRequest::pipeline(id))
+        );
+        assert_eq!(RunRequest::pipeline(id).subsumed_by(), None);
+        assert_eq!(
+            RunRequest::new(id, SinkKind::ICacheSweep).subsumed_by(),
+            None
+        );
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let id = WorkloadId::micro(Language::Perlite, "a=b+c", Scale::Paper);
+        assert_eq!(id.label(), "perlite/a=b+c@paper");
+        assert_eq!(RunRequest::counting(id).label(), "counting:perlite/a=b+c@paper");
+    }
+}

@@ -1,9 +1,15 @@
 //! Ablation experiments for design choices the paper calls out.
+//!
+//! The iTLB ablation rides the shared run plan (its baseline pipeline
+//! runs are the same artifacts table2/fig3 use); the dispatch, symbol
+//! table, and precompilation ablations drive interpreters directly with
+//! bespoke configurations and stay outside the store.
 
-use interp_archsim::{PipelineSim, SimConfig, StallCause};
-use interp_core::{Language, NullSink, TraceSink};
+use interp_archsim::StallCause;
+use interp_core::{Language, NullSink, RunRequest, SinkKind, TraceSink, WorkloadId};
 use interp_host::Machine;
-use interp_workloads::{minic_progs, run_macro, Scale};
+use interp_runplan::ArtifactStore;
+use interp_workloads::{minic_progs, Scale};
 
 /// §4.1 iTLB ablation result: the same run under an 8-entry and a
 /// 32-entry iTLB.
@@ -17,26 +23,54 @@ pub struct ItlbAblation {
     pub stall_32_entries: f64,
 }
 
-/// Grow the iTLB from 8 to 32 entries (paper: "effectively eliminates
-/// iTLB stalls").
-pub fn ablation_itlb(scale: Scale) -> Vec<ItlbAblation> {
-    [(Language::Perlite, "txt2html"), (Language::Tclite, "tcltags")]
+/// The iTLB ablation's subjects: the two macro benchmarks the paper
+/// singles out for iTLB pressure.
+fn itlb_subjects(scale: Scale) -> [WorkloadId; 2] {
+    [
+        WorkloadId::macro_bench(Language::Perlite, "txt2html", scale),
+        WorkloadId::macro_bench(Language::Tclite, "tcltags", scale),
+    ]
+}
+
+/// Every store-served run the ablations need: each iTLB subject under
+/// the baseline pipeline (shared with table2/fig3) and the 32-entry
+/// variant.
+pub fn requests(scale: Scale) -> Vec<RunRequest> {
+    itlb_subjects(scale)
         .into_iter()
-        .map(|(lang, name)| {
-            let base = run_macro(lang, name, scale, PipelineSim::alpha_21064());
-            let big = run_macro(
-                lang,
-                name,
-                scale,
-                PipelineSim::new(SimConfig::default().with_itlb_entries(32)),
-            );
+        .flat_map(|w| {
+            [
+                RunRequest::pipeline(w),
+                RunRequest::new(w, SinkKind::PipelineWideItlb),
+            ]
+        })
+        .collect()
+}
+
+/// Assemble the iTLB ablation from memoized artifacts.
+pub fn ablation_itlb_from(store: &ArtifactStore, scale: Scale) -> Vec<ItlbAblation> {
+    itlb_subjects(scale)
+        .into_iter()
+        .map(|w| {
+            let base = store.expect(&RunRequest::pipeline(w)).cycle_summary();
+            let big = store
+                .expect(&RunRequest::new(w, SinkKind::PipelineWideItlb))
+                .cycle_summary();
+            let itlb = StallCause::Itlb.label();
             ItlbAblation {
-                benchmark: format!("{}-{name}", lang.label()),
-                stall_8_entries: base.sink.report().stall_fraction(StallCause::Itlb),
-                stall_32_entries: big.sink.report().stall_fraction(StallCause::Itlb),
+                benchmark: format!("{}-{}", w.language.label(), w.name),
+                stall_8_entries: base.stall_fraction(itlb),
+                stall_32_entries: big.stall_fraction(itlb),
             }
         })
         .collect()
+}
+
+/// Grow the iTLB from 8 to 32 entries (paper: "effectively eliminates
+/// iTLB stalls"). Self-contained plan.
+pub fn ablation_itlb(scale: Scale) -> Vec<ItlbAblation> {
+    let executed = interp_runplan::run_all(requests(scale), interp_runplan::default_jobs());
+    ablation_itlb_from(&executed.store, scale)
 }
 
 /// Dispatch-style ablation: MIPSI with switch vs. threaded dispatch.
@@ -157,13 +191,14 @@ for ($i = 0; $i < 200; $i++) { $c = $h{alpha_key} + $h{beta_key}; }"#,
     }
 }
 
-/// Render all ablations as text.
-pub fn render(scale: Scale) -> String {
+/// Render all ablations from memoized iTLB artifacts plus the direct
+/// (bespoke-configuration) measurements.
+pub fn render_from(store: &ArtifactStore, scale: Scale) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "Ablations");
     let _ = writeln!(out, "-- iTLB 8 -> 32 entries (Section 4.1)");
-    for row in ablation_itlb(scale) {
+    for row in ablation_itlb_from(store, scale) {
         let _ = writeln!(
             out,
             "  {:<24} itlb stalls {:>5.1}% -> {:>5.1}%",
@@ -193,6 +228,12 @@ pub fn render(scale: Scale) -> String {
         p.scalar_cost, p.hash_cost
     );
     out
+}
+
+/// Render all ablations as text (self-contained plan).
+pub fn render(scale: Scale) -> String {
+    let executed = interp_runplan::run_all(requests(scale), interp_runplan::default_jobs());
+    render_from(&executed.store, scale)
 }
 
 #[cfg(test)]

@@ -1,9 +1,10 @@
 //! Section 4: architectural experiments — Figure 3's issue-slot breakdown
 //! and Figure 4's I-cache size/associativity sweep.
 
-use interp_archsim::{CacheSweep, PipelineSim, StallCause, SweepPoint};
-use interp_core::Language;
-use interp_workloads::{compiled_suite, macro_suite, run_macro, Scale};
+use interp_archsim::StallCause;
+use interp_core::{Language, RunRequest, SinkKind, SweepPointSummary, WorkloadId};
+use interp_runplan::ArtifactStore;
+use interp_workloads::{compiled_suite, macro_suite, Scale};
 
 /// One bar of Figure 3.
 #[derive(Debug, Clone)]
@@ -40,27 +41,44 @@ impl Fig3Bar {
     }
 }
 
-/// Run the pipeline model over the interpreted suite plus the compiled
-/// comparison set.
-pub fn fig3(scale: Scale) -> Vec<Fig3Bar> {
-    let mut all = compiled_suite();
-    all.extend(macro_suite().into_iter().filter(|(l, _)| *l != Language::C));
-    all.into_iter()
-        .map(|(language, name)| {
-            let result = run_macro(language, name, scale, PipelineSim::alpha_21064());
-            let report = result.sink.report();
+/// The workloads Figure 3 charts, in bar order: the compiled comparison
+/// set, then the interpreted suite.
+fn fig3_suite(scale: Scale) -> Vec<WorkloadId> {
+    let mut all = compiled_suite(scale);
+    all.extend(macro_suite(scale).into_iter().filter(|w| w.language != Language::C));
+    all
+}
+
+/// Every run Figure 3 needs: the bar suite under the pipeline model.
+pub fn fig3_requests(scale: Scale) -> Vec<RunRequest> {
+    fig3_suite(scale).into_iter().map(RunRequest::pipeline).collect()
+}
+
+/// Assemble Figure 3 bars from memoized artifacts.
+pub fn fig3_from(store: &ArtifactStore, scale: Scale) -> Vec<Fig3Bar> {
+    fig3_suite(scale)
+        .into_iter()
+        .map(|workload| {
+            let cycles = store.expect(&RunRequest::pipeline(workload)).cycle_summary();
             let mut stalls = [0.0; 8];
             for (i, &cause) in StallCause::ALL.iter().enumerate() {
-                stalls[i] = report.stall_fraction(cause);
+                stalls[i] = cycles.stall_fraction(cause.label());
             }
             Fig3Bar {
-                language,
-                benchmark: name.to_string(),
-                busy: report.busy_fraction(),
+                language: workload.language,
+                benchmark: workload.name.to_string(),
+                busy: cycles.busy_fraction,
                 stalls,
             }
         })
         .collect()
+}
+
+/// Run the pipeline model over the interpreted suite plus the compiled
+/// comparison set (self-contained plan).
+pub fn fig3(scale: Scale) -> Vec<Fig3Bar> {
+    let executed = interp_runplan::run_all(fig3_requests(scale), interp_runplan::default_jobs());
+    fig3_from(&executed.store, scale)
 }
 
 /// One Figure 4 series: a benchmark's I-cache miss rates over the
@@ -72,7 +90,7 @@ pub struct Fig4Series {
     /// Benchmark.
     pub benchmark: String,
     /// Twelve grid points (sizes 8/16/32/64 KB × assoc 1/2/4).
-    pub points: Vec<SweepPoint>,
+    pub points: Vec<SweepPointSummary>,
 }
 
 impl Fig4Series {
@@ -86,26 +104,42 @@ impl Fig4Series {
     }
 }
 
-/// Run the Figure 4 sweep for the Java/Perl/Tcl benchmarks (the paper's
+/// The Figure 4 subjects: the Java/Perl/Tcl benchmarks (the paper's
 /// subjects; MIPSI fits any cache).
-pub fn fig4(scale: Scale) -> Vec<Fig4Series> {
-    macro_suite()
-        .into_iter()
-        .filter(|(lang, _)| {
-            matches!(
-                lang,
-                Language::Javelin | Language::Perlite | Language::Tclite
-            )
-        })
-        .map(|(language, name)| {
-            let result = run_macro(language, name, scale, CacheSweep::figure4());
+fn fig4_suite(scale: Scale) -> impl Iterator<Item = WorkloadId> {
+    macro_suite(scale).into_iter().filter(|w| {
+        matches!(
+            w.language,
+            Language::Javelin | Language::Perlite | Language::Tclite
+        )
+    })
+}
+
+/// Every run Figure 4 needs: the sweep sink over its subjects.
+pub fn fig4_requests(scale: Scale) -> Vec<RunRequest> {
+    fig4_suite(scale)
+        .map(|w| RunRequest::new(w, SinkKind::ICacheSweep))
+        .collect()
+}
+
+/// Assemble Figure 4 series from memoized artifacts.
+pub fn fig4_from(store: &ArtifactStore, scale: Scale) -> Vec<Fig4Series> {
+    fig4_suite(scale)
+        .map(|workload| {
+            let artifact = store.expect(&RunRequest::new(workload, SinkKind::ICacheSweep));
             Fig4Series {
-                language,
-                benchmark: name.to_string(),
-                points: result.sink.points(),
+                language: workload.language,
+                benchmark: workload.name.to_string(),
+                points: artifact.sweep_points().to_vec(),
             }
         })
         .collect()
+}
+
+/// Run the Figure 4 sweep (self-contained plan).
+pub fn fig4(scale: Scale) -> Vec<Fig4Series> {
+    let executed = interp_runplan::run_all(fig4_requests(scale), interp_runplan::default_jobs());
+    fig4_from(&executed.store, scale)
 }
 
 /// Render Figure 3 as text.
@@ -166,6 +200,7 @@ pub fn render_fig4(series: &[Fig4Series]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use interp_archsim::PipelineSim;
     use std::sync::OnceLock;
 
     /// Each test needs the full Figure 3 run; compute it once.

@@ -2,157 +2,281 @@
 //! robustness sweep.
 //!
 //! ```text
-//! repro [--paper] [table1|table2|fig1|fig2|fig3|fig4|memmodel|ablations|all]
+//! repro [TARGETS] [--scale test|paper] [--jobs N]
+//! repro list [--scale test|paper]
 //! repro guard [--seeds N] [--scale test|paper]
 //! ```
 //!
-//! `--paper` runs at full workload scale (the default is the fast test
-//! scale). `guard` sweeps N seeded fault plans per interpreter (default
-//! 64) and exits nonzero if any run escapes through a panic.
+//! `TARGETS` is one or more experiment names, comma- or space-separated
+//! (`repro table1,fig3`); the default is `all`. Whatever the selection,
+//! every experiment's run requests are unioned into one deduplicated
+//! plan and executed once on `--jobs N` worker threads (default: the
+//! machine's available parallelism), so a workload shared by several
+//! experiments runs exactly once. Renderings always print in canonical
+//! paper order on stdout; the per-run timing report goes to stderr so
+//! stdout is byte-identical across job counts.
+//!
+//! `--scale paper` runs full workload sizes (`--paper` is an accepted
+//! alias; the default is the fast test scale). `guard` sweeps N seeded
+//! fault plans per interpreter (default 64) and exits nonzero if any run
+//! escapes through a panic. Unknown flags and targets are rejected with
+//! exit status 2.
 
+use interp_core::RunRequest;
 use interp_harness::{ablations, arch, figures, guard_sweep, memmodel, table1, table2, Scale};
+use interp_runplan::{default_jobs, execute, render_timings, ArtifactStore, Plan};
 
-/// Parse `--flag N` / `--flag=N` style options.
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == flag {
-            return it.next().cloned();
-        }
-        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
-            return Some(v.to_string());
-        }
-    }
-    None
+/// Every experiment target, in canonical render order.
+const TARGETS: [(&str, &str); 9] = [
+    ("table1", "microbenchmark slowdowns relative to compiled C"),
+    ("table2", "baseline macro-benchmark measurements"),
+    ("table3", "simulated machine parameters (no runs needed)"),
+    ("fig1", "cumulative per-command instruction distributions"),
+    ("fig2", "per-command dispatch vs execute histograms"),
+    ("memmodel", "Section 3.3 memory-model cost"),
+    ("fig3", "issue-slot breakdown under the pipeline model"),
+    ("fig4", "I-cache size x associativity sweep"),
+    ("ablations", "iTLB, dispatch, symbol-table, precompilation ablations"),
+];
+
+fn usage() -> String {
+    let names: Vec<&str> = TARGETS.iter().map(|(n, _)| *n).collect();
+    format!(
+        "usage: repro [TARGETS] [--scale test|paper] [--jobs N]\n\
+         \x20      repro list [--scale test|paper]\n\
+         \x20      repro guard [--seeds N] [--scale test|paper]\n\
+         targets: {} | all (default), comma- or space-separated",
+        names.join(" | ")
+    )
 }
 
-fn run_guard_sweep(args: &[String], scale: Scale) -> ! {
-    let seeds = match flag_value(args, "--seeds") {
-        Some(v) => match v.parse::<u64>() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                eprintln!("--seeds expects a positive integer, got `{v}`");
-                std::process::exit(2);
+fn bail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{}", usage());
+    std::process::exit(2);
+}
+
+/// Parsed command line.
+struct Cli {
+    /// Selected targets (or the `list`/`guard` subcommand word).
+    targets: Vec<String>,
+    scale: Scale,
+    jobs: usize,
+    seeds: u64,
+}
+
+fn parse(args: &[String]) -> Cli {
+    let mut targets = Vec::new();
+    let mut scale: Option<Scale> = None;
+    let mut paper_alias = false;
+    let mut jobs: Option<usize> = None;
+    let mut seeds: Option<u64> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut take_value = |flag: &str| -> String {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                return v.to_string();
             }
-        },
-        None => 64,
-    };
-    let scale = match flag_value(args, "--scale").as_deref() {
-        Some("test") => Scale::Test,
-        Some("paper") => Scale::Paper,
-        Some(other) => {
-            eprintln!("--scale expects test|paper, got `{other}`");
-            std::process::exit(2);
+            match it.next() {
+                Some(v) => v.clone(),
+                None => bail(&format!("{flag} expects a value")),
+            }
+        };
+        if arg == "--scale" || arg.starts_with("--scale=") {
+            let v = take_value("--scale");
+            match Scale::parse(&v) {
+                Some(s) => scale = Some(s),
+                None => bail(&format!("--scale expects test|paper, got `{v}`")),
+            }
+        } else if arg == "--paper" {
+            paper_alias = true;
+        } else if arg == "--jobs" || arg.starts_with("--jobs=") {
+            let v = take_value("--jobs");
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => jobs = Some(n),
+                _ => bail(&format!("--jobs expects a positive integer, got `{v}`")),
+            }
+        } else if arg == "--seeds" || arg.starts_with("--seeds=") {
+            let v = take_value("--seeds");
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => seeds = Some(n),
+                _ => bail(&format!("--seeds expects a positive integer, got `{v}`")),
+            }
+        } else if arg.starts_with('-') {
+            bail(&format!("unknown flag `{arg}`"));
+        } else {
+            targets.extend(
+                arg.split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(str::to_string),
+            );
         }
-        None => scale,
+    }
+
+    let scale = match (scale, paper_alias) {
+        (Some(Scale::Test), true) => bail("--paper conflicts with --scale test"),
+        (Some(s), _) => s,
+        (None, true) => Scale::Paper,
+        (None, false) => Scale::Test,
     };
-    let report = guard_sweep::sweep(scale, seeds);
+    Cli {
+        targets,
+        scale,
+        jobs: jobs.unwrap_or_else(default_jobs),
+        seeds: seeds.unwrap_or(64),
+    }
+}
+
+/// The run requests one target contributes to the shared plan.
+fn requests_for(target: &str, scale: Scale) -> Vec<RunRequest> {
+    match target {
+        "table1" => table1::requests(scale),
+        "table2" => table2::requests(scale),
+        "table3" => Vec::new(),
+        "fig1" | "fig2" => figures::requests(scale),
+        "memmodel" => memmodel::requests(scale),
+        "fig3" => arch::fig3_requests(scale),
+        "fig4" => arch::fig4_requests(scale),
+        "ablations" => ablations::requests(scale),
+        _ => Vec::new(),
+    }
+}
+
+fn render_target(target: &str, store: &ArtifactStore, scale: Scale) {
+    match target {
+        "table1" => println!("{}", table1::render(&table1::table1_from(store, scale))),
+        "table2" => println!("{}", table2::render(&table2::table2_from(store, scale))),
+        "table3" => print_table3(),
+        "fig1" => println!("{}", figures::render_fig1(&figures::fig1_from(store, scale))),
+        "fig2" => println!("{}", figures::render_fig2(&figures::fig2_from(store, scale))),
+        "memmodel" => println!("{}", memmodel::render(&memmodel::memmodel_from(store, scale))),
+        "fig3" => println!("{}", arch::render_fig3(&arch::fig3_from(store, scale))),
+        "fig4" => println!("{}", arch::render_fig4(&arch::fig4_from(store, scale))),
+        "ablations" => println!("{}", ablations::render_from(store, scale)),
+        _ => unreachable!("validated target"),
+    }
+}
+
+fn print_table3() {
+    let cfg = interp_archsim::SimConfig::default();
+    println!("Table 3: simulated machine parameters");
+    println!("  issue width:        {}", cfg.issue_width);
+    println!(
+        "  L1 I-cache:         {} KB, {}-way, {}B lines",
+        cfg.icache_bytes / 1024,
+        cfg.icache_assoc,
+        cfg.line_bytes
+    );
+    println!(
+        "  L1 D-cache:         {} KB, {}-way",
+        cfg.dcache_bytes / 1024,
+        cfg.dcache_assoc
+    );
+    println!(
+        "  L2 unified:         {} KB, {}-way",
+        cfg.l2_bytes / 1024,
+        cfg.l2_assoc
+    );
+    println!(
+        "  iTLB/dTLB:          {} / {} entries, {} KB pages",
+        cfg.itlb_entries,
+        cfg.dtlb_entries,
+        cfg.page_bytes / 1024
+    );
+    println!(
+        "  branch:             {}-entry 1-bit BHT, {}-entry BTC, {}-entry return stack",
+        cfg.bht_entries, cfg.btc_entries, cfg.ras_entries
+    );
+    println!(
+        "  penalties (cycles): short-int {}, load-delay {}, mispredict {}, tlb {}, L1-miss {}, L2-miss {}, mul {}",
+        cfg.short_int_delay,
+        cfg.load_delay,
+        cfg.mispredict_penalty,
+        cfg.tlb_miss_penalty,
+        cfg.l1_miss_penalty,
+        cfg.l2_miss_penalty,
+        cfg.mul_delay
+    );
+    println!();
+}
+
+fn print_list(scale: Scale) {
+    println!("targets (canonical render order):");
+    for (name, desc) in TARGETS {
+        let n = requests_for(name, scale).len();
+        println!("  {name:<10} {desc}  [{n} runs]");
+    }
+    println!("  all        every target above, one shared deduplicated plan");
+    println!("  guard      seeded fault-injection sweep (not memoized)");
+    println!();
+    println!("macro workloads ({}):", scale.label());
+    for id in interp_workloads::macro_suite(scale) {
+        println!("  {}", id.label());
+    }
+    println!();
+    println!("micro workloads ({}):", scale.label());
+    for id in interp_workloads::micro_suite(scale) {
+        println!("  {}", id.label());
+    }
+}
+
+fn run_guard_sweep(cli: &Cli) -> ! {
+    let report = guard_sweep::sweep(cli.scale, cli.seeds);
     print!("{}", guard_sweep::render(&report));
     std::process::exit(if report.total_panics() == 0 { 0 } else { 1 });
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--paper") {
-        Scale::Paper
+    let cli = parse(&args);
+
+    match cli.targets.first().map(String::as_str) {
+        Some("list") => {
+            if cli.targets.len() > 1 {
+                bail("`list` takes no further targets");
+            }
+            print_list(cli.scale);
+            return;
+        }
+        Some("guard") => {
+            if cli.targets.len() > 1 {
+                bail("`guard` takes no further targets");
+            }
+            run_guard_sweep(&cli);
+        }
+        _ => {}
+    }
+
+    // Validate and expand the experiment selection.
+    let mut selected: Vec<String> = if cli.targets.is_empty() {
+        vec!["all".to_string()]
     } else {
-        Scale::Test
+        cli.targets.clone()
     };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
-
-    if what == "guard" {
-        run_guard_sweep(&args, scale);
+    if selected.iter().any(|t| t == "all") {
+        selected = TARGETS.iter().map(|(n, _)| n.to_string()).collect();
+    }
+    for t in &selected {
+        if !TARGETS.iter().any(|(n, _)| n == t) {
+            bail(&format!("unknown target `{t}`"));
+        }
     }
 
-    let run = |name: &str| what == "all" || what == name;
+    // One plan for everything selected: dedup + subsumption across
+    // experiments, then a single pool execution.
+    let plan = Plan::build(
+        selected
+            .iter()
+            .flat_map(|t| requests_for(t, cli.scale)),
+    );
+    let executed = execute(&plan, cli.jobs);
+    eprint!("{}", render_timings(&executed));
 
-    if run("table1") {
-        println!("{}", table1::render(&table1::table1(scale)));
-    }
-    if run("table2") {
-        println!("{}", table2::render(&table2::table2(scale)));
-    }
-    if run("table3") {
-        let cfg = interp_archsim::SimConfig::default();
-        println!("Table 3: simulated machine parameters");
-        println!("  issue width:        {}", cfg.issue_width);
-        println!(
-            "  L1 I-cache:         {} KB, {}-way, {}B lines",
-            cfg.icache_bytes / 1024,
-            cfg.icache_assoc,
-            cfg.line_bytes
-        );
-        println!(
-            "  L1 D-cache:         {} KB, {}-way",
-            cfg.dcache_bytes / 1024,
-            cfg.dcache_assoc
-        );
-        println!(
-            "  L2 unified:         {} KB, {}-way",
-            cfg.l2_bytes / 1024,
-            cfg.l2_assoc
-        );
-        println!(
-            "  iTLB/dTLB:          {} / {} entries, {} KB pages",
-            cfg.itlb_entries,
-            cfg.dtlb_entries,
-            cfg.page_bytes / 1024
-        );
-        println!(
-            "  branch:             {}-entry 1-bit BHT, {}-entry BTC, {}-entry return stack",
-            cfg.bht_entries, cfg.btc_entries, cfg.ras_entries
-        );
-        println!(
-            "  penalties (cycles): short-int {}, load-delay {}, mispredict {}, tlb {}, L1-miss {}, L2-miss {}, mul {}",
-            cfg.short_int_delay,
-            cfg.load_delay,
-            cfg.mispredict_penalty,
-            cfg.tlb_miss_penalty,
-            cfg.l1_miss_penalty,
-            cfg.l2_miss_penalty,
-            cfg.mul_delay
-        );
-        println!();
-    }
-    if run("fig1") {
-        println!("{}", figures::render_fig1(&figures::fig1(scale)));
-    }
-    if run("fig2") {
-        println!("{}", figures::render_fig2(&figures::fig2(scale)));
-    }
-    if run("memmodel") {
-        println!("{}", memmodel::render(&memmodel::memmodel(scale)));
-    }
-    if run("fig3") {
-        println!("{}", arch::render_fig3(&arch::fig3(scale)));
-    }
-    if run("fig4") {
-        println!("{}", arch::render_fig4(&arch::fig4(scale)));
-    }
-    if run("ablations") {
-        println!("{}", ablations::render(scale));
-    }
-    if ![
-        "table1",
-        "table2",
-        "table3",
-        "fig1",
-        "fig2",
-        "fig3",
-        "fig4",
-        "memmodel",
-        "ablations",
-        "all",
-    ]
-    .contains(&what)
-    {
-        eprintln!(
-            "unknown experiment `{what}`; choose table1|table2|table3|fig1|fig2|fig3|fig4|memmodel|ablations|all, or `guard [--seeds N] [--scale test|paper]`"
-        );
-        std::process::exit(2);
+    // Render in canonical order regardless of the order given.
+    for (name, _) in TARGETS {
+        if selected.iter().any(|t| t == name) {
+            render_target(name, &executed.store, cli.scale);
+        }
     }
 }

@@ -1,7 +1,23 @@
 //! Figures 1 and 2: per-command instruction distributions.
 
-use interp_core::{CommandProfile, CumulativePoint, HistogramRow, Language, NullSink};
-use interp_workloads::{macro_suite, run_macro, Scale};
+use interp_core::{CumulativePoint, HistogramRow, Language, RunRequest, WorkloadId};
+use interp_runplan::ArtifactStore;
+use interp_workloads::{macro_suite, Scale};
+
+/// The interpreted rows of the macro suite (Figures 1/2 exclude C, which
+/// has no virtual commands to profile).
+fn interpreted_suite(scale: Scale) -> impl Iterator<Item = WorkloadId> {
+    macro_suite(scale)
+        .into_iter()
+        .filter(|w| w.language != Language::C)
+}
+
+/// Every run Figures 1 and 2 need: counting runs of the interpreted
+/// suite. (When table2/fig3 plan pipeline twins, the planner subsumes
+/// these — the same artifacts serve both.)
+pub fn requests(scale: Scale) -> Vec<RunRequest> {
+    interpreted_suite(scale).map(RunRequest::counting).collect()
+}
 
 /// Figure 1: cumulative execute-instruction distributions, one series per
 /// macro benchmark.
@@ -17,22 +33,25 @@ pub struct Fig1Series {
     pub commands_for_90pct: usize,
 }
 
-/// Compute Figure 1 for the whole macro suite (interpreted rows only).
-pub fn fig1(scale: Scale) -> Vec<Fig1Series> {
-    macro_suite()
-        .into_iter()
-        .filter(|(lang, _)| *lang != Language::C)
-        .map(|(language, name)| {
-            let result = run_macro(language, name, scale, NullSink);
-            let profile = CommandProfile::from_stats(&result.stats, &result.commands);
+/// Assemble Figure 1 from memoized artifacts.
+pub fn fig1_from(store: &ArtifactStore, scale: Scale) -> Vec<Fig1Series> {
+    interpreted_suite(scale)
+        .map(|workload| {
+            let profile = store.expect(&RunRequest::counting(workload)).profile();
             Fig1Series {
-                language,
-                benchmark: name.to_string(),
+                language: workload.language,
+                benchmark: workload.name.to_string(),
                 commands_for_90pct: profile.commands_to_cover(0.9),
                 points: profile.cumulative(),
             }
         })
         .collect()
+}
+
+/// Compute Figure 1 for the whole macro suite (self-contained plan).
+pub fn fig1(scale: Scale) -> Vec<Fig1Series> {
+    let executed = interp_runplan::run_all(requests(scale), interp_runplan::default_jobs());
+    fig1_from(&executed.store, scale)
 }
 
 /// Figure 2: paired histograms (command count % vs. execute instruction %)
@@ -47,21 +66,25 @@ pub struct Fig2Panel {
     pub rows: Vec<HistogramRow>,
 }
 
-/// Compute Figure 2 panels (top 10 commands each).
-pub fn fig2(scale: Scale) -> Vec<Fig2Panel> {
-    macro_suite()
-        .into_iter()
-        .filter(|(lang, _)| *lang != Language::C)
-        .map(|(language, name)| {
-            let result = run_macro(language, name, scale, NullSink);
-            let profile = CommandProfile::from_stats(&result.stats, &result.commands);
+/// Assemble Figure 2 panels (top 10 commands each) from memoized
+/// artifacts.
+pub fn fig2_from(store: &ArtifactStore, scale: Scale) -> Vec<Fig2Panel> {
+    interpreted_suite(scale)
+        .map(|workload| {
+            let profile = store.expect(&RunRequest::counting(workload)).profile();
             Fig2Panel {
-                language,
-                benchmark: name.to_string(),
+                language: workload.language,
+                benchmark: workload.name.to_string(),
                 rows: profile.histogram(10),
             }
         })
         .collect()
+}
+
+/// Compute Figure 2 panels (self-contained plan).
+pub fn fig2(scale: Scale) -> Vec<Fig2Panel> {
+    let executed = interp_runplan::run_all(requests(scale), interp_runplan::default_jobs());
+    fig2_from(&executed.store, scale)
 }
 
 /// Render Figure 1 as text.
@@ -195,6 +218,26 @@ mod tests {
             "hanoi should spend most execute instructions in native code: {:?}",
             hanoi.rows
         );
+    }
+
+    #[test]
+    fn figures_read_identically_through_a_subsuming_pipeline_plan() {
+        // Plan fig1's counting requests together with table2's pipeline
+        // twins: the planner drops the counting runs, and the store
+        // resolves the counting lookups to the pipeline artifacts.
+        let scale = Scale::Test;
+        let union = requests(scale)
+            .into_iter()
+            .chain(crate::table2::requests(scale));
+        let executed = interp_runplan::run_all(union, interp_runplan::default_jobs());
+        assert_eq!(
+            executed.store.len(),
+            24,
+            "counting runs subsumed: only the 24 pipeline runs execute"
+        );
+        let direct = render_fig1(&fig1(scale));
+        let shared = render_fig1(&fig1_from(&executed.store, scale));
+        assert_eq!(direct, shared);
     }
 
     #[test]

@@ -6,19 +6,19 @@
 //! every run).
 //!
 //! Plans are pure functions of their seed, so any failure the sweep
-//! reports is replayable from `(language, seed)` alone.
+//! reports is replayable from `(workload, seed)` alone. Guarded runs are
+//! *not* memoized in the run-plan store: each one is a distinct
+//! `(workload, fault-plan)` point, so there is nothing to deduplicate.
 
-use interp_core::Language;
+use interp_core::{Language, WorkloadId};
 use interp_guard::{FaultPlan, Limits, RunOutcome};
 use interp_workloads::{run_guarded, Scale};
 use std::collections::BTreeMap;
 
 /// One language's tally over the sweep.
 pub struct SweepRow {
-    /// The interpreter swept.
-    pub language: Language,
-    /// Workload each plan was applied to.
-    pub workload: &'static str,
+    /// The workload swept (identifies the interpreter).
+    pub workload: WorkloadId,
     /// Seeds swept.
     pub seeds: u64,
     /// Outcome-tag histogram (`completed`, `bad-program`, `out-of-memory`…).
@@ -28,6 +28,11 @@ pub struct SweepRow {
 }
 
 impl SweepRow {
+    /// The interpreter swept.
+    pub fn language(&self) -> Language {
+        self.workload.language
+    }
+
     /// Runs that ended in `tag`.
     pub fn count(&self, tag: &str) -> u64 {
         self.tags.get(tag).copied().unwrap_or(0)
@@ -59,21 +64,20 @@ fn plan_for(language: Language, seed: u64) -> FaultPlan {
 /// Sweep `seeds` fault plans per language over the shared `des` workload.
 pub fn sweep(scale: Scale, seeds: u64) -> SweepReport {
     let limits = Limits::guarded();
-    let workload = "des";
     let mut rows = Vec::new();
     for language in Language::ALL {
+        let workload = WorkloadId::macro_bench(language, "des", scale);
         let mut tags: BTreeMap<&'static str, u64> = BTreeMap::new();
         let mut panics = Vec::new();
         for seed in 0..seeds {
             let plan = plan_for(language, seed);
-            let run = run_guarded(language, workload, scale, limits, &plan);
+            let run = run_guarded(workload, limits, &plan);
             *tags.entry(run.outcome.tag()).or_insert(0) += 1;
             if let RunOutcome::Panicked(msg) = run.outcome {
                 panics.push((seed, msg));
             }
         }
         rows.push(SweepRow {
-            language,
             workload,
             seeds,
             tags,
@@ -108,8 +112,8 @@ pub fn render(report: &SweepReport) -> String {
         let _ = writeln!(
             out,
             "{:<10} {:<9} {:>6} {:>10} {:>9}  {hist}",
-            row.language.to_string(),
-            row.workload,
+            row.language().to_string(),
+            row.workload.name,
             row.seeds,
             row.count("completed"),
             row.count("PANICKED"),
@@ -122,7 +126,7 @@ pub fn render(report: &SweepReport) -> String {
         let _ = writeln!(out, "!! {total_panics} PANICKING RUNS:");
         for row in &report.rows {
             for (seed, msg) in &row.panics {
-                let _ = writeln!(out, "  {} seed {seed}: {msg}", row.language);
+                let _ = writeln!(out, "  {} seed {seed}: {msg}", row.language());
             }
         }
     }
@@ -140,12 +144,12 @@ mod tests {
         assert_eq!(report.total_panics(), 0, "{}", render(&report));
         for row in &report.rows {
             let total: u64 = row.tags.values().sum();
-            assert_eq!(total, 8, "{}: every seed accounted for", row.language);
+            assert_eq!(total, 8, "{}: every seed accounted for", row.language());
             // Seed 0 is the no-fault lane, so at least one run completes.
             assert!(
                 row.count("completed") >= 1,
                 "{}: no clean completion\n{}",
-                row.language,
+                row.language(),
                 render(&report)
             );
         }

@@ -15,6 +15,23 @@
 //! | Ablations (iTLB, dispatch, symbol table, precompilation) | [`ablations`] |
 //! | Robustness (seeded fault-injection sweep, not in the paper) | [`guard_sweep`] |
 //!
+//! # The run-plan split
+//!
+//! Every experiment module has two halves:
+//!
+//! * a **request** half (`requests(scale)`) declaring the typed
+//!   [`interp_core::RunRequest`]s it needs, and
+//! * a **read** half (`*_from(&store, scale)`) assembling rows from a
+//!   shared [`interp_runplan::ArtifactStore`].
+//!
+//! The `repro` driver unions every selected experiment's requests into
+//! one deduplicated [`interp_runplan::Plan`], executes it once on the
+//! worker pool, and feeds the same store to every renderer — so a
+//! workload that several experiments need runs exactly once. The
+//! argument-compatible entry points (`table1(scale)`, `fig3(scale)`, …)
+//! remain for callers that want one experiment in isolation; they build
+//! and execute a private plan.
+//!
 //! # Example
 //!
 //! ```no_run

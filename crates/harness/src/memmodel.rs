@@ -1,8 +1,9 @@
 //! §3.3: memory-model measurements — per-access cost and the fraction of
 //! all instructions spent naming and translating data.
 
-use interp_core::{Language, NullSink};
-use interp_workloads::{macro_suite, run_macro, Scale};
+use interp_core::{Language, RunRequest};
+use interp_runplan::ArtifactStore;
+use interp_workloads::{macro_suite, Scale};
 
 /// One §3.3 measurement row.
 #[derive(Debug, Clone)]
@@ -19,22 +20,39 @@ pub struct MemModelRow {
     pub fraction: f64,
 }
 
-/// Compute memory-model rows for the interpreted macro suite.
-pub fn memmodel(scale: Scale) -> Vec<MemModelRow> {
-    macro_suite()
+/// Every run §3.3 needs: counting runs of the interpreted macro suite
+/// (subsumed by pipeline twins when planned together).
+pub fn requests(scale: Scale) -> Vec<RunRequest> {
+    macro_suite(scale)
         .into_iter()
-        .filter(|(lang, _)| *lang != Language::C)
-        .map(|(language, name)| {
-            let result = run_macro(language, name, scale, NullSink);
+        .filter(|w| w.language != Language::C)
+        .map(RunRequest::counting)
+        .collect()
+}
+
+/// Assemble memory-model rows from memoized artifacts.
+pub fn memmodel_from(store: &ArtifactStore, scale: Scale) -> Vec<MemModelRow> {
+    macro_suite(scale)
+        .into_iter()
+        .filter(|w| w.language != Language::C)
+        .map(|workload| {
+            let stats = &store.expect(&RunRequest::counting(workload)).stats;
             MemModelRow {
-                language,
-                benchmark: name.to_string(),
-                accesses: result.stats.mem_model_accesses,
-                avg_cost: result.stats.avg_mem_model_cost(),
-                fraction: result.stats.mem_model_fraction(),
+                language: workload.language,
+                benchmark: workload.name.to_string(),
+                accesses: stats.mem_model_accesses,
+                avg_cost: stats.avg_mem_model_cost(),
+                fraction: stats.mem_model_fraction(),
             }
         })
         .collect()
+}
+
+/// Compute memory-model rows for the interpreted macro suite
+/// (self-contained plan).
+pub fn memmodel(scale: Scale) -> Vec<MemModelRow> {
+    let executed = interp_runplan::run_all(requests(scale), interp_runplan::default_jobs());
+    memmodel_from(&executed.store, scale)
 }
 
 /// Render as text.

@@ -4,10 +4,15 @@
 //! "time" is simulated cycles from the Alpha-21064-like pipeline model,
 //! normalized per iteration (each language runs a different iteration
 //! count, as the paper's fixed-duration trials did implicitly).
+//!
+//! Like every experiment module, this one splits into a *request* half
+//! ([`requests`]) and a *read* half ([`table1_from`]): the `repro` driver
+//! unions all requested runs into one deduplicated plan, executes it on
+//! the worker pool, and hands every module the same [`ArtifactStore`].
 
-use interp_archsim::PipelineSim;
-use interp_core::Language;
-use interp_workloads::{micro_iterations, run_micro, Scale};
+use interp_core::{Language, RunRequest, WorkloadId};
+use interp_runplan::ArtifactStore;
+use interp_workloads::{micro_iterations, micro_suite, Scale};
 
 /// One row of Table 1.
 #[derive(Debug, Clone)]
@@ -30,20 +35,28 @@ const INTERPRETERS: [Language; 4] = [
     Language::Tclite,
 ];
 
-/// Cycles per iteration for one `(language, micro)` cell.
-fn cycles_per_iter(language: Language, name: &'static str, scale: Scale) -> f64 {
-    let result = run_micro(language, name, scale, PipelineSim::alpha_21064());
-    let report = result.sink.report();
-    report.cycles as f64 / micro_iterations(language, name, scale) as f64
+/// Every run Table 1 needs: the full micro suite under the pipeline
+/// model.
+pub fn requests(scale: Scale) -> Vec<RunRequest> {
+    micro_suite(scale).into_iter().map(RunRequest::pipeline).collect()
 }
 
-/// Compute all Table 1 rows.
-pub fn table1(scale: Scale) -> Vec<Table1Row> {
+/// Cycles per iteration for one `(language, micro)` cell, read from the
+/// store.
+fn cycles_per_iter(store: &ArtifactStore, language: Language, name: &'static str, scale: Scale) -> f64 {
+    let request = RunRequest::pipeline(WorkloadId::micro(language, name, scale));
+    let cycles = store.expect(&request).cycle_summary().cycles;
+    cycles as f64 / micro_iterations(language, name, scale) as f64
+}
+
+/// Assemble all Table 1 rows from memoized artifacts.
+pub fn table1_from(store: &ArtifactStore, scale: Scale) -> Vec<Table1Row> {
     interp_workloads::micro::MICRO_NAMES
         .iter()
         .map(|&name| {
-            let c = cycles_per_iter(Language::C, name, scale);
-            let slowdown = INTERPRETERS.map(|lang| cycles_per_iter(lang, name, scale) / c);
+            let c = cycles_per_iter(store, Language::C, name, scale);
+            let slowdown =
+                INTERPRETERS.map(|lang| cycles_per_iter(store, lang, name, scale) / c);
             Table1Row {
                 name,
                 description: interp_workloads::micro::micro_description(name),
@@ -52,6 +65,13 @@ pub fn table1(scale: Scale) -> Vec<Table1Row> {
             }
         })
         .collect()
+}
+
+/// Compute all Table 1 rows (plans and executes this table's runs alone;
+/// `repro` shares one plan across experiments instead).
+pub fn table1(scale: Scale) -> Vec<Table1Row> {
+    let executed = interp_runplan::run_all(requests(scale), interp_runplan::default_jobs());
+    table1_from(&executed.store, scale)
 }
 
 /// Render paper-style text.
@@ -80,6 +100,12 @@ pub fn render(rows: &[Table1Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn requests_cover_the_whole_grid() {
+        let reqs = requests(Scale::Test);
+        assert_eq!(reqs.len(), 6 * 5, "6 micros x 5 languages");
+    }
 
     #[test]
     fn table1_shape_matches_the_paper() {

@@ -2,9 +2,9 @@
 //! native instructions, fetch/decode vs. execute split, cycles, and
 //! Perl's precompilation overhead in parentheses.
 
-use interp_archsim::PipelineSim;
-use interp_core::{Language, Phase};
-use interp_workloads::{macro_suite, run_macro, Scale};
+use interp_core::{Language, Phase, RunRequest};
+use interp_runplan::ArtifactStore;
+use interp_workloads::{macro_suite, Scale};
 
 /// One row of Table 2.
 #[derive(Debug, Clone)]
@@ -29,27 +29,38 @@ pub struct Table2Row {
     pub cycles: u64,
 }
 
-/// Compute all Table 2 rows in paper order.
-pub fn table2(scale: Scale) -> Vec<Table2Row> {
-    macro_suite()
+/// Every run Table 2 needs: the macro suite under the pipeline model.
+pub fn requests(scale: Scale) -> Vec<RunRequest> {
+    macro_suite(scale).into_iter().map(RunRequest::pipeline).collect()
+}
+
+/// Assemble all Table 2 rows (paper order) from memoized artifacts.
+pub fn table2_from(store: &ArtifactStore, scale: Scale) -> Vec<Table2Row> {
+    macro_suite(scale)
         .into_iter()
-        .map(|(language, name)| {
-            let result = run_macro(language, name, scale, PipelineSim::alpha_21064());
-            let report = result.sink.report();
-            let stats = &result.stats;
+        .map(|workload| {
+            let artifact = store.expect(&RunRequest::pipeline(workload));
+            let stats = &artifact.stats;
             Table2Row {
-                language,
-                benchmark: name.to_string(),
-                program_bytes: result.program_bytes,
+                language: workload.language,
+                benchmark: workload.name.to_string(),
+                program_bytes: artifact.program_bytes,
                 commands: stats.commands,
                 native_instructions: stats.steady_state_instructions(),
                 startup_instructions: stats.phase_instructions(Phase::Startup),
                 avg_fetch_decode: stats.avg_fetch_decode(),
                 avg_execute: stats.avg_execute(),
-                cycles: report.cycles,
+                cycles: artifact.cycle_summary().cycles,
             }
         })
         .collect()
+}
+
+/// Compute all Table 2 rows (self-contained plan; `repro` shares one plan
+/// across experiments instead).
+pub fn table2(scale: Scale) -> Vec<Table2Row> {
+    let executed = interp_runplan::run_all(requests(scale), interp_runplan::default_jobs());
+    table2_from(&executed.store, scale)
 }
 
 /// Render paper-style text.

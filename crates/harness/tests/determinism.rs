@@ -1,0 +1,40 @@
+//! Cross-job-count determinism: the renderings `repro` prints must be
+//! byte-identical whether the shared plan ran on one worker or many.
+//! This holds structurally — plan order is a pure function of the
+//! request set, and artifacts land in per-index slots — but the property
+//! is the whole point of the engine, so pin it end to end.
+
+use interp_harness::{table1, table2, Scale};
+use interp_runplan::{execute, Plan};
+
+#[test]
+fn table_renderings_are_byte_identical_across_job_counts() {
+    let scale = Scale::Test;
+    let plan = Plan::build(
+        table1::requests(scale)
+            .into_iter()
+            .chain(table2::requests(scale)),
+    );
+    assert_eq!(
+        plan.len(),
+        30 + 24,
+        "micro and macro pipeline suites are disjoint"
+    );
+
+    let serial = execute(&plan, 1);
+    let parallel = execute(&plan, 8);
+    assert_eq!(serial.jobs, 1);
+    assert!(parallel.jobs > 1, "plan is large enough to use many workers");
+
+    let render = |store| {
+        format!(
+            "{}{}",
+            table1::render(&table1::table1_from(store, scale)),
+            table2::render(&table2::table2_from(store, scale))
+        )
+    };
+    let a = render(&serial.store);
+    let b = render(&parallel.store);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "renderings must not depend on the worker count");
+}

@@ -1,0 +1,46 @@
+//! The run-plan engine: one place where every experiment's workload runs
+//! are declared, deduplicated, executed in parallel, and memoized.
+//!
+//! Experiments declare the [`RunRequest`]s they need (a typed
+//! [`interp_core::WorkloadId`] plus a [`interp_core::SinkKind`]); the
+//! planner builds a [`Plan`] that executes each distinct request exactly
+//! once — dropping duplicates across experiments and *subsuming*
+//! counting-only requests under pipeline-timing requests for the same
+//! workload (a timing run produces a strict superset of a counting run's
+//! artifact). The [`pool`] executes the plan on a `std::thread::scope`
+//! worker pool with deterministic result ordering, and the resulting
+//! [`ArtifactStore`] hands each experiment its [`interp_core::RunArtifact`]s.
+//!
+//! ```text
+//!  table1 ─┐ requests                      ┌────────────┐   artifacts
+//!  table2 ─┤    │     ┌──────────┐  plan   │ worker pool │──────┐
+//!  figures ─┼────┼────►│ dedup +  │────────►│ (N scoped   │      ▼
+//!  memmodel─┤    │     │ subsume  │         │  threads)   │  ArtifactStore
+//!  fig3/4 ──┤    │     └──────────┘         └────────────┘      │
+//!  ablations┘    │         sorted, deterministic order          ▼
+//!                │                                    table renderers
+//! ```
+//!
+//! Determinism: a [`Plan`]'s request order is a pure function of the
+//! request set, artifacts land in plan order regardless of which worker
+//! finished first, and every workload run is itself deterministic — so
+//! `--jobs 1` and `--jobs 8` produce byte-identical tables.
+
+pub mod exec;
+pub mod plan;
+pub mod pool;
+pub mod store;
+
+pub use exec::run_request;
+pub use plan::Plan;
+pub use pool::{default_jobs, execute, execute_with, render_timings, ExecutedPlan, RunTiming};
+pub use store::ArtifactStore;
+
+use interp_core::RunRequest;
+
+/// Plan and execute `requests` in one call: dedup, subsume, run on
+/// `jobs` workers, and return the executed plan with its artifact store
+/// and per-run timings.
+pub fn run_all(requests: impl IntoIterator<Item = RunRequest>, jobs: usize) -> ExecutedPlan {
+    execute(&Plan::build(requests), jobs)
+}

@@ -1,0 +1,113 @@
+//! The planner: turn every experiment's request list into a minimal,
+//! deterministically-ordered set of runs.
+
+use interp_core::RunRequest;
+use std::collections::BTreeSet;
+
+/// A deduplicated, deterministically-ordered set of [`RunRequest`]s.
+///
+/// Two normalizations happen at build time:
+///
+/// 1. **Dedup** — the same request from several experiments (table2 and
+///    fig3 both want `pipeline:mipsi/des`) executes once.
+/// 2. **Subsumption** — a counting request whose pipeline twin is also
+///    planned is dropped; the pipeline artifact carries everything the
+///    counting artifact would (the sink never feeds back into the
+///    counters), and [`crate::ArtifactStore::get`] resolves the counting
+///    lookup to the pipeline artifact.
+///
+/// Request order is the `Ord` order of [`RunRequest`] — a pure function
+/// of the request *set*, independent of arrival order and job count.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    requests: Vec<RunRequest>,
+}
+
+impl Plan {
+    /// Build a plan from raw requests (duplicates welcome).
+    pub fn build(requests: impl IntoIterator<Item = RunRequest>) -> Plan {
+        let set: BTreeSet<RunRequest> = requests.into_iter().collect();
+        let requests = set
+            .iter()
+            .filter(|req| {
+                req.subsumed_by()
+                    .is_none_or(|stronger| !set.contains(&stronger))
+            })
+            .copied()
+            .collect();
+        Plan { requests }
+    }
+
+    /// The planned requests, in execution (= deterministic) order.
+    pub fn requests(&self) -> &[RunRequest] {
+        &self.requests
+    }
+
+    /// Number of runs the plan will execute.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if nothing needs to run.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::{Language, RunRequest, Scale, SinkKind, WorkloadId};
+
+    fn id(name: &'static str) -> WorkloadId {
+        WorkloadId::macro_bench(Language::Mipsi, name, Scale::Test)
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let plan = Plan::build(vec![
+            RunRequest::pipeline(id("des")),
+            RunRequest::pipeline(id("des")),
+            RunRequest::pipeline(id("des")),
+        ]);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn counting_subsumed_by_planned_pipeline() {
+        let plan = Plan::build(vec![
+            RunRequest::counting(id("des")),
+            RunRequest::pipeline(id("des")),
+        ]);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.requests()[0].sink, SinkKind::Pipeline);
+    }
+
+    #[test]
+    fn lone_counting_requests_survive() {
+        let plan = Plan::build(vec![RunRequest::counting(id("des"))]);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.requests()[0].sink, SinkKind::Counting);
+    }
+
+    #[test]
+    fn sweep_requests_are_never_subsumed() {
+        let plan = Plan::build(vec![
+            RunRequest::new(id("des"), SinkKind::ICacheSweep),
+            RunRequest::pipeline(id("des")),
+        ]);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn order_is_independent_of_arrival() {
+        let a = vec![
+            RunRequest::pipeline(id("li")),
+            RunRequest::counting(id("des")),
+            RunRequest::pipeline(id("compress")),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(Plan::build(a).requests(), Plan::build(b).requests());
+    }
+}

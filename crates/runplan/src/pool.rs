@@ -1,0 +1,209 @@
+//! The worker pool: execute a [`Plan`] on `std::thread::scope` threads
+//! (no external dependencies) with deterministic result ordering and
+//! per-run timing.
+
+use crate::plan::Plan;
+use crate::store::ArtifactStore;
+use interp_core::{RunArtifact, RunRequest};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How long one planned run took.
+#[derive(Debug, Clone, Copy)]
+pub struct RunTiming {
+    /// The executed request.
+    pub request: RunRequest,
+    /// Wall-clock duration of the run on its worker.
+    pub duration: Duration,
+}
+
+/// The result of executing a [`Plan`]: the artifact store plus the
+/// timing report that makes the parallel speedup visible.
+#[derive(Debug, Clone)]
+pub struct ExecutedPlan {
+    /// Memoized artifacts, one per planned request.
+    pub store: ArtifactStore,
+    /// Per-run timings in plan order.
+    pub timings: Vec<RunTiming>,
+    /// Wall-clock time for the whole plan.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl ExecutedPlan {
+    /// Sum of per-run durations — the serial cost the pool amortized.
+    pub fn cpu_time(&self) -> Duration {
+        self.timings.iter().map(|t| t.duration).sum()
+    }
+}
+
+/// Worker count to use when the user does not say: the machine's
+/// available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Execute `plan` with the real workload runner on `jobs` workers.
+pub fn execute(plan: &Plan, jobs: usize) -> ExecutedPlan {
+    execute_with(plan, jobs, crate::exec::run_request)
+}
+
+/// Execute `plan` on `jobs` workers with a custom request runner (tests
+/// inject probes here to count executions).
+///
+/// Workers claim requests from a shared cursor, so long runs do not
+/// convoy behind short ones; artifacts land in *plan order* regardless
+/// of completion order, keeping every downstream rendering byte-stable
+/// across job counts.
+pub fn execute_with<F>(plan: &Plan, jobs: usize, run: F) -> ExecutedPlan
+where
+    F: Fn(&RunRequest) -> RunArtifact + Sync,
+{
+    let requests = plan.requests();
+    let n = requests.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(RunArtifact, Duration)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let begun = Instant::now();
+                let artifact = run(&requests[i]);
+                *slots[i].lock().expect("worker slot poisoned") =
+                    Some((artifact, begun.elapsed()));
+            });
+        }
+    });
+
+    let mut store = ArtifactStore::new();
+    let mut timings = Vec::with_capacity(n);
+    for (request, slot) in requests.iter().zip(slots) {
+        let (artifact, duration) = slot
+            .into_inner()
+            .expect("worker slot poisoned")
+            .expect("scope joined with an unfilled slot");
+        store.insert(*request, artifact);
+        timings.push(RunTiming {
+            request: *request,
+            duration,
+        });
+    }
+    ExecutedPlan {
+        store,
+        timings,
+        wall: started.elapsed(),
+        jobs,
+    }
+}
+
+/// Render the per-run timing report (slowest first) plus the
+/// serial-vs-parallel summary line.
+pub fn render_timings(executed: &ExecutedPlan) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut rows: Vec<&RunTiming> = executed.timings.iter().collect();
+    rows.sort_by(|a, b| b.duration.cmp(&a.duration).then(a.request.cmp(&b.request)));
+    let _ = writeln!(
+        out,
+        "run plan: {} runs on {} worker(s)",
+        executed.timings.len(),
+        executed.jobs
+    );
+    for t in rows {
+        let _ = writeln!(out, "  {:>9.3}s  {}", t.duration.as_secs_f64(), t.request);
+    }
+    let cpu = executed.cpu_time().as_secs_f64();
+    let wall = executed.wall.as_secs_f64();
+    let _ = writeln!(
+        out,
+        "  total run time {cpu:.3}s, wall {wall:.3}s ({:.2}x)",
+        if wall > 0.0 { cpu / wall } else { 1.0 }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::{Language, Scale, WorkloadId};
+
+    fn requests(n: usize) -> Vec<RunRequest> {
+        // Distinct micro names are not needed — distinct scales/languages
+        // suffice to make distinct requests; use the macro registry names.
+        let names = ["des", "compress", "eqntott", "espresso", "li"];
+        (0..n)
+            .map(|i| {
+                RunRequest::pipeline(WorkloadId::macro_bench(
+                    Language::Mipsi,
+                    names[i % names.len()],
+                    if i / names.len() == 0 { Scale::Test } else { Scale::Paper },
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_planned_request_executes_exactly_once() {
+        let plan = Plan::build(
+            // Feed heavy duplication: every request three times.
+            requests(8).into_iter().flat_map(|r| [r, r, r]),
+        );
+        let counter = AtomicUsize::new(0);
+        let executed = execute_with(&plan, 4, |_req| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            interp_core::RunArtifact::empty()
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), plan.len());
+        assert_eq!(executed.store.len(), plan.len());
+        assert_eq!(executed.timings.len(), plan.len());
+    }
+
+    #[test]
+    fn artifacts_land_in_plan_order_for_any_job_count() {
+        let plan = Plan::build(requests(10));
+        for jobs in [1, 2, 8, 64] {
+            let executed = execute_with(&plan, jobs, |req| {
+                let mut art = interp_core::RunArtifact::empty();
+                // Tag the artifact so order can be checked.
+                art.program_bytes = req.workload.name.len();
+                art
+            });
+            let got: Vec<usize> = plan
+                .requests()
+                .iter()
+                .map(|r| executed.store.expect(r).program_bytes)
+                .collect();
+            let want: Vec<usize> = plan
+                .requests()
+                .iter()
+                .map(|r| r.workload.name.len())
+                .collect();
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn timing_render_mentions_job_count_and_totals() {
+        let plan = Plan::build(requests(3));
+        let executed = execute_with(&plan, 2, |_| interp_core::RunArtifact::empty());
+        let text = render_timings(&executed);
+        assert!(text.contains("3 runs on 2 worker(s)"), "{text}");
+        assert!(text.contains("total run time"), "{text}");
+    }
+
+    #[test]
+    fn empty_plan_executes_to_empty_store() {
+        let executed = execute_with(&Plan::build([]), 8, |_| interp_core::RunArtifact::empty());
+        assert!(executed.store.is_empty());
+        assert!(executed.timings.is_empty());
+    }
+}

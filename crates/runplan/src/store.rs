@@ -1,0 +1,106 @@
+//! The in-memory artifact store experiments read instead of invoking
+//! interpreters.
+
+use interp_core::{RunArtifact, RunRequest};
+use std::collections::BTreeMap;
+
+/// Memoized run artifacts keyed by the [`RunRequest`] that produced them.
+///
+/// Lookups understand the planner's subsumption rule: asking for a
+/// counting artifact when only the pipeline artifact exists returns the
+/// pipeline artifact (which carries the identical counters plus timing).
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactStore {
+    map: BTreeMap<RunRequest, RunArtifact>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ArtifactStore::default()
+    }
+
+    /// Record `artifact` as the result of `request`.
+    pub fn insert(&mut self, request: RunRequest, artifact: RunArtifact) {
+        self.map.insert(request, artifact);
+    }
+
+    /// The artifact for `request`, resolving subsumption (a counting
+    /// lookup is satisfied by the pipeline artifact for the same
+    /// workload).
+    pub fn get(&self, request: &RunRequest) -> Option<&RunArtifact> {
+        self.map.get(request).or_else(|| {
+            request
+                .subsumed_by()
+                .and_then(|stronger| self.map.get(&stronger))
+        })
+    }
+
+    /// The artifact for `request`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request was never planned — an experiment consuming
+    /// a store must have contributed its requests to the plan that built
+    /// it; anything else is a harness bug.
+    pub fn expect(&self, request: &RunRequest) -> &RunArtifact {
+        self.get(request)
+            .unwrap_or_else(|| unreachable_missing(request))
+    }
+
+    /// Number of stored artifacts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate stored `(request, artifact)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RunRequest, &RunArtifact)> {
+        self.map.iter()
+    }
+}
+
+// Out-of-line so the panic message machinery stays off `expect`'s happy
+// path.
+#[cold]
+#[allow(clippy::panic)]
+fn unreachable_missing(request: &RunRequest) -> ! {
+    panic!("artifact for `{request}` was never planned — experiment requests and plan diverged")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::{Language, RunArtifact, Scale, SinkKind, WorkloadId};
+
+    fn id() -> WorkloadId {
+        WorkloadId::macro_bench(Language::Tclite, "des", Scale::Test)
+    }
+
+    #[test]
+    fn exact_lookup_round_trips() {
+        let mut store = ArtifactStore::new();
+        store.insert(RunRequest::counting(id()), RunArtifact::empty());
+        assert!(store.get(&RunRequest::counting(id())).is_some());
+        assert!(store.get(&RunRequest::pipeline(id())).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn counting_lookup_resolves_to_pipeline_artifact() {
+        let mut store = ArtifactStore::new();
+        let mut art = RunArtifact::empty();
+        art.program_bytes = 42;
+        store.insert(RunRequest::pipeline(id()), art);
+        let found = store.get(&RunRequest::counting(id())).expect("subsumed");
+        assert_eq!(found.program_bytes, 42);
+        // Sweep lookups do not fall back to pipeline artifacts.
+        assert!(store
+            .get(&RunRequest::new(id(), SinkKind::ICacheSweep))
+            .is_none());
+    }
+}

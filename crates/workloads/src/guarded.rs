@@ -5,41 +5,62 @@
 //!
 //! This is the entry point the fault-injection harness (`repro guard`)
 //! sweeps: corrupt a guest according to a seeded [`FaultPlan`], run it
-//! under a bounded machine, and report exactly how it ended.
+//! under a bounded machine, and report exactly how it ended. A
+//! [`GuardedRun`] carries the same [`RunArtifact`] shape as an unguarded
+//! run — counters, interned commands, console digest — captured as far as
+//! the run got, wrapped in the [`RunOutcome`] that says how it ended.
 
-use interp_core::{Language, NullSink};
+use interp_core::{
+    CommandSet, ConsoleDigest, Language, NullSink, RunArtifact, WorkloadId, WorkloadKind,
+};
 use interp_guard::{FaultPlan, GuardError, Limits, RunOutcome};
 use interp_host::Machine;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::runner::{
-    joule_workload, minic_workload, perl_workload, tcl_workload, Scale,
+    joule_workload, macro_names, minic_workload, perl_workload, tcl_workload, Scale,
 };
 
-/// Everything a guarded run reports.
+/// Everything a guarded run reports: the structured ending plus the same
+/// memoizable artifact shape normal runs produce.
 #[derive(Debug, Clone)]
 pub struct GuardedRun {
     /// How the run ended.
     pub outcome: RunOutcome,
-    /// Native (host) instructions retired before the run ended; zero if
-    /// the run died in a panic before the machine could be inspected.
-    pub instructions: u64,
-    /// Virtual commands dispatched before the run ended.
-    pub commands: u64,
+    /// Counters, commands, and console digest as far as the run got;
+    /// [`RunArtifact::empty`] if the run died in a panic before the
+    /// machine could be inspected.
+    pub artifact: RunArtifact,
 }
 
-/// Valid macro-workload names per language (the guarded runner refuses
-/// unknown names with a typed error instead of panicking).
-pub fn workload_names(language: Language) -> &'static [&'static str] {
-    match language {
-        Language::C => &["des", "compress", "eqntott", "espresso", "li", "cc_lite"],
-        Language::Mipsi => &["des", "compress", "eqntott", "espresso", "li"],
-        Language::Javelin => &["des", "asteroids", "hanoi", "javac", "mand"],
-        Language::Perlite => &["des", "a2ps", "plexus", "txt2html", "weblint"],
-        Language::Tclite => &[
-            "des", "tcllex", "tcltags", "hanoi", "demos", "ical", "tkdiff", "xf",
-        ],
+impl GuardedRun {
+    /// Native (host) instructions retired before the run ended.
+    #[deprecated(note = "read `artifact.stats.instructions` instead")]
+    pub fn instructions(&self) -> u64 {
+        self.artifact.stats.instructions
     }
+
+    /// Virtual commands dispatched before the run ended.
+    #[deprecated(note = "read `artifact.stats.commands` instead")]
+    pub fn commands(&self) -> u64 {
+        self.artifact.stats.commands
+    }
+}
+
+/// Valid macro-workload names per language.
+#[deprecated(note = "enumerate typed ids with `guarded_suite` instead")]
+pub fn workload_names(language: Language) -> &'static [&'static str] {
+    macro_names(language)
+}
+
+/// Every workload the guarded runner accepts for `language`, as typed
+/// [`WorkloadId`]s — the same registry the experiments run, so guard
+/// sweeps and experiments cannot drift apart.
+pub fn guarded_suite(language: Language, scale: Scale) -> Vec<WorkloadId> {
+    macro_names(language)
+        .iter()
+        .map(|&name| WorkloadId::macro_bench(language, name, scale))
+        .collect()
 }
 
 /// Instruction/bytecode budget handed to the interpreters that take one.
@@ -53,44 +74,32 @@ const LEGACY_BUDGET: u64 = u64::MAX / 2;
 /// Never panics: interpreter panics are caught at the boundary and
 /// reported as [`RunOutcome::Panicked`] (a robustness bug to fix, but a
 /// reportable one).
-pub fn run_guarded(
-    language: Language,
-    name: &str,
-    scale: Scale,
-    limits: Limits,
-    plan: &FaultPlan,
-) -> GuardedRun {
-    if !workload_names(language).contains(&name) {
+pub fn run_guarded(workload: WorkloadId, limits: Limits, plan: &FaultPlan) -> GuardedRun {
+    if workload.kind != WorkloadKind::Macro
+        || !macro_names(workload.language).contains(&workload.name)
+    {
         return GuardedRun {
             outcome: RunOutcome::Faulted(GuardError::BadProgram {
-                lang: lang_tag(language),
-                detail: format!("unknown workload `{name}`"),
+                lang: workload.language.tag(),
+                detail: format!(
+                    "unknown guarded workload `{}` ({})",
+                    workload.name,
+                    workload.kind.label()
+                ),
             }),
-            instructions: 0,
-            commands: 0,
+            artifact: RunArtifact::empty(),
         };
     }
     let plan = *plan;
     let result = catch_unwind(AssertUnwindSafe(move || {
-        run_inner(language, name, scale, limits, &plan)
+        run_inner(workload.language, workload.name, workload.scale, limits, &plan)
     }));
     match result {
         Ok(run) => run,
         Err(payload) => GuardedRun {
             outcome: RunOutcome::Panicked(panic_message(payload.as_ref())),
-            instructions: 0,
-            commands: 0,
+            artifact: RunArtifact::empty(),
         },
-    }
-}
-
-fn lang_tag(language: Language) -> &'static str {
-    match language {
-        Language::C => "c",
-        Language::Mipsi => "mipsi",
-        Language::Javelin => "javelin",
-        Language::Perlite => "perl",
-        Language::Tclite => "tcl",
     }
 }
 
@@ -126,17 +135,25 @@ fn guarded_machine(
 }
 
 fn report<E: Into<GuardError>>(
-    m: &Machine<NullSink>,
+    m: &mut Machine<NullSink>,
+    commands: CommandSet,
+    program_bytes: usize,
     res: Result<i32, E>,
 ) -> GuardedRun {
-    let stats = m.stats();
+    let console = String::from_utf8_lossy(&m.take_console()).into_owned();
     GuardedRun {
         outcome: match res {
             Ok(exit) => RunOutcome::Completed { exit },
             Err(e) => RunOutcome::Faulted(e.into()),
         },
-        instructions: stats.instructions,
-        commands: stats.commands,
+        artifact: RunArtifact {
+            stats: m.stats().clone(),
+            commands,
+            console: ConsoleDigest::of(&console),
+            program_bytes,
+            cycles: None,
+            sweep: None,
+        },
     }
 }
 
@@ -155,11 +172,13 @@ fn run_inner(
                 Err(e) => return compile_fault("c", e.to_string()),
             };
             plan.corrupt_words(&mut image.text);
+            let program_bytes = image.size_bytes() as usize;
             let mut m = guarded_machine(limits, plan, files, vec![]);
             let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
             let res = exec.run(LEGACY_BUDGET);
+            let commands = exec.commands().clone();
             drop(exec);
-            report(&m, res)
+            report(&mut m, commands, program_bytes, res)
         }
         Language::Mipsi => {
             let (src, files) = minic_workload(name, scale);
@@ -168,11 +187,13 @@ fn run_inner(
                 Err(e) => return compile_fault("mipsi", e.to_string()),
             };
             plan.corrupt_words(&mut image.text);
+            let program_bytes = image.size_bytes() as usize;
             let mut m = guarded_machine(limits, plan, files, vec![]);
             let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
             let res = emu.run(LEGACY_BUDGET);
+            let commands = emu.commands().clone();
             drop(emu);
-            report(&m, res)
+            report(&mut m, commands, program_bytes, res)
         }
         Language::Javelin => {
             let (src, files, events) = joule_workload(name, scale);
@@ -183,35 +204,41 @@ fn run_inner(
             for f in &mut prog.functions {
                 plan.corrupt_bytes(&mut f.code);
             }
+            let program_bytes = prog.code_bytes();
             let mut m = guarded_machine(limits, plan, files, events);
             let mut vm = interp_javelin::Jvm::new(&mut m, prog);
             let res = vm.run(LEGACY_BUDGET);
+            let commands = vm.commands().clone();
             drop(vm);
-            report(&m, res)
+            report(&mut m, commands, program_bytes, res)
         }
         Language::Perlite => {
             let (mut src, files) = perl_workload(name, scale);
             plan.corrupt_text(&mut src);
+            let program_bytes = src.len();
             let mut m = guarded_machine(limits, plan, files, vec![]);
-            let res = match interp_perlite::Perlite::new(&mut m, &src) {
+            let (commands, res) = match interp_perlite::Perlite::new(&mut m, &src) {
                 Ok(mut p) => {
                     let r = p.run().map(|()| 0);
+                    let commands = p.commands().clone();
                     drop(p);
-                    r
+                    (commands, r)
                 }
-                Err(e) => Err(e),
+                Err(e) => (CommandSet::new("perlite"), Err(e)),
             };
-            report(&m, res)
+            report(&mut m, commands, program_bytes, res)
         }
         Language::Tclite => {
             let (mut src, files, events) = tcl_workload(name, scale);
             plan.corrupt_text(&mut src);
+            let program_bytes = src.len();
             let mut m = guarded_machine(limits, plan, files, events);
-            let res = {
+            let (commands, res) = {
                 let mut tcl = interp_tclite::Tclite::new(&mut m);
-                tcl.run(&src).map(|_| 0)
+                let res = tcl.run(&src).map(|_| 0);
+                (tcl.commands().clone(), res)
             };
-            report(&m, res)
+            report(&mut m, commands, program_bytes, res)
         }
     }
 }
@@ -219,8 +246,7 @@ fn run_inner(
 fn compile_fault(lang: &'static str, detail: String) -> GuardedRun {
     GuardedRun {
         outcome: RunOutcome::Faulted(GuardError::BadProgram { lang, detail }),
-        instructions: 0,
-        commands: 0,
+        artifact: RunArtifact::empty(),
     }
 }
 
@@ -229,31 +255,60 @@ mod tests {
     use super::*;
     use interp_guard::FaultKind;
 
+    fn des(language: Language) -> WorkloadId {
+        WorkloadId::macro_bench(language, "des", Scale::Test)
+    }
+
     #[test]
     fn clean_runs_complete_for_every_interpreter() {
         for lang in Language::ALL {
-            let run = run_guarded(
-                lang,
-                "des",
-                Scale::Test,
-                Limits::guarded(),
-                &FaultPlan::none(),
-            );
+            let run = run_guarded(des(lang), Limits::guarded(), &FaultPlan::none());
             assert!(
                 matches!(run.outcome, RunOutcome::Completed { .. }),
                 "{lang} des under no-fault plan: {}",
                 run.outcome
             );
-            assert!(run.instructions > 1000, "{lang}: {} insns", run.instructions);
+            assert!(
+                run.artifact.stats.instructions > 1000,
+                "{lang}: {} insns",
+                run.artifact.stats.instructions
+            );
+            assert!(run.artifact.console.ok, "{lang}: self-check digest not ok");
+            assert!(run.artifact.program_bytes > 0, "{lang}: no program bytes");
         }
+    }
+
+    #[test]
+    fn guarded_artifact_matches_unguarded_run() {
+        // A clean guarded run must report the same counters and console
+        // digest as the normal runner: one workload API, one shape.
+        let id = des(Language::Mipsi);
+        let guarded = run_guarded(id, Limits::guarded(), &FaultPlan::none());
+        let normal = crate::runner::Runner::run(id, NullSink).base_artifact();
+        assert_eq!(
+            guarded.artifact.stats.instructions,
+            normal.stats.instructions
+        );
+        assert_eq!(guarded.artifact.stats.commands, normal.stats.commands);
+        assert_eq!(guarded.artifact.console, normal.console);
+        assert_eq!(guarded.artifact.program_bytes, normal.program_bytes);
     }
 
     #[test]
     fn unknown_workload_is_a_typed_fault() {
         let run = run_guarded(
-            Language::Tclite,
-            "no-such-workload",
-            Scale::Test,
+            WorkloadId::macro_bench(Language::Tclite, "no-such-workload", Scale::Test),
+            Limits::guarded(),
+            &FaultPlan::none(),
+        );
+        assert!(
+            matches!(run.outcome, RunOutcome::Faulted(GuardError::BadProgram { .. })),
+            "{}",
+            run.outcome
+        );
+        // Micro workloads are not guardable either.
+        let run = run_guarded(
+            WorkloadId::micro(Language::Tclite, "a=b+c", Scale::Test),
             Limits::guarded(),
             &FaultPlan::none(),
         );
@@ -269,9 +324,7 @@ mod tests {
         for lang in Language::ALL {
             let cap = 50u64;
             let run = run_guarded(
-                lang,
-                "des",
-                Scale::Test,
+                des(lang),
                 Limits::guarded().with_max_commands(cap),
                 &FaultPlan::none(),
             );
@@ -282,9 +335,9 @@ mod tests {
                         "{lang}: tripped at {executed}, cap {cap}"
                     );
                     assert!(
-                        run.commands <= cap + 1,
+                        run.artifact.stats.commands <= cap + 1,
                         "{lang}: dispatched {} commands past cap {cap}",
-                        run.commands
+                        run.artifact.stats.commands
                     );
                 }
                 ref other => panic!("{lang}: expected CommandBudget, got {other}"),
@@ -296,7 +349,7 @@ mod tests {
     fn injected_alloc_failure_faults_not_panics() {
         let plan = FaultPlan { seed: 1, kind: FaultKind::AllocFail { nth: 5 } };
         for lang in Language::ALL {
-            let run = run_guarded(lang, "des", Scale::Test, Limits::guarded(), &plan);
+            let run = run_guarded(des(lang), Limits::guarded(), &plan);
             assert!(
                 run.outcome.is_structured(),
                 "{lang} alloc-fail: {}",
@@ -308,13 +361,34 @@ mod tests {
     #[test]
     fn truncated_tcl_source_faults_or_completes() {
         let plan = FaultPlan { seed: 9, kind: FaultKind::Truncate };
-        let run = run_guarded(
-            Language::Tclite,
-            "des",
-            Scale::Test,
-            Limits::guarded(),
-            &plan,
-        );
+        let run = run_guarded(des(Language::Tclite), Limits::guarded(), &plan);
         assert!(run.outcome.is_structured(), "{}", run.outcome);
+    }
+
+    #[test]
+    fn guarded_suite_enumerates_the_macro_registry() {
+        for lang in Language::ALL {
+            let suite = guarded_suite(lang, Scale::Test);
+            assert_eq!(suite.len(), macro_names(lang).len());
+            for id in suite {
+                assert_eq!(id.language, lang);
+                assert_eq!(id.kind, WorkloadKind::Macro);
+                // Every enumerated id must be accepted by the runner's
+                // validation (clean plan, tiny budget to stay fast).
+                let run = run_guarded(
+                    id,
+                    Limits::guarded().with_max_commands(5),
+                    &FaultPlan::none(),
+                );
+                assert!(
+                    !matches!(
+                        run.outcome,
+                        RunOutcome::Faulted(GuardError::BadProgram { .. })
+                    ),
+                    "{id}: registry id rejected: {}",
+                    run.outcome
+                );
+            }
+        }
     }
 }

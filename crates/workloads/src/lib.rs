@@ -2,9 +2,12 @@
 //!
 //! Provides the macro suite of Table 2 (each program in its original
 //! language, with deterministic synthetic inputs), the Table 1
-//! microbenchmarks in all five languages, and a uniform
-//! [`runner::run_macro`] / [`runner::run_micro`] entry point that wires a
-//! workload to a machine, an interpreter, and a trace sink.
+//! microbenchmarks in all five languages, and one typed entry point — the
+//! [`runner::Runner`] facade over [`runner::run_macro`],
+//! [`runner::run_micro`], and [`guarded::run_guarded`] — that wires a
+//! [`interp_core::WorkloadId`] to a machine, an interpreter, and a trace
+//! sink. Suites enumerate typed ids, so experiments, guard sweeps, and
+//! the run-plan engine all share one workload registry.
 //!
 //! Programs are self-checking: each prints `OK …` (often a checksum that
 //! must agree across languages — des produces identical ciphertext in C,
@@ -20,7 +23,10 @@ pub mod perl_progs;
 pub mod runner;
 pub mod tcl_progs;
 
-pub use guarded::{run_guarded, workload_names, GuardedRun};
+pub use guarded::{guarded_suite, run_guarded, GuardedRun};
+#[allow(deprecated)]
+pub use guarded::workload_names;
 pub use runner::{
-    compiled_suite, macro_suite, micro_iterations, run_macro, run_micro, RunResult, Scale,
+    compiled_suite, macro_names, macro_suite, micro_iterations, micro_suite, run_macro,
+    run_micro, RunResult, Runner, Scale,
 };

@@ -2,21 +2,16 @@
 //! machine, loads inputs and events, runs the right interpreter, and
 //! returns the counters — the piece of plumbing every experiment shares.
 
-use interp_core::{CommandSet, Language, RunStats, TraceSink};
+use interp_core::{
+    CommandSet, ConsoleDigest, Language, RunArtifact, RunStats, TraceSink, WorkloadId,
+    WorkloadKind,
+};
 use interp_host::{Machine, UiEvent};
 
 use crate::minic_progs::{self, instantiate};
 use crate::{inputs, joule_progs, micro, perl_progs, tcl_progs};
 
-/// Workload sizing: `Test` finishes in milliseconds for CI; `Paper` is
-/// the scale the benchmark harness uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Tiny inputs for fast test runs.
-    Test,
-    /// Full-size inputs for the experiment harness.
-    Paper,
-}
+pub use interp_core::Scale;
 
 /// Everything a finished run yields.
 pub struct RunResult<S> {
@@ -32,34 +27,73 @@ pub struct RunResult<S> {
     pub program_bytes: usize,
 }
 
-/// The macro benchmark suite: `(language, benchmark)` pairs in Table 2
-/// order.
-pub fn macro_suite() -> Vec<(Language, &'static str)> {
-    let mut suite = vec![(Language::C, "des")];
-    for name in ["des", "compress", "eqntott", "espresso", "li"] {
-        suite.push((Language::Mipsi, name));
+impl<S> RunResult<S> {
+    /// The sink-independent part of this result as a memoizable
+    /// [`RunArtifact`] (no cycle summary or sweep points — the run-plan
+    /// engine fills those in from the concrete sink).
+    pub fn base_artifact(&self) -> RunArtifact {
+        RunArtifact {
+            stats: self.stats.clone(),
+            commands: self.commands.clone(),
+            console: ConsoleDigest::of(&self.console),
+            program_bytes: self.program_bytes,
+            cycles: None,
+            sweep: None,
+        }
     }
-    for name in ["des", "asteroids", "hanoi", "javac", "mand"] {
-        suite.push((Language::Javelin, name));
+}
+
+/// Macro benchmarks per interpreted language, in Table 2 order. For `C`
+/// this is the *compiled comparison set* (the Figure 3 "SPEC" programs);
+/// Table 2's C section is just `des`.
+pub fn macro_names(language: Language) -> &'static [&'static str] {
+    match language {
+        Language::C => &["des", "compress", "eqntott", "espresso", "li", "cc_lite"],
+        Language::Mipsi => &["des", "compress", "eqntott", "espresso", "li"],
+        Language::Javelin => &["des", "asteroids", "hanoi", "javac", "mand"],
+        Language::Perlite => &["des", "a2ps", "plexus", "txt2html", "weblint"],
+        Language::Tclite => &[
+            "des", "tcllex", "tcltags", "hanoi", "demos", "ical", "tkdiff", "xf",
+        ],
     }
-    for name in ["des", "a2ps", "plexus", "txt2html", "weblint"] {
-        suite.push((Language::Perlite, name));
-    }
-    for name in [
-        "des", "tcllex", "tcltags", "hanoi", "demos", "ical", "tkdiff", "xf",
+}
+
+/// The macro benchmark suite in Table 2 order, as typed [`WorkloadId`]s.
+pub fn macro_suite(scale: Scale) -> Vec<WorkloadId> {
+    let mut suite = vec![WorkloadId::macro_bench(Language::C, "des", scale)];
+    for language in [
+        Language::Mipsi,
+        Language::Javelin,
+        Language::Perlite,
+        Language::Tclite,
     ] {
-        suite.push((Language::Tclite, name));
+        suite.extend(
+            macro_names(language)
+                .iter()
+                .map(|&name| WorkloadId::macro_bench(language, name, scale)),
+        );
     }
     suite
 }
 
 /// The compiled comparison set for Figure 3 (the paper's SPEC programs,
 /// run natively).
-pub fn compiled_suite() -> Vec<(Language, &'static str)> {
-    ["des", "compress", "eqntott", "espresso", "li", "cc_lite"]
+pub fn compiled_suite(scale: Scale) -> Vec<WorkloadId> {
+    macro_names(Language::C)
         .iter()
-        .map(|n| (Language::C, *n))
+        .map(|&name| WorkloadId::macro_bench(Language::C, name, scale))
         .collect()
+}
+
+/// The Table 1 microbenchmark grid: every micro in all five languages.
+pub fn micro_suite(scale: Scale) -> Vec<WorkloadId> {
+    let mut suite = Vec::new();
+    for &name in micro::MICRO_NAMES.iter() {
+        for language in Language::ALL {
+            suite.push(WorkloadId::micro(language, name, scale));
+        }
+    }
+    suite
 }
 
 fn n(scale: Scale, test: u32, paper: u32) -> String {
@@ -520,6 +554,42 @@ pub fn micro_iterations(language: Language, name: &str, scale: Scale) -> u64 {
     }
 }
 
+/// The unified runner facade: one typed entry point over
+/// [`run_macro`], [`run_micro`], and the guarded runner, dispatching on
+/// [`WorkloadId::kind`]. Experiments and the run-plan engine go through
+/// this instead of choosing an entry point by hand.
+pub struct Runner;
+
+impl Runner {
+    /// Run `workload` into `sink` and return the full result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown workload names or failed self-checks, exactly
+    /// like the underlying entry points. Use [`Runner::run_guarded`] for
+    /// a panic-free boundary.
+    pub fn run<S: TraceSink>(workload: WorkloadId, sink: S) -> RunResult<S> {
+        match workload.kind {
+            WorkloadKind::Macro => {
+                run_macro(workload.language, workload.name, workload.scale, sink)
+            }
+            WorkloadKind::Micro => {
+                run_micro(workload.language, workload.name, workload.scale, sink)
+            }
+        }
+    }
+
+    /// Run `workload` under resource limits with fault injection, never
+    /// panicking. See [`crate::guarded::run_guarded`].
+    pub fn run_guarded(
+        workload: WorkloadId,
+        limits: interp_guard::Limits,
+        plan: &interp_guard::FaultPlan,
+    ) -> crate::guarded::GuardedRun {
+        crate::guarded::run_guarded(workload, limits, plan)
+    }
+}
+
 fn finish<S: TraceSink>(
     mut machine: Machine<S>,
     commands: CommandSet,
@@ -547,27 +617,44 @@ mod tests {
 
     #[test]
     fn entire_macro_suite_runs_at_test_scale() {
-        for (lang, name) in macro_suite() {
-            let result = run_macro(lang, name, Scale::Test, NullSink);
+        for id in macro_suite(Scale::Test) {
+            let result = Runner::run(id, NullSink);
             assert!(
                 result.stats.instructions > 1000,
-                "{lang} {name}: too few instructions"
+                "{id}: too few instructions"
             );
             assert!(
                 result.console.contains("OK"),
-                "{lang} {name}: no self-check output: {}",
+                "{id}: no self-check output: {}",
                 result.console
             );
+            let artifact = result.base_artifact();
+            assert!(artifact.console.ok, "{id}: digest disagrees with console");
+            assert_eq!(artifact.stats.instructions, result.stats.instructions);
         }
     }
 
     #[test]
     fn compiled_suite_runs() {
-        for (lang, name) in compiled_suite() {
-            let result = run_macro(lang, name, Scale::Test, NullSink);
-            assert!(result.console.contains("OK"), "{lang} {name}");
+        for id in compiled_suite(Scale::Test) {
+            let result = Runner::run(id, NullSink);
+            assert!(result.console.contains("OK"), "{id}");
             // Native execution: fetch/decode is free.
-            assert_eq!(result.stats.avg_fetch_decode(), 0.0, "{name}");
+            assert_eq!(result.stats.avg_fetch_decode(), 0.0, "{id}");
+        }
+    }
+
+    #[test]
+    fn suites_are_typed_and_sized_like_the_paper() {
+        let macros = macro_suite(Scale::Test);
+        assert_eq!(macros.len(), 24, "Table 2 has 24 rows");
+        assert!(macros.iter().all(|id| id.kind == WorkloadKind::Macro));
+        let micros = micro_suite(Scale::Test);
+        assert_eq!(micros.len(), 30, "Table 1: 6 micros x 5 languages");
+        assert!(micros.iter().all(|id| id.kind == WorkloadKind::Micro));
+        // Every suite id is resolvable by name in its language registry.
+        for id in macros {
+            assert!(macro_names(id.language).contains(&id.name), "{id}");
         }
     }
 

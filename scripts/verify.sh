@@ -8,6 +8,9 @@
 #                        code, which is where the historical unwrap/assert
 #                        sites live). The new crates additionally build
 #                        warning-free.
+#   determinism        — `repro` stdout must be byte-identical on 1 worker
+#                        vs many; the timed comparison also shows the
+#                        parallel plan finishing no slower than serial.
 #   guard smoke        — a fast 16-seed fault-injection sweep across all
 #                        five execution engines; exits nonzero if any run
 #                        panics instead of returning a typed outcome.
@@ -26,8 +29,22 @@ cargo clippy --workspace -q -- \
 cargo clippy -p interp-guard -p interp-microbench -q -- \
   -D warnings -D clippy::unwrap_used -D clippy::panic
 
-echo "== guard smoke sweep (16 seeds, test scale) =="
+echo "== repro determinism (1 worker vs many, test scale) =="
 cargo build --release -p interp-harness --bins
-./target/release/repro guard --seeds 16 --scale test
+REPRO=./target/release/repro
+t0=$(date +%s.%N)
+"$REPRO" all --scale test --jobs 1 >/tmp/repro_serial.txt 2>/dev/null
+t1=$(date +%s.%N)
+"$REPRO" all --scale test >/tmp/repro_parallel.txt 2>/tmp/repro_timings.txt
+t2=$(date +%s.%N)
+cmp /tmp/repro_serial.txt /tmp/repro_parallel.txt \
+  || { echo "repro output differs between --jobs 1 and parallel"; exit 1; }
+serial=$(echo "$t1 $t0" | awk '{printf "%.2f", $1-$2}')
+parallel=$(echo "$t2 $t1" | awk '{printf "%.2f", $1-$2}')
+echo "repro all (test scale): serial ${serial}s, parallel ${parallel}s"
+grep "run plan:" /tmp/repro_timings.txt
+
+echo "== guard smoke sweep (16 seeds, test scale) =="
+"$REPRO" guard --seeds 16 --scale test
 
 echo "verify: OK"

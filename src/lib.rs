@@ -13,7 +13,11 @@
 //! * [`mipsi`], [`javelin`], [`perlite`], [`tclite`] — the four
 //!   interpreters, spanning the paper's virtual-machine spectrum.
 //! * [`nativeref`] — direct (compiled) execution of the same binaries.
-//! * [`workloads`] — the Table 1 microbenchmarks and Table 2 macro suite.
+//! * [`workloads`] — the Table 1 microbenchmarks and Table 2 macro suite,
+//!   addressed through typed [`core::WorkloadId`]s.
+//! * [`runplan`] — the parallel run-plan engine: deduplicates the
+//!   experiments' typed [`core::RunRequest`]s, executes them on a worker
+//!   pool, and memoizes [`core::RunArtifact`]s for every renderer.
 //! * [`harness`] — drivers that regenerate every table and figure.
 //!
 //! # Quickstart
@@ -44,5 +48,6 @@ pub use interp_minic as minic;
 pub use interp_mipsi as mipsi;
 pub use interp_nativeref as nativeref;
 pub use interp_perlite as perlite;
+pub use interp_runplan as runplan;
 pub use interp_tclite as tclite;
 pub use interp_workloads as workloads;
