@@ -21,6 +21,8 @@ pub struct ItlbAblation {
     pub stall_8_entries: f64,
     /// iTLB stall fraction with 32 entries.
     pub stall_32_entries: f64,
+    /// Degradation marker when either variant's run failed.
+    pub degraded: Option<String>,
 }
 
 /// The iTLB ablation's subjects: the two macro benchmarks the paper
@@ -52,15 +54,25 @@ pub fn ablation_itlb_from(store: &ArtifactStore, scale: Scale) -> Vec<ItlbAblati
     itlb_subjects(scale)
         .into_iter()
         .map(|w| {
-            let base = store.expect(&RunRequest::pipeline(w)).cycle_summary();
-            let big = store
-                .expect(&RunRequest::new(w, SinkKind::PipelineWideItlb))
-                .cycle_summary();
-            let itlb = StallCause::Itlb.label();
-            ItlbAblation {
-                benchmark: format!("{}-{}", w.language.label(), w.name),
-                stall_8_entries: base.stall_fraction(itlb),
-                stall_32_entries: big.stall_fraction(itlb),
+            let benchmark = format!("{}-{}", w.language.label(), w.name);
+            let base = crate::degrade::cell(store, &RunRequest::pipeline(w));
+            let big = crate::degrade::cell(store, &RunRequest::new(w, SinkKind::PipelineWideItlb));
+            match (base, big) {
+                (Ok(base), Ok(big)) => {
+                    let itlb = StallCause::Itlb.label();
+                    ItlbAblation {
+                        benchmark,
+                        stall_8_entries: base.cycle_summary().stall_fraction(itlb),
+                        stall_32_entries: big.cycle_summary().stall_fraction(itlb),
+                        degraded: None,
+                    }
+                }
+                (Err(marker), _) | (_, Err(marker)) => ItlbAblation {
+                    benchmark,
+                    stall_8_entries: 0.0,
+                    stall_32_entries: 0.0,
+                    degraded: Some(marker),
+                },
             }
         })
         .collect()
@@ -199,6 +211,10 @@ pub fn render_from(store: &ArtifactStore, scale: Scale) -> String {
     let _ = writeln!(out, "Ablations");
     let _ = writeln!(out, "-- iTLB 8 -> 32 entries (Section 4.1)");
     for row in ablation_itlb_from(store, scale) {
+        if let Some(marker) = &row.degraded {
+            let _ = writeln!(out, "  {:<24} {marker}", row.benchmark);
+            continue;
+        }
         let _ = writeln!(
             out,
             "  {:<24} itlb stalls {:>5.1}% -> {:>5.1}%",

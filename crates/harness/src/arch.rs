@@ -17,6 +17,8 @@ pub struct Fig3Bar {
     pub busy: f64,
     /// Unfilled-slot fractions in [`StallCause::ALL`] order.
     pub stalls: [f64; 8],
+    /// Degradation marker when the bar's run failed (fractions zeroed).
+    pub degraded: Option<String>,
 }
 
 impl Fig3Bar {
@@ -59,16 +61,28 @@ pub fn fig3_from(store: &ArtifactStore, scale: Scale) -> Vec<Fig3Bar> {
     fig3_suite(scale)
         .into_iter()
         .map(|workload| {
-            let cycles = store.expect(&RunRequest::pipeline(workload)).cycle_summary();
-            let mut stalls = [0.0; 8];
-            for (i, &cause) in StallCause::ALL.iter().enumerate() {
-                stalls[i] = cycles.stall_fraction(cause.label());
-            }
-            Fig3Bar {
-                language: workload.language,
-                benchmark: workload.name.to_string(),
-                busy: cycles.busy_fraction,
-                stalls,
+            match crate::degrade::cell(store, &RunRequest::pipeline(workload)) {
+                Ok(artifact) => {
+                    let cycles = artifact.cycle_summary();
+                    let mut stalls = [0.0; 8];
+                    for (i, &cause) in StallCause::ALL.iter().enumerate() {
+                        stalls[i] = cycles.stall_fraction(cause.label());
+                    }
+                    Fig3Bar {
+                        language: workload.language,
+                        benchmark: workload.name.to_string(),
+                        busy: cycles.busy_fraction,
+                        stalls,
+                        degraded: None,
+                    }
+                }
+                Err(marker) => Fig3Bar {
+                    language: workload.language,
+                    benchmark: workload.name.to_string(),
+                    busy: 0.0,
+                    stalls: [0.0; 8],
+                    degraded: Some(marker),
+                },
             }
         })
         .collect()
@@ -91,6 +105,10 @@ pub struct Fig4Series {
     pub benchmark: String,
     /// Twelve grid points (sizes 8/16/32/64 KB × assoc 1/2/4).
     pub points: Vec<SweepPointSummary>,
+    /// Degradation marker when the sweep run failed (points empty; the
+    /// render must check this before asking [`Fig4Series::at`] for a
+    /// grid point).
+    pub degraded: Option<String>,
 }
 
 impl Fig4Series {
@@ -126,11 +144,19 @@ pub fn fig4_requests(scale: Scale) -> Vec<RunRequest> {
 pub fn fig4_from(store: &ArtifactStore, scale: Scale) -> Vec<Fig4Series> {
     fig4_suite(scale)
         .map(|workload| {
-            let artifact = store.expect(&RunRequest::new(workload, SinkKind::ICacheSweep));
-            Fig4Series {
-                language: workload.language,
-                benchmark: workload.name.to_string(),
-                points: artifact.sweep_points().to_vec(),
+            match crate::degrade::cell(store, &RunRequest::new(workload, SinkKind::ICacheSweep)) {
+                Ok(artifact) => Fig4Series {
+                    language: workload.language,
+                    benchmark: workload.name.to_string(),
+                    points: artifact.sweep_points().to_vec(),
+                    degraded: None,
+                },
+                Err(marker) => Fig4Series {
+                    language: workload.language,
+                    benchmark: workload.name.to_string(),
+                    points: Vec::new(),
+                    degraded: Some(marker),
+                },
             }
         })
         .collect()
@@ -153,6 +179,10 @@ pub fn render_fig3(bars: &[Fig3Bar]) -> String {
     }
     let _ = writeln!(out);
     for bar in bars {
+        if let Some(marker) = &bar.degraded {
+            let _ = writeln!(out, "{:<16} {marker}", bar.label());
+            continue;
+        }
         let _ = write!(out, "{:<16} {:>5.1}%", bar.label(), bar.busy * 100.0);
         for s in bar.stalls {
             let _ = write!(out, " {:>9.1}%", s * 100.0);
@@ -176,14 +206,19 @@ pub fn render_fig4(series: &[Fig4Series]) -> String {
         "benchmark", "8K/1w", "16K/1w", "32K/1w", "64K/1w", "32K/2w", "64K/2w", "32K/4w", "64K/4w"
     );
     for s in series {
+        let label = format!(
+            "{}-{}",
+            s.language.label().split(' ').next().unwrap_or(""),
+            s.benchmark
+        );
+        if let Some(marker) = &s.degraded {
+            let _ = writeln!(out, "{label:<18} {marker}");
+            continue;
+        }
         let _ = writeln!(
             out,
             "{:<18} {:>7.2} {:>7.2} {:>7.2} {:>7.2}   {:>7.2} {:>7.2}   {:>7.2} {:>7.2}",
-            format!(
-                "{}-{}",
-                s.language.label().split(' ').next().unwrap_or(""),
-                s.benchmark
-            ),
+            label,
             s.at(8, 1),
             s.at(16, 1),
             s.at(32, 1),

@@ -1,10 +1,12 @@
 //! `repro`: regenerate every table and figure of the paper, plus the
-//! robustness sweep.
+//! robustness sweeps.
 //!
 //! ```text
-//! repro [TARGETS] [--scale test|paper] [--jobs N]
+//! repro [TARGETS] [--scale test|paper] [--jobs N] [--retries N]
+//!       [--timeout-fuel N] [--strict]
 //! repro list [--scale test|paper]
 //! repro guard [--seeds N] [--scale test|paper]
+//! repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]
 //! ```
 //!
 //! `TARGETS` is one or more experiment names, comma- or space-separated
@@ -16,15 +18,29 @@
 //! paper order on stdout; the per-run timing report goes to stderr so
 //! stdout is byte-identical across job counts.
 //!
+//! Execution is *supervised*: a run that panics, faults, or blows its
+//! `--timeout-fuel` deadline degrades its own cells (`DEGRADED(<kind>)`)
+//! instead of killing the other runs. Transient failures are retried up
+//! to `--retries N` times (default 1) in deterministic plan-order
+//! rounds; what still fails is summarized on stderr. The exit status
+//! stays 0 for a degraded-but-complete report unless `--strict` is
+//! given, which turns any degradation into exit status 3.
+//!
 //! `--scale paper` runs full workload sizes (`--paper` is an accepted
 //! alias; the default is the fast test scale). `guard` sweeps N seeded
 //! fault plans per interpreter (default 64) and exits nonzero if any run
-//! escapes through a panic. Unknown flags and targets are rejected with
-//! exit status 2.
+//! escapes through a panic. `chaos` executes the full plan once per seed
+//! with faults injected into the interpreters *and* the pool, asserting
+//! every seed completes with job-count-invariant degradation markers.
+//! Unknown flags and targets are rejected with exit status 2.
 
 use interp_core::RunRequest;
 use interp_harness::{ablations, arch, figures, guard_sweep, memmodel, table1, table2, Scale};
-use interp_runplan::{default_jobs, execute, render_timings, ArtifactStore, Plan};
+use interp_runplan::{
+    chaos_execute, default_jobs, execute_supervised, render_chaos_summary, render_failures,
+    render_timings, with_quiet_injected_panics, ArtifactStore, Plan, ResolveError,
+    SuperviseConfig,
+};
 
 /// Every experiment target, in canonical render order.
 const TARGETS: [(&str, &str); 9] = [
@@ -42,9 +58,10 @@ const TARGETS: [(&str, &str); 9] = [
 fn usage() -> String {
     let names: Vec<&str> = TARGETS.iter().map(|(n, _)| *n).collect();
     format!(
-        "usage: repro [TARGETS] [--scale test|paper] [--jobs N]\n\
+        "usage: repro [TARGETS] [--scale test|paper] [--jobs N] [--retries N] [--timeout-fuel N] [--strict]\n\
          \x20      repro list [--scale test|paper]\n\
          \x20      repro guard [--seeds N] [--scale test|paper]\n\
+         \x20      repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]\n\
          targets: {} | all (default), comma- or space-separated",
         names.join(" | ")
     )
@@ -58,11 +75,29 @@ fn bail(msg: &str) -> ! {
 
 /// Parsed command line.
 struct Cli {
-    /// Selected targets (or the `list`/`guard` subcommand word).
+    /// Selected targets (or the `list`/`guard`/`chaos` subcommand word).
     targets: Vec<String>,
     scale: Scale,
     jobs: usize,
-    seeds: u64,
+    /// `--seeds` if given; `guard` defaults to 64, `chaos` to 8.
+    seeds: Option<u64>,
+    /// Retry budget for transient failures (faults, deadlines).
+    retries: u32,
+    /// Cooperative fuel deadline per attempt, if any.
+    timeout_fuel: Option<u64>,
+    /// Exit 3 instead of 0 when the report is degraded.
+    strict: bool,
+}
+
+impl Cli {
+    /// The supervision policy the flags describe.
+    fn supervise_config(&self) -> SuperviseConfig {
+        let config = SuperviseConfig::new().with_retries(self.retries);
+        match self.timeout_fuel {
+            Some(fuel) => config.with_timeout_fuel(fuel),
+            None => config,
+        }
+    }
 }
 
 fn parse(args: &[String]) -> Cli {
@@ -71,6 +106,9 @@ fn parse(args: &[String]) -> Cli {
     let mut paper_alias = false;
     let mut jobs: Option<usize> = None;
     let mut seeds: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut timeout_fuel: Option<u64> = None;
+    let mut strict = false;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -103,6 +141,20 @@ fn parse(args: &[String]) -> Cli {
                 Ok(n) if n > 0 => seeds = Some(n),
                 _ => bail(&format!("--seeds expects a positive integer, got `{v}`")),
             }
+        } else if arg == "--retries" || arg.starts_with("--retries=") {
+            let v = take_value("--retries");
+            match v.parse::<u32>() {
+                Ok(n) => retries = Some(n),
+                _ => bail(&format!("--retries expects a non-negative integer, got `{v}`")),
+            }
+        } else if arg == "--timeout-fuel" || arg.starts_with("--timeout-fuel=") {
+            let v = take_value("--timeout-fuel");
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => timeout_fuel = Some(n),
+                _ => bail(&format!("--timeout-fuel expects a positive integer, got `{v}`")),
+            }
+        } else if arg == "--strict" {
+            strict = true;
         } else if arg.starts_with('-') {
             bail(&format!("unknown flag `{arg}`"));
         } else {
@@ -124,7 +176,10 @@ fn parse(args: &[String]) -> Cli {
         targets,
         scale,
         jobs: jobs.unwrap_or_else(default_jobs),
-        seeds: seeds.unwrap_or(64),
+        seeds,
+        retries: retries.unwrap_or(1),
+        timeout_fuel,
+        strict,
     }
 }
 
@@ -209,6 +264,7 @@ fn print_list(scale: Scale) {
     }
     println!("  all        every target above, one shared deduplicated plan");
     println!("  guard      seeded fault-injection sweep (not memoized)");
+    println!("  chaos      full plan under seeded guest+pool fault injection");
     println!();
     println!("macro workloads ({}):", scale.label());
     for id in interp_workloads::macro_suite(scale) {
@@ -222,9 +278,53 @@ fn print_list(scale: Scale) {
 }
 
 fn run_guard_sweep(cli: &Cli) -> ! {
-    let report = guard_sweep::sweep(cli.scale, cli.seeds);
+    let report = guard_sweep::sweep(cli.scale, cli.seeds.unwrap_or(64));
     print!("{}", guard_sweep::render(&report));
     std::process::exit(if report.total_panics() == 0 { 0 } else { 1 });
+}
+
+/// `repro chaos`: execute the full plan once per seed with faults
+/// injected into both the interpreters and the pool, asserting every
+/// plan still completes — each slot resolves to an artifact or a typed
+/// failure — and that a serial re-run degrades identically.
+fn run_chaos(cli: &Cli) -> ! {
+    let plan = Plan::build(
+        TARGETS
+            .iter()
+            .flat_map(|(name, _)| requests_for(name, cli.scale)),
+    );
+    let config = cli.supervise_config();
+    let seeds = cli.seeds.unwrap_or(8);
+    let mut broken = 0u64;
+    for seed in 0..seeds {
+        let executed =
+            with_quiet_injected_panics(|| chaos_execute(&plan, cli.jobs, seed, &config));
+        for request in plan.requests() {
+            if matches!(
+                executed.store.resolve(request),
+                Err(ResolveError::Unplanned(_))
+            ) {
+                eprintln!("chaos seed {seed}: {request} missing from the store");
+                broken += 1;
+            }
+        }
+        let summary = render_chaos_summary(seed, &executed);
+        if cli.jobs > 1 {
+            let serial = with_quiet_injected_panics(|| chaos_execute(&plan, 1, seed, &config));
+            if render_chaos_summary(seed, &serial) != summary {
+                eprintln!(
+                    "chaos seed {seed}: degradation differs between --jobs {} and --jobs 1",
+                    cli.jobs
+                );
+                broken += 1;
+            }
+        }
+        print!("{summary}");
+    }
+    if broken == 0 {
+        println!("chaos: {seeds} seed(s) completed with deterministic degradation markers");
+    }
+    std::process::exit(if broken == 0 { 0 } else { 1 });
 }
 
 fn main() {
@@ -244,6 +344,12 @@ fn main() {
                 bail("`guard` takes no further targets");
             }
             run_guard_sweep(&cli);
+        }
+        Some("chaos") => {
+            if cli.targets.len() > 1 {
+                bail("`chaos` takes no further targets");
+            }
+            run_chaos(&cli);
         }
         _ => {}
     }
@@ -270,13 +376,20 @@ fn main() {
             .iter()
             .flat_map(|t| requests_for(t, cli.scale)),
     );
-    let executed = execute(&plan, cli.jobs);
+    let executed = execute_supervised(&plan, cli.jobs, &cli.supervise_config());
     eprint!("{}", render_timings(&executed));
+    // Empty when nothing failed; otherwise the typed per-slot report.
+    eprint!("{}", render_failures(&executed));
 
-    // Render in canonical order regardless of the order given.
+    // Render in canonical order regardless of the order given. Degraded
+    // slots print their `DEGRADED(<kind>)` markers in place, so the
+    // report is always complete.
     for (name, _) in TARGETS {
         if selected.iter().any(|t| t == name) {
             render_target(name, &executed.store, cli.scale);
         }
+    }
+    if cli.strict && executed.is_degraded() {
+        std::process::exit(3);
     }
 }

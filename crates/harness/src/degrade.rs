@@ -1,0 +1,68 @@
+//! Degraded-cell handling shared by every renderer.
+//!
+//! A supervised plan can finish with some slots holding a typed
+//! [`interp_runplan::RunFailure`] instead of an artifact. Renderers must
+//! keep printing: the failed cell degrades to its `DEGRADED(<kind>)`
+//! marker while every healthy cell renders normally. Only an *unplanned*
+//! lookup — the request/read halves of an experiment module disagreeing —
+//! still panics, because that is a harness bug, not a degraded run.
+
+use interp_core::{RunArtifact, RunRequest};
+use interp_runplan::{ArtifactStore, ResolveError};
+
+/// Resolve `request` for rendering: the artifact, or the degradation
+/// marker (`DEGRADED(panicked)`, `DEGRADED(deadline)`,
+/// `DEGRADED(faulted)`) to print in the cell's place.
+pub fn cell<'s>(
+    store: &'s ArtifactStore,
+    request: &RunRequest,
+) -> Result<&'s RunArtifact, String> {
+    match store.resolve(request) {
+        Ok(artifact) => Ok(artifact),
+        Err(ResolveError::Degraded(failure)) => Err(failure.cell()),
+        Err(error @ ResolveError::Unplanned(_)) => unplanned(&error),
+    }
+}
+
+// An unplanned lookup means the module's requests() half never asked for
+// what its *_from() half reads — that must fail loudly, not degrade.
+#[cold]
+#[allow(clippy::panic)]
+fn unplanned(error: &ResolveError) -> ! {
+    panic!("harness read an artifact outside its own plan: {error}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::{Language, Scale, WorkloadId};
+    use interp_runplan::RunFailure;
+
+    fn request() -> RunRequest {
+        RunRequest::counting(WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Test))
+    }
+
+    #[test]
+    fn present_artifacts_pass_through() {
+        let mut store = ArtifactStore::new();
+        store.insert(request(), RunArtifact::empty());
+        assert!(cell(&store, &request()).is_ok());
+    }
+
+    #[test]
+    fn degraded_slots_become_markers() {
+        let mut store = ArtifactStore::new();
+        store.insert_failure(request(), RunFailure::panicked(0, "boom"));
+        assert_eq!(
+            cell(&store, &request()).err(),
+            Some("DEGRADED(panicked)".into())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its own plan")]
+    fn unplanned_lookups_still_panic() {
+        let store = ArtifactStore::new();
+        let _ = cell(&store, &request());
+    }
+}

@@ -31,18 +31,32 @@ pub struct Fig1Series {
     pub points: Vec<CumulativePoint>,
     /// Top commands needed to cover 90% of execute instructions.
     pub commands_for_90pct: usize,
+    /// Degradation marker when the counting run failed (points empty).
+    pub degraded: Option<String>,
 }
 
 /// Assemble Figure 1 from memoized artifacts.
 pub fn fig1_from(store: &ArtifactStore, scale: Scale) -> Vec<Fig1Series> {
     interpreted_suite(scale)
         .map(|workload| {
-            let profile = store.expect(&RunRequest::counting(workload)).profile();
-            Fig1Series {
-                language: workload.language,
-                benchmark: workload.name.to_string(),
-                commands_for_90pct: profile.commands_to_cover(0.9),
-                points: profile.cumulative(),
+            match crate::degrade::cell(store, &RunRequest::counting(workload)) {
+                Ok(artifact) => {
+                    let profile = artifact.profile();
+                    Fig1Series {
+                        language: workload.language,
+                        benchmark: workload.name.to_string(),
+                        commands_for_90pct: profile.commands_to_cover(0.9),
+                        points: profile.cumulative(),
+                        degraded: None,
+                    }
+                }
+                Err(marker) => Fig1Series {
+                    language: workload.language,
+                    benchmark: workload.name.to_string(),
+                    commands_for_90pct: 0,
+                    points: Vec::new(),
+                    degraded: Some(marker),
+                },
             }
         })
         .collect()
@@ -64,6 +78,8 @@ pub struct Fig2Panel {
     pub benchmark: String,
     /// Rows, sorted by execute share.
     pub rows: Vec<HistogramRow>,
+    /// Degradation marker when the counting run failed (rows empty).
+    pub degraded: Option<String>,
 }
 
 /// Assemble Figure 2 panels (top 10 commands each) from memoized
@@ -71,11 +87,19 @@ pub struct Fig2Panel {
 pub fn fig2_from(store: &ArtifactStore, scale: Scale) -> Vec<Fig2Panel> {
     interpreted_suite(scale)
         .map(|workload| {
-            let profile = store.expect(&RunRequest::counting(workload)).profile();
-            Fig2Panel {
-                language: workload.language,
-                benchmark: workload.name.to_string(),
-                rows: profile.histogram(10),
+            match crate::degrade::cell(store, &RunRequest::counting(workload)) {
+                Ok(artifact) => Fig2Panel {
+                    language: workload.language,
+                    benchmark: workload.name.to_string(),
+                    rows: artifact.profile().histogram(10),
+                    degraded: None,
+                },
+                Err(marker) => Fig2Panel {
+                    language: workload.language,
+                    benchmark: workload.name.to_string(),
+                    rows: Vec::new(),
+                    degraded: Some(marker),
+                },
             }
         })
         .collect()
@@ -96,6 +120,10 @@ pub fn render_fig1(series: &[Fig1Series]) -> String {
         "Figure 1: top-N virtual commands vs cumulative % of execute instructions"
     );
     for s in series {
+        if let Some(marker) = &s.degraded {
+            let _ = writeln!(out, "{:<16} {:<10} {marker}", s.language.label(), s.benchmark);
+            continue;
+        }
         let head: Vec<String> = s
             .points
             .iter()
@@ -124,6 +152,10 @@ pub fn render_fig2(panels: &[Fig2Panel]) -> String {
     );
     for p in panels {
         let _ = writeln!(out, "--- {} {}", p.language.label(), p.benchmark);
+        if let Some(marker) = &p.degraded {
+            let _ = writeln!(out, "  {marker}");
+            continue;
+        }
         for row in &p.rows {
             let _ = writeln!(
                 out,

@@ -37,6 +37,12 @@ impl SweepRow {
     pub fn count(&self, tag: &str) -> u64 {
         self.tags.get(tag).copied().unwrap_or(0)
     }
+
+    /// Degradation marker when any seed escaped through a panic — the
+    /// same `DEGRADED(panicked)` cell the run-plan renderers print.
+    pub fn degraded(&self) -> Option<String> {
+        (!self.panics.is_empty()).then(|| format!("DEGRADED(panicked)x{}", self.panics.len()))
+    }
 }
 
 /// The full sweep: every language, `seeds` plans each.
@@ -102,13 +108,16 @@ pub fn render(report: &SweepReport) -> String {
         "language", "workload", "seeds", "completed", "panicked"
     );
     for row in &report.rows {
-        let hist = row
+        let mut hist = row
             .tags
             .iter()
             .filter(|(tag, _)| **tag != "completed")
             .map(|(tag, n)| format!("{tag}×{n}"))
             .collect::<Vec<_>>()
             .join(" ");
+        if let Some(marker) = row.degraded() {
+            hist = format!("{marker} {hist}");
+        }
         let _ = writeln!(
             out,
             "{:<10} {:<9} {:>6} {:>10} {:>9}  {hist}",

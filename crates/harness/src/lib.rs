@@ -43,6 +43,7 @@
 
 pub mod ablations;
 pub mod arch;
+pub mod degrade;
 pub mod figures;
 pub mod guard_sweep;
 pub mod memmodel;

@@ -18,6 +18,8 @@ pub struct MemModelRow {
     pub avg_cost: f64,
     /// Fraction of all instructions spent in the memory model.
     pub fraction: f64,
+    /// Degradation marker when the row's run failed (numbers zeroed).
+    pub degraded: Option<String>,
 }
 
 /// Every run §3.3 needs: counting runs of the interpreted macro suite
@@ -36,13 +38,26 @@ pub fn memmodel_from(store: &ArtifactStore, scale: Scale) -> Vec<MemModelRow> {
         .into_iter()
         .filter(|w| w.language != Language::C)
         .map(|workload| {
-            let stats = &store.expect(&RunRequest::counting(workload)).stats;
-            MemModelRow {
-                language: workload.language,
-                benchmark: workload.name.to_string(),
-                accesses: stats.mem_model_accesses,
-                avg_cost: stats.avg_mem_model_cost(),
-                fraction: stats.mem_model_fraction(),
+            match crate::degrade::cell(store, &RunRequest::counting(workload)) {
+                Ok(artifact) => {
+                    let stats = &artifact.stats;
+                    MemModelRow {
+                        language: workload.language,
+                        benchmark: workload.name.to_string(),
+                        accesses: stats.mem_model_accesses,
+                        avg_cost: stats.avg_mem_model_cost(),
+                        fraction: stats.mem_model_fraction(),
+                        degraded: None,
+                    }
+                }
+                Err(marker) => MemModelRow {
+                    language: workload.language,
+                    benchmark: workload.name.to_string(),
+                    accesses: 0,
+                    avg_cost: 0.0,
+                    fraction: 0.0,
+                    degraded: Some(marker),
+                },
             }
         })
         .collect()
@@ -66,6 +81,15 @@ pub fn render(rows: &[MemModelRow]) -> String {
         "language", "benchmark", "accesses", "instr/access", "% of total"
     );
     for row in rows {
+        if let Some(marker) = &row.degraded {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<10} {marker}",
+                row.language.label(),
+                row.benchmark
+            );
+            continue;
+        }
         let _ = writeln!(
             out,
             "{:<16} {:<10} {:>12} {:>14.1} {:>9.1}%",

@@ -21,11 +21,14 @@ pub struct Table1Row {
     pub name: &'static str,
     /// Paper description.
     pub description: &'static str,
-    /// Simulated cycles per iteration for compiled C.
+    /// Simulated cycles per iteration for compiled C (0 when degraded).
     pub c_cycles_per_iter: f64,
     /// Slowdown vs. C per interpreter, in `[Mipsi, Javelin, Perlite,
     /// Tclite]` order.
     pub slowdown: [f64; 4],
+    /// Per-column degradation markers: a column whose run (or whose C
+    /// baseline) failed renders this instead of a number.
+    pub degraded: [Option<String>; 4],
 }
 
 const INTERPRETERS: [Language; 4] = [
@@ -42,11 +45,16 @@ pub fn requests(scale: Scale) -> Vec<RunRequest> {
 }
 
 /// Cycles per iteration for one `(language, micro)` cell, read from the
-/// store.
-fn cycles_per_iter(store: &ArtifactStore, language: Language, name: &'static str, scale: Scale) -> f64 {
+/// store — or the degradation marker its failed run left behind.
+fn cycles_per_iter(
+    store: &ArtifactStore,
+    language: Language,
+    name: &'static str,
+    scale: Scale,
+) -> Result<f64, String> {
     let request = RunRequest::pipeline(WorkloadId::micro(language, name, scale));
-    let cycles = store.expect(&request).cycle_summary().cycles;
-    cycles as f64 / micro_iterations(language, name, scale) as f64
+    let cycles = crate::degrade::cell(store, &request)?.cycle_summary().cycles;
+    Ok(cycles as f64 / micro_iterations(language, name, scale) as f64)
 }
 
 /// Assemble all Table 1 rows from memoized artifacts.
@@ -55,13 +63,22 @@ pub fn table1_from(store: &ArtifactStore, scale: Scale) -> Vec<Table1Row> {
         .iter()
         .map(|&name| {
             let c = cycles_per_iter(store, Language::C, name, scale);
-            let slowdown =
-                INTERPRETERS.map(|lang| cycles_per_iter(store, lang, name, scale) / c);
+            let mut slowdown = [0.0; 4];
+            let mut degraded: [Option<String>; 4] = Default::default();
+            for (i, lang) in INTERPRETERS.into_iter().enumerate() {
+                // A degraded C baseline degrades every ratio in the row.
+                match (&c, cycles_per_iter(store, lang, name, scale)) {
+                    (Ok(c), Ok(cycles)) => slowdown[i] = cycles / c,
+                    (Err(marker), _) => degraded[i] = Some(marker.clone()),
+                    (Ok(_), Err(marker)) => degraded[i] = Some(marker),
+                }
+            }
             Table1Row {
                 name,
                 description: interp_workloads::micro::micro_description(name),
-                c_cycles_per_iter: c,
+                c_cycles_per_iter: c.unwrap_or(0.0),
                 slowdown,
+                degraded,
             }
         })
         .collect()
@@ -88,11 +105,18 @@ pub fn render(rows: &[Table1Row]) -> String {
         "benchmark", "MIPSI", "Java", "Perl", "Tcl"
     );
     for row in rows {
-        let _ = writeln!(
-            out,
-            "{:<15} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-            row.name, row.slowdown[0], row.slowdown[1], row.slowdown[2], row.slowdown[3]
-        );
+        let _ = write!(out, "{:<15}", row.name);
+        for (value, marker) in row.slowdown.iter().zip(&row.degraded) {
+            match marker {
+                Some(cell) => {
+                    let _ = write!(out, " {cell:>10}");
+                }
+                None => {
+                    let _ = write!(out, " {value:>10.1}");
+                }
+            }
+        }
+        let _ = writeln!(out);
     }
     out
 }

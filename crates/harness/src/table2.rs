@@ -27,6 +27,9 @@ pub struct Table2Row {
     pub avg_execute: f64,
     /// Total simulated cycles.
     pub cycles: u64,
+    /// Degradation marker when the row's run failed (numeric fields are
+    /// zeroed and the render prints this instead).
+    pub degraded: Option<String>,
 }
 
 /// Every run Table 2 needs: the macro suite under the pipeline model.
@@ -39,7 +42,23 @@ pub fn table2_from(store: &ArtifactStore, scale: Scale) -> Vec<Table2Row> {
     macro_suite(scale)
         .into_iter()
         .map(|workload| {
-            let artifact = store.expect(&RunRequest::pipeline(workload));
+            let artifact = match crate::degrade::cell(store, &RunRequest::pipeline(workload)) {
+                Ok(artifact) => artifact,
+                Err(marker) => {
+                    return Table2Row {
+                        language: workload.language,
+                        benchmark: workload.name.to_string(),
+                        program_bytes: 0,
+                        commands: 0,
+                        native_instructions: 0,
+                        startup_instructions: 0,
+                        avg_fetch_decode: 0.0,
+                        avg_execute: 0.0,
+                        cycles: 0,
+                        degraded: Some(marker),
+                    }
+                }
+            };
             let stats = &artifact.stats;
             Table2Row {
                 language: workload.language,
@@ -51,6 +70,7 @@ pub fn table2_from(store: &ArtifactStore, scale: Scale) -> Vec<Table2Row> {
                 avg_fetch_decode: stats.avg_fetch_decode(),
                 avg_execute: stats.avg_execute(),
                 cycles: artifact.cycle_summary().cycles,
+                degraded: None,
             }
         })
         .collect()
@@ -74,6 +94,15 @@ pub fn render(rows: &[Table2Row]) -> String {
         "language", "benchmark", "size(B)", "vcommands", "native-insn", "startup", "avg-F/D", "avg-exec", "cycles"
     );
     for row in rows {
+        if let Some(marker) = &row.degraded {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<10} {marker}",
+                row.language.label(),
+                row.benchmark
+            );
+            continue;
+        }
         let _ = writeln!(
             out,
             "{:<16} {:<10} {:>8} {:>12} {:>14} {:>10} {:>9.1} {:>9.1} {:>12}",

@@ -4,8 +4,12 @@
 //! request set, and artifacts land in per-index slots — but the property
 //! is the whole point of the engine, so pin it end to end.
 
-use interp_harness::{table1, table2, Scale};
-use interp_runplan::{execute, Plan};
+use interp_core::{Language, RunRequest, WorkloadId};
+use interp_harness::{ablations, arch, figures, memmodel, table1, table2, Scale};
+use interp_runplan::{
+    execute, render_failures, run_request, supervise_with, with_quiet_injected_panics, Plan,
+    SuperviseConfig,
+};
 
 #[test]
 fn table_renderings_are_byte_identical_across_job_counts() {
@@ -37,4 +41,70 @@ fn table_renderings_are_byte_identical_across_job_counts() {
     let b = render(&parallel.store);
     assert!(!a.is_empty());
     assert_eq!(a, b, "renderings must not depend on the worker count");
+}
+
+/// The supervision acceptance property, end to end at the renderer
+/// layer: a deliberately panicking workload injected into the full
+/// `repro all` plan still yields a complete report — every table
+/// renders, the poisoned cells degrade to `DEGRADED(panicked)` — and
+/// that degraded report is byte-identical on 1 worker vs 8.
+#[test]
+fn degraded_repro_all_report_is_complete_and_byte_identical() {
+    let scale = Scale::Test;
+    let plan = Plan::build(
+        table1::requests(scale)
+            .into_iter()
+            .chain(table2::requests(scale))
+            .chain(figures::requests(scale))
+            .chain(memmodel::requests(scale))
+            .chain(arch::fig3_requests(scale))
+            .chain(arch::fig4_requests(scale))
+            .chain(ablations::requests(scale)),
+    );
+    // Poison a pipeline run that table2/fig3 read directly and whose
+    // counting twin fig1/fig2/memmodel resolve through subsumption, so
+    // one panic degrades cells across many tables at once.
+    let poison = RunRequest::pipeline(WorkloadId::macro_bench(Language::Tclite, "des", scale));
+    assert!(plan.requests().contains(&poison));
+    let config = SuperviseConfig::new().with_retries(1);
+    let run = |request: &RunRequest, _attempt: u32| {
+        if *request == poison {
+            panic!("chaos: deliberate test panic in the shared plan");
+        }
+        Ok(run_request(request))
+    };
+    let render = |jobs: usize| {
+        let executed = with_quiet_injected_panics(|| supervise_with(&plan, jobs, &config, run));
+        let s = &executed.store;
+        let report = format!(
+            "{}{}{}{}{}{}{}{}",
+            table1::render(&table1::table1_from(s, scale)),
+            table2::render(&table2::table2_from(s, scale)),
+            figures::render_fig1(&figures::fig1_from(s, scale)),
+            figures::render_fig2(&figures::fig2_from(s, scale)),
+            memmodel::render(&memmodel::memmodel_from(s, scale)),
+            arch::render_fig3(&arch::fig3_from(s, scale)),
+            arch::render_fig4(&arch::fig4_from(s, scale)),
+            ablations::render_from(s, scale),
+        );
+        (report, render_failures(&executed))
+    };
+
+    let (serial_report, serial_failures) = render(1);
+    let (parallel_report, parallel_failures) = render(8);
+    assert_eq!(
+        serial_report, parallel_report,
+        "degraded report must not depend on the worker count"
+    );
+    assert_eq!(serial_failures, parallel_failures);
+
+    // Complete: the poisoned workload degraded its cells — directly and
+    // through subsumption — while every other row rendered numerically.
+    assert!(serial_report.contains("DEGRADED(panicked)"), "{serial_report}");
+    assert!(serial_failures.contains("panicked on attempt 0"), "{serial_failures}");
+    assert_eq!(
+        serial_report.matches("DEGRADED").count(),
+        5,
+        "table2 + fig1 + fig2 + memmodel + fig3 each degrade one row:\n{serial_report}"
+    );
 }

@@ -1,0 +1,316 @@
+//! Chaos execution: run a whole plan under seeded fault injection aimed
+//! at *both* layers — the interpreters (guest corruption through the
+//! guarded runner) and the pool itself (worker stalls, artifact drops,
+//! worker panics) — and prove the suite still completes with
+//! deterministic degradation markers.
+//!
+//! Every injection decision is a pure function of `(seed, request,
+//! attempt)`, never of the worker that picked the run up, so a chaos run
+//! at `--jobs 1` and `--jobs 8` degrades the same slots with the same
+//! markers. That property is what `repro chaos --seeds N` asserts.
+
+use crate::plan::Plan;
+use crate::pool::{self, supervise_with, ExecutedPlan};
+use crate::supervise::{FailureKind, RunFailure, SuperviseConfig};
+use interp_core::{Language, RunArtifact, RunRequest, WorkloadKind};
+use interp_guard::{FaultPlan, Limits, Rng64, RunOutcome};
+use interp_workloads::run_guarded;
+
+/// Stream-splitting constant so chaos lane rolls are decorrelated from
+/// the guest-corruption streams derived from the same seed.
+const CHAOS_STREAM: u64 = 0xC4A0_5F00_1157_EED5;
+
+/// Fuel a stalled worker is allowed to burn: far below any real
+/// workload's cost, so the stall deterministically trips the fuel
+/// deadline instead of finishing.
+const STALL_FUEL: u64 = 1_000;
+
+/// Which injection a chaos run applies to one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosLane {
+    /// No injection — the run executes normally.
+    Clean,
+    /// Guest corruption on attempt 0 only; the retry runs clean and
+    /// recovers. Exercises the transient-retry path end to end.
+    FlakyGuestFault,
+    /// Guest corruption on every attempt; retries burn out and the slot
+    /// degrades to `DEGRADED(faulted)`.
+    PersistentGuestFault,
+    /// Attempt 0 runs under starvation fuel so the cooperative deadline
+    /// trips mid-run (`DEGRADED(deadline)` if retries are exhausted,
+    /// recovery otherwise).
+    WorkerStall,
+    /// Attempt 0 completes but its artifact is dropped before landing in
+    /// the slot — a transient fault the retry clears.
+    ArtifactDrop,
+    /// The worker panics outright; the pool's `catch_unwind` quarantines
+    /// the slot immediately (`DEGRADED(panicked)`, no retries).
+    WorkerPanic,
+}
+
+/// The chaos lane for `request` under `seed` — a pure function of both.
+/// Guest-corruption lanes require the guarded runner, which only accepts
+/// macro workloads; micro requests roll those lanes onto pool-level
+/// injections instead, so every request kind can degrade.
+pub fn lane(seed: u64, request: &RunRequest) -> ChaosLane {
+    let mut rng = Rng64::new(seed ^ CHAOS_STREAM ^ fnv1a(&request.to_string()));
+    let micro = request.workload.kind == WorkloadKind::Micro;
+    match rng.range(0, 16) {
+        0 if micro => ChaosLane::WorkerStall,
+        0 => ChaosLane::FlakyGuestFault,
+        1 if micro => ChaosLane::ArtifactDrop,
+        1 => ChaosLane::PersistentGuestFault,
+        2 => ChaosLane::WorkerStall,
+        3 => ChaosLane::ArtifactDrop,
+        4 => ChaosLane::WorkerPanic,
+        _ => ChaosLane::Clean,
+    }
+}
+
+/// Execute `plan` under seed-`seed` chaos on `jobs` workers. The
+/// supervisor's retry/deadline policy comes from `config`; injections
+/// come from [`lane`].
+pub fn chaos_execute(
+    plan: &Plan,
+    jobs: usize,
+    seed: u64,
+    config: &SuperviseConfig,
+) -> ExecutedPlan {
+    let config = *config;
+    supervise_with(plan, jobs, &config, move |request, attempt| {
+        run_chaotic(seed, request, attempt, &config)
+    })
+}
+
+/// One chaotic attempt: apply the request's lane, or fall through to a
+/// clean supervised run.
+fn run_chaotic(
+    seed: u64,
+    request: &RunRequest,
+    attempt: u32,
+    config: &SuperviseConfig,
+) -> Result<RunArtifact, RunFailure> {
+    match lane(seed, request) {
+        ChaosLane::WorkerPanic => inject_panic(seed, request),
+        ChaosLane::WorkerStall if attempt == 0 => {
+            // A wedged worker burns fuel without finishing; the
+            // cooperative fuel deadline is what stops it.
+            crate::exec::try_run_request(
+                request,
+                Limits::unlimited().with_max_host_steps(STALL_FUEL),
+            )
+            .map_err(|e| pool::classify_guard_failure(e, attempt, true))
+        }
+        ChaosLane::ArtifactDrop if attempt == 0 => Err(RunFailure::faulted(
+            attempt,
+            "injected artifact drop: result lost before landing in its slot",
+        )),
+        ChaosLane::FlakyGuestFault if attempt == 0 => {
+            guest_fault(seed, request, attempt, config)
+        }
+        ChaosLane::PersistentGuestFault => guest_fault(seed, request, attempt, config),
+        _ => clean_run(request, attempt, config),
+    }
+}
+
+/// A clean supervised attempt under `config`'s fuel deadline.
+fn clean_run(
+    request: &RunRequest,
+    attempt: u32,
+    config: &SuperviseConfig,
+) -> Result<RunArtifact, RunFailure> {
+    crate::exec::try_run_request(request, pool::deadline_limits(config.timeout_fuel))
+        .map_err(|e| pool::classify_guard_failure(e, attempt, config.timeout_fuel.is_some()))
+}
+
+/// Corrupt the request's guest with a seed-derived [`FaultPlan`] and run
+/// it guarded. A corruption harmless enough to complete falls back to a
+/// clean run (guarded runs count but do not time, and a degraded cell
+/// needs a real failure behind it); anything else becomes a typed
+/// failure for the supervisor to retry or quarantine.
+fn guest_fault(
+    seed: u64,
+    request: &RunRequest,
+    attempt: u32,
+    config: &SuperviseConfig,
+) -> Result<RunArtifact, RunFailure> {
+    let plan = guest_plan(seed, request);
+    let guarded = run_guarded(request.workload, Limits::guarded(), &plan);
+    match guarded.outcome {
+        RunOutcome::Completed { .. } => clean_run(request, attempt, config),
+        RunOutcome::Panicked(msg) => Err(RunFailure::panicked(
+            attempt,
+            format!("injected guest fault escaped as a panic: {msg}"),
+        )),
+        ref outcome => Err(RunFailure::faulted(
+            attempt,
+            format!("injected guest fault: {outcome}"),
+        )),
+    }
+}
+
+/// The guest-corruption recipe for `request` under `seed`: bit-flip
+/// lanes for binary guests, truncation/garbage lanes for textual ones,
+/// decorrelated per request.
+fn guest_plan(seed: u64, request: &RunRequest) -> FaultPlan {
+    let derived = seed ^ fnv1a(&request.to_string());
+    match request.workload.language {
+        Language::C | Language::Mipsi | Language::Javelin => FaultPlan::image_sweep(derived),
+        Language::Perlite | Language::Tclite => FaultPlan::source_sweep(derived),
+    }
+}
+
+// The whole point of this lane is a real unwind through the pool's
+// `catch_unwind` boundary — a typed error would test the wrong path.
+#[allow(clippy::panic)]
+fn inject_panic(seed: u64, request: &RunRequest) -> ! {
+    panic!("chaos: injected worker panic (seed {seed}, {request})")
+}
+
+/// Run `f` with chaos-injected panic output suppressed: the pool catches
+/// those panics by design, and the default hook's stderr spam would
+/// drown the failure report. Panics whose message does not carry the
+/// `chaos:` marker still print.
+pub fn with_quiet_injected_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("chaos:") {
+            eprintln!("{info}");
+        }
+    }));
+    let result = f();
+    drop(std::panic::take_hook());
+    std::panic::set_hook(prev);
+    result
+}
+
+/// One deterministic chaos summary: the seed, per-kind degradation
+/// counts, and one `DEGRADED` marker line per degraded slot in store
+/// order. Byte-identical across job counts — `repro chaos` compares
+/// exactly this text.
+pub fn render_chaos_summary(seed: u64, executed: &ExecutedPlan) -> String {
+    use std::fmt::Write as _;
+    let (mut panicked, mut deadline, mut faulted) = (0usize, 0usize, 0usize);
+    for (_, failure) in executed.store.failures() {
+        match failure.kind {
+            FailureKind::Panicked => panicked += 1,
+            FailureKind::DeadlineExceeded => deadline += 1,
+            FailureKind::Faulted => faulted += 1,
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos seed {seed}: {} run(s), {} degraded ({panicked} panicked, {deadline} deadline, {faulted} faulted)",
+        executed.store.len(),
+        panicked + deadline + faulted,
+    );
+    for (request, failure) in executed.store.failures() {
+        let _ = writeln!(out, "  {request}: {}", failure.cell());
+    }
+    out
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::{Scale, WorkloadId};
+
+    fn small_plan() -> Plan {
+        // Two fast macros plus two micros: covers guest-fault lanes
+        // (macro-only) and the micro remapping, while staying quick.
+        Plan::build([
+            RunRequest::counting(WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Test)),
+            RunRequest::counting(WorkloadId::macro_bench(Language::Tclite, "des", Scale::Test)),
+            RunRequest::counting(WorkloadId::micro(Language::C, "a=b+c", Scale::Test)),
+            RunRequest::counting(WorkloadId::micro(Language::Perlite, "call", Scale::Test)),
+        ])
+    }
+
+    #[test]
+    fn lanes_are_deterministic_and_micros_never_guest_fault() {
+        let plan = small_plan();
+        for seed in 0..64 {
+            for request in plan.requests() {
+                let first = lane(seed, request);
+                assert_eq!(first, lane(seed, request), "seed {seed} {request}");
+                if request.workload.kind == WorkloadKind::Micro {
+                    assert!(
+                        !matches!(
+                            first,
+                            ChaosLane::FlakyGuestFault | ChaosLane::PersistentGuestFault
+                        ),
+                        "seed {seed} {request}: micro rolled a guest-fault lane"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_space_is_covered_across_seeds() {
+        let plan = small_plan();
+        let mut seen = Vec::new();
+        for seed in 0..256 {
+            for request in plan.requests() {
+                let l = lane(seed, request);
+                if !seen.contains(&l) {
+                    seen.push(l);
+                }
+            }
+        }
+        for expected in [
+            ChaosLane::Clean,
+            ChaosLane::FlakyGuestFault,
+            ChaosLane::PersistentGuestFault,
+            ChaosLane::WorkerStall,
+            ChaosLane::ArtifactDrop,
+            ChaosLane::WorkerPanic,
+        ] {
+            assert!(seen.contains(&expected), "lane {expected:?} never rolled");
+        }
+    }
+
+    #[test]
+    fn chaos_execution_is_complete_and_job_count_invariant() {
+        let plan = small_plan();
+        let config = SuperviseConfig::new().with_retries(1);
+        // Seeds chosen to exercise several lanes; every planned request
+        // must resolve (Ok or Degraded — never missing), and the summary
+        // must be byte-identical across job counts.
+        for seed in [0u64, 3, 7] {
+            let serial = with_quiet_injected_panics(|| chaos_execute(&plan, 1, seed, &config));
+            let parallel =
+                with_quiet_injected_panics(|| chaos_execute(&plan, 4, seed, &config));
+            for request in plan.requests() {
+                assert!(
+                    !matches!(
+                        serial.store.resolve(request),
+                        Err(crate::ResolveError::Unplanned(_))
+                    ),
+                    "seed {seed}: {request} went missing"
+                );
+            }
+            assert_eq!(
+                render_chaos_summary(seed, &serial),
+                render_chaos_summary(seed, &parallel),
+                "seed {seed}: chaos summary depends on job count"
+            );
+        }
+    }
+}

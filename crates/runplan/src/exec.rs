@@ -7,33 +7,38 @@ use interp_archsim::{CacheSweep, PipelineReport, PipelineSim, SimConfig, StallCa
 use interp_core::{
     CycleSummary, RunArtifact, RunRequest, SinkKind, StallShare, SweepPointSummary,
 };
+use interp_guard::{GuardError, Limits};
 use interp_workloads::Runner;
 
-/// Execute one request and return its memoizable artifact.
-///
-/// # Panics
-///
-/// Panics exactly where the underlying runner does (unknown names,
-/// failed self-checks) — the planner only emits registry-valid requests.
-pub fn run_request(request: &RunRequest) -> RunArtifact {
+/// Execute one request under `limits` and return its memoizable
+/// artifact, with every failure — unknown name, compile error, limit
+/// trip, failed self-check — as a typed [`GuardError`]. The supervised
+/// pool calls this so a fuel deadline (`limits.max_host_steps`) stops a
+/// wedged run cooperatively at its next guard poll.
+pub fn try_run_request(
+    request: &RunRequest,
+    limits: Limits,
+) -> Result<RunArtifact, GuardError> {
     let workload = request.workload;
     match request.sink {
-        SinkKind::Counting => Runner::run(workload, interp_core::NullSink).base_artifact(),
+        SinkKind::Counting => {
+            Runner::try_run(workload, limits, interp_core::NullSink).map(|r| r.base_artifact())
+        }
         SinkKind::Pipeline => {
-            let result = Runner::run(workload, PipelineSim::alpha_21064());
+            let result = Runner::try_run(workload, limits, PipelineSim::alpha_21064())?;
             let mut artifact = result.base_artifact();
             artifact.cycles = Some(cycle_summary(&result.sink.report()));
-            artifact
+            Ok(artifact)
         }
         SinkKind::PipelineWideItlb => {
             let sim = PipelineSim::new(SimConfig::default().with_itlb_entries(32));
-            let result = Runner::run(workload, sim);
+            let result = Runner::try_run(workload, limits, sim)?;
             let mut artifact = result.base_artifact();
             artifact.cycles = Some(cycle_summary(&result.sink.report()));
-            artifact
+            Ok(artifact)
         }
         SinkKind::ICacheSweep => {
-            let result = Runner::run(workload, CacheSweep::figure4());
+            let result = Runner::try_run(workload, limits, CacheSweep::figure4())?;
             let mut artifact = result.base_artifact();
             artifact.sweep = Some(
                 result
@@ -47,9 +52,24 @@ pub fn run_request(request: &RunRequest) -> RunArtifact {
                     })
                     .collect(),
             );
-            artifact
+            Ok(artifact)
         }
     }
+}
+
+/// Execute one request and return its memoizable artifact.
+///
+/// # Panics
+///
+/// Panics exactly where the underlying runner does (unknown names,
+/// failed self-checks) — the planner only emits registry-valid requests.
+/// Use [`try_run_request`] for the supervised, panic-free boundary.
+// The panic is the documented contract of this legacy entry point; the
+// supervised pool goes through `try_run_request` instead.
+#[allow(clippy::panic)]
+pub fn run_request(request: &RunRequest) -> RunArtifact {
+    try_run_request(request, Limits::unlimited())
+        .unwrap_or_else(|e| panic!("planned run `{request}` failed: {e}"))
 }
 
 /// Fold a pipeline report into the sink-independent summary, preserving

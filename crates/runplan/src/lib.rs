@@ -25,16 +25,32 @@
 //! request set, artifacts land in plan order regardless of which worker
 //! finished first, and every workload run is itself deterministic — so
 //! `--jobs 1` and `--jobs 8` produce byte-identical tables.
+//!
+//! Supervision: the pool isolates each slot behind `catch_unwind`,
+//! bounds attempts with fuel/wall-clock deadlines, retries transient
+//! failures in deterministic plan-order rounds ([`SuperviseConfig`]),
+//! and records whatever still fails as a typed [`RunFailure`] slot that
+//! renderers degrade (`DEGRADED(<kind>)`) instead of crashing — one
+//! wedged or panicking run can no longer cost the other 78. The
+//! [`chaos`] module proves it by injecting seeded faults into both the
+//! guests and the pool itself.
 
+pub mod chaos;
 pub mod exec;
 pub mod plan;
 pub mod pool;
 pub mod store;
+pub mod supervise;
 
-pub use exec::run_request;
+pub use chaos::{chaos_execute, render_chaos_summary, with_quiet_injected_panics, ChaosLane};
+pub use exec::{run_request, try_run_request};
 pub use plan::Plan;
-pub use pool::{default_jobs, execute, execute_with, render_timings, ExecutedPlan, RunTiming};
-pub use store::ArtifactStore;
+pub use pool::{
+    default_jobs, execute, execute_supervised, execute_with, render_failures, render_timings,
+    supervise_with, ExecutedPlan, RunTiming,
+};
+pub use store::{ArtifactStore, ResolveError};
+pub use supervise::{FailureKind, RunFailure, SuperviseConfig};
 
 use interp_core::RunRequest;
 

@@ -1,28 +1,44 @@
-//! The worker pool: execute a [`Plan`] on `std::thread::scope` threads
-//! (no external dependencies) with deterministic result ordering and
-//! per-run timing.
+//! The supervised worker pool: execute a [`Plan`] on `std::thread::scope`
+//! threads (no external dependencies) with deterministic result ordering,
+//! per-run timing, panic isolation, deadlines, and bounded retries.
+//!
+//! Every slot's execution is wrapped in `catch_unwind`; a panicking or
+//! wedged run becomes a typed [`RunFailure`] in its slot instead of
+//! killing the whole plan. Failures classified transient are re-queued in
+//! plan order for up to [`SuperviseConfig::retries`] extra rounds, so the
+//! final store content is a pure function of the request set, the runner,
+//! and the retry budget — never of the worker count or finish order.
 
+use crate::exec;
 use crate::plan::Plan;
 use crate::store::ArtifactStore;
+use crate::supervise::{RunFailure, SuperviseConfig};
 use interp_core::{RunArtifact, RunRequest};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use interp_guard::{GuardError, Limits};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// How long one planned run took.
+/// How one planned run went: wall time across every attempt, and how
+/// many attempts the supervisor spent on it.
 #[derive(Debug, Clone, Copy)]
 pub struct RunTiming {
     /// The executed request.
     pub request: RunRequest,
-    /// Wall-clock duration of the run on its worker.
+    /// Wall-clock duration summed over all attempts of the run.
     pub duration: Duration,
+    /// Attempts executed (1 for a first-try success; up to
+    /// `retries + 1` for a run that kept failing transiently).
+    pub attempts: u32,
 }
 
-/// The result of executing a [`Plan`]: the artifact store plus the
-/// timing report that makes the parallel speedup visible.
+/// The result of executing a [`Plan`]: the artifact store (successful
+/// and degraded slots) plus the timing report that makes the parallel
+/// speedup — and the retry spend — visible.
 #[derive(Debug, Clone)]
 pub struct ExecutedPlan {
-    /// Memoized artifacts, one per planned request.
+    /// Memoized results, one slot per planned request.
     pub store: ArtifactStore,
     /// Per-run timings in plan order.
     pub timings: Vec<RunTiming>,
@@ -37,6 +53,16 @@ impl ExecutedPlan {
     pub fn cpu_time(&self) -> Duration {
         self.timings.iter().map(|t| t.duration).sum()
     }
+
+    /// Number of slots that stayed failed after retries.
+    pub fn failure_count(&self) -> usize {
+        self.store.failures().count()
+    }
+
+    /// True if any slot degraded — the `--strict` exit-code signal.
+    pub fn is_degraded(&self) -> bool {
+        self.failure_count() > 0
+    }
 }
 
 /// Worker count to use when the user does not say: the machine's
@@ -45,56 +71,138 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-/// Execute `plan` with the real workload runner on `jobs` workers.
+/// Execute `plan` with the real workload runner on `jobs` workers under
+/// the default supervision policy.
 pub fn execute(plan: &Plan, jobs: usize) -> ExecutedPlan {
-    execute_with(plan, jobs, crate::exec::run_request)
+    execute_supervised(plan, jobs, &SuperviseConfig::new())
 }
 
-/// Execute `plan` on `jobs` workers with a custom request runner (tests
-/// inject probes here to count executions).
-///
-/// Workers claim requests from a shared cursor, so long runs do not
-/// convoy behind short ones; artifacts land in *plan order* regardless
-/// of completion order, keeping every downstream rendering byte-stable
-/// across job counts.
+/// Execute `plan` with the real workload runner under `config`: the
+/// fuel deadline rides in on `Limits::max_host_steps`, and a
+/// `HostStepBudget` trip under a configured fuel deadline classifies as
+/// [`crate::FailureKind::DeadlineExceeded`].
+pub fn execute_supervised(plan: &Plan, jobs: usize, config: &SuperviseConfig) -> ExecutedPlan {
+    let fuel = config.timeout_fuel;
+    supervise_with(plan, jobs, config, move |request, attempt| {
+        exec::try_run_request(request, deadline_limits(fuel))
+            .map_err(|e| classify_guard_failure(e, attempt, fuel.is_some()))
+    })
+}
+
+/// The per-attempt [`Limits`] a fuel deadline implies.
+pub fn deadline_limits(timeout_fuel: Option<u64>) -> Limits {
+    match timeout_fuel {
+        Some(fuel) => Limits::unlimited().with_max_host_steps(fuel),
+        None => Limits::unlimited(),
+    }
+}
+
+/// Map a typed guard fault from one attempt into the supervisor's
+/// failure taxonomy: a host-step budget trip under a configured fuel
+/// deadline is a deadline, everything else a fault.
+pub fn classify_guard_failure(
+    error: GuardError,
+    attempt: u32,
+    fuel_deadline: bool,
+) -> RunFailure {
+    match &error {
+        GuardError::HostStepBudget { .. } if fuel_deadline => {
+            RunFailure::deadline(attempt, error.to_string())
+        }
+        _ => RunFailure::faulted(attempt, error.to_string()),
+    }
+}
+
+/// Execute `plan` on `jobs` workers with an infallible request runner
+/// (tests inject probes here to count executions). A panic inside `run`
+/// still degrades that slot instead of aborting the plan.
 pub fn execute_with<F>(plan: &Plan, jobs: usize, run: F) -> ExecutedPlan
 where
     F: Fn(&RunRequest) -> RunArtifact + Sync,
+{
+    supervise_with(plan, jobs, &SuperviseConfig::new(), move |request, _attempt| {
+        Ok(run(request))
+    })
+}
+
+/// One in-flight run as the watchdog sees it: when it began, and
+/// whether the monitor has marked it overdue.
+#[derive(Default)]
+struct WatchSlot {
+    begun: Mutex<Option<Instant>>,
+    overdue: AtomicBool,
+}
+
+/// The supervision core: execute `plan` on `jobs` workers with a
+/// fallible per-attempt runner, under `config`'s retry and deadline
+/// policy.
+///
+/// Workers claim requests from a shared cursor, so long runs do not
+/// convoy behind short ones; results land in *plan order* regardless of
+/// completion order. Retries happen in rounds — round `r` re-runs, in
+/// plan order, every slot whose round-`r-1` failure was transient — so
+/// each slot's attempt count and final result are independent of the
+/// worker count, keeping every downstream rendering byte-stable across
+/// job counts.
+pub fn supervise_with<F>(
+    plan: &Plan,
+    jobs: usize,
+    config: &SuperviseConfig,
+    run: F,
+) -> ExecutedPlan
+where
+    F: Fn(&RunRequest, u32) -> Result<RunArtifact, RunFailure> + Sync,
 {
     let requests = plan.requests();
     let n = requests.len();
     let jobs = jobs.clamp(1, n.max(1));
     let started = Instant::now();
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(RunArtifact, Duration)>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
 
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+    let mut results: Vec<Option<Result<RunArtifact, RunFailure>>> = Vec::new();
+    results.resize_with(n, || None);
+    let mut durations = vec![Duration::ZERO; n];
+    let mut attempts = vec![0u32; n];
+
+    // Round r executes attempt r of every still-pending slot; the queue
+    // is always a plan-order subset of indices, so scheduling stays a
+    // pure function of the failure history.
+    let mut queue: Vec<usize> = (0..n).collect();
+    let mut round: u32 = 0;
+    while !queue.is_empty() {
+        let outcomes = run_round(requests, &queue, jobs, round, config, &run);
+        let mut next = Vec::new();
+        for (&i, (outcome, elapsed)) in queue.iter().zip(outcomes) {
+            attempts[i] += 1;
+            durations[i] += elapsed;
+            match outcome {
+                Err(ref failure) if failure.kind.is_transient() && round < config.retries => {
+                    next.push(i);
                 }
-                let begun = Instant::now();
-                let artifact = run(&requests[i]);
-                *slots[i].lock().expect("worker slot poisoned") =
-                    Some((artifact, begun.elapsed()));
-            });
+                final_result => results[i] = Some(final_result),
+            }
         }
-    });
+        queue = next;
+        round += 1;
+    }
 
     let mut store = ArtifactStore::new();
     let mut timings = Vec::with_capacity(n);
-    for (request, slot) in requests.iter().zip(slots) {
-        let (artifact, duration) = slot
-            .into_inner()
-            .expect("worker slot poisoned")
-            .expect("scope joined with an unfilled slot");
-        store.insert(*request, artifact);
+    for (i, request) in requests.iter().enumerate() {
+        match results[i].take() {
+            Some(Ok(artifact)) => store.insert(*request, artifact),
+            Some(Err(failure)) => store.insert_failure(*request, failure),
+            // Unreachable by construction — every index passes through
+            // exactly one round that fills it — but a missing slot must
+            // degrade, not panic.
+            None => store.insert_failure(
+                *request,
+                RunFailure::panicked(round, "supervisor finished with an unfilled slot"),
+            ),
+        }
         timings.push(RunTiming {
             request: *request,
-            duration,
+            duration: durations[i],
+            attempts: attempts[i],
         });
     }
     ExecutedPlan {
@@ -102,6 +210,110 @@ where
         timings,
         wall: started.elapsed(),
         jobs,
+    }
+}
+
+/// Execute attempt `round` of every queued slot and return `(result,
+/// duration)` per slot in queue order. Panics are caught at the slot
+/// boundary; poisoned or unfilled slots surface as `Panicked` failures
+/// instead of secondary panics.
+fn run_round<F>(
+    requests: &[RunRequest],
+    queue: &[usize],
+    jobs: usize,
+    round: u32,
+    config: &SuperviseConfig,
+    run: &F,
+) -> Vec<(Result<RunArtifact, RunFailure>, Duration)>
+where
+    F: Fn(&RunRequest, u32) -> Result<RunArtifact, RunFailure> + Sync,
+{
+    let m = queue.len();
+    let cursor = AtomicUsize::new(0);
+    let remaining = AtomicUsize::new(m);
+    let slots: Vec<Mutex<Option<(Result<RunArtifact, RunFailure>, Duration)>>> =
+        (0..m).map(|_| Mutex::new(None)).collect();
+    let watch: Vec<WatchSlot> = (0..m).map(|_| WatchSlot::default()).collect();
+
+    std::thread::scope(|scope| {
+        // The wall-clock watchdog: scan in-flight slots and mark any
+        // that outlive the deadline, then exit once every slot in the
+        // round has reported in.
+        if let Some(deadline) = config.wall_deadline {
+            let (watch, remaining) = (&watch, &remaining);
+            scope.spawn(move || {
+                while remaining.load(Ordering::Acquire) > 0 {
+                    for w in watch {
+                        if w.overdue.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let begun = *w.begun.lock().unwrap_or_else(|p| p.into_inner());
+                        if begun.is_some_and(|b| b.elapsed() > deadline) {
+                            w.overdue.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let qi = cursor.fetch_add(1, Ordering::Relaxed);
+                if qi >= m {
+                    break;
+                }
+                let request = &requests[queue[qi]];
+                let begun = Instant::now();
+                *watch[qi].begun.lock().unwrap_or_else(|p| p.into_inner()) = Some(begun);
+                let caught = catch_unwind(AssertUnwindSafe(|| run(request, round)));
+                let elapsed = begun.elapsed();
+                let mut result = match caught {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        Err(RunFailure::panicked(round, panic_message(payload.as_ref())))
+                    }
+                };
+                // A run that finished after its wall deadline is still
+                // overdue; a run that already failed keeps its more
+                // specific failure. The detail stays constant (no
+                // elapsed time) so degraded output is byte-stable.
+                let overdue = watch[qi].overdue.load(Ordering::Relaxed)
+                    || config.wall_deadline.is_some_and(|d| elapsed > d);
+                if result.is_ok() && overdue {
+                    result = Err(RunFailure::deadline(
+                        round,
+                        "run exceeded its wall-clock deadline",
+                    ));
+                }
+                *slots[qi].lock().unwrap_or_else(|p| p.into_inner()) = Some((result, elapsed));
+                remaining.fetch_sub(1, Ordering::Release);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| match slot.into_inner() {
+            Ok(Some(filled)) => filled,
+            Ok(None) => (
+                Err(RunFailure::panicked(round, "scope joined with an unfilled slot")),
+                Duration::ZERO,
+            ),
+            Err(_poison) => (
+                Err(RunFailure::panicked(round, "worker slot mutex poisoned")),
+                Duration::ZERO,
+            ),
+        })
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -119,7 +331,17 @@ pub fn render_timings(executed: &ExecutedPlan) -> String {
         executed.jobs
     );
     for t in rows {
-        let _ = writeln!(out, "  {:>9.3}s  {}", t.duration.as_secs_f64(), t.request);
+        let retry = if t.attempts > 1 {
+            format!("  ({} attempts)", t.attempts)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  {:>9.3}s  {}{retry}",
+            t.duration.as_secs_f64(),
+            t.request
+        );
     }
     let cpu = executed.cpu_time().as_secs_f64();
     let wall = executed.wall.as_secs_f64();
@@ -128,6 +350,28 @@ pub fn render_timings(executed: &ExecutedPlan) -> String {
         "  total run time {cpu:.3}s, wall {wall:.3}s ({:.2}x)",
         if wall > 0.0 { cpu / wall } else { 1.0 }
     );
+    out
+}
+
+/// Render the plan-level failure report: one line per degraded slot, in
+/// deterministic store order; empty if nothing degraded. `repro` prints
+/// this to stderr after the tables.
+pub fn render_failures(executed: &ExecutedPlan) -> String {
+    use std::fmt::Write as _;
+    let failures: Vec<_> = executed.store.failures().collect();
+    if failures.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan degraded: {} of {} run(s) failed after retries",
+        failures.len(),
+        executed.store.len()
+    );
+    for (request, failure) in failures {
+        let _ = writeln!(out, "  {request}: {failure}");
+    }
     out
 }
 
@@ -165,6 +409,8 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), plan.len());
         assert_eq!(executed.store.len(), plan.len());
         assert_eq!(executed.timings.len(), plan.len());
+        assert!(!executed.is_degraded());
+        assert!(executed.timings.iter().all(|t| t.attempts == 1));
     }
 
     #[test]
@@ -180,7 +426,7 @@ mod tests {
             let got: Vec<usize> = plan
                 .requests()
                 .iter()
-                .map(|r| executed.store.expect(r).program_bytes)
+                .map(|r| executed.store.get(r).expect("stored").program_bytes)
                 .collect();
             let want: Vec<usize> = plan
                 .requests()
@@ -198,6 +444,7 @@ mod tests {
         let text = render_timings(&executed);
         assert!(text.contains("3 runs on 2 worker(s)"), "{text}");
         assert!(text.contains("total run time"), "{text}");
+        assert_eq!(render_failures(&executed), "");
     }
 
     #[test]
@@ -205,5 +452,22 @@ mod tests {
         let executed = execute_with(&Plan::build([]), 8, |_| interp_core::RunArtifact::empty());
         assert!(executed.store.is_empty());
         assert!(executed.timings.is_empty());
+    }
+
+    #[test]
+    fn fuel_deadline_classifies_host_step_budget() {
+        let err = GuardError::HostStepBudget { executed: 1000, cap: 1000 };
+        let with_fuel = classify_guard_failure(err.clone(), 2, true);
+        assert_eq!(with_fuel.kind, crate::FailureKind::DeadlineExceeded);
+        assert_eq!(with_fuel.attempt, 2);
+        // Without a configured fuel deadline, the same trip is a plain
+        // fault (some other limit policy tripped it).
+        let without = classify_guard_failure(err, 0, false);
+        assert_eq!(without.kind, crate::FailureKind::Faulted);
+        assert_eq!(
+            deadline_limits(Some(42)),
+            Limits::unlimited().with_max_host_steps(42)
+        );
+        assert_eq!(deadline_limits(None), Limits::unlimited());
     }
 }

@@ -1,17 +1,48 @@
 //! The in-memory artifact store experiments read instead of invoking
 //! interpreters.
 
+use crate::supervise::RunFailure;
 use interp_core::{RunArtifact, RunRequest};
 use std::collections::BTreeMap;
+use std::fmt;
 
-/// Memoized run artifacts keyed by the [`RunRequest`] that produced them.
+/// How an artifact lookup can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The request was planned but its run failed even after retries;
+    /// renderers degrade the cell with [`RunFailure::cell`].
+    Degraded(RunFailure),
+    /// The request was never planned — an experiment consuming a store
+    /// must have contributed its requests to the plan that built it, so
+    /// this is a harness bug, not a degradation.
+    Unplanned(RunRequest),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Degraded(failure) => write!(f, "run degraded: {failure}"),
+            ResolveError::Unplanned(request) => write!(
+                f,
+                "artifact for `{request}` was never planned — experiment requests and plan diverged"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Memoized run results keyed by the [`RunRequest`] that produced them.
+/// Each slot is a `Result`: a successful run's [`RunArtifact`], or the
+/// [`RunFailure`] the supervisor recorded after retries ran out.
 ///
 /// Lookups understand the planner's subsumption rule: asking for a
 /// counting artifact when only the pipeline artifact exists returns the
-/// pipeline artifact (which carries the identical counters plus timing).
+/// pipeline artifact (which carries the identical counters plus timing)
+/// — and, symmetrically, inherits the pipeline run's failure.
 #[derive(Debug, Clone, Default)]
 pub struct ArtifactStore {
-    map: BTreeMap<RunRequest, RunArtifact>,
+    map: BTreeMap<RunRequest, Result<RunArtifact, RunFailure>>,
 }
 
 impl ArtifactStore {
@@ -20,15 +51,28 @@ impl ArtifactStore {
         ArtifactStore::default()
     }
 
-    /// Record `artifact` as the result of `request`.
+    /// Record `artifact` as the successful result of `request`.
     pub fn insert(&mut self, request: RunRequest, artifact: RunArtifact) {
-        self.map.insert(request, artifact);
+        self.map.insert(request, Ok(artifact));
     }
 
-    /// The artifact for `request`, resolving subsumption (a counting
-    /// lookup is satisfied by the pipeline artifact for the same
-    /// workload).
-    pub fn get(&self, request: &RunRequest) -> Option<&RunArtifact> {
+    /// Record `failure` as the degraded result of `request`.
+    pub fn insert_failure(&mut self, request: RunRequest, failure: RunFailure) {
+        self.map.insert(request, Err(failure));
+    }
+
+    /// The result slot for `request`, resolving subsumption: an exact
+    /// hit wins; otherwise a counting lookup is satisfied by — and
+    /// inherits the failure of — the pipeline slot for the same
+    /// workload.
+    pub fn resolve(&self, request: &RunRequest) -> Result<&RunArtifact, ResolveError> {
+        self.slot(request)
+            .ok_or(ResolveError::Unplanned(*request))?
+            .as_ref()
+            .map_err(|failure| ResolveError::Degraded(failure.clone()))
+    }
+
+    fn slot(&self, request: &RunRequest) -> Option<&Result<RunArtifact, RunFailure>> {
         self.map.get(request).or_else(|| {
             request
                 .subsumed_by()
@@ -36,19 +80,33 @@ impl ArtifactStore {
         })
     }
 
+    /// The artifact for `request` if its run succeeded, resolving
+    /// subsumption. Degraded and unplanned slots both come back `None`;
+    /// use [`ArtifactStore::resolve`] to tell them apart.
+    pub fn get(&self, request: &RunRequest) -> Option<&RunArtifact> {
+        self.slot(request).and_then(|slot| slot.as_ref().ok())
+    }
+
     /// The artifact for `request`.
     ///
     /// # Panics
     ///
-    /// Panics if the request was never planned — an experiment consuming
-    /// a store must have contributed its requests to the plan that built
-    /// it; anything else is a harness bug.
+    /// Panics on degraded or unplanned slots.
+    #[deprecated(note = "use `resolve()` and degrade the cell instead of panicking")]
     pub fn expect(&self, request: &RunRequest) -> &RunArtifact {
-        self.get(request)
-            .unwrap_or_else(|| unreachable_missing(request))
+        self.resolve(request)
+            .unwrap_or_else(|e| unreachable_missing(&e))
     }
 
-    /// Number of stored artifacts.
+    /// Iterate degraded `(request, failure)` slots in deterministic
+    /// order — the rows of the plan-level failure report.
+    pub fn failures(&self) -> impl Iterator<Item = (&RunRequest, &RunFailure)> {
+        self.map
+            .iter()
+            .filter_map(|(request, slot)| slot.as_ref().err().map(|f| (request, f)))
+    }
+
+    /// Number of slots (successful and degraded).
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -58,18 +116,21 @@ impl ArtifactStore {
         self.map.is_empty()
     }
 
-    /// Iterate stored `(request, artifact)` pairs in deterministic order.
+    /// Iterate successful `(request, artifact)` pairs in deterministic
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (&RunRequest, &RunArtifact)> {
-        self.map.iter()
+        self.map
+            .iter()
+            .filter_map(|(request, slot)| slot.as_ref().ok().map(|a| (request, a)))
     }
 }
 
 // Out-of-line so the panic message machinery stays off `expect`'s happy
-// path.
+// path. The panic is the deprecated shim's documented contract.
 #[cold]
 #[allow(clippy::panic)]
-fn unreachable_missing(request: &RunRequest) -> ! {
-    panic!("artifact for `{request}` was never planned — experiment requests and plan diverged")
+fn unreachable_missing(error: &ResolveError) -> ! {
+    panic!("{error}")
 }
 
 #[cfg(test)]
@@ -87,6 +148,7 @@ mod tests {
         store.insert(RunRequest::counting(id()), RunArtifact::empty());
         assert!(store.get(&RunRequest::counting(id())).is_some());
         assert!(store.get(&RunRequest::pipeline(id())).is_none());
+        assert!(store.resolve(&RunRequest::counting(id())).is_ok());
         assert_eq!(store.len(), 1);
     }
 
@@ -102,5 +164,36 @@ mod tests {
         assert!(store
             .get(&RunRequest::new(id(), SinkKind::ICacheSweep))
             .is_none());
+    }
+
+    #[test]
+    fn degraded_slots_resolve_to_their_failure() {
+        let mut store = ArtifactStore::new();
+        let failure = RunFailure::panicked(0, "boom");
+        store.insert_failure(RunRequest::pipeline(id()), failure.clone());
+        // Direct and subsumed lookups both see the degradation.
+        for request in [RunRequest::pipeline(id()), RunRequest::counting(id())] {
+            assert!(store.get(&request).is_none());
+            match store.resolve(&request) {
+                Err(ResolveError::Degraded(f)) => assert_eq!(f, failure),
+                other => panic!("expected Degraded, got {other:?}"),
+            }
+        }
+        let failures: Vec<_> = store.failures().collect();
+        assert_eq!(failures.len(), 1);
+        // Successful-pair iteration skips the degraded slot.
+        assert_eq!(store.iter().count(), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn unplanned_lookup_is_a_typed_error() {
+        let store = ArtifactStore::new();
+        match store.resolve(&RunRequest::counting(id())) {
+            Err(ResolveError::Unplanned(req)) => {
+                assert_eq!(req, RunRequest::counting(id()));
+            }
+            other => panic!("expected Unplanned, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,180 @@
+//! Supervision vocabulary: typed per-run failures and the supervisor's
+//! retry/deadline policy.
+//!
+//! A supervised plan never dies with one run. Each slot's execution is
+//! isolated behind `catch_unwind`, bounded by a fuel and/or wall-clock
+//! deadline, and classified on failure: *transient* failures (injected
+//! faults, tripped limits, deadlines) earn deterministic bounded
+//! retries, while panics quarantine the slot immediately. Whatever is
+//! still failing when retries run out lands in the
+//! [`crate::ArtifactStore`] as a [`RunFailure`], and every renderer
+//! degrades that cell instead of crashing the report.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a supervised run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The worker panicked mid-run (or its result slot was poisoned).
+    /// Interpreter state is suspect, so the slot quarantines at once —
+    /// no retries.
+    Panicked,
+    /// The run crossed its fuel deadline (`--timeout-fuel` simulated
+    /// host steps, enforced cooperatively at guard polls) or its
+    /// wall-clock deadline (enforced by the watchdog thread).
+    DeadlineExceeded,
+    /// The run stopped with a typed guard fault: injected corruption, a
+    /// tripped resource limit, a failed self-check, a dropped artifact.
+    Faulted,
+}
+
+impl FailureKind {
+    /// Short stable tag for cells and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::Panicked => "panicked",
+            FailureKind::DeadlineExceeded => "deadline",
+            FailureKind::Faulted => "faulted",
+        }
+    }
+
+    /// True if a clean re-run can plausibly clear the failure. Panics
+    /// are permanent: retrying an interpreter whose invariants already
+    /// broke once would launder a robustness bug into flakiness.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, FailureKind::Panicked)
+    }
+}
+
+/// A typed, renderable failure for one planned request: what happened,
+/// on which attempt the supervisor gave up, and the detail string for
+/// the plan-level failure report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFailure {
+    /// The failure taxonomy bucket.
+    pub kind: FailureKind,
+    /// Zero-based attempt index on which the run last failed (so a run
+    /// that exhausted `retries = 2` reports `attempt == 2`).
+    pub attempt: u32,
+    /// Human-readable cause for the stderr failure report.
+    pub detail: String,
+}
+
+impl RunFailure {
+    /// A panic (or poisoned slot) on `attempt`.
+    pub fn panicked(attempt: u32, detail: impl Into<String>) -> Self {
+        RunFailure { kind: FailureKind::Panicked, attempt, detail: detail.into() }
+    }
+
+    /// A fuel or wall-clock deadline trip on `attempt`.
+    pub fn deadline(attempt: u32, detail: impl Into<String>) -> Self {
+        RunFailure { kind: FailureKind::DeadlineExceeded, attempt, detail: detail.into() }
+    }
+
+    /// A typed guard fault on `attempt`.
+    pub fn faulted(attempt: u32, detail: impl Into<String>) -> Self {
+        RunFailure { kind: FailureKind::Faulted, attempt, detail: detail.into() }
+    }
+
+    /// The marker renderers print in place of a numeric cell. Carries
+    /// only the failure kind — details vary in length and belong in the
+    /// stderr report, while cells must stay short and byte-stable.
+    pub fn cell(&self) -> String {
+        format!("DEGRADED({})", self.kind.label())
+    }
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on attempt {}: {}",
+            self.kind.label(),
+            self.attempt,
+            self.detail
+        )
+    }
+}
+
+/// The supervisor's policy: how often to retry transient failures and
+/// which deadlines bound each attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperviseConfig {
+    /// Maximum re-executions after the first attempt for failures
+    /// classified transient. `Panicked` never retries.
+    pub retries: u32,
+    /// Fuel deadline: a cap on simulated host steps per attempt, mapped
+    /// onto `Limits::max_host_steps` and enforced cooperatively at the
+    /// interpreters' guard polls. Deterministic — the same run always
+    /// trips at the same step — so this is the deadline `repro` exposes.
+    pub timeout_fuel: Option<u64>,
+    /// Wall-clock deadline per attempt, enforced by the watchdog
+    /// thread. Inherently nondeterministic (a loaded machine can flag a
+    /// healthy run), so it is off by default and meant for interactive
+    /// use and supervision tests, not for reproducible reports.
+    pub wall_deadline: Option<Duration>,
+}
+
+impl SuperviseConfig {
+    /// Default policy: one retry for transient failures, no deadlines.
+    pub const fn new() -> Self {
+        SuperviseConfig { retries: 1, timeout_fuel: None, wall_deadline: None }
+    }
+
+    /// Builder-style override of `retries`.
+    pub const fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Builder-style override of `timeout_fuel`.
+    pub const fn with_timeout_fuel(mut self, fuel: u64) -> Self {
+        self.timeout_fuel = Some(fuel);
+        self
+    }
+
+    /// Builder-style override of `wall_deadline`.
+    pub const fn with_wall_deadline(mut self, deadline: Duration) -> Self {
+        self.wall_deadline = Some(deadline);
+        self
+    }
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_quarantine_transients_retry() {
+        assert!(!FailureKind::Panicked.is_transient());
+        assert!(FailureKind::DeadlineExceeded.is_transient());
+        assert!(FailureKind::Faulted.is_transient());
+    }
+
+    #[test]
+    fn cells_carry_kind_only() {
+        let f = RunFailure::deadline(2, "ran 5000000 steps, cap 1000");
+        assert_eq!(f.cell(), "DEGRADED(deadline)");
+        let shown = f.to_string();
+        assert!(shown.contains("attempt 2") && shown.contains("cap 1000"), "{shown}");
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let c = SuperviseConfig::new()
+            .with_retries(3)
+            .with_timeout_fuel(1_000_000)
+            .with_wall_deadline(Duration::from_secs(5));
+        assert_eq!(c.retries, 3);
+        assert_eq!(c.timeout_fuel, Some(1_000_000));
+        assert_eq!(c.wall_deadline, Some(Duration::from_secs(5)));
+        assert_eq!(SuperviseConfig::default().retries, 1);
+    }
+}

@@ -47,6 +47,32 @@ impl GuardedRun {
     }
 }
 
+/// How a supervisor should react to a [`RunOutcome`]: retry, quarantine,
+/// or accept. This is the single classification point the run-plan pool
+/// and the chaos harness share, so their retry policies cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The run completed; nothing to do.
+    Success,
+    /// A fault that a clean re-run can plausibly clear: an injected
+    /// corruption, a tripped limit, a lost artifact. Worth bounded,
+    /// deterministic retries.
+    Transient,
+    /// A fault retrying cannot fix: the program itself is bad, or the
+    /// interpreter panicked (its state is suspect). Quarantine at once.
+    Permanent,
+}
+
+/// Classify `outcome` for the supervisor's retry policy.
+pub fn classify(outcome: &RunOutcome) -> FailureClass {
+    match outcome {
+        RunOutcome::Completed { .. } => FailureClass::Success,
+        RunOutcome::Faulted(GuardError::BadProgram { .. }) => FailureClass::Permanent,
+        RunOutcome::Faulted(_) => FailureClass::Transient,
+        RunOutcome::Panicked(_) => FailureClass::Permanent,
+    }
+}
+
 /// Valid macro-workload names per language.
 #[deprecated(note = "enumerate typed ids with `guarded_suite` instead")]
 pub fn workload_names(language: Language) -> &'static [&'static str] {

@@ -23,10 +23,10 @@ pub mod perl_progs;
 pub mod runner;
 pub mod tcl_progs;
 
-pub use guarded::{guarded_suite, run_guarded, GuardedRun};
+pub use guarded::{classify, guarded_suite, run_guarded, FailureClass, GuardedRun};
 #[allow(deprecated)]
 pub use guarded::workload_names;
 pub use runner::{
     compiled_suite, macro_names, macro_suite, micro_iterations, micro_suite, run_macro,
-    run_micro, RunResult, Runner, Scale,
+    run_micro, try_run_macro, try_run_micro, RunResult, Runner, Scale,
 };

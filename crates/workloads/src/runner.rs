@@ -6,6 +6,7 @@ use interp_core::{
     CommandSet, ConsoleDigest, Language, RunArtifact, RunStats, TraceSink, WorkloadId,
     WorkloadKind,
 };
+use interp_guard::{GuardError, Limits};
 use interp_host::{Machine, UiEvent};
 
 use crate::minic_progs::{self, instantiate};
@@ -361,53 +362,70 @@ pub(crate) fn tcl_workload(
     }
 }
 
-/// Run one macro benchmark and return its counters.
-///
-/// # Panics
-///
-/// Panics on unknown `(language, name)` pairs or if the workload fails
-/// its own self-check — benchmarks that silently compute garbage are
-/// worse than crashes.
-pub fn run_macro<S: TraceSink>(
+/// Legacy per-interpreter step budget handed to engines that take one.
+/// High enough that the unified [`Limits`] — not this constant — is what
+/// bounds a supervised run.
+const RUN_BUDGET: u64 = 2_000_000_000;
+
+fn bad_program(language: Language, detail: impl std::fmt::Display) -> GuardError {
+    GuardError::BadProgram {
+        lang: language.tag(),
+        detail: detail.to_string(),
+    }
+}
+
+/// Run one macro benchmark under `limits` and return its counters, with
+/// every failure — unknown name, compile error, limit trip, runtime
+/// error, failed self-check — as a typed [`GuardError`] instead of a
+/// panic. This is the entry point the supervised run-plan pool uses so a
+/// fuel deadline (`limits.max_host_steps`) stops a wedged run
+/// cooperatively at its next guard poll.
+pub fn try_run_macro<S: TraceSink>(
     language: Language,
     name: &str,
     scale: Scale,
+    limits: Limits,
     sink: S,
-) -> RunResult<S> {
+) -> Result<RunResult<S>, GuardError> {
+    if !macro_names(language).contains(&name) {
+        return Err(bad_program(language, format!("unknown macro workload `{name}`")));
+    }
     match language {
         Language::C => {
             let (src, files) = minic_workload(name, scale);
-            let image = interp_minic::compile(&src).expect("mini-C compiles");
+            let image = interp_minic::compile(&src).map_err(|e| bad_program(language, e))?;
             let program_bytes = image.size_bytes() as usize;
-            let mut m = Machine::new(sink);
+            let mut m = Machine::with_limits(sink, limits);
             for (fname, contents) in files {
                 m.fs_add_file(&fname, contents);
             }
             let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
-            exec.run(2_000_000_000).expect("native run completes");
+            let res = exec.run(RUN_BUDGET);
             let commands = exec.commands().clone();
             drop(exec);
-            finish(m, commands, program_bytes)
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
         }
         Language::Mipsi => {
             let (src, files) = minic_workload(name, scale);
-            let image = interp_minic::compile(&src).expect("mini-C compiles");
+            let image = interp_minic::compile(&src).map_err(|e| bad_program(language, e))?;
             let program_bytes = image.size_bytes() as usize;
-            let mut m = Machine::new(sink);
+            let mut m = Machine::with_limits(sink, limits);
             for (fname, contents) in files {
                 m.fs_add_file(&fname, contents);
             }
             let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
-            emu.run(2_000_000_000).expect("emulated run completes");
+            let res = emu.run(RUN_BUDGET);
             let commands = emu.commands().clone();
             drop(emu);
-            finish(m, commands, program_bytes)
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
         }
         Language::Javelin => {
             let (src, files, events) = joule_workload(name, scale);
-            let prog = interp_javelin::compile(&src).expect("Joule compiles");
+            let prog = interp_javelin::compile(&src).map_err(|e| bad_program(language, e))?;
             let program_bytes = prog.code_bytes();
-            let mut m = Machine::new(sink);
+            let mut m = Machine::with_limits(sink, limits);
             for (fname, contents) in files {
                 m.fs_add_file(&fname, contents);
             }
@@ -415,28 +433,31 @@ pub fn run_macro<S: TraceSink>(
                 m.post_event(e);
             }
             let mut vm = interp_javelin::Jvm::new(&mut m, prog);
-            vm.run(2_000_000_000).expect("bytecode run completes");
+            let res = vm.run(RUN_BUDGET);
             let commands = vm.commands().clone();
             drop(vm);
-            finish(m, commands, program_bytes)
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
         }
         Language::Perlite => {
             let (src, files) = perl_workload(name, scale);
             let program_bytes = src.len();
-            let mut m = Machine::new(sink);
+            let mut m = Machine::with_limits(sink, limits);
             for (fname, contents) in files {
                 m.fs_add_file(&fname, contents);
             }
-            let mut p = interp_perlite::Perlite::new(&mut m, &src).expect("Perl compiles");
-            p.run().expect("Perl run completes");
+            let mut p =
+                interp_perlite::Perlite::new(&mut m, &src).map_err(GuardError::from)?;
+            let res = p.run();
             let commands = p.commands().clone();
             drop(p);
-            finish(m, commands, program_bytes)
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
         }
         Language::Tclite => {
             let (src, files, events) = tcl_workload(name, scale);
             let program_bytes = src.len();
-            let mut m = Machine::new(sink);
+            let mut m = Machine::with_limits(sink, limits);
             for (fname, contents) in files {
                 m.fs_add_file(&fname, contents);
             }
@@ -444,21 +465,47 @@ pub fn run_macro<S: TraceSink>(
                 m.post_event(e);
             }
             let mut tcl = interp_tclite::Tclite::new(&mut m);
-            tcl.run(&src).expect("Tcl run completes");
+            let res = tcl.run(&src);
             let commands = tcl.commands().clone();
             drop(tcl);
-            finish(m, commands, program_bytes)
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
         }
     }
 }
 
-/// Run one Table 1 microbenchmark. The C variant is also the MIPSI guest.
-pub fn run_micro<S: TraceSink>(
+/// Run one macro benchmark and return its counters.
+///
+/// # Panics
+///
+/// Panics on unknown `(language, name)` pairs or if the workload fails
+/// its own self-check — benchmarks that silently compute garbage are
+/// worse than crashes. Use [`try_run_macro`] for a panic-free boundary.
+// The panic is the documented contract of this legacy entry point; the
+// supervised pool goes through `try_run_macro` instead.
+#[allow(clippy::panic)]
+pub fn run_macro<S: TraceSink>(
     language: Language,
     name: &str,
     scale: Scale,
     sink: S,
 ) -> RunResult<S> {
+    try_run_macro(language, name, scale, Limits::unlimited(), sink)
+        .unwrap_or_else(|e| panic!("macro workload {language}/{name} failed: {e}"))
+}
+
+/// Run one Table 1 microbenchmark under `limits`, with every failure as
+/// a typed [`GuardError`]. The C variant is also the MIPSI guest.
+pub fn try_run_micro<S: TraceSink>(
+    language: Language,
+    name: &str,
+    scale: Scale,
+    limits: Limits,
+    sink: S,
+) -> Result<RunResult<S>, GuardError> {
+    if !micro::MICRO_NAMES.contains(&name) {
+        return Err(bad_program(language, format!("unknown microbenchmark `{name}`")));
+    }
     // Iteration counts per language tier (high-level interpreters execute
     // fewer iterations of the same operation, as the paper's 5-second
     // trials did implicitly). Counts are high enough to amortize each
@@ -486,57 +533,84 @@ pub fn run_micro<S: TraceSink>(
                 iters_low
             };
             let src = instantiate(micro::micro_c(name), &[("N", iters)]);
-            let image = interp_minic::compile(&src).expect("micro compiles");
-            let mut m = Machine::new(sink);
+            let image = interp_minic::compile(&src).map_err(|e| bad_program(language, e))?;
+            let mut m = Machine::with_limits(sink, limits);
             m.fs_add_file(&warm_file.0, warm_file.1.clone());
             let commands;
             if language == Language::C {
                 let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
-                exec.run(2_000_000_000).expect("runs");
+                let res = exec.run(RUN_BUDGET);
                 commands = exec.commands().clone();
+                drop(exec);
+                res.map_err(GuardError::from)?;
             } else {
                 let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
-                emu.run(2_000_000_000).expect("runs");
+                let res = emu.run(RUN_BUDGET);
                 commands = emu.commands().clone();
+                drop(emu);
+                res.map_err(GuardError::from)?;
             }
-            finish(m, commands, image.size_bytes() as usize)
+            try_finish(language, m, commands, image.size_bytes() as usize)
         }
         Language::Javelin => {
             let iters = if name == "read" { io_iters("read") } else { iters_low };
             let src = instantiate(micro::micro_joule(name), &[("N", iters)]);
-            let prog = interp_javelin::compile(&src).expect("micro compiles");
+            let prog = interp_javelin::compile(&src).map_err(|e| bad_program(language, e))?;
             let bytes = prog.code_bytes();
-            let mut m = Machine::new(sink);
+            let mut m = Machine::with_limits(sink, limits);
             m.fs_add_file(&warm_file.0, warm_file.1.clone());
             let mut vm = interp_javelin::Jvm::new(&mut m, prog);
-            vm.run(2_000_000_000).expect("runs");
+            let res = vm.run(RUN_BUDGET);
             let commands = vm.commands().clone();
             drop(vm);
-            finish(m, commands, bytes)
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, bytes)
         }
         Language::Perlite => {
             let iters = if name == "read" { io_iters("read") } else { iters_perl };
             let src = instantiate(micro::micro_perl(name), &[("N", iters)]);
-            let mut m = Machine::new(sink);
+            let mut m = Machine::with_limits(sink, limits);
             m.fs_add_file(&warm_file.0, warm_file.1.clone());
-            let mut p = interp_perlite::Perlite::new(&mut m, &src).expect("compiles");
-            p.run().expect("runs");
+            let mut p =
+                interp_perlite::Perlite::new(&mut m, &src).map_err(GuardError::from)?;
+            let res = p.run();
             let commands = p.commands().clone();
             drop(p);
-            finish(m, commands, src.len())
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, src.len())
         }
         Language::Tclite => {
             let iters = if name == "read" { io_iters("read") } else { iters_tcl };
             let src = instantiate(micro::micro_tcl(name), &[("N", iters)]);
-            let mut m = Machine::new(sink);
+            let mut m = Machine::with_limits(sink, limits);
             m.fs_add_file(&warm_file.0, warm_file.1.clone());
             let mut tcl = interp_tclite::Tclite::new(&mut m);
-            tcl.run(&src).expect("runs");
+            let res = tcl.run(&src);
             let commands = tcl.commands().clone();
             drop(tcl);
-            finish(m, commands, src.len())
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, src.len())
         }
     }
+}
+
+/// Run one Table 1 microbenchmark. The C variant is also the MIPSI guest.
+///
+/// # Panics
+///
+/// Panics on unknown names or failed self-checks. Use [`try_run_micro`]
+/// for a panic-free boundary.
+// The panic is the documented contract of this legacy entry point; the
+// supervised pool goes through `try_run_micro` instead.
+#[allow(clippy::panic)]
+pub fn run_micro<S: TraceSink>(
+    language: Language,
+    name: &str,
+    scale: Scale,
+    sink: S,
+) -> RunResult<S> {
+    try_run_micro(language, name, scale, Limits::unlimited(), sink)
+        .unwrap_or_else(|e| panic!("microbenchmark {language}/{name} failed: {e}"))
 }
 
 /// Microbenchmark iteration count for `(language, name, scale)` — needed
@@ -579,6 +653,26 @@ impl Runner {
         }
     }
 
+    /// Run `workload` into `sink` under `limits`, with every failure as
+    /// a typed [`GuardError`] instead of a panic. This is the supervised
+    /// pool's entry point: a fuel deadline rides in on
+    /// `limits.max_host_steps` and surfaces as
+    /// [`GuardError::HostStepBudget`].
+    pub fn try_run<S: TraceSink>(
+        workload: WorkloadId,
+        limits: Limits,
+        sink: S,
+    ) -> Result<RunResult<S>, GuardError> {
+        match workload.kind {
+            WorkloadKind::Macro => {
+                try_run_macro(workload.language, workload.name, workload.scale, limits, sink)
+            }
+            WorkloadKind::Micro => {
+                try_run_micro(workload.language, workload.name, workload.scale, limits, sink)
+            }
+        }
+    }
+
     /// Run `workload` under resource limits with fault injection, never
     /// panicking. See [`crate::guarded::run_guarded`].
     pub fn run_guarded(
@@ -590,24 +684,29 @@ impl Runner {
     }
 }
 
-fn finish<S: TraceSink>(
+fn try_finish<S: TraceSink>(
+    language: Language,
     mut machine: Machine<S>,
     commands: CommandSet,
     program_bytes: usize,
-) -> RunResult<S> {
+) -> Result<RunResult<S>, GuardError> {
     let console = String::from_utf8_lossy(&machine.take_console()).into_owned();
-    assert!(
-        !console.contains("BAD"),
-        "workload failed its self-check: {console}"
-    );
+    // Benchmarks that silently compute garbage are worse than crashes:
+    // a failed self-check is a runtime fault, not a degraded success.
+    if console.contains("BAD") {
+        return Err(GuardError::Runtime {
+            lang: language.tag(),
+            detail: "workload failed its self-check".into(),
+        });
+    }
     let (stats, sink) = machine.into_parts();
-    RunResult {
+    Ok(RunResult {
         stats,
         commands,
         console,
         sink,
         program_bytes,
-    }
+    })
 }
 
 #[cfg(test)]

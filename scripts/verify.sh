@@ -14,6 +14,11 @@
 #   guard smoke        — a fast 16-seed fault-injection sweep across all
 #                        five execution engines; exits nonzero if any run
 #                        panics instead of returning a typed outcome.
+#   chaos smoke        — 8 seeds of the full plan with faults injected
+#                        into the interpreters AND the pool (stalls,
+#                        artifact drops, worker panics); every seed must
+#                        complete with job-count-invariant degradation
+#                        markers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +33,10 @@ cargo clippy --workspace -q -- \
   -D clippy::unwrap_used -D clippy::panic
 cargo clippy -p interp-guard -p interp-microbench -q -- \
   -D warnings -D clippy::unwrap_used -D clippy::panic
+# The supervision layer is held to the same no-unwrap/no-panic bar
+# explicitly (its host-crate dependencies keep -D warnings off here).
+cargo clippy -p interp-runplan -q -- \
+  -D clippy::unwrap_used -D clippy::panic
 
 echo "== repro determinism (1 worker vs many, test scale) =="
 cargo build --release -p interp-harness --bins
@@ -46,5 +55,8 @@ grep "run plan:" /tmp/repro_timings.txt
 
 echo "== guard smoke sweep (16 seeds, test scale) =="
 "$REPRO" guard --seeds 16 --scale test
+
+echo "== chaos smoke (8 seeds, guest+pool fault injection) =="
+"$REPRO" chaos --seeds 8 --scale test
 
 echo "verify: OK"

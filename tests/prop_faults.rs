@@ -127,6 +127,49 @@ fn pathological_sources_hit_typed_limits_not_the_rust_stack() {
 }
 
 #[test]
+fn chaos_seeds_never_abort_the_plan() {
+    // The supervision contract, swept over 50 chaos seeds: with faults
+    // injected into the interpreters AND the pool (stalls, artifact
+    // drops, worker panics), every planned slot still resolves — to an
+    // artifact or a typed RunFailure — and the degradation summary is
+    // identical between a serial and a parallel execution.
+    use interpreters::core::{Language, RunRequest, Scale, WorkloadId};
+    use interpreters::runplan::{
+        chaos_execute, render_chaos_summary, with_quiet_injected_panics, Plan, ResolveError,
+        SuperviseConfig,
+    };
+
+    let plan = Plan::build([
+        RunRequest::counting(WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Test)),
+        RunRequest::counting(WorkloadId::macro_bench(Language::Javelin, "hanoi", Scale::Test)),
+        RunRequest::counting(WorkloadId::macro_bench(Language::Tclite, "des", Scale::Test)),
+        RunRequest::counting(WorkloadId::micro(Language::C, "a=b+c", Scale::Test)),
+        RunRequest::counting(WorkloadId::micro(Language::Perlite, "call", Scale::Test)),
+    ]);
+    let config = SuperviseConfig::new().with_retries(1);
+    with_quiet_injected_panics(|| {
+        for seed in 0..50u64 {
+            let parallel = chaos_execute(&plan, 4, seed, &config);
+            for request in plan.requests() {
+                assert!(
+                    !matches!(
+                        parallel.store.resolve(request),
+                        Err(ResolveError::Unplanned(_))
+                    ),
+                    "seed {seed}: {request} went missing from the store"
+                );
+            }
+            let serial = chaos_execute(&plan, 1, seed, &config);
+            assert_eq!(
+                render_chaos_summary(seed, &serial),
+                render_chaos_summary(seed, &parallel),
+                "seed {seed}: degradation depends on job count"
+            );
+        }
+    });
+}
+
+#[test]
 fn runaway_guests_trip_the_command_budget() {
     // An honest infinite loop in each source interpreter must end in a
     // typed budget trip, not a hang.
