@@ -1,0 +1,225 @@
+//! The differential engine: run one IR program through all five
+//! interpreters plus the reference evaluator and compare console
+//! digests.
+//!
+//! A *case* is one seed → one generated program → six observations (the
+//! checked reference evaluation, then nativeref, MIPSI, Javelin,
+//! Perlite, Tclite via [`interp_workloads::try_run_source`]). Two
+//! observations conform when both succeeded and their
+//! [`ConsoleDigest`]s are equal; anything else — differing digests, or
+//! any guarded failure on a program the reference evaluator accepted —
+//! is a divergence. [`conform`] sweeps seeds, accumulates the per-pair
+//! divergence table, and shrinks every failing program to a minimal
+//! reproducer.
+
+use interp_core::{ConsoleDigest, Language, NullSink};
+use interp_guard::Limits;
+use interp_workloads::try_run_source;
+
+use crate::gen::generate;
+use crate::ir::{eval, Program};
+use crate::lower::{lower, LowerOptions};
+use crate::shrink::shrink;
+
+/// Display label for each observation column: the reference evaluator
+/// first, then the five interpreters in Table 2 order.
+pub const WITNESSES: [&str; 6] = ["reference", "c", "mipsi", "javelin", "perlite", "tclite"];
+
+/// One observation: the console text an interpreter produced, or the
+/// error that stopped it.
+pub type Observation = Result<String, String>;
+
+/// All six observations of one program, in [`WITNESSES`] order.
+pub fn observe(p: &Program, opts: &LowerOptions) -> Vec<Observation> {
+    let mut obs = Vec::with_capacity(WITNESSES.len());
+    obs.push(eval(p).map_err(|e| format!("reference rejected: {e}")));
+    for lang in Language::ALL {
+        let src = lower(p, lang, opts);
+        let res = try_run_source(lang, &src, Limits::guarded(), NullSink)
+            .map(|r| r.console)
+            .map_err(|e| format!("{e:?}"));
+        obs.push(res);
+    }
+    obs
+}
+
+/// Do two observations conform? Both must have completed, and their
+/// console digests must be byte-for-byte equal.
+fn conforms(a: &Observation, b: &Observation) -> bool {
+    match (a, b) {
+        (Ok(a), Ok(b)) => ConsoleDigest::of(a) == ConsoleDigest::of(b),
+        _ => false,
+    }
+}
+
+/// Indices into [`WITNESSES`] of every observation pair that diverged.
+pub fn divergent_pairs(obs: &[Observation]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for i in 0..obs.len() {
+        for j in (i + 1)..obs.len() {
+            if !conforms(&obs[i], &obs[j]) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// Does the program diverge at all under `opts`?
+pub fn diverges(p: &Program, opts: &LowerOptions) -> bool {
+    !divergent_pairs(&observe(p, opts)).is_empty()
+}
+
+/// A seed whose program diverged, with the shrunk reproducer and its
+/// observations.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The generator seed.
+    pub seed: u64,
+    /// Statement count of the program as generated.
+    pub original_size: usize,
+    /// The shrunk minimal reproducer.
+    pub shrunk: Program,
+    /// Observations of the shrunk program.
+    pub observations: Vec<Observation>,
+}
+
+/// Result of a conformance sweep.
+#[derive(Debug, Clone)]
+pub struct ConformReport {
+    /// Seeds swept (`0..seeds`).
+    pub seeds: u64,
+    /// Divergent-seed count per witness pair, indexed like
+    /// [`divergent_pairs`].
+    pub pair_counts: Vec<((usize, usize), u64)>,
+    /// Every divergent seed, shrunk.
+    pub failures: Vec<Failure>,
+}
+
+impl ConformReport {
+    /// Total number of divergent seeds.
+    pub fn divergent_seeds(&self) -> u64 {
+        self.failures.len() as u64
+    }
+}
+
+/// Sweep seeds `0..seeds`: generate, lower, run, compare; shrink every
+/// divergent case.
+pub fn conform(seeds: u64, opts: &LowerOptions) -> ConformReport {
+    let mut pair_counts: Vec<((usize, usize), u64)> = Vec::new();
+    for i in 0..WITNESSES.len() {
+        for j in (i + 1)..WITNESSES.len() {
+            pair_counts.push(((i, j), 0));
+        }
+    }
+    let mut failures = Vec::new();
+    for seed in 0..seeds {
+        let p = generate(seed);
+        let obs = observe(&p, opts);
+        let pairs = divergent_pairs(&obs);
+        if pairs.is_empty() {
+            continue;
+        }
+        for pair in &pairs {
+            if let Some(slot) = pair_counts.iter_mut().find(|(p, _)| p == pair) {
+                slot.1 += 1;
+            }
+        }
+        let shrunk = shrink(&p, |cand| diverges(cand, opts));
+        let observations = observe(&shrunk, opts);
+        failures.push(Failure {
+            seed,
+            original_size: p.size(),
+            shrunk,
+            observations,
+        });
+    }
+    ConformReport {
+        seeds,
+        pair_counts,
+        failures,
+    }
+}
+
+/// Render the per-pair divergence table and any shrunk reproducers.
+pub fn render(report: &ConformReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Conformance: {} seeded programs x 5 interpreters + reference evaluator\n",
+        report.seeds
+    ));
+    out.push_str("(each generated program lowered to mini-C/MIPS, Joule, Perl, and Tcl;\n");
+    out.push_str(" console digests compared across every witness pair)\n\n");
+    out.push_str(&format!("{:<24}{}\n", "pair", "divergent seeds"));
+    for ((i, j), count) in &report.pair_counts {
+        let pair = format!("{}/{}", WITNESSES[*i], WITNESSES[*j]);
+        out.push_str(&format!("{pair:<24}{count}\n"));
+    }
+    out.push_str(&format!(
+        "\nresult: {}/{} seeds diverged\n",
+        report.divergent_seeds(),
+        report.seeds
+    ));
+    for f in &report.failures {
+        out.push_str(&format!(
+            "\nseed {} diverged (program: {} stmts, shrunk to {}):\n{}",
+            f.seed,
+            f.original_size,
+            f.shrunk.size(),
+            f.shrunk
+        ));
+        for (label, obs) in WITNESSES.iter().zip(&f.observations) {
+            match obs {
+                Ok(console) => {
+                    let d = ConsoleDigest::of(console);
+                    out.push_str(&format!(
+                        "  {label:<10} fnv64={:016x} bytes={} lines={} ok={}\n",
+                        d.fnv64, d.bytes, d.lines, d.ok
+                    ));
+                }
+                Err(e) => out.push_str(&format!("  {label:<10} ERROR: {e}\n")),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Expr, Stmt};
+
+    #[test]
+    fn one_seed_agrees_everywhere() {
+        let p = generate(0);
+        let obs = observe(&p, &LowerOptions::default());
+        assert_eq!(obs.len(), 6);
+        assert!(
+            divergent_pairs(&obs).is_empty(),
+            "seed 0 diverged:\n{p}\n{obs:#?}"
+        );
+    }
+
+    #[test]
+    fn manual_program_matches_reference_console() {
+        let p = Program {
+            stmts: vec![
+                Stmt::Assign(
+                    2,
+                    Expr::Bin(BinOp::Mul, Box::new(Expr::Lit(6)), Box::new(Expr::Lit(7))),
+                ),
+                Stmt::EmitInt(Expr::Var(2)),
+            ],
+        };
+        let obs = observe(&p, &LowerOptions::default());
+        let reference = obs[0].as_ref().expect("reference evaluates").clone();
+        assert!(reference.starts_with("42\n"));
+        for (label, o) in WITNESSES.iter().zip(&obs) {
+            assert_eq!(
+                o.as_deref(),
+                Ok(reference.as_str()),
+                "{label} console differs"
+            );
+        }
+    }
+}

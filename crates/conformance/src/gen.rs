@@ -1,0 +1,227 @@
+//! Seeded program generation by rejection sampling.
+//!
+//! A candidate program is drawn from the full IR grammar, then validated
+//! by the checked reference evaluator ([`crate::ir::eval`]); candidates
+//! it rejects (overflow, division hazards, out-of-bounds, string growth)
+//! are discarded and the generator draws again from the same
+//! [`Rng64`] stream, so `generate(seed)` is a pure function of the seed.
+//! Structural budgets (loop sites, concat sites) keep every lowering
+//! within the Joule VM's per-frame local-slot allowance.
+
+use interp_guard::Rng64;
+
+use crate::ir::{
+    eval, BinOp, Cmp, Cond, Expr, Program, Stmt, ARRAY_LEN, NUM_ARRAYS, NUM_STRS, NUM_VARS,
+    STR_POOL,
+};
+
+/// Candidate draws before falling back to the (always valid) empty
+/// program. In practice acceptance is high; the fallback exists so
+/// `generate` is total.
+const ATTEMPTS: usize = 400;
+
+/// Weighted operator table: arithmetic common, bitwise medium, division
+/// rare (division is the most rejection-prone construct).
+const OPS: [BinOp; 12] = [
+    BinOp::Add,
+    BinOp::Add,
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Div,
+    BinOp::Mod,
+];
+
+const CMPS: [Cmp; 6] = [Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge, Cmp::Eq, Cmp::Ne];
+
+struct Gen {
+    rng: Rng64,
+    /// Remaining loop sites (bounds Joule locals: one `int iK` each).
+    loops_left: u32,
+    /// Remaining concat sites (bounds Joule locals: two counters each).
+    concats_left: u32,
+}
+
+impl Gen {
+    fn var(&mut self) -> u8 {
+        self.rng.index(0, NUM_VARS) as u8
+    }
+
+    fn arr(&mut self) -> u8 {
+        self.rng.index(0, NUM_ARRAYS) as u8
+    }
+
+    fn svar(&mut self) -> u8 {
+        self.rng.index(0, NUM_STRS) as u8
+    }
+
+    /// An expression that is always a safe array index: a loop counter
+    /// (loop trip counts never exceed `ARRAY_LEN`), a literal in range,
+    /// or an arbitrary sub-expression masked with `& 7`.
+    fn index_expr(&mut self, loop_depth: u8) -> Expr {
+        let roll = self.rng.index(0, 10);
+        if roll < 4 && loop_depth > 0 {
+            Expr::LoopVar(self.rng.index(0, loop_depth as usize) as u8)
+        } else if roll < 8 {
+            Expr::Lit(self.rng.range(0, ARRAY_LEN as u64) as i32)
+        } else {
+            Expr::Bin(
+                BinOp::And,
+                Box::new(self.expr(2, loop_depth)),
+                Box::new(Expr::Lit(ARRAY_LEN as i32 - 1)),
+            )
+        }
+    }
+
+    fn leaf(&mut self, loop_depth: u8) -> Expr {
+        let roll = self.rng.index(0, 10);
+        if roll < 4 {
+            Expr::Lit(self.rng.range(0, 100) as i32)
+        } else if roll < 7 || (roll < 9 && loop_depth == 0) {
+            Expr::Var(self.var())
+        } else if roll < 9 {
+            Expr::LoopVar(self.rng.index(0, loop_depth as usize) as u8)
+        } else {
+            let a = self.arr();
+            let idx = self.index_expr(loop_depth);
+            Expr::ArrayGet(a, Box::new(idx))
+        }
+    }
+
+    fn expr(&mut self, depth: u32, loop_depth: u8) -> Expr {
+        if depth >= 3 || self.rng.chance(2, 5) {
+            return self.leaf(loop_depth);
+        }
+        let op = *self.rng.pick(&OPS);
+        let l = self.expr(depth + 1, loop_depth);
+        // A positive literal divisor dodges the most common division
+        // hazard; a negative dividend still rejects the candidate.
+        let r = if matches!(op, BinOp::Div | BinOp::Mod) {
+            Expr::Lit(self.rng.range(1, 17) as i32)
+        } else {
+            self.expr(depth + 1, loop_depth)
+        };
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    fn cond(&mut self, loop_depth: u8) -> Cond {
+        Cond {
+            cmp: *self.rng.pick(&CMPS),
+            lhs: self.expr(1, loop_depth),
+            rhs: self.expr(1, loop_depth),
+        }
+    }
+
+    fn block(&mut self, len: usize, depth: u32, loop_depth: u8) -> Vec<Stmt> {
+        (0..len).map(|_| self.stmt(depth, loop_depth)).collect()
+    }
+
+    fn stmt(&mut self, depth: u32, loop_depth: u8) -> Stmt {
+        let roll = self.rng.index(0, 100);
+        match roll {
+            0..=29 => Stmt::Assign(self.var(), self.expr(0, loop_depth)),
+            30..=44 => {
+                let a = self.arr();
+                let idx = self.index_expr(loop_depth);
+                let val = self.expr(0, loop_depth);
+                Stmt::ArraySet(a, idx, val)
+            }
+            45..=59 if depth < 2 => {
+                let c = self.cond(loop_depth);
+                let then_len = self.rng.index(1, 4);
+                let else_len = self.rng.index(0, 3);
+                let t = self.block(then_len, depth + 1, loop_depth);
+                let e = self.block(else_len, depth + 1, loop_depth);
+                Stmt::If(c, t, e)
+            }
+            60..=74 if depth < 2 && self.loops_left > 0 => {
+                self.loops_left -= 1;
+                let count = self.rng.range(1, ARRAY_LEN as u64 + 1) as u8;
+                let len = self.rng.index(1, 4);
+                let body = self.block(len, depth + 1, loop_depth + 1);
+                Stmt::Loop(count, body)
+            }
+            75..=81 => Stmt::EmitInt(self.expr(0, loop_depth)),
+            82..=87 => Stmt::StrLit(self.svar(), self.rng.index(0, STR_POOL.len()) as u8),
+            88..=93 if self.concats_left > 0 => {
+                self.concats_left -= 1;
+                let d = self.svar();
+                let others: Vec<u8> = (0..NUM_STRS as u8).filter(|k| *k != d).collect();
+                let a = *self.rng.pick(&others);
+                let b = *self.rng.pick(&others);
+                Stmt::StrConcat(d, a, b)
+            }
+            94..=99 => Stmt::EmitStrLen(self.svar()),
+            // Structural budget exhausted (or nesting limit hit): fall
+            // back to the always-available statement kind.
+            _ => Stmt::Assign(self.var(), self.expr(0, loop_depth)),
+        }
+    }
+
+    fn candidate(&mut self) -> Program {
+        self.loops_left = 6;
+        self.concats_left = 4;
+        let len = self.rng.index(3, 11);
+        Program {
+            stmts: self.block(len, 0, 0),
+        }
+    }
+}
+
+/// Generate the conformance program for `seed`: a pure, deterministic
+/// function of the seed. The returned program always passes
+/// [`crate::ir::eval`].
+pub fn generate(seed: u64) -> Program {
+    let mut g = Gen {
+        rng: Rng64::new(seed),
+        loops_left: 0,
+        concats_left: 0,
+    };
+    for _ in 0..ATTEMPTS {
+        let p = g.candidate();
+        if eval(&p).is_ok() {
+            return p;
+        }
+    }
+    Program::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 7, 42, 1_000_003] {
+            assert_eq!(generate(seed), generate(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_programs_are_valid_and_rarely_trivial() {
+        let mut nontrivial = 0;
+        for seed in 0..100u64 {
+            let p = generate(seed);
+            assert!(eval(&p).is_ok(), "seed {seed} generated invalid program");
+            if !p.stmts.is_empty() {
+                nontrivial += 1;
+            }
+        }
+        // Rejection sampling must not collapse to the empty fallback.
+        assert!(nontrivial >= 95, "only {nontrivial}/100 non-trivial");
+    }
+
+    #[test]
+    fn distinct_seeds_usually_differ() {
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..50u64 {
+            distinct.insert(format!("{}", generate(seed)));
+        }
+        assert!(distinct.len() >= 45, "only {} distinct programs", distinct.len());
+    }
+}

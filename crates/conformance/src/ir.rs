@@ -1,0 +1,573 @@
+//! The shared semantic IR: the intersection of what minic, Joule, Perl,
+//! and Tcl can all express with identical observable semantics.
+//!
+//! The IR is deliberately small — six integer scalars, two fixed-length
+//! integer arrays, three strings fed from a literal pool, counted loops,
+//! two-way branches, and fully-parenthesized integer expressions — and
+//! deliberately *strict*: [`eval`] is a checked reference evaluator that
+//! rejects any program whose meaning could legally differ between the
+//! five interpreters (i32 overflow where Perl and Tcl compute in i64,
+//! division/modulo with negative operands where Perl rounds differently
+//! than C, out-of-bounds indexing, unbounded strings). Generated
+//! programs are rejection-sampled against it, so every program that
+//! reaches a lowering has exactly one meaning — and the evaluator's own
+//! console doubles as a sixth differential witness.
+
+use std::fmt;
+
+/// Number of integer scalar variables (`v0..v5`).
+pub const NUM_VARS: usize = 6;
+/// Number of integer arrays (`a0`, `a1`).
+pub const NUM_ARRAYS: usize = 2;
+/// Length of every array.
+pub const ARRAY_LEN: i64 = 8;
+/// Number of string variables (`s0..s2`).
+pub const NUM_STRS: usize = 3;
+/// Longest string value a valid program may construct. Kept below the
+/// 256-byte buffers the mini-C lowering declares.
+pub const MAX_STR_LEN: usize = 200;
+/// Literal pool for string assignments (lowercase ASCII only, so every
+/// lowering can spell them without escapes).
+pub const STR_POOL: [&str; 6] = ["alpha", "beta", "gamma", "delta", "omega", "kappa"];
+/// Reference-evaluator step budget; programs are tiny, so this only
+/// guards against pathological loop nests.
+const STEP_BUDGET: u64 = 500_000;
+
+/// Integer binary operators shared by all five front ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (validity restricts to non-negative dividend, positive divisor)
+    Div,
+    /// `%` (same restriction — Perl's `%` floors, C truncates)
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+}
+
+impl BinOp {
+    /// Source-level spelling, identical in all four concrete syntaxes.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+        }
+    }
+}
+
+/// Comparison operators for branch and loop conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl Cmp {
+    /// Source-level spelling, identical in all four concrete syntaxes.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+        }
+    }
+
+    /// Apply the comparison.
+    pub fn apply(self, l: i64, r: i64) -> bool {
+        match self {
+            Cmp::Lt => l < r,
+            Cmp::Le => l <= r,
+            Cmp::Gt => l > r,
+            Cmp::Ge => l >= r,
+            Cmp::Eq => l == r,
+            Cmp::Ne => l != r,
+        }
+    }
+}
+
+/// Integer expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Non-negative literal.
+    Lit(i32),
+    /// Scalar variable `v{k}`.
+    Var(u8),
+    /// Counter of the enclosing loop at nesting depth `d` (0 = outermost
+    /// active loop).
+    LoopVar(u8),
+    /// `a{k}[index]`.
+    ArrayGet(u8, Box<Expr>),
+    /// Fully-parenthesized binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Branch/loop condition: a single comparison of two integer expressions
+/// (every front end agrees on comparison-as-boolean; bare-integer
+/// truthiness differs between Joule and the others, so it is not in the
+/// IR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cond {
+    /// The comparison operator.
+    pub cmp: Cmp,
+    /// Left operand.
+    pub lhs: Expr,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+/// Statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `v{k} = expr`.
+    Assign(u8, Expr),
+    /// `a{k}[index] = value`.
+    ArraySet(u8, Expr, Expr),
+    /// Two-way branch; the else body may be empty.
+    If(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// Counted loop: run the body `count` times with the loop counter
+    /// going 0, 1, …, count-1. `count` is a literal in 1..=ARRAY_LEN so
+    /// loop counters are always in-bounds array indices.
+    Loop(u8, Vec<Stmt>),
+    /// Print the integer value followed by a newline.
+    EmitInt(Expr),
+    /// `s{k} = STR_POOL[j]`.
+    StrLit(u8, u8),
+    /// `s{dst} = s{a} . s{b}`; `dst` must differ from both sources (the
+    /// mini-C lowering concatenates in place).
+    StrConcat(u8, u8, u8),
+    /// Print `len(s{k})` followed by a newline.
+    EmitStrLen(u8),
+}
+
+/// A closed, deterministic program over the shared state. Every program
+/// implicitly ends with the conformance epilogue: each scalar is
+/// printed, then each string length, then `OK` — so even a program whose
+/// explicit statements print nothing still exposes nine observables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The statement list.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Total number of statements, counted recursively.
+    pub fn size(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If(_, t, e) => 1 + count(t) + count(e),
+                    Stmt::Loop(_, b) => 1 + count(b),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+}
+
+/// Why the reference evaluator rejected a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invalid {
+    /// An intermediate value left the i32 range (Perl/Tcl compute in
+    /// i64; C, MIPS, and Joule in i32).
+    Overflow,
+    /// Division or modulo with a negative dividend or non-positive
+    /// divisor (rounding direction and zero-division behavior differ).
+    DivisionHazard,
+    /// Array index outside `0..ARRAY_LEN`.
+    IndexOutOfBounds,
+    /// A string grew past [`MAX_STR_LEN`].
+    StringTooLong,
+    /// `StrConcat` destination aliases a source.
+    ConcatAliasing,
+    /// A `LoopVar` referenced a loop depth that is not active.
+    LoopVarOutOfScope,
+    /// The step budget was exhausted.
+    BudgetExceeded,
+}
+
+impl fmt::Display for Invalid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Invalid::Overflow => "i32 overflow",
+            Invalid::DivisionHazard => "division hazard",
+            Invalid::IndexOutOfBounds => "index out of bounds",
+            Invalid::StringTooLong => "string too long",
+            Invalid::ConcatAliasing => "concat aliasing",
+            Invalid::LoopVarOutOfScope => "loop var out of scope",
+            Invalid::BudgetExceeded => "step budget exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+struct Eval {
+    vars: [i64; NUM_VARS],
+    arrays: [[i64; ARRAY_LEN as usize]; NUM_ARRAYS],
+    strs: [String; NUM_STRS],
+    loops: Vec<i64>,
+    steps: u64,
+    out: String,
+}
+
+impl Eval {
+    fn tick(&mut self) -> Result<(), Invalid> {
+        self.steps += 1;
+        if self.steps > STEP_BUDGET {
+            return Err(Invalid::BudgetExceeded);
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<i64, Invalid> {
+        self.tick()?;
+        match e {
+            Expr::Lit(n) => Ok(i64::from(*n)),
+            Expr::Var(k) => Ok(self.vars[*k as usize % NUM_VARS]),
+            Expr::LoopVar(d) => self
+                .loops
+                .get(*d as usize)
+                .copied()
+                .ok_or(Invalid::LoopVarOutOfScope),
+            Expr::ArrayGet(k, idx) => {
+                let i = self.expr(idx)?;
+                if !(0..ARRAY_LEN).contains(&i) {
+                    return Err(Invalid::IndexOutOfBounds);
+                }
+                Ok(self.arrays[*k as usize % NUM_ARRAYS][i as usize])
+            }
+            Expr::Bin(op, l, r) => {
+                let l = self.expr(l)?;
+                let r = self.expr(r)?;
+                let v = match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div | BinOp::Mod => {
+                        if l < 0 || r <= 0 {
+                            return Err(Invalid::DivisionHazard);
+                        }
+                        if *op == BinOp::Div {
+                            l / r
+                        } else {
+                            l % r
+                        }
+                    }
+                    BinOp::And => l & r,
+                    BinOp::Or => l | r,
+                    BinOp::Xor => l ^ r,
+                };
+                if i32::try_from(v).is_err() {
+                    return Err(Invalid::Overflow);
+                }
+                Ok(v)
+            }
+        }
+    }
+
+    fn cond(&mut self, c: &Cond) -> Result<bool, Invalid> {
+        let l = self.expr(&c.lhs)?;
+        let r = self.expr(&c.rhs)?;
+        Ok(c.cmp.apply(l, r))
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), Invalid> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), Invalid> {
+        self.tick()?;
+        match s {
+            Stmt::Assign(k, e) => {
+                let v = self.expr(e)?;
+                self.vars[*k as usize % NUM_VARS] = v;
+            }
+            Stmt::ArraySet(k, idx, val) => {
+                let i = self.expr(idx)?;
+                let v = self.expr(val)?;
+                if !(0..ARRAY_LEN).contains(&i) {
+                    return Err(Invalid::IndexOutOfBounds);
+                }
+                self.arrays[*k as usize % NUM_ARRAYS][i as usize] = v;
+            }
+            Stmt::If(c, then_b, else_b) => {
+                if self.cond(c)? {
+                    self.block(then_b)?;
+                } else {
+                    self.block(else_b)?;
+                }
+            }
+            Stmt::Loop(count, body) => {
+                self.loops.push(0);
+                for i in 0..i64::from(*count) {
+                    if let Some(top) = self.loops.last_mut() {
+                        *top = i;
+                    }
+                    self.block(body)?;
+                }
+                self.loops.pop();
+            }
+            Stmt::EmitInt(e) => {
+                let v = self.expr(e)?;
+                self.out.push_str(&format!("{v}\n"));
+            }
+            Stmt::StrLit(k, j) => {
+                self.strs[*k as usize % NUM_STRS] =
+                    STR_POOL[*j as usize % STR_POOL.len()].to_string();
+            }
+            Stmt::StrConcat(d, a, b) => {
+                let (d, a, b) = (
+                    *d as usize % NUM_STRS,
+                    *a as usize % NUM_STRS,
+                    *b as usize % NUM_STRS,
+                );
+                if d == a || d == b {
+                    return Err(Invalid::ConcatAliasing);
+                }
+                let joined = format!("{}{}", self.strs[a], self.strs[b]);
+                if joined.len() > MAX_STR_LEN {
+                    return Err(Invalid::StringTooLong);
+                }
+                self.strs[d] = joined;
+            }
+            Stmt::EmitStrLen(k) => {
+                let n = self.strs[*k as usize % NUM_STRS].len();
+                self.out.push_str(&format!("{n}\n"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run the checked reference evaluation of `p`.
+///
+/// `Ok(console)` is the exact console text every lowering must
+/// reproduce, including the shared epilogue. `Err` means the program is
+/// outside the conformance subset and must not be lowered.
+pub fn eval(p: &Program) -> Result<String, Invalid> {
+    let mut st = Eval {
+        vars: [0; NUM_VARS],
+        arrays: [[0; ARRAY_LEN as usize]; NUM_ARRAYS],
+        strs: std::array::from_fn(|_| String::new()),
+        loops: Vec::new(),
+        steps: 0,
+        out: String::new(),
+    };
+    st.block(&p.stmts)?;
+    for k in 0..NUM_VARS {
+        let v = st.vars[k];
+        st.out.push_str(&format!("{v}\n"));
+    }
+    for k in 0..NUM_STRS {
+        let n = st.strs[k].len();
+        st.out.push_str(&format!("{n}\n"));
+    }
+    st.out.push_str("OK\n");
+    Ok(st.out)
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(n) => write!(f, "{n}"),
+            Expr::Var(k) => write!(f, "v{k}"),
+            Expr::LoopVar(d) => write!(f, "loop#{d}"),
+            Expr::ArrayGet(k, i) => write!(f, "a{k}[{i}]"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {} {r})", op.symbol()),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.cmp.symbol(), self.rhs)
+    }
+}
+
+fn fmt_block(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], depth: usize) -> fmt::Result {
+    let pad = "  ".repeat(depth);
+    for s in stmts {
+        match s {
+            Stmt::Assign(k, e) => writeln!(f, "{pad}v{k} = {e}")?,
+            Stmt::ArraySet(k, i, v) => writeln!(f, "{pad}a{k}[{i}] = {v}")?,
+            Stmt::If(c, t, e) => {
+                writeln!(f, "{pad}if {c} {{")?;
+                fmt_block(f, t, depth + 1)?;
+                if !e.is_empty() {
+                    writeln!(f, "{pad}}} else {{")?;
+                    fmt_block(f, e, depth + 1)?;
+                }
+                writeln!(f, "{pad}}}")?;
+            }
+            Stmt::Loop(n, b) => {
+                writeln!(f, "{pad}loop {n} {{")?;
+                fmt_block(f, b, depth + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+            Stmt::EmitInt(e) => writeln!(f, "{pad}emit {e}")?,
+            Stmt::StrLit(k, j) => writeln!(
+                f,
+                "{pad}s{k} = \"{}\"",
+                STR_POOL[*j as usize % STR_POOL.len()]
+            )?,
+            Stmt::StrConcat(d, a, b) => writeln!(f, "{pad}s{d} = s{a} . s{b}")?,
+            Stmt::EmitStrLen(k) => writeln!(f, "{pad}emit len(s{k})")?,
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_block(f, &self.stmts, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_program_prints_epilogue_only() {
+        let out = eval(&Program::default()).expect("valid");
+        // Six scalars, three string lengths, OK.
+        assert_eq!(out, "0\n0\n0\n0\n0\n0\n0\n0\n0\nOK\n");
+    }
+
+    #[test]
+    fn arithmetic_and_emit() {
+        let p = Program {
+            stmts: vec![
+                Stmt::Assign(
+                    0,
+                    Expr::Bin(BinOp::Add, Box::new(Expr::Lit(40)), Box::new(Expr::Lit(2))),
+                ),
+                Stmt::EmitInt(Expr::Var(0)),
+            ],
+        };
+        let out = eval(&p).expect("valid");
+        assert!(out.starts_with("42\n"));
+        assert!(out.ends_with("OK\n"));
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        let big = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::Lit(100_000)),
+            Box::new(Expr::Lit(100_000)),
+        );
+        let p = Program {
+            stmts: vec![Stmt::EmitInt(big)],
+        };
+        assert_eq!(eval(&p), Err(Invalid::Overflow));
+    }
+
+    #[test]
+    fn division_hazards_are_rejected() {
+        for (l, r) in [(1, 0), (-1, 1), (1, -1)] {
+            let lhs = if l < 0 {
+                Expr::Bin(BinOp::Sub, Box::new(Expr::Lit(0)), Box::new(Expr::Lit(-l)))
+            } else {
+                Expr::Lit(l)
+            };
+            let rhs = if r < 0 {
+                Expr::Bin(BinOp::Sub, Box::new(Expr::Lit(0)), Box::new(Expr::Lit(-r)))
+            } else {
+                Expr::Lit(r)
+            };
+            let p = Program {
+                stmts: vec![Stmt::EmitInt(Expr::Bin(
+                    BinOp::Div,
+                    Box::new(lhs),
+                    Box::new(rhs),
+                ))],
+            };
+            assert_eq!(eval(&p), Err(Invalid::DivisionHazard), "{l}/{r}");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_and_aliasing_are_rejected() {
+        let oob = Program {
+            stmts: vec![Stmt::EmitInt(Expr::ArrayGet(
+                0,
+                Box::new(Expr::Lit(ARRAY_LEN as i32)),
+            ))],
+        };
+        assert_eq!(eval(&oob), Err(Invalid::IndexOutOfBounds));
+        let alias = Program {
+            stmts: vec![Stmt::StrConcat(0, 0, 1)],
+        };
+        assert_eq!(eval(&alias), Err(Invalid::ConcatAliasing));
+    }
+
+    #[test]
+    fn loop_var_tracks_nesting() {
+        // loop 3 { loop 2 { emit loop#0 * 10 + loop#1 } }
+        let body = Stmt::EmitInt(Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::LoopVar(0)),
+                Box::new(Expr::Lit(10)),
+            )),
+            Box::new(Expr::LoopVar(1)),
+        ));
+        let p = Program {
+            stmts: vec![Stmt::Loop(3, vec![Stmt::Loop(2, vec![body])])],
+        };
+        let out = eval(&p).expect("valid");
+        assert!(out.starts_with("0\n1\n10\n11\n20\n21\n"), "{out}");
+        let orphan = Program {
+            stmts: vec![Stmt::EmitInt(Expr::LoopVar(0))],
+        };
+        assert_eq!(eval(&orphan), Err(Invalid::LoopVarOutOfScope));
+    }
+
+    #[test]
+    fn strings_concat_and_measure() {
+        let p = Program {
+            stmts: vec![
+                Stmt::StrLit(0, 0),      // s0 = "alpha"
+                Stmt::StrLit(1, 1),      // s1 = "beta"
+                Stmt::StrConcat(2, 0, 1), // s2 = "alphabeta"
+                Stmt::EmitStrLen(2),
+            ],
+        };
+        let out = eval(&p).expect("valid");
+        assert!(out.starts_with("9\n"), "{out}");
+    }
+}

@@ -1,0 +1,726 @@
+//! Lowering the shared IR to the four concrete source languages.
+//!
+//! Every lowering emits the same observable protocol: each `EmitInt` /
+//! `EmitStrLen` prints one decimal integer followed by a newline, and
+//! the shared epilogue prints the six scalars, the three string lengths,
+//! and a final `OK` line — so a conforming run's console is
+//! byte-identical across nativeref, MIPSI, Javelin, Perlite, and Tclite.
+//!
+//! Where the front ends' evaluation orders could differ, the lowerings
+//! pin them:
+//!
+//! * C, Joule, and Perl receive **fully parenthesized** expressions, so
+//!   the host parser's precedence table is irrelevant.
+//! * Tcl receives **three-address code**: every binary operation and
+//!   array read is hoisted into its own `set tK [expr …]`, so `expr`
+//!   only ever sees one operator at a time.
+//! * Loop counters get a fresh name per loop *site* (`i0`, `i1`, …), so
+//!   Joule's block-scoped `for (int iK …)` declarations never collide.
+//!
+//! [`Bug::FlipBranch`] deliberately swaps the branch arms in exactly one
+//! language's lowering — the seeded divergence the conformance tests
+//! must catch and shrink.
+
+use interp_core::Language;
+
+use crate::ir::{Cond, Expr, Program, Stmt, ARRAY_LEN, NUM_ARRAYS, NUM_STRS, NUM_VARS, STR_POOL};
+
+/// A deliberately injected semantics bug, for validating that the
+/// differential engine actually detects divergence. Test-only in
+/// spirit: the default [`LowerOptions`] never injects one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bug {
+    /// Swap then/else arms of every `If` in the named language's
+    /// lowering only.
+    FlipBranch(Language),
+}
+
+/// Lowering options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerOptions {
+    /// Optional injected bug (see [`Bug`]).
+    pub bug: Option<Bug>,
+}
+
+/// Lower `p` to source text for `lang`. `Language::C` and
+/// `Language::Mipsi` both produce mini-C (the same source is compiled
+/// for native execution and for the MIPS emulator), but a
+/// [`Bug::FlipBranch`] targets the named language's copy only.
+pub fn lower(p: &Program, lang: Language, opts: &LowerOptions) -> String {
+    let flip = matches!(opts.bug, Some(Bug::FlipBranch(l)) if l == lang);
+    match lang {
+        Language::C | Language::Mipsi => lower_c(p, flip),
+        Language::Javelin => lower_joule(p, flip),
+        Language::Perlite => lower_perl(p, flip),
+        Language::Tclite => lower_tcl(p, flip),
+    }
+}
+
+/// Shared emitter state: output buffer, indentation, fresh-name
+/// counters, and the stack of active loop-counter names (index = IR
+/// loop depth).
+struct Ctx {
+    out: String,
+    indent: usize,
+    tmps: u32,
+    loop_sites: u32,
+    loops: Vec<String>,
+    flip: bool,
+}
+
+impl Ctx {
+    fn new(flip: bool) -> Self {
+        Ctx {
+            out: String::new(),
+            indent: 0,
+            tmps: 0,
+            loop_sites: 0,
+            loops: Vec::new(),
+            flip,
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn tmp(&mut self) -> String {
+        let t = format!("t{}", self.tmps);
+        self.tmps += 1;
+        t
+    }
+
+    fn loop_name(&mut self) -> String {
+        let n = format!("i{}", self.loop_sites);
+        self.loop_sites += 1;
+        n
+    }
+
+    /// Loop-counter name for IR depth `d`. Validity guarantees the
+    /// depth is active; the fallback keeps lowering total (and
+    /// panic-free) on malformed input.
+    fn loop_var(&self, d: u8) -> String {
+        self.loops
+            .get(d as usize)
+            .cloned()
+            .unwrap_or_else(|| "0".to_string())
+    }
+
+    fn arms<'a>(&self, t: &'a [Stmt], e: &'a [Stmt]) -> (&'a [Stmt], &'a [Stmt]) {
+        if self.flip {
+            (e, t)
+        } else {
+            (t, e)
+        }
+    }
+}
+
+fn count_loops(stmts: &[Stmt]) -> u32 {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::If(_, t, e) => count_loops(t) + count_loops(e),
+            Stmt::Loop(_, b) => 1 + count_loops(b),
+            _ => 0,
+        })
+        .sum()
+}
+
+// ---------------------------------------------------------------- mini-C
+
+fn c_expr(c: &Ctx, e: &Expr) -> String {
+    match e {
+        Expr::Lit(n) => n.to_string(),
+        Expr::Var(k) => format!("v{k}"),
+        Expr::LoopVar(d) => c.loop_var(*d),
+        Expr::ArrayGet(k, i) => format!("a{k}[{}]", c_expr(c, i)),
+        Expr::Bin(op, l, r) => format!("({} {} {})", c_expr(c, l), op.symbol(), c_expr(c, r)),
+    }
+}
+
+fn c_cond(c: &Ctx, cond: &Cond) -> String {
+    format!(
+        "{} {} {}",
+        c_expr(c, &cond.lhs),
+        cond.cmp.symbol(),
+        c_expr(c, &cond.rhs)
+    )
+}
+
+fn c_emit_int(c: &mut Ctx, expr_text: &str) {
+    c.line(&format!("print_int({expr_text});"));
+    c.line("print_char(10);");
+}
+
+fn c_block(c: &mut Ctx, stmts: &[Stmt]) {
+    for s in stmts {
+        c_stmt(c, s);
+    }
+}
+
+fn c_stmt(c: &mut Ctx, s: &Stmt) {
+    match s {
+        Stmt::Assign(k, e) => {
+            let e = c_expr(c, e);
+            c.line(&format!("v{k} = {e};"));
+        }
+        Stmt::ArraySet(k, i, v) => {
+            let (i, v) = (c_expr(c, i), c_expr(c, v));
+            c.line(&format!("a{k}[{i}] = {v};"));
+        }
+        Stmt::If(cond, t, e) => {
+            let cond = c_cond(c, cond);
+            let (t, e) = c.arms(t, e);
+            c.line(&format!("if ({cond}) {{"));
+            c.indent += 1;
+            c_block(c, t);
+            c.indent -= 1;
+            if e.is_empty() {
+                c.line("}");
+            } else {
+                c.line("} else {");
+                c.indent += 1;
+                c_block(c, e);
+                c.indent -= 1;
+                c.line("}");
+            }
+        }
+        Stmt::Loop(n, body) => {
+            let name = c.loop_name();
+            c.line(&format!("{name} = 0;"));
+            c.line(&format!("while ({name} < {n}) {{"));
+            c.indent += 1;
+            c.loops.push(name.clone());
+            c_block(c, body);
+            c.loops.pop();
+            c.line(&format!("{name} = {name} + 1;"));
+            c.indent -= 1;
+            c.line("}");
+        }
+        Stmt::EmitInt(e) => {
+            let e = c_expr(c, e);
+            c_emit_int(c, &e);
+        }
+        Stmt::StrLit(k, j) => c.line(&format!("str_copy(s{k}, lit{j});")),
+        Stmt::StrConcat(d, a, b) => c.line(&format!("str_cat2(s{d}, s{a}, s{b});")),
+        Stmt::EmitStrLen(k) => c_emit_int(c, &format!("str_len(s{k})")),
+    }
+}
+
+fn lower_c(p: &Program, flip: bool) -> String {
+    let mut c = Ctx::new(flip);
+    for (j, lit) in STR_POOL.iter().enumerate() {
+        c.line(&format!("char lit{j}[8] = \"{lit}\";"));
+    }
+    for k in 0..NUM_VARS {
+        c.line(&format!("int v{k};"));
+    }
+    for k in 0..NUM_ARRAYS {
+        c.line(&format!("int a{k}[{ARRAY_LEN}];"));
+    }
+    for k in 0..NUM_STRS {
+        c.line(&format!("char s{k}[256];"));
+    }
+    c.line("int str_len(char *s) {");
+    c.line("    int n;");
+    c.line("    n = 0;");
+    c.line("    while (s[n]) { n = n + 1; }");
+    c.line("    return n;");
+    c.line("}");
+    c.line("int str_copy(char *d, char *s) {");
+    c.line("    int n;");
+    c.line("    n = 0;");
+    c.line("    while (s[n]) { d[n] = s[n]; n = n + 1; }");
+    c.line("    d[n] = 0;");
+    c.line("    return n;");
+    c.line("}");
+    c.line("int str_cat2(char *d, char *a, char *b) {");
+    c.line("    int n;");
+    c.line("    int m;");
+    c.line("    n = 0;");
+    c.line("    while (a[n]) { d[n] = a[n]; n = n + 1; }");
+    c.line("    m = 0;");
+    c.line("    while (b[m]) { d[n + m] = b[m]; m = m + 1; }");
+    c.line("    d[n + m] = 0;");
+    c.line("    return 0;");
+    c.line("}");
+    c.line("int main() {");
+    c.indent = 1;
+    c.line("int z;");
+    for site in 0..count_loops(&p.stmts) {
+        c.line(&format!("int i{site};"));
+    }
+    c.line("z = 0;");
+    {
+        let inits: String = (0..NUM_ARRAYS).map(|k| format!("a{k}[z] = 0; ")).collect();
+        c.line(&format!("while (z < {ARRAY_LEN}) {{ {inits}z = z + 1; }}"));
+    }
+    for k in 0..NUM_VARS {
+        c.line(&format!("v{k} = 0;"));
+    }
+    for k in 0..NUM_STRS {
+        c.line(&format!("s{k}[0] = 0;"));
+    }
+    c_block(&mut c, &p.stmts);
+    for k in 0..NUM_VARS {
+        c_emit_int(&mut c, &format!("v{k}"));
+    }
+    for k in 0..NUM_STRS {
+        c_emit_int(&mut c, &format!("str_len(s{k})"));
+    }
+    c.line("print_str(\"OK\\n\");");
+    c.line("return 0;");
+    c.indent = 0;
+    c.line("}");
+    c.out
+}
+
+// ----------------------------------------------------------------- Joule
+
+fn j_expr(c: &Ctx, e: &Expr) -> String {
+    match e {
+        Expr::Lit(n) => n.to_string(),
+        Expr::Var(k) => format!("v{k}"),
+        Expr::LoopVar(d) => c.loop_var(*d),
+        Expr::ArrayGet(k, i) => format!("a{k}[{}]", j_expr(c, i)),
+        Expr::Bin(op, l, r) => format!("({} {} {})", j_expr(c, l), op.symbol(), j_expr(c, r)),
+    }
+}
+
+fn j_emit_int(c: &mut Ctx, expr_text: &str) {
+    c.line(&format!("Native.printInt({expr_text});"));
+    c.line("Native.printChar('\\n');");
+}
+
+fn j_block(c: &mut Ctx, stmts: &[Stmt]) {
+    for s in stmts {
+        j_stmt(c, s);
+    }
+}
+
+fn j_stmt(c: &mut Ctx, s: &Stmt) {
+    match s {
+        Stmt::Assign(k, e) => {
+            let e = j_expr(c, e);
+            c.line(&format!("v{k} = {e};"));
+        }
+        Stmt::ArraySet(k, i, v) => {
+            let (i, v) = (j_expr(c, i), j_expr(c, v));
+            c.line(&format!("a{k}[{i}] = {v};"));
+        }
+        Stmt::If(cond, t, e) => {
+            let cond = format!(
+                "{} {} {}",
+                j_expr(c, &cond.lhs),
+                cond.cmp.symbol(),
+                j_expr(c, &cond.rhs)
+            );
+            let (t, e) = c.arms(t, e);
+            c.line(&format!("if ({cond}) {{"));
+            c.indent += 1;
+            j_block(c, t);
+            c.indent -= 1;
+            if e.is_empty() {
+                c.line("}");
+            } else {
+                c.line("} else {");
+                c.indent += 1;
+                j_block(c, e);
+                c.indent -= 1;
+                c.line("}");
+            }
+        }
+        Stmt::Loop(n, body) => {
+            let name = c.loop_name();
+            c.line(&format!(
+                "for (int {name} = 0; {name} < {n}; {name}++) {{"
+            ));
+            c.indent += 1;
+            c.loops.push(name.clone());
+            j_block(c, body);
+            c.loops.pop();
+            c.indent -= 1;
+            c.line("}");
+        }
+        Stmt::EmitInt(e) => {
+            let e = j_expr(c, e);
+            j_emit_int(c, &e);
+        }
+        Stmt::StrLit(k, j) => {
+            let word = STR_POOL[*j as usize % STR_POOL.len()];
+            for (idx, ch) in word.chars().enumerate() {
+                c.line(&format!("s{k}[{idx}] = '{ch}';"));
+            }
+            c.line(&format!("s{k}n = {};", word.len()));
+        }
+        Stmt::StrConcat(d, a, b) => {
+            let ca = c.tmp();
+            let cb = c.tmp();
+            c.line(&format!(
+                "for (int {ca} = 0; {ca} < s{a}n; {ca}++) {{ s{d}[{ca}] = s{a}[{ca}]; }}"
+            ));
+            c.line(&format!(
+                "for (int {cb} = 0; {cb} < s{b}n; {cb}++) {{ s{d}[s{a}n + {cb}] = s{b}[{cb}]; }}"
+            ));
+            c.line(&format!("s{d}n = s{a}n + s{b}n;"));
+        }
+        Stmt::EmitStrLen(k) => j_emit_int(c, &format!("s{k}n")),
+    }
+}
+
+fn lower_joule(p: &Program, flip: bool) -> String {
+    let mut c = Ctx::new(flip);
+    c.line("void main() {");
+    c.indent = 1;
+    for k in 0..NUM_VARS {
+        c.line(&format!("int v{k} = 0;"));
+    }
+    for k in 0..NUM_ARRAYS {
+        c.line(&format!("int[] a{k} = new int[{ARRAY_LEN}];"));
+    }
+    for k in 0..NUM_STRS {
+        c.line(&format!("int[] s{k} = new int[256];"));
+        c.line(&format!("int s{k}n = 0;"));
+    }
+    j_block(&mut c, &p.stmts);
+    for k in 0..NUM_VARS {
+        j_emit_int(&mut c, &format!("v{k}"));
+    }
+    for k in 0..NUM_STRS {
+        j_emit_int(&mut c, &format!("s{k}n"));
+    }
+    c.line("Native.printStr(\"OK\\n\");");
+    c.indent = 0;
+    c.line("}");
+    c.out
+}
+
+// ------------------------------------------------------------------ Perl
+
+/// Perl expressions are inlined with full parenthesization; only array
+/// reads with compound indices hoist the index into a temporary (the
+/// subscript grammar is the one place we do not lean on the parser).
+fn p_expr(c: &mut Ctx, e: &Expr) -> String {
+    match e {
+        Expr::Lit(n) => n.to_string(),
+        Expr::Var(k) => format!("$v{k}"),
+        Expr::LoopVar(d) => format!("${}", c.loop_var(*d)),
+        Expr::ArrayGet(k, i) => {
+            let idx = match &**i {
+                Expr::Lit(_) | Expr::Var(_) | Expr::LoopVar(_) => p_expr(c, i),
+                _ => {
+                    let idx = p_expr(c, i);
+                    let t = c.tmp();
+                    c.line(&format!("${t} = {idx};"));
+                    format!("${t}")
+                }
+            };
+            format!("$a{k}[{idx}]")
+        }
+        Expr::Bin(op, l, r) => {
+            let l = p_expr(c, l);
+            let r = p_expr(c, r);
+            format!("({l} {} {r})", op.symbol())
+        }
+    }
+}
+
+fn p_emit_value(c: &mut Ctx, expr_text: &str) {
+    let t = c.tmp();
+    c.line(&format!("${t} = {expr_text};"));
+    c.line(&format!("print \"${t}\\n\";"));
+}
+
+fn p_block(c: &mut Ctx, stmts: &[Stmt]) {
+    for s in stmts {
+        p_stmt(c, s);
+    }
+}
+
+fn p_stmt(c: &mut Ctx, s: &Stmt) {
+    match s {
+        Stmt::Assign(k, e) => {
+            let e = p_expr(c, e);
+            c.line(&format!("$v{k} = {e};"));
+        }
+        Stmt::ArraySet(k, i, v) => {
+            let i = p_expr(c, i);
+            let ti = c.tmp();
+            c.line(&format!("${ti} = {i};"));
+            let v = p_expr(c, v);
+            c.line(&format!("$a{k}[${ti}] = {v};"));
+        }
+        Stmt::If(cond, t, e) => {
+            let l = p_expr(c, &cond.lhs);
+            let r = p_expr(c, &cond.rhs);
+            let (t, e) = c.arms(t, e);
+            c.line(&format!("if ({l} {} {r}) {{", cond.cmp.symbol()));
+            c.indent += 1;
+            if t.is_empty() {
+                c.line("$nop = 0;");
+            }
+            p_block(c, t);
+            c.indent -= 1;
+            if e.is_empty() {
+                c.line("}");
+            } else {
+                c.line("} else {");
+                c.indent += 1;
+                p_block(c, e);
+                c.indent -= 1;
+                c.line("}");
+            }
+        }
+        Stmt::Loop(n, body) => {
+            let name = c.loop_name();
+            c.line(&format!(
+                "for (${name} = 0; ${name} < {n}; ${name}++) {{"
+            ));
+            c.indent += 1;
+            c.loops.push(name.clone());
+            p_block(c, body);
+            c.loops.pop();
+            c.indent -= 1;
+            c.line("}");
+        }
+        Stmt::EmitInt(e) => {
+            let e = p_expr(c, e);
+            p_emit_value(c, &e);
+        }
+        Stmt::StrLit(k, j) => c.line(&format!(
+            "$s{k} = \"{}\";",
+            STR_POOL[*j as usize % STR_POOL.len()]
+        )),
+        Stmt::StrConcat(d, a, b) => c.line(&format!("$s{d} = $s{a} . $s{b};")),
+        Stmt::EmitStrLen(k) => p_emit_value(c, &format!("length($s{k})")),
+    }
+}
+
+fn lower_perl(p: &Program, flip: bool) -> String {
+    let mut c = Ctx::new(flip);
+    for k in 0..NUM_VARS {
+        c.line(&format!("$v{k} = 0;"));
+    }
+    {
+        let inits: String = (0..NUM_ARRAYS)
+            .map(|k| format!("$a{k}[$z] = 0; "))
+            .collect();
+        c.line(&format!(
+            "for ($z = 0; $z < {ARRAY_LEN}; $z++) {{ {inits}}}"
+        ));
+    }
+    for k in 0..NUM_STRS {
+        c.line(&format!("$s{k} = \"\";"));
+    }
+    p_block(&mut c, &p.stmts);
+    for k in 0..NUM_VARS {
+        p_emit_value(&mut c, &format!("$v{k}"));
+    }
+    for k in 0..NUM_STRS {
+        p_emit_value(&mut c, &format!("length($s{k})"));
+    }
+    c.line("print \"OK\\n\";");
+    c.out
+}
+
+// ------------------------------------------------------------------- Tcl
+
+/// Lower an expression to a Tcl operand token (`$var`, a literal, or a
+/// freshly-`set` temporary), emitting the three-address `set`/`expr`
+/// commands it needs first.
+fn t_operand(c: &mut Ctx, e: &Expr) -> String {
+    match e {
+        Expr::Lit(n) => n.to_string(),
+        Expr::Var(k) => format!("$v{k}"),
+        Expr::LoopVar(d) => format!("${}", c.loop_var(*d)),
+        Expr::ArrayGet(k, i) => {
+            let idx = t_operand(c, i);
+            let t = c.tmp();
+            c.line(&format!("set {t} $a{k}({idx})"));
+            format!("${t}")
+        }
+        Expr::Bin(op, l, r) => {
+            let l = t_operand(c, l);
+            let r = t_operand(c, r);
+            let t = c.tmp();
+            c.line(&format!("set {t} [expr {l} {} {r}]", op.symbol()));
+            format!("${t}")
+        }
+    }
+}
+
+fn t_block(c: &mut Ctx, stmts: &[Stmt]) {
+    for s in stmts {
+        t_stmt(c, s);
+    }
+}
+
+fn t_stmt(c: &mut Ctx, s: &Stmt) {
+    match s {
+        Stmt::Assign(k, e) => {
+            let v = t_operand(c, e);
+            c.line(&format!("set v{k} {v}"));
+        }
+        Stmt::ArraySet(k, i, v) => {
+            let i = t_operand(c, i);
+            let v = t_operand(c, v);
+            c.line(&format!("set a{k}({i}) {v}"));
+        }
+        Stmt::If(cond, t, e) => {
+            // Operands are hoisted before the `if`; the braced condition
+            // re-substitutes their (now fixed) values when `expr` runs.
+            let l = t_operand(c, &cond.lhs);
+            let r = t_operand(c, &cond.rhs);
+            let (t, e) = c.arms(t, e);
+            c.line(&format!("if {{{l} {} {r}}} {{", cond.cmp.symbol()));
+            c.indent += 1;
+            if t.is_empty() {
+                c.line("set nop 0");
+            }
+            t_block(c, t);
+            c.indent -= 1;
+            if e.is_empty() {
+                c.line("}");
+            } else {
+                c.line("} else {");
+                c.indent += 1;
+                t_block(c, e);
+                c.indent -= 1;
+                c.line("}");
+            }
+        }
+        Stmt::Loop(n, body) => {
+            let name = c.loop_name();
+            c.line(&format!(
+                "for {{set {name} 0}} {{${name} < {n}}} {{incr {name}}} {{"
+            ));
+            c.indent += 1;
+            c.loops.push(name.clone());
+            t_block(c, body);
+            c.loops.pop();
+            c.indent -= 1;
+            c.line("}");
+        }
+        Stmt::EmitInt(e) => {
+            let v = t_operand(c, e);
+            c.line(&format!("puts {v}"));
+        }
+        Stmt::StrLit(k, j) => c.line(&format!(
+            "set s{k} \"{}\"",
+            STR_POOL[*j as usize % STR_POOL.len()]
+        )),
+        Stmt::StrConcat(d, a, b) => c.line(&format!("set s{d} \"$s{a}$s{b}\"")),
+        Stmt::EmitStrLen(k) => {
+            let t = c.tmp();
+            c.line(&format!("set {t} [string length $s{k}]"));
+            c.line(&format!("puts ${t}"));
+        }
+    }
+}
+
+fn lower_tcl(p: &Program, flip: bool) -> String {
+    let mut c = Ctx::new(flip);
+    c.line(&format!(
+        "for {{set z 0}} {{$z < {ARRAY_LEN}}} {{incr z}} {{"
+    ));
+    c.indent = 1;
+    for k in 0..NUM_ARRAYS {
+        c.line(&format!("set a{k}($z) 0"));
+    }
+    c.indent = 0;
+    c.line("}");
+    for k in 0..NUM_VARS {
+        c.line(&format!("set v{k} 0"));
+    }
+    for k in 0..NUM_STRS {
+        c.line(&format!("set s{k} \"\""));
+    }
+    t_block(&mut c, &p.stmts);
+    for k in 0..NUM_VARS {
+        c.line(&format!("puts $v{k}"));
+    }
+    for k in 0..NUM_STRS {
+        let t = c.tmp();
+        c.line(&format!("set {t} [string length $s{k}]"));
+        c.line(&format!("puts ${t}"));
+    }
+    c.line("puts OK");
+    c.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Cmp};
+
+    fn sample() -> Program {
+        Program {
+            stmts: vec![
+                Stmt::Assign(
+                    0,
+                    Expr::Bin(BinOp::Add, Box::new(Expr::Lit(40)), Box::new(Expr::Lit(2))),
+                ),
+                Stmt::If(
+                    Cond {
+                        cmp: Cmp::Gt,
+                        lhs: Expr::Var(0),
+                        rhs: Expr::Lit(10),
+                    },
+                    vec![Stmt::EmitInt(Expr::Var(0))],
+                    vec![Stmt::EmitInt(Expr::Lit(0))],
+                ),
+                Stmt::Loop(3, vec![Stmt::ArraySet(0, Expr::LoopVar(0), Expr::LoopVar(0))]),
+                Stmt::StrLit(0, 0),
+                Stmt::EmitStrLen(0),
+            ],
+        }
+    }
+
+    #[test]
+    fn every_language_lowers_nonempty() {
+        let p = sample();
+        for lang in Language::ALL {
+            let src = lower(&p, lang, &LowerOptions::default());
+            assert!(!src.is_empty(), "{lang:?}");
+            assert!(src.contains("OK"), "{lang:?} missing epilogue");
+        }
+    }
+
+    #[test]
+    fn c_and_mipsi_share_source_unless_bug_targets_one() {
+        let p = sample();
+        let plain = LowerOptions::default();
+        assert_eq!(
+            lower(&p, Language::C, &plain),
+            lower(&p, Language::Mipsi, &plain)
+        );
+        let bugged = LowerOptions {
+            bug: Some(Bug::FlipBranch(Language::Mipsi)),
+        };
+        assert_ne!(
+            lower(&p, Language::C, &bugged),
+            lower(&p, Language::Mipsi, &bugged)
+        );
+    }
+
+    #[test]
+    fn flip_branch_changes_exactly_the_target_language() {
+        let p = sample();
+        let plain = LowerOptions::default();
+        let bugged = LowerOptions {
+            bug: Some(Bug::FlipBranch(Language::Tclite)),
+        };
+        assert_eq!(
+            lower(&p, Language::Perlite, &plain),
+            lower(&p, Language::Perlite, &bugged)
+        );
+        assert_ne!(
+            lower(&p, Language::Tclite, &plain),
+            lower(&p, Language::Tclite, &bugged)
+        );
+    }
+}

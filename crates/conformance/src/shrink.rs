@@ -1,0 +1,205 @@
+//! Greedy test-case shrinking.
+//!
+//! Given a divergent program, repeatedly try structure-reducing
+//! mutations — delete a statement, flatten a branch or loop, replace an
+//! expression by one of its operands — keeping a mutation only when the
+//! mutated program is still *valid* (the checked reference evaluator
+//! accepts it) and still *divergent* (the caller's predicate holds).
+//! The loop stops at a fixpoint or when the check budget runs out, so
+//! shrinking always terminates even against a flaky predicate.
+
+use crate::ir::{eval, Expr, Program, Stmt};
+
+/// Upper bound on divergence checks during one shrink. Each check runs
+/// all five interpreters, so this caps shrink cost at a few seconds.
+const CHECK_BUDGET: usize = 300;
+
+/// Shrink `p` while `still_diverges` holds. The result is valid,
+/// divergent (assuming `p` was), and no larger than `p`.
+pub fn shrink<F: FnMut(&Program) -> bool>(p: &Program, mut still_diverges: F) -> Program {
+    let mut cur = p.clone();
+    let mut budget = CHECK_BUDGET;
+    'outer: loop {
+        for cand in candidates(&cur) {
+            if budget == 0 {
+                break 'outer;
+            }
+            if cand.size() >= cur.size() || eval(&cand).is_err() {
+                continue;
+            }
+            budget -= 1;
+            if still_diverges(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    cur
+}
+
+/// All single-step reductions of `p`, biggest cuts first.
+fn candidates(p: &Program) -> Vec<Program> {
+    block_variants(&p.stmts)
+        .into_iter()
+        .map(|stmts| Program { stmts })
+        .collect()
+}
+
+/// Variants of a statement list: each statement deleted, then each
+/// statement replaced by one of its own reductions (which may be a
+/// multi-statement flattening).
+fn block_variants(stmts: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for i in 0..stmts.len() {
+        let mut v = stmts.to_vec();
+        v.remove(i);
+        out.push(v);
+    }
+    for (i, s) in stmts.iter().enumerate() {
+        for repl in stmt_variants(s) {
+            let mut v = Vec::with_capacity(stmts.len() + repl.len());
+            v.extend_from_slice(&stmts[..i]);
+            v.extend(repl);
+            v.extend_from_slice(&stmts[i + 1..]);
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Reductions of one statement, each expressed as a replacement list.
+fn stmt_variants(s: &Stmt) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::If(c, t, e) => {
+            // Flatten to either arm.
+            out.push(t.clone());
+            out.push(e.clone());
+            for tv in block_variants(t) {
+                out.push(vec![Stmt::If(c.clone(), tv, e.clone())]);
+            }
+            for ev in block_variants(e) {
+                out.push(vec![Stmt::If(c.clone(), t.clone(), ev)]);
+            }
+        }
+        Stmt::Loop(n, body) => {
+            // Unwrap the loop entirely (rejected later if the body uses
+            // the loop counter), then spin it down to one trip, then
+            // shrink the body in place.
+            out.push(body.clone());
+            if *n > 1 {
+                out.push(vec![Stmt::Loop(1, body.clone())]);
+            }
+            for bv in block_variants(body) {
+                out.push(vec![Stmt::Loop(*n, bv)]);
+            }
+        }
+        Stmt::Assign(k, e) => {
+            for ev in expr_variants(e) {
+                out.push(vec![Stmt::Assign(*k, ev)]);
+            }
+        }
+        Stmt::EmitInt(e) => {
+            for ev in expr_variants(e) {
+                out.push(vec![Stmt::EmitInt(ev)]);
+            }
+        }
+        Stmt::ArraySet(k, i, v) => {
+            for iv in expr_variants(i) {
+                out.push(vec![Stmt::ArraySet(*k, iv, v.clone())]);
+            }
+            for vv in expr_variants(v) {
+                out.push(vec![Stmt::ArraySet(*k, i.clone(), vv)]);
+            }
+        }
+        Stmt::StrLit(..) | Stmt::StrConcat(..) | Stmt::EmitStrLen(..) => {}
+    }
+    out
+}
+
+/// Reductions of one expression: a binary node collapses to either
+/// operand (or keeps one side and shrinks the other); an array read
+/// collapses to a literal.
+fn expr_variants(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Bin(op, l, r) => {
+            let mut out = vec![(**l).clone(), (**r).clone()];
+            for lv in expr_variants(l) {
+                out.push(Expr::Bin(*op, Box::new(lv), r.clone()));
+            }
+            for rv in expr_variants(r) {
+                out.push(Expr::Bin(*op, l.clone(), Box::new(rv)));
+            }
+            out
+        }
+        Expr::ArrayGet(_, i) => {
+            let mut out = vec![Expr::Lit(0)];
+            out.extend(expr_variants(i).into_iter().map(|iv| {
+                if let Expr::ArrayGet(k, _) = e {
+                    Expr::ArrayGet(*k, Box::new(iv))
+                } else {
+                    Expr::Lit(0)
+                }
+            }));
+            out
+        }
+        Expr::Lit(_) | Expr::Var(_) | Expr::LoopVar(_) => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Cmp, Cond};
+
+    /// A "divergence" that only depends on one statement: the predicate
+    /// holds while the program still assigns to v3. Shrinking must
+    /// strip everything else away.
+    #[test]
+    fn shrinks_to_the_single_relevant_statement() {
+        let p = Program {
+            stmts: vec![
+                Stmt::Assign(0, Expr::Lit(1)),
+                Stmt::Loop(4, vec![Stmt::ArraySet(0, Expr::LoopVar(0), Expr::Lit(2))]),
+                Stmt::If(
+                    Cond {
+                        cmp: Cmp::Lt,
+                        lhs: Expr::Var(0),
+                        rhs: Expr::Lit(5),
+                    },
+                    vec![Stmt::Assign(
+                        3,
+                        Expr::Bin(BinOp::Add, Box::new(Expr::Lit(1)), Box::new(Expr::Lit(2))),
+                    )],
+                    vec![],
+                ),
+                Stmt::EmitInt(Expr::Var(1)),
+            ],
+        };
+        fn touches_v3(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::Assign(3, _) => true,
+                Stmt::If(_, t, e) => touches_v3(t) || touches_v3(e),
+                Stmt::Loop(_, b) => touches_v3(b),
+                _ => false,
+            })
+        }
+        let shrunk = shrink(&p, |cand| touches_v3(&cand.stmts));
+        assert!(touches_v3(&shrunk.stmts));
+        assert_eq!(shrunk.size(), 1, "minimal reproducer expected:\n{shrunk}");
+    }
+
+    #[test]
+    fn shrink_never_grows_or_invalidates() {
+        let p = Program {
+            stmts: vec![
+                Stmt::Loop(3, vec![Stmt::EmitInt(Expr::LoopVar(0))]),
+                Stmt::EmitInt(Expr::Lit(9)),
+            ],
+        };
+        let shrunk = shrink(&p, |_| true);
+        assert!(shrunk.size() <= p.size());
+        assert!(eval(&shrunk).is_ok());
+    }
+}

@@ -1,5 +1,5 @@
 //! `repro`: regenerate every table and figure of the paper, plus the
-//! robustness sweeps.
+//! robustness and conformance sweeps.
 //!
 //! ```text
 //! repro [TARGETS] [--scale test|paper] [--jobs N] [--retries N]
@@ -7,6 +7,7 @@
 //! repro list [--scale test|paper]
 //! repro guard [--seeds N] [--scale test|paper]
 //! repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]
+//! repro conform [--seeds N]
 //! ```
 //!
 //! `TARGETS` is one or more experiment names, comma- or space-separated
@@ -32,28 +33,20 @@
 //! escapes through a panic. `chaos` executes the full plan once per seed
 //! with faults injected into the interpreters *and* the pool, asserting
 //! every seed completes with job-count-invariant degradation markers.
-//! Unknown flags and targets are rejected with exit status 2.
+//! `conform` generates N seeded programs (default 64) over the shared
+//! semantic IR, lowers each to all five interpreters, and prints the
+//! per-pair console-digest divergence table — exit status 1 on any
+//! divergence, with shrunk minimal reproducers in the report. Unknown
+//! flags and targets are rejected with exit status 2.
 
-use interp_core::RunRequest;
-use interp_harness::{ablations, arch, figures, guard_sweep, memmodel, table1, table2, Scale};
+use interp_harness::experiments::{
+    all_requests, is_target, render_target, requests_for, TARGETS,
+};
+use interp_harness::{guard_sweep, Scale};
 use interp_runplan::{
     chaos_execute, default_jobs, execute_supervised, render_chaos_summary, render_failures,
-    render_timings, with_quiet_injected_panics, ArtifactStore, Plan, ResolveError,
-    SuperviseConfig,
+    render_timings, with_quiet_injected_panics, Plan, ResolveError, SuperviseConfig,
 };
-
-/// Every experiment target, in canonical render order.
-const TARGETS: [(&str, &str); 9] = [
-    ("table1", "microbenchmark slowdowns relative to compiled C"),
-    ("table2", "baseline macro-benchmark measurements"),
-    ("table3", "simulated machine parameters (no runs needed)"),
-    ("fig1", "cumulative per-command instruction distributions"),
-    ("fig2", "per-command dispatch vs execute histograms"),
-    ("memmodel", "Section 3.3 memory-model cost"),
-    ("fig3", "issue-slot breakdown under the pipeline model"),
-    ("fig4", "I-cache size x associativity sweep"),
-    ("ablations", "iTLB, dispatch, symbol-table, precompilation ablations"),
-];
 
 fn usage() -> String {
     let names: Vec<&str> = TARGETS.iter().map(|(n, _)| *n).collect();
@@ -62,6 +55,7 @@ fn usage() -> String {
          \x20      repro list [--scale test|paper]\n\
          \x20      repro guard [--seeds N] [--scale test|paper]\n\
          \x20      repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]\n\
+         \x20      repro conform [--seeds N]\n\
          targets: {} | all (default), comma- or space-separated",
         names.join(" | ")
     )
@@ -75,11 +69,13 @@ fn bail(msg: &str) -> ! {
 
 /// Parsed command line.
 struct Cli {
-    /// Selected targets (or the `list`/`guard`/`chaos` subcommand word).
+    /// Selected targets (or the `list`/`guard`/`chaos`/`conform`
+    /// subcommand word).
     targets: Vec<String>,
     scale: Scale,
     jobs: usize,
-    /// `--seeds` if given; `guard` defaults to 64, `chaos` to 8.
+    /// `--seeds` if given; `guard` and `conform` default to 64, `chaos`
+    /// to 8.
     seeds: Option<u64>,
     /// Retry budget for transient failures (faults, deadlines).
     retries: u32,
@@ -183,79 +179,6 @@ fn parse(args: &[String]) -> Cli {
     }
 }
 
-/// The run requests one target contributes to the shared plan.
-fn requests_for(target: &str, scale: Scale) -> Vec<RunRequest> {
-    match target {
-        "table1" => table1::requests(scale),
-        "table2" => table2::requests(scale),
-        "table3" => Vec::new(),
-        "fig1" | "fig2" => figures::requests(scale),
-        "memmodel" => memmodel::requests(scale),
-        "fig3" => arch::fig3_requests(scale),
-        "fig4" => arch::fig4_requests(scale),
-        "ablations" => ablations::requests(scale),
-        _ => Vec::new(),
-    }
-}
-
-fn render_target(target: &str, store: &ArtifactStore, scale: Scale) {
-    match target {
-        "table1" => println!("{}", table1::render(&table1::table1_from(store, scale))),
-        "table2" => println!("{}", table2::render(&table2::table2_from(store, scale))),
-        "table3" => print_table3(),
-        "fig1" => println!("{}", figures::render_fig1(&figures::fig1_from(store, scale))),
-        "fig2" => println!("{}", figures::render_fig2(&figures::fig2_from(store, scale))),
-        "memmodel" => println!("{}", memmodel::render(&memmodel::memmodel_from(store, scale))),
-        "fig3" => println!("{}", arch::render_fig3(&arch::fig3_from(store, scale))),
-        "fig4" => println!("{}", arch::render_fig4(&arch::fig4_from(store, scale))),
-        "ablations" => println!("{}", ablations::render_from(store, scale)),
-        _ => unreachable!("validated target"),
-    }
-}
-
-fn print_table3() {
-    let cfg = interp_archsim::SimConfig::default();
-    println!("Table 3: simulated machine parameters");
-    println!("  issue width:        {}", cfg.issue_width);
-    println!(
-        "  L1 I-cache:         {} KB, {}-way, {}B lines",
-        cfg.icache_bytes / 1024,
-        cfg.icache_assoc,
-        cfg.line_bytes
-    );
-    println!(
-        "  L1 D-cache:         {} KB, {}-way",
-        cfg.dcache_bytes / 1024,
-        cfg.dcache_assoc
-    );
-    println!(
-        "  L2 unified:         {} KB, {}-way",
-        cfg.l2_bytes / 1024,
-        cfg.l2_assoc
-    );
-    println!(
-        "  iTLB/dTLB:          {} / {} entries, {} KB pages",
-        cfg.itlb_entries,
-        cfg.dtlb_entries,
-        cfg.page_bytes / 1024
-    );
-    println!(
-        "  branch:             {}-entry 1-bit BHT, {}-entry BTC, {}-entry return stack",
-        cfg.bht_entries, cfg.btc_entries, cfg.ras_entries
-    );
-    println!(
-        "  penalties (cycles): short-int {}, load-delay {}, mispredict {}, tlb {}, L1-miss {}, L2-miss {}, mul {}",
-        cfg.short_int_delay,
-        cfg.load_delay,
-        cfg.mispredict_penalty,
-        cfg.tlb_miss_penalty,
-        cfg.l1_miss_penalty,
-        cfg.l2_miss_penalty,
-        cfg.mul_delay
-    );
-    println!();
-}
-
 fn print_list(scale: Scale) {
     println!("targets (canonical render order):");
     for (name, desc) in TARGETS {
@@ -265,6 +188,7 @@ fn print_list(scale: Scale) {
     println!("  all        every target above, one shared deduplicated plan");
     println!("  guard      seeded fault-injection sweep (not memoized)");
     println!("  chaos      full plan under seeded guest+pool fault injection");
+    println!("  conform    differential conformance sweep across all five interpreters");
     println!();
     println!("macro workloads ({}):", scale.label());
     for id in interp_workloads::macro_suite(scale) {
@@ -283,16 +207,23 @@ fn run_guard_sweep(cli: &Cli) -> ! {
     std::process::exit(if report.total_panics() == 0 { 0 } else { 1 });
 }
 
+/// `repro conform`: sweep seeded IR programs through all five
+/// interpreters plus the reference evaluator and report the per-pair
+/// console-digest divergence table. Divergence (which shrinking reduces
+/// to a minimal reproducer in the report) exits nonzero.
+fn run_conform(cli: &Cli) -> ! {
+    let seeds = cli.seeds.unwrap_or(64);
+    let report = interp_conformance::conform(seeds, &interp_conformance::LowerOptions::default());
+    print!("{}", interp_conformance::render(&report));
+    std::process::exit(if report.divergent_seeds() == 0 { 0 } else { 1 });
+}
+
 /// `repro chaos`: execute the full plan once per seed with faults
 /// injected into both the interpreters and the pool, asserting every
 /// plan still completes — each slot resolves to an artifact or a typed
 /// failure — and that a serial re-run degrades identically.
 fn run_chaos(cli: &Cli) -> ! {
-    let plan = Plan::build(
-        TARGETS
-            .iter()
-            .flat_map(|(name, _)| requests_for(name, cli.scale)),
-    );
+    let plan = Plan::build(all_requests(cli.scale));
     let config = cli.supervise_config();
     let seeds = cli.seeds.unwrap_or(8);
     let mut broken = 0u64;
@@ -351,6 +282,12 @@ fn main() {
             }
             run_chaos(&cli);
         }
+        Some("conform") => {
+            if cli.targets.len() > 1 {
+                bail("`conform` takes no further targets");
+            }
+            run_conform(&cli);
+        }
         _ => {}
     }
 
@@ -364,7 +301,7 @@ fn main() {
         selected = TARGETS.iter().map(|(n, _)| n.to_string()).collect();
     }
     for t in &selected {
-        if !TARGETS.iter().any(|(n, _)| n == t) {
+        if !is_target(t) {
             bail(&format!("unknown target `{t}`"));
         }
     }
@@ -386,7 +323,7 @@ fn main() {
     // report is always complete.
     for (name, _) in TARGETS {
         if selected.iter().any(|t| t == name) {
-            render_target(name, &executed.store, cli.scale);
+            print!("{}", render_target(name, &executed.store, cli.scale));
         }
     }
     if cli.strict && executed.is_degraded() {

@@ -15,6 +15,10 @@
 //! | Ablations (iTLB, dispatch, symbol table, precompilation) | [`ablations`] |
 //! | Robustness (seeded fault-injection sweep, not in the paper) | [`guard_sweep`] |
 //!
+//! The [`experiments`] registry maps target names to request sets and
+//! byte-exact renderings — the single definition of what `repro`
+//! prints, shared with the golden-snapshot tests in `tests/goldens.rs`.
+//!
 //! # The run-plan split
 //!
 //! Every experiment module has two halves:
@@ -44,6 +48,7 @@
 pub mod ablations;
 pub mod arch;
 pub mod degrade;
+pub mod experiments;
 pub mod figures;
 pub mod guard_sweep;
 pub mod memmodel;

@@ -1,0 +1,81 @@
+//! Edge-case coverage for `harness::degrade::cell`: every `RunFailure`
+//! variant must render a *distinct, stable* cell marker, and resolution
+//! must follow the same subsumption rule as healthy artifacts.
+
+use interp_core::{Language, RunArtifact, RunRequest, Scale, WorkloadId};
+use interp_harness::degrade::cell;
+use interp_runplan::{ArtifactStore, RunFailure};
+
+fn request() -> RunRequest {
+    RunRequest::counting(WorkloadId::macro_bench(Language::Perlite, "des", Scale::Test))
+}
+
+/// One failure per kind, with detail text that must NOT leak into the
+/// cell (details are for the stderr failure report; cells stay stable).
+fn failures() -> Vec<(RunFailure, &'static str)> {
+    vec![
+        (
+            RunFailure::panicked(0, "index out of bounds: the len is 3"),
+            "DEGRADED(panicked)",
+        ),
+        (
+            RunFailure::deadline(1, "HostStepBudget { executed: 9, cap: 9 }"),
+            "DEGRADED(deadline)",
+        ),
+        (
+            RunFailure::faulted(2, "OutOfMemory { requested: 64, .. }"),
+            "DEGRADED(faulted)",
+        ),
+    ]
+}
+
+#[test]
+fn every_failure_kind_renders_a_distinct_stable_cell() {
+    let mut seen = std::collections::HashSet::new();
+    for (failure, expected) in failures() {
+        let mut store = ArtifactStore::new();
+        store.insert_failure(request(), failure);
+        let marker = cell(&store, &request()).expect_err("degraded slot must not resolve");
+        assert_eq!(marker, expected);
+        assert!(
+            !marker.contains("index out of bounds") && !marker.contains("cap"),
+            "cell leaked failure detail: {marker}"
+        );
+        assert!(seen.insert(marker), "duplicate cell marker for {expected}");
+    }
+    assert_eq!(seen.len(), 3, "three kinds, three distinct markers");
+}
+
+#[test]
+fn attempt_number_does_not_change_the_cell() {
+    // Cells must be stable across retry counts, or the degraded report
+    // would differ between retry budgets.
+    for attempt in [0u32, 1, 7] {
+        let mut store = ArtifactStore::new();
+        store.insert_failure(request(), RunFailure::faulted(attempt, "detail"));
+        assert_eq!(
+            cell(&store, &request()).err().as_deref(),
+            Some("DEGRADED(faulted)")
+        );
+    }
+}
+
+#[test]
+fn counting_reads_degrade_through_their_pipeline_twin() {
+    // A counting request resolves through its subsuming pipeline slot —
+    // including when that slot failed: the degradation must propagate,
+    // not turn into a phantom "unplanned" panic.
+    let id = WorkloadId::macro_bench(Language::Perlite, "des", Scale::Test);
+    let counting = RunRequest::counting(id.clone());
+    let pipeline = RunRequest::pipeline(id);
+    let mut store = ArtifactStore::new();
+    store.insert_failure(pipeline.clone(), RunFailure::panicked(0, "boom"));
+    assert_eq!(
+        cell(&store, &counting).err().as_deref(),
+        Some("DEGRADED(panicked)")
+    );
+    // And a healthy pipeline slot serves the counting read normally.
+    let mut healthy = ArtifactStore::new();
+    healthy.insert(pipeline, RunArtifact::empty());
+    assert!(cell(&healthy, &counting).is_ok());
+}

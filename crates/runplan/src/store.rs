@@ -87,17 +87,6 @@ impl ArtifactStore {
         self.slot(request).and_then(|slot| slot.as_ref().ok())
     }
 
-    /// The artifact for `request`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on degraded or unplanned slots.
-    #[deprecated(note = "use `resolve()` and degrade the cell instead of panicking")]
-    pub fn expect(&self, request: &RunRequest) -> &RunArtifact {
-        self.resolve(request)
-            .unwrap_or_else(|e| unreachable_missing(&e))
-    }
-
     /// Iterate degraded `(request, failure)` slots in deterministic
     /// order — the rows of the plan-level failure report.
     pub fn failures(&self) -> impl Iterator<Item = (&RunRequest, &RunFailure)> {
@@ -123,14 +112,6 @@ impl ArtifactStore {
             .iter()
             .filter_map(|(request, slot)| slot.as_ref().ok().map(|a| (request, a)))
     }
-}
-
-// Out-of-line so the panic message machinery stays off `expect`'s happy
-// path. The panic is the deprecated shim's documented contract.
-#[cold]
-#[allow(clippy::panic)]
-fn unreachable_missing(error: &ResolveError) -> ! {
-    panic!("{error}")
 }
 
 #[cfg(test)]

@@ -73,12 +73,6 @@ pub fn classify(outcome: &RunOutcome) -> FailureClass {
     }
 }
 
-/// Valid macro-workload names per language.
-#[deprecated(note = "enumerate typed ids with `guarded_suite` instead")]
-pub fn workload_names(language: Language) -> &'static [&'static str] {
-    macro_names(language)
-}
-
 /// Every workload the guarded runner accepts for `language`, as typed
 /// [`WorkloadId`]s — the same registry the experiments run, so guard
 /// sweeps and experiments cannot drift apart.

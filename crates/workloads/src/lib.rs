@@ -24,9 +24,8 @@ pub mod runner;
 pub mod tcl_progs;
 
 pub use guarded::{classify, guarded_suite, run_guarded, FailureClass, GuardedRun};
-#[allow(deprecated)]
-pub use guarded::workload_names;
 pub use runner::{
     compiled_suite, macro_names, macro_suite, micro_iterations, micro_suite, run_macro,
-    run_micro, try_run_macro, try_run_micro, RunResult, Runner, Scale,
+    run_micro, run_source_with, try_run_macro, try_run_micro, try_run_source, RunResult,
+    Runner, Scale,
 };

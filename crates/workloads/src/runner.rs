@@ -374,6 +374,91 @@ fn bad_program(language: Language, detail: impl std::fmt::Display) -> GuardError
     }
 }
 
+/// Compile `src` for `language` and execute it on the matching engine
+/// under `limits`, with `files` preloaded into the simulated filesystem
+/// and `events` queued on the UI ring. This is the one place a source
+/// string meets an interpreter: the macro and micro registries resolve
+/// names to sources and call it, and the conformance engine feeds it
+/// generated programs directly.
+pub fn run_source_with<S: TraceSink>(
+    language: Language,
+    src: &str,
+    files: Vec<(String, Vec<u8>)>,
+    events: Vec<UiEvent>,
+    limits: Limits,
+    sink: S,
+) -> Result<RunResult<S>, GuardError> {
+    let mut m = Machine::with_limits(sink, limits);
+    for (fname, contents) in files {
+        m.fs_add_file(&fname, contents);
+    }
+    for e in events {
+        m.post_event(e);
+    }
+    match language {
+        Language::C => {
+            let image = interp_minic::compile(src).map_err(|e| bad_program(language, e))?;
+            let program_bytes = image.size_bytes() as usize;
+            let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
+            let res = exec.run(RUN_BUDGET);
+            let commands = exec.commands().clone();
+            drop(exec);
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
+        }
+        Language::Mipsi => {
+            let image = interp_minic::compile(src).map_err(|e| bad_program(language, e))?;
+            let program_bytes = image.size_bytes() as usize;
+            let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
+            let res = emu.run(RUN_BUDGET);
+            let commands = emu.commands().clone();
+            drop(emu);
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
+        }
+        Language::Javelin => {
+            let prog = interp_javelin::compile(src).map_err(|e| bad_program(language, e))?;
+            let program_bytes = prog.code_bytes();
+            let mut vm = interp_javelin::Jvm::new(&mut m, prog);
+            let res = vm.run(RUN_BUDGET);
+            let commands = vm.commands().clone();
+            drop(vm);
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
+        }
+        Language::Perlite => {
+            let program_bytes = src.len();
+            let mut p = interp_perlite::Perlite::new(&mut m, src).map_err(GuardError::from)?;
+            let res = p.run();
+            let commands = p.commands().clone();
+            drop(p);
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
+        }
+        Language::Tclite => {
+            let program_bytes = src.len();
+            let mut tcl = interp_tclite::Tclite::new(&mut m);
+            let res = tcl.run(src);
+            let commands = tcl.commands().clone();
+            drop(tcl);
+            res.map_err(GuardError::from)?;
+            try_finish(language, m, commands, program_bytes)
+        }
+    }
+}
+
+/// Run a bare source string (no input files, no UI events) on
+/// `language`'s engine under `limits`. The conformance engine's entry
+/// point: lowered IR programs are self-contained by construction.
+pub fn try_run_source<S: TraceSink>(
+    language: Language,
+    src: &str,
+    limits: Limits,
+    sink: S,
+) -> Result<RunResult<S>, GuardError> {
+    run_source_with(language, src, Vec::new(), Vec::new(), limits, sink)
+}
+
 /// Run one macro benchmark under `limits` and return its counters, with
 /// every failure — unknown name, compile error, limit trip, runtime
 /// error, failed self-check — as a typed [`GuardError`] instead of a
@@ -390,88 +475,19 @@ pub fn try_run_macro<S: TraceSink>(
     if !macro_names(language).contains(&name) {
         return Err(bad_program(language, format!("unknown macro workload `{name}`")));
     }
-    match language {
-        Language::C => {
+    let (src, files, events) = match language {
+        Language::C | Language::Mipsi => {
             let (src, files) = minic_workload(name, scale);
-            let image = interp_minic::compile(&src).map_err(|e| bad_program(language, e))?;
-            let program_bytes = image.size_bytes() as usize;
-            let mut m = Machine::with_limits(sink, limits);
-            for (fname, contents) in files {
-                m.fs_add_file(&fname, contents);
-            }
-            let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
-            let res = exec.run(RUN_BUDGET);
-            let commands = exec.commands().clone();
-            drop(exec);
-            res.map_err(GuardError::from)?;
-            try_finish(language, m, commands, program_bytes)
+            (src, files, vec![])
         }
-        Language::Mipsi => {
-            let (src, files) = minic_workload(name, scale);
-            let image = interp_minic::compile(&src).map_err(|e| bad_program(language, e))?;
-            let program_bytes = image.size_bytes() as usize;
-            let mut m = Machine::with_limits(sink, limits);
-            for (fname, contents) in files {
-                m.fs_add_file(&fname, contents);
-            }
-            let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
-            let res = emu.run(RUN_BUDGET);
-            let commands = emu.commands().clone();
-            drop(emu);
-            res.map_err(GuardError::from)?;
-            try_finish(language, m, commands, program_bytes)
-        }
-        Language::Javelin => {
-            let (src, files, events) = joule_workload(name, scale);
-            let prog = interp_javelin::compile(&src).map_err(|e| bad_program(language, e))?;
-            let program_bytes = prog.code_bytes();
-            let mut m = Machine::with_limits(sink, limits);
-            for (fname, contents) in files {
-                m.fs_add_file(&fname, contents);
-            }
-            for e in events {
-                m.post_event(e);
-            }
-            let mut vm = interp_javelin::Jvm::new(&mut m, prog);
-            let res = vm.run(RUN_BUDGET);
-            let commands = vm.commands().clone();
-            drop(vm);
-            res.map_err(GuardError::from)?;
-            try_finish(language, m, commands, program_bytes)
-        }
+        Language::Javelin => joule_workload(name, scale),
         Language::Perlite => {
             let (src, files) = perl_workload(name, scale);
-            let program_bytes = src.len();
-            let mut m = Machine::with_limits(sink, limits);
-            for (fname, contents) in files {
-                m.fs_add_file(&fname, contents);
-            }
-            let mut p =
-                interp_perlite::Perlite::new(&mut m, &src).map_err(GuardError::from)?;
-            let res = p.run();
-            let commands = p.commands().clone();
-            drop(p);
-            res.map_err(GuardError::from)?;
-            try_finish(language, m, commands, program_bytes)
+            (src, files, vec![])
         }
-        Language::Tclite => {
-            let (src, files, events) = tcl_workload(name, scale);
-            let program_bytes = src.len();
-            let mut m = Machine::with_limits(sink, limits);
-            for (fname, contents) in files {
-                m.fs_add_file(&fname, contents);
-            }
-            for e in events {
-                m.post_event(e);
-            }
-            let mut tcl = interp_tclite::Tclite::new(&mut m);
-            let res = tcl.run(&src);
-            let commands = tcl.commands().clone();
-            drop(tcl);
-            res.map_err(GuardError::from)?;
-            try_finish(language, m, commands, program_bytes)
-        }
-    }
+        Language::Tclite => tcl_workload(name, scale),
+    };
+    run_source_with(language, &src, files, events, limits, sink)
 }
 
 /// Run one macro benchmark and return its counters.
@@ -523,75 +539,16 @@ pub fn try_run_micro<S: TraceSink>(
         }
     };
     let warm_file = ("warm.dat".to_string(), vec![0x5au8; 4096]);
-    match language {
-        Language::C | Language::Mipsi => {
-            let iters = if name == "read" {
-                io_iters("read")
-            } else if language == Language::C {
-                iters_c
-            } else {
-                iters_low
-            };
-            let src = instantiate(micro::micro_c(name), &[("N", iters)]);
-            let image = interp_minic::compile(&src).map_err(|e| bad_program(language, e))?;
-            let mut m = Machine::with_limits(sink, limits);
-            m.fs_add_file(&warm_file.0, warm_file.1.clone());
-            let commands;
-            if language == Language::C {
-                let mut exec = interp_nativeref::DirectExecutor::new(&image, &mut m);
-                let res = exec.run(RUN_BUDGET);
-                commands = exec.commands().clone();
-                drop(exec);
-                res.map_err(GuardError::from)?;
-            } else {
-                let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
-                let res = emu.run(RUN_BUDGET);
-                commands = emu.commands().clone();
-                drop(emu);
-                res.map_err(GuardError::from)?;
-            }
-            try_finish(language, m, commands, image.size_bytes() as usize)
-        }
-        Language::Javelin => {
-            let iters = if name == "read" { io_iters("read") } else { iters_low };
-            let src = instantiate(micro::micro_joule(name), &[("N", iters)]);
-            let prog = interp_javelin::compile(&src).map_err(|e| bad_program(language, e))?;
-            let bytes = prog.code_bytes();
-            let mut m = Machine::with_limits(sink, limits);
-            m.fs_add_file(&warm_file.0, warm_file.1.clone());
-            let mut vm = interp_javelin::Jvm::new(&mut m, prog);
-            let res = vm.run(RUN_BUDGET);
-            let commands = vm.commands().clone();
-            drop(vm);
-            res.map_err(GuardError::from)?;
-            try_finish(language, m, commands, bytes)
-        }
-        Language::Perlite => {
-            let iters = if name == "read" { io_iters("read") } else { iters_perl };
-            let src = instantiate(micro::micro_perl(name), &[("N", iters)]);
-            let mut m = Machine::with_limits(sink, limits);
-            m.fs_add_file(&warm_file.0, warm_file.1.clone());
-            let mut p =
-                interp_perlite::Perlite::new(&mut m, &src).map_err(GuardError::from)?;
-            let res = p.run();
-            let commands = p.commands().clone();
-            drop(p);
-            res.map_err(GuardError::from)?;
-            try_finish(language, m, commands, src.len())
-        }
-        Language::Tclite => {
-            let iters = if name == "read" { io_iters("read") } else { iters_tcl };
-            let src = instantiate(micro::micro_tcl(name), &[("N", iters)]);
-            let mut m = Machine::with_limits(sink, limits);
-            m.fs_add_file(&warm_file.0, warm_file.1.clone());
-            let mut tcl = interp_tclite::Tclite::new(&mut m);
-            let res = tcl.run(&src);
-            let commands = tcl.commands().clone();
-            drop(tcl);
-            res.map_err(GuardError::from)?;
-            try_finish(language, m, commands, src.len())
-        }
-    }
+    let (template, iters) = match language {
+        Language::C => (micro::micro_c(name), iters_c),
+        Language::Mipsi => (micro::micro_c(name), iters_low),
+        Language::Javelin => (micro::micro_joule(name), iters_low),
+        Language::Perlite => (micro::micro_perl(name), iters_perl),
+        Language::Tclite => (micro::micro_tcl(name), iters_tcl),
+    };
+    let iters = if name == "read" { io_iters("read") } else { iters };
+    let src = instantiate(template, &[("N", iters)]);
+    run_source_with(language, &src, vec![warm_file], vec![], limits, sink)
 }
 
 /// Run one Table 1 microbenchmark. The C variant is also the MIPSI guest.

@@ -1,0 +1,128 @@
+//! Exhaustive coverage of the supervisor's failure taxonomy:
+//! `classify` must map every `RunOutcome` shape to the retry class the
+//! supervision layer's policy assumes, and the mapping must stay total
+//! as `GuardError` grows.
+
+use interp_guard::{GuardError, RunOutcome};
+use interp_workloads::{classify, FailureClass};
+
+fn outcome_fixtures() -> Vec<(RunOutcome, FailureClass, &'static str)> {
+    vec![
+        (
+            RunOutcome::Completed { exit: 0 },
+            FailureClass::Success,
+            "clean completion",
+        ),
+        (
+            RunOutcome::Completed { exit: 3 },
+            FailureClass::Success,
+            "nonzero exit is still a structured completion",
+        ),
+        (
+            RunOutcome::Faulted(GuardError::CommandBudget {
+                executed: 10,
+                cap: 10,
+            }),
+            FailureClass::Transient,
+            "command budget",
+        ),
+        (
+            RunOutcome::Faulted(GuardError::HostStepBudget {
+                executed: 10,
+                cap: 10,
+            }),
+            FailureClass::Transient,
+            "host-step budget",
+        ),
+        (
+            RunOutcome::Faulted(GuardError::OutOfMemory {
+                requested: 64,
+                live_bytes: 1024,
+                cap: 1024,
+            }),
+            FailureClass::Transient,
+            "heap cap",
+        ),
+        (
+            RunOutcome::Faulted(GuardError::CallDepth { depth: 9, cap: 8 }),
+            FailureClass::Transient,
+            "call depth",
+        ),
+        (
+            RunOutcome::Faulted(GuardError::HeapMisuse {
+                addr: 0x10,
+                detail: "double free",
+            }),
+            FailureClass::Transient,
+            "heap misuse",
+        ),
+        (
+            RunOutcome::Faulted(GuardError::TraceMismatch { expected: "branch" }),
+            FailureClass::Transient,
+            "trace mismatch",
+        ),
+        (
+            RunOutcome::Faulted(GuardError::Runtime {
+                lang: "tclite",
+                detail: "can't read x".into(),
+            }),
+            FailureClass::Transient,
+            "guest runtime error",
+        ),
+        (
+            RunOutcome::Faulted(GuardError::BadProgram {
+                lang: "perlite",
+                detail: "parse error".into(),
+            }),
+            FailureClass::Permanent,
+            "bad program: retrying cannot fix the source",
+        ),
+        (
+            RunOutcome::Panicked("escaped".into()),
+            FailureClass::Permanent,
+            "panic: interpreter state is suspect",
+        ),
+    ]
+}
+
+#[test]
+fn every_outcome_shape_classifies_as_documented() {
+    for (outcome, expected, why) in outcome_fixtures() {
+        assert_eq!(classify(&outcome), expected, "{why}: {outcome:?}");
+    }
+}
+
+#[test]
+fn only_success_comes_from_completion() {
+    for (outcome, class, _) in outcome_fixtures() {
+        assert_eq!(
+            class == FailureClass::Success,
+            matches!(outcome, RunOutcome::Completed { .. }),
+            "{outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn panics_are_never_retried_structured_faults_usually_are() {
+    // The policy the classes encode: permanent = quarantine, transient
+    // = retry. A panic and a bad program must never look retryable.
+    assert_eq!(
+        classify(&RunOutcome::Panicked("p".into())),
+        FailureClass::Permanent
+    );
+    assert_eq!(
+        classify(&RunOutcome::Faulted(GuardError::BadProgram {
+            lang: "minic",
+            detail: "syntax".into()
+        })),
+        FailureClass::Permanent
+    );
+    assert_eq!(
+        classify(&RunOutcome::Faulted(GuardError::CommandBudget {
+            executed: 1,
+            cap: 1
+        })),
+        FailureClass::Transient
+    );
+}

@@ -19,6 +19,12 @@
 #                        artifact drops, worker panics); every seed must
 #                        complete with job-count-invariant degradation
 #                        markers.
+#   conform smoke      — 32 seeded programs over the shared semantic IR,
+#                        each lowered to all five interpreters; exits
+#                        nonzero on any cross-interpreter console
+#                        divergence (with a shrunk minimal reproducer).
+#   golden snapshots   — every renderer's test-scale output must be
+#                        byte-identical to the committed goldens.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,9 +39,10 @@ cargo clippy --workspace -q -- \
   -D clippy::unwrap_used -D clippy::panic
 cargo clippy -p interp-guard -p interp-microbench -q -- \
   -D warnings -D clippy::unwrap_used -D clippy::panic
-# The supervision layer is held to the same no-unwrap/no-panic bar
-# explicitly (its host-crate dependencies keep -D warnings off here).
-cargo clippy -p interp-runplan -q -- \
+# The supervision, harness, and conformance layers are held to the same
+# no-unwrap/no-panic bar explicitly (their host-crate dependencies keep
+# -D warnings off here).
+cargo clippy -p interp-runplan -p interp-harness -p interp-conformance -q -- \
   -D clippy::unwrap_used -D clippy::panic
 
 echo "== repro determinism (1 worker vs many, test scale) =="
@@ -58,5 +65,14 @@ echo "== guard smoke sweep (16 seeds, test scale) =="
 
 echo "== chaos smoke (8 seeds, guest+pool fault injection) =="
 "$REPRO" chaos --seeds 8 --scale test
+
+echo "== conformance smoke (32 seeds, 5 interpreters, zero divergence) =="
+"$REPRO" conform --seeds 32 \
+  || { echo "cross-interpreter divergence detected; see the shrunk reproducer above"; exit 1; }
+
+echo "== golden snapshots (byte-diff vs committed renders) =="
+cargo test -q -p interp-harness --test goldens \
+  || { echo "golden snapshots drifted; if intentional, regenerate with:"; \
+       echo "  UPDATE_GOLDENS=1 cargo test -p interp-harness --test goldens"; exit 1; }
 
 echo "verify: OK"

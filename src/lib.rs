@@ -18,6 +18,9 @@
 //! * [`runplan`] — the parallel run-plan engine: deduplicates the
 //!   experiments' typed [`core::RunRequest`]s, executes them on a worker
 //!   pool, and memoizes [`core::RunArtifact`]s for every renderer.
+//! * [`conformance`] — the differential conformance engine: seeded
+//!   programs over a shared semantic IR, lowered to all five
+//!   interpreters and checked for zero console divergence.
 //! * [`harness`] — drivers that regenerate every table and figure.
 //!
 //! # Quickstart
@@ -38,6 +41,7 @@
 //! ```
 
 pub use interp_archsim as archsim;
+pub use interp_conformance as conformance;
 pub use interp_guard as guard;
 pub use interp_core as core;
 pub use interp_harness as harness;
