@@ -11,6 +11,7 @@
 
 use crate::command::CommandSet;
 use crate::profile::CommandProfile;
+use crate::serial::{intern_static, ByteReader, ByteWriter, DecodeError};
 use crate::stats::RunStats;
 
 /// Digest of a run's console output. The full text is not kept — runs are
@@ -150,6 +151,108 @@ impl RunArtifact {
             .as_deref()
             .expect("artifact has no sweep points (non-sweep run)")
     }
+
+    /// Append the stable binary encoding of this artifact to `w` — the
+    /// journal payload format. Floats are encoded by bit pattern, so a
+    /// decoded artifact renders byte-identically to the original.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        self.stats.encode_into(w);
+        self.commands.encode_into(w);
+        w.put_usize(self.console.bytes);
+        w.put_usize(self.console.lines);
+        w.put_u64(self.console.fnv64);
+        w.put_bool(self.console.ok);
+        w.put_usize(self.program_bytes);
+        match &self.cycles {
+            None => w.put_bool(false),
+            Some(c) => {
+                w.put_bool(true);
+                w.put_u64(c.cycles);
+                w.put_u64(c.instructions);
+                w.put_f64(c.busy_fraction);
+                w.put_u32(c.stalls.len() as u32);
+                for s in &c.stalls {
+                    w.put_str(s.label);
+                    w.put_f64(s.fraction);
+                }
+            }
+        }
+        match &self.sweep {
+            None => w.put_bool(false),
+            Some(points) => {
+                w.put_bool(true);
+                w.put_u32(points.len() as u32);
+                for p in points {
+                    w.put_usize(p.size_bytes);
+                    w.put_usize(p.assoc);
+                    w.put_f64(p.miss_per_100);
+                }
+            }
+        }
+    }
+
+    /// Decode an artifact encoded by [`RunArtifact::encode_into`].
+    /// Stall labels are re-interned into `&'static str`s (the legend is
+    /// a small closed set), so the decoded artifact is structurally
+    /// identical to the one the timing model produced.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<RunArtifact, DecodeError> {
+        let stats = RunStats::decode_from(r)?;
+        let commands = CommandSet::decode_from(r)?;
+        let console = ConsoleDigest {
+            bytes: r.get_usize("console.bytes")?,
+            lines: r.get_usize("console.lines")?,
+            fnv64: r.get_u64("console.fnv64")?,
+            ok: r.get_bool("console.ok")?,
+        };
+        let program_bytes = r.get_usize("artifact.program_bytes")?;
+        let cycles = if r.get_bool("artifact.has_cycles")? {
+            let cycles = r.get_u64("cycles.cycles")?;
+            let instructions = r.get_u64("cycles.instructions")?;
+            let busy_fraction = r.get_f64("cycles.busy_fraction")?;
+            let n = r.get_len(12, "cycles.stalls.len")?;
+            let mut stalls = Vec::with_capacity(n);
+            for _ in 0..n {
+                let label = r.get_string("stall.label")?;
+                stalls.push(StallShare {
+                    label: intern_static(&label),
+                    fraction: r.get_f64("stall.fraction")?,
+                });
+            }
+            Some(CycleSummary { cycles, instructions, busy_fraction, stalls })
+        } else {
+            None
+        };
+        let sweep = if r.get_bool("artifact.has_sweep")? {
+            let n = r.get_len(24, "sweep.len")?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                points.push(SweepPointSummary {
+                    size_bytes: r.get_usize("sweep.size_bytes")?,
+                    assoc: r.get_usize("sweep.assoc")?,
+                    miss_per_100: r.get_f64("sweep.miss_per_100")?,
+                });
+            }
+            Some(points)
+        } else {
+            None
+        };
+        Ok(RunArtifact { stats, commands, console, program_bytes, cycles, sweep })
+    }
+
+    /// The stable binary encoding as owned bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// FNV-1a hash of the stable encoding — an exact content identity
+    /// for comparing artifacts across processes (`RunArtifact` itself
+    /// derives no `PartialEq`; two artifacts with equal hashes render
+    /// identically in every table).
+    pub fn content_hash(&self) -> u64 {
+        crate::serial::fnv1a(&self.encode())
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +284,84 @@ mod tests {
         };
         assert_eq!(s.stall_fraction("imiss"), 0.1);
         assert_eq!(s.stall_fraction("nothing"), 0.0);
+    }
+
+    fn fat_artifact() -> RunArtifact {
+        let mut commands = CommandSet::new("demo");
+        commands.intern("add");
+        commands.intern("beq");
+        let mut stats = RunStats::new();
+        let add = crate::CmdId(0);
+        stats.begin_command(add);
+        stats.charge(crate::Phase::Execute, Some(add), true);
+        stats.count_load();
+        RunArtifact {
+            stats,
+            commands,
+            console: ConsoleDigest::of("OK 99\n"),
+            program_bytes: 4096,
+            cycles: Some(CycleSummary {
+                cycles: 123_456,
+                instructions: 99_000,
+                busy_fraction: 0.4375,
+                stalls: vec![
+                    StallShare { label: "imiss", fraction: 0.125 },
+                    StallShare { label: "dtlb", fraction: 0.0625 },
+                ],
+            }),
+            sweep: Some(vec![SweepPointSummary {
+                size_bytes: 8 * 1024,
+                assoc: 2,
+                miss_per_100: 3.5,
+            }]),
+        }
+    }
+
+    #[test]
+    fn artifact_encoding_round_trips_exactly() {
+        let art = fat_artifact();
+        let bytes = art.encode();
+        let mut r = crate::serial::ByteReader::new(&bytes);
+        let decoded = RunArtifact::decode_from(&mut r).expect("round trip");
+        assert!(r.is_exhausted());
+        assert_eq!(decoded.console, art.console);
+        assert_eq!(decoded.program_bytes, art.program_bytes);
+        assert_eq!(decoded.cycles, art.cycles);
+        assert_eq!(decoded.sweep, art.sweep);
+        assert_eq!(decoded.stats.instructions, art.stats.instructions);
+        assert_eq!(decoded.commands.get("beq"), art.commands.get("beq"));
+        assert_eq!(decoded.content_hash(), art.content_hash());
+        // Re-encoding the decoded artifact is byte-identical: the codec
+        // is a fixed point, which is what makes journal healing exact.
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn minimal_artifact_round_trips() {
+        let art = RunArtifact::empty();
+        let bytes = art.encode();
+        let mut r = crate::serial::ByteReader::new(&bytes);
+        let decoded = RunArtifact::decode_from(&mut r).expect("round trip");
+        assert!(decoded.cycles.is_none());
+        assert!(decoded.sweep.is_none());
+        assert_eq!(decoded.content_hash(), art.content_hash());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_artifacts() {
+        let a = fat_artifact();
+        let mut b = fat_artifact();
+        b.program_bytes += 1;
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn every_truncation_of_an_encoded_artifact_errors_cleanly() {
+        let bytes = fat_artifact().encode();
+        for cut in 0..bytes.len() {
+            let mut r = crate::serial::ByteReader::new(&bytes[..cut]);
+            assert!(RunArtifact::decode_from(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

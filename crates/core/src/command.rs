@@ -105,6 +105,38 @@ impl CommandSet {
             .enumerate()
             .map(|(i, n)| (CmdId(i as u16), n.as_str()))
     }
+
+    /// Append the stable binary encoding of this set to `w`: the
+    /// interpreter name plus the names in interning order. The id→name
+    /// mapping is exactly the vector order, so the decoded set assigns
+    /// identical [`CmdId`]s.
+    pub fn encode_into(&self, w: &mut crate::serial::ByteWriter) {
+        w.put_str(&self.interpreter);
+        w.put_u32(self.names.len() as u32);
+        for name in &self.names {
+            w.put_str(name);
+        }
+    }
+
+    /// Decode a set encoded by [`CommandSet::encode_into`].
+    pub fn decode_from(
+        r: &mut crate::serial::ByteReader<'_>,
+    ) -> Result<CommandSet, crate::serial::DecodeError> {
+        let interpreter = r.get_string("commands.interpreter")?;
+        let offset = r.position();
+        let n = r.get_len(4, "commands.len")?;
+        if n > usize::from(u16::MAX) + 1 {
+            // More ids than CmdId can address: corrupt input, and
+            // `intern` would panic rather than wrap.
+            return Err(crate::serial::DecodeError { offset, what: "commands.len" });
+        }
+        let mut set = CommandSet::new(interpreter);
+        for _ in 0..n {
+            let name = r.get_string("commands.name")?;
+            set.intern(&name);
+        }
+        Ok(set)
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +162,38 @@ mod tests {
         assert_eq!(set.get("x"), None);
         let x = set.intern("x");
         assert_eq!(set.get("x"), Some(x));
+    }
+
+    #[test]
+    fn encoding_preserves_ids_and_names() {
+        let mut set = CommandSet::new("mipsi");
+        let lw = set.intern("lw");
+        let sw = set.intern("sw");
+        let addiu = set.intern("addiu");
+        let mut w = crate::serial::ByteWriter::new();
+        set.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::serial::ByteReader::new(&bytes);
+        let decoded = CommandSet::decode_from(&mut r).expect("round trip");
+        assert!(r.is_exhausted());
+        assert_eq!(decoded.interpreter(), "mipsi");
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded.get("lw"), Some(lw));
+        assert_eq!(decoded.get("sw"), Some(sw));
+        assert_eq!(decoded.get("addiu"), Some(addiu));
+        assert_eq!(decoded.name(lw), "lw");
+    }
+
+    #[test]
+    fn decoding_rejects_id_space_overflow() {
+        let mut w = crate::serial::ByteWriter::new();
+        w.put_str("x");
+        w.put_u32(70_000);
+        // Enough backing bytes that the length check alone cannot save us.
+        let mut bytes = w.into_bytes();
+        bytes.resize(bytes.len() + 70_000 * 4, 0);
+        let mut r = crate::serial::ByteReader::new(&bytes);
+        assert!(CommandSet::decode_from(&mut r).is_err());
     }
 
     #[test]

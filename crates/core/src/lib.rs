@@ -42,6 +42,7 @@ pub mod command;
 pub mod insn;
 pub mod phase;
 pub mod profile;
+pub mod serial;
 pub mod sink;
 pub mod stats;
 pub mod workload;
@@ -51,6 +52,7 @@ pub use command::{CmdId, CommandSet};
 pub use insn::{InsnKind, InsnRecord};
 pub use phase::Phase;
 pub use profile::{CommandProfile, CumulativePoint, HistogramRow};
+pub use serial::{ByteReader, ByteWriter, DecodeError};
 pub use sink::{CountingSink, NullSink, TeeSink, TraceSink, VecSink};
 pub use stats::{CmdStats, RunStats};
 pub use workload::{RunRequest, Scale, SinkKind, WorkloadId, WorkloadKind};

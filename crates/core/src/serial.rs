@@ -1,0 +1,337 @@
+//! Stable binary serialization for memoizable run results.
+//!
+//! The artifact journal (`interp-runplan`) persists every completed
+//! [`RunArtifact`](crate::RunArtifact) across process crashes, so the
+//! encoding must be *stable* (independent of hash-map iteration order,
+//! pointer values, or platform struct layout) and *exact* (floats round
+//! trip bit-for-bit; a resumed table renders byte-identical to a cold
+//! run). This module provides the little-endian [`ByteWriter`] /
+//! [`ByteReader`] pair the core types encode themselves with, the typed
+//! [`DecodeError`] every decoder returns instead of panicking, and the
+//! FNV-1a hashing used for record checksums and request fingerprints.
+//!
+//! Decoding never trusts its input: every read is bounds-checked, every
+//! length is validated against the remaining buffer, and option/bool
+//! tags reject unknown values — a corrupted record surfaces as a
+//! `DecodeError`, never as a huge allocation or a panic.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Where and why a decode failed. Carried by the journal's corruption
+/// report; the offset is relative to the start of the decoded payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which the decoder gave up.
+    pub offset: usize,
+    /// What the decoder was trying to read.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode failed at byte {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The encoded bytes, borrowed.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (platform-independent width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f64` by its IEEE-754 bit pattern (exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a bool as one tag byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError { offset: self.pos, what });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a `usize` encoded as `u64`, rejecting values that do not fit.
+    pub fn get_usize(&mut self, what: &'static str) -> Result<usize, DecodeError> {
+        let offset = self.pos;
+        usize::try_from(self.get_u64(what)?).map_err(|_| DecodeError { offset, what })
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn get_f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    /// Read a bool tag, rejecting anything but 0 or 1.
+    pub fn get_bool(&mut self, what: &'static str) -> Result<bool, DecodeError> {
+        let offset = self.pos;
+        match self.get_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError { offset, what }),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string. The length is validated
+    /// against the remaining buffer *before* any allocation, so a
+    /// corrupted prefix cannot trigger a huge reservation.
+    pub fn get_string(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let offset = self.pos;
+        let len = self.get_u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(DecodeError { offset, what });
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError { offset, what })
+    }
+
+    /// Read a sequence length, validated against a per-element lower
+    /// bound so `len * min_element_bytes` can never exceed the buffer.
+    pub fn get_len(
+        &mut self,
+        min_element_bytes: usize,
+        what: &'static str,
+    ) -> Result<usize, DecodeError> {
+        let offset = self.pos;
+        let len = self.get_u32(what)? as usize;
+        if len.saturating_mul(min_element_bytes.max(1)) > self.remaining() {
+            return Err(DecodeError { offset, what });
+        }
+        Ok(len)
+    }
+}
+
+/// Intern `name` into a `&'static str`, leaking each *distinct* string
+/// at most once process-wide.
+///
+/// Decoded [`StallShare`](crate::StallShare) labels must be `&'static
+/// str` to match the in-memory type the timing model produces. The set
+/// of distinct labels is tiny and fixed (the model's stall legend), so
+/// the one-time leak per label is bounded and the cache makes repeat
+/// decodes allocation-free.
+pub fn intern_static(name: &str) -> &'static str {
+    static CACHE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|poison| poison.into_inner());
+    if let Some(&interned) = map.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.1);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_str("hello ⚙");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8("a").expect("u8"), 7);
+        assert_eq!(r.get_u16("b").expect("u16"), 0xBEEF);
+        assert_eq!(r.get_u32("c").expect("u32"), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("d").expect("u64"), u64::MAX - 3);
+        assert_eq!(r.get_f64("e").expect("f64").to_bits(), (-0.1f64).to_bits());
+        assert!(r.get_bool("f").expect("bool"));
+        assert!(!r.get_bool("g").expect("bool"));
+        assert_eq!(r.get_string("h").expect("str"), "hello ⚙");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        let err = r.get_u64("truncated").expect_err("short buffer");
+        assert_eq!(err.what, "truncated");
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn oversized_string_length_is_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // claims 4 GiB of string bytes
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_string("huge").is_err());
+    }
+
+    #[test]
+    fn bad_bool_tag_is_rejected() {
+        let mut r = ByteReader::new(&[2]);
+        assert!(r.get_bool("tag").is_err());
+    }
+
+    #[test]
+    fn sequence_length_is_bounded_by_remaining_bytes() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_len(8, "seq").is_err());
+    }
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = intern_static("imiss");
+        let b = intern_static("imiss");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "imiss");
+    }
+}

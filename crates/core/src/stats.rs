@@ -217,6 +217,63 @@ impl RunStats {
         }
     }
 
+    /// Append the stable binary encoding of these counters to `w`
+    /// (journal payload format; see [`crate::serial`]).
+    pub fn encode_into(&self, w: &mut crate::serial::ByteWriter) {
+        w.put_u64(self.instructions);
+        for slot in self.phase {
+            w.put_u64(slot);
+        }
+        w.put_u64(self.mem_model_instructions);
+        w.put_u64(self.mem_model_accesses);
+        w.put_u64(self.commands);
+        w.put_u64(self.loads);
+        w.put_u64(self.stores);
+        w.put_u32(self.per_command.len() as u32);
+        for c in &self.per_command {
+            w.put_u64(c.executions);
+            w.put_u64(c.fetch_decode);
+            w.put_u64(c.execute);
+            w.put_u64(c.native);
+        }
+    }
+
+    /// Decode counters encoded by [`RunStats::encode_into`].
+    pub fn decode_from(
+        r: &mut crate::serial::ByteReader<'_>,
+    ) -> Result<RunStats, crate::serial::DecodeError> {
+        let instructions = r.get_u64("stats.instructions")?;
+        let mut phase = [0u64; 4];
+        for slot in &mut phase {
+            *slot = r.get_u64("stats.phase")?;
+        }
+        let mem_model_instructions = r.get_u64("stats.mem_model_instructions")?;
+        let mem_model_accesses = r.get_u64("stats.mem_model_accesses")?;
+        let commands = r.get_u64("stats.commands")?;
+        let loads = r.get_u64("stats.loads")?;
+        let stores = r.get_u64("stats.stores")?;
+        let n = r.get_len(32, "stats.per_command.len")?;
+        let mut per_command = Vec::with_capacity(n);
+        for _ in 0..n {
+            per_command.push(CmdStats {
+                executions: r.get_u64("stats.cmd.executions")?,
+                fetch_decode: r.get_u64("stats.cmd.fetch_decode")?,
+                execute: r.get_u64("stats.cmd.execute")?,
+                native: r.get_u64("stats.cmd.native")?,
+            });
+        }
+        Ok(RunStats {
+            instructions,
+            phase,
+            mem_model_instructions,
+            mem_model_accesses,
+            commands,
+            loads,
+            stores,
+            per_command,
+        })
+    }
+
     /// Render a compact human-readable summary (used by examples).
     pub fn summary(&self, commands: &CommandSet) -> String {
         use std::fmt::Write as _;
@@ -350,6 +407,48 @@ mod tests {
         assert_eq!(a.loads, 1);
         assert_eq!(a.command(cmd(2)).fetch_decode, 1);
         assert_eq!(a.mem_model_instructions, 1);
+    }
+
+    #[test]
+    fn encoding_round_trips_every_counter() {
+        let mut s = RunStats::new();
+        s.begin_command(cmd(0));
+        s.begin_command(cmd(3));
+        s.charge(Phase::Startup, None, false);
+        s.charge(Phase::FetchDecode, Some(cmd(0)), false);
+        s.charge(Phase::Execute, Some(cmd(3)), true);
+        s.charge(Phase::Native, Some(cmd(3)), false);
+        s.count_load();
+        s.count_store();
+        s.count_mem_model_access();
+        s.credit_fetch_decode(cmd(0), 5);
+        let mut w = crate::serial::ByteWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::serial::ByteReader::new(&bytes);
+        let decoded = RunStats::decode_from(&mut r).expect("round trip");
+        assert!(r.is_exhausted());
+        assert_eq!(decoded.instructions, s.instructions);
+        for p in Phase::ALL {
+            assert_eq!(decoded.phase_instructions(p), s.phase_instructions(p));
+        }
+        assert_eq!(decoded.commands, s.commands);
+        assert_eq!(decoded.loads, s.loads);
+        assert_eq!(decoded.stores, s.stores);
+        assert_eq!(decoded.mem_model_accesses, s.mem_model_accesses);
+        assert_eq!(decoded.command(cmd(0)), s.command(cmd(0)));
+        assert_eq!(decoded.command(cmd(3)), s.command(cmd(3)));
+    }
+
+    #[test]
+    fn truncated_stats_decode_is_an_error_not_a_panic() {
+        let mut w = crate::serial::ByteWriter::new();
+        RunStats::new().encode_into(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = crate::serial::ByteReader::new(&bytes[..cut]);
+            assert!(RunStats::decode_from(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

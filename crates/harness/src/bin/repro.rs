@@ -4,9 +4,11 @@
 //! ```text
 //! repro [TARGETS] [--scale test|paper] [--jobs N] [--retries N]
 //!       [--timeout-fuel N] [--strict]
+//!       [--cache-dir DIR] [--resume] [--crash-after N]
 //! repro list [--scale test|paper]
 //! repro guard [--seeds N] [--scale test|paper]
 //! repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]
+//! repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]
 //! repro conform [--seeds N]
 //! ```
 //!
@@ -38,25 +40,50 @@
 //! per-pair console-digest divergence table — exit status 1 on any
 //! divergence, with shrunk minimal reproducers in the report. Unknown
 //! flags and targets are rejected with exit status 2.
+//!
+//! Persistence: `--cache-dir DIR` journals every completed artifact to
+//! `DIR/artifacts.journal` (checksummed, atomically replaced on each
+//! append), and `--resume` loads that journal first and re-executes only
+//! the runs it does not already hold — a crashed or interrupted
+//! invocation picks up where it left off, byte-identical to a cold run.
+//! `--resume` alone uses the default cache dir (`.repro-cache/`).
+//! Corrupt journals are healed, never fatal: each damaged record is
+//! classified (torn tail, bad checksum, stale epoch, bad version,
+//! duplicate key) on stderr and its run recomputed. Journal I/O errors
+//! exit with status 4. `journal-chaos` proves the recovery machinery by
+//! corrupting a pristine journal once per seed and asserting every
+//! defect is detected, classified, and healed. `--crash-after N` (test
+//! harness) kills the process with exit status 86 after N journal
+//! appends, leaving a valid journal prefix for `--resume`.
 
 use interp_harness::experiments::{
     all_requests, is_target, render_target, requests_for, TARGETS,
 };
 use interp_harness::{guard_sweep, Scale};
-use interp_runplan::{
-    chaos_execute, default_jobs, execute_supervised, render_chaos_summary, render_failures,
-    render_timings, with_quiet_injected_panics, Plan, ResolveError, SuperviseConfig,
+use interp_runplan::chaos::{
+    journal_chaos_baseline, journal_chaos_plan, journal_chaos_seed, render_journal_chaos,
 };
+use interp_runplan::{
+    chaos_execute, default_jobs, execute_journaled, execute_supervised, render_chaos_summary,
+    render_failures, render_resume_report, render_timings, with_quiet_injected_panics,
+    JournalConfig, JournalError, Plan, ResolveError, SuperviseConfig, DEFAULT_CACHE_DIR,
+};
+use std::path::PathBuf;
 
 fn usage() -> String {
     let names: Vec<&str> = TARGETS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: repro [TARGETS] [--scale test|paper] [--jobs N] [--retries N] [--timeout-fuel N] [--strict]\n\
+         \x20            [--cache-dir DIR] [--resume] [--crash-after N]\n\
          \x20      repro list [--scale test|paper]\n\
          \x20      repro guard [--seeds N] [--scale test|paper]\n\
          \x20      repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]\n\
+         \x20      repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]\n\
          \x20      repro conform [--seeds N]\n\
-         targets: {} | all (default), comma- or space-separated",
+         targets: {} | all (default), comma- or space-separated\n\
+         persistence: --cache-dir DIR journals completed runs to DIR/artifacts.journal;\n\
+         \x20            --resume loads it first (default dir {DEFAULT_CACHE_DIR}/) and executes only\n\
+         \x20            missing runs; corrupt records are reported and recomputed, never fatal",
         names.join(" | ")
     )
 }
@@ -83,6 +110,12 @@ struct Cli {
     timeout_fuel: Option<u64>,
     /// Exit 3 instead of 0 when the report is degraded.
     strict: bool,
+    /// Journal completed artifacts into this directory.
+    cache_dir: Option<PathBuf>,
+    /// Load the journal before executing; run only what it lacks.
+    resume: bool,
+    /// Crash harness: exit 86 after N journal appends.
+    crash_after: Option<u64>,
 }
 
 impl Cli {
@@ -105,6 +138,9 @@ fn parse(args: &[String]) -> Cli {
     let mut retries: Option<u32> = None;
     let mut timeout_fuel: Option<u64> = None;
     let mut strict = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut crash_after: Option<u64> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -151,6 +187,20 @@ fn parse(args: &[String]) -> Cli {
             }
         } else if arg == "--strict" {
             strict = true;
+        } else if arg == "--cache-dir" || arg.starts_with("--cache-dir=") {
+            let v = take_value("--cache-dir");
+            if v.is_empty() {
+                bail("--cache-dir expects a directory path");
+            }
+            cache_dir = Some(PathBuf::from(v));
+        } else if arg == "--resume" {
+            resume = true;
+        } else if arg == "--crash-after" || arg.starts_with("--crash-after=") {
+            let v = take_value("--crash-after");
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => crash_after = Some(n),
+                _ => bail(&format!("--crash-after expects a positive integer, got `{v}`")),
+            }
         } else if arg.starts_with('-') {
             bail(&format!("unknown flag `{arg}`"));
         } else {
@@ -176,6 +226,9 @@ fn parse(args: &[String]) -> Cli {
         retries: retries.unwrap_or(1),
         timeout_fuel,
         strict,
+        cache_dir,
+        resume,
+        crash_after,
     }
 }
 
@@ -188,7 +241,11 @@ fn print_list(scale: Scale) {
     println!("  all        every target above, one shared deduplicated plan");
     println!("  guard      seeded fault-injection sweep (not memoized)");
     println!("  chaos      full plan under seeded guest+pool fault injection");
+    println!("  journal-chaos  seeded journal corruption: every defect detected and healed");
     println!("  conform    differential conformance sweep across all five interpreters");
+    println!();
+    println!("persistence: --cache-dir DIR journals completed runs; --resume reloads");
+    println!("  the journal (default dir {DEFAULT_CACHE_DIR}/) and executes only missing runs");
     println!();
     println!("macro workloads ({}):", scale.label());
     for id in interp_workloads::macro_suite(scale) {
@@ -258,6 +315,52 @@ fn run_chaos(cli: &Cli) -> ! {
     std::process::exit(if broken == 0 { 0 } else { 1 });
 }
 
+/// `repro journal-chaos`: journal a small cold plan once, then corrupt a
+/// copy of the pristine journal once per seed — rotating through every
+/// defect lane — resume from it, and assert the defect was detected,
+/// classified, the right runs requeued, and both the store and the
+/// journal fully healed.
+fn run_journal_chaos(cli: &Cli) -> ! {
+    let seeds = cli.seeds.unwrap_or(12);
+    let config = cli.supervise_config();
+    let plan = journal_chaos_plan();
+    let dir = cli.cache_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("repro-journal-chaos-{}", std::process::id()))
+    });
+    let result = (|| -> Result<u64, JournalError> {
+        let (pristine, baseline) = journal_chaos_baseline(&plan, cli.jobs, &config, &dir)?;
+        let mut failed = 0u64;
+        for seed in 0..seeds {
+            let outcome =
+                journal_chaos_seed(&plan, cli.jobs, seed, &config, &dir, &pristine, &baseline)?;
+            println!("{}", render_journal_chaos(&outcome));
+            if !outcome.passed() {
+                failed += 1;
+            }
+        }
+        Ok(failed)
+    })();
+    if cli.cache_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    match result {
+        Ok(0) => {
+            println!(
+                "journal-chaos: {seeds} seed(s): every injected defect detected, classified, and healed"
+            );
+            std::process::exit(0);
+        }
+        Ok(failed) => {
+            eprintln!("journal-chaos: {failed} of {seeds} seed(s) failed recovery");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(4);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse(&args);
@@ -281,6 +384,12 @@ fn main() {
                 bail("`chaos` takes no further targets");
             }
             run_chaos(&cli);
+        }
+        Some("journal-chaos") => {
+            if cli.targets.len() > 1 {
+                bail("`journal-chaos` takes no further targets");
+            }
+            run_journal_chaos(&cli);
         }
         Some("conform") => {
             if cli.targets.len() > 1 {
@@ -313,7 +422,32 @@ fn main() {
             .iter()
             .flat_map(|t| requests_for(t, cli.scale)),
     );
-    let executed = execute_supervised(&plan, cli.jobs, &cli.supervise_config());
+    let journaling = cli.cache_dir.is_some() || cli.resume;
+    if cli.crash_after.is_some() && !journaling {
+        bail("--crash-after requires --cache-dir or --resume");
+    }
+    let executed = if journaling {
+        let dir = cli
+            .cache_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR));
+        let mut jconfig = JournalConfig::new(&dir).with_resume(cli.resume);
+        if let Some(n) = cli.crash_after {
+            jconfig = jconfig.with_crash_after(n);
+        }
+        match execute_journaled(&plan, cli.jobs, &cli.supervise_config(), &jconfig) {
+            Ok((executed, report)) => {
+                eprint!("{}", render_resume_report(&report, &dir));
+                executed
+            }
+            Err(e) => {
+                eprintln!("repro: {e}");
+                std::process::exit(4);
+            }
+        }
+    } else {
+        execute_supervised(&plan, cli.jobs, &cli.supervise_config())
+    };
     eprint!("{}", render_timings(&executed));
     // Empty when nothing failed; otherwise the typed per-slot report.
     eprint!("{}", render_failures(&executed));

@@ -1,0 +1,142 @@
+//! End-to-end CLI coverage of the persistence surfaces: flag rejection
+//! and help text, crash + `--resume` byte-identity against a cold run at
+//! several job counts, and the `journal-chaos` recovery sweep — all
+//! through the real `repro` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-resume-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn unknown_flags_are_rejected_with_usage() {
+    for bad in ["--cache", "--resum", "--journal", "--crash-after=x", "--crash-after=0"] {
+        let out = repro(&["table1", bad]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`{bad}` must be rejected: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "`{bad}`: no usage text");
+    }
+}
+
+#[test]
+fn usage_documents_the_persistence_surfaces() {
+    let out = repro(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in ["--cache-dir", "--resume", "journal-chaos", "--crash-after"] {
+        assert!(stderr.contains(needle), "usage lacks `{needle}`:\n{stderr}");
+    }
+}
+
+#[test]
+fn list_documents_journal_chaos_and_cache_flags() {
+    let out = repro(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["journal-chaos", "--cache-dir", "--resume"] {
+        assert!(stdout.contains(needle), "`repro list` lacks `{needle}`");
+    }
+}
+
+#[test]
+fn crash_after_requires_journaling() {
+    let out = repro(&["table1", "--crash-after", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cache-dir or --resume"));
+}
+
+/// The tentpole acceptance path, end to end through the real binary: a
+/// run crashed mid-plan (deliberately, after N durable appends) must,
+/// after `--resume`, emit byte-identical stdout to an uninterrupted cold
+/// run — serial and parallel — while actually reusing the journal.
+#[test]
+fn crashed_run_resumes_byte_identical_to_cold() {
+    for jobs in ["1", "8"] {
+        let cold = repro(&["table1", "fig3", "--jobs", jobs]);
+        assert!(cold.status.success(), "cold run failed");
+
+        let dir = fresh_dir(&format!("crash-{jobs}"));
+        let dir_s = dir.to_string_lossy().to_string();
+        let crashed = repro(&[
+            "table1", "fig3", "--jobs", jobs, "--cache-dir", &dir_s, "--crash-after", "3",
+        ]);
+        assert_eq!(
+            crashed.status.code(),
+            Some(86),
+            "crash harness must exit 86: {}",
+            String::from_utf8_lossy(&crashed.stderr)
+        );
+
+        let resumed = repro(&[
+            "table1", "fig3", "--jobs", jobs, "--cache-dir", &dir_s, "--resume",
+        ]);
+        assert!(resumed.status.success(), "resume failed");
+        assert_eq!(
+            cold.stdout,
+            resumed.stdout,
+            "jobs {jobs}: resumed stdout differs from cold"
+        );
+        let stderr = String::from_utf8_lossy(&resumed.stderr);
+        assert!(
+            stderr.contains("reused 3 of"),
+            "jobs {jobs}: resume must reuse the 3 journaled runs:\n{stderr}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A second resume over a complete journal re-executes nothing and still
+/// prints byte-identical tables.
+#[test]
+fn warm_resume_reuses_everything() {
+    let dir = fresh_dir("warm");
+    let dir_s = dir.to_string_lossy().to_string();
+    let first = repro(&["table1", "--cache-dir", &dir_s]);
+    assert!(first.status.success());
+    let second = repro(&["table1", "--cache-dir", &dir_s, "--resume"]);
+    assert!(second.status.success());
+    assert_eq!(first.stdout, second.stdout);
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("executed 0"), "warm resume ran something:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every journal-corruption lane (six seeds = one full rotation) must be
+/// detected, classified, and healed, exiting 0.
+#[test]
+fn journal_chaos_heals_every_lane() {
+    let out = repro(&["journal-chaos", "--seeds", "6"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "journal-chaos failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for lane in [
+        "torn-final-record",
+        "payload-bit-flip",
+        "mid-truncation",
+        "duplicate-record",
+        "stale-epoch",
+        "bad-version",
+    ] {
+        assert!(stdout.contains(lane), "lane `{lane}` missing:\n{stdout}");
+    }
+    assert!(!stdout.contains("FAIL"), "{stdout}");
+}

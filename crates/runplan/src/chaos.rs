@@ -9,16 +9,24 @@
 //! at `--jobs 1` and `--jobs 8` degrades the same slots with the same
 //! markers. That property is what `repro chaos --seeds N` asserts.
 
+use crate::journal::{
+    self, JournalConfig, JournalDefectKind, JournalError, ResumeReport, JOURNAL_FILE,
+};
 use crate::plan::Plan;
 use crate::pool::{self, supervise_with, ExecutedPlan};
 use crate::supervise::{FailureKind, RunFailure, SuperviseConfig};
-use interp_core::{Language, RunArtifact, RunRequest, WorkloadKind};
+use interp_core::{Language, RunArtifact, RunRequest, Scale, WorkloadId, WorkloadKind};
 use interp_guard::{FaultPlan, Limits, Rng64, RunOutcome};
 use interp_workloads::run_guarded;
+use std::collections::BTreeMap;
+use std::path::Path;
 
 /// Stream-splitting constant so chaos lane rolls are decorrelated from
 /// the guest-corruption streams derived from the same seed.
 const CHAOS_STREAM: u64 = 0xC4A0_5F00_1157_EED5;
+
+/// Stream-splitting constant for journal-corruption rolls.
+const JOURNAL_STREAM: u64 = 0x10AD_BEEF_0C0F_FEE5;
 
 /// Fuel a stalled worker is allowed to burn: far below any real
 /// workload's cost, so the stall deterministically trips the fuel
@@ -215,6 +223,326 @@ pub fn render_chaos_summary(seed: u64, executed: &ExecutedPlan) -> String {
         let _ = writeln!(out, "  {request}: {}", failure.cell());
     }
     out
+}
+
+/// Which corruption a journal-chaos round injects into a pristine
+/// journal image before resuming from it. Each lane targets one entry of
+/// the loader's defect taxonomy; `repro journal-chaos --seeds N` asserts
+/// every lane is detected, classified, and healed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalChaosLane {
+    /// Truncate the file inside the *final* record — the canonical
+    /// crash-mid-write shape. Expect one `TornTail`, one requeue.
+    TornFinalRecord,
+    /// Flip one bit inside a record's artifact payload. Expect one
+    /// `BadChecksum`, one requeue; neighbors untouched.
+    PayloadBitFlip,
+    /// Truncate the file inside an interior record. Expect one
+    /// `TornTail`; the torn record and everything after it requeue.
+    MidTruncation,
+    /// Append a byte-identical copy of an existing record. Expect one
+    /// `DuplicateKey` and zero requeues — the first record wins.
+    DuplicateRecord,
+    /// Rewrite one record's epoch field (resealing its checksum so the
+    /// epoch is the only lie). Expect one `StaleEpoch`, one requeue.
+    StaleEpoch,
+    /// Rewrite one record's version field (resealed). Expect one
+    /// `BadVersion`, one requeue.
+    BadVersion,
+}
+
+impl JournalChaosLane {
+    /// Every lane, in rotation order.
+    pub const ALL: [JournalChaosLane; 6] = [
+        JournalChaosLane::TornFinalRecord,
+        JournalChaosLane::PayloadBitFlip,
+        JournalChaosLane::MidTruncation,
+        JournalChaosLane::DuplicateRecord,
+        JournalChaosLane::StaleEpoch,
+        JournalChaosLane::BadVersion,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JournalChaosLane::TornFinalRecord => "torn-final-record",
+            JournalChaosLane::PayloadBitFlip => "payload-bit-flip",
+            JournalChaosLane::MidTruncation => "mid-truncation",
+            JournalChaosLane::DuplicateRecord => "duplicate-record",
+            JournalChaosLane::StaleEpoch => "stale-epoch",
+            JournalChaosLane::BadVersion => "bad-version",
+        }
+    }
+}
+
+/// The journal-corruption lane for `seed`: seeds rotate through
+/// [`JournalChaosLane::ALL`], so any six consecutive seeds cover the
+/// whole defect taxonomy (where in the file the corruption lands is
+/// still rolled from the seed).
+pub fn journal_lane(seed: u64) -> JournalChaosLane {
+    JournalChaosLane::ALL[(seed % JournalChaosLane::ALL.len() as u64) as usize]
+}
+
+/// What a [`corrupt_journal`] call did and what the loader must now
+/// observe: the defect kind it must classify, and how many runs the
+/// resumed execution must requeue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalCorruption {
+    /// The lane that was applied.
+    pub lane: JournalChaosLane,
+    /// The defect kind the loader must report.
+    pub expected_kind: JournalDefectKind,
+    /// Runs the resumed execution must re-execute.
+    pub expected_requeued: usize,
+}
+
+/// Apply `lane`'s corruption to a pristine journal image in place, with
+/// the corruption site rolled from `seed`. Returns the oracle the
+/// resumed run is checked against. The image must hold at least two
+/// well-formed records (so interior-targeting lanes have a target).
+pub fn corrupt_journal(
+    bytes: &mut Vec<u8>,
+    lane: JournalChaosLane,
+    seed: u64,
+) -> JournalCorruption {
+    let spans = journal::record_spans(bytes);
+    let n = spans.len();
+    debug_assert!(n >= 2, "journal chaos needs at least two records");
+    let mut rng = Rng64::new(seed ^ JOURNAL_STREAM);
+    let (expected_kind, expected_requeued) = match lane {
+        JournalChaosLane::TornFinalRecord => {
+            let span = spans[n - 1];
+            // Cut strictly inside the record: after its length prefix
+            // begins, before its checksum ends.
+            let cut = span.start + rng.index(1, span.end - span.start);
+            bytes.truncate(cut);
+            (JournalDefectKind::TornTail, 1)
+        }
+        JournalChaosLane::PayloadBitFlip => {
+            let span = spans[rng.index(0, n)];
+            let at = rng.index(span.payload_start, span.payload_end);
+            bytes[at] ^= 1 << rng.index(0, 8);
+            (JournalDefectKind::BadChecksum, 1)
+        }
+        JournalChaosLane::MidTruncation => {
+            // Tear an interior record: it and every record after it are
+            // lost.
+            let victim = rng.index(0, n - 1);
+            let span = spans[victim];
+            let cut = span.start + rng.index(1, span.end - span.start);
+            bytes.truncate(cut);
+            (JournalDefectKind::TornTail, n - victim)
+        }
+        JournalChaosLane::DuplicateRecord => {
+            let span = spans[rng.index(0, n)];
+            let copy = bytes[span.start..span.end].to_vec();
+            bytes.extend_from_slice(&copy);
+            (JournalDefectKind::DuplicateKey, 0)
+        }
+        JournalChaosLane::StaleEpoch => {
+            let span = spans[rng.index(0, n)];
+            // Epoch sits after the 2-byte version field.
+            let at = span.body_start + 2;
+            let epoch = u64::from_le_bytes([
+                bytes[at],
+                bytes[at + 1],
+                bytes[at + 2],
+                bytes[at + 3],
+                bytes[at + 4],
+                bytes[at + 5],
+                bytes[at + 6],
+                bytes[at + 7],
+            ]);
+            bytes[at..at + 8].copy_from_slice(&epoch.wrapping_add(1).to_le_bytes());
+            journal::reseal_record(bytes, &span);
+            (JournalDefectKind::StaleEpoch, 1)
+        }
+        JournalChaosLane::BadVersion => {
+            let span = spans[rng.index(0, n)];
+            let at = span.body_start;
+            let version = u16::from_le_bytes([bytes[at], bytes[at + 1]]);
+            bytes[at..at + 2].copy_from_slice(&version.wrapping_add(1).to_le_bytes());
+            journal::reseal_record(bytes, &span);
+            (JournalDefectKind::BadVersion, 1)
+        }
+    };
+    JournalCorruption { lane, expected_kind, expected_requeued }
+}
+
+/// The fixed plan `repro journal-chaos` exercises: a handful of fast
+/// test-scale runs whose artifacts cover every payload shape (counters
+/// only, cycle summaries, a sweep grid) across binary and textual
+/// interpreters.
+pub fn journal_chaos_plan() -> Plan {
+    Plan::build([
+        RunRequest::pipeline(WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Test)),
+        RunRequest::counting(WorkloadId::macro_bench(Language::Tclite, "des", Scale::Test)),
+        RunRequest::new(
+            WorkloadId::macro_bench(Language::Javelin, "des", Scale::Test),
+            interp_core::SinkKind::ICacheSweep,
+        ),
+        RunRequest::pipeline(WorkloadId::micro(Language::C, "a=b+c", Scale::Test)),
+    ])
+}
+
+/// One journal-chaos verdict: what was injected, what the loader saw,
+/// and whether recovery restored the exact cold-run results.
+#[derive(Debug, Clone)]
+pub struct JournalChaosOutcome {
+    /// The chaos seed.
+    pub seed: u64,
+    /// What [`corrupt_journal`] injected and predicted.
+    pub corruption: JournalCorruption,
+    /// The loader reported at least one defect of the expected kind.
+    pub detected: bool,
+    /// No defect of any *other* kind was reported (classification, not
+    /// just detection).
+    pub classified: bool,
+    /// Runs the resumed execution actually re-executed.
+    pub requeued: usize,
+    /// Every planned artifact in the resumed store is content-identical
+    /// to the cold baseline.
+    pub store_intact: bool,
+    /// The post-resume journal file parses with zero defects and holds
+    /// every planned record.
+    pub journal_healed: bool,
+}
+
+impl JournalChaosOutcome {
+    /// True iff the defect was detected, correctly classified, the
+    /// requeue count matched the oracle, and both the store and the
+    /// journal recovered fully.
+    pub fn passed(&self) -> bool {
+        self.detected
+            && self.classified
+            && self.requeued == self.corruption.expected_requeued
+            && self.store_intact
+            && self.journal_healed
+    }
+}
+
+/// Run a cold journaled execution of `plan` into `dir` and return the
+/// pristine journal image plus the baseline content hash of every
+/// planned artifact — the oracle [`journal_chaos_seed`] checks against.
+pub fn journal_chaos_baseline(
+    plan: &Plan,
+    jobs: usize,
+    config: &SuperviseConfig,
+    dir: &Path,
+) -> Result<(Vec<u8>, BTreeMap<RunRequest, u64>), JournalError> {
+    let jconfig = JournalConfig::new(dir);
+    let (executed, _report) = journal::execute_journaled(plan, jobs, config, &jconfig)?;
+    let baseline = content_hashes(plan, &executed);
+    let path = dir.join(JOURNAL_FILE);
+    let bytes = std::fs::read(&path).map_err(|e| JournalError {
+        path: path.clone(),
+        op: "read",
+        detail: e.to_string(),
+    })?;
+    Ok((bytes, baseline))
+}
+
+/// One journal-chaos round: plant a `seed`-corrupted copy of the
+/// pristine image in `dir`, resume the plan from it, and grade detection,
+/// classification, requeue accounting, store fidelity, and healing.
+pub fn journal_chaos_seed(
+    plan: &Plan,
+    jobs: usize,
+    seed: u64,
+    config: &SuperviseConfig,
+    dir: &Path,
+    pristine: &[u8],
+    baseline: &BTreeMap<RunRequest, u64>,
+) -> Result<JournalChaosOutcome, JournalError> {
+    let mut corrupted = pristine.to_vec();
+    let corruption = corrupt_journal(&mut corrupted, journal_lane(seed), seed);
+    let path = dir.join(JOURNAL_FILE);
+    std::fs::write(&path, &corrupted).map_err(|e| JournalError {
+        path: path.clone(),
+        op: "write",
+        detail: e.to_string(),
+    })?;
+
+    let jconfig = JournalConfig::new(dir).with_resume(true);
+    let (executed, report) = journal::execute_journaled(plan, jobs, config, &jconfig)?;
+    Ok(grade_outcome(
+        plan, seed, corruption, &executed, &report, &path, baseline,
+    ))
+}
+
+/// Grade one resumed run against the corruption oracle.
+fn grade_outcome(
+    plan: &Plan,
+    seed: u64,
+    corruption: JournalCorruption,
+    executed: &ExecutedPlan,
+    report: &ResumeReport,
+    path: &Path,
+    baseline: &BTreeMap<RunRequest, u64>,
+) -> JournalChaosOutcome {
+    let detected = report
+        .defects
+        .iter()
+        .any(|d| d.kind == corruption.expected_kind);
+    let classified = report
+        .defects
+        .iter()
+        .all(|d| d.kind == corruption.expected_kind);
+    let resumed = content_hashes(plan, executed);
+    let store_intact = resumed == *baseline;
+    let journal_healed = match std::fs::read(path) {
+        Ok(bytes) => {
+            let reloaded = journal::load_bytes(&bytes, crate::fingerprint::current_epoch());
+            reloaded.defects.is_empty()
+                && plan
+                    .requests()
+                    .iter()
+                    .all(|r| reloaded.records.contains_key(&r.fingerprint()))
+        }
+        Err(_) => false,
+    };
+    JournalChaosOutcome {
+        seed,
+        corruption,
+        detected,
+        classified,
+        requeued: report.executed,
+        store_intact,
+        journal_healed,
+    }
+}
+
+/// Content hash of every planned artifact (0 marks a degraded slot, so
+/// a degraded resume can never masquerade as a match).
+fn content_hashes(plan: &Plan, executed: &ExecutedPlan) -> BTreeMap<RunRequest, u64> {
+    plan.requests()
+        .iter()
+        .map(|request| {
+            let hash = match executed.store.resolve(request) {
+                Ok(artifact) => artifact.content_hash(),
+                Err(_) => 0,
+            };
+            (*request, hash)
+        })
+        .collect()
+}
+
+/// One line per journal-chaos round, stable across job counts:
+/// the seed, the lane, the oracle, and the verdict.
+pub fn render_journal_chaos(outcome: &JournalChaosOutcome) -> String {
+    format!(
+        "journal-chaos seed {}: lane {} -> expect {} ({} requeued): detected={} classified={} requeued={} store-intact={} healed={} [{}]",
+        outcome.seed,
+        outcome.corruption.lane.label(),
+        outcome.corruption.expected_kind.label(),
+        outcome.corruption.expected_requeued,
+        outcome.detected,
+        outcome.classified,
+        outcome.requeued,
+        outcome.store_intact,
+        outcome.journal_healed,
+        if outcome.passed() { "ok" } else { "FAIL" },
+    )
 }
 
 fn fnv1a(s: &str) -> u64 {

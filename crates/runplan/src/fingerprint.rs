@@ -1,0 +1,66 @@
+//! Journal keys: request fingerprints paired with the code/config epoch.
+//!
+//! A journal record is addressed by `(RunRequest fingerprint, epoch)`.
+//! The fingerprint (computed in `interp-core`, stable across process
+//! restarts) says *which run* the record caches; the epoch says *which
+//! build of the measurement pipeline* produced it. Any change that can
+//! alter what a run measures — the record format, the workspace
+//! version, or an explicit epoch bump after touching interpreter or
+//! timing-model code — moves the epoch, and every record written under
+//! an older epoch is treated as stale: requeued for recomputation, never
+//! silently trusted.
+
+use interp_core::serial::fnv1a;
+use interp_core::RunRequest;
+
+/// Version tag of the journal record layout. Bumping it makes every
+/// existing record decode as `BadVersion` (requeued, not trusted).
+pub const RECORD_VERSION: u16 = 1;
+
+/// Manual epoch salt. Bump this when interpreter, workload, or timing
+/// model changes could alter artifact *content* without changing the
+/// record layout — the journal has no way to see inside the binary, so
+/// semantic invalidation is a human (or release-process) decision.
+pub const EPOCH_SALT: u32 = 1;
+
+/// The current code/config epoch: a stable hash of the record version,
+/// the manual salt, and the workspace package version. Records written
+/// under any other epoch are [`StaleEpoch`](crate::JournalDefectKind)
+/// defects on load.
+pub fn current_epoch() -> u64 {
+    let canonical = format!(
+        "interp-runplan-journal/v{RECORD_VERSION}/salt{EPOCH_SALT}/pkg{}",
+        env!("CARGO_PKG_VERSION")
+    );
+    fnv1a(canonical.as_bytes())
+}
+
+/// The journal key of `request` under the current build: its stable
+/// content fingerprint plus [`current_epoch`].
+pub fn journal_key(request: &RunRequest) -> (u64, u64) {
+    (request.fingerprint(), current_epoch())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::{Language, Scale, WorkloadId};
+
+    #[test]
+    fn epoch_is_stable_within_a_build() {
+        assert_eq!(current_epoch(), current_epoch());
+        assert_ne!(current_epoch(), 0);
+    }
+
+    #[test]
+    fn keys_pair_fingerprint_with_epoch() {
+        let request = RunRequest::pipeline(WorkloadId::macro_bench(
+            Language::Mipsi,
+            "des",
+            Scale::Test,
+        ));
+        let (fp, epoch) = journal_key(&request);
+        assert_eq!(fp, request.fingerprint());
+        assert_eq!(epoch, current_epoch());
+    }
+}

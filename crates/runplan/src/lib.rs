@@ -34,9 +34,22 @@
 //! wedged or panicking run can no longer cost the other 78. The
 //! [`chaos`] module proves it by injecting seeded faults into both the
 //! guests and the pool itself.
+//!
+//! Persistence: the [`journal`] module makes executions crash-safe.
+//! Every completed artifact is appended to a checksummed on-disk journal
+//! (atomic write-temp → fsync → rename), keyed by a stable
+//! [`RunRequest::fingerprint`] plus the code/config epoch
+//! ([`fingerprint`]); a resumed plan serves journaled runs from disk and
+//! executes only the residue, while any corruption — torn tail, bit
+//! flip, stale epoch, format drift, duplicate key — is detected,
+//! classified as a typed [`JournalDefect`], reported, and healed by
+//! requeuing the affected runs. Resumed output is byte-identical to a
+//! cold run at any job count.
 
 pub mod chaos;
 pub mod exec;
+pub mod fingerprint;
+pub mod journal;
 pub mod plan;
 pub mod pool;
 pub mod store;
@@ -44,6 +57,12 @@ pub mod supervise;
 
 pub use chaos::{chaos_execute, render_chaos_summary, with_quiet_injected_panics, ChaosLane};
 pub use exec::{run_request, try_run_request};
+pub use fingerprint::{current_epoch, journal_key};
+pub use journal::{
+    execute_journaled, execute_journaled_with, load_bytes, load_file, render_resume_report,
+    JournalConfig, JournalDefect, JournalDefectKind, JournalError, JournalWriter, LoadedJournal,
+    ResumeReport, DEFAULT_CACHE_DIR,
+};
 pub use plan::Plan;
 pub use pool::{
     default_jobs, execute, execute_supervised, execute_with, render_failures, render_timings,

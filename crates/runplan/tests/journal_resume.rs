@@ -1,0 +1,273 @@
+//! Journal crash-safety properties: random-truncation recovery, exactly-
+//! once resume accounting at several job counts, and the quarantine rule
+//! (failures are never journaled).
+
+use interp_core::{ConsoleDigest, Language, RunArtifact, RunRequest, Scale, WorkloadId};
+use interp_guard::Rng64;
+use interp_runplan::journal::{
+    self, encode_record, load_bytes, record_spans, JournalConfig, JournalDefectKind,
+};
+use interp_runplan::{execute_journaled_with, Plan, RunFailure, SuperviseConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+const EPOCH: u64 = 0xA11C_E5ED;
+
+/// Six non-subsuming requests, so `Plan::build` keeps all of them.
+fn requests() -> Vec<RunRequest> {
+    [
+        (Language::Mipsi, "des"),
+        (Language::Mipsi, "compress"),
+        (Language::Tclite, "des"),
+        (Language::Javelin, "des"),
+        (Language::Perlite, "des"),
+        (Language::C, "des"),
+    ]
+    .into_iter()
+    .map(|(lang, name)| RunRequest::pipeline(WorkloadId::macro_bench(lang, name, Scale::Test)))
+    .collect()
+}
+
+/// A unique, deterministic artifact per request — no real workload runs
+/// in this file, so the mechanics tests stay instant.
+fn probe_artifact(request: &RunRequest) -> RunArtifact {
+    let mut art = RunArtifact::empty();
+    art.program_bytes = request.fingerprint() as usize;
+    art.console = ConsoleDigest::of(&format!("OK {}\n", request.label()));
+    art
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "interp-journal-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A pristine journal image holding every request's probe artifact, in
+/// request order.
+fn pristine_journal() -> Vec<u8> {
+    let mut bytes = journal::MAGIC.to_vec();
+    for request in requests() {
+        bytes.extend_from_slice(&encode_record(
+            EPOCH,
+            request.fingerprint(),
+            &request.label(),
+            &probe_artifact(&request),
+        ));
+    }
+    bytes
+}
+
+/// The truncation property, ≥100 seeds: *every* prefix of a valid
+/// journal either loads cleanly (cut on a record boundary) or reports
+/// exactly one `TornTail` — and in both cases yields exactly the records
+/// that lie wholly before the cut. No prefix can crash the loader, lose
+/// an untouched record, or resurrect a torn one.
+#[test]
+fn every_truncation_prefix_recovers_cleanly() {
+    let bytes = pristine_journal();
+    let spans = record_spans(&bytes);
+    assert_eq!(spans.len(), requests().len());
+    let fingerprints: Vec<u64> = requests().iter().map(|r| r.fingerprint()).collect();
+
+    let mut rng = Rng64::new(0x7A11_F00D);
+    let mut boundary_cuts = 0usize;
+    let mut torn_cuts = 0usize;
+    for _seed in 0..128 {
+        let cut = rng.index(0, bytes.len() + 1);
+        let loaded = load_bytes(&bytes[..cut], EPOCH);
+
+        let expected: Vec<u64> = spans
+            .iter()
+            .zip(&fingerprints)
+            .filter(|(span, _)| span.end <= cut)
+            .map(|(_, fp)| *fp)
+            .collect();
+        let got: Vec<u64> = loaded.records.keys().copied().collect();
+        let mut expected_sorted = expected.clone();
+        expected_sorted.sort_unstable();
+        assert_eq!(
+            got, expected_sorted,
+            "cut {cut}: wrong surviving record set"
+        );
+
+        let on_boundary =
+            cut == 0 || cut == journal::MAGIC.len() || spans.iter().any(|s| s.end == cut);
+        if on_boundary {
+            boundary_cuts += 1;
+            assert!(
+                loaded.defects.is_empty(),
+                "cut {cut} on a record boundary must load cleanly: {:?}",
+                loaded.defects
+            );
+        } else {
+            torn_cuts += 1;
+            assert_eq!(loaded.defects.len(), 1, "cut {cut}: exactly one defect");
+            assert_eq!(
+                loaded.defects[0].kind,
+                JournalDefectKind::TornTail,
+                "cut {cut}: mid-record truncation is a torn tail"
+            );
+        }
+    }
+    // The sweep must actually exercise both arms.
+    assert!(torn_cuts > 0, "no mid-record cut rolled in 128 seeds");
+    assert!(boundary_cuts + torn_cuts == 128);
+}
+
+/// Exhaustive version of the same property over every single-byte
+/// prefix, not just sampled cuts — cheap at this journal size and leaves
+/// no untested offset.
+#[test]
+fn exhaustive_prefix_sweep_never_misclassifies() {
+    let bytes = pristine_journal();
+    let spans = record_spans(&bytes);
+    for cut in 0..=bytes.len() {
+        let loaded = load_bytes(&bytes[..cut], EPOCH);
+        let expected = spans.iter().filter(|s| s.end <= cut).count();
+        assert_eq!(loaded.records.len(), expected, "cut {cut}");
+        let on_boundary =
+            cut == 0 || cut == journal::MAGIC.len() || spans.iter().any(|s| s.end == cut);
+        assert_eq!(loaded.defects.is_empty(), on_boundary, "cut {cut}");
+        if !on_boundary {
+            assert!(loaded
+                .defects
+                .iter()
+                .all(|d| d.kind == JournalDefectKind::TornTail));
+        }
+    }
+}
+
+/// Run `plan` journaled into `dir` with the probe runner, returning the
+/// per-request execution counts alongside the engine's results.
+fn journaled_probe_run(
+    plan: &Plan,
+    jobs: usize,
+    dir: &std::path::Path,
+    resume: bool,
+) -> (
+    interp_runplan::ExecutedPlan,
+    interp_runplan::ResumeReport,
+    BTreeMap<RunRequest, u32>,
+) {
+    let counts: Mutex<BTreeMap<RunRequest, u32>> = Mutex::new(BTreeMap::new());
+    let config = SuperviseConfig::new();
+    let jconfig = JournalConfig::new(dir).with_epoch(EPOCH).with_resume(resume);
+    let (executed, report) = execute_journaled_with(plan, jobs, &config, &jconfig, |request, _| {
+        *counts
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(*request)
+            .or_insert(0) += 1;
+        Ok(probe_artifact(request))
+    })
+    .expect("journaled execution");
+    let counts = counts.into_inner().unwrap_or_else(|p| p.into_inner());
+    (executed, report, counts)
+}
+
+/// Kill-and-resume mechanics: journal a partial plan (what a crashed
+/// process would leave behind), then resume the full plan — serial and
+/// parallel. The resumed run must execute each missing request exactly
+/// once, execute reused requests zero times, and produce a store whose
+/// content is identical to a cold run's.
+#[test]
+fn resume_executes_each_missing_run_exactly_once() {
+    let all = requests();
+    let full_plan = Plan::build(all.clone());
+    let partial_plan = Plan::build(all[..3].to_vec());
+
+    for jobs in [1usize, 8] {
+        let cold_dir = fresh_dir(&format!("cold-{jobs}"));
+        let (cold, cold_report, cold_counts) = journaled_probe_run(&full_plan, jobs, &cold_dir, false);
+        assert_eq!(cold_report.reused, 0);
+        assert_eq!(cold_report.journaled, all.len());
+        assert!(cold_counts.values().all(|&c| c == 1), "{cold_counts:?}");
+
+        // "Crash" after three runs: only the partial plan's artifacts
+        // are in the journal.
+        let crash_dir = fresh_dir(&format!("crash-{jobs}"));
+        let (_, partial_report, _) = journaled_probe_run(&partial_plan, jobs, &crash_dir, false);
+        assert_eq!(partial_report.journaled, 3);
+
+        // Resume the full plan from the crashed journal.
+        let (resumed, report, counts) = journaled_probe_run(&full_plan, jobs, &crash_dir, true);
+        assert_eq!(report.planned, all.len());
+        assert_eq!(report.reused, 3, "jobs {jobs}");
+        assert_eq!(report.executed, all.len() - 3, "jobs {jobs}");
+        assert!(report.defects.is_empty(), "jobs {jobs}: {:?}", report.defects);
+        for request in &all[..3] {
+            assert!(
+                !counts.contains_key(request),
+                "jobs {jobs}: reused {request} was re-executed"
+            );
+        }
+        for request in &all[3..] {
+            assert_eq!(counts.get(request), Some(&1), "jobs {jobs}: {request}");
+        }
+
+        // Identical store content, cold vs resumed.
+        for request in full_plan.requests() {
+            let a = cold.store.resolve(request).expect("cold artifact");
+            let b = resumed.store.resolve(request).expect("resumed artifact");
+            assert_eq!(
+                a.content_hash(),
+                b.content_hash(),
+                "jobs {jobs}: {request} diverged after resume"
+            );
+        }
+        // Reused slots carry zero attempts, executed ones at least one.
+        for timing in &resumed.timings {
+            let reused = all[..3].contains(&timing.request);
+            assert_eq!(timing.attempts == 0, reused, "jobs {jobs}: {}", timing.request);
+        }
+
+        let _ = std::fs::remove_dir_all(&cold_dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+}
+
+/// The quarantine rule: a run that fails is never written to the
+/// journal, so a later resume re-attempts it instead of resurrecting the
+/// failure from cache.
+#[test]
+fn failures_are_never_journaled() {
+    let all = requests();
+    let plan = Plan::build(all.clone());
+    let poison = all[1];
+    let dir = fresh_dir("quarantine");
+
+    let config = SuperviseConfig::new().with_retries(0);
+    let jconfig = JournalConfig::new(&dir).with_epoch(EPOCH);
+    let (executed, report) = execute_journaled_with(&plan, 2, &config, &jconfig, |request, a| {
+        if *request == poison {
+            Err(RunFailure::faulted(a, "injected persistent fault"))
+        } else {
+            Ok(probe_artifact(request))
+        }
+    })
+    .expect("journaled execution");
+    assert!(executed.store.resolve(&poison).is_err());
+    assert_eq!(report.journaled, all.len() - 1);
+
+    // The journal holds everything except the poisoned run...
+    let on_disk = std::fs::read(dir.join(journal::JOURNAL_FILE)).expect("journal");
+    let loaded = load_bytes(&on_disk, EPOCH);
+    assert!(loaded.defects.is_empty());
+    assert!(!loaded.records.contains_key(&poison.fingerprint()));
+    assert_eq!(loaded.records.len(), all.len() - 1);
+
+    // ...so a healthy resume re-attempts exactly the poisoned run.
+    let (resumed, report, counts) = journaled_probe_run(&plan, 2, &dir, true);
+    assert_eq!(report.reused, all.len() - 1);
+    assert_eq!(report.executed, 1);
+    assert_eq!(counts.get(&poison), Some(&1));
+    assert_eq!(counts.len(), 1);
+    assert!(resumed.store.resolve(&poison).is_ok());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -23,6 +23,14 @@
 #                        each lowered to all five interpreters; exits
 #                        nonzero on any cross-interpreter console
 #                        divergence (with a shrunk minimal reproducer).
+#   crash-resume       — a journaled run is deliberately crashed mid-plan
+#                        (exit 86 after 5 durable appends); the rerun with
+#                        --resume must reuse the journal and print stdout
+#                        byte-identical to the cold run.
+#   journal-chaos      — 12 seeds of journal corruption (torn tail, bit
+#                        flip, mid-truncation, duplicate key, stale
+#                        epoch, bad version); every defect must be
+#                        detected, classified, and healed.
 #   golden snapshots   — every renderer's test-scale output must be
 #                        byte-identical to the committed goldens.
 set -euo pipefail
@@ -39,7 +47,8 @@ cargo clippy --workspace -q -- \
   -D clippy::unwrap_used -D clippy::panic
 cargo clippy -p interp-guard -p interp-microbench -q -- \
   -D warnings -D clippy::unwrap_used -D clippy::panic
-# The supervision, harness, and conformance layers are held to the same
+# The supervision, harness, and conformance layers — including the
+# journal/persistence module in interp-runplan — are held to the same
 # no-unwrap/no-panic bar explicitly (their host-crate dependencies keep
 # -D warnings off here).
 cargo clippy -p interp-runplan -p interp-harness -p interp-conformance -q -- \
@@ -69,6 +78,25 @@ echo "== chaos smoke (8 seeds, guest+pool fault injection) =="
 echo "== conformance smoke (32 seeds, 5 interpreters, zero divergence) =="
 "$REPRO" conform --seeds 32 \
   || { echo "cross-interpreter divergence detected; see the shrunk reproducer above"; exit 1; }
+
+echo "== crash-resume (deliberate mid-plan crash, then --resume, byte-diff vs cold) =="
+CACHE=/tmp/repro_resume_cache
+rm -rf "$CACHE"
+set +e
+"$REPRO" all --scale test --cache-dir "$CACHE" --crash-after 5 >/dev/null 2>&1
+status=$?
+set -e
+[ "$status" -eq 86 ] \
+  || { echo "crash harness exited $status, expected 86"; exit 1; }
+"$REPRO" all --scale test --cache-dir "$CACHE" --resume \
+  >/tmp/repro_resumed.txt 2>/tmp/repro_resume_report.txt
+cmp /tmp/repro_parallel.txt /tmp/repro_resumed.txt \
+  || { echo "resumed output differs from the cold run"; exit 1; }
+grep "^journal " /tmp/repro_resume_report.txt
+rm -rf "$CACHE"
+
+echo "== journal-chaos (seeded journal corruption: detect, classify, heal) =="
+"$REPRO" journal-chaos --seeds 12
 
 echo "== golden snapshots (byte-diff vs committed renders) =="
 cargo test -q -p interp-harness --test goldens \
