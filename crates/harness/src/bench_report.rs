@@ -1,0 +1,223 @@
+//! `repro bench`: a small committed benchmark trajectory.
+//!
+//! Executes each experiment target as its own plan, then the combined
+//! `all` plan, and reports per-target wall-clock, plan sizes, and the
+//! cross-experiment dedup reuse ratio (how much of the naive union the
+//! shared plan avoids re-running). The JSON rendering is hand-rolled —
+//! the schema is flat and the repo takes no serialization dependency —
+//! and is what `repro bench` writes to `BENCH_trajectory.json`.
+
+use crate::experiments::{all_requests, requests_for, TARGETS};
+use crate::Scale;
+use interp_runplan::{execute_supervised, Plan, SuperviseConfig};
+use std::time::SystemTime;
+
+/// One target's measurement.
+#[derive(Debug, Clone)]
+pub struct BenchTarget {
+    /// Experiment name (`table1`, `fig3`, ...).
+    pub name: &'static str,
+    /// Runs in the target's private deduplicated plan.
+    pub runs: usize,
+    /// Wall-clock seconds to execute that plan.
+    pub wall_s: f64,
+}
+
+/// The full trajectory `repro bench` emits.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Milliseconds since the Unix epoch when the sweep started.
+    pub unix_ms: u128,
+    /// Workload scale the sweep ran at.
+    pub scale: Scale,
+    /// Worker threads per plan execution.
+    pub jobs: usize,
+    /// Per-target measurements, in canonical target order.
+    pub targets: Vec<BenchTarget>,
+    /// Requests in the naive union of every target (with duplicates).
+    pub combined_requests: usize,
+    /// Runs in the shared deduplicated `all` plan.
+    pub combined_plan_runs: usize,
+    /// Wall-clock seconds for the combined plan.
+    pub combined_wall_s: f64,
+    /// Fraction of the naive union the shared plan never has to run:
+    /// `1 - combined_plan_runs / combined_requests`.
+    pub dedup_reuse_ratio: f64,
+}
+
+/// Execute the benchmark sweep: each target alone, then the shared plan.
+pub fn run_bench(scale: Scale, jobs: usize, config: &SuperviseConfig) -> BenchReport {
+    let unix_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let mut targets = Vec::with_capacity(TARGETS.len());
+    for (name, _) in TARGETS {
+        let plan = Plan::build(requests_for(name, scale));
+        let runs = plan.len();
+        let executed = execute_supervised(&plan, jobs, config);
+        targets.push(BenchTarget {
+            name,
+            runs,
+            wall_s: executed.wall.as_secs_f64(),
+        });
+    }
+    let union = all_requests(scale);
+    let combined_requests = union.len();
+    let plan = Plan::build(union);
+    let combined_plan_runs = plan.len();
+    let executed = execute_supervised(&plan, jobs, config);
+    let dedup_reuse_ratio = if combined_requests > 0 {
+        1.0 - combined_plan_runs as f64 / combined_requests as f64
+    } else {
+        0.0
+    };
+    BenchReport {
+        unix_ms,
+        scale,
+        jobs,
+        targets,
+        combined_requests,
+        combined_plan_runs,
+        combined_wall_s: executed.wall.as_secs_f64(),
+        dedup_reuse_ratio,
+    }
+}
+
+/// Round to three decimals for stable, readable JSON.
+fn r3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// The JSON document written to `BENCH_trajectory.json`.
+pub fn render_json(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bench-trajectory/1\",\n");
+    out.push_str(&format!("  \"unix_ms\": {},\n", report.unix_ms));
+    out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale.label()));
+    out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
+    out.push_str("  \"targets\": [\n");
+    for (i, t) in report.targets.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"runs\": {}, \"wall_s\": {}}}{}\n",
+            t.name,
+            t.runs,
+            r3(t.wall_s),
+            if i + 1 == report.targets.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"combined_requests\": {},\n",
+        report.combined_requests
+    ));
+    out.push_str(&format!(
+        "  \"combined_plan_runs\": {},\n",
+        report.combined_plan_runs
+    ));
+    out.push_str(&format!(
+        "  \"combined_wall_s\": {},\n",
+        r3(report.combined_wall_s)
+    ));
+    out.push_str(&format!(
+        "  \"dedup_reuse_ratio\": {}\n",
+        r3(report.dedup_reuse_ratio)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// The human summary printed alongside the JSON file.
+pub fn render_summary(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench ({} scale, {} job(s)):",
+        report.scale.label(),
+        report.jobs
+    );
+    for t in &report.targets {
+        let _ = writeln!(out, "  {:<10} {:>3} run(s)  {:>8.3}s", t.name, t.runs, t.wall_s);
+    }
+    let _ = writeln!(
+        out,
+        "  combined   {:>3} run(s)  {:>8.3}s  ({} requested, {:.0}% deduped away)",
+        report.combined_plan_runs,
+        report.combined_wall_s,
+        report.combined_requests,
+        report.dedup_reuse_ratio * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            unix_ms: 1_700_000_000_000,
+            scale: Scale::Test,
+            jobs: 2,
+            targets: vec![
+                BenchTarget { name: "table1", runs: 10, wall_s: 0.1234 },
+                BenchTarget { name: "table2", runs: 20, wall_s: 0.5 },
+            ],
+            combined_requests: 30,
+            combined_plan_runs: 24,
+            combined_wall_s: 0.6,
+            dedup_reuse_ratio: 0.2,
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let text = render_json(&tiny_report());
+        assert!(text.starts_with("{\n"));
+        assert!(text.ends_with("}\n"));
+        assert!(text.contains("\"schema\": \"bench-trajectory/1\""), "{text}");
+        assert!(text.contains("\"scale\": \"test\""), "{text}");
+        assert!(text.contains("\"name\": \"table1\", \"runs\": 10, \"wall_s\": 0.123"), "{text}");
+        assert!(text.contains("\"combined_plan_runs\": 24"), "{text}");
+        assert!(text.contains("\"dedup_reuse_ratio\": 0.2"), "{text}");
+        // No trailing comma before the array close.
+        assert!(text.contains("\"wall_s\": 0.5}\n  ],"), "{text}");
+        // Balanced braces and brackets.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches('[').count(),
+            text.matches(']').count(),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn summary_reports_dedup_ratio() {
+        let text = render_summary(&tiny_report());
+        assert!(text.contains("bench (test scale, 2 job(s))"), "{text}");
+        assert!(text.contains("20% deduped away"), "{text}");
+    }
+
+    #[test]
+    fn bench_measures_every_target_plus_combined() {
+        let report = run_bench(Scale::Test, 2, &SuperviseConfig::new());
+        assert_eq!(report.targets.len(), TARGETS.len());
+        // table3 needs no runs; every other target needs at least one.
+        assert!(report.targets.iter().any(|t| t.runs == 0));
+        assert!(report.targets.iter().filter(|t| t.runs > 0).count() >= 7);
+        assert!(report.combined_plan_runs > 0);
+        assert!(
+            report.combined_plan_runs < report.combined_requests,
+            "dedup must shrink the union: {} !< {}",
+            report.combined_plan_runs,
+            report.combined_requests
+        );
+        assert!(report.dedup_reuse_ratio > 0.0);
+    }
+}

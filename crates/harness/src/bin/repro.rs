@@ -4,8 +4,11 @@
 //! ```text
 //! repro [TARGETS] [--scale test|paper] [--jobs N] [--retries N]
 //!       [--timeout-fuel N] [--strict]
-//!       [--cache-dir DIR] [--resume] [--crash-after N]
+//!       [--cache-dir DIR] [--resume] [--lock-timeout SECS] [--crash-after N]
 //! repro list [--scale test|paper]
+//! repro status [--cache-dir DIR] [--scale test|paper]
+//! repro compact [--cache-dir DIR] [--lock-timeout SECS]
+//! repro bench [--scale test|paper] [--jobs N] [--out FILE]
 //! repro guard [--seeds N] [--scale test|paper]
 //! repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]
 //! repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]
@@ -49,33 +52,64 @@
 //! `--resume` alone uses the default cache dir (`.repro-cache/`).
 //! Corrupt journals are healed, never fatal: each damaged record is
 //! classified (torn tail, bad checksum, stale epoch, bad version,
-//! duplicate key) on stderr and its run recomputed. Journal I/O errors
-//! exit with status 4. `journal-chaos` proves the recovery machinery by
-//! corrupting a pristine journal once per seed and asserting every
-//! defect is detected, classified, and healed. `--crash-after N` (test
-//! harness) kills the process with exit status 86 after N journal
-//! appends, leaving a valid journal prefix for `--resume`.
+//! duplicate key) on stderr and its run recomputed.
+//!
+//! Coordination: every journal append happens under an advisory file
+//! lock with a merge-on-reload pass, so N concurrent `repro` processes
+//! sharing one `--cache-dir` cooperatively fill a single cache with
+//! exactly-once execution per run — a run another process already
+//! journaled (or is actively executing, per its claim) is reused, not
+//! repeated. A lock held by a dead process is taken over; one held by a
+//! live process past `--lock-timeout SECS` (default 30) aborts with exit
+//! status 5. `status` prints a read-only cache snapshot (records,
+//! defects, lock holder, writer sessions, claims, reuse coverage);
+//! `compact` rewrites the journal dropping duplicate, stale-epoch, and
+//! torn records (a no-op when already canonical); `bench` writes a
+//! machine-readable benchmark trajectory (per-target wall-clock, plan
+//! sizes, dedup reuse ratio) to `--out FILE` (default
+//! `BENCH_trajectory.json`).
+//!
+//! Exit status: 0 success (or degraded-but-complete), 1 sweep failure,
+//! 2 usage error, 3 degraded under `--strict`, 4 journal I/O error,
+//! 5 lock timeout, 86 deliberate `--crash-after` crash.
+//!
+//! `journal-chaos` proves the recovery machinery per seed: corruption
+//! lanes damage a pristine journal and assert every defect is detected,
+//! classified, and healed; multi-writer lanes run interleaved
+//! campaigns, stale-lock takeover from a planted dead writer, and
+//! compaction raced against a live appender, asserting exactly-once
+//! execution and a clean journal. `--crash-after N` (test harness)
+//! kills the process with exit status 86 after N journal appends,
+//! leaving a valid journal prefix for `--resume`.
 
+use interp_harness::bench_report;
 use interp_harness::experiments::{
     all_requests, is_target, render_target, requests_for, TARGETS,
 };
 use interp_harness::{guard_sweep, Scale};
-use interp_runplan::chaos::{
-    journal_chaos_baseline, journal_chaos_plan, journal_chaos_seed, render_journal_chaos,
-};
+use interp_runplan::chaos::{journal_chaos_baseline, journal_chaos_plan, journal_chaos_seed};
 use interp_runplan::{
-    chaos_execute, default_jobs, execute_journaled, execute_supervised, render_chaos_summary,
-    render_failures, render_resume_report, render_timings, with_quiet_injected_panics,
-    JournalConfig, JournalError, Plan, ResolveError, SuperviseConfig, DEFAULT_CACHE_DIR,
+    cache_status, chaos_execute, compact, current_epoch, default_jobs, execute_journaled,
+    execute_supervised, render_cache_status, render_chaos_summary, render_failures,
+    render_resume_report, render_timings, with_quiet_injected_panics, JournalConfig,
+    JournalError, JournalErrorKind, Plan, ResolveError, SuperviseConfig, DEFAULT_CACHE_DIR,
+    DEFAULT_LOCK_TIMEOUT,
 };
 use std::path::PathBuf;
+use std::time::Duration;
+
+/// Default output file for `repro bench`.
+const BENCH_FILE: &str = "BENCH_trajectory.json";
 
 fn usage() -> String {
     let names: Vec<&str> = TARGETS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: repro [TARGETS] [--scale test|paper] [--jobs N] [--retries N] [--timeout-fuel N] [--strict]\n\
-         \x20            [--cache-dir DIR] [--resume] [--crash-after N]\n\
+         \x20            [--cache-dir DIR] [--resume] [--lock-timeout SECS] [--crash-after N]\n\
          \x20      repro list [--scale test|paper]\n\
+         \x20      repro status [--cache-dir DIR] [--scale test|paper]\n\
+         \x20      repro compact [--cache-dir DIR] [--lock-timeout SECS]\n\
+         \x20      repro bench [--scale test|paper] [--jobs N] [--out FILE]\n\
          \x20      repro guard [--seeds N] [--scale test|paper]\n\
          \x20      repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]\n\
          \x20      repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]\n\
@@ -83,7 +117,11 @@ fn usage() -> String {
          targets: {} | all (default), comma- or space-separated\n\
          persistence: --cache-dir DIR journals completed runs to DIR/artifacts.journal;\n\
          \x20            --resume loads it first (default dir {DEFAULT_CACHE_DIR}/) and executes only\n\
-         \x20            missing runs; corrupt records are reported and recomputed, never fatal",
+         \x20            missing runs; corrupt records are reported and recomputed, never fatal;\n\
+         \x20            concurrent processes sharing a cache dir coordinate through an advisory\n\
+         \x20            lock for exactly-once execution (--lock-timeout SECS bounds the wait)\n\
+         exit status: 0 ok, 1 sweep failure, 2 usage, 3 degraded under --strict,\n\
+         \x20            4 journal I/O error, 5 lock timeout, 86 --crash-after",
         names.join(" | ")
     )
 }
@@ -94,15 +132,26 @@ fn bail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Map a journal failure to its documented exit status: 5 when the
+/// advisory lock stayed held by a live process past the timeout, 4 for
+/// any filesystem failure.
+fn journal_exit(e: &JournalError) -> ! {
+    eprintln!("repro: {e}");
+    std::process::exit(match e.kind {
+        JournalErrorKind::LockTimeout => 5,
+        JournalErrorKind::Io => 4,
+    });
+}
+
 /// Parsed command line.
 struct Cli {
-    /// Selected targets (or the `list`/`guard`/`chaos`/`conform`
-    /// subcommand word).
+    /// Selected targets (or the `list`/`status`/`compact`/`bench`/
+    /// `guard`/`chaos`/`conform` subcommand word).
     targets: Vec<String>,
     scale: Scale,
     jobs: usize,
     /// `--seeds` if given; `guard` and `conform` default to 64, `chaos`
-    /// to 8.
+    /// to 8, `journal-chaos` to 12.
     seeds: Option<u64>,
     /// Retry budget for transient failures (faults, deadlines).
     retries: u32,
@@ -114,6 +163,10 @@ struct Cli {
     cache_dir: Option<PathBuf>,
     /// Load the journal before executing; run only what it lacks.
     resume: bool,
+    /// Give up on the advisory lock after this long (default 30s).
+    lock_timeout: Option<Duration>,
+    /// `repro bench` output file.
+    out: Option<PathBuf>,
     /// Crash harness: exit 86 after N journal appends.
     crash_after: Option<u64>,
 }
@@ -126,6 +179,18 @@ impl Cli {
             Some(fuel) => config.with_timeout_fuel(fuel),
             None => config,
         }
+    }
+
+    /// The cache directory the flags name (default `.repro-cache/`).
+    fn cache_dir_or_default(&self) -> PathBuf {
+        self.cache_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR))
+    }
+
+    /// The advisory-lock patience the flags name (default 30s).
+    fn lock_timeout_or_default(&self) -> Duration {
+        self.lock_timeout.unwrap_or(DEFAULT_LOCK_TIMEOUT)
     }
 }
 
@@ -140,6 +205,8 @@ fn parse(args: &[String]) -> Cli {
     let mut strict = false;
     let mut cache_dir: Option<PathBuf> = None;
     let mut resume = false;
+    let mut lock_timeout: Option<Duration> = None;
+    let mut out: Option<PathBuf> = None;
     let mut crash_after: Option<u64> = None;
 
     let mut it = args.iter().peekable();
@@ -195,6 +262,20 @@ fn parse(args: &[String]) -> Cli {
             cache_dir = Some(PathBuf::from(v));
         } else if arg == "--resume" {
             resume = true;
+        } else if arg == "--lock-timeout" || arg.starts_with("--lock-timeout=") {
+            let v = take_value("--lock-timeout");
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => lock_timeout = Some(Duration::from_secs(n)),
+                _ => bail(&format!(
+                    "--lock-timeout expects a positive number of seconds, got `{v}`"
+                )),
+            }
+        } else if arg == "--out" || arg.starts_with("--out=") {
+            let v = take_value("--out");
+            if v.is_empty() {
+                bail("--out expects a file path");
+            }
+            out = Some(PathBuf::from(v));
         } else if arg == "--crash-after" || arg.starts_with("--crash-after=") {
             let v = take_value("--crash-after");
             match v.parse::<u64>() {
@@ -228,6 +309,8 @@ fn parse(args: &[String]) -> Cli {
         strict,
         cache_dir,
         resume,
+        lock_timeout,
+        out,
         crash_after,
     }
 }
@@ -239,13 +322,17 @@ fn print_list(scale: Scale) {
         println!("  {name:<10} {desc}  [{n} runs]");
     }
     println!("  all        every target above, one shared deduplicated plan");
+    println!("  status     read-only cache snapshot: records, defects, lock, writers");
+    println!("  compact    rewrite the journal dropping duplicate/stale/torn records");
+    println!("  bench      benchmark trajectory (per-target wall, dedup ratio) to JSON");
     println!("  guard      seeded fault-injection sweep (not memoized)");
     println!("  chaos      full plan under seeded guest+pool fault injection");
-    println!("  journal-chaos  seeded journal corruption: every defect detected and healed");
+    println!("  journal-chaos  seeded journal corruption and multi-writer races: healed");
     println!("  conform    differential conformance sweep across all five interpreters");
     println!();
     println!("persistence: --cache-dir DIR journals completed runs; --resume reloads");
-    println!("  the journal (default dir {DEFAULT_CACHE_DIR}/) and executes only missing runs");
+    println!("  the journal (default dir {DEFAULT_CACHE_DIR}/) and executes only missing runs;");
+    println!("  concurrent processes sharing a cache coordinate for exactly-once execution");
     println!();
     println!("macro workloads ({}):", scale.label());
     for id in interp_workloads::macro_suite(scale) {
@@ -273,6 +360,62 @@ fn run_conform(cli: &Cli) -> ! {
     let report = interp_conformance::conform(seeds, &interp_conformance::LowerOptions::default());
     print!("{}", interp_conformance::render(&report));
     std::process::exit(if report.divergent_seeds() == 0 { 0 } else { 1 });
+}
+
+/// `repro status`: read-only snapshot of the cache directory — never
+/// takes the lock, never heals, safe against a campaign in flight. The
+/// reuse line measures the journal against the full `all` plan at the
+/// selected scale.
+fn run_status(cli: &Cli) -> ! {
+    let dir = cli.cache_dir_or_default();
+    let status = match cache_status(&dir, current_epoch()) {
+        Ok(status) => status,
+        Err(e) => journal_exit(&e),
+    };
+    let plan = Plan::build(all_requests(cli.scale));
+    let covered = plan
+        .requests()
+        .iter()
+        .filter(|r| status.records.contains_key(&r.fingerprint()))
+        .count();
+    print!(
+        "{}",
+        render_cache_status(&status, &dir, Some((covered, plan.len())))
+    );
+    std::process::exit(0);
+}
+
+/// `repro compact`: rewrite the journal down to its canonical image
+/// under the advisory lock, dropping duplicates, stale-epoch records,
+/// and torn or corrupt tails. Already-canonical journals are left
+/// untouched (the fast path byte-compares and skips the rewrite).
+fn run_compact(cli: &Cli) -> ! {
+    let dir = cli.cache_dir_or_default();
+    match compact(&dir, current_epoch(), cli.lock_timeout_or_default()) {
+        Ok(report) => {
+            println!("{}", report.render(&dir));
+            std::process::exit(0);
+        }
+        Err(e) => journal_exit(&e),
+    }
+}
+
+/// `repro bench`: execute each target's plan alone and the combined
+/// plan, then write the machine-readable trajectory JSON (per-target
+/// wall-clock, plan sizes, dedup reuse ratio) to `--out`.
+fn run_bench(cli: &Cli) -> ! {
+    let report = bench_report::run_bench(cli.scale, cli.jobs, &cli.supervise_config());
+    let path = cli
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(BENCH_FILE));
+    if let Err(e) = std::fs::write(&path, bench_report::render_json(&report)) {
+        eprintln!("repro: write {}: {e}", path.display());
+        std::process::exit(4);
+    }
+    print!("{}", bench_report::render_summary(&report));
+    println!("bench: wrote {}", path.display());
+    std::process::exit(0);
 }
 
 /// `repro chaos`: execute the full plan once per seed with faults
@@ -315,11 +458,12 @@ fn run_chaos(cli: &Cli) -> ! {
     std::process::exit(if broken == 0 { 0 } else { 1 });
 }
 
-/// `repro journal-chaos`: journal a small cold plan once, then corrupt a
-/// copy of the pristine journal once per seed — rotating through every
-/// defect lane — resume from it, and assert the defect was detected,
-/// classified, the right runs requeued, and both the store and the
-/// journal fully healed.
+/// `repro journal-chaos`: journal a small cold plan once, then per seed
+/// either corrupt a copy of the pristine journal (rotating through every
+/// defect lane, asserting detection, classification, and healing) or
+/// run a multi-writer race lane (interleaved campaigns, stale-lock
+/// takeover, compaction vs. appender) asserting exactly-once execution
+/// and a clean, complete journal.
 fn run_journal_chaos(cli: &Cli) -> ! {
     let seeds = cli.seeds.unwrap_or(12);
     let config = cli.supervise_config();
@@ -331,10 +475,10 @@ fn run_journal_chaos(cli: &Cli) -> ! {
         let (pristine, baseline) = journal_chaos_baseline(&plan, cli.jobs, &config, &dir)?;
         let mut failed = 0u64;
         for seed in 0..seeds {
-            let outcome =
+            let verdict =
                 journal_chaos_seed(&plan, cli.jobs, seed, &config, &dir, &pristine, &baseline)?;
-            println!("{}", render_journal_chaos(&outcome));
-            if !outcome.passed() {
+            println!("{}", verdict.render());
+            if !verdict.passed() {
                 failed += 1;
             }
         }
@@ -354,10 +498,7 @@ fn run_journal_chaos(cli: &Cli) -> ! {
             eprintln!("journal-chaos: {failed} of {seeds} seed(s) failed recovery");
             std::process::exit(1);
         }
-        Err(e) => {
-            eprintln!("repro: {e}");
-            std::process::exit(4);
-        }
+        Err(e) => journal_exit(&e),
     }
 }
 
@@ -372,6 +513,24 @@ fn main() {
             }
             print_list(cli.scale);
             return;
+        }
+        Some("status") => {
+            if cli.targets.len() > 1 {
+                bail("`status` takes no further targets");
+            }
+            run_status(&cli);
+        }
+        Some("compact") => {
+            if cli.targets.len() > 1 {
+                bail("`compact` takes no further targets");
+            }
+            run_compact(&cli);
+        }
+        Some("bench") => {
+            if cli.targets.len() > 1 {
+                bail("`bench` takes no further targets");
+            }
+            run_bench(&cli);
         }
         Some("guard") => {
             if cli.targets.len() > 1 {
@@ -427,11 +586,10 @@ fn main() {
         bail("--crash-after requires --cache-dir or --resume");
     }
     let executed = if journaling {
-        let dir = cli
-            .cache_dir
-            .clone()
-            .unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR));
-        let mut jconfig = JournalConfig::new(&dir).with_resume(cli.resume);
+        let dir = cli.cache_dir_or_default();
+        let mut jconfig = JournalConfig::new(&dir)
+            .with_resume(cli.resume)
+            .with_lock_timeout(cli.lock_timeout_or_default());
         if let Some(n) = cli.crash_after {
             jconfig = jconfig.with_crash_after(n);
         }
@@ -440,10 +598,7 @@ fn main() {
                 eprint!("{}", render_resume_report(&report, &dir));
                 executed
             }
-            Err(e) => {
-                eprintln!("repro: {e}");
-                std::process::exit(4);
-            }
+            Err(e) => journal_exit(&e),
         }
     } else {
         execute_supervised(&plan, cli.jobs, &cli.supervise_config())

@@ -47,6 +47,7 @@
 
 pub mod ablations;
 pub mod arch;
+pub mod bench_report;
 pub mod degrade;
 pub mod experiments;
 pub mod figures;

@@ -39,8 +39,46 @@ fn usage_documents_the_persistence_surfaces() {
     let out = repro(&["--definitely-not-a-flag"]);
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for needle in ["--cache-dir", "--resume", "journal-chaos", "--crash-after"] {
+    for needle in [
+        "--cache-dir",
+        "--resume",
+        "journal-chaos",
+        "--crash-after",
+        "--lock-timeout",
+        "repro status",
+        "repro compact",
+        "repro bench",
+        "5 lock timeout",
+    ] {
         assert!(stderr.contains(needle), "usage lacks `{needle}`:\n{stderr}");
+    }
+}
+
+/// The coordination subcommands reject unknown flags, malformed values,
+/// and stray targets with exit 2, like every other subcommand.
+#[test]
+fn coordination_subcommands_reject_bad_invocations() {
+    for bad in [
+        &["status", "--bogus"][..],
+        &["status", "table1"][..],
+        &["compact", "--lock-timeout", "0"][..],
+        &["compact", "--lock-timeout", "x"][..],
+        &["compact", "extra"][..],
+        &["bench", "--out", ""][..],
+        &["bench", "table1"][..],
+        &["table1", "--lock-timeout"][..],
+    ] {
+        let out = repro(bad);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`{bad:?}` must be rejected: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "`{bad:?}`: no usage text"
+        );
     }
 }
 
@@ -49,7 +87,15 @@ fn list_documents_journal_chaos_and_cache_flags() {
     let out = repro(&["list"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for needle in ["journal-chaos", "--cache-dir", "--resume"] {
+    for needle in [
+        "journal-chaos",
+        "--cache-dir",
+        "--resume",
+        "status",
+        "compact",
+        "bench",
+        "exactly-once",
+    ] {
         assert!(stdout.contains(needle), "`repro list` lacks `{needle}`");
     }
 }
@@ -117,11 +163,12 @@ fn warm_resume_reuses_everything() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Every journal-corruption lane (six seeds = one full rotation) must be
-/// detected, classified, and healed, exiting 0.
+/// Every journal-chaos lane (nine seeds = one full rotation: six
+/// corruption lanes plus the three multi-writer race lanes) must pass,
+/// exiting 0.
 #[test]
 fn journal_chaos_heals_every_lane() {
-    let out = repro(&["journal-chaos", "--seeds", "6"]);
+    let out = repro(&["journal-chaos", "--seeds", "9"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         out.status.success(),
@@ -135,6 +182,9 @@ fn journal_chaos_heals_every_lane() {
         "duplicate-record",
         "stale-epoch",
         "bad-version",
+        "interleaved-writers",
+        "stale-lock-takeover",
+        "compaction-race",
     ] {
         assert!(stdout.contains(lane), "lane `{lane}` missing:\n{stdout}");
     }

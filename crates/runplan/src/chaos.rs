@@ -10,8 +10,10 @@
 //! markers. That property is what `repro chaos --seeds N` asserts.
 
 use crate::journal::{
-    self, JournalConfig, JournalDefectKind, JournalError, ResumeReport, JOURNAL_FILE,
+    self, JournalConfig, JournalDefectKind, JournalError, JournalErrorKind, ResumeReport,
+    JOURNAL_FILE,
 };
+use crate::lock::{Claims, Sessions, LOCK_FILE};
 use crate::plan::Plan;
 use crate::pool::{self, supervise_with, ExecutedPlan};
 use crate::supervise::{FailureKind, RunFailure, SuperviseConfig};
@@ -249,17 +251,33 @@ pub enum JournalChaosLane {
     /// Rewrite one record's version field (resealed). Expect one
     /// `BadVersion`, one requeue.
     BadVersion,
+    /// Multi-writer lane: seeded concurrent campaigns cooperatively fill
+    /// one cold cache. Expect exactly-once execution across the writers
+    /// and a complete, clean journal.
+    InterleavedWriters,
+    /// Multi-writer lane: a writer died holding the lock, its session
+    /// registered and a claim on file. Expect the next campaign to take
+    /// the lock over, sweep the stale state, and complete alone.
+    StaleLockTakeover,
+    /// Multi-writer lane: `compact` races a live appender. Expect no
+    /// appended record to be lost and the final journal to be clean.
+    CompactionRace,
 }
 
 impl JournalChaosLane {
-    /// Every lane, in rotation order.
-    pub const ALL: [JournalChaosLane; 6] = [
+    /// Every lane, in rotation order. The original six corruption lanes
+    /// keep their seed positions; multi-writer lanes extend the tail, so
+    /// historical seeds 0–5 still map to the same corruption.
+    pub const ALL: [JournalChaosLane; 9] = [
         JournalChaosLane::TornFinalRecord,
         JournalChaosLane::PayloadBitFlip,
         JournalChaosLane::MidTruncation,
         JournalChaosLane::DuplicateRecord,
         JournalChaosLane::StaleEpoch,
         JournalChaosLane::BadVersion,
+        JournalChaosLane::InterleavedWriters,
+        JournalChaosLane::StaleLockTakeover,
+        JournalChaosLane::CompactionRace,
     ];
 
     /// Display label.
@@ -271,7 +289,21 @@ impl JournalChaosLane {
             JournalChaosLane::DuplicateRecord => "duplicate-record",
             JournalChaosLane::StaleEpoch => "stale-epoch",
             JournalChaosLane::BadVersion => "bad-version",
+            JournalChaosLane::InterleavedWriters => "interleaved-writers",
+            JournalChaosLane::StaleLockTakeover => "stale-lock-takeover",
+            JournalChaosLane::CompactionRace => "compaction-race",
         }
+    }
+
+    /// True for lanes that exercise multi-process coordination instead
+    /// of byte-level corruption.
+    pub fn is_multi_writer(self) -> bool {
+        matches!(
+            self,
+            JournalChaosLane::InterleavedWriters
+                | JournalChaosLane::StaleLockTakeover
+                | JournalChaosLane::CompactionRace
+        )
     }
 }
 
@@ -365,6 +397,16 @@ pub fn corrupt_journal(
             journal::reseal_record(bytes, &span);
             (JournalDefectKind::BadVersion, 1)
         }
+        JournalChaosLane::InterleavedWriters
+        | JournalChaosLane::StaleLockTakeover
+        | JournalChaosLane::CompactionRace => {
+            // Multi-writer lanes inject no byte corruption — they are
+            // dispatched to `multi_writer_seed` before this function is
+            // reached. Reaching here is a harness bug; the impossible
+            // requeue oracle makes the round fail loudly instead of
+            // silently passing.
+            (JournalDefectKind::TornTail, usize::MAX)
+        }
     };
     JournalCorruption { lane, expected_kind, expected_requeued }
 }
@@ -435,6 +477,7 @@ pub fn journal_chaos_baseline(
     let baseline = content_hashes(plan, &executed);
     let path = dir.join(JOURNAL_FILE);
     let bytes = std::fs::read(&path).map_err(|e| JournalError {
+        kind: JournalErrorKind::Io,
         path: path.clone(),
         op: "read",
         detail: e.to_string(),
@@ -442,9 +485,78 @@ pub fn journal_chaos_baseline(
     Ok((bytes, baseline))
 }
 
-/// One journal-chaos round: plant a `seed`-corrupted copy of the
-/// pristine image in `dir`, resume the plan from it, and grade detection,
-/// classification, requeue accounting, store fidelity, and healing.
+/// One multi-writer chaos verdict: what the coordination scenario was
+/// asked to survive and what actually happened.
+#[derive(Debug, Clone)]
+pub struct MultiWriterOutcome {
+    /// The chaos seed.
+    pub seed: u64,
+    /// Which multi-writer lane ran.
+    pub lane: JournalChaosLane,
+    /// Concurrent campaigns launched (1 for the takeover lane, where
+    /// the "other writer" is a planted corpse).
+    pub writers: usize,
+    /// Requests in the plan — the exactly-once denominator.
+    pub planned: usize,
+    /// Executions summed across every campaign. Exactly-once means this
+    /// equals `planned`: no request ran twice, none was skipped.
+    pub executed_total: usize,
+    /// Every campaign's store resolved every planned artifact to the
+    /// cold-baseline content.
+    pub store_intact: bool,
+    /// The final journal holds a record for every planned request.
+    pub journal_complete: bool,
+    /// The final journal parses with zero defects.
+    pub journal_clean: bool,
+}
+
+impl MultiWriterOutcome {
+    /// True iff execution was exactly-once and nothing was lost or
+    /// corrupted.
+    pub fn passed(&self) -> bool {
+        self.executed_total == self.planned
+            && self.store_intact
+            && self.journal_complete
+            && self.journal_clean
+    }
+}
+
+/// The verdict of one journal-chaos round — corruption lanes grade
+/// detect/classify/heal, multi-writer lanes grade exactly-once
+/// coordination.
+#[derive(Debug, Clone)]
+pub enum JournalChaosVerdict {
+    /// A byte-corruption lane's verdict.
+    Corruption(JournalChaosOutcome),
+    /// A multi-writer coordination lane's verdict.
+    MultiWriter(MultiWriterOutcome),
+}
+
+impl JournalChaosVerdict {
+    /// Whether the round met its lane's oracle.
+    pub fn passed(&self) -> bool {
+        match self {
+            JournalChaosVerdict::Corruption(o) => o.passed(),
+            JournalChaosVerdict::MultiWriter(o) => o.passed(),
+        }
+    }
+
+    /// The one-line report for this round.
+    pub fn render(&self) -> String {
+        match self {
+            JournalChaosVerdict::Corruption(o) => render_journal_chaos(o),
+            JournalChaosVerdict::MultiWriter(o) => render_multi_writer(o),
+        }
+    }
+}
+
+/// One journal-chaos round. Corruption lanes plant a `seed`-corrupted
+/// copy of the pristine image in `dir`, resume the plan from it, and
+/// grade detection, classification, requeue accounting, store fidelity,
+/// and healing. Multi-writer lanes instead clear the cache and run a
+/// coordination scenario — interleaved campaigns, stale-lock takeover,
+/// or compaction racing an appender — grading exactly-once execution
+/// and zero loss.
 pub fn journal_chaos_seed(
     plan: &Plan,
     jobs: usize,
@@ -453,11 +565,17 @@ pub fn journal_chaos_seed(
     dir: &Path,
     pristine: &[u8],
     baseline: &BTreeMap<RunRequest, u64>,
-) -> Result<JournalChaosOutcome, JournalError> {
+) -> Result<JournalChaosVerdict, JournalError> {
+    let lane = journal_lane(seed);
+    if lane.is_multi_writer() {
+        return multi_writer_seed(plan, jobs, seed, lane, config, dir, baseline)
+            .map(JournalChaosVerdict::MultiWriter);
+    }
     let mut corrupted = pristine.to_vec();
-    let corruption = corrupt_journal(&mut corrupted, journal_lane(seed), seed);
+    let corruption = corrupt_journal(&mut corrupted, lane, seed);
     let path = dir.join(JOURNAL_FILE);
     std::fs::write(&path, &corrupted).map_err(|e| JournalError {
+        kind: JournalErrorKind::Io,
         path: path.clone(),
         op: "write",
         detail: e.to_string(),
@@ -465,9 +583,196 @@ pub fn journal_chaos_seed(
 
     let jconfig = JournalConfig::new(dir).with_resume(true);
     let (executed, report) = journal::execute_journaled(plan, jobs, config, &jconfig)?;
-    Ok(grade_outcome(
+    Ok(JournalChaosVerdict::Corruption(grade_outcome(
         plan, seed, corruption, &executed, &report, &path, baseline,
-    ))
+    )))
+}
+
+/// A PID no live process on a sane Linux can hold (`pid_max` caps far
+/// below it) — the corpse identity multi-writer lanes plant.
+const DEAD_PID: u32 = 4_000_000_000;
+
+/// Run one multi-writer coordination scenario against a cold cache.
+fn multi_writer_seed(
+    plan: &Plan,
+    jobs: usize,
+    seed: u64,
+    lane: JournalChaosLane,
+    config: &SuperviseConfig,
+    dir: &Path,
+    baseline: &BTreeMap<RunRequest, u64>,
+) -> Result<MultiWriterOutcome, JournalError> {
+    // Start cold: drop the journal and any coordination state left by a
+    // previous round (sessions from finished campaigns are deregistered,
+    // but corruption rounds leave a journal behind).
+    let _ = std::fs::remove_file(dir.join(JOURNAL_FILE));
+    let _ = std::fs::remove_file(dir.join(LOCK_FILE));
+
+    let campaign = |resume: bool| {
+        let jconfig = JournalConfig::new(dir).with_resume(resume);
+        journal::execute_journaled(plan, jobs, config, &jconfig)
+    };
+
+    let (writers, campaigns): (usize, Vec<(ExecutedPlan, ResumeReport)>) = match lane {
+        JournalChaosLane::InterleavedWriters => {
+            // Two seeded campaigns race a cold cache; claims partition
+            // the plan between them. The seed staggers the second start
+            // to vary interleavings. The second campaign opens with
+            // `resume` so the round grades exactly-once arithmetic even
+            // when the first campaign wins the race outright — the
+            // truncate-vs-join decision itself is pinned by unit and
+            // real-binary tests, not by this timing-dependent lane.
+            let stagger = std::time::Duration::from_millis(seed % 7);
+            let second = &campaign;
+            let results = std::thread::scope(|scope| {
+                let a = scope.spawn(|| campaign(false));
+                let b = scope.spawn(move || {
+                    std::thread::sleep(stagger);
+                    second(true)
+                });
+                [a.join(), b.join()]
+            });
+            let mut campaigns = Vec::new();
+            for joined in results {
+                match joined {
+                    Ok(result) => campaigns.push(result?),
+                    Err(_) => {
+                        return Ok(failed_multi_writer(seed, lane, 2, plan.len()));
+                    }
+                }
+            }
+            (2, campaigns)
+        }
+        JournalChaosLane::StaleLockTakeover => {
+            // A writer died holding the lock: corpse lock file, corpse
+            // session registration, corpse claim on one planned
+            // fingerprint. The next campaign must take all of it over.
+            std::fs::write(
+                dir.join(LOCK_FILE),
+                format!("pid {DEAD_PID}\ntoken corpse\nepoch 0\n"),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            let sessions = Sessions::new(dir);
+            sessions.register("corpse").map_err(|e| journal_io(dir, e))?;
+            std::fs::write(
+                dir.join(crate::lock::WRITERS_DIR).join("corpse"),
+                format!("pid {DEAD_PID}\n"),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            let victim = plan.requests()[(seed as usize) % plan.len()];
+            let claims = Claims::new(dir);
+            claims
+                .claim(victim.fingerprint(), "corpse")
+                .map_err(|e| journal_io(dir, e))?;
+            std::fs::write(
+                dir.join(crate::lock::CLAIMS_DIR)
+                    .join(format!("{:016x}", victim.fingerprint())),
+                format!("pid {DEAD_PID}\ntoken corpse\n"),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            (1, vec![campaign(false)?])
+        }
+        JournalChaosLane::CompactionRace => {
+            // Compaction hammers the lock while a live campaign appends;
+            // neither side may lose a record.
+            let epoch = crate::fingerprint::current_epoch();
+            let result = std::thread::scope(|scope| {
+                let appender = scope.spawn(|| campaign(false));
+                let mut compactions = Ok(());
+                for _ in 0..4 {
+                    std::thread::sleep(std::time::Duration::from_millis(1 + seed % 5));
+                    if let Err(e) =
+                        crate::compact::compact(dir, epoch, std::time::Duration::from_secs(30))
+                    {
+                        compactions = Err(e);
+                        break;
+                    }
+                }
+                (appender.join(), compactions)
+            });
+            let (joined, compactions) = result;
+            compactions?;
+            match joined {
+                Ok(result) => (1, vec![result?]),
+                Err(_) => return Ok(failed_multi_writer(seed, lane, 1, plan.len())),
+            }
+        }
+        _ => return Ok(failed_multi_writer(seed, lane, 0, plan.len())),
+    };
+
+    let executed_total = campaigns.iter().map(|(_, report)| report.executed).sum();
+    let store_intact = campaigns
+        .iter()
+        .all(|(executed, _)| content_hashes(plan, executed) == *baseline);
+    let (journal_complete, journal_clean) = match std::fs::read(dir.join(JOURNAL_FILE)) {
+        Ok(bytes) => {
+            let reloaded = journal::load_bytes(&bytes, crate::fingerprint::current_epoch());
+            (
+                plan.requests()
+                    .iter()
+                    .all(|r| reloaded.records.contains_key(&r.fingerprint())),
+                reloaded.defects.is_empty(),
+            )
+        }
+        Err(_) => (false, false),
+    };
+    Ok(MultiWriterOutcome {
+        seed,
+        lane,
+        writers,
+        planned: plan.len(),
+        executed_total,
+        store_intact,
+        journal_complete,
+        journal_clean,
+    })
+}
+
+/// The all-false outcome for a scenario that could not even run (a
+/// campaign thread panicked, or an impossible lane reached the
+/// dispatcher) — it renders as FAIL rather than crashing the sweep.
+fn failed_multi_writer(
+    seed: u64,
+    lane: JournalChaosLane,
+    writers: usize,
+    planned: usize,
+) -> MultiWriterOutcome {
+    MultiWriterOutcome {
+        seed,
+        lane,
+        writers,
+        planned,
+        executed_total: 0,
+        store_intact: false,
+        journal_complete: false,
+        journal_clean: false,
+    }
+}
+
+fn journal_io(dir: &Path, e: std::io::Error) -> JournalError {
+    JournalError {
+        kind: JournalErrorKind::Io,
+        path: dir.to_path_buf(),
+        op: "write",
+        detail: e.to_string(),
+    }
+}
+
+/// One line per multi-writer round, shape-stable with the corruption
+/// render: the seed, the lane, the oracle, and the verdict.
+pub fn render_multi_writer(outcome: &MultiWriterOutcome) -> String {
+    format!(
+        "journal-chaos seed {}: lane {} -> {} writer(s) over {} run(s): executed={} store-intact={} complete={} clean={} [{}]",
+        outcome.seed,
+        outcome.lane.label(),
+        outcome.writers,
+        outcome.planned,
+        outcome.executed_total,
+        outcome.store_intact,
+        outcome.journal_complete,
+        outcome.journal_clean,
+        if outcome.passed() { "ok" } else { "FAIL" },
+    )
 }
 
 /// Grade one resumed run against the corruption oracle.

@@ -1,0 +1,282 @@
+//! Journal compaction: rewrite the journal keeping only valid
+//! current-epoch records (first record per fingerprint), dropping
+//! duplicates, stale-epoch records, and torn or corrupt tails — via the
+//! same write-temp + fsync + atomic-rename discipline every append
+//! uses, under the same advisory lock, so compaction can race a live
+//! appender without losing either side's records.
+//!
+//! Because every publish already emits the *canonical* image (records in
+//! fingerprint order), a journal that is clean compacts in O(append
+//! check): the canonical re-encoding is byte-compared against the file
+//! and, when identical, nothing is rewritten.
+
+use crate::journal::{
+    encode_image, io_err, lock_err, publish_bytes, JournalDefect, JournalError,
+    JOURNAL_FILE,
+};
+use crate::lock::{self, fresh_token, sweep_lock_debris, Claims, LockConfig, Sessions};
+use std::path::Path;
+use std::time::Duration;
+
+/// What one compaction pass did.
+#[derive(Debug, Clone)]
+pub struct CompactReport {
+    /// Valid records the compacted journal holds.
+    pub records: usize,
+    /// Defects (duplicates, stale epochs, tears, bad checksums) whose
+    /// records were dropped by the rewrite.
+    pub dropped: Vec<JournalDefect>,
+    /// Journal size before compaction, in bytes.
+    pub bytes_before: u64,
+    /// Journal size after compaction, in bytes.
+    pub bytes_after: u64,
+    /// False when the journal was already canonical and the fast path
+    /// left the file untouched.
+    pub rewritten: bool,
+}
+
+impl CompactReport {
+    /// One stderr summary line.
+    pub fn render(&self, dir: &Path) -> String {
+        format!(
+            "compacted {}: {} record(s), {} dropped, {} -> {} bytes{}",
+            dir.display(),
+            self.records,
+            self.dropped.len(),
+            self.bytes_before,
+            self.bytes_after,
+            if self.rewritten { "" } else { " (already clean, not rewritten)" },
+        )
+    }
+}
+
+/// Compact the journal in `dir` under `epoch`: take the advisory lock,
+/// parse the file (classifying every defect), and republish the
+/// canonical image of the surviving records — or touch nothing if the
+/// file is already byte-identical to that image. A missing journal
+/// compacts to an empty report without creating one.
+pub fn compact(
+    dir: &Path,
+    epoch: u64,
+    lock_timeout: Duration,
+) -> Result<CompactReport, JournalError> {
+    let path = dir.join(JOURNAL_FILE);
+    sweep_lock_debris(dir);
+    let lock_config =
+        LockConfig::for_dir(dir, &fresh_token(), epoch).with_timeout(lock_timeout);
+    let _guard = lock::acquire(&lock_config).map_err(lock_err)?;
+    // Housekeeping that normally rides on open: drop dead writers'
+    // registry entries and claims while we hold the lock anyway.
+    let sessions = Sessions::new(dir);
+    sessions.sweep_stale();
+    Claims::new(dir).sweep_stale(&sessions);
+
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(CompactReport {
+                records: 0,
+                dropped: Vec::new(),
+                bytes_before: 0,
+                bytes_after: 0,
+                rewritten: false,
+            });
+        }
+        Err(e) => return Err(io_err(&path, "read", e)),
+    };
+    let loaded = crate::journal::load_bytes(&bytes, epoch);
+    let image = encode_image(&loaded.records, epoch);
+    let rewritten = image != bytes;
+    if rewritten {
+        publish_bytes(&path, &image)?;
+    }
+    Ok(CompactReport {
+        records: loaded.records.len(),
+        dropped: loaded.defects,
+        bytes_before: bytes.len() as u64,
+        bytes_after: image.len() as u64,
+        rewritten,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{
+        encode_record, record_spans, JournalDefectKind, JournalWriter, MAGIC,
+    };
+    use interp_core::{ConsoleDigest, Language, RunArtifact, RunRequest, Scale, WorkloadId};
+    use std::path::PathBuf;
+
+    const EPOCH: u64 = 7;
+    const TIMEOUT: Duration = Duration::from_secs(5);
+
+    fn artifact(tag: u64) -> RunArtifact {
+        let mut art = RunArtifact::empty();
+        art.program_bytes = tag as usize;
+        art.console = ConsoleDigest::of(&format!("OK {tag}\n"));
+        art
+    }
+
+    fn request(i: usize) -> RunRequest {
+        let names = ["des", "compress", "eqntott"];
+        RunRequest::pipeline(WorkloadId::macro_bench(
+            Language::Mipsi,
+            names[i % names.len()],
+            Scale::Test,
+        ))
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "interp-compact-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    /// Seed a *canonical* journal: records in fingerprint order, the
+    /// same image every locked publish emits.
+    fn seed_journal(dir: &Path, n: usize) -> Vec<u8> {
+        let mut reqs: Vec<_> = (0..n).map(|i| (request(i), i as u64 + 1)).collect();
+        reqs.sort_by_key(|(req, _)| req.fingerprint());
+        let mut bytes = MAGIC.to_vec();
+        for (req, tag) in reqs {
+            bytes.extend_from_slice(&encode_record(
+                EPOCH,
+                req.fingerprint(),
+                &req.label(),
+                &artifact(tag),
+            ));
+        }
+        std::fs::write(dir.join(JOURNAL_FILE), &bytes).expect("seed");
+        bytes
+    }
+
+    #[test]
+    fn clean_journal_takes_the_fast_path() {
+        let dir = fresh_dir("clean");
+        let bytes = seed_journal(&dir, 3);
+        let report = compact(&dir, EPOCH, TIMEOUT).expect("compact");
+        assert!(!report.rewritten, "clean journal must not be rewritten");
+        assert_eq!(report.records, 3);
+        assert!(report.dropped.is_empty());
+        assert_eq!(report.bytes_before, report.bytes_after);
+        assert_eq!(std::fs::read(dir.join(JOURNAL_FILE)).expect("read"), bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicates_and_tears_are_dropped() {
+        let dir = fresh_dir("dirty");
+        let mut bytes = seed_journal(&dir, 3);
+        let spans = record_spans(&bytes);
+        // Duplicate record 0, then tear the file mid-way through the
+        // duplicate's copy of record 1 appended after it.
+        let dup = bytes[spans[0].start..spans[0].end].to_vec();
+        bytes.extend_from_slice(&dup);
+        let torn = bytes[spans[1].start..spans[1].start + 12].to_vec();
+        bytes.extend_from_slice(&torn);
+        std::fs::write(dir.join(JOURNAL_FILE), &bytes).expect("corrupt");
+
+        let report = compact(&dir, EPOCH, TIMEOUT).expect("compact");
+        assert!(report.rewritten);
+        assert_eq!(report.records, 3);
+        assert_eq!(report.dropped.len(), 2, "{:?}", report.dropped);
+        assert!(report
+            .dropped
+            .iter()
+            .any(|d| d.kind == JournalDefectKind::DuplicateKey));
+        assert!(report
+            .dropped
+            .iter()
+            .any(|d| d.kind == JournalDefectKind::TornTail));
+        assert!(report.bytes_after < report.bytes_before);
+        // The compacted journal round-trips clean.
+        let reread = std::fs::read(dir.join(JOURNAL_FILE)).expect("read");
+        let reloaded = crate::journal::load_bytes(&reread, EPOCH);
+        assert!(reloaded.defects.is_empty(), "{:?}", reloaded.defects);
+        assert_eq!(reloaded.records.len(), 3);
+        // Idempotence: a second compaction is the fast path.
+        let again = compact(&dir, EPOCH, TIMEOUT).expect("recompact");
+        assert!(!again.rewritten);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_epoch_records_are_purged() {
+        let dir = fresh_dir("stale");
+        let mut bytes = MAGIC.to_vec();
+        let req = request(0);
+        bytes.extend_from_slice(&encode_record(
+            EPOCH + 1, // a different epoch: stale under EPOCH
+            req.fingerprint(),
+            &req.label(),
+            &artifact(1),
+        ));
+        let keep = request(1);
+        bytes.extend_from_slice(&encode_record(
+            EPOCH,
+            keep.fingerprint(),
+            &keep.label(),
+            &artifact(2),
+        ));
+        std::fs::write(dir.join(JOURNAL_FILE), &bytes).expect("seed");
+
+        let report = compact(&dir, EPOCH, TIMEOUT).expect("compact");
+        assert!(report.rewritten);
+        assert_eq!(report.records, 1);
+        assert_eq!(report.dropped.len(), 1);
+        assert_eq!(report.dropped[0].kind, JournalDefectKind::StaleEpoch);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_compacts_to_nothing() {
+        let dir = fresh_dir("missing");
+        let report = compact(&dir, EPOCH, TIMEOUT).expect("compact");
+        assert_eq!(report.records, 0);
+        assert!(!report.rewritten);
+        assert!(
+            !dir.join(JOURNAL_FILE).exists(),
+            "compaction must not create a journal"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_does_not_lose_a_racing_append() {
+        let dir = fresh_dir("race");
+        seed_journal(&dir, 2);
+        // An appender lands record 2 through the locked writer...
+        let (mut writer, _) = JournalWriter::open(&dir, EPOCH, true).expect("open");
+        let req = request(2);
+        assert!(writer
+            .append(req.fingerprint(), &req.label(), &artifact(3))
+            .expect("append"));
+        // ...and a compaction right after must keep all three records.
+        let report = compact(&dir, EPOCH, TIMEOUT).expect("compact");
+        assert_eq!(report.records, 3);
+        assert!(!report.rewritten, "locked appends already publish canonically");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_renders_both_paths() {
+        let clean = CompactReport {
+            records: 4,
+            dropped: Vec::new(),
+            bytes_before: 100,
+            bytes_after: 100,
+            rewritten: false,
+        };
+        let text = clean.render(Path::new("/tmp/c"));
+        assert!(text.contains("already clean"), "{text}");
+        let dirty = CompactReport { rewritten: true, bytes_after: 80, ..clean };
+        let text = dirty.render(Path::new("/tmp/c"));
+        assert!(text.contains("100 -> 80 bytes"), "{text}");
+        assert!(!text.contains("already clean"), "{text}");
+    }
+}

@@ -25,6 +25,27 @@
 //! truncates the journal; the loader treats that (and every other
 //! corruption) as a *recoverable, typed* event.
 //!
+//! # Multi-process coordination
+//!
+//! Several `repro` processes may share one cache directory. Every
+//! republish happens under the advisory [`crate::lock`] file lock, and
+//! every acquisition starts with *merge-on-reload*: re-read the journal,
+//! fold in records another process landed since our last read, and only
+//! then append — so concurrent writers interleave without ever losing
+//! each other's records. The published image is always the *canonical*
+//! encoding (records in fingerprint order), which makes the final
+//! journal byte-identical no matter how appends interleaved.
+//!
+//! On top of the lock, [`JournalSession`] coordinates *exactly-once
+//! execution*: before running a request, a session consults the journal
+//! (someone already landed it → reuse), then the claims registry
+//! (someone live is running it right now → wait), and otherwise claims
+//! the fingerprint itself and executes. A claim whose owner died is
+//! simply taken over. A non-resume open *truncates* the journal only
+//! when no other live writer session is registered; otherwise it joins
+//! the in-flight campaign and reuses its records — so `N` concurrent
+//! invocations cooperatively fill one cache.
+//!
 //! # Defect taxonomy
 //!
 //! Loading verifies every record and classifies anything wrong as a
@@ -56,6 +77,10 @@
 //! into a permanent one.
 
 use crate::fingerprint::{current_epoch, RECORD_VERSION};
+use crate::lock::{
+    self, fresh_token, sweep_lock_debris, Claims, LockConfig, LockError, LockErrorKind, Sessions,
+    DEFAULT_LOCK_TIMEOUT,
+};
 use crate::plan::Plan;
 use crate::pool::{
     classify_guard_failure, deadline_limits, supervise_with, ExecutedPlan, RunTiming,
@@ -63,13 +88,13 @@ use crate::pool::{
 use crate::supervise::{RunFailure, SuperviseConfig};
 use interp_core::serial::{fnv1a, ByteReader, ByteWriter};
 use interp_core::{RunArtifact, RunRequest};
-use std::collections::BTreeMap;
-use std::fmt;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use std::fmt;
 
 /// Journal file magic: identifies the format family; the per-record
 /// version tag governs compatibility within it.
@@ -85,6 +110,10 @@ pub const DEFAULT_CACHE_DIR: &str = ".repro-cache";
 /// Exit status of a process that deliberately crashed via
 /// [`JournalConfig::crash_after_appends`] (the crash-resume harness).
 pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// How long a waiter sleeps before re-polling a fingerprint another
+/// live session has claimed.
+const CLAIM_POLL: Duration = Duration::from_millis(5);
 
 /// Smallest possible `len` field: version + epoch + fingerprint + empty
 /// label + empty payload is impossible (payload is never empty), but the
@@ -123,6 +152,16 @@ impl JournalDefectKind {
             JournalDefectKind::DuplicateKey => "duplicate-key",
         }
     }
+
+    /// Every kind, in report order — the axis of
+    /// [`LoadedJournal::defect_counts`].
+    pub const ALL: [JournalDefectKind; 5] = [
+        JournalDefectKind::TornTail,
+        JournalDefectKind::BadChecksum,
+        JournalDefectKind::BadVersion,
+        JournalDefectKind::StaleEpoch,
+        JournalDefectKind::DuplicateKey,
+    ];
 }
 
 /// One detected-and-recovered journal corruption event.
@@ -143,13 +182,27 @@ impl fmt::Display for JournalDefect {
     }
 }
 
-/// A journal I/O failure (the only *error* the journal can raise —
+/// Which failure family a [`JournalError`] belongs to — the CLI maps
+/// these onto distinct exit codes (4 = I/O, 5 = lock timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalErrorKind {
+    /// A filesystem operation on the journal or its cache dir failed.
+    Io,
+    /// The advisory lock stayed held by a live process past the
+    /// configured timeout.
+    LockTimeout,
+}
+
+/// A journal operation failure (the only *error* the journal can raise —
 /// corruption is a recoverable [`JournalDefect`], not an error).
 #[derive(Debug, Clone)]
 pub struct JournalError {
+    /// The failure family (drives the CLI exit code).
+    pub kind: JournalErrorKind,
     /// The file or directory the operation touched.
     pub path: PathBuf,
-    /// The failing operation (`create-dir`, `read`, `write`, `rename`).
+    /// The failing operation (`create-dir`, `read`, `write`, `rename`,
+    /// `lock`).
     pub op: &'static str,
     /// The underlying OS error text.
     pub detail: String,
@@ -163,8 +216,27 @@ impl fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
-fn io_err(path: &Path, op: &'static str, e: std::io::Error) -> JournalError {
-    JournalError { path: path.to_path_buf(), op, detail: e.to_string() }
+pub(crate) fn io_err(path: &Path, op: &'static str, e: std::io::Error) -> JournalError {
+    JournalError {
+        kind: JournalErrorKind::Io,
+        path: path.to_path_buf(),
+        op,
+        detail: e.to_string(),
+    }
+}
+
+/// Lift a lock failure into the journal's error type, preserving the
+/// timeout-vs-I/O distinction for the CLI exit code.
+pub(crate) fn lock_err(e: LockError) -> JournalError {
+    JournalError {
+        kind: match e.kind {
+            LockErrorKind::Timeout => JournalErrorKind::LockTimeout,
+            LockErrorKind::Io => JournalErrorKind::Io,
+        },
+        path: e.path.clone(),
+        op: "lock",
+        detail: e.detail,
+    }
 }
 
 /// One valid record recovered from the journal.
@@ -187,6 +259,20 @@ pub struct LoadedJournal {
     pub records: BTreeMap<u64, JournalRecord>,
     /// Corruption events, in file order.
     pub defects: Vec<JournalDefect>,
+}
+
+impl LoadedJournal {
+    /// Defects bucketed by kind label, in taxonomy order, zero-count
+    /// kinds omitted — the structural counterpart of the stderr defect
+    /// report (tests and `repro status` read this instead of scraping
+    /// text).
+    pub fn defect_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for defect in &self.defects {
+            *counts.entry(defect.kind.label()).or_insert(0) += 1;
+        }
+        counts
+    }
 }
 
 /// Byte extents of one record as framed in the file — support for the
@@ -220,6 +306,25 @@ pub fn encode_record(epoch: u64, fingerprint: u64, label: &str, artifact: &RunAr
     let mut bytes = out.into_bytes();
     bytes.extend_from_slice(body.bytes());
     bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Encode the *canonical* journal image of a record set: the magic
+/// header followed by every record in fingerprint order. Because every
+/// publish emits this form, the on-disk journal is a pure function of
+/// its record set — byte-identical however many writers interleaved to
+/// produce it, which is also what makes compaction's clean-journal fast
+/// path a plain byte comparison.
+pub fn encode_image(records: &BTreeMap<u64, JournalRecord>, epoch: u64) -> Vec<u8> {
+    let mut bytes = MAGIC.to_vec();
+    for record in records.values() {
+        bytes.extend_from_slice(&encode_record(
+            epoch,
+            record.fingerprint,
+            &record.label,
+            &record.artifact,
+        ));
+    }
     bytes
 }
 
@@ -424,62 +529,154 @@ pub fn load_file(path: &Path, epoch: u64) -> Result<LoadedJournal, JournalError>
     }
 }
 
-/// The crash-consistent journal writer: holds the full journal image in
-/// memory and republishes it atomically (write temp → fsync → rename)
-/// on every append.
+/// Atomically publish `bytes` as the file at `path`: write a temp file
+/// in the same directory, fsync it, rename it over the target, and
+/// best-effort fsync the directory. Shared by the journal writer and
+/// compaction.
+pub(crate) fn publish_bytes(path: &Path, bytes: &[u8]) -> Result<(), JournalError> {
+    let tmp = path.with_extension("journal.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, "write", e))?;
+        f.write_all(bytes).map_err(|e| io_err(&tmp, "write", e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, "fsync", e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, "rename", e))?;
+    // Best-effort directory fsync so the rename itself is durable;
+    // not all filesystems support it, and the rename's atomicity
+    // does not depend on it.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The crash-consistent, lock-coordinated journal writer: holds the
+/// record set in memory and republishes the canonical image atomically
+/// (write temp → fsync → rename) on every append, with the advisory
+/// file lock held and a merge-on-reload pass folding in records other
+/// processes landed since our last read.
 #[derive(Debug)]
 pub struct JournalWriter {
     path: PathBuf,
-    raw: Vec<u8>,
     epoch: u64,
+    lock: LockConfig,
+    records: BTreeMap<u64, JournalRecord>,
     appended: u64,
 }
 
 impl JournalWriter {
-    /// Open (and heal) the journal in `dir`. With `resume`, existing
-    /// valid records are kept — the healed image (defective records
-    /// dropped, valid ones re-encoded byte-identically) is republished
-    /// immediately. Without `resume`, any existing journal is replaced
-    /// by an empty one.
+    /// Open (and heal) the journal in `dir` as an anonymous session with
+    /// the default lock timeout. With `resume`, existing valid records
+    /// are kept — the healed canonical image (defective records dropped,
+    /// valid ones re-encoded) is republished immediately. Without
+    /// `resume`, any existing journal is replaced by an empty one
+    /// *unless* another live writer session is registered, in which case
+    /// the open joins the in-flight campaign and keeps its records.
     pub fn open(
         dir: &Path,
         epoch: u64,
         resume: bool,
     ) -> Result<(JournalWriter, LoadedJournal), JournalError> {
+        JournalWriter::open_with(dir, epoch, resume, &fresh_token(), DEFAULT_LOCK_TIMEOUT, false)
+    }
+
+    /// [`JournalWriter::open`] with an explicit session identity: the
+    /// whole open — stale-state sweep, campaign-join decision, load, and
+    /// canonical republish — happens under one hold of the journal lock,
+    /// and with `register` the session lands in the writers registry
+    /// *before* the lock is released, so a concurrent opener can never
+    /// truncate records this session is about to rely on.
+    pub fn open_with(
+        dir: &Path,
+        epoch: u64,
+        resume: bool,
+        token: &str,
+        lock_timeout: Duration,
+        register: bool,
+    ) -> Result<(JournalWriter, LoadedJournal), JournalError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, "create-dir", e))?;
-        let path = dir.join(JOURNAL_FILE);
-        let loaded = if resume { load_file(&path, epoch)? } else { LoadedJournal::default() };
-        let mut raw = MAGIC.to_vec();
-        for record in loaded.records.values() {
-            raw.extend_from_slice(&encode_record(
-                epoch,
-                record.fingerprint,
-                &record.label,
-                &record.artifact,
-            ));
+        sweep_lock_debris(dir);
+        let lock_config = LockConfig::for_dir(dir, token, epoch).with_timeout(lock_timeout);
+        let guard = lock::acquire(&lock_config).map_err(lock_err)?;
+        let sessions = Sessions::new(dir);
+        sessions.sweep_stale();
+        Claims::new(dir).sweep_stale(&sessions);
+        if register {
+            sessions
+                .register(token)
+                .map_err(|e| io_err(&dir.join(lock::WRITERS_DIR), "write", e))?;
         }
-        let writer = JournalWriter { path, raw, epoch, appended: 0 };
+        let path = dir.join(JOURNAL_FILE);
+        // Campaign join: a fresh (non-resume) run may only wipe the
+        // journal when nobody else is writing it; with live writers
+        // registered, their records are the campaign's shared state.
+        let join = !resume && sessions.live_others(token) > 0;
+        let loaded =
+            if resume || join { load_file(&path, epoch)? } else { LoadedJournal::default() };
+        let writer = JournalWriter {
+            path,
+            epoch,
+            lock: lock_config,
+            records: loaded.records.clone(),
+            appended: 0,
+        };
         writer.persist()?;
+        drop(guard);
         Ok((writer, loaded))
     }
 
-    /// Append one completed artifact and republish the journal
-    /// atomically. On return the record is durable.
+    /// Append one completed artifact: take the lock, merge-on-reload,
+    /// and — if no other process landed this fingerprint meanwhile —
+    /// insert the record and republish the canonical image. Returns
+    /// whether the record was actually appended (`false` means a
+    /// concurrent writer got there first; the journal already holds an
+    /// equivalent record). On `Ok(true)` the record is durable.
     pub fn append(
         &mut self,
         fingerprint: u64,
         label: &str,
         artifact: &RunArtifact,
-    ) -> Result<(), JournalError> {
-        self.raw
-            .extend_from_slice(&encode_record(self.epoch, fingerprint, label, artifact));
+    ) -> Result<bool, JournalError> {
+        let _guard = lock::acquire(&self.lock).map_err(lock_err)?;
+        self.reload_merge()?;
+        if self.records.contains_key(&fingerprint) {
+            return Ok(false);
+        }
+        self.records.insert(
+            fingerprint,
+            JournalRecord {
+                fingerprint,
+                label: label.to_string(),
+                artifact: artifact.clone(),
+            },
+        );
         self.persist()?;
         self.appended += 1;
+        Ok(true)
+    }
+
+    /// Fold in records that appeared on disk since our last read (landed
+    /// by another process). Our in-memory records win ties — they are
+    /// either identical (deterministic runs) or ours came first. Must be
+    /// called with the journal lock held.
+    fn reload_merge(&mut self) -> Result<(), JournalError> {
+        let on_disk = load_file(&self.path, self.epoch)?;
+        for (fingerprint, record) in on_disk.records {
+            self.records.entry(fingerprint).or_insert(record);
+        }
         Ok(())
     }
 
+    /// The record currently held for `fingerprint`, if any (reflects the
+    /// last merge; call under the coordinator for a fresh view).
+    pub fn record(&self, fingerprint: u64) -> Option<&JournalRecord> {
+        self.records.get(&fingerprint)
+    }
+
     /// Appends performed by this writer (excludes records inherited on
-    /// open) — the crash-harness counter.
+    /// open or merged from other writers) — the crash-harness counter.
     pub fn appends(&self) -> u64 {
         self.appended
     }
@@ -489,26 +686,132 @@ impl JournalWriter {
         &self.path
     }
 
-    /// Write the in-memory image to `<journal>.tmp`, fsync it, and
-    /// atomically rename it over the journal. Readers (and a future
-    /// crash recovery) see either the old image or the new one.
+    /// This writer's lock configuration (session identity included).
+    pub fn lock_config(&self) -> &LockConfig {
+        &self.lock
+    }
+
+    /// Publish the canonical image of the in-memory record set.
     fn persist(&self) -> Result<(), JournalError> {
-        let tmp = self.path.with_extension("journal.tmp");
-        {
-            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, "write", e))?;
-            f.write_all(&self.raw).map_err(|e| io_err(&tmp, "write", e))?;
-            f.sync_all().map_err(|e| io_err(&tmp, "fsync", e))?;
+        publish_bytes(&self.path, &encode_image(&self.records, self.epoch))
+    }
+}
+
+/// What the coordinator decided about one request.
+#[derive(Debug)]
+pub enum Gate {
+    /// The journal already holds a valid record — use this artifact,
+    /// do not execute.
+    Reuse(RunArtifact),
+    /// The fingerprint is claimed by this session; execute, then
+    /// [`JournalSession::commit`] or [`JournalSession::abandon`].
+    Execute,
+    /// Another live session is executing this fingerprint right now;
+    /// poll again shortly.
+    Wait,
+}
+
+/// The exactly-once execution coordinator for one journaled campaign:
+/// wraps the shared [`JournalWriter`] with the claims registry so that
+/// concurrent sessions partition a plan dynamically — every fingerprint
+/// is executed by exactly one live session and everyone else reuses the
+/// committed record.
+#[derive(Debug)]
+pub struct JournalSession {
+    writer: Mutex<JournalWriter>,
+    sessions: Sessions,
+    claims: Claims,
+    token: String,
+    crash_after: Option<u64>,
+}
+
+impl JournalSession {
+    /// Wrap an opened (registered) writer for coordinated execution.
+    pub fn new(writer: JournalWriter, dir: &Path, crash_after: Option<u64>) -> JournalSession {
+        let token = writer.lock_config().token.clone();
+        JournalSession {
+            writer: Mutex::new(writer),
+            sessions: Sessions::new(dir),
+            claims: Claims::new(dir),
+            token,
+            crash_after,
         }
-        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, "rename", e))?;
-        // Best-effort directory fsync so the rename itself is durable;
-        // not all filesystems support it, and the rename's atomicity
-        // does not depend on it.
-        if let Some(dir) = self.path.parent() {
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
+    }
+
+    /// Gate one request: under the journal lock, merge-on-reload and
+    /// check the journal (→ [`Gate::Reuse`]), then the claims registry
+    /// (live foreign claim → [`Gate::Wait`]); otherwise claim the
+    /// fingerprint for this session (→ [`Gate::Execute`]). A claim whose
+    /// session died is taken over here — claiming on top of it.
+    pub fn begin(&self, request: &RunRequest) -> Result<Gate, JournalError> {
+        let mut writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let lock_config = writer.lock_config().clone();
+        let _guard = lock::acquire(&lock_config).map_err(lock_err)?;
+        writer.reload_merge()?;
+        let fingerprint = request.fingerprint();
+        if let Some(record) = writer.record(fingerprint) {
+            if record.label == request.label() {
+                return Ok(Gate::Reuse(record.artifact.clone()));
             }
+            // A fingerprint hit whose label disagrees is a key collision
+            // (or a tampered record): distrust it and execute ourselves.
         }
-        Ok(())
+        if self.claims.live_by_other(fingerprint, &self.token, &self.sessions) {
+            return Ok(Gate::Wait);
+        }
+        self.claims
+            .claim(fingerprint, &self.token)
+            .map_err(|e| io_err(&lock_config.path, "write", e))?;
+        Ok(Gate::Execute)
+    }
+
+    /// Commit one executed artifact: locked append (merge-on-reload
+    /// inside), then claim release. Returns whether the record was
+    /// actually appended (`false`: a concurrent writer landed an
+    /// equivalent record first). The crash harness fires here, *after*
+    /// the append is durable and while the writer mutex still serializes
+    /// in-process appends — so "crash after N appends" is exact.
+    pub fn commit(
+        &self,
+        request: &RunRequest,
+        artifact: &RunArtifact,
+    ) -> Result<bool, JournalError> {
+        let fingerprint = request.fingerprint();
+        let mut writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let appended = match writer.append(fingerprint, &request.label(), artifact) {
+            Ok(appended) => appended,
+            Err(e) => {
+                drop(writer);
+                self.claims.release(fingerprint);
+                return Err(e);
+            }
+        };
+        if appended && self.crash_after.is_some_and(|n| writer.appends() >= n) {
+            self.claims.release(fingerprint);
+            // The crash harness: die *after* the append is durable,
+            // exactly like a power cut between runs.
+            eprintln!(
+                "journal: deliberate crash after {} append(s) (crash harness)",
+                writer.appends()
+            );
+            std::process::exit(CRASH_EXIT_CODE);
+        }
+        drop(writer);
+        self.claims.release(fingerprint);
+        Ok(appended)
+    }
+
+    /// Release this session's claim on a request that failed or
+    /// panicked, so waiters (and retries) can take it over.
+    pub fn abandon(&self, request: &RunRequest) {
+        self.claims.release(request.fingerprint());
+    }
+
+    /// End the campaign: deregister the writer session (claims are
+    /// already released per-request; a crashed session's leftovers are
+    /// swept by the next opener).
+    pub fn finish(&self) {
+        self.sessions.deregister(&self.token);
     }
 }
 
@@ -518,11 +821,15 @@ pub struct JournalConfig {
     /// Cache directory holding the journal file.
     pub dir: PathBuf,
     /// Load existing records before executing (otherwise the journal is
-    /// rewritten from scratch).
+    /// rewritten from scratch — unless live concurrent writers are
+    /// registered, in which case their campaign is joined).
     pub resume: bool,
     /// The code/config epoch to stamp and verify records with.
     /// [`current_epoch`] outside of tests.
     pub epoch: u64,
+    /// How long to wait for the advisory journal lock before failing
+    /// with a [`JournalErrorKind::LockTimeout`] error (CLI exit 5).
+    pub lock_timeout: Duration,
     /// Crash harness: deliberately exit the process (status
     /// [`CRASH_EXIT_CODE`]) after this many successful appends, leaving
     /// a valid journal prefix behind for `--resume` to pick up.
@@ -536,6 +843,7 @@ impl JournalConfig {
             dir: dir.into(),
             resume: false,
             epoch: current_epoch(),
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
             crash_after_appends: None,
         }
     }
@@ -552,6 +860,12 @@ impl JournalConfig {
         self
     }
 
+    /// Builder-style lock-timeout override.
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+
     /// Builder-style crash harness arm.
     pub fn with_crash_after(mut self, appends: u64) -> Self {
         self.crash_after_appends = Some(appends);
@@ -565,10 +879,17 @@ impl JournalConfig {
 pub struct ResumeReport {
     /// Requests in the plan.
     pub planned: usize,
-    /// Requests satisfied by journal records (not re-executed).
+    /// Requests satisfied by journal records present at open (not
+    /// re-executed).
     pub reused: usize,
-    /// Requests executed this invocation.
+    /// Requests this invocation actually executed (each counted once,
+    /// however many attempts it took). Across concurrent invocations
+    /// sharing a cache, these counts sum to the plan size — the
+    /// exactly-once invariant.
     pub executed: usize,
+    /// Requests a *concurrent* writer landed while this invocation was
+    /// running — reused live instead of executed.
+    pub reused_live: usize,
     /// Successful artifacts appended to the journal this invocation.
     pub journaled: usize,
     /// Corruption events detected and healed during load.
@@ -583,9 +904,14 @@ pub struct ResumeReport {
 pub fn render_resume_report(report: &ResumeReport, dir: &Path) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
+    let live = if report.reused_live > 0 {
+        format!(", reused {} live from concurrent writer(s)", report.reused_live)
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "journal {}: reused {} of {} planned run(s), executed {}, journaled {}",
+        "journal {}: reused {} of {} planned run(s), executed {}, journaled {}{live}",
         dir.display(),
         report.reused,
         report.planned,
@@ -620,12 +946,18 @@ pub fn execute_journaled(
 /// The journaled-execution core with an injectable per-attempt runner
 /// (tests count executions here). Semantics:
 ///
-/// 1. Open the journal (healing defects; loading records iff `resume`).
+/// 1. Open the journal under the lock (healing defects; loading records
+///    iff `resume` — or iff live concurrent writers are registered, the
+///    campaign-join case) and register this session as a writer.
 /// 2. Serve every planned request whose `(fingerprint, epoch)` key has a
 ///    valid record — a *reused* slot with zero duration and 0 attempts.
-/// 3. Execute the residual plan under the normal supervisor; every
-///    *successful* artifact is appended (durable before the pool moves
-///    on). Degraded runs are never journaled.
+/// 3. Execute the residual plan under the normal supervisor, gating
+///    every run through the [`JournalSession`] coordinator: a record
+///    another process landed meanwhile is reused live; a fingerprint a
+///    live session has claimed is waited on; everything else is claimed,
+///    executed, and committed (durable before the pool moves on).
+///    Degraded runs are never journaled; their claims are abandoned so
+///    waiters can take over.
 /// 4. Return the merged [`ExecutedPlan`] — byte-identical store content
 ///    to a cold run, whatever mix of reuse and execution produced it.
 pub fn execute_journaled_with<F>(
@@ -639,7 +971,15 @@ where
     F: Fn(&RunRequest, u32) -> Result<RunArtifact, RunFailure> + Sync,
 {
     let started = Instant::now();
-    let (writer, loaded) = JournalWriter::open(&journal.dir, journal.epoch, journal.resume)?;
+    let token = fresh_token();
+    let (writer, loaded) = JournalWriter::open_with(
+        &journal.dir,
+        journal.epoch,
+        journal.resume,
+        &token,
+        journal.lock_timeout,
+        true,
+    )?;
     let mut report = ResumeReport {
         planned: plan.len(),
         defects: loaded.defects.clone(),
@@ -673,38 +1013,88 @@ where
         }
     }
     report.reused = reused.len();
-    report.executed = residual.len();
 
     let residual_plan = Plan::build(residual);
-    let writer = Mutex::new(writer);
-    let write_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let session = JournalSession::new(writer, &journal.dir, journal.crash_after_appends);
+    let executed_fps: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    let reused_live = AtomicUsize::new(0);
     let journaled = AtomicUsize::new(0);
-    let crash_after = journal.crash_after_appends;
-    let executed = supervise_with(&residual_plan, jobs, config, |request, attempt| {
-        let result = run(request, attempt);
-        if let Ok(artifact) = &result {
-            let mut w = writer.lock().unwrap_or_else(|poison| poison.into_inner());
-            match w.append(request.fingerprint(), &request.label(), artifact) {
-                Ok(()) => {
-                    journaled.fetch_add(1, Ordering::Relaxed);
-                    if crash_after.is_some_and(|n| w.appends() >= n) {
-                        // The crash harness: die *after* the append is
-                        // durable, exactly like a power cut between runs.
-                        eprintln!(
-                            "journal: deliberate crash after {} append(s) (crash harness)",
-                            w.appends()
-                        );
-                        std::process::exit(CRASH_EXIT_CODE);
-                    }
-                }
-                Err(e) => write_errors
-                    .lock()
-                    .unwrap_or_else(|poison| poison.into_inner())
-                    .push(e.to_string()),
+    let write_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let fatal: Mutex<Option<JournalError>> = Mutex::new(None);
+    let note_error = |e: &JournalError| {
+        if e.kind == JournalErrorKind::LockTimeout {
+            let mut slot = fatal.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.is_none() {
+                *slot = Some(e.clone());
             }
+        }
+        write_errors
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(e.to_string());
+    };
+    let executed = supervise_with(&residual_plan, jobs, config, |request, attempt| {
+        // Gate through the coordinator until this request is either
+        // served (a concurrent writer landed it) or claimed by us.
+        loop {
+            match session.begin(request) {
+                Ok(Gate::Reuse(artifact)) => {
+                    reused_live.fetch_add(1, Ordering::Relaxed);
+                    return Ok(artifact);
+                }
+                Ok(Gate::Wait) => std::thread::sleep(CLAIM_POLL),
+                Ok(Gate::Execute) => break,
+                Err(e) => {
+                    note_error(&e);
+                    if e.kind == JournalErrorKind::LockTimeout {
+                        return Err(RunFailure::faulted(
+                            attempt,
+                            format!("journal coordination lost: {e}"),
+                        ));
+                    }
+                    // Degraded coordination: execute unclaimed rather
+                    // than losing the run (worst case is a duplicate
+                    // execution, never lost data).
+                    break;
+                }
+            }
+        }
+        executed_fps
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(request.fingerprint());
+        // A panicking run must not leave its claim behind — release it,
+        // then let the pool's own catch_unwind classify the panic.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(request, attempt)));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                session.abandon(request);
+                std::panic::resume_unwind(payload);
+            }
+        };
+        match &result {
+            Ok(artifact) => match session.commit(request, artifact) {
+                Ok(true) => {
+                    journaled.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(false) => {} // a concurrent writer landed it first
+                Err(e) => note_error(&e),
+            },
+            Err(_) => session.abandon(request),
         }
         result
     });
+    session.finish();
+    if let Some(e) = fatal.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
+    report.executed = executed_fps
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner())
+        .len();
+    report.reused_live = reused_live.load(Ordering::Relaxed);
     report.journaled = journaled.load(Ordering::Relaxed);
     report.write_errors = write_errors.into_inner().unwrap_or_else(|p| p.into_inner());
 
@@ -876,6 +1266,20 @@ mod tests {
     }
 
     #[test]
+    fn defect_counts_bucket_by_kind() {
+        let mut bytes = journal_with(3, 7);
+        let spans = record_spans(&bytes);
+        bytes[spans[0].payload_start] ^= 0x01;
+        bytes[spans[1].payload_start] ^= 0x01;
+        let cut = spans[2].start + 6;
+        let loaded = load_bytes(&bytes[..cut], 7);
+        let counts = loaded.defect_counts();
+        assert_eq!(counts.get("bad-checksum"), Some(&2));
+        assert_eq!(counts.get("torn-tail"), Some(&1));
+        assert_eq!(counts.get("stale-epoch"), None);
+    }
+
+    #[test]
     fn writer_heals_defects_on_open() {
         let dir = std::env::temp_dir().join(format!("interp-journal-heal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -917,11 +1321,97 @@ mod tests {
     }
 
     #[test]
+    fn non_resume_open_joins_a_live_campaign() {
+        let dir = std::env::temp_dir().join(format!("interp-journal-join-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join(JOURNAL_FILE), journal_with(2, 7)).expect("seed journal");
+        // A live writer session is registered: a non-resume open must
+        // NOT truncate — it joins the campaign and keeps the records.
+        Sessions::new(&dir).register("live-writer").expect("register");
+        let (writer, loaded) = JournalWriter::open_with(
+            &dir,
+            7,
+            false,
+            "joiner",
+            Duration::from_secs(5),
+            true,
+        )
+        .expect("open");
+        assert_eq!(loaded.records.len(), 2, "campaign join must keep records");
+        assert!(writer.record(request(0).fingerprint()).is_some());
+        // Both sessions are now registered.
+        assert_eq!(Sessions::new(&dir).all().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_merges_concurrent_records_instead_of_losing_them() {
+        let dir =
+            std::env::temp_dir().join(format!("interp-journal-merge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let (mut a, _) = JournalWriter::open(&dir, 7, false).expect("open a");
+        // Writer B (a second handle on the same journal) lands record 0.
+        let (mut b, _) = JournalWriter::open_with(
+            &dir,
+            7,
+            false,
+            "writer-b",
+            Duration::from_secs(5),
+            false,
+        )
+        .expect("open b");
+        assert!(b
+            .append(request(0).fingerprint(), &request(0).label(), &artifact(1))
+            .expect("append b"));
+        // Writer A appends record 1 — the merge-on-reload must fold in
+        // B's record 0 rather than overwrite it with A's stale image.
+        assert!(a
+            .append(request(1).fingerprint(), &request(1).label(), &artifact(2))
+            .expect("append a"));
+        let loaded = load_file(&dir.join(JOURNAL_FILE), 7).expect("load");
+        assert!(loaded.defects.is_empty(), "{:?}", loaded.defects);
+        assert_eq!(loaded.records.len(), 2, "concurrent append lost a record");
+        // A second append of an already-landed fingerprint is a no-op.
+        assert!(!a
+            .append(request(0).fingerprint(), &request(0).label(), &artifact(9))
+            .expect("duplicate append"));
+        assert_eq!(a.appends(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_image_is_canonical_across_append_orders() {
+        let base = std::env::temp_dir().join(format!(
+            "interp-journal-canon-{}",
+            std::process::id()
+        ));
+        let mut images = Vec::new();
+        for (tag, order) in [("fwd", [0usize, 1, 2]), ("rev", [2, 1, 0])] {
+            let dir = base.join(tag);
+            let _ = std::fs::remove_dir_all(&dir);
+            let (mut w, _) = JournalWriter::open(&dir, 7, false).expect("open");
+            for i in order {
+                w.append(request(i).fingerprint(), &request(i).label(), &artifact(i as u64 + 1))
+                    .expect("append");
+            }
+            images.push(std::fs::read(dir.join(JOURNAL_FILE)).expect("read"));
+        }
+        assert_eq!(
+            images[0], images[1],
+            "canonical image must not depend on append order"
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
     fn resume_report_renders_summary_and_defects() {
         let report = ResumeReport {
             planned: 10,
             reused: 6,
             executed: 4,
+            reused_live: 0,
             journaled: 4,
             defects: vec![JournalDefect {
                 kind: JournalDefectKind::TornTail,
@@ -934,5 +1424,10 @@ mod tests {
         assert!(text.contains("reused 6 of 10"), "{text}");
         assert!(text.contains("torn-tail @byte 42"), "{text}");
         assert!(text.contains("disk full"), "{text}");
+        assert!(!text.contains("live from concurrent"), "{text}");
+
+        let live = ResumeReport { reused_live: 3, ..report };
+        let text = render_resume_report(&live, Path::new("/tmp/cache"));
+        assert!(text.contains("reused 3 live from concurrent writer(s)"), "{text}");
     }
 }

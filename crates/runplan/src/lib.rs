@@ -45,24 +45,43 @@
 //! classified as a typed [`JournalDefect`], reported, and healed by
 //! requeuing the affected runs. Resumed output is byte-identical to a
 //! cold run at any job count.
+//!
+//! Coordination: the [`lock`] module makes the cache safe to *share*.
+//! Every journal republish happens under an advisory file lock (atomic
+//! hard-link acquisition, stale-lock takeover from dead holders) with a
+//! merge-on-reload pass folding in records concurrent processes landed;
+//! a per-fingerprint claims registry gives N concurrent invocations
+//! exactly-once execution over one cooperatively-filled cache. The
+//! [`compact`] module rewrites a corrupted or bloated journal down to
+//! its canonical image under the same lock, and [`status`] snapshots a
+//! cache (records, defects, lock holder, writers, claims) read-only.
 
 pub mod chaos;
+pub mod compact;
 pub mod exec;
 pub mod fingerprint;
 pub mod journal;
+pub mod lock;
 pub mod plan;
 pub mod pool;
+pub mod status;
 pub mod store;
 pub mod supervise;
 
 pub use chaos::{chaos_execute, render_chaos_summary, with_quiet_injected_panics, ChaosLane};
+pub use compact::{compact, CompactReport};
 pub use exec::{run_request, try_run_request};
 pub use fingerprint::{current_epoch, journal_key};
 pub use journal::{
     execute_journaled, execute_journaled_with, load_bytes, load_file, render_resume_report,
-    JournalConfig, JournalDefect, JournalDefectKind, JournalError, JournalWriter, LoadedJournal,
-    ResumeReport, DEFAULT_CACHE_DIR,
+    Gate, JournalConfig, JournalDefect, JournalDefectKind, JournalError, JournalErrorKind,
+    JournalSession, JournalWriter, LoadedJournal, ResumeReport, DEFAULT_CACHE_DIR,
 };
+pub use lock::{
+    acquire, fresh_token, pid_alive, probe, Claims, LockConfig, LockError, LockErrorKind,
+    LockGuard, LockStatus, SessionInfo, Sessions, DEFAULT_LOCK_TIMEOUT,
+};
+pub use status::{cache_status, render_cache_status, CacheStatus};
 pub use plan::Plan;
 pub use pool::{
     default_jobs, execute, execute_supervised, execute_with, render_failures, render_timings,

@@ -27,10 +27,19 @@
 #                        (exit 86 after 5 durable appends); the rerun with
 #                        --resume must reuse the journal and print stdout
 #                        byte-identical to the cold run.
-#   journal-chaos      — 12 seeds of journal corruption (torn tail, bit
-#                        flip, mid-truncation, duplicate key, stale
-#                        epoch, bad version); every defect must be
-#                        detected, classified, and healed.
+#   two-process cache  — two concurrent `repro all` processes sharing one
+#                        --cache-dir must both exit 0, execute each run
+#                        exactly once between them, and leave a journal
+#                        byte-identical to a serial cold run's; a compact
+#                        pass over it is a no-op and status reports full
+#                        coverage.
+#   journal-chaos      — 18 seeds = two full rotations of the nine lanes:
+#                        six corruption lanes (torn tail, bit flip,
+#                        mid-truncation, duplicate key, stale epoch, bad
+#                        version) each detected, classified, and healed,
+#                        plus three multi-writer lanes (interleaved
+#                        writers, stale-lock takeover, compaction raced
+#                        against an appender) each exactly-once and clean.
 #   golden snapshots   — every renderer's test-scale output must be
 #                        byte-identical to the committed goldens.
 set -euo pipefail
@@ -95,8 +104,46 @@ cmp /tmp/repro_parallel.txt /tmp/repro_resumed.txt \
 grep "^journal " /tmp/repro_resume_report.txt
 rm -rf "$CACHE"
 
-echo "== journal-chaos (seeded journal corruption: detect, classify, heal) =="
-"$REPRO" journal-chaos --seeds 12
+echo "== two-process shared cache (exactly-once split, byte-diff vs cold) =="
+COLD=/tmp/repro_coord_cold
+SHARED=/tmp/repro_coord_shared
+rm -rf "$COLD" "$SHARED"
+"$REPRO" all --scale test --jobs 4 --cache-dir "$COLD" \
+  >/tmp/repro_coord_cold.txt 2>/dev/null
+"$REPRO" all --scale test --jobs 4 --cache-dir "$SHARED" \
+  >/tmp/repro_coord_a.txt 2>/tmp/repro_coord_a.err &
+pid_a=$!
+"$REPRO" all --scale test --jobs 4 --cache-dir "$SHARED" \
+  >/tmp/repro_coord_b.txt 2>/tmp/repro_coord_b.err &
+pid_b=$!
+wait "$pid_a" || { echo "first concurrent process failed"; cat /tmp/repro_coord_a.err; exit 1; }
+wait "$pid_b" || { echo "second concurrent process failed"; cat /tmp/repro_coord_b.err; exit 1; }
+cmp /tmp/repro_coord_cold.txt /tmp/repro_coord_a.txt \
+  || { echo "first concurrent stdout differs from cold"; exit 1; }
+cmp /tmp/repro_coord_cold.txt /tmp/repro_coord_b.txt \
+  || { echo "second concurrent stdout differs from cold"; exit 1; }
+cmp "$COLD/artifacts.journal" "$SHARED/artifacts.journal" \
+  || { echo "shared-cache journal differs from the serial cold journal"; exit 1; }
+planned=$(grep "^journal " /tmp/repro_coord_a.err | sed 's/.* of \([0-9]*\) planned.*/\1/')
+executed=$(cat /tmp/repro_coord_a.err /tmp/repro_coord_b.err \
+  | grep "^journal " | sed 's/.*executed \([0-9]*\),.*/\1/' | awk '{s+=$1} END {print s}')
+[ "$executed" = "$planned" ] \
+  || { echo "exactly-once violated: $executed executed across the pair, $planned planned"; exit 1; }
+echo "two processes split $planned runs exactly-once ($executed executed total)"
+"$REPRO" compact --cache-dir "$SHARED" | grep "already clean" \
+  || { echo "cooperatively-filled journal was not canonical"; exit 1; }
+"$REPRO" status --cache-dir "$SHARED" | grep "100% reuse" \
+  || { echo "status does not report full coverage"; exit 1; }
+rm -rf "$COLD" "$SHARED"
+
+echo "== bench trajectory (JSON artifact smoke) =="
+"$REPRO" bench --scale test --jobs 4 --out /tmp/repro_bench.json >/dev/null
+grep -q '"schema": "bench-trajectory/1"' /tmp/repro_bench.json \
+  || { echo "bench trajectory missing schema marker"; exit 1; }
+rm -f /tmp/repro_bench.json
+
+echo "== journal-chaos (corruption + multi-writer lanes, 2 full rotations) =="
+"$REPRO" journal-chaos --seeds 18
 
 echo "== golden snapshots (byte-diff vs committed renders) =="
 cargo test -q -p interp-harness --test goldens \
