@@ -38,8 +38,8 @@ pub mod lower;
 pub mod shrink;
 
 pub use engine::{
-    conform, diverges, divergent_pairs, observe, render, ConformReport, Failure, Observation,
-    WITNESSES,
+    conform, conform_with, diverges, diverges_with, divergent_pairs, observe, observe_with,
+    render, witnesses_for, ConformReport, Failure, Observation, Witness, WITNESSES,
 };
 pub use gen::generate;
 pub use ir::{eval, BinOp, Cmp, Cond, Expr, Invalid, Program, Stmt};

@@ -39,6 +39,7 @@
 
 pub mod artifact;
 pub mod command;
+pub mod dispatch;
 pub mod insn;
 pub mod phase;
 pub mod profile;
@@ -49,6 +50,7 @@ pub mod workload;
 
 pub use artifact::{ConsoleDigest, CycleSummary, RunArtifact, StallShare, SweepPointSummary};
 pub use command::{CmdId, CommandSet};
+pub use dispatch::{Dispatch, DispatchFault, DispatchSelection, DispatchStrategy};
 pub use insn::{InsnKind, InsnRecord};
 pub use phase::Phase;
 pub use profile::{CommandProfile, CumulativePoint, HistogramRow};

@@ -8,6 +8,7 @@
 //! so the run-plan engine can deduplicate them across experiments and
 //! execute each distinct request exactly once.
 
+use crate::dispatch::DispatchStrategy;
 use crate::Language;
 
 /// Workload sizing: `Test` finishes in milliseconds for CI; `Paper` is
@@ -139,19 +140,28 @@ impl SinkKind {
 }
 
 /// One deduplicatable unit of work: run `workload` into a `sink`-kind
-/// measurement apparatus.
+/// measurement apparatus under a [`DispatchStrategy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RunRequest {
     /// What to run.
     pub workload: WorkloadId,
     /// What to measure it with.
     pub sink: SinkKind,
+    /// How the interpreter dispatches virtual commands. Part of the
+    /// request identity: strategies change the charged fetch/decode
+    /// path, so artifacts from different strategies never interchange.
+    pub dispatch: DispatchStrategy,
 }
 
 impl RunRequest {
-    /// Pair a workload with a sink kind.
+    /// Pair a workload with a sink kind (naive dispatch — the paper's
+    /// baseline).
     pub fn new(workload: WorkloadId, sink: SinkKind) -> Self {
-        RunRequest { workload, sink }
+        RunRequest {
+            workload,
+            sink,
+            dispatch: DispatchStrategy::Naive,
+        }
     }
 
     /// Counting-only request.
@@ -164,36 +174,52 @@ impl RunRequest {
         RunRequest::new(workload, SinkKind::Pipeline)
     }
 
+    /// The same request under `dispatch`.
+    pub fn with_dispatch(mut self, dispatch: DispatchStrategy) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// The *stronger* request whose artifact also satisfies this one, if
     /// any: a pipeline run produces everything a counting run does (the
     /// sink never feeds back into the counters), so a planner holding both
-    /// only needs the pipeline run.
+    /// only needs the pipeline run. Subsumption never crosses the
+    /// dispatch axis — each strategy's counters are its own measurement.
     pub fn subsumed_by(&self) -> Option<RunRequest> {
         match self.sink {
-            SinkKind::Counting => Some(RunRequest::new(self.workload, SinkKind::Pipeline)),
+            SinkKind::Counting => Some(
+                RunRequest::new(self.workload, SinkKind::Pipeline).with_dispatch(self.dispatch),
+            ),
             _ => None,
         }
     }
 
-    /// Compact display label (`pipeline:mipsi/des@test`).
+    /// Compact display label (`pipeline:mipsi/des@test`); non-naive
+    /// strategies carry a `+strategy` suffix
+    /// (`pipeline:mipsi/des@test+threaded`).
     pub fn label(&self) -> String {
-        format!("{}:{}", self.sink.label(), self.workload)
+        match self.dispatch {
+            DispatchStrategy::Naive => format!("{}:{}", self.sink.label(), self.workload),
+            d => format!("{}:{}+{}", self.sink.label(), self.workload, d.label()),
+        }
     }
 
     /// Stable content fingerprint of this request — the journal's
     /// lookup key. Hashes a canonical string to which every field
-    /// contributes (sink, language tag, registry kind, name, scale), so
-    /// the fingerprint survives process restarts, enum reordering, and
-    /// recompilation, unlike `Hash`/discriminant-based identities.
+    /// contributes (sink, language tag, registry kind, name, scale,
+    /// dispatch strategy), so the fingerprint survives process restarts,
+    /// enum reordering, and recompilation, unlike `Hash`/discriminant-
+    /// based identities.
     pub fn fingerprint(&self) -> u64 {
         let w = &self.workload;
         let canonical = format!(
-            "{}:{}/{}/{}@{}",
+            "{}:{}/{}/{}@{}+{}",
             self.sink.label(),
             w.language.tag(),
             w.kind.label(),
             w.name,
-            w.scale
+            w.scale,
+            self.dispatch.label()
         );
         crate::serial::fnv1a(canonical.as_bytes())
     }
@@ -242,6 +268,22 @@ mod tests {
     }
 
     #[test]
+    fn subsumption_never_crosses_the_dispatch_axis() {
+        let id = WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Test);
+        let threaded = RunRequest::counting(id).with_dispatch(DispatchStrategy::Threaded);
+        assert_eq!(
+            threaded.subsumed_by(),
+            Some(RunRequest::pipeline(id).with_dispatch(DispatchStrategy::Threaded)),
+            "a threaded counting run is only satisfied by a threaded pipeline run"
+        );
+        assert_ne!(
+            threaded.subsumed_by(),
+            Some(RunRequest::pipeline(id)),
+            "never by a naive one"
+        );
+    }
+
+    #[test]
     fn fingerprints_are_stable_and_field_sensitive() {
         let id = WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Test);
         let a = RunRequest::pipeline(id);
@@ -255,6 +297,9 @@ mod tests {
             RunRequest::pipeline(WorkloadId::macro_bench(Language::Mipsi, "des", Scale::Paper)),
             RunRequest::pipeline(WorkloadId::macro_bench(Language::Tclite, "des", Scale::Test)),
             RunRequest::pipeline(WorkloadId::micro(Language::Mipsi, "des", Scale::Test)),
+            RunRequest::pipeline(id).with_dispatch(DispatchStrategy::Threaded),
+            RunRequest::pipeline(id).with_dispatch(DispatchStrategy::Superinstr),
+            RunRequest::pipeline(id).with_dispatch(DispatchStrategy::InlineCache),
         ] {
             assert_ne!(a.fingerprint(), other.fingerprint(), "collision with {other}");
         }
@@ -265,5 +310,11 @@ mod tests {
         let id = WorkloadId::micro(Language::Perlite, "a=b+c", Scale::Paper);
         assert_eq!(id.label(), "perlite/a=b+c@paper");
         assert_eq!(RunRequest::counting(id).label(), "counting:perlite/a=b+c@paper");
+        assert_eq!(
+            RunRequest::counting(id)
+                .with_dispatch(DispatchStrategy::InlineCache)
+                .label(),
+            "counting:perlite/a=b+c@paper+inline-cache"
+        );
     }
 }

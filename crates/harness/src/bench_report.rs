@@ -1,14 +1,18 @@
 //! `repro bench`: a small committed benchmark trajectory.
 //!
 //! Executes each experiment target as its own plan, then the combined
-//! `all` plan, and reports per-target wall-clock, plan sizes, and the
+//! `all` plan, and reports per-target wall-clock, plan sizes, the
 //! cross-experiment dedup reuse ratio (how much of the naive union the
-//! shared plan avoids re-running). The JSON rendering is hand-rolled —
-//! the schema is flat and the repo takes no serialization dependency —
-//! and is what `repro bench` writes to `BENCH_trajectory.json`.
+//! shared plan avoids re-running), and the per-dispatch-strategy
+//! macro-suite instruction counts (with a hard regression gate: every
+//! fast tier must execute fewer host instructions per virtual command
+//! than its naive baseline). The JSON rendering is hand-rolled — the
+//! schema is flat and the repo takes no serialization dependency — and
+//! is what `repro bench` writes to `BENCH_trajectory.json`.
 
 use crate::experiments::{all_requests, requests_for, TARGETS};
-use crate::Scale;
+use crate::{dispatch, Scale};
+use interp_core::{DispatchSelection, DispatchStrategy};
 use interp_runplan::{execute_supervised, Plan, SuperviseConfig};
 use std::time::SystemTime;
 
@@ -21,6 +25,22 @@ pub struct BenchTarget {
     pub runs: usize,
     /// Wall-clock seconds to execute that plan.
     pub wall_s: f64,
+}
+
+/// One `(interpreter, dispatch strategy)` data point: the macro suite's
+/// host-instruction cost under that tier.
+#[derive(Debug, Clone)]
+pub struct DispatchBench {
+    /// Language tag (`mipsi`, `javelin`, ...).
+    pub language: &'static str,
+    /// Strategy label (`naive`, `threaded`, ...).
+    pub strategy: &'static str,
+    /// Virtual commands across the suite.
+    pub commands: u64,
+    /// Native instructions across the suite (excluding startup).
+    pub native_instructions: u64,
+    /// Native instructions per virtual command.
+    pub insns_per_command: f64,
 }
 
 /// The full trajectory `repro bench` emits.
@@ -43,6 +63,43 @@ pub struct BenchReport {
     /// Fraction of the naive union the shared plan never has to run:
     /// `1 - combined_plan_runs / combined_requests`.
     pub dedup_reuse_ratio: f64,
+    /// Per-strategy macro-suite instruction data, table order.
+    pub dispatch: Vec<DispatchBench>,
+}
+
+impl BenchReport {
+    /// Dispatch-tier regressions: every fast tier must execute strictly
+    /// fewer host instructions per virtual command than the same
+    /// interpreter's naive baseline on the macro suite. Returns one
+    /// message per violated pair (empty = gate passes).
+    pub fn dispatch_regressions(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for point in &self.dispatch {
+            if point.strategy == DispatchStrategy::Naive.label() {
+                continue;
+            }
+            let Some(naive) = self
+                .dispatch
+                .iter()
+                .find(|p| {
+                    p.language == point.language
+                        && p.strategy == DispatchStrategy::Naive.label()
+                })
+            else {
+                continue;
+            };
+            if point.insns_per_command >= naive.insns_per_command {
+                out.push(format!(
+                    "{} {}: {:.1} insns/cmd, not below naive's {:.1}",
+                    point.language,
+                    point.strategy,
+                    point.insns_per_command,
+                    naive.insns_per_command
+                ));
+            }
+        }
+        out
+    }
 }
 
 /// Execute the benchmark sweep: each target alone, then the shared plan.
@@ -72,6 +129,19 @@ pub fn run_bench(scale: Scale, jobs: usize, config: &SuperviseConfig) -> BenchRe
     } else {
         0.0
     };
+    // The combined plan already holds every dispatch-family artifact;
+    // read the per-strategy suite totals straight out of its store.
+    let dispatch = dispatch::dispatch_from(&executed.store, scale, &DispatchSelection::all())
+        .into_iter()
+        .filter(|row| row.degraded.is_none())
+        .map(|row| DispatchBench {
+            language: row.language.tag(),
+            strategy: row.strategy.label(),
+            commands: row.commands,
+            native_instructions: row.native_instructions,
+            insns_per_command: row.insns_per_command,
+        })
+        .collect();
     BenchReport {
         unix_ms,
         scale,
@@ -81,6 +151,7 @@ pub fn run_bench(scale: Scale, jobs: usize, config: &SuperviseConfig) -> BenchRe
         combined_plan_runs,
         combined_wall_s: executed.wall.as_secs_f64(),
         dedup_reuse_ratio,
+        dispatch,
     }
 }
 
@@ -93,7 +164,7 @@ fn r3(x: f64) -> f64 {
 pub fn render_json(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"bench-trajectory/1\",\n");
+    out.push_str("  \"schema\": \"bench-trajectory/2\",\n");
     out.push_str(&format!("  \"unix_ms\": {},\n", report.unix_ms));
     out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale.label()));
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
@@ -121,9 +192,22 @@ pub fn render_json(report: &BenchReport) -> String {
         r3(report.combined_wall_s)
     ));
     out.push_str(&format!(
-        "  \"dedup_reuse_ratio\": {}\n",
+        "  \"dedup_reuse_ratio\": {},\n",
         r3(report.dedup_reuse_ratio)
     ));
+    out.push_str("  \"dispatch\": [\n");
+    for (i, d) in report.dispatch.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"language\": \"{}\", \"strategy\": \"{}\", \"vcommands\": {}, \"native_instructions\": {}, \"insns_per_command\": {}}}{}\n",
+            d.language,
+            d.strategy,
+            d.commands,
+            d.native_instructions,
+            r3(d.insns_per_command),
+            if i + 1 == report.dispatch.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     out
 }
@@ -149,6 +233,24 @@ pub fn render_summary(report: &BenchReport) -> String {
         report.combined_requests,
         report.dedup_reuse_ratio * 100.0
     );
+    for d in &report.dispatch {
+        let _ = writeln!(
+            out,
+            "  dispatch {:<8} {:<13} {:>10.1} insns/cmd",
+            d.language, d.strategy, d.insns_per_command
+        );
+    }
+    let regressions = report.dispatch_regressions();
+    if regressions.is_empty() {
+        let _ = writeln!(
+            out,
+            "bench: dispatch tiers ok (every fast tier below its naive insns/cmd baseline)"
+        );
+    } else {
+        for r in &regressions {
+            let _ = writeln!(out, "bench: dispatch REGRESSION: {r}");
+        }
+    }
     out
 }
 
@@ -169,6 +271,22 @@ mod tests {
             combined_plan_runs: 24,
             combined_wall_s: 0.6,
             dedup_reuse_ratio: 0.2,
+            dispatch: vec![
+                DispatchBench {
+                    language: "mipsi",
+                    strategy: "naive",
+                    commands: 1000,
+                    native_instructions: 60_000,
+                    insns_per_command: 60.0,
+                },
+                DispatchBench {
+                    language: "mipsi",
+                    strategy: "threaded",
+                    commands: 1000,
+                    native_instructions: 52_000,
+                    insns_per_command: 52.0,
+                },
+            ],
         }
     }
 
@@ -177,11 +295,17 @@ mod tests {
         let text = render_json(&tiny_report());
         assert!(text.starts_with("{\n"));
         assert!(text.ends_with("}\n"));
-        assert!(text.contains("\"schema\": \"bench-trajectory/1\""), "{text}");
+        assert!(text.contains("\"schema\": \"bench-trajectory/2\""), "{text}");
         assert!(text.contains("\"scale\": \"test\""), "{text}");
         assert!(text.contains("\"name\": \"table1\", \"runs\": 10, \"wall_s\": 0.123"), "{text}");
         assert!(text.contains("\"combined_plan_runs\": 24"), "{text}");
-        assert!(text.contains("\"dedup_reuse_ratio\": 0.2"), "{text}");
+        assert!(text.contains("\"dedup_reuse_ratio\": 0.2,"), "{text}");
+        assert!(
+            text.contains(
+                "{\"language\": \"mipsi\", \"strategy\": \"threaded\", \"vcommands\": 1000, \"native_instructions\": 52000, \"insns_per_command\": 52}"
+            ),
+            "{text}"
+        );
         // No trailing comma before the array close.
         assert!(text.contains("\"wall_s\": 0.5}\n  ],"), "{text}");
         // Balanced braces and brackets.
@@ -202,6 +326,21 @@ mod tests {
         let text = render_summary(&tiny_report());
         assert!(text.contains("bench (test scale, 2 job(s))"), "{text}");
         assert!(text.contains("20% deduped away"), "{text}");
+        assert!(text.contains("dispatch tiers ok"), "{text}");
+    }
+
+    #[test]
+    fn regression_gate_catches_a_slow_fast_tier() {
+        let mut report = tiny_report();
+        assert!(report.dispatch_regressions().is_empty());
+        report.dispatch[1].insns_per_command = 60.0; // no longer below naive
+        let regressions = report.dispatch_regressions();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("mipsi threaded"), "{regressions:?}");
+        assert!(
+            render_summary(&report).contains("dispatch REGRESSION"),
+            "summary must surface the gate"
+        );
     }
 
     #[test]
@@ -219,5 +358,13 @@ mod tests {
             report.combined_requests
         );
         assert!(report.dedup_reuse_ratio > 0.0);
+        // The dispatch section covers every supported (language, tier)
+        // pair and the regression gate holds on real data.
+        assert_eq!(report.dispatch.len(), 10);
+        assert!(
+            report.dispatch_regressions().is_empty(),
+            "{:?}",
+            report.dispatch_regressions()
+        );
     }
 }

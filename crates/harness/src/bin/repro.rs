@@ -2,7 +2,7 @@
 //! robustness and conformance sweeps.
 //!
 //! ```text
-//! repro [TARGETS] [--scale test|paper] [--jobs N] [--retries N]
+//! repro [TARGETS] [--scale test|paper] [--dispatch LIST] [--jobs N] [--retries N]
 //!       [--timeout-fuel N] [--strict]
 //!       [--cache-dir DIR] [--resume] [--lock-timeout SECS] [--crash-after N]
 //! repro list [--scale test|paper]
@@ -12,7 +12,7 @@
 //! repro guard [--seeds N] [--scale test|paper]
 //! repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]
 //! repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]
-//! repro conform [--seeds N]
+//! repro conform [--seeds N] [--dispatch LIST]
 //! ```
 //!
 //! `TARGETS` is one or more experiment names, comma- or space-separated
@@ -43,6 +43,15 @@
 //! per-pair console-digest divergence table — exit status 1 on any
 //! divergence, with shrunk minimal reproducers in the report. Unknown
 //! flags and targets are rejected with exit status 2.
+//!
+//! `--dispatch LIST` selects dispatch-strategy tiers, comma-separated
+//! exactly like `--scale` is parsed: each element is `naive`,
+//! `threaded`, `superinstr`, `inline-cache`, `default` (each
+//! interpreter's fastest tier), or `all`; anything else is rejected
+//! with exit status 2. For experiment targets it narrows the `dispatch`
+//! family's rows (default: all supported tiers); for `conform` it adds
+//! one witness per selected `(interpreter, strategy)` pair on top of
+//! the classic six-column table (default: naive only).
 //!
 //! Persistence: `--cache-dir DIR` journals every completed artifact to
 //! `DIR/artifacts.journal` (checksummed, atomically replaced on each
@@ -82,9 +91,10 @@
 //! kills the process with exit status 86 after N journal appends,
 //! leaving a valid journal prefix for `--resume`.
 
+use interp_core::{DispatchFault, DispatchSelection, DispatchStrategy};
 use interp_harness::bench_report;
 use interp_harness::experiments::{
-    all_requests, is_target, render_target, requests_for, TARGETS,
+    all_requests, is_target, render_target_with, requests_for, requests_for_with, TARGETS,
 };
 use interp_harness::{guard_sweep, Scale};
 use interp_runplan::chaos::{journal_chaos_baseline, journal_chaos_plan, journal_chaos_seed};
@@ -104,7 +114,7 @@ const BENCH_FILE: &str = "BENCH_trajectory.json";
 fn usage() -> String {
     let names: Vec<&str> = TARGETS.iter().map(|(n, _)| *n).collect();
     format!(
-        "usage: repro [TARGETS] [--scale test|paper] [--jobs N] [--retries N] [--timeout-fuel N] [--strict]\n\
+        "usage: repro [TARGETS] [--scale test|paper] [--dispatch LIST] [--jobs N] [--retries N] [--timeout-fuel N] [--strict]\n\
          \x20            [--cache-dir DIR] [--resume] [--lock-timeout SECS] [--crash-after N]\n\
          \x20      repro list [--scale test|paper]\n\
          \x20      repro status [--cache-dir DIR] [--scale test|paper]\n\
@@ -113,8 +123,11 @@ fn usage() -> String {
          \x20      repro guard [--seeds N] [--scale test|paper]\n\
          \x20      repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]\n\
          \x20      repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]\n\
-         \x20      repro conform [--seeds N]\n\
+         \x20      repro conform [--seeds N] [--dispatch LIST]\n\
          targets: {} | all (default), comma- or space-separated\n\
+         dispatch: --dispatch LIST, comma-separated from naive | threaded | superinstr |\n\
+         \x20            inline-cache | default | all (experiments default: all; conform\n\
+         \x20            default: naive — each selected tier becomes its own witness)\n\
          persistence: --cache-dir DIR journals completed runs to DIR/artifacts.journal;\n\
          \x20            --resume loads it first (default dir {DEFAULT_CACHE_DIR}/) and executes only\n\
          \x20            missing runs; corrupt records are reported and recomputed, never fatal;\n\
@@ -169,6 +182,9 @@ struct Cli {
     out: Option<PathBuf>,
     /// Crash harness: exit 86 after N journal appends.
     crash_after: Option<u64>,
+    /// `--dispatch` if given; experiments default to every supported
+    /// tier, `conform` to naive only.
+    dispatch: Option<DispatchSelection>,
 }
 
 impl Cli {
@@ -208,6 +224,7 @@ fn parse(args: &[String]) -> Cli {
     let mut lock_timeout: Option<Duration> = None;
     let mut out: Option<PathBuf> = None;
     let mut crash_after: Option<u64> = None;
+    let mut dispatch: Option<DispatchSelection> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -228,6 +245,14 @@ fn parse(args: &[String]) -> Cli {
             }
         } else if arg == "--paper" {
             paper_alias = true;
+        } else if arg == "--dispatch" || arg.starts_with("--dispatch=") {
+            let v = take_value("--dispatch");
+            match DispatchSelection::parse(&v) {
+                Some(sel) => dispatch = Some(sel),
+                None => bail(&format!(
+                    "--dispatch expects a comma-separated list of naive|threaded|superinstr|inline-cache|default|all, got `{v}`"
+                )),
+            }
         } else if arg == "--jobs" || arg.starts_with("--jobs=") {
             let v = take_value("--jobs");
             match v.parse::<usize>() {
@@ -312,6 +337,7 @@ fn parse(args: &[String]) -> Cli {
         lock_timeout,
         out,
         crash_after,
+        dispatch,
     }
 }
 
@@ -329,6 +355,21 @@ fn print_list(scale: Scale) {
     println!("  chaos      full plan under seeded guest+pool fault injection");
     println!("  journal-chaos  seeded journal corruption and multi-writer races: healed");
     println!("  conform    differential conformance sweep across all five interpreters");
+    println!();
+    println!("dispatch axis: --dispatch LIST narrows the `dispatch` family and widens");
+    println!("  `conform` witnesses; per-interpreter tiers:");
+    for lang in interp_core::Language::ALL {
+        let tiers: Vec<&str> = DispatchStrategy::supported_by(lang)
+            .iter()
+            .map(|d| d.label())
+            .collect();
+        println!(
+            "  {:<10} {} (default: {})",
+            lang.tag(),
+            tiers.join(", "),
+            DispatchStrategy::default_for(lang).label()
+        );
+    }
     println!();
     println!("persistence: --cache-dir DIR journals completed runs; --resume reloads");
     println!("  the journal (default dir {DEFAULT_CACHE_DIR}/) and executes only missing runs;");
@@ -353,11 +394,23 @@ fn run_guard_sweep(cli: &Cli) -> ! {
 
 /// `repro conform`: sweep seeded IR programs through all five
 /// interpreters plus the reference evaluator and report the per-pair
-/// console-digest divergence table. Divergence (which shrinking reduces
-/// to a minimal reproducer in the report) exits nonzero.
+/// console-digest divergence table. `--dispatch` adds one witness per
+/// selected `(interpreter, strategy)` pair — every fast-dispatch tier
+/// must stay digest-identical to every naive column. Divergence (which
+/// shrinking reduces to a minimal reproducer in the report) exits
+/// nonzero.
 fn run_conform(cli: &Cli) -> ! {
     let seeds = cli.seeds.unwrap_or(64);
-    let report = interp_conformance::conform(seeds, &interp_conformance::LowerOptions::default());
+    let selection = cli
+        .dispatch
+        .clone()
+        .unwrap_or_else(DispatchSelection::naive_only);
+    let report = interp_conformance::conform_with(
+        seeds,
+        &interp_conformance::LowerOptions::default(),
+        &selection,
+        DispatchFault::None,
+    );
     print!("{}", interp_conformance::render(&report));
     std::process::exit(if report.divergent_seeds() == 0 { 0 } else { 1 });
 }
@@ -402,7 +455,9 @@ fn run_compact(cli: &Cli) -> ! {
 
 /// `repro bench`: execute each target's plan alone and the combined
 /// plan, then write the machine-readable trajectory JSON (per-target
-/// wall-clock, plan sizes, dedup reuse ratio) to `--out`.
+/// wall-clock, plan sizes, dedup reuse ratio, per-dispatch-strategy
+/// instruction counts) to `--out`. A dispatch tier that fails to beat
+/// its naive insns/cmd baseline is a regression: exit status 1.
 fn run_bench(cli: &Cli) -> ! {
     let report = bench_report::run_bench(cli.scale, cli.jobs, &cli.supervise_config());
     let path = cli
@@ -415,7 +470,11 @@ fn run_bench(cli: &Cli) -> ! {
     }
     print!("{}", bench_report::render_summary(&report));
     println!("bench: wrote {}", path.display());
-    std::process::exit(0);
+    std::process::exit(if report.dispatch_regressions().is_empty() {
+        0
+    } else {
+        1
+    });
 }
 
 /// `repro chaos`: execute the full plan once per seed with faults
@@ -576,10 +635,11 @@ fn main() {
 
     // One plan for everything selected: dedup + subsumption across
     // experiments, then a single pool execution.
+    let selection = cli.dispatch.clone().unwrap_or_default();
     let plan = Plan::build(
         selected
             .iter()
-            .flat_map(|t| requests_for(t, cli.scale)),
+            .flat_map(|t| requests_for_with(t, cli.scale, &selection)),
     );
     let journaling = cli.cache_dir.is_some() || cli.resume;
     if cli.crash_after.is_some() && !journaling {
@@ -612,7 +672,10 @@ fn main() {
     // report is always complete.
     for (name, _) in TARGETS {
         if selected.iter().any(|t| t == name) {
-            print!("{}", render_target(name, &executed.store, cli.scale));
+            print!(
+                "{}",
+                render_target_with(name, &executed.store, cli.scale, &selection)
+            );
         }
     }
     if cli.strict && executed.is_degraded() {

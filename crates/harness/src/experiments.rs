@@ -7,14 +7,14 @@
 //! a target (including the trailing blank line between sections), and
 //! the goldens test pins those bytes per renderer.
 
-use interp_core::RunRequest;
+use interp_core::{DispatchSelection, RunRequest};
 use interp_runplan::ArtifactStore;
 
-use crate::{ablations, arch, figures, memmodel, table1, table2, Scale};
+use crate::{ablations, arch, dispatch, figures, memmodel, table1, table2, Scale};
 
 /// Every experiment target, in canonical render order, with its
 /// one-line description.
-pub const TARGETS: [(&str, &str); 9] = [
+pub const TARGETS: [(&str, &str); 10] = [
     ("table1", "microbenchmark slowdowns relative to compiled C"),
     ("table2", "baseline macro-benchmark measurements"),
     ("table3", "simulated machine parameters (no runs needed)"),
@@ -23,6 +23,7 @@ pub const TARGETS: [(&str, &str); 9] = [
     ("memmodel", "Section 3.3 memory-model cost"),
     ("fig3", "issue-slot breakdown under the pipeline model"),
     ("fig4", "I-cache size x associativity sweep"),
+    ("dispatch", "fast-dispatch tiers: threaded, superinstr, inline-cache deltas"),
     ("ablations", "iTLB, dispatch, symbol-table, precompilation ablations"),
 ];
 
@@ -31,9 +32,15 @@ pub fn is_target(target: &str) -> bool {
     TARGETS.iter().any(|(n, _)| *n == target)
 }
 
-/// The run requests one target contributes to the shared plan. Unknown
-/// targets contribute nothing (the CLI validates names before planning).
-pub fn requests_for(target: &str, scale: Scale) -> Vec<RunRequest> {
+/// The run requests one target contributes to the shared plan under a
+/// dispatch-strategy selection (only the `dispatch` family is
+/// selection-sensitive). Unknown targets contribute nothing (the CLI
+/// validates names before planning).
+pub fn requests_for_with(
+    target: &str,
+    scale: Scale,
+    selection: &DispatchSelection,
+) -> Vec<RunRequest> {
     match target {
         "table1" => table1::requests(scale),
         "table2" => table2::requests(scale),
@@ -41,22 +48,40 @@ pub fn requests_for(target: &str, scale: Scale) -> Vec<RunRequest> {
         "memmodel" => memmodel::requests(scale),
         "fig3" => arch::fig3_requests(scale),
         "fig4" => arch::fig4_requests(scale),
+        "dispatch" => dispatch::requests_with(scale, selection),
         "ablations" => ablations::requests(scale),
         _ => Vec::new(),
     }
 }
 
-/// The union of every target's requests — the `repro all` plan input.
-pub fn all_requests(scale: Scale) -> Vec<RunRequest> {
+/// The run requests one target contributes with every supported
+/// dispatch strategy selected.
+pub fn requests_for(target: &str, scale: Scale) -> Vec<RunRequest> {
+    requests_for_with(target, scale, &DispatchSelection::all())
+}
+
+/// The union of every target's requests under a selection — the
+/// `repro all` plan input.
+pub fn all_requests_with(scale: Scale, selection: &DispatchSelection) -> Vec<RunRequest> {
     TARGETS
         .iter()
-        .flat_map(|(name, _)| requests_for(name, scale))
+        .flat_map(|(name, _)| requests_for_with(name, scale, selection))
         .collect()
 }
 
-/// The exact stdout text `repro` prints for `target`, trailing newline
-/// included. Unknown targets render as empty.
-pub fn render_target(target: &str, store: &ArtifactStore, scale: Scale) -> String {
+/// The union of every target's requests (full dispatch selection).
+pub fn all_requests(scale: Scale) -> Vec<RunRequest> {
+    all_requests_with(scale, &DispatchSelection::all())
+}
+
+/// The exact stdout text `repro` prints for `target` under a selection,
+/// trailing newline included. Unknown targets render as empty.
+pub fn render_target_with(
+    target: &str,
+    store: &ArtifactStore,
+    scale: Scale,
+    selection: &DispatchSelection,
+) -> String {
     match target {
         "table1" => format!("{}\n", table1::render(&table1::table1_from(store, scale))),
         "table2" => format!("{}\n", table2::render(&table2::table2_from(store, scale))),
@@ -66,9 +91,16 @@ pub fn render_target(target: &str, store: &ArtifactStore, scale: Scale) -> Strin
         "memmodel" => format!("{}\n", memmodel::render(&memmodel::memmodel_from(store, scale))),
         "fig3" => format!("{}\n", arch::render_fig3(&arch::fig3_from(store, scale))),
         "fig4" => format!("{}\n", arch::render_fig4(&arch::fig4_from(store, scale))),
+        "dispatch" => format!("{}\n", dispatch::render_from(store, scale, selection)),
         "ablations" => format!("{}\n", ablations::render_from(store, scale)),
         _ => String::new(),
     }
+}
+
+/// The exact stdout text `repro` prints for `target` with every
+/// supported dispatch strategy selected.
+pub fn render_target(target: &str, store: &ArtifactStore, scale: Scale) -> String {
+    render_target_with(target, store, scale, &DispatchSelection::all())
 }
 
 /// Table 3 needs no runs: it renders the timing model's parameters.

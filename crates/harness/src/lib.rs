@@ -12,6 +12,7 @@
 //! | Table 3 (machine parameters) | [`interp_archsim::SimConfig::default`] |
 //! | Figure 3 (issue-slot breakdown) | [`arch::fig3`] |
 //! | Figure 4 (I-cache sweep) | [`arch::fig4`] |
+//! | Dispatch tiers (threaded/superinstr/inline-cache deltas) | [`dispatch`] |
 //! | Ablations (iTLB, dispatch, symbol table, precompilation) | [`ablations`] |
 //! | Robustness (seeded fault-injection sweep, not in the paper) | [`guard_sweep`] |
 //!
@@ -49,6 +50,7 @@ pub mod ablations;
 pub mod arch;
 pub mod bench_report;
 pub mod degrade;
+pub mod dispatch;
 pub mod experiments;
 pub mod figures;
 pub mod guard_sweep;

@@ -79,6 +79,7 @@ fn renderer_outputs_match_committed_goldens() {
             render_target("fig4", store, scale)
         ),
     );
+    check("dispatch", &render_target("dispatch", store, scale));
     check("ablations", &render_target("ablations", store, scale));
 }
 

@@ -8,7 +8,9 @@
 //! check), and a native runtime library whose instructions are attributed
 //! to [`Phase::Native`].
 
-use interp_core::{CommandSet, Phase, RunStats, TraceSink};
+use interp_core::{
+    CommandSet, Dispatch, DispatchFault, DispatchStrategy, Language, Phase, RunStats, TraceSink,
+};
 use interp_guard::GuardError;
 use interp_host::{Machine, RoutineId, SimStr, UiEvent};
 
@@ -114,10 +116,26 @@ pub struct Jvm<'a, S: TraceSink> {
     budget: u64,
     lcg: u32,
     call_depth: u32,
+    /// How the dispatch loop transfers control between bytecode handlers.
+    strategy: DispatchStrategy,
+    /// Conformance-testing fault injected into a dispatch tier.
+    fault: DispatchFault,
 }
 
 const FRAME_WORDS: u32 = 96; // 64 locals + 32 operand-stack slots
 const STACK_BYTES: u32 = 512 * 1024;
+
+/// The dominant consecutive bytecode pairs in the Figures 1–2 command
+/// histograms: load+load and load+op (expression evaluation), const+store
+/// and const+compare (loop counters). The `Superinstr` tier fuses these.
+const FUSED_PAIRS: [(&str, &str); 6] = [
+    ("st_load", "st_load"),
+    ("st_load", "iadd"),
+    ("st_load", "if_icmp"),
+    ("st_load", "st_store"),
+    ("iconst", "st_store"),
+    ("iconst", "if_icmp"),
+];
 
 impl<'a, S: TraceSink> Jvm<'a, S> {
     /// Load a compiled program (class loading = startup work).
@@ -169,6 +187,8 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
             budget: u64::MAX,
             lcg: 0x2545_f491,
             call_depth: 0,
+            strategy: DispatchStrategy::Naive,
+            fault: DispatchFault::None,
         }
     }
 
@@ -291,6 +311,10 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 }
             };
         }
+        // Superinstr fusion state: where the previous command fell
+        // through to, and its mnemonic (per frame — fused pairs are
+        // static straight-line code, never cross a taken branch).
+        let mut prev: Option<(usize, &'static str)> = None;
         loop {
             if self.executed >= self.budget {
                 bail!(JvmError::Timeout {
@@ -303,26 +327,53 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
             // ---- fetch/decode ----
             self.m.end_command();
             self.m.set_phase(Phase::FetchDecode);
-            self.m.loop_back(loop_head, true);
             let Some(&opbyte) = code.get(pc) else {
                 bail!(JvmError::BadBytecode { func: idx, pc });
             };
-            self.m.lb(code_addr + pc as u32); // bytecode fetch
-            self.m.alu(); // pc increment
-            self.m.lw(0x0060_8000 + u32::from(opbyte) * 4); // dispatch table
-            self.m.branch_fwd(false); // indirect dispatch
             let Some(op) = OpCode::from_byte(opbyte) else {
                 bail!(JvmError::BadBytecode { func: idx, pc });
             };
-            // Operand fetch.
             let opn = op.operand_len();
             if code.len() < pc + 1 + opn {
                 bail!(JvmError::BadBytecode { func: idx, pc });
             }
-            for k in 0..opn {
-                self.m.lb(code_addr + (pc + 1 + k) as u32);
+            let fused = prev
+                .is_some_and(|(end, mn)| end == pc && self.fuses(mn, op.mnemonic()));
+            if fused {
+                // The pair's fused handler already holds control: no
+                // opcode fetch, no table load, no dispatch transfer —
+                // just the second command's pc bump and operand fetch.
+                self.m.alu(); // pc increment
+                for k in 0..opn {
+                    self.m.lb(code_addr + (pc + 1 + k) as u32);
+                }
+                self.m.alu_n(1); // operand assembly
+            } else if self.strategy == DispatchStrategy::Naive {
+                // Central switch dispatch: loop top, opcode fetch, table
+                // load, range check + indirect branch through the switch.
+                self.m.loop_back(loop_head, true);
+                self.m.lb(code_addr + pc as u32); // bytecode fetch
+                self.m.alu(); // pc increment
+                self.m.lw(0x0060_8000 + u32::from(opbyte) * 4); // dispatch table
+                self.m.branch_fwd(false); // indirect dispatch
+                for k in 0..opn {
+                    self.m.lb(code_addr + (pc + 1 + k) as u32);
+                }
+                self.m.alu_n(2); // operand assembly + bookkeeping
+            } else {
+                // Threaded dispatch (and a non-fused pair under
+                // superinstructions): each handler ends in its own
+                // computed goto through the table — no central range
+                // check, no separate dispatch branch.
+                self.m.lb(code_addr + pc as u32); // bytecode fetch
+                self.m.alu(); // pc increment
+                self.m.lw(0x0060_8000 + u32::from(opbyte) * 4); // handler pointer
+                self.m.loop_back(loop_head, true); // handler-end computed goto
+                for k in 0..opn {
+                    self.m.lb(code_addr + (pc + 1 + k) as u32);
+                }
+                self.m.alu_n(1); // operand assembly
             }
-            self.m.alu_n(2); // operand assembly + bookkeeping
             let u8_op = || code[pc + 1];
             let u16_op = || u16::from_le_bytes([code[pc + 1], code[pc + 2]]) as usize;
             let i32_op = || {
@@ -394,7 +445,15 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                         }
                         OpCode::Isub => {
                             self.m.alu();
-                            a.wrapping_sub(b)
+                            // Conformance-testing fault: the threaded
+                            // tier's subtract handler swaps its operands.
+                            if self.fault == DispatchFault::ThreadedSubSwap
+                                && self.strategy == DispatchStrategy::Threaded
+                            {
+                                b.wrapping_sub(a)
+                            } else {
+                                a.wrapping_sub(b)
+                            }
                         }
                         OpCode::Imul => {
                             self.m.mul();
@@ -696,6 +755,9 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     self.globals[slot] = v;
                 }
             }
+            // Record fall-through adjacency for superinstruction fusion;
+            // a taken control transfer breaks any static pair.
+            prev = (next_pc == pc + 1 + opn).then(|| (next_pc, op.mnemonic()));
             pc = next_pc;
         }
     }
@@ -838,6 +900,28 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                 }
             })
         }
+    }
+}
+
+impl<S: TraceSink> Dispatch for Jvm<'_, S> {
+    fn supported(&self) -> &'static [DispatchStrategy] {
+        DispatchStrategy::supported_by(Language::Javelin)
+    }
+
+    fn strategy(&self) -> DispatchStrategy {
+        self.strategy
+    }
+
+    fn set_strategy(&mut self, strategy: DispatchStrategy) {
+        self.strategy = strategy.effective_for(Language::Javelin);
+    }
+
+    fn fuses(&self, prev: &str, cur: &str) -> bool {
+        self.strategy == DispatchStrategy::Superinstr && FUSED_PAIRS.contains(&(prev, cur))
+    }
+
+    fn inject_fault(&mut self, fault: DispatchFault) {
+        self.fault = fault;
     }
 }
 

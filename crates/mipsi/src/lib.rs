@@ -36,7 +36,7 @@
 //! # Ok::<(), interp_mipsi::MipsiError>(())
 //! ```
 
-use interp_core::{CmdId, CommandSet, Phase, TraceSink};
+use interp_core::{CmdId, CommandSet, Dispatch, DispatchStrategy, Language, Phase, TraceSink};
 use interp_host::{Label, Machine, RoutineId};
 use interp_isa::{Image, Insn, Reg, Syscall, GUEST_STACK_TOP};
 
@@ -139,11 +139,33 @@ pub struct Mipsi<'a, S: TraceSink> {
     dispatch_table: u32,
     /// Host address of the emulator's instruction counter.
     counter_addr: u32,
-    /// Threaded dispatch (§5's software optimization): replaces the
-    /// switch-style double table lookup with a direct computed goto,
-    /// trimming the fetch/decode path.
-    threaded: bool,
+    /// How the fetch/decode path dispatches to handlers (§5's software
+    /// optimizations: threaded code replaces the switch-style double
+    /// table lookup with a direct computed goto; superinstructions fuse
+    /// dominant consecutive pairs so the second command skips its own
+    /// dispatch and page walk).
+    strategy: DispatchStrategy,
+    /// Last fetch (guest pc, mnemonic, host address) — the superinstr
+    /// tier's one-entry fusion/translation cache.
+    prev_fetch: Option<(u32, &'static str, u32)>,
 }
+
+/// The dominant consecutive pairs the Figures 1–2 histograms identify
+/// for MIPS guests: compare+branch, immediate-add+branch (loop
+/// counters), lui+immediate (constant synthesis), load+add (address
+/// arithmetic). The `Superinstr` tier fuses these.
+const FUSED_PAIRS: [(&str, &str); 10] = [
+    ("slt", "beq"),
+    ("slt", "bne"),
+    ("sltu", "beq"),
+    ("sltu", "bne"),
+    ("addiu", "beq"),
+    ("addiu", "bne"),
+    ("lui", "ori"),
+    ("lui", "addiu"),
+    ("lw", "addu"),
+    ("lw", "addiu"),
+];
 
 impl<'a, S: TraceSink> Mipsi<'a, S> {
     /// Load `image` into a fresh guest address space inside `machine`.
@@ -187,7 +209,8 @@ impl<'a, S: TraceSink> Mipsi<'a, S> {
             executed: 0,
             dispatch_table,
             counter_addr,
-            threaded: false,
+            strategy: DispatchStrategy::Naive,
+            prev_fetch: None,
         };
         emu.load(image);
         emu
@@ -218,9 +241,14 @@ impl<'a, S: TraceSink> Mipsi<'a, S> {
 
     /// Switch to threaded dispatch (the paper's §5 software optimization:
     /// "instruction fetch/decode overhead could be reduced by using
-    /// threaded interpretation"). Used by the dispatch ablation bench.
+    /// threaded interpretation"). Kept as a boolean convenience over
+    /// [`Dispatch::set_strategy`] for the dispatch ablation bench.
     pub fn set_threaded_dispatch(&mut self, threaded: bool) {
-        self.threaded = threaded;
+        self.set_strategy(if threaded {
+            DispatchStrategy::Threaded
+        } else {
+            DispatchStrategy::Naive
+        });
     }
 
     /// The emulator's virtual-command set (MIPS mnemonics).
@@ -367,18 +395,56 @@ impl<'a, S: TraceSink> Mipsi<'a, S> {
     fn fetch_decode_at(&mut self, pc: u32, loop_head: Label) -> Result<Insn, MipsiError> {
         self.machine.end_command();
         self.machine.set_phase(Phase::FetchDecode);
+        // Superinstr fast path: if the previous command fetched at
+        // `pc - 4` in the same 4 KB page and (prev, cur) is a fused
+        // pair, control is already inside the pair's handler — the
+        // second command skips the loop top, the page walk, the
+        // dispatch-table load, and the counter round trip.
+        if self.strategy == DispatchStrategy::Superinstr {
+            if let Some((prev_pc, prev_mn, prev_haddr)) = self.prev_fetch {
+                if pc == prev_pc.wrapping_add(4) && (pc >> 12) == (prev_pc >> 12) {
+                    // One-entry translation cache: same page, so the host
+                    // address is the cached base plus the page offset.
+                    let haddr = (prev_haddr & !0xfff) | (pc & 0xfff);
+                    self.machine.alu(); // fall-through pc bookkeeping
+                    self.machine.alu(); // cached ifetch address
+                    let word = self.machine.lw(haddr & !3);
+                    let insn = Insn::decode(word)
+                        .map_err(|_| MipsiError::BadInstruction { pc, word })?;
+                    let mn = insn.mnemonic();
+                    if FUSED_PAIRS.contains(&(prev_mn, mn)) {
+                        let m = &mut self.machine;
+                        // Only the second command's field extraction.
+                        m.shift();
+                        m.shift();
+                        m.shift();
+                        m.shift();
+                        m.alu_n(3);
+                        self.prev_fetch = Some((pc, mn, haddr));
+                        let cmd = self
+                            .commands
+                            .get(mn)
+                            .expect("all mnemonics pre-interned");
+                        self.begin(cmd);
+                        self.executed += 1;
+                        return Ok(insn);
+                    }
+                    // Pair check failed: fall through to the full dispatch
+                    // below. The speculative word load above models the
+                    // next-opcode peek a fused-handler table performs.
+                }
+            }
+        }
         // Top of the dispatch loop.
         self.machine.loop_back(loop_head, true);
         self.machine.alu_n(2); // pc bookkeeping, budget check
-        let word = {
-            // Instruction fetch through the page tables.
-            let haddr = self.ifetch_translate(pc);
-            self.machine.lw(haddr & !3)
-        };
+        // Instruction fetch through the page tables.
+        let haddr = self.ifetch_translate(pc);
+        let word = self.machine.lw(haddr & !3);
         let insn =
             Insn::decode(word).map_err(|_| MipsiError::BadInstruction { pc, word })?;
         // Decode: opcode extract, dispatch-table load, field extraction.
-        let threaded = self.threaded;
+        let threaded = self.strategy != DispatchStrategy::Naive;
         let m = &mut self.machine;
         m.shift(); // op = word >> 26
         let table = self.dispatch_table;
@@ -407,6 +473,7 @@ impl<'a, S: TraceSink> Mipsi<'a, S> {
         m.lw(ctr);
         m.alu();
         m.sw(ctr, self.executed as u32);
+        self.prev_fetch = Some((pc, insn.mnemonic(), haddr));
         // Attribute to the virtual command and hand off to execute.
         let cmd = self
             .commands
@@ -827,6 +894,25 @@ impl<'a, S: TraceSink> Mipsi<'a, S> {
         // Every syscall arm produces Some; treat a gap as a plain no-op
         // rather than a panic path.
         Ok(result.unwrap_or(None))
+    }
+}
+
+impl<S: TraceSink> Dispatch for Mipsi<'_, S> {
+    fn supported(&self) -> &'static [DispatchStrategy] {
+        DispatchStrategy::supported_by(Language::Mipsi)
+    }
+
+    fn strategy(&self) -> DispatchStrategy {
+        self.strategy
+    }
+
+    fn set_strategy(&mut self, strategy: DispatchStrategy) {
+        self.strategy = strategy.effective_for(Language::Mipsi);
+        self.prev_fetch = None;
+    }
+
+    fn fuses(&self, prev: &str, cur: &str) -> bool {
+        self.strategy == DispatchStrategy::Superinstr && FUSED_PAIRS.contains(&(prev, cur))
     }
 }
 

@@ -7,7 +7,9 @@
 //! time, so their accesses are a couple of loads; hash elements pay a full
 //! charged hash translation (§3.3's ~210-instruction cost).
 
-use interp_core::{CommandSet, Phase, RunStats, TraceSink};
+use interp_core::{
+    CommandSet, Dispatch, DispatchStrategy, Language, Phase, RunStats, TraceSink,
+};
 use interp_host::{Machine, RoutineId, SimHash, SimStr};
 use std::collections::HashMap;
 
@@ -62,6 +64,15 @@ pub struct Perlite<'a, S: TraceSink> {
     /// `@_` stacks for active sub calls.
     args: Vec<Vec<Value>>,
     depth: u32,
+    /// How hash-element access resolves keys.
+    strategy: DispatchStrategy,
+    /// Lookup cache for the `InlineCache` tier: `(hash, key content)` →
+    /// resolved value slot, modeling a hash-value memo table in front of
+    /// the HV (the SV keeps its computed hash; a memo probe replaces the
+    /// magic checks, bucket-chain walk, and full key compare). Content
+    /// keyed, so dynamically-built keys — regex captures routed through
+    /// `%routes` — hit on every repeat.
+    hash_ic: HashMap<(HashId, Vec<u8>), Option<u32>>,
 }
 
 const ARRAY_REGION: u32 = 4096;
@@ -109,6 +120,8 @@ impl<'a, S: TraceSink> Perlite<'a, S> {
             locals: vec![Vec::new()],
             args: Vec::new(),
             depth: 0,
+            strategy: DispatchStrategy::Naive,
+            hash_ic: HashMap::new(),
         })
     }
 
@@ -884,36 +897,59 @@ impl<'a, S: TraceSink> Perlite<'a, S> {
         self.arrays[arr as usize] = values;
     }
 
-    fn hash_read(&mut self, h: HashId, key: SimStr) -> Value {
+    /// Resolve `key` in hash `h` to a value slot, through the lookup
+    /// cache when the `InlineCache` tier is active: a hit still hashes
+    /// the key (the memo is indexed by hash value) but charges only a
+    /// memo-line load and tag compare instead of the HV magic checks,
+    /// bucket-chain walk, and full key compare. Cached slots stay valid
+    /// because existing entries are updated in place; the only
+    /// invalidation hazard is a cached *absence* made stale by an
+    /// insert, which `hash_write` handles by replacing the cache entry
+    /// on every insert.
+    fn hash_slot(&mut self, h: HashId, key: SimStr) -> Option<u32> {
         let table = self.hashes[h as usize];
         let pp = self.rt.pp_hash;
+        if self.strategy == DispatchStrategy::InlineCache {
+            let key_bytes = self.m.peek_str(key);
+            if let Some(&slot) = self.hash_ic.get(&(h, key_bytes)) {
+                self.m.mem_model(|m| {
+                    m.str_hash(key); // the memo is indexed by key hash
+                    m.routine(pp, |m| {
+                        m.lw(table.0); // memo line
+                        m.alu_n(3); // index + tag compare + slot extract
+                    });
+                });
+                return slot;
+            }
+        }
         let found = self.m.mem_model(|m| {
             m.routine(pp, |m| {
                 m.alu_n(6); // HV deref, magic checks
                 m.hash_lookup(table, key)
             })
         });
-        match found {
+        if self.strategy == DispatchStrategy::InlineCache {
+            let key_bytes = self.m.peek_str(key);
+            self.hash_ic.insert((h, key_bytes), found);
+        }
+        found
+    }
+
+    fn hash_read(&mut self, h: HashId, key: SimStr) -> Value {
+        match self.hash_slot(h, key) {
             Some(idx) => self.hash_values[idx as usize],
             None => Value::Undef,
         }
     }
 
     fn hash_write(&mut self, h: HashId, key: SimStr, v: Value) {
-        let table = self.hashes[h as usize];
-        let pp = self.rt.pp_hash;
-        let existing = self.m.mem_model(|m| {
-            m.routine(pp, |m| {
-                m.alu_n(6);
-                m.hash_lookup(table, key)
-            })
-        });
-        match existing {
+        match self.hash_slot(h, key) {
             Some(idx) => {
                 self.hash_values[idx as usize] = v;
                 self.m.alu();
             }
             None => {
+                let table = self.hashes[h as usize];
                 let idx = self.hash_values.len() as u32;
                 self.hash_values.push(v);
                 let key_copy = self.m.str_copy(key);
@@ -923,6 +959,12 @@ impl<'a, S: TraceSink> Perlite<'a, S> {
                         m.hash_insert(table, key_copy, idx);
                     })
                 });
+                if self.strategy == DispatchStrategy::InlineCache {
+                    // The key now resolves to `idx`; a stale cached
+                    // absence would be a semantic bug, so replace it.
+                    let key_bytes = self.m.peek_str(key);
+                    self.hash_ic.insert((h, key_bytes), Some(idx));
+                }
             }
         }
     }
@@ -1394,6 +1436,21 @@ impl<'a, S: TraceSink> Perlite<'a, S> {
         let out = self.m.builder_finish(b);
         self.m.leave();
         Ok(out)
+    }
+}
+
+impl<S: TraceSink> Dispatch for Perlite<'_, S> {
+    fn supported(&self) -> &'static [DispatchStrategy] {
+        DispatchStrategy::supported_by(Language::Perlite)
+    }
+
+    fn strategy(&self) -> DispatchStrategy {
+        self.strategy
+    }
+
+    fn set_strategy(&mut self, strategy: DispatchStrategy) {
+        self.strategy = strategy.effective_for(Language::Perlite);
+        self.hash_ic.clear();
     }
 }
 

@@ -20,25 +20,28 @@ pub fn try_run_request(
     limits: Limits,
 ) -> Result<RunArtifact, GuardError> {
     let workload = request.workload;
+    let dispatch = request.dispatch;
     match request.sink {
         SinkKind::Counting => {
-            Runner::try_run(workload, limits, interp_core::NullSink).map(|r| r.base_artifact())
+            Runner::try_run_dispatch(workload, limits, dispatch, interp_core::NullSink)
+                .map(|r| r.base_artifact())
         }
         SinkKind::Pipeline => {
-            let result = Runner::try_run(workload, limits, PipelineSim::alpha_21064())?;
+            let result =
+                Runner::try_run_dispatch(workload, limits, dispatch, PipelineSim::alpha_21064())?;
             let mut artifact = result.base_artifact();
             artifact.cycles = Some(cycle_summary(&result.sink.report()));
             Ok(artifact)
         }
         SinkKind::PipelineWideItlb => {
             let sim = PipelineSim::new(SimConfig::default().with_itlb_entries(32));
-            let result = Runner::try_run(workload, limits, sim)?;
+            let result = Runner::try_run_dispatch(workload, limits, dispatch, sim)?;
             let mut artifact = result.base_artifact();
             artifact.cycles = Some(cycle_summary(&result.sink.report()));
             Ok(artifact)
         }
         SinkKind::ICacheSweep => {
-            let result = Runner::try_run(workload, limits, CacheSweep::figure4())?;
+            let result = Runner::try_run_dispatch(workload, limits, dispatch, CacheSweep::figure4())?;
             let mut artifact = result.base_artifact();
             artifact.sweep = Some(
                 result

@@ -21,7 +21,12 @@ pub const RECORD_VERSION: u16 = 1;
 /// model changes could alter artifact *content* without changing the
 /// record layout — the journal has no way to see inside the binary, so
 /// semantic invalidation is a human (or release-process) decision.
-pub const EPOCH_SALT: u32 = 1;
+///
+/// Salt history:
+/// * 1 → 2: the dispatch-strategy axis joined `RunRequest::fingerprint`
+///   (every canonical string gained a `+strategy` suffix), so every
+///   pre-dispatch journal must be re-executed, not misread.
+pub const EPOCH_SALT: u32 = 2;
 
 /// The current code/config epoch: a stable hash of the record version,
 /// the manual salt, and the workspace package version. Records written

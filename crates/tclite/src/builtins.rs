@@ -247,6 +247,8 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
         };
         let body = words[3].0;
         self.procs.insert(name, ProcDef { params, body });
+        // A (re)defined proc can shadow a cached command resolution.
+        self.cmd_ic.clear();
         self.set_result_bytes(b"");
         Ok(Flow::Normal)
     }
@@ -276,6 +278,9 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
             vars,
             global_links: Default::default(),
         });
+        // Variable resolutions cached in the caller's scope must not
+        // leak into (or survive) the callee's frame.
+        self.var_ic.clear();
         for (param, (value, _)) in params.iter().zip(&words[1..]) {
             let name_sim = self.m.str_alloc(param.as_bytes());
             let copy = self.m.str_copy(*value);
@@ -284,6 +289,7 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
         self.m.leave();
         let flow = self.eval(body);
         self.frames.pop();
+        self.var_ic.clear();
         match flow? {
             Flow::Return | Flow::Normal => Ok(Flow::Normal),
             other => Ok(other), // break/continue escape the proc (error-ish, tolerated)

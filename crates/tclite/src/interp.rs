@@ -9,7 +9,9 @@
 //! order of magnitude above every other interpreter, and every variable
 //! reference is a symbol-table lookup (§3.3).
 
-use interp_core::{CommandSet, Phase, RunStats, TraceSink};
+use interp_core::{
+    CommandSet, Dispatch, DispatchStrategy, Language, Phase, RunStats, TraceSink,
+};
 use interp_host::{Machine, RoutineId, SimHash, SimStr};
 use std::collections::{HashMap, HashSet};
 
@@ -53,6 +55,18 @@ pub struct Tclite<'a, S: TraceSink> {
     pub(crate) files: HashMap<String, i32>,
     pub(crate) file_counter: u32,
     pub(crate) depth: u32,
+    /// How name resolution dispatches (the `InlineCache` tier caches the
+    /// symbol-table and command-table translations Tcl 7 redoes per use).
+    pub(crate) strategy: DispatchStrategy,
+    /// Inline cache of variable resolutions: per symbol table (by its
+    /// simulated address — tables are never freed, so addresses are
+    /// unique), variable name → value-string address. Maintained by
+    /// `var_set`/`var_unset`, flushed on frame push/pop.
+    pub(crate) var_ic: HashMap<u32, HashMap<String, u32>>,
+    /// Command names already resolved through the command table (Tcl's
+    /// cached-cmdPtr trick). Purely a charging cache: the naive lookup's
+    /// result is discarded anyway. Flushed when a proc is (re)defined.
+    pub(crate) cmd_ic: HashSet<String>,
 }
 
 /// Built-in command names (also used to pre-populate the charged command
@@ -100,6 +114,9 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
             files: HashMap::new(),
             file_counter: 0,
             depth: 0,
+            strategy: DispatchStrategy::Naive,
+            var_ic: HashMap::new(),
+            cmd_ic: HashSet::new(),
         }
     }
 
@@ -443,6 +460,24 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
     pub(crate) fn var_get(&mut self, name: SimStr, name_rs: &str) -> Result<SimStr, TclError> {
         let table = self.scope_table(name_rs);
         let var_routine = self.rt.var;
+        if self.strategy == DispatchStrategy::InlineCache {
+            let hit = self
+                .var_ic
+                .get(&table.0)
+                .and_then(|t| t.get(name_rs))
+                .copied();
+            if let Some(addr) = hit {
+                // Inline-cache hit: the cached Var pointer replaces the
+                // frame resolution, array re-scan and bucket-chain walk.
+                self.m.mem_model(|m| {
+                    m.routine(var_routine, |m| {
+                        m.lw(table.0); // cache-tag load
+                        m.alu_n(6); // tag compare + Var deref + flag test
+                    })
+                });
+                return Ok(SimStr(addr));
+            }
+        }
         let value = self.m.mem_model(|m| {
             m.routine(var_routine, |m| {
                 // Tcl 7's variable path: interp deref, frame resolution,
@@ -460,7 +495,15 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
             })
         });
         match value {
-            Some(addr) => Ok(SimStr(addr)),
+            Some(addr) => {
+                if self.strategy == DispatchStrategy::InlineCache {
+                    self.var_ic
+                        .entry(table.0)
+                        .or_default()
+                        .insert(name_rs.to_string(), addr);
+                }
+                Ok(SimStr(addr))
+            }
             None => Err(TclError::new(format!(
                 "can't read \"{name_rs}\": no such variable"
             ))),
@@ -492,6 +535,14 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
                 }
             })
         });
+        if self.strategy == DispatchStrategy::InlineCache {
+            // Writes keep the cache exact (never stale): the name now
+            // resolves to `value`'s storage.
+            self.var_ic
+                .entry(table.0)
+                .or_default()
+                .insert(name_rs.to_string(), value.0);
+        }
     }
 
     /// Remove a variable.
@@ -504,6 +555,9 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
                 m.hash_remove(table, name)
             })
         });
+        if let Some(t) = self.var_ic.get_mut(&table.0) {
+            t.remove(name_rs);
+        }
         removed.map(|_| ()).ok_or_else(|| {
             TclError::new(format!("can't unset \"{name_rs}\": no such variable"))
         })
@@ -541,9 +595,17 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
         let name_sim = words[0].0;
         let cmd_table = self.cmd_table;
         let old_result = self.result;
+        let cmd_cached =
+            self.strategy == DispatchStrategy::InlineCache && self.cmd_ic.contains(&name);
         self.m.routine(parse, |m| {
-            m.alu_n(6);
-            m.hash_lookup(cmd_table, name_sim);
+            if cmd_cached {
+                // Cached-cmdPtr hit: revalidate the cached pointer
+                // instead of rehashing the command name.
+                m.alu_n(2);
+            } else {
+                m.alu_n(6);
+                m.hash_lookup(cmd_table, name_sim);
+            }
             // argv assembly: store each word pointer + NULL terminator.
             let argv = m.malloc(4 * (words.len() as u32 + 1));
             for (i, (w, _)) in words.iter().enumerate() {
@@ -558,6 +620,9 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
             m.branch_fwd(false);
             m.alu_n(22);
         });
+        if self.strategy == DispatchStrategy::InlineCache && !cmd_cached {
+            self.cmd_ic.insert(name.clone());
+        }
         let cmd = self.commands.intern(&name);
         self.m.begin_command(cmd);
         self.m.set_phase(Phase::Execute);
@@ -565,6 +630,22 @@ impl<'a, S: TraceSink> Tclite<'a, S> {
         // Epilogue: result handling + frame teardown.
         self.m.alu_n(12);
         out
+    }
+}
+
+impl<S: TraceSink> Dispatch for Tclite<'_, S> {
+    fn supported(&self) -> &'static [DispatchStrategy] {
+        DispatchStrategy::supported_by(Language::Tclite)
+    }
+
+    fn strategy(&self) -> DispatchStrategy {
+        self.strategy
+    }
+
+    fn set_strategy(&mut self, strategy: DispatchStrategy) {
+        self.strategy = strategy.effective_for(Language::Tclite);
+        self.var_ic.clear();
+        self.cmd_ic.clear();
     }
 }
 

@@ -33,20 +33,6 @@ pub struct GuardedRun {
     pub artifact: RunArtifact,
 }
 
-impl GuardedRun {
-    /// Native (host) instructions retired before the run ended.
-    #[deprecated(note = "read `artifact.stats.instructions` instead")]
-    pub fn instructions(&self) -> u64 {
-        self.artifact.stats.instructions
-    }
-
-    /// Virtual commands dispatched before the run ended.
-    #[deprecated(note = "read `artifact.stats.commands` instead")]
-    pub fn commands(&self) -> u64 {
-        self.artifact.stats.commands
-    }
-}
-
 /// How a supervisor should react to a [`RunOutcome`]: retry, quarantine,
 /// or accept. This is the single classification point the run-plan pool
 /// and the chaos harness share, so their retry policies cannot drift.

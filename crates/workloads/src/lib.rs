@@ -26,6 +26,7 @@ pub mod tcl_progs;
 pub use guarded::{classify, guarded_suite, run_guarded, FailureClass, GuardedRun};
 pub use runner::{
     compiled_suite, macro_names, macro_suite, micro_iterations, micro_suite, run_macro,
-    run_micro, run_source_with, try_run_macro, try_run_micro, try_run_source, RunResult,
+    run_micro, run_source_dispatch, run_source_with, try_run_macro, try_run_macro_dispatch,
+    try_run_micro, try_run_micro_dispatch, try_run_source, try_run_source_dispatch, RunResult,
     Runner, Scale,
 };

@@ -3,8 +3,8 @@
 //! returns the counters — the piece of plumbing every experiment shares.
 
 use interp_core::{
-    CommandSet, ConsoleDigest, Language, RunArtifact, RunStats, TraceSink, WorkloadId,
-    WorkloadKind,
+    CommandSet, ConsoleDigest, Dispatch, DispatchFault, DispatchStrategy, Language, RunArtifact,
+    RunStats, TraceSink, WorkloadId, WorkloadKind,
 };
 use interp_guard::{GuardError, Limits};
 use interp_host::{Machine, UiEvent};
@@ -388,6 +388,32 @@ pub fn run_source_with<S: TraceSink>(
     limits: Limits,
     sink: S,
 ) -> Result<RunResult<S>, GuardError> {
+    run_source_dispatch(
+        language,
+        src,
+        files,
+        events,
+        limits,
+        DispatchStrategy::Naive,
+        DispatchFault::None,
+        sink,
+    )
+}
+
+/// [`run_source_with`] plus the dispatch axis: selects `dispatch` on the
+/// engine (through the shared [`Dispatch`] trait, clamped to what the
+/// engine implements) and injects `fault` (conformance testing only).
+#[allow(clippy::too_many_arguments)]
+pub fn run_source_dispatch<S: TraceSink>(
+    language: Language,
+    src: &str,
+    files: Vec<(String, Vec<u8>)>,
+    events: Vec<UiEvent>,
+    limits: Limits,
+    dispatch: DispatchStrategy,
+    fault: DispatchFault,
+    sink: S,
+) -> Result<RunResult<S>, GuardError> {
     let mut m = Machine::with_limits(sink, limits);
     for (fname, contents) in files {
         m.fs_add_file(&fname, contents);
@@ -410,6 +436,8 @@ pub fn run_source_with<S: TraceSink>(
             let image = interp_minic::compile(src).map_err(|e| bad_program(language, e))?;
             let program_bytes = image.size_bytes() as usize;
             let mut emu = interp_mipsi::Mipsi::new(&image, &mut m);
+            emu.set_strategy(dispatch);
+            emu.inject_fault(fault);
             let res = emu.run(RUN_BUDGET);
             let commands = emu.commands().clone();
             drop(emu);
@@ -420,6 +448,8 @@ pub fn run_source_with<S: TraceSink>(
             let prog = interp_javelin::compile(src).map_err(|e| bad_program(language, e))?;
             let program_bytes = prog.code_bytes();
             let mut vm = interp_javelin::Jvm::new(&mut m, prog);
+            vm.set_strategy(dispatch);
+            vm.inject_fault(fault);
             let res = vm.run(RUN_BUDGET);
             let commands = vm.commands().clone();
             drop(vm);
@@ -429,6 +459,8 @@ pub fn run_source_with<S: TraceSink>(
         Language::Perlite => {
             let program_bytes = src.len();
             let mut p = interp_perlite::Perlite::new(&mut m, src).map_err(GuardError::from)?;
+            p.set_strategy(dispatch);
+            p.inject_fault(fault);
             let res = p.run();
             let commands = p.commands().clone();
             drop(p);
@@ -438,6 +470,8 @@ pub fn run_source_with<S: TraceSink>(
         Language::Tclite => {
             let program_bytes = src.len();
             let mut tcl = interp_tclite::Tclite::new(&mut m);
+            tcl.set_strategy(dispatch);
+            tcl.inject_fault(fault);
             let res = tcl.run(src);
             let commands = tcl.commands().clone();
             drop(tcl);
@@ -459,6 +493,29 @@ pub fn try_run_source<S: TraceSink>(
     run_source_with(language, src, Vec::new(), Vec::new(), limits, sink)
 }
 
+/// [`try_run_source`] under a dispatch strategy with an optional injected
+/// dispatch-tier fault — the conformance engine's strategy-witness entry
+/// point.
+pub fn try_run_source_dispatch<S: TraceSink>(
+    language: Language,
+    src: &str,
+    limits: Limits,
+    dispatch: DispatchStrategy,
+    fault: DispatchFault,
+    sink: S,
+) -> Result<RunResult<S>, GuardError> {
+    run_source_dispatch(
+        language,
+        src,
+        Vec::new(),
+        Vec::new(),
+        limits,
+        dispatch,
+        fault,
+        sink,
+    )
+}
+
 /// Run one macro benchmark under `limits` and return its counters, with
 /// every failure — unknown name, compile error, limit trip, runtime
 /// error, failed self-check — as a typed [`GuardError`] instead of a
@@ -470,6 +527,18 @@ pub fn try_run_macro<S: TraceSink>(
     name: &str,
     scale: Scale,
     limits: Limits,
+    sink: S,
+) -> Result<RunResult<S>, GuardError> {
+    try_run_macro_dispatch(language, name, scale, limits, DispatchStrategy::Naive, sink)
+}
+
+/// [`try_run_macro`] under a dispatch strategy.
+pub fn try_run_macro_dispatch<S: TraceSink>(
+    language: Language,
+    name: &str,
+    scale: Scale,
+    limits: Limits,
+    dispatch: DispatchStrategy,
     sink: S,
 ) -> Result<RunResult<S>, GuardError> {
     if !macro_names(language).contains(&name) {
@@ -487,7 +556,16 @@ pub fn try_run_macro<S: TraceSink>(
         }
         Language::Tclite => tcl_workload(name, scale),
     };
-    run_source_with(language, &src, files, events, limits, sink)
+    run_source_dispatch(
+        language,
+        &src,
+        files,
+        events,
+        limits,
+        dispatch,
+        DispatchFault::None,
+        sink,
+    )
 }
 
 /// Run one macro benchmark and return its counters.
@@ -519,6 +597,18 @@ pub fn try_run_micro<S: TraceSink>(
     limits: Limits,
     sink: S,
 ) -> Result<RunResult<S>, GuardError> {
+    try_run_micro_dispatch(language, name, scale, limits, DispatchStrategy::Naive, sink)
+}
+
+/// [`try_run_micro`] under a dispatch strategy.
+pub fn try_run_micro_dispatch<S: TraceSink>(
+    language: Language,
+    name: &str,
+    scale: Scale,
+    limits: Limits,
+    dispatch: DispatchStrategy,
+    sink: S,
+) -> Result<RunResult<S>, GuardError> {
     if !micro::MICRO_NAMES.contains(&name) {
         return Err(bad_program(language, format!("unknown microbenchmark `{name}`")));
     }
@@ -548,7 +638,16 @@ pub fn try_run_micro<S: TraceSink>(
     };
     let iters = if name == "read" { io_iters("read") } else { iters };
     let src = instantiate(template, &[("N", iters)]);
-    run_source_with(language, &src, vec![warm_file], vec![], limits, sink)
+    run_source_dispatch(
+        language,
+        &src,
+        vec![warm_file],
+        vec![],
+        limits,
+        dispatch,
+        DispatchFault::None,
+        sink,
+    )
 }
 
 /// Run one Table 1 microbenchmark. The C variant is also the MIPSI guest.
@@ -620,13 +719,37 @@ impl Runner {
         limits: Limits,
         sink: S,
     ) -> Result<RunResult<S>, GuardError> {
+        Runner::try_run_dispatch(workload, limits, DispatchStrategy::Naive, sink)
+    }
+
+    /// [`Runner::try_run`] under a dispatch strategy — the entry point
+    /// the run-plan executor uses to honor [`RunRequest::dispatch`]
+    /// (strategies unsupported by the workload's engine clamp to naive).
+    ///
+    /// [`RunRequest::dispatch`]: interp_core::RunRequest
+    pub fn try_run_dispatch<S: TraceSink>(
+        workload: WorkloadId,
+        limits: Limits,
+        dispatch: DispatchStrategy,
+        sink: S,
+    ) -> Result<RunResult<S>, GuardError> {
         match workload.kind {
-            WorkloadKind::Macro => {
-                try_run_macro(workload.language, workload.name, workload.scale, limits, sink)
-            }
-            WorkloadKind::Micro => {
-                try_run_micro(workload.language, workload.name, workload.scale, limits, sink)
-            }
+            WorkloadKind::Macro => try_run_macro_dispatch(
+                workload.language,
+                workload.name,
+                workload.scale,
+                limits,
+                dispatch,
+                sink,
+            ),
+            WorkloadKind::Micro => try_run_micro_dispatch(
+                workload.language,
+                workload.name,
+                workload.scale,
+                limits,
+                dispatch,
+                sink,
+            ),
         }
     }
 

@@ -23,6 +23,10 @@
 #                        each lowered to all five interpreters; exits
 #                        nonzero on any cross-interpreter console
 #                        divergence (with a shrunk minimal reproducer).
+#                        Runs twice: the classic naive sweep, then
+#                        --dispatch all, which adds every supported
+#                        fast-dispatch tier (threaded, superinstr,
+#                        inline-cache) as extra witness columns.
 #   crash-resume       — a journaled run is deliberately crashed mid-plan
 #                        (exit 86 after 5 durable appends); the rerun with
 #                        --resume must reuse the journal and print stdout
@@ -88,6 +92,10 @@ echo "== conformance smoke (32 seeds, 5 interpreters, zero divergence) =="
 "$REPRO" conform --seeds 32 \
   || { echo "cross-interpreter divergence detected; see the shrunk reproducer above"; exit 1; }
 
+echo "== conformance smoke, all dispatch tiers (32 seeds, 11 engine witnesses) =="
+"$REPRO" conform --seeds 32 --dispatch all \
+  || { echo "fast-dispatch tier diverged from naive; see the shrunk reproducer above"; exit 1; }
+
 echo "== crash-resume (deliberate mid-plan crash, then --resume, byte-diff vs cold) =="
 CACHE=/tmp/repro_resume_cache
 rm -rf "$CACHE"
@@ -136,11 +144,18 @@ echo "two processes split $planned runs exactly-once ($executed executed total)"
   || { echo "status does not report full coverage"; exit 1; }
 rm -rf "$COLD" "$SHARED"
 
-echo "== bench trajectory (JSON artifact smoke) =="
-"$REPRO" bench --scale test --jobs 4 --out /tmp/repro_bench.json >/dev/null
-grep -q '"schema": "bench-trajectory/1"' /tmp/repro_bench.json \
+echo "== bench trajectory (JSON artifact + dispatch-tier gate) =="
+"$REPRO" bench --scale test --jobs 4 --out /tmp/repro_bench.json >/tmp/repro_bench_summary.txt \
+  || { echo "bench failed (a fast dispatch tier regressed vs naive?)"; \
+       cat /tmp/repro_bench_summary.txt; exit 1; }
+grep -q '"schema": "bench-trajectory/2"' /tmp/repro_bench.json \
   || { echo "bench trajectory missing schema marker"; exit 1; }
-rm -f /tmp/repro_bench.json
+grep -q '"dispatch"' /tmp/repro_bench.json \
+  || { echo "bench trajectory missing dispatch-tier section"; exit 1; }
+grep -q "bench: dispatch tiers ok" /tmp/repro_bench_summary.txt \
+  || { echo "bench summary missing the dispatch-tier gate marker"; \
+       cat /tmp/repro_bench_summary.txt; exit 1; }
+rm -f /tmp/repro_bench.json /tmp/repro_bench_summary.txt
 
 echo "== journal-chaos (corruption + multi-writer lanes, 2 full rotations) =="
 "$REPRO" journal-chaos --seeds 18
