@@ -102,7 +102,58 @@ impl BenchReport {
     }
 }
 
-/// Execute the benchmark sweep: each target alone, then the shared plan.
+/// Measure the serve-mode round-trip: warm a throwaway cache with the
+/// `table1` plan, then time submit → response for the same selection
+/// through a live daemon. The wall-clock covers the full client path —
+/// inbox publish, daemon scan, journaled plan (fully reused from the
+/// warm cache), render, outbox publish, wait poll — so the point tracks
+/// service overhead, not workload cost. A failed warm-up or timeout
+/// reports 0.0 rather than failing the sweep.
+fn bench_serve(scale: Scale, jobs: usize, config: &SuperviseConfig) -> BenchTarget {
+    use crate::experiments::ExperimentService;
+    use interp_runplan::serve::{self, ServeConfig, ServeRequest, WaitOutcome};
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir().join(format!(
+        "repro-bench-serve-{}-{}",
+        std::process::id(),
+        interp_runplan::fresh_token()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = Plan::build(requests_for("table1", scale));
+    let runs = plan.len();
+    let jconfig = interp_runplan::JournalConfig::new(&dir);
+    let warmed = interp_runplan::execute_journaled(&plan, jobs, config, &jconfig).is_ok();
+    let mut serve_config = ServeConfig::new(&dir);
+    serve_config.jobs = jobs;
+    serve_config.supervise = *config;
+    serve_config.poll = Duration::from_millis(1);
+    serve_config.max_requests = Some(1);
+    let mut wall_s = 0.0;
+    if warmed {
+        let daemon = std::thread::spawn(move || {
+            let _ = serve::serve(&serve_config, &ExperimentService);
+        });
+        let started = Instant::now();
+        let request = ServeRequest::new("bench", &["table1"], scale);
+        if serve::submit(&dir, &request).is_ok() {
+            if let Ok(WaitOutcome::Response(_)) = serve::wait(
+                &dir,
+                "bench",
+                Duration::from_secs(120),
+                Duration::from_millis(1),
+            ) {
+                wall_s = started.elapsed().as_secs_f64();
+            }
+        }
+        let _ = daemon.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    BenchTarget { name: "serve", runs, wall_s }
+}
+
+/// Execute the benchmark sweep: each target alone, the serve-mode
+/// round-trip, then the shared plan.
 pub fn run_bench(scale: Scale, jobs: usize, config: &SuperviseConfig) -> BenchReport {
     let unix_ms = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
@@ -119,6 +170,7 @@ pub fn run_bench(scale: Scale, jobs: usize, config: &SuperviseConfig) -> BenchRe
             wall_s: executed.wall.as_secs_f64(),
         });
     }
+    targets.push(bench_serve(scale, jobs, config));
     let union = all_requests(scale);
     let combined_requests = union.len();
     let plan = Plan::build(union);
@@ -164,7 +216,7 @@ fn r3(x: f64) -> f64 {
 pub fn render_json(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"bench-trajectory/2\",\n");
+    out.push_str("  \"schema\": \"bench-trajectory/3\",\n");
     out.push_str(&format!("  \"unix_ms\": {},\n", report.unix_ms));
     out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale.label()));
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
@@ -295,7 +347,7 @@ mod tests {
         let text = render_json(&tiny_report());
         assert!(text.starts_with("{\n"));
         assert!(text.ends_with("}\n"));
-        assert!(text.contains("\"schema\": \"bench-trajectory/2\""), "{text}");
+        assert!(text.contains("\"schema\": \"bench-trajectory/3\""), "{text}");
         assert!(text.contains("\"scale\": \"test\""), "{text}");
         assert!(text.contains("\"name\": \"table1\", \"runs\": 10, \"wall_s\": 0.123"), "{text}");
         assert!(text.contains("\"combined_plan_runs\": 24"), "{text}");
@@ -346,7 +398,12 @@ mod tests {
     #[test]
     fn bench_measures_every_target_plus_combined() {
         let report = run_bench(Scale::Test, 2, &SuperviseConfig::new());
-        assert_eq!(report.targets.len(), TARGETS.len());
+        // Every registry target plus the serve-mode round-trip point.
+        assert_eq!(report.targets.len(), TARGETS.len() + 1);
+        let serve = report.targets.last().expect("serve point");
+        assert_eq!(serve.name, "serve");
+        assert!(serve.runs > 0, "serve point must plan table1's runs");
+        assert!(serve.wall_s > 0.0, "serve round-trip must be measured");
         // table3 needs no runs; every other target needs at least one.
         assert!(report.targets.iter().any(|t| t.runs == 0));
         assert!(report.targets.iter().filter(|t| t.runs > 0).count() >= 7);

@@ -13,6 +13,9 @@
 //! repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]
 //! repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]
 //! repro conform [--seeds N] [--dispatch LIST]
+//! repro serve [--cache-dir DIR] [--queue N] [--poll-ms N] [--max-requests N] [--stop]
+//! repro submit [TARGETS] [--scale test|paper] [--dispatch LIST] [--id NAME] [--cache-dir DIR]
+//! repro wait ID [--cache-dir DIR] [--wait-timeout SECS] [--poll-ms N]
 //! ```
 //!
 //! `TARGETS` is one or more experiment names, comma- or space-separated
@@ -78,9 +81,23 @@
 //! sizes, dedup reuse ratio) to `--out FILE` (default
 //! `BENCH_trajectory.json`).
 //!
+//! Service mode: `serve` runs a long-lived daemon over the cache — it
+//! watches `<cache>/serve/inbox/` for request files dropped by `submit`,
+//! admits at most `--queue` per scan (excess answered with a typed
+//! `overloaded` rejection), executes each through the same journal
+//! claims as batch runs (exactly-once even while a concurrent
+//! `repro all` shares the cache), and publishes responses to
+//! `<cache>/serve/outbox/` whose bodies are byte-identical to the batch
+//! CLI's stdout for the same selection. Malformed or unknown-target
+//! requests get typed rejections, never a daemon crash. The daemon
+//! heartbeats every scan, recovers requests a killed daemon left
+//! claimed, and drains cleanly on `serve --stop`. `wait ID` blocks for
+//! a response and replays its body/accounting onto stdout/stderr.
+//!
 //! Exit status: 0 success (or degraded-but-complete), 1 sweep failure,
 //! 2 usage error, 3 degraded under `--strict`, 4 journal I/O error,
-//! 5 lock timeout, 86 deliberate `--crash-after` crash.
+//! 5 lock timeout, 6 serve daemon already running, 7 wait timeout,
+//! 86 deliberate `--crash-after` crash.
 //!
 //! `journal-chaos` proves the recovery machinery per seed: corruption
 //! lanes damage a pristine journal and assert every defect is detected,
@@ -94,10 +111,12 @@
 use interp_core::{DispatchFault, DispatchSelection, DispatchStrategy};
 use interp_harness::bench_report;
 use interp_harness::experiments::{
-    all_requests, is_target, render_target_with, requests_for, requests_for_with, TARGETS,
+    all_requests, is_target, render_target_with, requests_for, requests_for_with,
+    ExperimentService, TARGETS,
 };
 use interp_harness::{guard_sweep, Scale};
 use interp_runplan::chaos::{journal_chaos_baseline, journal_chaos_plan, journal_chaos_seed};
+use interp_runplan::serve;
 use interp_runplan::{
     cache_status, chaos_execute, compact, current_epoch, default_jobs, execute_journaled,
     execute_supervised, render_cache_status, render_chaos_summary, render_failures,
@@ -105,6 +124,7 @@ use interp_runplan::{
     JournalError, JournalErrorKind, Plan, ResolveError, SuperviseConfig, DEFAULT_CACHE_DIR,
     DEFAULT_LOCK_TIMEOUT,
 };
+use std::io::Write;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -124,6 +144,9 @@ fn usage() -> String {
          \x20      repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]\n\
          \x20      repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]\n\
          \x20      repro conform [--seeds N] [--dispatch LIST]\n\
+         \x20      repro serve [--cache-dir DIR] [--queue N] [--poll-ms N] [--max-requests N] [--stop]\n\
+         \x20      repro submit [TARGETS] [--scale test|paper] [--dispatch LIST] [--id NAME] [--cache-dir DIR]\n\
+         \x20      repro wait ID [--cache-dir DIR] [--wait-timeout SECS] [--poll-ms N]\n\
          targets: {} | all (default), comma- or space-separated\n\
          dispatch: --dispatch LIST, comma-separated from naive | threaded | superinstr |\n\
          \x20            inline-cache | default | all (experiments default: all; conform\n\
@@ -133,8 +156,12 @@ fn usage() -> String {
          \x20            missing runs; corrupt records are reported and recomputed, never fatal;\n\
          \x20            concurrent processes sharing a cache dir coordinate through an advisory\n\
          \x20            lock for exactly-once execution (--lock-timeout SECS bounds the wait)\n\
+         service: `serve` daemonizes over the cache inbox/outbox; `submit` drops a\n\
+         \x20            request file (id on stdout); `wait ID` blocks for its response and\n\
+         \x20            replays the body (byte-identical to the batch CLI) on stdout\n\
          exit status: 0 ok, 1 sweep failure, 2 usage, 3 degraded under --strict,\n\
-         \x20            4 journal I/O error, 5 lock timeout, 86 --crash-after",
+         \x20            4 journal I/O error, 5 lock timeout, 6 serve daemon already running,\n\
+         \x20            7 wait timeout, 86 --crash-after",
         names.join(" | ")
     )
 }
@@ -185,6 +212,18 @@ struct Cli {
     /// `--dispatch` if given; experiments default to every supported
     /// tier, `conform` to naive only.
     dispatch: Option<DispatchSelection>,
+    /// `repro serve` admission-queue capacity per inbox scan.
+    queue: Option<usize>,
+    /// `repro serve`/`repro wait` poll interval in milliseconds.
+    poll_ms: Option<u64>,
+    /// `repro serve`: exit after this many responses (tests, bench).
+    max_requests: Option<u64>,
+    /// `repro serve --stop`: ask the running daemon to drain and exit.
+    stop: bool,
+    /// `repro submit --id NAME`: explicit request id.
+    id: Option<String>,
+    /// `repro wait` patience before exit status 7.
+    wait_timeout: Option<Duration>,
 }
 
 impl Cli {
@@ -225,6 +264,12 @@ fn parse(args: &[String]) -> Cli {
     let mut out: Option<PathBuf> = None;
     let mut crash_after: Option<u64> = None;
     let mut dispatch: Option<DispatchSelection> = None;
+    let mut queue: Option<usize> = None;
+    let mut poll_ms: Option<u64> = None;
+    let mut max_requests: Option<u64> = None;
+    let mut stop = false;
+    let mut id: Option<String> = None;
+    let mut wait_timeout: Option<Duration> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -307,6 +352,42 @@ fn parse(args: &[String]) -> Cli {
                 Ok(n) if n > 0 => crash_after = Some(n),
                 _ => bail(&format!("--crash-after expects a positive integer, got `{v}`")),
             }
+        } else if arg == "--queue" || arg.starts_with("--queue=") {
+            let v = take_value("--queue");
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => queue = Some(n),
+                _ => bail(&format!("--queue expects a positive integer, got `{v}`")),
+            }
+        } else if arg == "--poll-ms" || arg.starts_with("--poll-ms=") {
+            let v = take_value("--poll-ms");
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => poll_ms = Some(n),
+                _ => bail(&format!("--poll-ms expects a positive integer, got `{v}`")),
+            }
+        } else if arg == "--max-requests" || arg.starts_with("--max-requests=") {
+            let v = take_value("--max-requests");
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => max_requests = Some(n),
+                _ => bail(&format!("--max-requests expects a positive integer, got `{v}`")),
+            }
+        } else if arg == "--stop" {
+            stop = true;
+        } else if arg == "--id" || arg.starts_with("--id=") {
+            let v = take_value("--id");
+            if !interp_runplan::serve::valid_id(&v) {
+                bail(&format!(
+                    "--id expects up to 64 chars of [A-Za-z0-9._-] not starting with `.`, got `{v}`"
+                ));
+            }
+            id = Some(v);
+        } else if arg == "--wait-timeout" || arg.starts_with("--wait-timeout=") {
+            let v = take_value("--wait-timeout");
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => wait_timeout = Some(Duration::from_secs(n)),
+                _ => bail(&format!(
+                    "--wait-timeout expects a positive number of seconds, got `{v}`"
+                )),
+            }
         } else if arg.starts_with('-') {
             bail(&format!("unknown flag `{arg}`"));
         } else {
@@ -338,6 +419,12 @@ fn parse(args: &[String]) -> Cli {
         out,
         crash_after,
         dispatch,
+        queue,
+        poll_ms,
+        max_requests,
+        stop,
+        id,
+        wait_timeout,
     }
 }
 
@@ -355,6 +442,9 @@ fn print_list(scale: Scale) {
     println!("  chaos      full plan under seeded guest+pool fault injection");
     println!("  journal-chaos  seeded journal corruption and multi-writer races: healed");
     println!("  conform    differential conformance sweep across all five interpreters");
+    println!("  serve      crash-tolerant run-plan service daemon over the shared cache");
+    println!("  submit     drop a run-plan request into the serve inbox (prints its id)");
+    println!("  wait       block for a serve response; body replays on stdout");
     println!();
     println!("dispatch axis: --dispatch LIST narrows the `dispatch` family and widens");
     println!("  `conform` witnesses; per-interpreter tiers:");
@@ -561,6 +651,143 @@ fn run_journal_chaos(cli: &Cli) -> ! {
     }
 }
 
+/// `repro serve`: run the service daemon over the shared cache — watch
+/// the inbox, admit requests through strict typed parsing (bounded by
+/// `--queue` per scan, excess rejected `overloaded`), execute each plan
+/// exactly-once through the journal claims (coordinating with any
+/// concurrent batch invocations), and publish responses to the outbox.
+/// `--stop` instead asks the running daemon to drain and exit. Exit
+/// status 6 when another live daemon already holds this cache's lease.
+fn run_serve(cli: &Cli) -> ! {
+    let dir = cli.cache_dir_or_default();
+    if cli.stop {
+        if let Err(e) = serve::request_stop(&dir) {
+            journal_exit(&e);
+        }
+        let deadline = std::time::Instant::now() + cli.lock_timeout_or_default();
+        loop {
+            let status = serve::serve_status(&dir);
+            if !status.daemon_live {
+                if status.daemon_pid.is_none() {
+                    // Nothing to stop: withdraw the marker so it cannot
+                    // kill the next daemon at startup.
+                    serve::withdraw_stop(&dir);
+                    eprintln!("repro: no serve daemon running in {}", dir.display());
+                }
+                println!("serve: stopped");
+                std::process::exit(0);
+            }
+            if std::time::Instant::now() >= deadline {
+                eprintln!(
+                    "repro: serve daemon (pid {}) did not drain within the lock timeout",
+                    status.daemon_pid.unwrap_or(0)
+                );
+                std::process::exit(1);
+            }
+            std::thread::sleep(Duration::from_millis(cli.poll_ms.unwrap_or(50)));
+        }
+    }
+    let mut config = serve::ServeConfig::new(&dir);
+    config.jobs = cli.jobs;
+    config.supervise = cli.supervise_config();
+    config.lock_timeout = cli.lock_timeout_or_default();
+    config.max_requests = cli.max_requests;
+    config.crash_after = cli.crash_after;
+    if let Some(queue) = cli.queue {
+        config.queue = queue;
+    }
+    if let Some(ms) = cli.poll_ms {
+        config.poll = Duration::from_millis(ms);
+    }
+    match serve::serve(&config, &ExperimentService) {
+        Ok(report) => {
+            eprintln!("{}", report.render());
+            std::process::exit(0);
+        }
+        Err(serve::ServeError::AlreadyRunning { pid }) => {
+            eprintln!(
+                "repro: serve daemon already running (pid {pid}) in {}",
+                dir.display()
+            );
+            std::process::exit(6);
+        }
+        Err(serve::ServeError::Journal(e)) => journal_exit(&e),
+    }
+}
+
+/// `repro submit TARGETS`: publish a run-plan request into the cache's
+/// serve inbox (atomically — the daemon never sees a torn file from
+/// us) and print its id. Target names are deliberately NOT validated
+/// here: the daemon answers unknown names with a typed rejection, which
+/// `repro wait` reports. Pair with `repro wait` to block on the result.
+fn run_submit(cli: &Cli) -> ! {
+    let dir = cli.cache_dir_or_default();
+    let targets: Vec<&str> = if cli.targets.len() > 1 {
+        cli.targets[1..].iter().map(String::as_str).collect()
+    } else {
+        vec!["all"]
+    };
+    let id = cli
+        .id
+        .clone()
+        .unwrap_or_else(|| format!("req-{}", interp_runplan::fresh_token()));
+    let mut request = serve::ServeRequest::new(id, &targets, cli.scale);
+    request.dispatch = cli.dispatch.clone();
+    match serve::submit(&dir, &request) {
+        Ok(path) => {
+            eprintln!("submit: {}", path.display());
+            println!("{}", request.id);
+            std::process::exit(0);
+        }
+        Err(e) => journal_exit(&e),
+    }
+}
+
+/// `repro wait ID`: poll the outbox for the response to `ID`. An ok
+/// response prints its body on stdout (byte-identical to the batch CLI)
+/// with the exactly-once accounting on stderr; a typed rejection prints
+/// its kind and detail on stderr and exits 1; no response within
+/// `--wait-timeout` exits 7.
+fn run_wait(cli: &Cli) -> ! {
+    if cli.targets.len() != 2 {
+        bail("`wait` expects exactly one request id");
+    }
+    let id = cli.targets[1].as_str();
+    let dir = cli.cache_dir_or_default();
+    let timeout = cli.wait_timeout.unwrap_or(Duration::from_secs(120));
+    let poll = Duration::from_millis(cli.poll_ms.unwrap_or(50));
+    match serve::wait(&dir, id, timeout, poll) {
+        Ok(serve::WaitOutcome::Response(response)) => match response.outcome {
+            serve::ServeOutcome::Ok { degraded, accounting, body } => {
+                eprintln!(
+                    "serve {id}: reused {} of {} planned run(s), executed {}, reused-live {}",
+                    accounting.reused,
+                    accounting.planned,
+                    accounting.executed,
+                    accounting.reused_live
+                );
+                let mut stdout = std::io::stdout();
+                if stdout.write_all(&body).and_then(|()| stdout.flush()).is_err() {
+                    std::process::exit(4);
+                }
+                std::process::exit(if degraded && cli.strict { 3 } else { 0 });
+            }
+            serve::ServeOutcome::Rejected(reject) => {
+                eprintln!("serve {id}: rejected ({reject})");
+                std::process::exit(1);
+            }
+        },
+        Ok(serve::WaitOutcome::TimedOut) => {
+            eprintln!(
+                "serve {id}: no response within {}s",
+                timeout.as_secs()
+            );
+            std::process::exit(7);
+        }
+        Err(e) => journal_exit(&e),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse(&args);
@@ -615,6 +842,14 @@ fn main() {
             }
             run_conform(&cli);
         }
+        Some("serve") => {
+            if cli.targets.len() > 1 {
+                bail("`serve` takes no further targets");
+            }
+            run_serve(&cli);
+        }
+        Some("submit") => run_submit(&cli),
+        Some("wait") => run_wait(&cli),
         _ => {}
     }
 

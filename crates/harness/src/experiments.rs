@@ -8,7 +8,8 @@
 //! the goldens test pins those bytes per renderer.
 
 use interp_core::{DispatchSelection, RunRequest};
-use interp_runplan::ArtifactStore;
+use interp_runplan::serve::{PlanService, Reject, RejectKind, ServeRequest};
+use interp_runplan::{ArtifactStore, ExecutedPlan, Plan};
 
 use crate::{ablations, arch, dispatch, figures, memmodel, table1, table2, Scale};
 
@@ -101,6 +102,71 @@ pub fn render_target_with(
 /// supported dispatch strategy selected.
 pub fn render_target(target: &str, store: &ArtifactStore, scale: Scale) -> String {
     render_target_with(target, store, scale, &DispatchSelection::all())
+}
+
+/// The [`PlanService`] the `repro serve` daemon runs over this registry:
+/// a request's targets are validated and expanded exactly like the batch
+/// CLI's positional targets (`all` expands to every target; unknown names
+/// are a typed [`RejectKind::UnknownTarget`] rejection), and the response
+/// body is the same canonical-order concatenation of renders the batch
+/// CLI prints — so a serve-mode response byte-diffs cleanly against a
+/// cold batch run of the same selection.
+pub struct ExperimentService;
+
+impl ExperimentService {
+    /// Validate and expand a request's target list into canonical
+    /// registry order (the batch CLI's selection semantics).
+    fn selected_targets(request: &ServeRequest) -> Result<Vec<&'static str>, Reject> {
+        if request.targets.iter().any(|t| t == "all") {
+            return Ok(TARGETS.iter().map(|(n, _)| *n).collect());
+        }
+        for t in &request.targets {
+            if !is_target(t) {
+                return Err(Reject::new(
+                    RejectKind::UnknownTarget,
+                    format!("unknown target `{t}`"),
+                ));
+            }
+        }
+        Ok(TARGETS
+            .iter()
+            .map(|(n, _)| *n)
+            .filter(|n| request.targets.iter().any(|t| t == n))
+            .collect())
+    }
+
+    /// The dispatch selection a request names (default: every supported
+    /// tier, matching the batch CLI's default).
+    fn selection(request: &ServeRequest) -> DispatchSelection {
+        request.dispatch.clone().unwrap_or_default()
+    }
+}
+
+impl PlanService for ExperimentService {
+    fn plan(&self, request: &ServeRequest) -> Result<Plan, Reject> {
+        let targets = Self::selected_targets(request)?;
+        let selection = Self::selection(request);
+        Ok(Plan::build(targets.iter().flat_map(|t| {
+            requests_for_with(t, request.scale, &selection)
+        })))
+    }
+
+    fn render(&self, request: &ServeRequest, executed: &ExecutedPlan) -> String {
+        // Target validation already passed in `plan`; re-expanding here
+        // cannot fail for a request the daemon admitted.
+        let targets = Self::selected_targets(request).unwrap_or_default();
+        let selection = Self::selection(request);
+        let mut out = String::new();
+        for name in targets {
+            out.push_str(&render_target_with(
+                name,
+                &executed.store,
+                request.scale,
+                &selection,
+            ));
+        }
+        out
+    }
 }
 
 /// Table 3 needs no runs: it renders the timing model's parameters.

@@ -146,9 +146,10 @@ fn bench_emits_trajectory_json() {
 
     let json = std::fs::read_to_string(&out_path).expect("trajectory file");
     for needle in [
-        "\"schema\": \"bench-trajectory/1\"",
+        "\"schema\": \"bench-trajectory/3\"",
         "\"targets\": [",
         "\"name\": \"table1\"",
+        "\"name\": \"serve\"",
         "\"combined_plan_runs\":",
         "\"dedup_reuse_ratio\":",
     ] {

@@ -262,13 +262,29 @@ pub enum JournalChaosLane {
     /// Multi-writer lane: `compact` races a live appender. Expect no
     /// appended record to be lost and the final journal to be clean.
     CompactionRace,
+    /// Serve lane: a client crashed mid-write, leaving a torn request
+    /// file in the daemon's inbox. Expect a typed `torn` rejection
+    /// response — never a daemon crash.
+    TornServeRequest,
+    /// Serve lane: a daemon died between claiming a request and
+    /// committing its response (journal truncated to a prefix, dead pid
+    /// lease, claimed request orphaned in `work/`). Expect the next
+    /// daemon to steal the lease, recover the orphan, reuse the prefix,
+    /// and respond byte-identically to a cold run.
+    ServeCrashRecovery,
+    /// Serve lane: N concurrent clients race one daemon while a batch
+    /// campaign shares the cache. Expect every response ok and
+    /// byte-identical, with exactly-once execution across the daemon
+    /// and the batch writer combined.
+    ServeClientRace,
 }
 
 impl JournalChaosLane {
     /// Every lane, in rotation order. The original six corruption lanes
-    /// keep their seed positions; multi-writer lanes extend the tail, so
-    /// historical seeds 0–5 still map to the same corruption.
-    pub const ALL: [JournalChaosLane; 9] = [
+    /// keep their seed positions; multi-writer lanes extend the tail,
+    /// and serve lanes extend it again — historical seeds 0–8 still map
+    /// to the same lanes they always did.
+    pub const ALL: [JournalChaosLane; 12] = [
         JournalChaosLane::TornFinalRecord,
         JournalChaosLane::PayloadBitFlip,
         JournalChaosLane::MidTruncation,
@@ -278,6 +294,9 @@ impl JournalChaosLane {
         JournalChaosLane::InterleavedWriters,
         JournalChaosLane::StaleLockTakeover,
         JournalChaosLane::CompactionRace,
+        JournalChaosLane::TornServeRequest,
+        JournalChaosLane::ServeCrashRecovery,
+        JournalChaosLane::ServeClientRace,
     ];
 
     /// Display label.
@@ -292,6 +311,9 @@ impl JournalChaosLane {
             JournalChaosLane::InterleavedWriters => "interleaved-writers",
             JournalChaosLane::StaleLockTakeover => "stale-lock-takeover",
             JournalChaosLane::CompactionRace => "compaction-race",
+            JournalChaosLane::TornServeRequest => "torn-serve-request",
+            JournalChaosLane::ServeCrashRecovery => "serve-crash-recovery",
+            JournalChaosLane::ServeClientRace => "serve-client-race",
         }
     }
 
@@ -303,6 +325,17 @@ impl JournalChaosLane {
             JournalChaosLane::InterleavedWriters
                 | JournalChaosLane::StaleLockTakeover
                 | JournalChaosLane::CompactionRace
+        )
+    }
+
+    /// True for lanes that exercise the serve daemon's robustness
+    /// (torn clients, daemon crash recovery, client races).
+    pub fn is_serve(self) -> bool {
+        matches!(
+            self,
+            JournalChaosLane::TornServeRequest
+                | JournalChaosLane::ServeCrashRecovery
+                | JournalChaosLane::ServeClientRace
         )
     }
 }
@@ -399,12 +432,15 @@ pub fn corrupt_journal(
         }
         JournalChaosLane::InterleavedWriters
         | JournalChaosLane::StaleLockTakeover
-        | JournalChaosLane::CompactionRace => {
-            // Multi-writer lanes inject no byte corruption — they are
-            // dispatched to `multi_writer_seed` before this function is
-            // reached. Reaching here is a harness bug; the impossible
-            // requeue oracle makes the round fail loudly instead of
-            // silently passing.
+        | JournalChaosLane::CompactionRace
+        | JournalChaosLane::TornServeRequest
+        | JournalChaosLane::ServeCrashRecovery
+        | JournalChaosLane::ServeClientRace => {
+            // Multi-writer and serve lanes inject no byte corruption —
+            // they are dispatched to their own harnesses before this
+            // function is reached. Reaching here is a harness bug; the
+            // impossible requeue oracle makes the round fail loudly
+            // instead of silently passing.
             (JournalDefectKind::TornTail, usize::MAX)
         }
     };
@@ -523,13 +559,15 @@ impl MultiWriterOutcome {
 
 /// The verdict of one journal-chaos round — corruption lanes grade
 /// detect/classify/heal, multi-writer lanes grade exactly-once
-/// coordination.
+/// coordination, serve lanes grade daemon robustness.
 #[derive(Debug, Clone)]
 pub enum JournalChaosVerdict {
     /// A byte-corruption lane's verdict.
     Corruption(JournalChaosOutcome),
     /// A multi-writer coordination lane's verdict.
     MultiWriter(MultiWriterOutcome),
+    /// A serve-daemon robustness lane's verdict.
+    Serve(ServeChaosOutcome),
 }
 
 impl JournalChaosVerdict {
@@ -538,6 +576,7 @@ impl JournalChaosVerdict {
         match self {
             JournalChaosVerdict::Corruption(o) => o.passed(),
             JournalChaosVerdict::MultiWriter(o) => o.passed(),
+            JournalChaosVerdict::Serve(o) => o.passed(),
         }
     }
 
@@ -546,6 +585,7 @@ impl JournalChaosVerdict {
         match self {
             JournalChaosVerdict::Corruption(o) => render_journal_chaos(o),
             JournalChaosVerdict::MultiWriter(o) => render_multi_writer(o),
+            JournalChaosVerdict::Serve(o) => render_serve_chaos(o),
         }
     }
 }
@@ -570,6 +610,10 @@ pub fn journal_chaos_seed(
     if lane.is_multi_writer() {
         return multi_writer_seed(plan, jobs, seed, lane, config, dir, baseline)
             .map(JournalChaosVerdict::MultiWriter);
+    }
+    if lane.is_serve() {
+        return serve_chaos_seed(plan, jobs, seed, lane, config, dir, pristine, baseline)
+            .map(JournalChaosVerdict::Serve);
     }
     let mut corrupted = pristine.to_vec();
     let corruption = corrupt_journal(&mut corrupted, lane, seed);
@@ -773,6 +817,374 @@ pub fn render_multi_writer(outcome: &MultiWriterOutcome) -> String {
         outcome.journal_clean,
         if outcome.passed() { "ok" } else { "FAIL" },
     )
+}
+
+/// Stream-splitting constant for serve-lane rolls (torn-cut positions,
+/// crash prefixes), decorrelated from the corruption streams.
+const SERVE_STREAM: u64 = 0x5E27_E001_CAFE_D00D;
+
+/// One serve-daemon chaos verdict: what the lane injected, what the
+/// daemon answered, and whether execution stayed exactly-once with
+/// responses byte-identical to the cold baseline.
+#[derive(Debug, Clone)]
+pub struct ServeChaosOutcome {
+    /// The chaos seed.
+    pub seed: u64,
+    /// Which serve lane ran.
+    pub lane: JournalChaosLane,
+    /// Requests in the plan — the exactly-once denominator.
+    pub planned: usize,
+    /// Ok responses the oracle demands.
+    pub expected_ok: usize,
+    /// Typed rejections the oracle demands.
+    pub expected_rejected: usize,
+    /// Ok responses actually published.
+    pub ok: usize,
+    /// Typed rejections actually published (of the expected kind).
+    pub rejected: usize,
+    /// Executions summed across every campaign (daemon requests plus
+    /// any racing batch writer).
+    pub executed_total: usize,
+    /// Every response's accounting satisfied
+    /// `reused + executed + reused_live == planned`, and the combined
+    /// execution count matched the lane's oracle.
+    pub exactly_once: bool,
+    /// Every ok response body was byte-identical to the cold baseline
+    /// rendering.
+    pub body_identical: bool,
+    /// The daemon exited cleanly and released its pid lease.
+    pub clean_exit: bool,
+}
+
+impl ServeChaosOutcome {
+    /// True iff every oracle held.
+    pub fn passed(&self) -> bool {
+        self.ok == self.expected_ok
+            && self.rejected == self.expected_rejected
+            && self.exactly_once
+            && self.body_identical
+            && self.clean_exit
+    }
+}
+
+/// One line per serve round, shape-stable with the other renders.
+pub fn render_serve_chaos(outcome: &ServeChaosOutcome) -> String {
+    format!(
+        "journal-chaos seed {}: lane {} -> expect {} ok / {} rejected over {} run(s): ok={} rejected={} executed={} exactly-once={} body-identical={} clean-exit={} [{}]",
+        outcome.seed,
+        outcome.lane.label(),
+        outcome.expected_ok,
+        outcome.expected_rejected,
+        outcome.planned,
+        outcome.ok,
+        outcome.rejected,
+        outcome.executed_total,
+        outcome.exactly_once,
+        outcome.body_identical,
+        outcome.clean_exit,
+        if outcome.passed() { "ok" } else { "FAIL" },
+    )
+}
+
+/// The tiny [`crate::serve::PlanService`] the serve lanes run: one known
+/// target (`chaos-plan`) mapping to the fixed journal-chaos plan,
+/// rendered as one `{request} {content_hash:016x}` line per planned run
+/// — so the expected response body is a pure function of the cold
+/// baseline hash map.
+struct ChaosServeService {
+    plan: Plan,
+}
+
+impl crate::serve::PlanService for ChaosServeService {
+    fn plan(
+        &self,
+        request: &crate::serve::ServeRequest,
+    ) -> Result<Plan, crate::serve::Reject> {
+        if request.targets == ["chaos-plan"] {
+            Ok(Plan::build(self.plan.requests().iter().copied()))
+        } else {
+            Err(crate::serve::Reject::new(
+                crate::serve::RejectKind::UnknownTarget,
+                format!("unknown target `{}`", request.targets.join(",")),
+            ))
+        }
+    }
+
+    fn render(
+        &self,
+        _request: &crate::serve::ServeRequest,
+        executed: &ExecutedPlan,
+    ) -> String {
+        render_hash_body(&self.plan, &content_hashes(&self.plan, executed))
+    }
+}
+
+/// The `{request} {hash:016x}` response body for `plan` under a hash
+/// map (the serve lanes' baseline-comparable rendering).
+fn render_hash_body(plan: &Plan, hashes: &BTreeMap<RunRequest, u64>) -> String {
+    plan.requests()
+        .iter()
+        .map(|r| format!("{r} {:016x}\n", hashes.get(r).copied().unwrap_or(0)))
+        .collect()
+}
+
+/// The all-false outcome for a serve scenario that could not even run.
+fn failed_serve(seed: u64, lane: JournalChaosLane, planned: usize) -> ServeChaosOutcome {
+    ServeChaosOutcome {
+        seed,
+        lane,
+        planned,
+        expected_ok: 0,
+        expected_rejected: 0,
+        ok: 0,
+        rejected: 0,
+        executed_total: 0,
+        exactly_once: false,
+        body_identical: false,
+        clean_exit: false,
+    }
+}
+
+/// Run one serve-daemon robustness scenario against a cold cache.
+#[allow(clippy::too_many_arguments)]
+fn serve_chaos_seed(
+    plan: &Plan,
+    jobs: usize,
+    seed: u64,
+    lane: JournalChaosLane,
+    config: &SuperviseConfig,
+    dir: &Path,
+    pristine: &[u8],
+    baseline: &BTreeMap<RunRequest, u64>,
+) -> Result<ServeChaosOutcome, JournalError> {
+    use crate::serve::{
+        self, ServeConfig, ServeError, ServeOutcome, ServeRequest, WaitOutcome, INBOX_DIR,
+        SERVE_DIR, WORK_DIR,
+    };
+
+    // Start cold: no journal, no lock, no serve state from prior rounds
+    // (crash-recovery plants its own journal prefix below).
+    let _ = std::fs::remove_file(dir.join(JOURNAL_FILE));
+    let _ = std::fs::remove_file(dir.join(LOCK_FILE));
+    let _ = std::fs::remove_dir_all(dir.join(SERVE_DIR));
+
+    let planned = plan.len();
+    let expected_body = render_hash_body(plan, baseline);
+    let mut rng = Rng64::new(seed ^ SERVE_STREAM);
+    let service = ChaosServeService {
+        plan: Plan::build(plan.requests().iter().copied()),
+    };
+    let mut serve_config = ServeConfig::new(dir);
+    serve_config.jobs = jobs;
+    serve_config.supervise = *config;
+    serve_config.poll = std::time::Duration::from_millis(1);
+    let patience = std::time::Duration::from_secs(120);
+    let poll = std::time::Duration::from_millis(2);
+    let chaos_request =
+        |id: &str| ServeRequest::new(id, &["chaos-plan"], interp_core::Scale::Test);
+
+    match lane {
+        JournalChaosLane::TornServeRequest => {
+            // A client crashed mid-write: the request file has an intact
+            // version line but is cut strictly before its `end` trailer,
+            // so the daemon must classify it as torn — a typed response,
+            // never a crash.
+            let full = serve::encode_request(&chaos_request("torn"));
+            let version_end = full.find('\n').map_or(0, |p| p + 1);
+            let end_start = full.len() - "end\n".len();
+            let cut = rng.index(version_end, end_start);
+            let inbox = dir.join(INBOX_DIR);
+            std::fs::create_dir_all(&inbox).map_err(|e| journal_io(dir, e))?;
+            std::fs::write(inbox.join("torn.req"), &full.as_bytes()[..cut])
+                .map_err(|e| journal_io(dir, e))?;
+            serve_config.max_requests = Some(1);
+            let report = match serve::serve(&serve_config, &service) {
+                Ok(report) => report,
+                Err(ServeError::AlreadyRunning { .. }) => {
+                    return Ok(failed_serve(seed, lane, planned))
+                }
+                Err(ServeError::Journal(e)) => return Err(e),
+            };
+            let torn_rejected = matches!(
+                serve::wait(dir, "torn", patience, poll)?,
+                WaitOutcome::Response(serve::ServeResponse {
+                    outcome: ServeOutcome::Rejected(ref reject),
+                    ..
+                }) if reject.kind == serve::RejectKind::Torn
+            );
+            Ok(ServeChaosOutcome {
+                seed,
+                lane,
+                planned,
+                expected_ok: 0,
+                expected_rejected: 1,
+                ok: report.served,
+                rejected: usize::from(torn_rejected),
+                executed_total: 0,
+                exactly_once: true,
+                body_identical: true,
+                clean_exit: !dir.join(serve::DAEMON_FILE).exists(),
+            })
+        }
+        JournalChaosLane::ServeCrashRecovery => {
+            // A daemon died between claiming a request and committing its
+            // response: the journal holds only a prefix of the plan, the
+            // pid lease names a corpse, and the claimed request sits
+            // orphaned in work/. The fresh daemon must steal the lease,
+            // recover the orphan, reuse the prefix, execute the residue,
+            // and answer byte-identically to a cold run.
+            let spans = journal::record_spans(pristine);
+            let n = spans.len();
+            if n < 2 {
+                return Ok(failed_serve(seed, lane, planned));
+            }
+            let prefix = 1 + rng.index(0, n - 1);
+            std::fs::write(dir.join(JOURNAL_FILE), &pristine[..spans[prefix - 1].end])
+                .map_err(|e| journal_io(dir, e))?;
+            let work = dir.join(WORK_DIR);
+            std::fs::create_dir_all(&work).map_err(|e| journal_io(dir, e))?;
+            std::fs::write(
+                work.join("crashed.req"),
+                serve::encode_request(&chaos_request("crashed")),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            std::fs::write(
+                dir.join(serve::DAEMON_FILE),
+                format!("pid {DEAD_PID}\ntoken corpse\n"),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            std::fs::write(
+                dir.join(serve::HEARTBEAT_FILE),
+                format!("pid {DEAD_PID}\ntick 0\nunix_ms 0\n"),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            serve_config.max_requests = Some(1);
+            let report = match serve::serve(&serve_config, &service) {
+                Ok(report) => report,
+                Err(ServeError::AlreadyRunning { .. }) => {
+                    return Ok(failed_serve(seed, lane, planned))
+                }
+                Err(ServeError::Journal(e)) => return Err(e),
+            };
+            let (ok, executed_total, exactly_once, body_identical) =
+                match serve::wait(dir, "crashed", patience, poll)? {
+                    WaitOutcome::Response(response) => match response.outcome {
+                        ServeOutcome::Ok { accounting, body, .. } => (
+                            1,
+                            accounting.executed,
+                            accounting.exactly_once()
+                                && accounting.reused == prefix
+                                && accounting.executed == planned - prefix,
+                            body == expected_body.as_bytes(),
+                        ),
+                        ServeOutcome::Rejected(_) => (0, 0, false, false),
+                    },
+                    WaitOutcome::TimedOut => (0, 0, false, false),
+                };
+            Ok(ServeChaosOutcome {
+                seed,
+                lane,
+                planned,
+                expected_ok: 1,
+                expected_rejected: 0,
+                ok,
+                rejected: report.rejected,
+                executed_total,
+                exactly_once,
+                body_identical,
+                clean_exit: !dir.join(serve::DAEMON_FILE).exists()
+                    && !work.join("crashed.req").exists(),
+            })
+        }
+        JournalChaosLane::ServeClientRace => {
+            // N clients race one daemon while a batch campaign shares the
+            // cache: every response must be ok and byte-identical to the
+            // cold baseline, and the daemon plus the batch writer must
+            // execute each planned run exactly once between them.
+            let clients = 2 + (seed as usize % 2);
+            serve_config.max_requests = Some(clients as u64);
+            let stagger = std::time::Duration::from_millis(seed % 5);
+            let (daemon_result, batch_result, responses) = std::thread::scope(|scope| {
+                let daemon = {
+                    let serve_config = serve_config.clone();
+                    let service = &service;
+                    scope.spawn(move || serve::serve(&serve_config, service))
+                };
+                let batch = scope.spawn(|| {
+                    std::thread::sleep(stagger);
+                    let jconfig = JournalConfig::new(dir).with_resume(true);
+                    journal::execute_journaled(plan, jobs, config, &jconfig)
+                });
+                let client_handles: Vec<_> = (0..clients)
+                    .map(|i| {
+                        let request = chaos_request(&format!("race-{i}"));
+                        scope.spawn(move || {
+                            serve::submit(dir, &request)?;
+                            serve::wait(dir, &request.id, patience, poll)
+                        })
+                    })
+                    .collect();
+                let responses: Vec<_> = client_handles
+                    .into_iter()
+                    .map(|h| h.join())
+                    .collect();
+                (daemon.join(), batch.join(), responses)
+            });
+            let Ok(daemon_result) = daemon_result else {
+                return Ok(failed_serve(seed, lane, planned));
+            };
+            let report = match daemon_result {
+                Ok(report) => report,
+                Err(ServeError::AlreadyRunning { .. }) => {
+                    return Ok(failed_serve(seed, lane, planned))
+                }
+                Err(ServeError::Journal(e)) => return Err(e),
+            };
+            let Ok(batch_result) = batch_result else {
+                return Ok(failed_serve(seed, lane, planned));
+            };
+            let (batch_executed, batch_report) = batch_result?;
+            let batch_intact = content_hashes(plan, &batch_executed) == *baseline;
+            let mut ok = 0usize;
+            let mut executed_total = batch_report.executed;
+            let mut exactly_once = batch_report.planned == planned;
+            let mut body_identical = batch_intact;
+            for joined in responses {
+                let Ok(waited) = joined else {
+                    return Ok(failed_serve(seed, lane, planned));
+                };
+                match waited? {
+                    WaitOutcome::Response(response) => match response.outcome {
+                        ServeOutcome::Ok { accounting, body, .. } => {
+                            ok += 1;
+                            executed_total += accounting.executed;
+                            exactly_once &= accounting.exactly_once()
+                                && accounting.planned == planned;
+                            body_identical &= body == expected_body.as_bytes();
+                        }
+                        ServeOutcome::Rejected(_) => {}
+                    },
+                    WaitOutcome::TimedOut => {}
+                }
+            }
+            exactly_once &= executed_total == planned;
+            Ok(ServeChaosOutcome {
+                seed,
+                lane,
+                planned,
+                expected_ok: clients,
+                expected_rejected: 0,
+                ok,
+                rejected: report.rejected,
+                executed_total,
+                exactly_once,
+                body_identical,
+                clean_exit: report.served + report.rejected == clients
+                    && !dir.join(serve::DAEMON_FILE).exists(),
+            })
+        }
+        _ => Ok(failed_serve(seed, lane, planned)),
+    }
 }
 
 /// Grade one resumed run against the corruption oracle.

@@ -64,6 +64,7 @@ pub mod journal;
 pub mod lock;
 pub mod plan;
 pub mod pool;
+pub mod serve;
 pub mod status;
 pub mod store;
 pub mod supervise;
@@ -80,6 +81,12 @@ pub use journal::{
 pub use lock::{
     acquire, fresh_token, pid_alive, probe, Claims, LockConfig, LockError, LockErrorKind,
     LockGuard, LockStatus, SessionInfo, Sessions, DEFAULT_LOCK_TIMEOUT,
+};
+pub use serve::{
+    parse_request, parse_response, request_stop, serve, serve_status, submit, wait,
+    withdraw_stop, PlanService, Reject, RejectKind, ServeAccounting, ServeConfig, ServeError,
+    ServeOutcome, ServeReport, ServeRequest, ServeResponse, ServeStatus, WaitOutcome,
+    DEFAULT_SERVE_POLL, DEFAULT_SERVE_QUEUE,
 };
 pub use status::{cache_status, render_cache_status, CacheStatus};
 pub use plan::Plan;

@@ -1,0 +1,1386 @@
+//! `repro serve`: a crash-tolerant run-plan service daemon over the
+//! shared cache.
+//!
+//! The daemon is a long-lived loop watching a drop-dir inbox
+//! (`<cache>/serve/inbox/`) for client-submitted run-plan request files.
+//! Each request is admitted through strict typed parsing (a malformed or
+//! unsupported request gets a typed rejection response, never a crash),
+//! scheduled onto the existing [`crate::journal`] claims machinery for
+//! exactly-once execution across the daemon and any concurrent batch
+//! `repro` invocations, and answered with a response file in the outbox
+//! whose body is byte-identical to what the batch CLI would print for
+//! the same targets.
+//!
+//! # Protocol files
+//!
+//! A *request* is a text file `serve/inbox/<id>.req` published
+//! atomically (write-temp → rename) by [`submit`]:
+//!
+//! ```text
+//! repro-serve-request/1
+//! targets table1,fig3
+//! scale test
+//! dispatch naive,threaded     (optional)
+//! end
+//! ```
+//!
+//! The `end` trailer is the torn-write detector: a client that crashed
+//! (or wrote non-atomically) leaves a file without it, which the daemon
+//! classifies as a typed [`RejectKind::Torn`] rejection. A *response*
+//! is `serve/outbox/<id>.resp`, also atomically published:
+//!
+//! ```text
+//! repro-serve-response/1
+//! id <id>
+//! status ok | rejected
+//! reject <kind>                 (rejected only)
+//! detail <cause>                (rejected only)
+//! degraded true|false           (ok only)
+//! planned N / reused N / executed N / reused-live N / journaled N
+//! body <byte-count>             (ok only)
+//! <raw body bytes>
+//! end
+//! ```
+//!
+//! # Robustness contract
+//!
+//! * **Bounded admission**: at most [`ServeConfig::queue`] requests are
+//!   admitted per inbox scan; the rest are rejected with a typed
+//!   [`RejectKind::Overloaded`] response — backpressure, never OOM.
+//! * **Deadlines**: each request executes under the daemon's
+//!   [`SuperviseConfig`] (retries, fuel deadline), so one wedged run
+//!   degrades its own cells instead of wedging the daemon.
+//! * **Exactly-once**: execution goes through
+//!   [`crate::journal::execute_journaled`] with `resume`, so the daemon
+//!   and concurrent batch invocations partition work through the claims
+//!   registry and every response satisfies
+//!   `reused + executed + reused_live == planned`.
+//! * **Graceful drain**: a `serve/stop` file (written by
+//!   `repro serve --stop`) makes the daemon finish the request in
+//!   flight, flush its responses, release its pid lease, and exit 0.
+//! * **Liveness**: the daemon holds a `serve/daemon.pid` lease (second
+//!   live daemon is refused) and rewrites `serve/heartbeat` every scan,
+//!   which `repro status` reports read-only via [`serve_status`].
+//! * **Crash recovery**: a request is *claimed* by an atomic rename
+//!   from `inbox/` to `work/`. A daemon killed mid-request leaves the
+//!   claimed file behind; the next daemon moves every `work/` orphan
+//!   back to the inbox on startup and re-serves it, with runs the dead
+//!   daemon already journaled reused — the response is byte-identical
+//!   to a cold batch run.
+
+use crate::journal::{
+    execute_journaled, io_err, publish_bytes, JournalConfig, JournalError, ResumeReport,
+};
+use crate::lock::{fresh_token, holder_pid, pid_alive};
+use crate::plan::Plan;
+use crate::pool::ExecutedPlan;
+use crate::supervise::SuperviseConfig;
+use interp_core::{DispatchSelection, Scale};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Serve state directory inside a cache dir.
+pub const SERVE_DIR: &str = "serve";
+/// Drop-dir the clients publish requests into.
+pub const INBOX_DIR: &str = "serve/inbox";
+/// Directory the daemon publishes responses into.
+pub const OUTBOX_DIR: &str = "serve/outbox";
+/// Claimed-but-unfinished requests (the crash-recovery frontier).
+pub const WORK_DIR: &str = "serve/work";
+/// The daemon's pid lease file.
+pub const DAEMON_FILE: &str = "serve/daemon.pid";
+/// The daemon's liveness heartbeat, rewritten every scan.
+pub const HEARTBEAT_FILE: &str = "serve/heartbeat";
+/// Stop request marker (`repro serve --stop`).
+pub const STOP_FILE: &str = "serve/stop";
+
+/// First line of every request file.
+pub const REQUEST_VERSION_LINE: &str = "repro-serve-request/1";
+/// First line of every response file.
+pub const RESPONSE_VERSION_LINE: &str = "repro-serve-response/1";
+
+/// Default admission-queue capacity per inbox scan.
+pub const DEFAULT_SERVE_QUEUE: usize = 16;
+/// Default inbox poll interval.
+pub const DEFAULT_SERVE_POLL: Duration = Duration::from_millis(50);
+
+/// Why a request was rejected instead of executed. Every variant is a
+/// *response*, never a daemon crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// The request file is truncated or missing its `end` trailer — a
+    /// torn write from a crashed (or non-atomic) client.
+    Torn,
+    /// The request's version line is missing or unrecognized.
+    BadVersion,
+    /// A field is missing, duplicated, unknown, or unparseable.
+    BadField,
+    /// The request names a target the service does not know.
+    UnknownTarget,
+    /// The admission queue was full when the request arrived.
+    Overloaded,
+}
+
+impl RejectKind {
+    /// Stable wire label (written into the response file).
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectKind::Torn => "torn",
+            RejectKind::BadVersion => "bad-version",
+            RejectKind::BadField => "bad-field",
+            RejectKind::UnknownTarget => "unknown-target",
+            RejectKind::Overloaded => "overloaded",
+        }
+    }
+
+    /// Parse a wire label back into the kind.
+    pub fn parse(label: &str) -> Option<RejectKind> {
+        match label {
+            "torn" => Some(RejectKind::Torn),
+            "bad-version" => Some(RejectKind::BadVersion),
+            "bad-field" => Some(RejectKind::BadField),
+            "unknown-target" => Some(RejectKind::UnknownTarget),
+            "overloaded" => Some(RejectKind::Overloaded),
+            _ => None,
+        }
+    }
+}
+
+/// A typed rejection: the taxonomy bucket plus a one-line cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reject {
+    /// The taxonomy bucket.
+    pub kind: RejectKind,
+    /// Human-readable cause (single line).
+    pub detail: String,
+}
+
+impl Reject {
+    /// Build a rejection (the detail is flattened to one line).
+    pub fn new(kind: RejectKind, detail: impl Into<String>) -> Reject {
+        Reject { kind, detail: detail.into().replace('\n', " ") }
+    }
+}
+
+impl fmt::Display for Reject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.detail)
+    }
+}
+
+/// A parsed run-plan request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Request id — the file stem; also the response file stem.
+    pub id: String,
+    /// Raw target names (the [`PlanService`] validates them).
+    pub targets: Vec<String>,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Dispatch-strategy selection, if the client narrowed it.
+    pub dispatch: Option<DispatchSelection>,
+}
+
+impl ServeRequest {
+    /// A request for `targets` at `scale` with the default dispatch
+    /// selection.
+    pub fn new(id: impl Into<String>, targets: &[&str], scale: Scale) -> ServeRequest {
+        ServeRequest {
+            id: id.into(),
+            targets: targets.iter().map(|t| t.to_string()).collect(),
+            scale,
+            dispatch: None,
+        }
+    }
+}
+
+/// Is `id` usable as a request file stem? One path component, no
+/// separators, no hidden-file tricks.
+pub fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        && !id.starts_with('.')
+}
+
+/// Encode a request into its wire form (version line … `end` trailer).
+pub fn encode_request(request: &ServeRequest) -> String {
+    let mut out = String::new();
+    out.push_str(REQUEST_VERSION_LINE);
+    out.push('\n');
+    out.push_str("targets ");
+    out.push_str(&request.targets.join(","));
+    out.push('\n');
+    out.push_str("scale ");
+    out.push_str(request.scale.label());
+    out.push('\n');
+    if let Some(selection) = &request.dispatch {
+        out.push_str("dispatch ");
+        out.push_str(&selection.label());
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Strictly parse request `bytes` (file stem `id`). Every malformation
+/// is a typed [`Reject`] — this function never panics and never guesses.
+pub fn parse_request(bytes: &[u8], id: &str) -> Result<ServeRequest, Reject> {
+    if bytes.is_empty() {
+        return Err(Reject::new(RejectKind::Torn, "empty request file"));
+    }
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return Err(Reject::new(
+            RejectKind::Torn,
+            "request is not valid UTF-8 (torn or binary write)",
+        ));
+    };
+    let lines: Vec<&str> = text.lines().map(str::trim_end).collect();
+    match lines.first() {
+        Some(&REQUEST_VERSION_LINE) => {}
+        Some(other) => {
+            return Err(Reject::new(
+                RejectKind::BadVersion,
+                format!("first line `{other}`, expected `{REQUEST_VERSION_LINE}`"),
+            ))
+        }
+        None => return Err(Reject::new(RejectKind::Torn, "empty request file")),
+    }
+    let last = lines.iter().rev().find(|l| !l.is_empty());
+    if last != Some(&"end") {
+        return Err(Reject::new(
+            RejectKind::Torn,
+            "missing `end` trailer (torn client write)",
+        ));
+    }
+    let mut targets: Option<Vec<String>> = None;
+    let mut scale: Option<Scale> = None;
+    let mut dispatch: Option<DispatchSelection> = None;
+    for line in &lines[1..] {
+        if line.is_empty() {
+            continue;
+        }
+        if *line == "end" {
+            break;
+        }
+        let Some((key, value)) = line.split_once(' ') else {
+            return Err(Reject::new(
+                RejectKind::BadField,
+                format!("malformed field line `{line}` (expected `key value`)"),
+            ));
+        };
+        let value = value.trim();
+        match key {
+            "targets" => {
+                if targets.is_some() {
+                    return Err(Reject::new(RejectKind::BadField, "duplicate `targets` field"));
+                }
+                let parsed: Vec<String> = value
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if parsed.is_empty() {
+                    return Err(Reject::new(RejectKind::BadField, "empty `targets` field"));
+                }
+                targets = Some(parsed);
+            }
+            "scale" => {
+                if scale.is_some() {
+                    return Err(Reject::new(RejectKind::BadField, "duplicate `scale` field"));
+                }
+                match Scale::parse(value) {
+                    Some(s) => scale = Some(s),
+                    None => {
+                        return Err(Reject::new(
+                            RejectKind::BadField,
+                            format!("scale `{value}` is not test|paper"),
+                        ))
+                    }
+                }
+            }
+            "dispatch" => {
+                if dispatch.is_some() {
+                    return Err(Reject::new(RejectKind::BadField, "duplicate `dispatch` field"));
+                }
+                match DispatchSelection::parse(value) {
+                    Some(sel) => dispatch = Some(sel),
+                    None => {
+                        return Err(Reject::new(
+                            RejectKind::BadField,
+                            format!("unparseable dispatch selection `{value}`"),
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(Reject::new(
+                    RejectKind::BadField,
+                    format!("unknown field `{other}`"),
+                ))
+            }
+        }
+    }
+    let Some(targets) = targets else {
+        return Err(Reject::new(RejectKind::BadField, "missing `targets` field"));
+    };
+    let Some(scale) = scale else {
+        return Err(Reject::new(RejectKind::BadField, "missing `scale` field"));
+    };
+    Ok(ServeRequest { id: id.to_string(), targets, scale, dispatch })
+}
+
+/// The exactly-once accounting attached to every successful response —
+/// a straight projection of the [`ResumeReport`] the journaled
+/// execution produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeAccounting {
+    /// Requests in the plan.
+    pub planned: usize,
+    /// Served from journal records present at open.
+    pub reused: usize,
+    /// Actually executed by this request.
+    pub executed: usize,
+    /// Landed by a concurrent writer while this request ran.
+    pub reused_live: usize,
+    /// Artifacts this request appended to the journal.
+    pub journaled: usize,
+}
+
+impl ServeAccounting {
+    /// The exactly-once invariant every response must satisfy.
+    pub fn exactly_once(&self) -> bool {
+        self.reused + self.executed + self.reused_live == self.planned
+    }
+
+    fn from_report(report: &ResumeReport) -> ServeAccounting {
+        ServeAccounting {
+            planned: report.planned,
+            reused: report.reused,
+            executed: report.executed,
+            reused_live: report.reused_live,
+            journaled: report.journaled,
+        }
+    }
+}
+
+/// What a response says: a rendered body with accounting, or a typed
+/// rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The request executed; `body` is the rendered report bytes.
+    Ok {
+        /// At least one run degraded (`DEGRADED(..)` cells in the body).
+        degraded: bool,
+        /// Exactly-once accounting.
+        accounting: ServeAccounting,
+        /// Rendered report, byte-identical to the batch CLI's stdout.
+        body: Vec<u8>,
+    },
+    /// The request was rejected before (or instead of) execution.
+    Rejected(Reject),
+}
+
+/// One parsed response file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeResponse {
+    /// The request id this answers.
+    pub id: String,
+    /// Result or typed rejection.
+    pub outcome: ServeOutcome,
+}
+
+/// Encode a response into its wire form.
+pub fn encode_response(response: &ServeResponse) -> Vec<u8> {
+    let mut head = String::new();
+    head.push_str(RESPONSE_VERSION_LINE);
+    head.push('\n');
+    head.push_str(&format!("id {}\n", response.id));
+    match &response.outcome {
+        ServeOutcome::Rejected(reject) => {
+            head.push_str("status rejected\n");
+            head.push_str(&format!("reject {}\n", reject.kind.label()));
+            head.push_str(&format!("detail {}\n", reject.detail));
+            head.push_str("end\n");
+            head.into_bytes()
+        }
+        ServeOutcome::Ok { degraded, accounting, body } => {
+            head.push_str("status ok\n");
+            head.push_str(&format!("degraded {degraded}\n"));
+            head.push_str(&format!("planned {}\n", accounting.planned));
+            head.push_str(&format!("reused {}\n", accounting.reused));
+            head.push_str(&format!("executed {}\n", accounting.executed));
+            head.push_str(&format!("reused-live {}\n", accounting.reused_live));
+            head.push_str(&format!("journaled {}\n", accounting.journaled));
+            head.push_str(&format!("body {}\n", body.len()));
+            let mut bytes = head.into_bytes();
+            bytes.extend_from_slice(body);
+            bytes.extend_from_slice(b"end\n");
+            bytes
+        }
+    }
+}
+
+/// Parse a response file. Responses are always published atomically by
+/// the daemon, so a parse failure is corruption, reported as text.
+pub fn parse_response(bytes: &[u8]) -> Result<ServeResponse, String> {
+    let mut offset = 0usize;
+    let mut fields: Vec<(String, String)> = Vec::new();
+    let mut body: Option<Vec<u8>> = None;
+    let mut saw_version = false;
+    let mut saw_end = false;
+    while offset < bytes.len() {
+        let line_end = bytes[offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(bytes.len(), |p| offset + p);
+        let line = std::str::from_utf8(&bytes[offset..line_end])
+            .map_err(|_| "non-UTF-8 response header".to_string())?;
+        offset = (line_end + 1).min(bytes.len().max(line_end));
+        if !saw_version {
+            if line != RESPONSE_VERSION_LINE {
+                return Err(format!("first line `{line}`, expected `{RESPONSE_VERSION_LINE}`"));
+            }
+            saw_version = true;
+            continue;
+        }
+        if line == "end" {
+            saw_end = true;
+            break;
+        }
+        let Some((key, value)) = line.split_once(' ') else {
+            return Err(format!("malformed response line `{line}`"));
+        };
+        if key == "body" {
+            let len: usize = value
+                .parse()
+                .map_err(|_| format!("bad body length `{value}`"))?;
+            if offset + len > bytes.len() {
+                return Err(format!(
+                    "body claims {len} bytes but only {} remain",
+                    bytes.len() - offset
+                ));
+            }
+            body = Some(bytes[offset..offset + len].to_vec());
+            offset += len;
+            continue;
+        }
+        fields.push((key.to_string(), value.to_string()));
+    }
+    if !saw_end {
+        return Err("missing `end` trailer".to_string());
+    }
+    let field = |key: &str| -> Option<&str> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    };
+    let id = field("id").ok_or("missing `id`")?.to_string();
+    let number = |key: &str| -> Result<usize, String> {
+        field(key)
+            .ok_or_else(|| format!("missing `{key}`"))?
+            .parse()
+            .map_err(|_| format!("bad `{key}` value"))
+    };
+    match field("status") {
+        Some("ok") => Ok(ServeResponse {
+            id,
+            outcome: ServeOutcome::Ok {
+                degraded: field("degraded") == Some("true"),
+                accounting: ServeAccounting {
+                    planned: number("planned")?,
+                    reused: number("reused")?,
+                    executed: number("executed")?,
+                    reused_live: number("reused-live")?,
+                    journaled: number("journaled")?,
+                },
+                body: body.ok_or("ok response missing body")?,
+            },
+        }),
+        Some("rejected") => {
+            let kind_label = field("reject").ok_or("rejected response missing `reject`")?;
+            let kind = RejectKind::parse(kind_label)
+                .ok_or_else(|| format!("unknown reject kind `{kind_label}`"))?;
+            Ok(ServeResponse {
+                id,
+                outcome: ServeOutcome::Rejected(Reject::new(
+                    kind,
+                    field("detail").unwrap_or("").to_string(),
+                )),
+            })
+        }
+        Some(other) => Err(format!("unknown status `{other}`")),
+        None => Err("missing `status`".to_string()),
+    }
+}
+
+/// What the daemon asks of its host: turn an admitted request into a
+/// plan, and render the executed plan into the response body. The
+/// harness implements this over the experiments registry; the chaos
+/// harness uses a tiny test service. Keeping it a trait keeps
+/// `runplan` free of any dependency on the experiment renderers.
+pub trait PlanService: Sync {
+    /// Build the plan for an admitted request — or reject it with a
+    /// typed reason (unknown target, unsupported combination).
+    fn plan(&self, request: &ServeRequest) -> Result<Plan, Reject>;
+
+    /// Render the response body. Must be byte-identical to what the
+    /// batch CLI prints for the same selection, so serve-mode responses
+    /// byte-diff cleanly against cold batch runs.
+    fn render(&self, request: &ServeRequest, executed: &ExecutedPlan) -> String;
+}
+
+/// How the daemon runs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The shared cache directory (journal + serve state).
+    pub cache_dir: PathBuf,
+    /// Admission-queue capacity per inbox scan; requests beyond it are
+    /// rejected with [`RejectKind::Overloaded`].
+    pub queue: usize,
+    /// Inbox scan interval.
+    pub poll: Duration,
+    /// Exit after writing this many responses (tests, bench). `None`
+    /// runs until a stop request.
+    pub max_requests: Option<u64>,
+    /// Worker threads per request execution.
+    pub jobs: usize,
+    /// Per-request supervision (retries, fuel deadline).
+    pub supervise: SuperviseConfig,
+    /// Advisory-lock patience for journal coordination.
+    pub lock_timeout: Duration,
+    /// Crash harness passthrough: die (exit 86) after N journal appends
+    /// while serving — the deterministic kill-between-claim-and-commit.
+    pub crash_after: Option<u64>,
+}
+
+impl ServeConfig {
+    /// A daemon over `cache_dir` with defaults everywhere else.
+    pub fn new(cache_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            cache_dir: cache_dir.into(),
+            queue: DEFAULT_SERVE_QUEUE,
+            poll: DEFAULT_SERVE_POLL,
+            max_requests: None,
+            jobs: crate::pool::default_jobs(),
+            supervise: SuperviseConfig::default(),
+            lock_timeout: crate::lock::DEFAULT_LOCK_TIMEOUT,
+            crash_after: None,
+        }
+    }
+}
+
+/// Why the daemon could not run (request-level problems are responses,
+/// not errors).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Another live daemon holds the pid lease for this cache.
+    AlreadyRunning {
+        /// The live daemon's PID.
+        pid: u32,
+    },
+    /// A journal or filesystem operation failed.
+    Journal(JournalError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::AlreadyRunning { pid } => {
+                write!(f, "serve daemon already running (pid {pid})")
+            }
+            ServeError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> ServeError {
+        ServeError::Journal(e)
+    }
+}
+
+/// What one daemon run did.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Requests answered with a rendered body.
+    pub served: usize,
+    /// Requests answered with a typed rejection.
+    pub rejected: usize,
+    /// The daemon exited through the stop-file drain path.
+    pub drained: bool,
+}
+
+impl ServeReport {
+    /// One-line stderr summary for the CLI.
+    pub fn render(&self) -> String {
+        format!(
+            "serve: {} response(s) ({} ok, {} rejected){}",
+            self.served + self.rejected,
+            self.served,
+            self.rejected,
+            if self.drained { ", drained on stop request" } else { "" }
+        )
+    }
+}
+
+/// The serve directory layout under one cache dir.
+#[derive(Debug, Clone)]
+struct ServeDirs {
+    inbox: PathBuf,
+    outbox: PathBuf,
+    work: PathBuf,
+    daemon: PathBuf,
+    heartbeat: PathBuf,
+    stop: PathBuf,
+}
+
+impl ServeDirs {
+    fn of(cache_dir: &Path) -> ServeDirs {
+        ServeDirs {
+            inbox: cache_dir.join(INBOX_DIR),
+            outbox: cache_dir.join(OUTBOX_DIR),
+            work: cache_dir.join(WORK_DIR),
+            daemon: cache_dir.join(DAEMON_FILE),
+            heartbeat: cache_dir.join(HEARTBEAT_FILE),
+            stop: cache_dir.join(STOP_FILE),
+        }
+    }
+
+    fn create(cache_dir: &Path) -> Result<ServeDirs, JournalError> {
+        let dirs = ServeDirs::of(cache_dir);
+        for dir in [&dirs.inbox, &dirs.outbox, &dirs.work] {
+            std::fs::create_dir_all(dir).map_err(|e| io_err(dir, "create-dir", e))?;
+        }
+        Ok(dirs)
+    }
+}
+
+/// The daemon's pid lease: same atomic hard-link publish as the journal
+/// lock, same steal-from-the-dead rule — but a *live* holder is a hard
+/// refusal ([`ServeError::AlreadyRunning`]), not a wait.
+struct DaemonLease {
+    path: PathBuf,
+    token: String,
+}
+
+impl DaemonLease {
+    fn acquire(path: &Path) -> Result<DaemonLease, ServeError> {
+        let token = fresh_token();
+        loop {
+            let tmp = path.with_extension(format!("pid.tmp-{token}"));
+            let content = format!("pid {}\ntoken {token}\n", std::process::id());
+            std::fs::write(&tmp, content).map_err(|e| io_err(&tmp, "write", e))?;
+            let linked = std::fs::hard_link(&tmp, path);
+            let _ = std::fs::remove_file(&tmp);
+            match linked {
+                Ok(()) => return Ok(DaemonLease { path: path.to_path_buf(), token }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let content = std::fs::read_to_string(path).unwrap_or_default();
+                    match holder_pid(&content) {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(ServeError::AlreadyRunning { pid })
+                        }
+                        // Dead or unparseable holder: retire the lease
+                        // atomically and retry the link.
+                        _ => {
+                            let grave = path.with_extension(format!("pid.stale-{token}"));
+                            if std::fs::rename(path, &grave).is_ok() {
+                                let _ = std::fs::remove_file(&grave);
+                            }
+                        }
+                    }
+                }
+                Err(e) => return Err(ServeError::Journal(io_err(path, "write", e))),
+            }
+        }
+    }
+}
+
+impl Drop for DaemonLease {
+    fn drop(&mut self) {
+        if let Ok(content) = std::fs::read_to_string(&self.path) {
+            if crate::lock::holder_token(&content) == Some(self.token.as_str()) {
+                let _ = std::fs::remove_file(&self.path);
+            }
+        }
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is broken).
+fn unix_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis())
+}
+
+/// Rewrite the heartbeat file (best-effort: a failed heartbeat must not
+/// kill the daemon).
+fn write_heartbeat(dirs: &ServeDirs, tick: u64) {
+    let _ = std::fs::write(
+        &dirs.heartbeat,
+        format!("pid {}\ntick {tick}\nunix_ms {}\n", std::process::id(), unix_ms()),
+    );
+}
+
+/// List `*.req` entries of `dir`, sorted by file name (deterministic
+/// admission order).
+fn scan_requests(dir: &Path) -> Vec<(String, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<(String, PathBuf)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name().to_str()?.to_string();
+            let id = name.strip_suffix(".req")?.to_string();
+            Some((id, entry.path()))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Move every claimed-but-unfinished request a dead daemon left in
+/// `work/` back to the inbox for re-service.
+fn recover_orphans(dirs: &ServeDirs) -> usize {
+    let orphans = scan_requests(&dirs.work);
+    let mut recovered = 0;
+    for (id, path) in orphans {
+        if std::fs::rename(&path, dirs.inbox.join(format!("{id}.req"))).is_ok() {
+            recovered += 1;
+        }
+    }
+    recovered
+}
+
+/// Atomically publish `response` into the outbox.
+fn publish_response(dirs: &ServeDirs, response: &ServeResponse) -> Result<(), JournalError> {
+    publish_bytes(
+        &dirs.outbox.join(format!("{}.resp", response.id)),
+        &encode_response(response),
+    )
+}
+
+/// Overwrite the per-request progress file (informational, best-effort).
+fn note_progress(dirs: &ServeDirs, id: &str, state: &str) {
+    let _ = std::fs::write(
+        dirs.outbox.join(format!("{id}.progress")),
+        format!("state {state}\nunix_ms {}\n", unix_ms()),
+    );
+}
+
+/// Serve one claimed request file end to end: strict parse, service
+/// plan, journaled exactly-once execution, response publish. Returns
+/// whether the response was a success body. Only infrastructure
+/// failures (journal I/O, lock timeout) escape as errors.
+fn process_request(
+    dirs: &ServeDirs,
+    config: &ServeConfig,
+    service: &dyn PlanService,
+    id: &str,
+    path: &Path,
+) -> Result<bool, ServeError> {
+    note_progress(dirs, id, "admitted");
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, "read", e))?;
+    let outcome = match parse_request(&bytes, id).and_then(|req| {
+        service.plan(&req).map(|plan| (req, plan))
+    }) {
+        Err(reject) => ServeOutcome::Rejected(reject),
+        Ok((request, plan)) => {
+            note_progress(dirs, id, "executing");
+            let mut jconfig = JournalConfig::new(&config.cache_dir)
+                .with_resume(true)
+                .with_lock_timeout(config.lock_timeout);
+            if let Some(n) = config.crash_after {
+                jconfig = jconfig.with_crash_after(n);
+            }
+            let (executed, report) =
+                execute_journaled(&plan, config.jobs, &config.supervise, &jconfig)?;
+            ServeOutcome::Ok {
+                degraded: executed.is_degraded(),
+                accounting: ServeAccounting::from_report(&report),
+                body: service.render(&request, &executed).into_bytes(),
+            }
+        }
+    };
+    let ok = matches!(outcome, ServeOutcome::Ok { .. });
+    publish_response(dirs, &ServeResponse { id: id.to_string(), outcome })?;
+    let _ = std::fs::remove_file(path);
+    note_progress(dirs, id, if ok { "done" } else { "rejected" });
+    Ok(ok)
+}
+
+/// Run the serve daemon until a stop request (or
+/// [`ServeConfig::max_requests`] responses). See the module docs for
+/// the full robustness contract.
+pub fn serve(config: &ServeConfig, service: &dyn PlanService) -> Result<ServeReport, ServeError> {
+    let dirs = ServeDirs::create(&config.cache_dir)?;
+    let lease = DaemonLease::acquire(&dirs.daemon)?;
+    // A stale stop marker from a previous epoch must not kill a freshly
+    // started daemon.
+    let _ = std::fs::remove_file(&dirs.stop);
+    recover_orphans(&dirs);
+    let mut report = ServeReport::default();
+    let mut tick = 0u64;
+    'daemon: loop {
+        write_heartbeat(&dirs, tick);
+        tick = tick.wrapping_add(1);
+        if dirs.stop.exists() {
+            let _ = std::fs::remove_file(&dirs.stop);
+            report.drained = true;
+            break;
+        }
+        let batch = scan_requests(&dirs.inbox);
+        let mut admitted = 0usize;
+        for (id, inbox_path) in batch {
+            let responded = if admitted < config.queue {
+                // Claim by atomic rename: the request now survives a
+                // daemon crash as a `work/` orphan, and can never be
+                // double-admitted.
+                let work_path = dirs.work.join(format!("{id}.req"));
+                if std::fs::rename(&inbox_path, &work_path).is_err() {
+                    continue; // vanished or unreadable; re-scan next tick
+                }
+                admitted += 1;
+                match process_request(&dirs, config, service, &id, &work_path)? {
+                    true => {
+                        report.served += 1;
+                        true
+                    }
+                    false => {
+                        report.rejected += 1;
+                        true
+                    }
+                }
+            } else {
+                publish_response(
+                    &dirs,
+                    &ServeResponse {
+                        id: id.clone(),
+                        outcome: ServeOutcome::Rejected(Reject::new(
+                            RejectKind::Overloaded,
+                            format!(
+                                "admission queue full ({} admitted this scan, capacity {})",
+                                admitted, config.queue
+                            ),
+                        )),
+                    },
+                )?;
+                let _ = std::fs::remove_file(&inbox_path);
+                report.rejected += 1;
+                true
+            };
+            if responded
+                && config
+                    .max_requests
+                    .is_some_and(|n| (report.served + report.rejected) as u64 >= n)
+            {
+                break 'daemon;
+            }
+        }
+        std::thread::sleep(config.poll);
+    }
+    drop(lease);
+    Ok(report)
+}
+
+/// Atomically publish `request` into the cache's serve inbox. Returns
+/// the published path. The daemon does not need to be running yet — the
+/// inbox is a drop dir.
+pub fn submit(cache_dir: &Path, request: &ServeRequest) -> Result<PathBuf, JournalError> {
+    let dirs = ServeDirs::create(cache_dir)?;
+    let path = dirs.inbox.join(format!("{}.req", request.id));
+    publish_bytes(&path, encode_request(request).as_bytes())?;
+    Ok(path)
+}
+
+/// What [`wait`] came back with.
+#[derive(Debug, Clone)]
+pub enum WaitOutcome {
+    /// The response arrived (parsed).
+    Response(ServeResponse),
+    /// No response within the timeout.
+    TimedOut,
+}
+
+/// Poll the outbox for the response to `id`, up to `timeout`.
+pub fn wait(
+    cache_dir: &Path,
+    id: &str,
+    timeout: Duration,
+    poll: Duration,
+) -> Result<WaitOutcome, JournalError> {
+    let path = cache_dir.join(OUTBOX_DIR).join(format!("{id}.resp"));
+    let deadline = Instant::now() + timeout;
+    loop {
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                return match parse_response(&bytes) {
+                    Ok(response) => Ok(WaitOutcome::Response(response)),
+                    Err(detail) => Err(JournalError {
+                        kind: crate::journal::JournalErrorKind::Io,
+                        path,
+                        op: "read",
+                        detail: format!("unparseable response: {detail}"),
+                    }),
+                };
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&path, "read", e)),
+        }
+        if Instant::now() >= deadline {
+            return Ok(WaitOutcome::TimedOut);
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// A read-only snapshot of the serve state under one cache dir — the
+/// `serve:` section of `repro status`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStatus {
+    /// The pid recorded in the daemon lease, if one is on file.
+    pub daemon_pid: Option<u32>,
+    /// Whether that pid is currently alive.
+    pub daemon_live: bool,
+    /// Age of the last heartbeat in milliseconds, if one is on file.
+    pub heartbeat_age_ms: Option<u128>,
+    /// Pending requests in the inbox.
+    pub inbox: usize,
+    /// Responses (and progress markers aside) in the outbox.
+    pub outbox: usize,
+    /// Claimed-but-unfinished requests in `work/`.
+    pub in_flight: usize,
+}
+
+/// Snapshot the serve state in `cache_dir` without locking or writing.
+pub fn serve_status(cache_dir: &Path) -> ServeStatus {
+    let dirs = ServeDirs::of(cache_dir);
+    let (daemon_pid, daemon_live) = match std::fs::read_to_string(&dirs.daemon) {
+        Ok(content) => match holder_pid(&content) {
+            Some(pid) => (Some(pid), pid_alive(pid)),
+            None => (Some(0), false),
+        },
+        Err(_) => (None, false),
+    };
+    let heartbeat_age_ms = std::fs::read_to_string(&dirs.heartbeat)
+        .ok()
+        .and_then(|content| {
+            content.lines().find_map(|line| {
+                line.strip_prefix("unix_ms ")
+                    .and_then(|v| v.trim().parse::<u128>().ok())
+            })
+        })
+        .map(|then| unix_ms().saturating_sub(then));
+    let count = |dir: &Path, suffix: &str| -> usize {
+        std::fs::read_dir(dir).map_or(0, |entries| {
+            entries
+                .flatten()
+                .filter(|e| {
+                    e.file_name()
+                        .to_str()
+                        .is_some_and(|name| name.ends_with(suffix))
+                })
+                .count()
+        })
+    };
+    ServeStatus {
+        daemon_pid,
+        daemon_live,
+        heartbeat_age_ms,
+        inbox: count(&dirs.inbox, ".req"),
+        outbox: count(&dirs.outbox, ".resp"),
+        in_flight: count(&dirs.work, ".req"),
+    }
+}
+
+/// Render the `serve:` status line.
+pub fn render_serve_status(status: &ServeStatus) -> String {
+    let daemon = match status.daemon_pid {
+        None => "no daemon".to_string(),
+        Some(pid) => {
+            let heartbeat = match status.heartbeat_age_ms {
+                Some(age) => format!(", heartbeat {:.1}s ago", age as f64 / 1000.0),
+                None => ", no heartbeat".to_string(),
+            };
+            format!(
+                "daemon pid {pid} ({}{heartbeat})",
+                if status.daemon_live { "alive" } else { "dead — stale lease" }
+            )
+        }
+    };
+    format!(
+        "  serve: {daemon}, inbox {} request(s), {} in flight, outbox {} response(s)\n",
+        status.inbox, status.in_flight, status.outbox
+    )
+}
+
+/// Ask a running daemon to drain and stop: write the stop marker. The
+/// daemon removes it on exit; [`serve_status`] tells the caller when
+/// the lease is gone.
+pub fn request_stop(cache_dir: &Path) -> Result<(), JournalError> {
+    let dirs = ServeDirs::create(cache_dir)?;
+    std::fs::write(&dirs.stop, b"stop\n").map_err(|e| io_err(&dirs.stop, "write", e))
+}
+
+/// Withdraw a stop request that found no daemon to stop (so it cannot
+/// kill the next daemon at startup).
+pub fn withdraw_stop(cache_dir: &Path) {
+    let _ = std::fs::remove_file(cache_dir.join(STOP_FILE));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp_core::{Language, RunRequest, WorkloadId};
+
+    /// A tiny service over a 2-run plan of fast micro workloads: enough
+    /// to drive the daemon end to end in unit tests.
+    struct TinyService;
+
+    fn tiny_plan() -> Plan {
+        Plan::build([
+            RunRequest::counting(WorkloadId::micro(Language::C, "a=b+c", Scale::Test)),
+            RunRequest::counting(WorkloadId::micro(Language::Perlite, "if", Scale::Test)),
+        ])
+    }
+
+    impl PlanService for TinyService {
+        fn plan(&self, request: &ServeRequest) -> Result<Plan, Reject> {
+            if request.targets == ["tiny"] {
+                Ok(tiny_plan())
+            } else {
+                Err(Reject::new(
+                    RejectKind::UnknownTarget,
+                    format!("unknown target `{}`", request.targets.join(",")),
+                ))
+            }
+        }
+
+        fn render(&self, _request: &ServeRequest, executed: &ExecutedPlan) -> String {
+            let mut out = String::new();
+            for request in tiny_plan().requests() {
+                let hash = executed
+                    .store
+                    .resolve(request)
+                    .map(|a| a.content_hash())
+                    .unwrap_or(0);
+                out.push_str(&format!("{request} {hash:016x}\n"));
+            }
+            out
+        }
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "interp-serve-{tag}-{}-{}",
+            std::process::id(),
+            fresh_token()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn fast_config(dir: &Path, max: u64) -> ServeConfig {
+        let mut config = ServeConfig::new(dir);
+        config.poll = Duration::from_millis(1);
+        config.max_requests = Some(max);
+        config.jobs = 2;
+        config
+    }
+
+    #[test]
+    fn request_round_trips_with_and_without_dispatch() {
+        let plain = ServeRequest::new("r1", &["table1", "fig3"], Scale::Test);
+        let parsed = parse_request(encode_request(&plain).as_bytes(), "r1").expect("parse");
+        assert_eq!(parsed, plain);
+
+        let mut with_dispatch = ServeRequest::new("r2", &["dispatch"], Scale::Paper);
+        with_dispatch.dispatch = DispatchSelection::parse("naive,threaded");
+        let parsed =
+            parse_request(encode_request(&with_dispatch).as_bytes(), "r2").expect("parse");
+        assert_eq!(parsed, with_dispatch);
+    }
+
+    #[test]
+    fn malformed_requests_classify_into_typed_rejections() {
+        let cases: [(&[u8], RejectKind); 7] = [
+            (b"", RejectKind::Torn),
+            (b"hello\n", RejectKind::BadVersion),
+            (b"repro-serve-request/1\ntargets a\nscale test\n", RejectKind::Torn),
+            (b"repro-serve-request/1\ntargets a\nscale warp\nend\n", RejectKind::BadField),
+            (b"repro-serve-request/1\nscale test\nend\n", RejectKind::BadField),
+            (
+                b"repro-serve-request/1\ntargets a\nscale test\nbogus x\nend\n",
+                RejectKind::BadField,
+            ),
+            (
+                b"repro-serve-request/1\ntargets a\ntargets b\nscale test\nend\n",
+                RejectKind::BadField,
+            ),
+        ];
+        for (bytes, expected) in cases {
+            let reject = parse_request(bytes, "x").expect_err("must reject");
+            assert_eq!(reject.kind, expected, "{:?} -> {reject}", bytes);
+        }
+    }
+
+    #[test]
+    fn torn_prefixes_of_a_valid_request_always_classify() {
+        let full = encode_request(&ServeRequest::new("t", &["tiny"], Scale::Test));
+        // Any cut strictly before the `end` line starts is a torn write.
+        let end_start = full.len() - "end\n".len();
+        for cut in 1..end_start {
+            let reject = parse_request(full[..cut].as_bytes(), "t").expect_err("torn");
+            assert!(
+                matches!(reject.kind, RejectKind::Torn | RejectKind::BadVersion),
+                "cut {cut}: {reject}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_round_trips_ok_and_rejected() {
+        let ok = ServeResponse {
+            id: "a".to_string(),
+            outcome: ServeOutcome::Ok {
+                degraded: false,
+                accounting: ServeAccounting {
+                    planned: 4,
+                    reused: 1,
+                    executed: 2,
+                    reused_live: 1,
+                    journaled: 2,
+                },
+                body: b"line one\nline two\nend\n".to_vec(),
+            },
+        };
+        let parsed = parse_response(&encode_response(&ok)).expect("parse ok");
+        assert_eq!(parsed, ok);
+        if let ServeOutcome::Ok { accounting, .. } = parsed.outcome {
+            assert!(accounting.exactly_once());
+        }
+
+        let rejected = ServeResponse {
+            id: "b".to_string(),
+            outcome: ServeOutcome::Rejected(Reject::new(RejectKind::Overloaded, "queue full")),
+        };
+        let parsed = parse_response(&encode_response(&rejected)).expect("parse rejected");
+        assert_eq!(parsed, rejected);
+    }
+
+    #[test]
+    fn daemon_serves_a_submitted_request_exactly_once() {
+        let dir = fresh_dir("roundtrip");
+        let request = ServeRequest::new("job-1", &["tiny"], Scale::Test);
+        submit(&dir, &request).expect("submit");
+        let report = serve(&fast_config(&dir, 1), &TinyService).expect("serve");
+        assert_eq!(report.served, 1);
+        assert_eq!(report.rejected, 0);
+        let outcome = wait(&dir, "job-1", Duration::from_secs(5), Duration::from_millis(1))
+            .expect("wait");
+        let WaitOutcome::Response(response) = outcome else {
+            panic!("timed out waiting for the response");
+        };
+        let ServeOutcome::Ok { accounting, body, degraded } = response.outcome else {
+            panic!("expected ok response");
+        };
+        assert!(!degraded);
+        assert!(accounting.exactly_once(), "{accounting:?}");
+        assert_eq!(accounting.planned, 2);
+        assert_eq!(accounting.executed, 2);
+        assert!(!body.is_empty());
+        // The pid lease is released on clean exit.
+        assert!(!dir.join(DAEMON_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overload_beyond_queue_capacity_is_a_typed_rejection() {
+        let dir = fresh_dir("overload");
+        for id in ["a", "b", "c"] {
+            submit(&dir, &ServeRequest::new(id, &["tiny"], Scale::Test)).expect("submit");
+        }
+        let mut config = fast_config(&dir, 3);
+        config.queue = 1;
+        let report = serve(&config, &TinyService).expect("serve");
+        assert_eq!(report.served, 1, "{report:?}");
+        assert_eq!(report.rejected, 2, "{report:?}");
+        // Sorted admission: `a` is served, `b` and `c` are overloaded.
+        for (id, want_ok) in [("a", true), ("b", false), ("c", false)] {
+            let outcome =
+                wait(&dir, id, Duration::from_secs(5), Duration::from_millis(1)).expect("wait");
+            let WaitOutcome::Response(response) = outcome else {
+                panic!("{id}: no response");
+            };
+            match response.outcome {
+                ServeOutcome::Ok { .. } => assert!(want_ok, "{id} unexpectedly ok"),
+                ServeOutcome::Rejected(reject) => {
+                    assert!(!want_ok, "{id} unexpectedly rejected: {reject}");
+                    assert_eq!(reject.kind, RejectKind::Overloaded);
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_inbox_files_get_rejection_responses() {
+        let dir = fresh_dir("malformed");
+        let dirs = ServeDirs::create(&dir).expect("dirs");
+        std::fs::write(dirs.inbox.join("bad.req"), b"not a request\n").expect("plant");
+        let torn = encode_request(&ServeRequest::new("torn", &["tiny"], Scale::Test));
+        std::fs::write(dirs.inbox.join("torn.req"), &torn[..torn.len() - 4]).expect("plant");
+        let report = serve(&fast_config(&dir, 2), &TinyService).expect("serve");
+        assert_eq!(report.served, 0);
+        assert_eq!(report.rejected, 2);
+        for (id, kind) in [("bad", RejectKind::BadVersion), ("torn", RejectKind::Torn)] {
+            let outcome =
+                wait(&dir, id, Duration::from_secs(5), Duration::from_millis(1)).expect("wait");
+            let WaitOutcome::Response(response) = outcome else {
+                panic!("{id}: no response");
+            };
+            let ServeOutcome::Rejected(reject) = response.outcome else {
+                panic!("{id}: expected rejection");
+            };
+            assert_eq!(reject.kind, kind, "{id}: {reject}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_target_is_rejected_by_the_service() {
+        let dir = fresh_dir("unknown");
+        submit(&dir, &ServeRequest::new("u", &["bogus"], Scale::Test)).expect("submit");
+        let report = serve(&fast_config(&dir, 1), &TinyService).expect("serve");
+        assert_eq!(report.rejected, 1);
+        let outcome =
+            wait(&dir, "u", Duration::from_secs(5), Duration::from_millis(1)).expect("wait");
+        let WaitOutcome::Response(response) = outcome else {
+            panic!("no response");
+        };
+        let ServeOutcome::Rejected(reject) = response.outcome else {
+            panic!("expected rejection");
+        };
+        assert_eq!(reject.kind, RejectKind::UnknownTarget);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_daemon_is_refused_while_the_first_lease_is_live() {
+        let dir = fresh_dir("second");
+        let dirs = ServeDirs::create(&dir).expect("dirs");
+        // A live daemon: the lease names our own (alive) pid.
+        std::fs::write(
+            &dirs.daemon,
+            format!("pid {}\ntoken other\n", std::process::id()),
+        )
+        .expect("plant");
+        match serve(&fast_config(&dir, 1), &TinyService) {
+            Err(ServeError::AlreadyRunning { pid }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected AlreadyRunning, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_daemon_lease_is_stolen_and_orphans_recovered() {
+        let dir = fresh_dir("orphan");
+        let dirs = ServeDirs::create(&dir).expect("dirs");
+        // A daemon died mid-request: dead lease, claimed request in
+        // work/, no response.
+        std::fs::write(&dirs.daemon, "pid 4000000000\ntoken corpse\n").expect("plant lease");
+        std::fs::write(
+            dirs.work.join("orphaned.req"),
+            encode_request(&ServeRequest::new("orphaned", &["tiny"], Scale::Test)),
+        )
+        .expect("plant orphan");
+        let report = serve(&fast_config(&dir, 1), &TinyService).expect("serve");
+        assert_eq!(report.served, 1);
+        let outcome = wait(&dir, "orphaned", Duration::from_secs(5), Duration::from_millis(1))
+            .expect("wait");
+        let WaitOutcome::Response(response) = outcome else {
+            panic!("no response");
+        };
+        let ServeOutcome::Ok { accounting, .. } = response.outcome else {
+            panic!("expected ok response");
+        };
+        assert!(accounting.exactly_once());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_request_drains_the_daemon() {
+        let dir = fresh_dir("stop");
+        // No max_requests: without the stop request this spins forever.
+        let mut config = ServeConfig::new(&dir);
+        config.poll = Duration::from_millis(1);
+        let daemon = std::thread::spawn({
+            let config = config.clone();
+            move || serve(&config, &TinyService)
+        });
+        // The daemon clears stale stop markers after taking its lease;
+        // the first heartbeat proves that startup step is behind us, so
+        // a stop written now cannot be mistaken for a stale one.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !dir.join(HEARTBEAT_FILE).exists() {
+            assert!(Instant::now() < deadline, "daemon never heartbeat");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        request_stop(&dir).expect("stop");
+        let report = daemon
+            .join()
+            .expect("daemon thread")
+            .expect("serve");
+        assert!(report.drained);
+        assert!(!dir.join(STOP_FILE).exists(), "stop marker must be consumed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_status_reports_lease_heartbeat_and_depths() {
+        let dir = fresh_dir("status");
+        let empty = serve_status(&dir);
+        assert_eq!(empty.daemon_pid, None);
+        assert_eq!(empty.inbox, 0);
+        assert!(render_serve_status(&empty).contains("no daemon"));
+
+        let dirs = ServeDirs::create(&dir).expect("dirs");
+        std::fs::write(
+            &dirs.daemon,
+            format!("pid {}\ntoken t\n", std::process::id()),
+        )
+        .expect("lease");
+        std::fs::write(
+            &dirs.heartbeat,
+            format!("pid {}\ntick 3\nunix_ms {}\n", std::process::id(), unix_ms()),
+        )
+        .expect("heartbeat");
+        submit(&dir, &ServeRequest::new("q", &["tiny"], Scale::Test)).expect("submit");
+        let status = serve_status(&dir);
+        assert_eq!(status.daemon_pid, Some(std::process::id()));
+        assert!(status.daemon_live);
+        assert!(status.heartbeat_age_ms.is_some());
+        assert_eq!(status.inbox, 1);
+        let text = render_serve_status(&status);
+        assert!(text.contains("alive"), "{text}");
+        assert!(text.contains("inbox 1 request(s)"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn id_validation_rejects_path_tricks() {
+        assert!(valid_id("job-1"));
+        assert!(valid_id("A_b.c-9"));
+        assert!(!valid_id(""));
+        assert!(!valid_id(".hidden"));
+        assert!(!valid_id("a/b"));
+        assert!(!valid_id("a b"));
+        assert!(!valid_id(&"x".repeat(65)));
+    }
+}

@@ -6,6 +6,7 @@
 
 use crate::journal::{io_err, load_bytes, JournalDefect, JournalError, JOURNAL_FILE};
 use crate::lock::{probe, Claims, LockStatus, SessionInfo, Sessions};
+use crate::serve::{render_serve_status, serve_status, ServeStatus};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -28,6 +29,9 @@ pub struct CacheStatus {
     pub sessions: Vec<SessionInfo>,
     /// In-flight execution claims on file.
     pub claims: usize,
+    /// Serve-daemon state (pid liveness, heartbeat age, inbox/outbox
+    /// depth) — all read-only probes.
+    pub serve: ServeStatus,
 }
 
 /// Snapshot the cache in `dir` under `epoch` without locking or writing.
@@ -55,6 +59,7 @@ pub fn cache_status(dir: &Path, epoch: u64) -> Result<CacheStatus, JournalError>
         lock: probe(dir),
         sessions: Sessions::new(dir).all(),
         claims: Claims::new(dir).count(),
+        serve: serve_status(dir),
     })
 }
 
@@ -119,6 +124,7 @@ pub fn render_cache_status(
         status.sessions.len(),
         status.claims
     );
+    out.push_str(&render_serve_status(&status.serve));
     if let Some((covered, planned)) = coverage {
         let ratio = if planned > 0 {
             covered as f64 / planned as f64
@@ -169,6 +175,7 @@ mod tests {
         let text = render_cache_status(&status, &dir, None);
         assert!(text.contains("journal: absent"), "{text}");
         assert!(text.contains("lock: free"), "{text}");
+        assert!(text.contains("serve: no daemon"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

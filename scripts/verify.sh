@@ -37,13 +37,24 @@
 #                        byte-identical to a serial cold run's; a compact
 #                        pass over it is a no-op and status reports full
 #                        coverage.
-#   journal-chaos      — 18 seeds = two full rotations of the nine lanes:
-#                        six corruption lanes (torn tail, bit flip,
-#                        mid-truncation, duplicate key, stale epoch, bad
-#                        version) each detected, classified, and healed,
-#                        plus three multi-writer lanes (interleaved
-#                        writers, stale-lock takeover, compaction raced
-#                        against an appender) each exactly-once and clean.
+#   serve smoke        — a `repro serve` daemon answers two concurrent
+#                        `repro submit`/`repro wait` clients over one
+#                        cache: both response bodies byte-identical to
+#                        the serial cold `repro all`, execution split
+#                        exactly-once; then a second daemon is SIGKILLed
+#                        mid-request and a restarted daemon recovers the
+#                        orphaned claim, again byte-identical.
+#   journal-chaos      — 24 seeds = two full rotations of the twelve
+#                        lanes: six corruption lanes (torn tail, bit
+#                        flip, mid-truncation, duplicate key, stale
+#                        epoch, bad version) each detected, classified,
+#                        and healed; three multi-writer lanes
+#                        (interleaved writers, stale-lock takeover,
+#                        compaction raced against an appender) each
+#                        exactly-once and clean; and three serve lanes
+#                        (torn client request, daemon killed between
+#                        claim and commit, clients racing a daemon and a
+#                        batch run) each typed-rejected or recovered.
 #   golden snapshots   — every renderer's test-scale output must be
 #                        byte-identical to the committed goldens.
 set -euo pipefail
@@ -144,11 +155,69 @@ echo "two processes split $planned runs exactly-once ($executed executed total)"
   || { echo "status does not report full coverage"; exit 1; }
 rm -rf "$COLD" "$SHARED"
 
+echo "== serve smoke (daemon + 2 concurrent clients, exactly-once, byte-diff vs cold) =="
+SERVE=/tmp/repro_serve_cache
+rm -rf "$SERVE"
+"$REPRO" serve --cache-dir "$SERVE" --poll-ms 10 --max-requests 2 --jobs 4 \
+  2>/tmp/repro_serve_daemon.err &
+serve_pid=$!
+"$REPRO" submit all --id smoke-a --cache-dir "$SERVE" >/dev/null 2>&1
+"$REPRO" submit all --id smoke-b --cache-dir "$SERVE" >/dev/null 2>&1
+"$REPRO" wait smoke-a --cache-dir "$SERVE" --poll-ms 10 \
+  >/tmp/repro_serve_a.txt 2>/tmp/repro_serve_a.err &
+wait_a=$!
+"$REPRO" wait smoke-b --cache-dir "$SERVE" --poll-ms 10 \
+  >/tmp/repro_serve_b.txt 2>/tmp/repro_serve_b.err &
+wait_b=$!
+wait "$wait_a" || { echo "wait smoke-a failed"; cat /tmp/repro_serve_a.err; exit 1; }
+wait "$wait_b" || { echo "wait smoke-b failed"; cat /tmp/repro_serve_b.err; exit 1; }
+wait "$serve_pid" || { echo "serve daemon failed"; cat /tmp/repro_serve_daemon.err; exit 1; }
+cmp /tmp/repro_serial.txt /tmp/repro_serve_a.txt \
+  || { echo "serve response smoke-a differs from the serial cold run"; exit 1; }
+cmp /tmp/repro_serial.txt /tmp/repro_serve_b.txt \
+  || { echo "serve response smoke-b differs from the serial cold run"; exit 1; }
+planned=$(sed 's/.* of \([0-9]*\) planned.*/\1/' /tmp/repro_serve_a.err)
+served_exec=$(cat /tmp/repro_serve_a.err /tmp/repro_serve_b.err \
+  | grep "^serve " | sed 's/.*executed \([0-9]*\),.*/\1/' | awk '{s+=$1} END {print s}')
+[ "$served_exec" = "$planned" ] \
+  || { echo "serve exactly-once violated: $served_exec executed across 2 responses, $planned planned"; exit 1; }
+echo "serve answered 2 clients over $planned runs exactly-once ($served_exec executed total)"
+
+echo "== serve SIGKILL recovery (kill mid-request, restart, byte-diff vs cold) =="
+KILLCACHE=/tmp/repro_serve_kill
+rm -rf "$KILLCACHE"
+"$REPRO" submit all --id smoke-r --cache-dir "$KILLCACHE" >/dev/null 2>&1
+"$REPRO" serve --cache-dir "$KILLCACHE" --poll-ms 10 --max-requests 1 --jobs 4 \
+  >/dev/null 2>&1 &
+kill_pid=$!
+for _ in $(seq 1 1200); do
+  [ -s "$KILLCACHE/artifacts.journal" ] && break
+  sleep 0.05
+done
+[ -s "$KILLCACHE/artifacts.journal" ] \
+  || { echo "serve daemon never started journaling the request"; exit 1; }
+kill -9 "$kill_pid" 2>/dev/null || true
+wait "$kill_pid" 2>/dev/null || true
+# Unless the daemon finished in the instant before the kill landed, the
+# request is an orphaned claim now — a restarted daemon must recover it.
+if [ ! -f "$KILLCACHE/serve/outbox/smoke-r.resp" ]; then
+  "$REPRO" serve --cache-dir "$KILLCACHE" --poll-ms 10 --max-requests 1 --jobs 4 \
+    2>/tmp/repro_serve_restart.err \
+    || { echo "restarted serve daemon failed"; cat /tmp/repro_serve_restart.err; exit 1; }
+fi
+"$REPRO" wait smoke-r --cache-dir "$KILLCACHE" --poll-ms 10 \
+  >/tmp/repro_serve_r.txt 2>/tmp/repro_serve_r.err \
+  || { echo "wait smoke-r failed after recovery"; cat /tmp/repro_serve_r.err; exit 1; }
+cmp /tmp/repro_serial.txt /tmp/repro_serve_r.txt \
+  || { echo "recovered serve response differs from the serial cold run"; exit 1; }
+grep "^serve smoke-r:" /tmp/repro_serve_r.err
+rm -rf "$SERVE" "$KILLCACHE"
+
 echo "== bench trajectory (JSON artifact + dispatch-tier gate) =="
 "$REPRO" bench --scale test --jobs 4 --out /tmp/repro_bench.json >/tmp/repro_bench_summary.txt \
   || { echo "bench failed (a fast dispatch tier regressed vs naive?)"; \
        cat /tmp/repro_bench_summary.txt; exit 1; }
-grep -q '"schema": "bench-trajectory/2"' /tmp/repro_bench.json \
+grep -q '"schema": "bench-trajectory/3"' /tmp/repro_bench.json \
   || { echo "bench trajectory missing schema marker"; exit 1; }
 grep -q '"dispatch"' /tmp/repro_bench.json \
   || { echo "bench trajectory missing dispatch-tier section"; exit 1; }
@@ -157,8 +226,8 @@ grep -q "bench: dispatch tiers ok" /tmp/repro_bench_summary.txt \
        cat /tmp/repro_bench_summary.txt; exit 1; }
 rm -f /tmp/repro_bench.json /tmp/repro_bench_summary.txt
 
-echo "== journal-chaos (corruption + multi-writer lanes, 2 full rotations) =="
-"$REPRO" journal-chaos --seeds 18
+echo "== journal-chaos (corruption + multi-writer + serve lanes, 2 full rotations) =="
+"$REPRO" journal-chaos --seeds 24
 
 echo "== golden snapshots (byte-diff vs committed renders) =="
 cargo test -q -p interp-harness --test goldens \
