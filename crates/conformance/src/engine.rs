@@ -310,7 +310,7 @@ pub fn render(report: &ConformReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{BinOp, Expr, Stmt};
+    use crate::ir::{BinOp, Cmp, Cond, Expr, Stmt};
 
     #[test]
     fn one_seed_agrees_everywhere() {
@@ -368,6 +368,7 @@ mod tests {
                 "javelin",
                 "javelin+threaded",
                 "javelin+superinstr",
+                "javelin+tiered",
                 "perlite",
                 "perlite+inline-cache",
                 "tclite",
@@ -384,7 +385,7 @@ mod tests {
             &DispatchSelection::all(),
             DispatchFault::None,
         );
-        assert_eq!(report.witnesses.len(), 12);
+        assert_eq!(report.witnesses.len(), 13);
         assert_eq!(
             report.divergent_seeds(),
             0,
@@ -445,5 +446,109 @@ mod tests {
                 witnesses[j].label
             );
         }
+    }
+
+    /// A loop hot enough to compile a trace whose branch alternates
+    /// direction every iteration: under [`DispatchFault::TraceGuardSkip`]
+    /// the first failing guard silently follows the recorded direction
+    /// instead of side-exiting, so the wrong arm executes exactly once.
+    /// The divergence must be caught, isolated to pairs involving the
+    /// `javelin+tiered` witness, and shrunk to a statement-minimal
+    /// reproducer that still needs the loop.
+    #[test]
+    fn injected_trace_guard_skip_is_isolated_to_the_tiered_pairs() {
+        let parity = Cond {
+            cmp: Cmp::Eq,
+            lhs: Expr::Bin(
+                BinOp::Mod,
+                Box::new(Expr::LoopVar(0)),
+                Box::new(Expr::Lit(2)),
+            ),
+            rhs: Expr::Lit(0),
+        };
+        let p = Program {
+            stmts: vec![
+                Stmt::Loop(
+                    8,
+                    vec![Stmt::If(
+                        parity,
+                        vec![Stmt::Assign(
+                            0,
+                            Expr::Bin(
+                                BinOp::Add,
+                                Box::new(Expr::Var(0)),
+                                Box::new(Expr::Lit(1)),
+                            ),
+                        )],
+                        vec![Stmt::Assign(
+                            0,
+                            Expr::Bin(
+                                BinOp::Add,
+                                Box::new(Expr::Var(0)),
+                                Box::new(Expr::Lit(7)),
+                            ),
+                        )],
+                    )],
+                ),
+                Stmt::EmitInt(Expr::Var(0)),
+            ],
+        };
+        let witnesses = witnesses_for(&DispatchSelection::all());
+        let tiered = witnesses
+            .iter()
+            .position(|w| w.label == "javelin+tiered")
+            .expect("javelin+tiered witness exists");
+
+        let clean = observe_with(
+            &p,
+            &LowerOptions::default(),
+            &witnesses,
+            DispatchFault::None,
+        );
+        assert!(
+            divergent_pairs(&clean).is_empty(),
+            "program diverges even without the fault"
+        );
+
+        let fault = DispatchFault::TraceGuardSkip;
+        let obs = observe_with(&p, &LowerOptions::default(), &witnesses, fault);
+        let pairs = divergent_pairs(&obs);
+        assert_eq!(
+            pairs.len(),
+            witnesses.len() - 1,
+            "expected the tiered witness to diverge from every other column: {pairs:?}"
+        );
+        for (i, j) in pairs {
+            assert!(
+                i == tiered || j == tiered,
+                "divergent pair ({}, {}) does not involve javelin+tiered",
+                witnesses[i].label,
+                witnesses[j].label
+            );
+        }
+
+        // Shrinking under the same witnesses and fault must keep the
+        // divergence alive and land on a statement-minimal reproducer:
+        // nothing outside the hot loop survives.
+        let shrunk = shrink(&p, |cand| {
+            diverges_with(cand, &LowerOptions::default(), &witnesses, fault)
+        });
+        assert!(
+            diverges_with(&shrunk, &LowerOptions::default(), &witnesses, fault),
+            "shrunk reproducer no longer diverges"
+        );
+        assert!(
+            shrunk.size() <= p.size(),
+            "shrinking grew the program: {} -> {}",
+            p.size(),
+            shrunk.size()
+        );
+        assert!(
+            shrunk
+                .stmts
+                .iter()
+                .any(|s| matches!(s, Stmt::Loop(_, _))),
+            "minimal reproducer must still contain the hot loop:\n{shrunk}"
+        );
     }
 }

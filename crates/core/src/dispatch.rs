@@ -12,8 +12,10 @@
 //!
 //! A [`DispatchStrategy`] names one tier; the [`Dispatch`] trait is the
 //! single vocabulary all four interpreter engines implement strategies
-//! against — one `set_strategy` seam instead of four ad-hoc knobs, and
-//! the seam later tiers (register machine, trace JIT) will reuse.
+//! against — one `set_strategy` seam instead of four ad-hoc knobs. The
+//! seam's first post-paper tier is [`DispatchStrategy::Tiered`], the
+//! trace-recording stage the Javelin engine implements; a register
+//! machine would slot in the same way.
 //! Strategies never change semantics: an engine runs the same virtual
 //! commands in the same order with the same observable output, and only
 //! the *charged host instructions* of the fetch/decode path shrink. The
@@ -42,25 +44,33 @@ pub enum DispatchStrategy {
     /// interpreters redo per access: Perlite hash lookups, Tclite
     /// symbol-table and command-table resolution.
     InlineCache,
+    /// Trace-recording tiered execution: a threaded baseline whose
+    /// per-backedge hotness counters trigger trace recording at loop
+    /// heads; recorded bytecode traces run as straight-line compiled
+    /// sequences with a guard at every side exit, re-entering the
+    /// interpreter on guard failure or trace exit.
+    Tiered,
 }
 
 impl DispatchStrategy {
     /// Every strategy, in canonical (render and plan) order.
-    pub const ALL: [DispatchStrategy; 4] = [
+    pub const ALL: [DispatchStrategy; 5] = [
         DispatchStrategy::Naive,
         DispatchStrategy::Threaded,
         DispatchStrategy::Superinstr,
         DispatchStrategy::InlineCache,
+        DispatchStrategy::Tiered,
     ];
 
     /// CLI-style label (`naive` / `threaded` / `superinstr` /
-    /// `inline-cache`).
+    /// `inline-cache` / `tiered`).
     pub fn label(self) -> &'static str {
         match self {
             DispatchStrategy::Naive => "naive",
             DispatchStrategy::Threaded => "threaded",
             DispatchStrategy::Superinstr => "superinstr",
             DispatchStrategy::InlineCache => "inline-cache",
+            DispatchStrategy::Tiered => "tiered",
         }
     }
 
@@ -76,10 +86,16 @@ impl DispatchStrategy {
     pub fn supported_by(language: Language) -> &'static [DispatchStrategy] {
         match language {
             Language::C => &[DispatchStrategy::Naive],
-            Language::Mipsi | Language::Javelin => &[
+            Language::Mipsi => &[
                 DispatchStrategy::Naive,
                 DispatchStrategy::Threaded,
                 DispatchStrategy::Superinstr,
+            ],
+            Language::Javelin => &[
+                DispatchStrategy::Naive,
+                DispatchStrategy::Threaded,
+                DispatchStrategy::Superinstr,
+                DispatchStrategy::Tiered,
             ],
             Language::Perlite | Language::Tclite => {
                 &[DispatchStrategy::Naive, DispatchStrategy::InlineCache]
@@ -222,6 +238,24 @@ pub enum DispatchFault {
     /// (`b - a` instead of `a - b`). Only engines with a threaded tier
     /// honor it, and only when running `Threaded`.
     ThreadedSubSwap,
+    /// The tiered tier miscompiles the first failing trace guard to
+    /// fall through: the first time a running trace's guard observes a
+    /// branch direction different from the recorded one, execution
+    /// follows the *recorded* path instead of side-exiting (one-shot, so
+    /// the run still terminates — with visibly wrong output). Only
+    /// engines with a `Tiered` tier honor it, and only when running
+    /// `Tiered`.
+    TraceGuardSkip,
+    /// A spurious trace-guard trip: the `n`th guard evaluation inside a
+    /// running trace reports failure even though the recorded direction
+    /// matched. The engine must abort the trace, blacklist it, and fall
+    /// back to the interpreter at the exact bytecode where the trip
+    /// fired — output stays byte-identical to a never-tiered run. The
+    /// journal-chaos harness drives this lane.
+    TraceGuardTrip {
+        /// 1-based ordinal of the in-trace guard evaluation that trips.
+        after: u32,
+    },
 }
 
 /// The per-interpreter dispatch surface: one vocabulary for selecting
@@ -293,7 +327,7 @@ mod tests {
         );
         assert_eq!(
             DispatchStrategy::default_for(Language::Javelin),
-            DispatchStrategy::Superinstr
+            DispatchStrategy::Tiered
         );
         assert_eq!(
             DispatchStrategy::default_for(Language::Perlite),
@@ -318,6 +352,14 @@ mod tests {
         assert_eq!(
             DispatchStrategy::Threaded.effective_for(Language::Javelin),
             DispatchStrategy::Threaded
+        );
+        assert_eq!(
+            DispatchStrategy::Tiered.effective_for(Language::Javelin),
+            DispatchStrategy::Tiered
+        );
+        assert_eq!(
+            DispatchStrategy::Tiered.effective_for(Language::Mipsi),
+            DispatchStrategy::Naive
         );
     }
 

@@ -53,6 +53,16 @@ pub struct RunStats {
     pub loads: u64,
     /// Stores retired.
     pub stores: u64,
+    /// Virtual commands executed inside a compiled trace (tiered
+    /// dispatch only; zero for every other strategy).
+    pub trace_commands: u64,
+    /// Trace guard failures that side-exited back to the interpreter.
+    pub trace_side_exits: u64,
+    /// Hot traces recorded and compiled.
+    pub traces_recorded: u64,
+    /// Traces aborted (recording gave up, or a guard anomaly blacklisted
+    /// a compiled trace).
+    pub trace_aborts: u64,
     /// Per-command counters, indexed by [`CmdId`].
     per_command: Vec<CmdStats>,
 }
@@ -175,6 +185,17 @@ impl RunStats {
         ratio(self.mem_model_instructions, self.instructions)
     }
 
+    /// Tiered dispatch: percentage of virtual commands executed from a
+    /// compiled trace rather than the interpreter's dispatch loop.
+    pub fn trace_coverage_pct(&self) -> f64 {
+        100.0 * ratio(self.trace_commands, self.commands)
+    }
+
+    /// Tiered dispatch: guard side exits per 1000 traced commands.
+    pub fn trace_side_exit_per_kcmd(&self) -> f64 {
+        1000.0 * ratio(self.trace_side_exits, self.trace_commands)
+    }
+
     /// Per-command statistics for `cmd` (zeros if never seen).
     pub fn command(&self, cmd: CmdId) -> CmdStats {
         self.per_command
@@ -205,6 +226,10 @@ impl RunStats {
         self.commands += other.commands;
         self.loads += other.loads;
         self.stores += other.stores;
+        self.trace_commands += other.trace_commands;
+        self.trace_side_exits += other.trace_side_exits;
+        self.traces_recorded += other.traces_recorded;
+        self.trace_aborts += other.trace_aborts;
         if self.per_command.len() < other.per_command.len() {
             self.per_command
                 .resize(other.per_command.len(), CmdStats::default());
@@ -229,6 +254,10 @@ impl RunStats {
         w.put_u64(self.commands);
         w.put_u64(self.loads);
         w.put_u64(self.stores);
+        w.put_u64(self.trace_commands);
+        w.put_u64(self.trace_side_exits);
+        w.put_u64(self.traces_recorded);
+        w.put_u64(self.trace_aborts);
         w.put_u32(self.per_command.len() as u32);
         for c in &self.per_command {
             w.put_u64(c.executions);
@@ -252,6 +281,10 @@ impl RunStats {
         let commands = r.get_u64("stats.commands")?;
         let loads = r.get_u64("stats.loads")?;
         let stores = r.get_u64("stats.stores")?;
+        let trace_commands = r.get_u64("stats.trace_commands")?;
+        let trace_side_exits = r.get_u64("stats.trace_side_exits")?;
+        let traces_recorded = r.get_u64("stats.traces_recorded")?;
+        let trace_aborts = r.get_u64("stats.trace_aborts")?;
         let n = r.get_len(32, "stats.per_command.len")?;
         let mut per_command = Vec::with_capacity(n);
         for _ in 0..n {
@@ -270,6 +303,10 @@ impl RunStats {
             commands,
             loads,
             stores,
+            trace_commands,
+            trace_side_exits,
+            traces_recorded,
+            trace_aborts,
             per_command,
         })
     }
@@ -422,6 +459,10 @@ mod tests {
         s.count_store();
         s.count_mem_model_access();
         s.credit_fetch_decode(cmd(0), 5);
+        s.trace_commands = 7;
+        s.trace_side_exits = 2;
+        s.traces_recorded = 3;
+        s.trace_aborts = 1;
         let mut w = crate::serial::ByteWriter::new();
         s.encode_into(&mut w);
         let bytes = w.into_bytes();
@@ -436,8 +477,26 @@ mod tests {
         assert_eq!(decoded.loads, s.loads);
         assert_eq!(decoded.stores, s.stores);
         assert_eq!(decoded.mem_model_accesses, s.mem_model_accesses);
+        assert_eq!(decoded.trace_commands, s.trace_commands);
+        assert_eq!(decoded.trace_side_exits, s.trace_side_exits);
+        assert_eq!(decoded.traces_recorded, s.traces_recorded);
+        assert_eq!(decoded.trace_aborts, s.trace_aborts);
         assert_eq!(decoded.command(cmd(0)), s.command(cmd(0)));
         assert_eq!(decoded.command(cmd(3)), s.command(cmd(3)));
+    }
+
+    #[test]
+    fn trace_ratios() {
+        let mut s = RunStats::new();
+        s.commands = 200;
+        s.trace_commands = 50;
+        s.trace_side_exits = 5;
+        assert!((s.trace_coverage_pct() - 25.0).abs() < 1e-9);
+        assert!((s.trace_side_exit_per_kcmd() - 100.0).abs() < 1e-9);
+        // Non-tiered runs divide by zero nowhere.
+        let z = RunStats::new();
+        assert_eq!(z.trace_coverage_pct(), 0.0);
+        assert_eq!(z.trace_side_exit_per_kcmd(), 0.0);
     }
 
     #[test]

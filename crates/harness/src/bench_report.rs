@@ -216,7 +216,7 @@ fn r3(x: f64) -> f64 {
 pub fn render_json(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"bench-trajectory/3\",\n");
+    out.push_str("  \"schema\": \"bench-trajectory/4\",\n");
     out.push_str(&format!("  \"unix_ms\": {},\n", report.unix_ms));
     out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale.label()));
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
@@ -347,7 +347,7 @@ mod tests {
         let text = render_json(&tiny_report());
         assert!(text.starts_with("{\n"));
         assert!(text.ends_with("}\n"));
-        assert!(text.contains("\"schema\": \"bench-trajectory/3\""), "{text}");
+        assert!(text.contains("\"schema\": \"bench-trajectory/4\""), "{text}");
         assert!(text.contains("\"scale\": \"test\""), "{text}");
         assert!(text.contains("\"name\": \"table1\", \"runs\": 10, \"wall_s\": 0.123"), "{text}");
         assert!(text.contains("\"combined_plan_runs\": 24"), "{text}");
@@ -416,8 +416,17 @@ mod tests {
         );
         assert!(report.dedup_reuse_ratio > 0.0);
         // The dispatch section covers every supported (language, tier)
-        // pair and the regression gate holds on real data.
-        assert_eq!(report.dispatch.len(), 10);
+        // pair and the regression gate holds on real data. With the
+        // tiered tier in Javelin's support set, the gate now also
+        // requires javelin+tiered to strictly beat naive insns/cmd.
+        assert_eq!(report.dispatch.len(), 11);
+        assert!(
+            report
+                .dispatch
+                .iter()
+                .any(|d| d.language == "javelin" && d.strategy == "tiered"),
+            "tiered point missing from the gate"
+        );
         assert!(
             report.dispatch_regressions().is_empty(),
             "{:?}",

@@ -49,7 +49,7 @@
 //!
 //! `--dispatch LIST` selects dispatch-strategy tiers, comma-separated
 //! exactly like `--scale` is parsed: each element is `naive`,
-//! `threaded`, `superinstr`, `inline-cache`, `default` (each
+//! `threaded`, `superinstr`, `inline-cache`, `tiered`, `default` (each
 //! interpreter's fastest tier), or `all`; anything else is rejected
 //! with exit status 2. For experiment targets it narrows the `dispatch`
 //! family's rows (default: all supported tiers); for `conform` it adds
@@ -104,9 +104,11 @@
 //! classified, and healed; multi-writer lanes run interleaved
 //! campaigns, stale-lock takeover from a planted dead writer, and
 //! compaction raced against a live appender, asserting exactly-once
-//! execution and a clean journal. `--crash-after N` (test harness)
-//! kills the process with exit status 86 after N journal appends,
-//! leaving a valid journal prefix for `--resume`.
+//! execution and a clean journal; the tiered lane trips a trace guard
+//! mid-run and asserts abort, blacklist, and byte-identical interpreter
+//! fallback. `--crash-after N` (test harness) kills the process with
+//! exit status 86 after N journal appends, leaving a valid journal
+//! prefix for `--resume`.
 
 use interp_core::{DispatchFault, DispatchSelection, DispatchStrategy};
 use interp_harness::bench_report;
@@ -149,8 +151,8 @@ fn usage() -> String {
          \x20      repro wait ID [--cache-dir DIR] [--wait-timeout SECS] [--poll-ms N]\n\
          targets: {} | all (default), comma- or space-separated\n\
          dispatch: --dispatch LIST, comma-separated from naive | threaded | superinstr |\n\
-         \x20            inline-cache | default | all (experiments default: all; conform\n\
-         \x20            default: naive — each selected tier becomes its own witness)\n\
+         \x20            inline-cache | tiered | default | all (experiments default: all;\n\
+         \x20            conform default: naive — each selected tier becomes its own witness)\n\
          persistence: --cache-dir DIR journals completed runs to DIR/artifacts.journal;\n\
          \x20            --resume loads it first (default dir {DEFAULT_CACHE_DIR}/) and executes only\n\
          \x20            missing runs; corrupt records are reported and recomputed, never fatal;\n\
@@ -191,7 +193,7 @@ struct Cli {
     scale: Scale,
     jobs: usize,
     /// `--seeds` if given; `guard` and `conform` default to 64, `chaos`
-    /// to 8, `journal-chaos` to 12.
+    /// to 8, `journal-chaos` to 13 (one full lane rotation).
     seeds: Option<u64>,
     /// Retry budget for transient failures (faults, deadlines).
     retries: u32,
@@ -295,7 +297,7 @@ fn parse(args: &[String]) -> Cli {
             match DispatchSelection::parse(&v) {
                 Some(sel) => dispatch = Some(sel),
                 None => bail(&format!(
-                    "--dispatch expects a comma-separated list of naive|threaded|superinstr|inline-cache|default|all, got `{v}`"
+                    "--dispatch expects a comma-separated list of naive|threaded|superinstr|inline-cache|tiered|default|all, got `{v}`"
                 )),
             }
         } else if arg == "--jobs" || arg.starts_with("--jobs=") {
@@ -440,7 +442,7 @@ fn print_list(scale: Scale) {
     println!("  bench      benchmark trajectory (per-target wall, dedup ratio) to JSON");
     println!("  guard      seeded fault-injection sweep (not memoized)");
     println!("  chaos      full plan under seeded guest+pool fault injection");
-    println!("  journal-chaos  seeded journal corruption and multi-writer races: healed");
+    println!("  journal-chaos  seeded journal corruption, multi-writer races, tiered guard trips: healed");
     println!("  conform    differential conformance sweep across all five interpreters");
     println!("  serve      crash-tolerant run-plan service daemon over the shared cache");
     println!("  submit     drop a run-plan request into the serve inbox (prints its id)");
@@ -614,7 +616,7 @@ fn run_chaos(cli: &Cli) -> ! {
 /// takeover, compaction vs. appender) asserting exactly-once execution
 /// and a clean, complete journal.
 fn run_journal_chaos(cli: &Cli) -> ! {
-    let seeds = cli.seeds.unwrap_or(12);
+    let seeds = cli.seeds.unwrap_or(13);
     let config = cli.supervise_config();
     let plan = journal_chaos_plan();
     let dir = cli.cache_dir.clone().unwrap_or_else(|| {

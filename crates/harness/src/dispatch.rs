@@ -243,8 +243,8 @@ mod tests {
     #[test]
     fn every_supported_pair_gets_a_row() {
         let rows = rows();
-        // mipsi: 3, javelin: 3, perlite: 2, tclite: 2.
-        assert_eq!(rows.len(), 10);
+        // mipsi: 3, javelin: 4 (tiered included), perlite: 2, tclite: 2.
+        assert_eq!(rows.len(), 11);
         for r in rows {
             assert!(r.degraded.is_none(), "{:?} degraded", (r.language, r.strategy));
             assert!(r.commands > 0 && r.insns_per_command > 0.0);

@@ -11,11 +11,11 @@ use interp_core::{DispatchSelection, RunRequest};
 use interp_runplan::serve::{PlanService, Reject, RejectKind, ServeRequest};
 use interp_runplan::{ArtifactStore, ExecutedPlan, Plan};
 
-use crate::{ablations, arch, dispatch, figures, memmodel, table1, table2, Scale};
+use crate::{ablations, arch, dispatch, figures, memmodel, table1, table2, tiered, Scale};
 
 /// Every experiment target, in canonical render order, with its
 /// one-line description.
-pub const TARGETS: [(&str, &str); 10] = [
+pub const TARGETS: [(&str, &str); 11] = [
     ("table1", "microbenchmark slowdowns relative to compiled C"),
     ("table2", "baseline macro-benchmark measurements"),
     ("table3", "simulated machine parameters (no runs needed)"),
@@ -25,6 +25,7 @@ pub const TARGETS: [(&str, &str); 10] = [
     ("fig3", "issue-slot breakdown under the pipeline model"),
     ("fig4", "I-cache size x associativity sweep"),
     ("dispatch", "fast-dispatch tiers: threaded, superinstr, inline-cache deltas"),
+    ("tiered", "trace-recording tiered execution: coverage, side exits, deltas"),
     ("ablations", "iTLB, dispatch, symbol-table, precompilation ablations"),
 ];
 
@@ -50,6 +51,7 @@ pub fn requests_for_with(
         "fig3" => arch::fig3_requests(scale),
         "fig4" => arch::fig4_requests(scale),
         "dispatch" => dispatch::requests_with(scale, selection),
+        "tiered" => tiered::requests(scale),
         "ablations" => ablations::requests(scale),
         _ => Vec::new(),
     }
@@ -93,6 +95,7 @@ pub fn render_target_with(
         "fig3" => format!("{}\n", arch::render_fig3(&arch::fig3_from(store, scale))),
         "fig4" => format!("{}\n", arch::render_fig4(&arch::fig4_from(store, scale))),
         "dispatch" => format!("{}\n", dispatch::render_from(store, scale, selection)),
+        "tiered" => format!("{}\n", tiered::render_from(store, scale)),
         "ablations" => format!("{}\n", ablations::render_from(store, scale)),
         _ => String::new(),
     }

@@ -13,6 +13,7 @@
 //! | Figure 3 (issue-slot breakdown) | [`arch::fig3`] |
 //! | Figure 4 (I-cache sweep) | [`arch::fig4`] |
 //! | Dispatch tiers (threaded/superinstr/inline-cache deltas) | [`dispatch`] |
+//! | Tiered execution (trace recording vs the pure tiers, not in the paper) | [`tiered`] |
 //! | Ablations (iTLB, dispatch, symbol table, precompilation) | [`ablations`] |
 //! | Robustness (seeded fault-injection sweep, not in the paper) | [`guard_sweep`] |
 //!
@@ -57,5 +58,6 @@ pub mod guard_sweep;
 pub mod memmodel;
 pub mod table1;
 pub mod table2;
+pub mod tiered;
 
 pub use interp_workloads::Scale;

@@ -146,7 +146,7 @@ fn bench_emits_trajectory_json() {
 
     let json = std::fs::read_to_string(&out_path).expect("trajectory file");
     for needle in [
-        "\"schema\": \"bench-trajectory/3\"",
+        "\"schema\": \"bench-trajectory/4\"",
         "\"targets\": [",
         "\"name\": \"table1\"",
         "\"name\": \"serve\"",

@@ -5,7 +5,7 @@
 //! is the whole point of the engine, so pin it end to end.
 
 use interp_core::{Language, RunRequest, WorkloadId};
-use interp_harness::{ablations, arch, figures, memmodel, table1, table2, Scale};
+use interp_harness::{ablations, arch, figures, memmodel, table1, table2, tiered, Scale};
 use interp_runplan::{
     execute, render_failures, run_request, supervise_with, with_quiet_injected_panics, Plan,
     SuperviseConfig,
@@ -41,6 +41,33 @@ fn table_renderings_are_byte_identical_across_job_counts() {
     let b = render(&parallel.store);
     assert!(!a.is_empty());
     assert_eq!(a, b, "renderings must not depend on the worker count");
+}
+
+/// Trace recording is a pure function of the program, not of worker
+/// scheduling: the tiered experiment's plan — which runs Javelin's
+/// macro suite under the trace-recording tier — must produce
+/// content-identical artifacts (trace counters included) and a
+/// byte-identical rendering at `--jobs 1` and `--jobs 8`.
+#[test]
+fn tiered_artifacts_are_byte_identical_across_job_counts() {
+    let scale = Scale::Test;
+    let plan = Plan::build(tiered::requests(scale));
+    let serial = execute(&plan, 1);
+    let parallel = execute(&plan, 8);
+    for request in plan.requests() {
+        let a = serial.store.resolve(request).expect("serial artifact");
+        let b = parallel.store.resolve(request).expect("parallel artifact");
+        assert_eq!(
+            a.content_hash(),
+            b.content_hash(),
+            "{request}: artifact content depends on the worker count"
+        );
+    }
+    assert_eq!(
+        tiered::render_from(&serial.store, scale),
+        tiered::render_from(&parallel.store, scale),
+        "tiered rendering must not depend on the worker count"
+    );
 }
 
 /// The supervision acceptance property, end to end at the renderer

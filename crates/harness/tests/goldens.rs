@@ -49,7 +49,7 @@ fn check(name: &str, actual: &str) {
     );
 }
 
-/// One shared plan execution feeds all seven renderer snapshots —
+/// One shared plan execution feeds all eight renderer snapshots —
 /// exactly how `repro all --scale test` produces them.
 #[test]
 fn renderer_outputs_match_committed_goldens() {
@@ -80,6 +80,7 @@ fn renderer_outputs_match_committed_goldens() {
         ),
     );
     check("dispatch", &render_target("dispatch", store, scale));
+    check("tiered", &render_target("tiered", store, scale));
     check("ablations", &render_target("ablations", store, scale));
 }
 

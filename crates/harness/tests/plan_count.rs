@@ -13,8 +13,10 @@ use interp_runplan::Plan;
 
 /// `repro all --scale test` runs exactly this many deduplicated runs.
 /// (79 before the dispatch-tier family; +33 for the non-naive strategy
-/// variants of the macro suites — naive rows dedup against table2's.)
-const EXPECTED_TEST_RUNS: usize = 112;
+/// variants of the macro suites — naive rows dedup against table2's;
+/// +5 for Javelin's tiered macro suite — the `tiered` family's naive
+/// and threaded rows dedup against table2's and dispatch's.)
+const EXPECTED_TEST_RUNS: usize = 117;
 
 #[test]
 fn repro_all_test_scale_plan_count_is_pinned() {

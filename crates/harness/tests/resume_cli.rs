@@ -163,9 +163,11 @@ fn warm_resume_reuses_everything() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Every journal-chaos lane (nine seeds = one full rotation: six
-/// corruption lanes plus the three multi-writer race lanes) must pass,
-/// exiting 0.
+/// The first nine journal-chaos seeds (six corruption lanes plus the
+/// three multi-writer race lanes) must pass, exiting 0. The serve and
+/// tiered lanes that extend the rotation to thirteen are covered by
+/// their own harnesses and by verify.sh's full rotations — spawning the
+/// daemon here would more than double this test's wall clock.
 #[test]
 fn journal_chaos_heals_every_lane() {
     let out = repro(&["journal-chaos", "--seeds", "9"]);

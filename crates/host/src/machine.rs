@@ -479,6 +479,32 @@ impl<S: TraceSink> Machine<S> {
         self.pending_fd = 0;
     }
 
+    /// Record one virtual command executed from a compiled trace
+    /// (tiered dispatch). Uncharged bookkeeping: the trace's charged
+    /// cost is whatever primitives its compiled body retires.
+    #[inline]
+    pub fn note_trace_command(&mut self) {
+        self.stats.trace_commands += 1;
+    }
+
+    /// Record a trace guard failure that side-exited to the interpreter.
+    #[inline]
+    pub fn note_trace_side_exit(&mut self) {
+        self.stats.trace_side_exits += 1;
+    }
+
+    /// Record one hot trace recorded and compiled.
+    #[inline]
+    pub fn note_trace_recorded(&mut self) {
+        self.stats.traces_recorded += 1;
+    }
+
+    /// Record an aborted (and blacklisted) trace.
+    #[inline]
+    pub fn note_trace_abort(&mut self) {
+        self.stats.trace_aborts += 1;
+    }
+
     /// Run `f` as one virtual-machine-level memory-model access (§3.3):
     /// counts one access and tags every instruction inside as memory-model
     /// work.

@@ -32,6 +32,7 @@
 
 pub mod bytecode;
 pub mod compiler;
+pub mod trace;
 pub mod vm;
 
 pub use bytecode::{Function, JProgram, Native, OpCode};

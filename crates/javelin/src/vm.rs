@@ -7,6 +7,11 @@
 //! only through `getfield`/`putfield` (~11 instructions with the null
 //! check), and a native runtime library whose instructions are attributed
 //! to [`Phase::Native`].
+//!
+//! Under [`DispatchStrategy::Tiered`] the loop additionally runs the
+//! trace machinery in [`crate::trace`]: hot loop heads are recorded and
+//! "compiled" into straight-line charged sequences, with guards at every
+//! data-dependent branch and interpreter fallback on guard failure.
 
 use interp_core::{
     CommandSet, Dispatch, DispatchFault, DispatchStrategy, Language, Phase, RunStats, TraceSink,
@@ -15,6 +20,24 @@ use interp_guard::GuardError;
 use interp_host::{Machine, RoutineId, SimStr, UiEvent};
 
 use crate::bytecode::{JProgram, Native, OpCode};
+use crate::trace::{RecordOutcome, TraceEngine};
+
+/// Conditional branches are the data-dependent successors a compiled
+/// trace must guard; everything else is straight-line or statically
+/// directed and needs no guard.
+fn is_guarded(op: OpCode) -> bool {
+    matches!(
+        op,
+        OpCode::Ifeq
+            | OpCode::Ifne
+            | OpCode::IfIcmplt
+            | OpCode::IfIcmpge
+            | OpCode::IfIcmpgt
+            | OpCode::IfIcmple
+            | OpCode::IfIcmpeq
+            | OpCode::IfIcmpne
+    )
+}
 
 /// Run-time errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +143,12 @@ pub struct Jvm<'a, S: TraceSink> {
     strategy: DispatchStrategy,
     /// Conformance-testing fault injected into a dispatch tier.
     fault: DispatchFault,
+    /// Trace recorder/cache/blacklist for the tiered tier.
+    traces: TraceEngine,
+    /// One-shot arm for [`DispatchFault::TraceGuardSkip`].
+    skip_armed: bool,
+    /// In-trace guard evaluations so far (drives `TraceGuardTrip`).
+    guard_evals: u64,
 }
 
 const FRAME_WORDS: u32 = 96; // 64 locals + 32 operand-stack slots
@@ -189,6 +218,9 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
             call_depth: 0,
             strategy: DispatchStrategy::Naive,
             fault: DispatchFault::None,
+            traces: TraceEngine::new(),
+            skip_armed: false,
+            guard_evals: 0,
         }
     }
 
@@ -339,7 +371,25 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
             }
             let fused = prev
                 .is_some_and(|(end, mn)| end == pc && self.fuses(mn, op.mnemonic()));
-            if fused {
+            let tiered = self.strategy == DispatchStrategy::Tiered;
+            if tiered && self.traces.try_enter(idx, pc) {
+                // Trace-cache probe hit at a compiled anchor: load the
+                // trace descriptor and jump out of the dispatch loop
+                // into the trace body.
+                self.m.lw(0x0060_a000 + ((pc as u32) & 0x3ff) * 4);
+                self.m.branch_fwd(true);
+            }
+            if tiered && self.traces.executing() {
+                // On-trace: the handler bodies are laid out as
+                // straight-line host code with operands baked in as
+                // immediates — no opcode fetch, no table load, no
+                // dispatch transfer. One glue instruction per bytecode
+                // models the trace's residual bookkeeping; the guard at
+                // each side exit is charged where it is evaluated,
+                // after the handler body.
+                self.m.alu();
+                self.m.note_trace_command();
+            } else if fused {
                 // The pair's fused handler already holds control: no
                 // opcode fetch, no table load, no dispatch transfer —
                 // just the second command's pc bump and operand fetch.
@@ -392,6 +442,24 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
             self.m.begin_command(cmd);
             self.m.set_phase(Phase::Execute);
             let mut next_pc = pc + 1 + opn;
+            if tiered
+                && self.traces.recording()
+                && matches!(
+                    op,
+                    OpCode::Invokestatic
+                        | OpCode::Invokenative
+                        | OpCode::Ireturn
+                        | OpCode::Return
+                )
+            {
+                // Traces are intra-procedural straight-line code: a
+                // call, native entry, or return aborts the recording
+                // and blacklists the anchor so re-heating never retries
+                // it. This also keeps the engine idle across frame
+                // boundaries — the callee records its own traces.
+                self.traces.abort_recording();
+                self.m.note_trace_abort();
+            }
 
             // ---- execute ----
             match op {
@@ -755,10 +823,91 @@ impl<'a, S: TraceSink> Jvm<'a, S> {
                     self.globals[slot] = v;
                 }
             }
+            if tiered {
+                self.tiered_post_op(idx, op, pc, &mut next_pc);
+            }
             // Record fall-through adjacency for superinstruction fusion;
             // a taken control transfer breaks any static pair.
             prev = (next_pc == pc + 1 + opn).then(|| (next_pc, op.mnemonic()));
             pc = next_pc;
+        }
+    }
+
+    /// Tiered-tier bookkeeping after one executed bytecode: guard
+    /// checks while a trace runs, step capture while recording, and
+    /// backedge hotness counting otherwise. The handler body already
+    /// ran through the shared `match` — a trace can only redirect
+    /// control (and only under an injected guard fault), never change
+    /// what a bytecode computed, which is what makes tiered output
+    /// equivalent to naive by construction.
+    fn tiered_post_op(&mut self, func: usize, op: OpCode, pc: usize, next_pc: &mut usize) {
+        if self.traces.executing() {
+            let Some(step) = self.traces.current_step() else {
+                // Defensive: an empty trace cannot execute.
+                self.traces.side_exit();
+                return;
+            };
+            if !step.guarded {
+                // Deterministic successor (fall-through or a static
+                // jump folded into the trace): no guard needed.
+                self.traces.advance();
+                return;
+            }
+            self.guard_evals += 1;
+            if let DispatchFault::TraceGuardTrip { after } = self.fault {
+                if self.guard_evals == u64::from(after) {
+                    // Chaos fault: the guard spuriously trips. The
+                    // runtime treats a tripping guard as a miscompiled
+                    // trace — abort, evict, blacklist — and resumes
+                    // interpreting at this exact bytecode boundary, so
+                    // output is unchanged.
+                    self.m.branch_fwd(true);
+                    self.traces.abort_executing();
+                    self.m.note_trace_abort();
+                    return;
+                }
+            }
+            if *next_pc == step.next {
+                // Guard holds: stay on the trace.
+                self.m.branch_fwd(false);
+                self.traces.advance();
+            } else if self.skip_armed {
+                // Conformance fault: a miscompiled guard follows the
+                // recorded direction instead of side-exiting. One-shot,
+                // so the run still terminates — just wrongly.
+                self.skip_armed = false;
+                *next_pc = step.next;
+                self.m.branch_fwd(false);
+                self.traces.advance();
+            } else {
+                // Guard fails: side-exit stub back to the interpreter,
+                // trace stays cached for the next circuit.
+                self.m.branch_fwd(true);
+                self.traces.side_exit();
+                self.m.note_trace_side_exit();
+            }
+            return;
+        }
+        if self.traces.recording() {
+            match self.traces.record_step(pc, *next_pc, is_guarded(op)) {
+                RecordOutcome::Continue => self.m.alu_n(2), // recorder bookkeeping
+                RecordOutcome::Completed => {
+                    // "Compile": lay the steps out as straight-line host
+                    // code and install the descriptor in the trace cache
+                    // (the completing successor is the anchor).
+                    self.m.alu_n(4);
+                    self.m.sw(0x0060_a000 + ((*next_pc as u32) & 0x3ff) * 4, 1);
+                    self.m.note_trace_recorded();
+                }
+                RecordOutcome::Overflow => self.m.note_trace_abort(),
+            }
+            return;
+        }
+        // Idle: count taken backedges; a hot loop head arms the
+        // recorder, which starts capturing at the anchor (the very next
+        // bytecode executed).
+        if *next_pc < pc {
+            self.traces.note_backedge(func, *next_pc);
         }
     }
 
@@ -922,6 +1071,7 @@ impl<S: TraceSink> Dispatch for Jvm<'_, S> {
 
     fn inject_fault(&mut self, fault: DispatchFault) {
         self.fault = fault;
+        self.skip_armed = fault == DispatchFault::TraceGuardSkip;
     }
 }
 
@@ -935,6 +1085,26 @@ mod tests {
         let prog = compile(src).expect("compile");
         let mut m = Machine::new(NullSink);
         let mut vm = Jvm::new(&mut m, prog);
+        let code = vm.run(50_000_000).expect("run");
+        drop(vm);
+        let out = String::from_utf8_lossy(m.console()).into_owned();
+        (code, out, m.stats().clone())
+    }
+
+    fn run_with(src: &str, strategy: DispatchStrategy) -> (i32, String, RunStats) {
+        run_with_fault(src, strategy, DispatchFault::None)
+    }
+
+    fn run_with_fault(
+        src: &str,
+        strategy: DispatchStrategy,
+        fault: DispatchFault,
+    ) -> (i32, String, RunStats) {
+        let prog = compile(src).expect("compile");
+        let mut m = Machine::new(NullSink);
+        let mut vm = Jvm::new(&mut m, prog);
+        vm.set_strategy(strategy);
+        vm.inject_fault(fault);
         let code = vm.run(50_000_000).expect("run");
         drop(vm);
         let out = String::from_utf8_lossy(m.console()).into_owned();
@@ -1125,6 +1295,149 @@ mod tests {
         assert!(profile_total > 1000);
         found = true;
         assert!(found);
+    }
+
+    /// Programs covering the interesting trace shapes: a steady loop, a
+    /// branchy loop (side exits), nested loops (linearization), loops
+    /// with calls inside (recording aborts), and arrays.
+    const TIERED_PROGRAMS: [&str; 5] = [
+        "void main() { int s = 0; for (int i = 0; i < 300; i++) { s += i; } Native.printInt(s); }",
+        r#"void main() {
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2 == 0) { s += i; } else { s -= 1; }
+            }
+            Native.printInt(s);
+        }"#,
+        r#"void main() {
+            int s = 0;
+            for (int i = 0; i < 20; i++) {
+                for (int j = 0; j < 20; j++) { s += i * j; }
+            }
+            Native.printInt(s);
+        }"#,
+        r#"int f(int x) { return x * 3 + 1; }
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 50; i++) { s += f(i); }
+            Native.printInt(s);
+        }"#,
+        r#"void main() {
+            int[] a = new int[32];
+            for (int i = 0; i < 32; i++) { a[i] = i * i; }
+            int s = 0;
+            for (int i = 0; i < 32; i++) { s += a[i]; }
+            Native.printInt(s);
+        }"#,
+    ];
+
+    #[test]
+    fn tiered_matches_naive_on_output_and_command_counts() {
+        for src in TIERED_PROGRAMS {
+            let (nc, nout, nstats) = run_with(src, DispatchStrategy::Naive);
+            let (tc, tout, tstats) = run_with(src, DispatchStrategy::Tiered);
+            assert_eq!(nc, tc, "exit code diverged for {src}");
+            assert_eq!(nout, tout, "console diverged for {src}");
+            assert_eq!(
+                nstats.commands, tstats.commands,
+                "virtual-command count diverged for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_records_and_covers_hot_loop() {
+        let (_, out, stats) = run_with(TIERED_PROGRAMS[0], DispatchStrategy::Tiered);
+        assert_eq!(out, "44850");
+        assert!(stats.traces_recorded >= 1, "no trace recorded");
+        assert!(
+            stats.trace_coverage_pct() > 50.0,
+            "hot loop should dominate: coverage = {}",
+            stats.trace_coverage_pct()
+        );
+    }
+
+    #[test]
+    fn tiered_beats_naive_and_threaded_on_hot_loops() {
+        let src = TIERED_PROGRAMS[0];
+        let (_, _, naive) = run_with(src, DispatchStrategy::Naive);
+        let (_, _, threaded) = run_with(src, DispatchStrategy::Threaded);
+        let (_, _, tiered) = run_with(src, DispatchStrategy::Tiered);
+        assert!(
+            tiered.instructions < threaded.instructions,
+            "tiered {} !< threaded {}",
+            tiered.instructions,
+            threaded.instructions
+        );
+        assert!(
+            threaded.instructions < naive.instructions,
+            "threaded {} !< naive {}",
+            threaded.instructions,
+            naive.instructions
+        );
+    }
+
+    #[test]
+    fn branchy_trace_side_exits_and_stays_correct() {
+        let (_, out, stats) = run_with(TIERED_PROGRAMS[1], DispatchStrategy::Tiered);
+        let (_, nout, _) = run_with(TIERED_PROGRAMS[1], DispatchStrategy::Naive);
+        assert_eq!(out, nout);
+        assert!(stats.traces_recorded >= 1);
+        assert!(
+            stats.trace_side_exits >= 1,
+            "alternating branch must side-exit the trace"
+        );
+    }
+
+    #[test]
+    fn trace_guard_skip_diverges_only_under_tiered() {
+        let src = TIERED_PROGRAMS[1];
+        let (_, good, _) = run_with(src, DispatchStrategy::Tiered);
+        let (_, bad, _) =
+            run_with_fault(src, DispatchStrategy::Tiered, DispatchFault::TraceGuardSkip);
+        assert_ne!(good, bad, "skipped guard must corrupt the output");
+        // The fault is dormant outside the tiered tier.
+        let (_, naive_ok, _) =
+            run_with_fault(src, DispatchStrategy::Naive, DispatchFault::TraceGuardSkip);
+        let (_, threaded_ok, _) =
+            run_with_fault(src, DispatchStrategy::Threaded, DispatchFault::TraceGuardSkip);
+        assert_eq!(good, naive_ok);
+        assert_eq!(good, threaded_ok);
+    }
+
+    #[test]
+    fn trace_guard_trip_aborts_blacklists_and_falls_back() {
+        let src = TIERED_PROGRAMS[0];
+        let (_, clean_out, _) = run_with(src, DispatchStrategy::Naive);
+        let (_, out, stats) = run_with_fault(
+            src,
+            DispatchStrategy::Tiered,
+            DispatchFault::TraceGuardTrip { after: 3 },
+        );
+        assert_eq!(out, clean_out, "fallback must preserve output");
+        assert_eq!(stats.trace_aborts, 1, "trip must abort the trace");
+        assert_eq!(
+            stats.traces_recorded, 1,
+            "blacklist must prevent re-recording the aborted anchor"
+        );
+    }
+
+    #[test]
+    fn trace_recording_is_deterministic() {
+        for src in TIERED_PROGRAMS {
+            let (_, out_a, stats_a) = run_with(src, DispatchStrategy::Tiered);
+            let (_, out_b, stats_b) = run_with(src, DispatchStrategy::Tiered);
+            assert_eq!(out_a, out_b);
+            let mut wa = interp_core::serial::ByteWriter::new();
+            let mut wb = interp_core::serial::ByteWriter::new();
+            stats_a.encode_into(&mut wa);
+            stats_b.encode_into(&mut wb);
+            assert_eq!(
+                wa.bytes(),
+                wb.bytes(),
+                "tiered stats must be a pure function of {src}"
+            );
+        }
     }
 
     #[test]

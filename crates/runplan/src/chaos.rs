@@ -17,9 +17,12 @@ use crate::lock::{Claims, Sessions, LOCK_FILE};
 use crate::plan::Plan;
 use crate::pool::{self, supervise_with, ExecutedPlan};
 use crate::supervise::{FailureKind, RunFailure, SuperviseConfig};
-use interp_core::{Language, RunArtifact, RunRequest, Scale, WorkloadId, WorkloadKind};
+use interp_core::{
+    DispatchFault, DispatchStrategy, Language, NullSink, RunArtifact, RunRequest, RunStats,
+    Scale, WorkloadId, WorkloadKind,
+};
 use interp_guard::{FaultPlan, Limits, Rng64, RunOutcome};
-use interp_workloads::run_guarded;
+use interp_workloads::{run_guarded, try_run_source_dispatch};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -277,14 +280,21 @@ pub enum JournalChaosLane {
     /// byte-identical, with exactly-once execution across the daemon
     /// and the batch writer combined.
     ServeClientRace,
+    /// Tiered-execution lane: a seeded spurious guard trip fires inside
+    /// a running Javelin trace. Expect the engine to abort the trace,
+    /// blacklist its anchor (it is never re-recorded), fall back to the
+    /// interpreter at the exact bytecode, and finish with console output
+    /// and virtual-command counts byte-identical to a never-tiered run.
+    TieredGuardTrip,
 }
 
 impl JournalChaosLane {
     /// Every lane, in rotation order. The original six corruption lanes
     /// keep their seed positions; multi-writer lanes extend the tail,
-    /// and serve lanes extend it again — historical seeds 0–8 still map
-    /// to the same lanes they always did.
-    pub const ALL: [JournalChaosLane; 12] = [
+    /// serve lanes extend it again, and the tiered guard-trip lane is
+    /// the 13th — historical seeds 0–11 still map to the same lanes
+    /// they always did.
+    pub const ALL: [JournalChaosLane; 13] = [
         JournalChaosLane::TornFinalRecord,
         JournalChaosLane::PayloadBitFlip,
         JournalChaosLane::MidTruncation,
@@ -297,6 +307,7 @@ impl JournalChaosLane {
         JournalChaosLane::TornServeRequest,
         JournalChaosLane::ServeCrashRecovery,
         JournalChaosLane::ServeClientRace,
+        JournalChaosLane::TieredGuardTrip,
     ];
 
     /// Display label.
@@ -314,6 +325,7 @@ impl JournalChaosLane {
             JournalChaosLane::TornServeRequest => "torn-serve-request",
             JournalChaosLane::ServeCrashRecovery => "serve-crash-recovery",
             JournalChaosLane::ServeClientRace => "serve-client-race",
+            JournalChaosLane::TieredGuardTrip => "tiered-guard-trip",
         }
     }
 
@@ -338,11 +350,17 @@ impl JournalChaosLane {
                 | JournalChaosLane::ServeClientRace
         )
     }
+
+    /// True for the lane that exercises the tiered engine's guard-trip
+    /// fallback instead of the cache machinery.
+    pub fn is_tiered(self) -> bool {
+        self == JournalChaosLane::TieredGuardTrip
+    }
 }
 
 /// The journal-corruption lane for `seed`: seeds rotate through
-/// [`JournalChaosLane::ALL`], so any six consecutive seeds cover the
-/// whole defect taxonomy (where in the file the corruption lands is
+/// [`JournalChaosLane::ALL`], so any thirteen consecutive seeds cover
+/// the whole lane taxonomy (where in the file the corruption lands is
 /// still rolled from the seed).
 pub fn journal_lane(seed: u64) -> JournalChaosLane {
     JournalChaosLane::ALL[(seed % JournalChaosLane::ALL.len() as u64) as usize]
@@ -435,12 +453,13 @@ pub fn corrupt_journal(
         | JournalChaosLane::CompactionRace
         | JournalChaosLane::TornServeRequest
         | JournalChaosLane::ServeCrashRecovery
-        | JournalChaosLane::ServeClientRace => {
-            // Multi-writer and serve lanes inject no byte corruption —
-            // they are dispatched to their own harnesses before this
-            // function is reached. Reaching here is a harness bug; the
-            // impossible requeue oracle makes the round fail loudly
-            // instead of silently passing.
+        | JournalChaosLane::ServeClientRace
+        | JournalChaosLane::TieredGuardTrip => {
+            // Multi-writer, serve, and tiered lanes inject no byte
+            // corruption — they are dispatched to their own harnesses
+            // before this function is reached. Reaching here is a
+            // harness bug; the impossible requeue oracle makes the round
+            // fail loudly instead of silently passing.
             (JournalDefectKind::TornTail, usize::MAX)
         }
     };
@@ -559,7 +578,8 @@ impl MultiWriterOutcome {
 
 /// The verdict of one journal-chaos round — corruption lanes grade
 /// detect/classify/heal, multi-writer lanes grade exactly-once
-/// coordination, serve lanes grade daemon robustness.
+/// coordination, serve lanes grade daemon robustness, and the tiered
+/// lane grades the trace engine's guard-trip fallback.
 #[derive(Debug, Clone)]
 pub enum JournalChaosVerdict {
     /// A byte-corruption lane's verdict.
@@ -568,6 +588,8 @@ pub enum JournalChaosVerdict {
     MultiWriter(MultiWriterOutcome),
     /// A serve-daemon robustness lane's verdict.
     Serve(ServeChaosOutcome),
+    /// The tiered guard-trip lane's verdict.
+    Tiered(TieredChaosOutcome),
 }
 
 impl JournalChaosVerdict {
@@ -577,6 +599,7 @@ impl JournalChaosVerdict {
             JournalChaosVerdict::Corruption(o) => o.passed(),
             JournalChaosVerdict::MultiWriter(o) => o.passed(),
             JournalChaosVerdict::Serve(o) => o.passed(),
+            JournalChaosVerdict::Tiered(o) => o.passed(),
         }
     }
 
@@ -586,6 +609,7 @@ impl JournalChaosVerdict {
             JournalChaosVerdict::Corruption(o) => render_journal_chaos(o),
             JournalChaosVerdict::MultiWriter(o) => render_multi_writer(o),
             JournalChaosVerdict::Serve(o) => render_serve_chaos(o),
+            JournalChaosVerdict::Tiered(o) => render_tiered_chaos(o),
         }
     }
 }
@@ -614,6 +638,9 @@ pub fn journal_chaos_seed(
     if lane.is_serve() {
         return serve_chaos_seed(plan, jobs, seed, lane, config, dir, pristine, baseline)
             .map(JournalChaosVerdict::Serve);
+    }
+    if lane.is_tiered() {
+        return Ok(JournalChaosVerdict::Tiered(tiered_chaos_seed(seed, lane)));
     }
     let mut corrupted = pristine.to_vec();
     let corruption = corrupt_journal(&mut corrupted, lane, seed);
@@ -1187,6 +1214,121 @@ fn serve_chaos_seed(
     }
 }
 
+/// Stream-splitting constant for tiered-lane rolls (guard-trip
+/// ordinals), decorrelated from every other chaos stream.
+const TIERED_STREAM: u64 = 0x71E2_ED00_6A2D_7219;
+
+/// The hot-loop Javelin program the tiered lane drives: one loop head
+/// that heats past the recording threshold within the first few
+/// backedges and then runs a few hundred on-trace iterations — so a
+/// guard-trip ordinal rolled in [1, 64] always lands mid-trace.
+const TIERED_CHAOS_PROGRAM: &str =
+    "void main() { int s = 0; for (int i = 0; i < 300; i++) { s += i; } Native.printInt(s); }";
+
+/// One tiered guard-trip verdict: where the spurious trip fired and
+/// whether the engine aborted, blacklisted, and fell back without any
+/// observable change.
+#[derive(Debug, Clone)]
+pub struct TieredChaosOutcome {
+    /// The chaos seed.
+    pub seed: u64,
+    /// The lane (always [`JournalChaosLane::TieredGuardTrip`]).
+    pub lane: JournalChaosLane,
+    /// The 1-based in-trace guard ordinal the trip fired at.
+    pub guard_trip_after: u32,
+    /// The faulted run recorded exactly one abort — the trip was taken.
+    pub trace_aborted: bool,
+    /// The aborted anchor stayed blacklisted: the trace was recorded
+    /// once and never re-recorded after the abort.
+    pub blacklisted: bool,
+    /// Console output of the faulted tiered run is byte-identical to
+    /// the never-tiered (naive) run.
+    pub output_identical: bool,
+    /// Virtual-command counts agree with the never-tiered run.
+    pub commands_identical: bool,
+}
+
+impl TieredChaosOutcome {
+    /// True iff the trip was taken, the anchor stayed dead, and nothing
+    /// observable changed.
+    pub fn passed(&self) -> bool {
+        self.trace_aborted
+            && self.blacklisted
+            && self.output_identical
+            && self.commands_identical
+    }
+}
+
+/// One tiered run of the lane's fixed program; `None` if the engine
+/// errored (which the oracle grades as failure).
+fn tiered_probe(
+    strategy: DispatchStrategy,
+    fault: DispatchFault,
+) -> Option<(String, RunStats)> {
+    try_run_source_dispatch(
+        Language::Javelin,
+        TIERED_CHAOS_PROGRAM,
+        Limits::guarded(),
+        strategy,
+        fault,
+        NullSink,
+    )
+    .ok()
+    .map(|r| (r.console, r.stats))
+}
+
+/// Run one tiered guard-trip round: a never-tiered baseline, then the
+/// same program tiered with a seed-rolled spurious guard trip, graded
+/// for abort + blacklist + byte-identical fallback.
+fn tiered_chaos_seed(seed: u64, lane: JournalChaosLane) -> TieredChaosOutcome {
+    let mut rng = Rng64::new(seed ^ TIERED_STREAM);
+    let after = rng.range(1, 64) as u32;
+    let failed = TieredChaosOutcome {
+        seed,
+        lane,
+        guard_trip_after: after,
+        trace_aborted: false,
+        blacklisted: false,
+        output_identical: false,
+        commands_identical: false,
+    };
+    let Some((naive_out, naive_stats)) =
+        tiered_probe(DispatchStrategy::Naive, DispatchFault::None)
+    else {
+        return failed;
+    };
+    let Some((tiered_out, tiered_stats)) = tiered_probe(
+        DispatchStrategy::Tiered,
+        DispatchFault::TraceGuardTrip { after },
+    ) else {
+        return failed;
+    };
+    TieredChaosOutcome {
+        seed,
+        lane,
+        guard_trip_after: after,
+        trace_aborted: tiered_stats.trace_aborts >= 1,
+        blacklisted: tiered_stats.traces_recorded == 1,
+        output_identical: tiered_out == naive_out,
+        commands_identical: tiered_stats.commands == naive_stats.commands,
+    }
+}
+
+/// One line per tiered round, shape-stable with the other renders.
+pub fn render_tiered_chaos(outcome: &TieredChaosOutcome) -> String {
+    format!(
+        "journal-chaos seed {}: lane {} -> trip guard #{}: aborted={} blacklisted={} output-identical={} commands-identical={} [{}]",
+        outcome.seed,
+        outcome.lane.label(),
+        outcome.guard_trip_after,
+        outcome.trace_aborted,
+        outcome.blacklisted,
+        outcome.output_identical,
+        outcome.commands_identical,
+        if outcome.passed() { "ok" } else { "FAIL" },
+    )
+}
+
 /// Grade one resumed run against the corruption oracle.
 fn grade_outcome(
     plan: &Plan,
@@ -1328,6 +1470,30 @@ mod tests {
             ChaosLane::WorkerPanic,
         ] {
             assert!(seen.contains(&expected), "lane {expected:?} never rolled");
+        }
+    }
+
+    #[test]
+    fn tiered_guard_trip_lane_aborts_blacklists_and_stays_byte_identical() {
+        // Several seeds → several trip ordinals; every round must take
+        // the trip, hold the blacklist, and change nothing observable.
+        // Rounds are pure functions of the seed, so the rendered line is
+        // stable across invocations (and job counts, trivially: the lane
+        // runs in-process).
+        for seed in [12u64, 25, 38] {
+            assert_eq!(journal_lane(seed), JournalChaosLane::TieredGuardTrip);
+            let outcome = tiered_chaos_seed(seed, JournalChaosLane::TieredGuardTrip);
+            assert!(
+                outcome.passed(),
+                "seed {seed}: {}",
+                render_tiered_chaos(&outcome)
+            );
+            let again = tiered_chaos_seed(seed, JournalChaosLane::TieredGuardTrip);
+            assert_eq!(
+                render_tiered_chaos(&outcome),
+                render_tiered_chaos(&again),
+                "seed {seed}: tiered round not deterministic"
+            );
         }
     }
 

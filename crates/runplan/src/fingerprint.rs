@@ -26,7 +26,10 @@ pub const RECORD_VERSION: u16 = 1;
 /// * 1 → 2: the dispatch-strategy axis joined `RunRequest::fingerprint`
 ///   (every canonical string gained a `+strategy` suffix), so every
 ///   pre-dispatch journal must be re-executed, not misread.
-pub const EPOCH_SALT: u32 = 2;
+/// * 2 → 3: the tiered tier added trace counters to the `RunStats`
+///   encoding, so artifacts written before the tier would decode with
+///   silently-zero trace fields instead of being re-measured.
+pub const EPOCH_SALT: u32 = 3;
 
 /// The current code/config epoch: a stable hash of the record version,
 /// the manual salt, and the workspace package version. Records written

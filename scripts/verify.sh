@@ -26,7 +26,7 @@
 #                        Runs twice: the classic naive sweep, then
 #                        --dispatch all, which adds every supported
 #                        fast-dispatch tier (threaded, superinstr,
-#                        inline-cache) as extra witness columns.
+#                        inline-cache, tiered) as extra witness columns.
 #   crash-resume       — a journaled run is deliberately crashed mid-plan
 #                        (exit 86 after 5 durable appends); the rerun with
 #                        --resume must reuse the journal and print stdout
@@ -44,17 +44,20 @@
 #                        exactly-once; then a second daemon is SIGKILLed
 #                        mid-request and a restarted daemon recovers the
 #                        orphaned claim, again byte-identical.
-#   journal-chaos      — 24 seeds = two full rotations of the twelve
+#   journal-chaos      — 26 seeds = two full rotations of the thirteen
 #                        lanes: six corruption lanes (torn tail, bit
 #                        flip, mid-truncation, duplicate key, stale
 #                        epoch, bad version) each detected, classified,
 #                        and healed; three multi-writer lanes
 #                        (interleaved writers, stale-lock takeover,
 #                        compaction raced against an appender) each
-#                        exactly-once and clean; and three serve lanes
+#                        exactly-once and clean; three serve lanes
 #                        (torn client request, daemon killed between
 #                        claim and commit, clients racing a daemon and a
-#                        batch run) each typed-rejected or recovered.
+#                        batch run) each typed-rejected or recovered;
+#                        and the tiered guard-trip lane (spurious trace
+#                        guard failure mid-run) aborted, blacklisted,
+#                        and byte-identical to a never-tiered run.
 #   golden snapshots   — every renderer's test-scale output must be
 #                        byte-identical to the committed goldens.
 set -euo pipefail
@@ -103,9 +106,13 @@ echo "== conformance smoke (32 seeds, 5 interpreters, zero divergence) =="
 "$REPRO" conform --seeds 32 \
   || { echo "cross-interpreter divergence detected; see the shrunk reproducer above"; exit 1; }
 
-echo "== conformance smoke, all dispatch tiers (32 seeds, 11 engine witnesses) =="
+echo "== conformance smoke, all dispatch tiers (32 seeds, 12 engine witnesses) =="
 "$REPRO" conform --seeds 32 --dispatch all \
   || { echo "fast-dispatch tier diverged from naive; see the shrunk reproducer above"; exit 1; }
+
+echo "== tiered conformance smoke (16 seeds, trace-recording tier vs naive) =="
+"$REPRO" conform --seeds 16 --dispatch naive,tiered \
+  || { echo "tiered trace execution diverged from naive; see the shrunk reproducer above"; exit 1; }
 
 echo "== crash-resume (deliberate mid-plan crash, then --resume, byte-diff vs cold) =="
 CACHE=/tmp/repro_resume_cache
@@ -217,7 +224,7 @@ echo "== bench trajectory (JSON artifact + dispatch-tier gate) =="
 "$REPRO" bench --scale test --jobs 4 --out /tmp/repro_bench.json >/tmp/repro_bench_summary.txt \
   || { echo "bench failed (a fast dispatch tier regressed vs naive?)"; \
        cat /tmp/repro_bench_summary.txt; exit 1; }
-grep -q '"schema": "bench-trajectory/3"' /tmp/repro_bench.json \
+grep -q '"schema": "bench-trajectory/4"' /tmp/repro_bench.json \
   || { echo "bench trajectory missing schema marker"; exit 1; }
 grep -q '"dispatch"' /tmp/repro_bench.json \
   || { echo "bench trajectory missing dispatch-tier section"; exit 1; }
@@ -226,8 +233,8 @@ grep -q "bench: dispatch tiers ok" /tmp/repro_bench_summary.txt \
        cat /tmp/repro_bench_summary.txt; exit 1; }
 rm -f /tmp/repro_bench.json /tmp/repro_bench_summary.txt
 
-echo "== journal-chaos (corruption + multi-writer + serve lanes, 2 full rotations) =="
-"$REPRO" journal-chaos --seeds 24
+echo "== journal-chaos (corruption + multi-writer + serve + tiered lanes, 2 full rotations) =="
+"$REPRO" journal-chaos --seeds 26
 
 echo "== golden snapshots (byte-diff vs committed renders) =="
 cargo test -q -p interp-harness --test goldens \
