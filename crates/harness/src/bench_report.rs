@@ -152,8 +152,90 @@ fn bench_serve(scale: Scale, jobs: usize, config: &SuperviseConfig) -> BenchTarg
     BenchTarget { name: "serve", runs, wall_s }
 }
 
+/// Measure a fleet burst: `members` daemons over one warm cache answer
+/// a `burst` of requests submitted back-to-back. Returns the wall-clock
+/// from first submit to last response, or 0.0 on any failure.
+fn fleet_burst(
+    dir: &std::path::Path,
+    scale: Scale,
+    jobs: usize,
+    config: &SuperviseConfig,
+    members: usize,
+    burst: usize,
+) -> f64 {
+    use crate::experiments::ExperimentService;
+    use interp_runplan::serve::{self, ServeConfig, ServeRequest, WaitOutcome};
+    use std::time::{Duration, Instant};
+
+    let mut daemons = Vec::with_capacity(members);
+    for _ in 0..members {
+        let mut serve_config = ServeConfig::new(dir);
+        serve_config.jobs = jobs;
+        serve_config.supervise = *config;
+        serve_config.poll = Duration::from_millis(1);
+        serve_config.serve_jobs = 2;
+        daemons.push(std::thread::spawn(move || {
+            let _ = serve::serve(&serve_config, &ExperimentService);
+        }));
+    }
+    let started = Instant::now();
+    let ids: Vec<String> = (0..burst)
+        .map(|i| format!("fleet{members}-req{i}"))
+        .collect();
+    let mut submitted = true;
+    for id in &ids {
+        let request = ServeRequest::new(id.clone(), &["table1"], scale);
+        submitted &= serve::submit(dir, &request).is_ok();
+    }
+    let mut answered = submitted;
+    for id in &ids {
+        answered &= matches!(
+            serve::wait(dir, id, Duration::from_secs(120), Duration::from_millis(1)),
+            Ok(WaitOutcome::Response(_))
+        );
+    }
+    let wall_s = if answered { started.elapsed().as_secs_f64() } else { 0.0 };
+    let _ = serve::request_stop(dir);
+    for daemon in daemons {
+        let _ = daemon.join();
+    }
+    wall_s
+}
+
+/// Measure fleet scaling: the same burst through one daemon and through
+/// two, over one shared warm cache (so both points track coordination
+/// overhead — claims, adoption sweeps, outbox publishes — not workload
+/// cost). A failed warm-up reports 0.0 for both.
+fn bench_fleet(scale: Scale, jobs: usize, config: &SuperviseConfig) -> Vec<BenchTarget> {
+    let dir = std::env::temp_dir().join(format!(
+        "repro-bench-fleet-{}-{}",
+        std::process::id(),
+        interp_runplan::fresh_token()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = Plan::build(requests_for("table1", scale));
+    let jconfig = interp_runplan::JournalConfig::new(&dir);
+    let warmed = interp_runplan::execute_journaled(&plan, jobs, config, &jconfig).is_ok();
+    const BURST: usize = 4;
+    let mut points = Vec::with_capacity(2);
+    for members in [1usize, 2] {
+        let wall_s = if warmed {
+            fleet_burst(&dir, scale, jobs, config, members, BURST)
+        } else {
+            0.0
+        };
+        points.push(BenchTarget {
+            name: if members == 1 { "fleet1" } else { "fleet2" },
+            runs: BURST,
+            wall_s,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    points
+}
+
 /// Execute the benchmark sweep: each target alone, the serve-mode
-/// round-trip, then the shared plan.
+/// round-trip, the fleet burst pair, then the shared plan.
 pub fn run_bench(scale: Scale, jobs: usize, config: &SuperviseConfig) -> BenchReport {
     let unix_ms = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
@@ -171,6 +253,7 @@ pub fn run_bench(scale: Scale, jobs: usize, config: &SuperviseConfig) -> BenchRe
         });
     }
     targets.push(bench_serve(scale, jobs, config));
+    targets.extend(bench_fleet(scale, jobs, config));
     let union = all_requests(scale);
     let combined_requests = union.len();
     let plan = Plan::build(union);
@@ -216,7 +299,7 @@ fn r3(x: f64) -> f64 {
 pub fn render_json(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"bench-trajectory/4\",\n");
+    out.push_str("  \"schema\": \"bench-trajectory/5\",\n");
     out.push_str(&format!("  \"unix_ms\": {},\n", report.unix_ms));
     out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale.label()));
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
@@ -347,7 +430,7 @@ mod tests {
         let text = render_json(&tiny_report());
         assert!(text.starts_with("{\n"));
         assert!(text.ends_with("}\n"));
-        assert!(text.contains("\"schema\": \"bench-trajectory/4\""), "{text}");
+        assert!(text.contains("\"schema\": \"bench-trajectory/5\""), "{text}");
         assert!(text.contains("\"scale\": \"test\""), "{text}");
         assert!(text.contains("\"name\": \"table1\", \"runs\": 10, \"wall_s\": 0.123"), "{text}");
         assert!(text.contains("\"combined_plan_runs\": 24"), "{text}");
@@ -398,12 +481,25 @@ mod tests {
     #[test]
     fn bench_measures_every_target_plus_combined() {
         let report = run_bench(Scale::Test, 2, &SuperviseConfig::new());
-        // Every registry target plus the serve-mode round-trip point.
-        assert_eq!(report.targets.len(), TARGETS.len() + 1);
-        let serve = report.targets.last().expect("serve point");
-        assert_eq!(serve.name, "serve");
+        // Every registry target plus the serve-mode round-trip point
+        // and the two fleet-burst points.
+        assert_eq!(report.targets.len(), TARGETS.len() + 3);
+        let serve = report
+            .targets
+            .iter()
+            .find(|t| t.name == "serve")
+            .expect("serve point");
         assert!(serve.runs > 0, "serve point must plan table1's runs");
         assert!(serve.wall_s > 0.0, "serve round-trip must be measured");
+        for name in ["fleet1", "fleet2"] {
+            let point = report
+                .targets
+                .iter()
+                .find(|t| t.name == name)
+                .expect("fleet point");
+            assert_eq!(point.runs, 4, "{name} must report its burst size");
+            assert!(point.wall_s > 0.0, "{name} burst must be measured");
+        }
         // table3 needs no runs; every other target needs at least one.
         assert!(report.targets.iter().any(|t| t.runs == 0));
         assert!(report.targets.iter().filter(|t| t.runs > 0).count() >= 7);

@@ -7,14 +7,16 @@
 //!       [--cache-dir DIR] [--resume] [--lock-timeout SECS] [--crash-after N]
 //! repro list [--scale test|paper]
 //! repro status [--cache-dir DIR] [--scale test|paper]
-//! repro compact [--cache-dir DIR] [--lock-timeout SECS]
+//! repro compact [--cache-dir DIR] [--lock-timeout SECS] [--keep-responses SECS]
 //! repro bench [--scale test|paper] [--jobs N] [--out FILE]
 //! repro guard [--seeds N] [--scale test|paper]
 //! repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]
 //! repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]
 //! repro conform [--seeds N] [--dispatch LIST]
-//! repro serve [--cache-dir DIR] [--queue N] [--poll-ms N] [--max-requests N] [--stop]
-//! repro submit [TARGETS] [--scale test|paper] [--dispatch LIST] [--id NAME] [--cache-dir DIR]
+//! repro serve [--cache-dir DIR] [--queue N] [--poll-ms N] [--max-requests N]
+//!       [--serve-jobs N] [--exclusive] [--stop]
+//! repro submit [TARGETS] [--scale test|paper] [--dispatch LIST] [--id NAME]
+//!       [--priority N] [--deadline-ms N] [--cache-dir DIR]
 //! repro wait ID [--cache-dir DIR] [--wait-timeout SECS] [--poll-ms N]
 //! ```
 //!
@@ -83,20 +85,31 @@
 //!
 //! Service mode: `serve` runs a long-lived daemon over the cache — it
 //! watches `<cache>/serve/inbox/` for request files dropped by `submit`,
-//! admits at most `--queue` per scan (excess answered with a typed
-//! `overloaded` rejection), executes each through the same journal
-//! claims as batch runs (exactly-once even while a concurrent
-//! `repro all` shares the cache), and publishes responses to
-//! `<cache>/serve/outbox/` whose bodies are byte-identical to the batch
-//! CLI's stdout for the same selection. Malformed or unknown-target
-//! requests get typed rejections, never a daemon crash. The daemon
-//! heartbeats every scan, recovers requests a killed daemon left
-//! claimed, and drains cleanly on `serve --stop`. `wait ID` blocks for
-//! a response and replays its body/accounting onto stdout/stderr.
+//! admits at most `--queue` per scan in priority order (excess answered
+//! with a typed `overloaded` rejection), executes up to `--serve-jobs`
+//! admitted requests concurrently through the same journal claims as
+//! batch runs (exactly-once even while a concurrent `repro all` shares
+//! the cache), and publishes responses to `<cache>/serve/outbox/` whose
+//! bodies are byte-identical to the batch CLI's stdout for the same
+//! selection. N daemons may serve one cache as a *fleet*: each registers
+//! a member lease under `serve/fleet/`, claims inbox requests by atomic
+//! rename (no request is ever executed twice), and live members adopt
+//! the claimed-but-unanswered work of any member that died — kill -9
+//! loses nothing. `--exclusive` refuses to start while another live
+//! member is serving (exit 6). `submit --priority N` orders admission
+//! (higher first); `submit --deadline-ms N` bounds patience — a request
+//! still unexecuted when its deadline passes is answered with a typed
+//! `deadline-expired` rejection instead of stale work. Malformed or
+//! unknown-target requests get typed rejections, never a daemon crash.
+//! Each member heartbeats every scan, and the fleet drains cleanly on
+//! `serve --stop` (the last member out consumes the marker). `wait ID`
+//! blocks for a response with jittered exponential backoff and replays
+//! its body/accounting onto stdout/stderr.
 //!
 //! Exit status: 0 success (or degraded-but-complete), 1 sweep failure,
 //! 2 usage error, 3 degraded under `--strict`, 4 journal I/O error,
-//! 5 lock timeout, 6 serve daemon already running, 7 wait timeout,
+//! 5 lock timeout, 6 a live daemon blocks this one (stale legacy lease,
+//! or `--exclusive` while a fleet member is live), 7 wait timeout,
 //! 86 deliberate `--crash-after` crash.
 //!
 //! `journal-chaos` proves the recovery machinery per seed: corruption
@@ -120,7 +133,7 @@ use interp_harness::{guard_sweep, Scale};
 use interp_runplan::chaos::{journal_chaos_baseline, journal_chaos_plan, journal_chaos_seed};
 use interp_runplan::serve;
 use interp_runplan::{
-    cache_status, chaos_execute, compact, current_epoch, default_jobs, execute_journaled,
+    cache_status, chaos_execute, compact_with, current_epoch, default_jobs, execute_journaled,
     execute_supervised, render_cache_status, render_chaos_summary, render_failures,
     render_resume_report, render_timings, with_quiet_injected_panics, JournalConfig,
     JournalError, JournalErrorKind, Plan, ResolveError, SuperviseConfig, DEFAULT_CACHE_DIR,
@@ -140,14 +153,16 @@ fn usage() -> String {
          \x20            [--cache-dir DIR] [--resume] [--lock-timeout SECS] [--crash-after N]\n\
          \x20      repro list [--scale test|paper]\n\
          \x20      repro status [--cache-dir DIR] [--scale test|paper]\n\
-         \x20      repro compact [--cache-dir DIR] [--lock-timeout SECS]\n\
+         \x20      repro compact [--cache-dir DIR] [--lock-timeout SECS] [--keep-responses SECS]\n\
          \x20      repro bench [--scale test|paper] [--jobs N] [--out FILE]\n\
          \x20      repro guard [--seeds N] [--scale test|paper]\n\
          \x20      repro chaos [--seeds N] [--scale test|paper] [--jobs N] [--retries N]\n\
          \x20      repro journal-chaos [--seeds N] [--jobs N] [--cache-dir DIR]\n\
          \x20      repro conform [--seeds N] [--dispatch LIST]\n\
-         \x20      repro serve [--cache-dir DIR] [--queue N] [--poll-ms N] [--max-requests N] [--stop]\n\
-         \x20      repro submit [TARGETS] [--scale test|paper] [--dispatch LIST] [--id NAME] [--cache-dir DIR]\n\
+         \x20      repro serve [--cache-dir DIR] [--queue N] [--poll-ms N] [--max-requests N]\n\
+         \x20            [--serve-jobs N] [--exclusive] [--stop]\n\
+         \x20      repro submit [TARGETS] [--scale test|paper] [--dispatch LIST] [--id NAME]\n\
+         \x20            [--priority N] [--deadline-ms N] [--cache-dir DIR]\n\
          \x20      repro wait ID [--cache-dir DIR] [--wait-timeout SECS] [--poll-ms N]\n\
          targets: {} | all (default), comma- or space-separated\n\
          dispatch: --dispatch LIST, comma-separated from naive | threaded | superinstr |\n\
@@ -158,11 +173,14 @@ fn usage() -> String {
          \x20            missing runs; corrupt records are reported and recomputed, never fatal;\n\
          \x20            concurrent processes sharing a cache dir coordinate through an advisory\n\
          \x20            lock for exactly-once execution (--lock-timeout SECS bounds the wait)\n\
-         service: `serve` daemonizes over the cache inbox/outbox; `submit` drops a\n\
-         \x20            request file (id on stdout); `wait ID` blocks for its response and\n\
-         \x20            replays the body (byte-identical to the batch CLI) on stdout\n\
+         service: `serve` daemonizes over the cache inbox/outbox (run it N times for a\n\
+         \x20            failover fleet; --serve-jobs N executes admitted requests concurrently;\n\
+         \x20            --exclusive refuses to join a live fleet); `submit` drops a request\n\
+         \x20            file (id on stdout; --priority orders admission, --deadline-ms bounds\n\
+         \x20            patience); `wait ID` blocks for its response and replays the body\n\
+         \x20            (byte-identical to the batch CLI) on stdout\n\
          exit status: 0 ok, 1 sweep failure, 2 usage, 3 degraded under --strict,\n\
-         \x20            4 journal I/O error, 5 lock timeout, 6 serve daemon already running,\n\
+         \x20            4 journal I/O error, 5 lock timeout, 6 live daemon blocks this one,\n\
          \x20            7 wait timeout, 86 --crash-after",
         names.join(" | ")
     )
@@ -193,7 +211,7 @@ struct Cli {
     scale: Scale,
     jobs: usize,
     /// `--seeds` if given; `guard` and `conform` default to 64, `chaos`
-    /// to 8, `journal-chaos` to 13 (one full lane rotation).
+    /// to 8, `journal-chaos` to 16 (one full lane rotation).
     seeds: Option<u64>,
     /// Retry budget for transient failures (faults, deadlines).
     retries: u32,
@@ -220,10 +238,24 @@ struct Cli {
     poll_ms: Option<u64>,
     /// `repro serve`: exit after this many responses (tests, bench).
     max_requests: Option<u64>,
+    /// `repro serve --serve-jobs N`: admitted requests executed
+    /// concurrently per scan (default 1, the sequential daemon).
+    serve_jobs: Option<usize>,
+    /// `repro serve --exclusive`: refuse to start while another live
+    /// fleet member is already serving this cache (exit status 6).
+    exclusive: bool,
     /// `repro serve --stop`: ask the running daemon to drain and exit.
     stop: bool,
     /// `repro submit --id NAME`: explicit request id.
     id: Option<String>,
+    /// `repro submit --priority N`: admission priority (higher first).
+    priority: Option<i64>,
+    /// `repro submit --deadline-ms N`: relative patience; converted to
+    /// the absolute unix-millisecond deadline the wire format carries.
+    deadline_ms: Option<u64>,
+    /// `repro compact --keep-responses SECS`: sweep outbox responses
+    /// older than this horizon (default: keep everything).
+    keep_responses: Option<Duration>,
     /// `repro wait` patience before exit status 7.
     wait_timeout: Option<Duration>,
 }
@@ -269,8 +301,13 @@ fn parse(args: &[String]) -> Cli {
     let mut queue: Option<usize> = None;
     let mut poll_ms: Option<u64> = None;
     let mut max_requests: Option<u64> = None;
+    let mut serve_jobs: Option<usize> = None;
+    let mut exclusive = false;
     let mut stop = false;
     let mut id: Option<String> = None;
+    let mut priority: Option<i64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut keep_responses: Option<Duration> = None;
     let mut wait_timeout: Option<Duration> = None;
 
     let mut it = args.iter().peekable();
@@ -372,6 +409,36 @@ fn parse(args: &[String]) -> Cli {
                 Ok(n) if n > 0 => max_requests = Some(n),
                 _ => bail(&format!("--max-requests expects a positive integer, got `{v}`")),
             }
+        } else if arg == "--serve-jobs" || arg.starts_with("--serve-jobs=") {
+            let v = take_value("--serve-jobs");
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => serve_jobs = Some(n),
+                _ => bail(&format!("--serve-jobs expects a positive integer, got `{v}`")),
+            }
+        } else if arg == "--exclusive" {
+            exclusive = true;
+        } else if arg == "--priority" || arg.starts_with("--priority=") {
+            let v = take_value("--priority");
+            match v.parse::<i64>() {
+                Ok(n) => priority = Some(n),
+                _ => bail(&format!("--priority expects an integer, got `{v}`")),
+            }
+        } else if arg == "--deadline-ms" || arg.starts_with("--deadline-ms=") {
+            let v = take_value("--deadline-ms");
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => deadline_ms = Some(n),
+                _ => bail(&format!(
+                    "--deadline-ms expects a positive number of milliseconds, got `{v}`"
+                )),
+            }
+        } else if arg == "--keep-responses" || arg.starts_with("--keep-responses=") {
+            let v = take_value("--keep-responses");
+            match v.parse::<u64>() {
+                Ok(n) => keep_responses = Some(Duration::from_secs(n)),
+                _ => bail(&format!(
+                    "--keep-responses expects a non-negative number of seconds, got `{v}`"
+                )),
+            }
         } else if arg == "--stop" {
             stop = true;
         } else if arg == "--id" || arg.starts_with("--id=") {
@@ -424,8 +491,13 @@ fn parse(args: &[String]) -> Cli {
         queue,
         poll_ms,
         max_requests,
+        serve_jobs,
+        exclusive,
         stop,
         id,
+        priority,
+        deadline_ms,
+        keep_responses,
         wait_timeout,
     }
 }
@@ -444,7 +516,7 @@ fn print_list(scale: Scale) {
     println!("  chaos      full plan under seeded guest+pool fault injection");
     println!("  journal-chaos  seeded journal corruption, multi-writer races, tiered guard trips: healed");
     println!("  conform    differential conformance sweep across all five interpreters");
-    println!("  serve      crash-tolerant run-plan service daemon over the shared cache");
+    println!("  serve      crash-tolerant run-plan service daemon (run N for a failover fleet)");
     println!("  submit     drop a run-plan request into the serve inbox (prints its id)");
     println!("  wait       block for a serve response; body replays on stdout");
     println!();
@@ -534,9 +606,16 @@ fn run_status(cli: &Cli) -> ! {
 /// under the advisory lock, dropping duplicates, stale-epoch records,
 /// and torn or corrupt tails. Already-canonical journals are left
 /// untouched (the fast path byte-compares and skips the rewrite).
+/// `--keep-responses SECS` additionally sweeps outbox responses older
+/// than the horizon; without it every response is kept.
 fn run_compact(cli: &Cli) -> ! {
     let dir = cli.cache_dir_or_default();
-    match compact(&dir, current_epoch(), cli.lock_timeout_or_default()) {
+    match compact_with(
+        &dir,
+        current_epoch(),
+        cli.lock_timeout_or_default(),
+        cli.keep_responses,
+    ) {
         Ok(report) => {
             println!("{}", report.render(&dir));
             std::process::exit(0);
@@ -616,7 +695,7 @@ fn run_chaos(cli: &Cli) -> ! {
 /// takeover, compaction vs. appender) asserting exactly-once execution
 /// and a clean, complete journal.
 fn run_journal_chaos(cli: &Cli) -> ! {
-    let seeds = cli.seeds.unwrap_or(13);
+    let seeds = cli.seeds.unwrap_or(16);
     let config = cli.supervise_config();
     let plan = journal_chaos_plan();
     let dir = cli.cache_dir.clone().unwrap_or_else(|| {
@@ -653,13 +732,17 @@ fn run_journal_chaos(cli: &Cli) -> ! {
     }
 }
 
-/// `repro serve`: run the service daemon over the shared cache — watch
+/// `repro serve`: run a service daemon over the shared cache — watch
 /// the inbox, admit requests through strict typed parsing (bounded by
-/// `--queue` per scan, excess rejected `overloaded`), execute each plan
+/// `--queue` per scan, priority-ordered, excess rejected `overloaded`),
+/// execute up to `--serve-jobs` admitted plans concurrently,
 /// exactly-once through the journal claims (coordinating with any
-/// concurrent batch invocations), and publish responses to the outbox.
-/// `--stop` instead asks the running daemon to drain and exit. Exit
-/// status 6 when another live daemon already holds this cache's lease.
+/// concurrent batch invocations and fleet peers), and publish responses
+/// to the outbox. Run it again on the same cache to grow a failover
+/// fleet; dead members' claimed work is re-adopted by survivors.
+/// `--stop` instead asks the whole fleet to drain and exit. Exit status
+/// 6 when a live legacy lease blocks the cache, or under `--exclusive`
+/// when another live member is already serving.
 fn run_serve(cli: &Cli) -> ! {
     let dir = cli.cache_dir_or_default();
     if cli.stop {
@@ -673,7 +756,10 @@ fn run_serve(cli: &Cli) -> ! {
                 if status.daemon_pid.is_none() {
                     // Nothing to stop: withdraw the marker so it cannot
                     // kill the next daemon at startup.
-                    serve::withdraw_stop(&dir);
+                    if let Err(e) = serve::withdraw_stop(&dir) {
+                        eprintln!("repro: could not withdraw the stop marker: {e}");
+                        std::process::exit(4);
+                    }
                     eprintln!("repro: no serve daemon running in {}", dir.display());
                 }
                 println!("serve: stopped");
@@ -695,6 +781,11 @@ fn run_serve(cli: &Cli) -> ! {
     config.lock_timeout = cli.lock_timeout_or_default();
     config.max_requests = cli.max_requests;
     config.crash_after = cli.crash_after;
+    config.exclusive = cli.exclusive;
+    config.request_retries = cli.retries;
+    if let Some(n) = cli.serve_jobs {
+        config.serve_jobs = n;
+    }
     if let Some(queue) = cli.queue {
         config.queue = queue;
     }
@@ -719,9 +810,12 @@ fn run_serve(cli: &Cli) -> ! {
 
 /// `repro submit TARGETS`: publish a run-plan request into the cache's
 /// serve inbox (atomically — the daemon never sees a torn file from
-/// us) and print its id. Target names are deliberately NOT validated
-/// here: the daemon answers unknown names with a typed rejection, which
-/// `repro wait` reports. Pair with `repro wait` to block on the result.
+/// us) and print its id. `--priority N` orders admission within a scan
+/// (higher first); `--deadline-ms N` is relative patience, converted
+/// here to the absolute unix-millisecond deadline the wire carries.
+/// Target names are deliberately NOT validated here: the daemon answers
+/// unknown names with a typed rejection, which `repro wait` reports.
+/// Pair with `repro wait` to block on the result.
 fn run_submit(cli: &Cli) -> ! {
     let dir = cli.cache_dir_or_default();
     let targets: Vec<&str> = if cli.targets.len() > 1 {
@@ -735,6 +829,8 @@ fn run_submit(cli: &Cli) -> ! {
         .unwrap_or_else(|| format!("req-{}", interp_runplan::fresh_token()));
     let mut request = serve::ServeRequest::new(id, &targets, cli.scale);
     request.dispatch = cli.dispatch.clone();
+    request.priority = cli.priority.unwrap_or(0);
+    request.deadline_unix_ms = cli.deadline_ms.map(serve::deadline_in);
     match serve::submit(&dir, &request) {
         Ok(path) => {
             eprintln!("submit: {}", path.display());

@@ -146,10 +146,11 @@ fn bench_emits_trajectory_json() {
 
     let json = std::fs::read_to_string(&out_path).expect("trajectory file");
     for needle in [
-        "\"schema\": \"bench-trajectory/4\"",
+        "\"schema\": \"bench-trajectory/5\"",
         "\"targets\": [",
         "\"name\": \"table1\"",
         "\"name\": \"serve\"",
+        "\"name\": \"fleet2\"",
         "\"combined_plan_runs\":",
         "\"dedup_reuse_ratio\":",
     ] {

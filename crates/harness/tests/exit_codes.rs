@@ -1,7 +1,8 @@
 //! Every documented `repro` exit code, driven through the real binary:
 //! 0 success, 1 rejected request, 2 usage, 3 strict-degraded, 4 journal
-//! I/O, 5 lock timeout, 6 duplicate serve daemon, 7 wait timeout, 86
-//! crash harness — and the README must document each one.
+//! I/O, 5 lock timeout, 6 live daemon blocks an `--exclusive` start,
+//! 7 wait timeout, 86 crash harness — and the README must document
+//! each one.
 
 use std::path::PathBuf;
 use std::process::{Command, Output, Stdio};
@@ -57,6 +58,18 @@ fn exit_2_usage_error() {
     assert_eq!(code(&repro(&["submit", "--id", ".hidden"])), 2);
 }
 
+/// The fleet flags parse strictly: bad values are usage errors, never
+/// silently clamped or ignored.
+#[test]
+fn exit_2_fleet_flag_misuse() {
+    assert_eq!(code(&repro(&["serve", "--serve-jobs", "0"])), 2);
+    assert_eq!(code(&repro(&["serve", "--serve-jobs", "many"])), 2);
+    assert_eq!(code(&repro(&["submit", "table3", "--priority", "high"])), 2);
+    assert_eq!(code(&repro(&["submit", "table3", "--deadline-ms", "0"])), 2);
+    assert_eq!(code(&repro(&["submit", "table3", "--deadline-ms", "-5"])), 2);
+    assert_eq!(code(&repro(&["compact", "--keep-responses", "soon"])), 2);
+}
+
 #[test]
 fn exit_3_strict_degraded() {
     // Fuel 1 degrades every run's cells; --strict turns that into 3.
@@ -109,7 +122,9 @@ fn exit_6_second_daemon() {
         assert!(Instant::now() < deadline, "daemon never heartbeat");
         std::thread::sleep(Duration::from_millis(5));
     }
-    let second = repro(&["serve", "--cache-dir", &dir_s]);
+    // Joining the fleet is the default now; --exclusive restores the
+    // one-daemon-per-cache refusal this exit code documents.
+    let second = repro(&["serve", "--cache-dir", &dir_s, "--exclusive"]);
     assert_eq!(code(&second), 6, "{}", String::from_utf8_lossy(&second.stderr));
     let stop = repro(&["serve", "--stop", "--cache-dir", &dir_s, "--poll-ms", "5"]);
     assert_eq!(code(&stop), 0);

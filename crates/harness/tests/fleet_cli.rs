@@ -1,0 +1,186 @@
+//! Fleet-mode acceptance through the real `repro` binary: two daemons
+//! sharing one cache split a burst of requests with exactly-once
+//! answers, a SIGKILLed member's claimed work is adopted by a fresh
+//! member (not a restart of the dead one), and `repro serve --stop`
+//! drains every member.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn repro_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_repro")
+}
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(repro_bin())
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "repro-fleet-cli-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_daemon(dir_s: &str) -> Child {
+    Command::new(repro_bin())
+        .args(["serve", "--cache-dir", dir_s, "--poll-ms", "5", "--serve-jobs", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon")
+}
+
+/// Block until the fleet registry holds `n` member files (heartbeat
+/// `.hb` companions and temp files excluded).
+fn wait_for_members(dir: &Path, n: usize) {
+    let fleet = dir.join("serve/fleet");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let members = std::fs::read_dir(&fleet)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| {
+                        let name = e.file_name().to_string_lossy().to_string();
+                        !name.starts_with('.') && !name.ends_with(".hb")
+                    })
+                    .count()
+            })
+            .unwrap_or(0);
+        if members == n {
+            return;
+        }
+        assert!(Instant::now() < deadline, "fleet never reached {n} member(s)");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Two daemons join one cache as a fleet, split a burst of requests
+/// (every request answered ok exactly once), surface as two live
+/// members in `repro status`, and both drain on one `--stop`.
+#[test]
+fn two_daemons_split_a_burst_and_drain_together() {
+    let dir = fresh_dir("burst");
+    let dir_s = dir.to_string_lossy().to_string();
+    let first = spawn_daemon(&dir_s);
+    let second = spawn_daemon(&dir_s);
+    wait_for_members(&dir, 2);
+
+    let status = repro(&["status", "--cache-dir", &dir_s]);
+    assert!(status.status.success());
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("serve: fleet of 2 member(s) (2 live)"), "{stdout}");
+
+    let ids = ["burst-0", "burst-1", "burst-2", "burst-3"];
+    for id in ids {
+        let sub = repro(&["submit", "table3", "--id", id, "--cache-dir", &dir_s]);
+        assert!(sub.status.success(), "{}", String::from_utf8_lossy(&sub.stderr));
+    }
+    let mut bodies = Vec::new();
+    for id in ids {
+        let w = repro(&["wait", id, "--cache-dir", &dir_s, "--poll-ms", "5"]);
+        assert!(
+            w.status.success(),
+            "request {id} not served: {}",
+            String::from_utf8_lossy(&w.stderr)
+        );
+        bodies.push(w.stdout);
+    }
+    // Identical selections must yield identical bodies no matter which
+    // member answered.
+    assert!(bodies.windows(2).all(|pair| pair[0] == pair[1]));
+
+    let stop = repro(&["serve", "--stop", "--cache-dir", &dir_s, "--poll-ms", "5"]);
+    assert!(stop.status.success(), "{}", String::from_utf8_lossy(&stop.stderr));
+    for daemon in [first, second] {
+        let done = daemon.wait_with_output().expect("daemon exit");
+        assert!(
+            done.status.success(),
+            "member failed: {}",
+            String::from_utf8_lossy(&done.stderr)
+        );
+    }
+    assert!(
+        std::fs::read_dir(dir.join("serve/fleet"))
+            .map(|entries| entries.count() == 0)
+            .unwrap_or(true),
+        "drained fleet must leave no member files"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A member SIGKILLed mid-request leaves its claim orphaned; a *fresh*
+/// member (a different process, not a restart) sweeps the corpse,
+/// re-adopts the work, and answers byte-identical to a cold batch run
+/// with balanced exactly-once accounting.
+#[test]
+fn killed_member_work_is_adopted_by_a_fresh_member() {
+    let cold = fresh_dir("adopt-cold");
+    let cold_s = cold.to_string_lossy().to_string();
+    let baseline = repro(&["table2", "--jobs", "2", "--cache-dir", &cold_s]);
+    assert!(baseline.status.success());
+
+    let shared = fresh_dir("adopt-shared");
+    let shared_s = shared.to_string_lossy().to_string();
+    let sub = repro(&["submit", "table2", "--id", "r", "--cache-dir", &shared_s]);
+    assert!(sub.status.success());
+
+    let mut victim = spawn_daemon(&shared_s);
+    // The journal appearing means the victim claimed the request and is
+    // mid-plan; kill it there.
+    let journal = shared.join("artifacts.journal");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !journal.exists() {
+        assert!(Instant::now() < deadline, "victim never started the plan");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    victim.kill().expect("SIGKILL victim");
+    let _ = victim.wait();
+
+    if !shared.join("serve/outbox/r.resp").exists() {
+        let survivor = spawn_daemon(&shared_s);
+        let w = repro(&["wait", "r", "--cache-dir", &shared_s, "--poll-ms", "5"]);
+        assert!(w.status.success(), "{}", String::from_utf8_lossy(&w.stderr));
+        assert_eq!(
+            w.stdout, baseline.stdout,
+            "adopted response differs from the cold batch run"
+        );
+        let stderr = String::from_utf8_lossy(&w.stderr);
+        let line = stderr
+            .lines()
+            .find(|l| l.starts_with("serve ") && l.contains("reused"))
+            .unwrap_or_else(|| panic!("no accounting in:\n{stderr}"));
+        assert!(line.contains("planned"), "{line}");
+        let stop = repro(&["serve", "--stop", "--cache-dir", &shared_s, "--poll-ms", "5"]);
+        assert!(stop.status.success());
+        let done = survivor.wait_with_output().expect("survivor exit");
+        assert!(
+            done.status.success(),
+            "survivor failed: {}",
+            String::from_utf8_lossy(&done.stderr)
+        );
+        // The survivor must have swept the victim's corpse: no member
+        // files and no abandoned work directories remain.
+        assert!(
+            std::fs::read_dir(shared.join("serve/fleet"))
+                .map(|entries| entries.count() == 0)
+                .unwrap_or(true),
+            "dead member's registration must be swept"
+        );
+        assert!(
+            std::fs::read_dir(shared.join("serve/work"))
+                .map(|entries| entries.count() == 0)
+                .unwrap_or(true),
+            "dead member's work dir must be swept"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cold);
+    let _ = std::fs::remove_dir_all(&shared);
+}

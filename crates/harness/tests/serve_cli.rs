@@ -1,9 +1,10 @@
 //! Service-mode acceptance through the real `repro` binary: a daemon
 //! serving inbox requests must produce responses byte-identical to the
-//! batch CLI, reject malformed/unknown/overflow requests with typed
-//! answers instead of crashing, survive a deliberate mid-request crash
-//! and a SIGKILL with exactly-once resumption, refuse a second daemon,
-//! and drain cleanly on a stop request.
+//! batch CLI, reject malformed/unknown/overflow/expired requests with
+//! typed answers instead of crashing, survive a deliberate mid-request
+//! crash and a SIGKILL with exactly-once resumption, still parse
+//! version-1 request files, refuse a second `--exclusive` daemon, and
+//! drain cleanly on a stop request.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output, Stdio};
@@ -329,8 +330,9 @@ fn sigkilled_daemon_restart_recovers() {
     let _ = std::fs::remove_dir_all(&shared);
 }
 
-/// One live daemon per cache: a second `repro serve` exits 6; `repro
-/// status` shows the live daemon; `repro serve --stop` drains it.
+/// `--exclusive` preserves the one-daemon-per-cache contract: a second
+/// `repro serve --exclusive` exits 6 while a fleet member is live;
+/// `repro status` shows the fleet table; `repro serve --stop` drains.
 #[test]
 fn second_daemon_refused_and_stop_drains() {
     let dir = fresh_dir("stop");
@@ -341,16 +343,16 @@ fn second_daemon_refused_and_stop_drains() {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn daemon");
-    // The daemon clears stale stop markers after taking its lease; the
-    // first heartbeat proves startup is done, so the --stop below cannot
-    // be swallowed as stale.
+    // The daemon clears stale stop markers after registering; the first
+    // heartbeat proves startup is done, so the --stop below cannot be
+    // swallowed as stale.
     wait_for(&dir.join("serve/heartbeat"), "daemon heartbeat");
 
-    let second = repro(&["serve", "--cache-dir", &dir_s]);
+    let second = repro(&["serve", "--cache-dir", &dir_s, "--exclusive"]);
     assert_eq!(
         second.status.code(),
         Some(6),
-        "second daemon must exit 6: {}",
+        "exclusive second daemon must exit 6: {}",
         String::from_utf8_lossy(&second.stderr)
     );
     assert!(
@@ -362,7 +364,7 @@ fn second_daemon_refused_and_stop_drains() {
     let status = repro(&["status", "--cache-dir", &dir_s]);
     assert!(status.status.success());
     let stdout = String::from_utf8_lossy(&status.stdout);
-    assert!(stdout.contains("serve: daemon pid"), "{stdout}");
+    assert!(stdout.contains("serve: fleet of 1 member(s) (1 live)"), "{stdout}");
 
     let stop = repro(&["serve", "--stop", "--cache-dir", &dir_s, "--poll-ms", "5"]);
     assert!(
@@ -380,5 +382,76 @@ fn second_daemon_refused_and_stop_drains() {
     assert!(done.status.success());
     let stderr = String::from_utf8_lossy(&done.stderr);
     assert!(stderr.contains("drained on stop request"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A version-1 request file planted by an old client is still parsed
+/// and served — the protocol bump is backward compatible on the wire.
+#[test]
+fn version_1_request_files_are_still_served() {
+    let dir = fresh_dir("v1");
+    let dir_s = dir.to_string_lossy().to_string();
+    std::fs::create_dir_all(dir.join("serve/inbox")).expect("mkdir inbox");
+    std::fs::write(
+        dir.join("serve/inbox/old.req"),
+        b"repro-serve-request/1\ntargets table3\nscale test\nend\n",
+    )
+    .expect("plant v1 request");
+
+    let daemon = repro(&["serve", "--cache-dir", &dir_s, "--poll-ms", "5", "--max-requests", "1"]);
+    assert!(
+        daemon.status.success(),
+        "daemon failed on a v1 request: {}",
+        String::from_utf8_lossy(&daemon.stderr)
+    );
+    let w = repro(&["wait", "old", "--cache-dir", &dir_s, "--poll-ms", "5"]);
+    assert!(
+        w.status.success(),
+        "v1 request must be answered ok: {}",
+        String::from_utf8_lossy(&w.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `submit --priority` round-trips through the daemon, and a request
+/// whose `--deadline-ms` patience has already lapsed when the daemon
+/// reaches it is answered with the typed `deadline-expired` rejection
+/// instead of stale work.
+#[test]
+fn expired_deadline_is_a_typed_rejection() {
+    let dir = fresh_dir("deadline");
+    let dir_s = dir.to_string_lossy().to_string();
+    let expired = repro(&[
+        "submit", "table3", "--id", "late", "--deadline-ms", "1", "--cache-dir", &dir_s,
+    ]);
+    assert!(expired.status.success(), "{}", String::from_utf8_lossy(&expired.stderr));
+    let urgent = repro(&[
+        "submit", "table3", "--id", "urgent", "--priority", "9", "--cache-dir", &dir_s,
+    ]);
+    assert!(urgent.status.success());
+    // Let the 1ms patience lapse before the daemon's first scan.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let daemon = repro(&["serve", "--cache-dir", &dir_s, "--poll-ms", "5", "--max-requests", "2"]);
+    assert!(daemon.status.success(), "{}", String::from_utf8_lossy(&daemon.stderr));
+    assert!(
+        String::from_utf8_lossy(&daemon.stderr).contains("(1 ok, 1 rejected)"),
+        "{}",
+        String::from_utf8_lossy(&daemon.stderr)
+    );
+
+    let w_urgent = repro(&["wait", "urgent", "--cache-dir", &dir_s, "--poll-ms", "5"]);
+    assert!(
+        w_urgent.status.success(),
+        "prioritized request must be served: {}",
+        String::from_utf8_lossy(&w_urgent.stderr)
+    );
+    let w_late = repro(&["wait", "late", "--cache-dir", &dir_s, "--poll-ms", "5"]);
+    assert_eq!(w_late.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&w_late.stderr).contains("deadline-expired"),
+        "{}",
+        String::from_utf8_lossy(&w_late.stderr)
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -286,15 +286,31 @@ pub enum JournalChaosLane {
     /// interpreter at the exact bytecode, and finish with console output
     /// and virtual-command counts byte-identical to a never-tiered run.
     TieredGuardTrip,
+    /// Fleet lane: one of two daemons is killed mid-burst — a wedged
+    /// member with a live pid, a prehistoric heartbeat, and a claimed
+    /// request in its work dir. Expect the survivor to detect the death
+    /// by heartbeat age, adopt the claim, and answer the whole burst
+    /// byte-identically to a serial cold run.
+    FleetMemberKill,
+    /// Fleet lane: a dead member (corpse pid) left claimed work behind
+    /// while two live daemons race a mixed-priority burst on the same
+    /// cache. Expect the orphan re-adopted exactly-once between the
+    /// racers, every response ok and byte-identical, and a clean
+    /// stop-drain of both members.
+    FleetOrphanAdoption,
+    /// Fleet lane: a deadline storm — every submitted request's
+    /// deadline is already past. Expect one typed `deadline-expired`
+    /// rejection per request, zero executions, and no journal created.
+    DeadlineStorm,
 }
 
 impl JournalChaosLane {
     /// Every lane, in rotation order. The original six corruption lanes
     /// keep their seed positions; multi-writer lanes extend the tail,
-    /// serve lanes extend it again, and the tiered guard-trip lane is
-    /// the 13th — historical seeds 0–11 still map to the same lanes
-    /// they always did.
-    pub const ALL: [JournalChaosLane; 13] = [
+    /// serve lanes extend it again, the tiered guard-trip lane is the
+    /// 13th, and the fleet lanes are 14–16 — historical seeds 0–12
+    /// still map to the same lanes they always did.
+    pub const ALL: [JournalChaosLane; 16] = [
         JournalChaosLane::TornFinalRecord,
         JournalChaosLane::PayloadBitFlip,
         JournalChaosLane::MidTruncation,
@@ -308,6 +324,9 @@ impl JournalChaosLane {
         JournalChaosLane::ServeCrashRecovery,
         JournalChaosLane::ServeClientRace,
         JournalChaosLane::TieredGuardTrip,
+        JournalChaosLane::FleetMemberKill,
+        JournalChaosLane::FleetOrphanAdoption,
+        JournalChaosLane::DeadlineStorm,
     ];
 
     /// Display label.
@@ -326,6 +345,9 @@ impl JournalChaosLane {
             JournalChaosLane::ServeCrashRecovery => "serve-crash-recovery",
             JournalChaosLane::ServeClientRace => "serve-client-race",
             JournalChaosLane::TieredGuardTrip => "tiered-guard-trip",
+            JournalChaosLane::FleetMemberKill => "fleet-member-kill",
+            JournalChaosLane::FleetOrphanAdoption => "fleet-orphan-adoption",
+            JournalChaosLane::DeadlineStorm => "deadline-storm",
         }
     }
 
@@ -341,13 +363,17 @@ impl JournalChaosLane {
     }
 
     /// True for lanes that exercise the serve daemon's robustness
-    /// (torn clients, daemon crash recovery, client races).
+    /// (torn clients, daemon crash recovery, client races, fleet
+    /// failover, deadline storms).
     pub fn is_serve(self) -> bool {
         matches!(
             self,
             JournalChaosLane::TornServeRequest
                 | JournalChaosLane::ServeCrashRecovery
                 | JournalChaosLane::ServeClientRace
+                | JournalChaosLane::FleetMemberKill
+                | JournalChaosLane::FleetOrphanAdoption
+                | JournalChaosLane::DeadlineStorm
         )
     }
 
@@ -359,7 +385,7 @@ impl JournalChaosLane {
 }
 
 /// The journal-corruption lane for `seed`: seeds rotate through
-/// [`JournalChaosLane::ALL`], so any thirteen consecutive seeds cover
+/// [`JournalChaosLane::ALL`], so any sixteen consecutive seeds cover
 /// the whole lane taxonomy (where in the file the corruption lands is
 /// still rolled from the seed).
 pub fn journal_lane(seed: u64) -> JournalChaosLane {
@@ -454,7 +480,10 @@ pub fn corrupt_journal(
         | JournalChaosLane::TornServeRequest
         | JournalChaosLane::ServeCrashRecovery
         | JournalChaosLane::ServeClientRace
-        | JournalChaosLane::TieredGuardTrip => {
+        | JournalChaosLane::TieredGuardTrip
+        | JournalChaosLane::FleetMemberKill
+        | JournalChaosLane::FleetOrphanAdoption
+        | JournalChaosLane::DeadlineStorm => {
             // Multi-writer, serve, and tiered lanes inject no byte
             // corruption — they are dispatched to their own harnesses
             // before this function is reached. Reaching here is a
@@ -1210,6 +1239,222 @@ fn serve_chaos_seed(
                     && !dir.join(serve::DAEMON_FILE).exists(),
             })
         }
+        JournalChaosLane::FleetMemberKill => {
+            // One of two daemons was killed mid-burst: a wedged member
+            // with a *live* pid, a prehistoric heartbeat, and a claimed
+            // request in its work dir — the heartbeat-age detection
+            // path, the one `/proc` can't catch. The survivor must
+            // sweep it, re-adopt the claim, and serve the whole
+            // mixed-priority burst byte-identically to serial cold.
+            let fleet_dir = dir.join(crate::fleet::FLEET_DIR);
+            std::fs::create_dir_all(&fleet_dir).map_err(|e| journal_io(dir, e))?;
+            std::fs::write(
+                fleet_dir.join("wedged"),
+                format!("pid {}\ntoken wedged\n", std::process::id()),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            std::fs::write(
+                fleet_dir.join("wedged.hb"),
+                format!(
+                    "pid {}\ntick 1\nunix_ms 1\nserved 0\nin-flight 1\n",
+                    std::process::id()
+                ),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            let wedged_work = dir.join(WORK_DIR).join("wedged");
+            std::fs::create_dir_all(&wedged_work).map_err(|e| journal_io(dir, e))?;
+            let mut killed = chaos_request("killed");
+            killed.priority = i64::from(rng.range(0, 4) as u32);
+            std::fs::write(wedged_work.join("killed.req"), serve::encode_request(&killed))
+                .map_err(|e| journal_io(dir, e))?;
+            let mut urgent = chaos_request("urgent");
+            urgent.priority = 7;
+            serve::submit(dir, &urgent)?;
+            serve_config.max_requests = Some(2);
+            serve_config.serve_jobs = 2;
+            let report = match serve::serve(&serve_config, &service) {
+                Ok(report) => report,
+                Err(ServeError::AlreadyRunning { .. }) => {
+                    return Ok(failed_serve(seed, lane, planned))
+                }
+                Err(ServeError::Journal(e)) => return Err(e),
+            };
+            let mut ok = 0usize;
+            let mut executed_total = 0usize;
+            let mut exactly_once = report.adopted == 1;
+            let mut body_identical = true;
+            for id in ["killed", "urgent"] {
+                match serve::wait(dir, id, patience, poll)? {
+                    WaitOutcome::Response(response) => match response.outcome {
+                        ServeOutcome::Ok { accounting, body, .. } => {
+                            ok += 1;
+                            executed_total += accounting.executed;
+                            exactly_once &= accounting.exactly_once()
+                                && accounting.planned == planned;
+                            body_identical &= body == expected_body.as_bytes();
+                        }
+                        ServeOutcome::Rejected(_) => {}
+                    },
+                    WaitOutcome::TimedOut => {}
+                }
+            }
+            exactly_once &= executed_total == planned;
+            Ok(ServeChaosOutcome {
+                seed,
+                lane,
+                planned,
+                expected_ok: 2,
+                expected_rejected: 0,
+                ok,
+                rejected: report.rejected,
+                executed_total,
+                exactly_once,
+                body_identical,
+                clean_exit: crate::fleet::fleet_members(dir).is_empty()
+                    && !wedged_work.exists()
+                    && !dir.join(serve::DAEMON_FILE).exists(),
+            })
+        }
+        JournalChaosLane::FleetOrphanAdoption => {
+            // A dead member (corpse pid) left a claimed request behind
+            // while *two* live daemons race a mixed-priority burst on
+            // the same cache. The orphan must be re-adopted exactly-once
+            // between the racers, every response must be ok and
+            // byte-identical, and a stop request must drain both
+            // members cleanly, consuming the marker.
+            let fleet_dir = dir.join(crate::fleet::FLEET_DIR);
+            std::fs::create_dir_all(&fleet_dir).map_err(|e| journal_io(dir, e))?;
+            std::fs::write(
+                fleet_dir.join("corpse"),
+                format!("pid {DEAD_PID}\ntoken corpse\n"),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            let corpse_work = dir.join(WORK_DIR).join("corpse");
+            std::fs::create_dir_all(&corpse_work).map_err(|e| journal_io(dir, e))?;
+            std::fs::write(
+                corpse_work.join("lost.req"),
+                serve::encode_request(&chaos_request("lost")),
+            )
+            .map_err(|e| journal_io(dir, e))?;
+            let burst = 2 + (seed as usize % 2);
+            let mut ids = vec!["lost".to_string()];
+            for i in 0..burst {
+                let mut request = chaos_request(&format!("fleet-{i}"));
+                request.priority = (i as i64 % 3) - 1;
+                request.deadline_unix_ms =
+                    Some(crate::fleet::unix_ms() as u64 + 600_000);
+                serve::submit(dir, &request)?;
+                ids.push(request.id);
+            }
+            let (first, second) = std::thread::scope(|scope| {
+                let spawn_daemon = || {
+                    let serve_config = serve_config.clone();
+                    let service = &service;
+                    scope.spawn(move || serve::serve(&serve_config, service))
+                };
+                let a = spawn_daemon();
+                let b = spawn_daemon();
+                // Every response must arrive while both daemons run;
+                // only then drain the fleet.
+                for id in &ids {
+                    let _ = serve::wait(dir, id, patience, poll);
+                }
+                let _ = serve::request_stop(dir);
+                (a.join(), b.join())
+            });
+            let (Ok(first), Ok(second)) = (first, second) else {
+                return Ok(failed_serve(seed, lane, planned));
+            };
+            let reports = match (first, second) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(ServeError::Journal(e)), _) | (_, Err(ServeError::Journal(e))) => {
+                    return Err(e)
+                }
+                _ => return Ok(failed_serve(seed, lane, planned)),
+            };
+            let mut ok = 0usize;
+            let mut executed_total = 0usize;
+            let mut exactly_once = reports.0.adopted + reports.1.adopted == 1;
+            let mut body_identical = true;
+            for id in &ids {
+                match serve::wait(dir, id, patience, poll)? {
+                    WaitOutcome::Response(response) => match response.outcome {
+                        ServeOutcome::Ok { accounting, body, .. } => {
+                            ok += 1;
+                            executed_total += accounting.executed;
+                            exactly_once &= accounting.exactly_once()
+                                && accounting.planned == planned;
+                            body_identical &= body == expected_body.as_bytes();
+                        }
+                        ServeOutcome::Rejected(_) => {}
+                    },
+                    WaitOutcome::TimedOut => {}
+                }
+            }
+            exactly_once &= executed_total == planned;
+            Ok(ServeChaosOutcome {
+                seed,
+                lane,
+                planned,
+                expected_ok: burst + 1,
+                expected_rejected: 0,
+                ok,
+                rejected: reports.0.rejected + reports.1.rejected,
+                executed_total,
+                exactly_once,
+                body_identical,
+                clean_exit: reports.0.drained
+                    && reports.1.drained
+                    && crate::fleet::fleet_members(dir).is_empty()
+                    && !dir.join(serve::STOP_FILE).exists()
+                    && !corpse_work.exists(),
+            })
+        }
+        JournalChaosLane::DeadlineStorm => {
+            // Every request in the burst is already expired. Each must
+            // be answered with a typed deadline-expired rejection —
+            // zero executions, no journal ever created.
+            let storm = 3 + (seed as usize % 3);
+            for i in 0..storm {
+                let mut request = chaos_request(&format!("storm-{i}"));
+                request.deadline_unix_ms = Some(1 + rng.range(0, 1000));
+                request.priority = (i as i64) - 1;
+                serve::submit(dir, &request)?;
+            }
+            serve_config.max_requests = Some(storm as u64);
+            let report = match serve::serve(&serve_config, &service) {
+                Ok(report) => report,
+                Err(ServeError::AlreadyRunning { .. }) => {
+                    return Ok(failed_serve(seed, lane, planned))
+                }
+                Err(ServeError::Journal(e)) => return Err(e),
+            };
+            let mut rejected = 0usize;
+            for i in 0..storm {
+                let expired = matches!(
+                    serve::wait(dir, &format!("storm-{i}"), patience, poll)?,
+                    WaitOutcome::Response(serve::ServeResponse {
+                        outcome: ServeOutcome::Rejected(ref reject),
+                        ..
+                    }) if reject.kind == serve::RejectKind::DeadlineExpired
+                );
+                rejected += usize::from(expired);
+            }
+            Ok(ServeChaosOutcome {
+                seed,
+                lane,
+                planned,
+                expected_ok: 0,
+                expected_rejected: storm,
+                ok: report.served,
+                rejected,
+                executed_total: 0,
+                exactly_once: !dir.join(JOURNAL_FILE).exists(),
+                body_identical: true,
+                clean_exit: crate::fleet::fleet_members(dir).is_empty()
+                    && !dir.join(serve::DAEMON_FILE).exists(),
+            })
+        }
         _ => Ok(failed_serve(seed, lane, planned)),
     }
 }
@@ -1480,7 +1725,7 @@ mod tests {
         // Rounds are pure functions of the seed, so the rendered line is
         // stable across invocations (and job counts, trivially: the lane
         // runs in-process).
-        for seed in [12u64, 25, 38] {
+        for seed in [12u64, 28, 44] {
             assert_eq!(journal_lane(seed), JournalChaosLane::TieredGuardTrip);
             let outcome = tiered_chaos_seed(seed, JournalChaosLane::TieredGuardTrip);
             assert!(
@@ -1495,6 +1740,40 @@ mod tests {
                 "seed {seed}: tiered round not deterministic"
             );
         }
+    }
+
+    #[test]
+    fn fleet_lanes_hold_their_oracles() {
+        // Seeds 13–15 land on the three fleet lanes: member kill
+        // (heartbeat-age failover), orphan adoption under two racing
+        // daemons, and the deadline storm. Each must meet its oracle
+        // end to end — failover with byte-identical responses,
+        // exactly-once adoption, typed rejections with no journal.
+        let plan = journal_chaos_plan();
+        let config = SuperviseConfig::new();
+        let dir = std::env::temp_dir().join(format!(
+            "interp-fleet-chaos-{}-{}",
+            std::process::id(),
+            crate::lock::fresh_token()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let (pristine, baseline) =
+            journal_chaos_baseline(&plan, 2, &config, &dir).expect("baseline");
+        for seed in [13u64, 14, 15] {
+            let lane = journal_lane(seed);
+            assert!(lane.is_serve(), "seed {seed} must land on a fleet lane");
+            let verdict =
+                journal_chaos_seed(&plan, 2, seed, &config, &dir, &pristine, &baseline)
+                    .expect("round");
+            assert!(
+                verdict.passed(),
+                "seed {seed} ({}): {}",
+                lane.label(),
+                verdict.render()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

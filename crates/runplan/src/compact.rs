@@ -33,21 +33,61 @@ pub struct CompactReport {
     /// False when the journal was already canonical and the fast path
     /// left the file untouched.
     pub rewritten: bool,
+    /// Consumed serve responses (`serve/outbox/*.resp`) older than the
+    /// `--keep-responses` horizon that this pass deleted (0 when no
+    /// horizon was given — the default keeps responses forever).
+    pub responses_swept: usize,
 }
 
 impl CompactReport {
     /// One stderr summary line.
     pub fn render(&self, dir: &Path) -> String {
         format!(
-            "compacted {}: {} record(s), {} dropped, {} -> {} bytes{}",
+            "compacted {}: {} record(s), {} dropped, {} -> {} bytes{}{}",
             dir.display(),
             self.records,
             self.dropped.len(),
             self.bytes_before,
             self.bytes_after,
             if self.rewritten { "" } else { " (already clean, not rewritten)" },
+            if self.responses_swept > 0 {
+                format!(", {} outbox response(s) swept", self.responses_swept)
+            } else {
+                String::new()
+            },
         )
     }
+}
+
+/// Delete outbox responses (and their progress markers) whose mtime is
+/// older than `keep` — abandoned `*.resp` files a waiter never
+/// collected. Files the clock can't judge are kept; sweeping is
+/// best-effort (a racing collector may have already removed one).
+fn sweep_outbox(dir: &Path, keep: Duration) -> usize {
+    let outbox = dir.join(crate::serve::OUTBOX_DIR);
+    let Ok(entries) = std::fs::read_dir(&outbox) else {
+        return 0;
+    };
+    let now = std::time::SystemTime::now();
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+            continue;
+        };
+        if !name.ends_with(".resp") && !name.ends_with(".progress") {
+            continue;
+        }
+        let old_enough = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .is_some_and(|age| age > keep);
+        if old_enough && std::fs::remove_file(entry.path()).is_ok() && name.ends_with(".resp") {
+            swept += 1;
+        }
+    }
+    swept
 }
 
 /// Compact the journal in `dir` under `epoch`: take the advisory lock,
@@ -60,7 +100,22 @@ pub fn compact(
     epoch: u64,
     lock_timeout: Duration,
 ) -> Result<CompactReport, JournalError> {
+    compact_with(dir, epoch, lock_timeout, None)
+}
+
+/// [`compact`] plus an optional serve-outbox sweep: with
+/// `keep_responses = Some(horizon)`, consumed/abandoned
+/// `serve/outbox/*.resp` files older than the horizon are deleted and
+/// counted in [`CompactReport::responses_swept`]. `None` (the default)
+/// keeps responses forever.
+pub fn compact_with(
+    dir: &Path,
+    epoch: u64,
+    lock_timeout: Duration,
+    keep_responses: Option<Duration>,
+) -> Result<CompactReport, JournalError> {
     let path = dir.join(JOURNAL_FILE);
+    let responses_swept = keep_responses.map_or(0, |keep| sweep_outbox(dir, keep));
     sweep_lock_debris(dir);
     let lock_config =
         LockConfig::for_dir(dir, &fresh_token(), epoch).with_timeout(lock_timeout);
@@ -80,6 +135,7 @@ pub fn compact(
                 bytes_before: 0,
                 bytes_after: 0,
                 rewritten: false,
+                responses_swept,
             });
         }
         Err(e) => return Err(io_err(&path, "read", e)),
@@ -96,6 +152,7 @@ pub fn compact(
         bytes_before: bytes.len() as u64,
         bytes_after: image.len() as u64,
         rewritten,
+        responses_swept,
     })
 }
 
@@ -271,12 +328,50 @@ mod tests {
             bytes_before: 100,
             bytes_after: 100,
             rewritten: false,
+            responses_swept: 0,
         };
         let text = clean.render(Path::new("/tmp/c"));
         assert!(text.contains("already clean"), "{text}");
-        let dirty = CompactReport { rewritten: true, bytes_after: 80, ..clean };
+        assert!(!text.contains("outbox"), "{text}");
+        let dirty =
+            CompactReport { rewritten: true, bytes_after: 80, responses_swept: 2, ..clean };
         let text = dirty.render(Path::new("/tmp/c"));
         assert!(text.contains("100 -> 80 bytes"), "{text}");
+        assert!(text.contains("2 outbox response(s) swept"), "{text}");
         assert!(!text.contains("already clean"), "{text}");
+    }
+
+    #[test]
+    fn keep_responses_sweeps_only_old_outbox_files() {
+        let dir = fresh_dir("outbox");
+        let outbox = dir.join(crate::serve::OUTBOX_DIR);
+        std::fs::create_dir_all(&outbox).expect("mkdir");
+        std::fs::write(outbox.join("old.resp"), b"stale\n").expect("plant");
+        std::fs::write(outbox.join("old.progress"), b"state done\n").expect("plant");
+        std::fs::write(outbox.join("fresh.resp"), b"new\n").expect("plant");
+        std::fs::write(outbox.join("keep.txt"), b"not ours\n").expect("plant");
+        // Age `old.*` past the horizon by backdating their mtimes via
+        // filetime-free trickery: a zero horizon treats everything with
+        // any age as old, so give `fresh.resp` a future-proof pass by
+        // sweeping with a horizon only the planted files exceed after a
+        // short sleep... simpler: sweep with a generous horizon first
+        // (nothing old enough), then a zero horizon (everything goes).
+        let none = compact_with(&dir, EPOCH, TIMEOUT, Some(Duration::from_secs(3600)))
+            .expect("compact");
+        assert_eq!(none.responses_swept, 0);
+        assert!(outbox.join("old.resp").exists());
+        std::thread::sleep(Duration::from_millis(20));
+        let all = compact_with(&dir, EPOCH, TIMEOUT, Some(Duration::ZERO)).expect("compact");
+        assert_eq!(all.responses_swept, 2, "both .resp files are past a zero horizon");
+        assert!(!outbox.join("old.resp").exists());
+        assert!(!outbox.join("old.progress").exists(), "progress markers ride along");
+        assert!(!outbox.join("fresh.resp").exists());
+        assert!(outbox.join("keep.txt").exists(), "non-serve files are untouchable");
+        // Default path: no horizon, nothing swept.
+        std::fs::write(outbox.join("late.resp"), b"x\n").expect("plant");
+        let default = compact(&dir, EPOCH, TIMEOUT).expect("compact");
+        assert_eq!(default.responses_swept, 0);
+        assert!(outbox.join("late.resp").exists(), "default keeps responses");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

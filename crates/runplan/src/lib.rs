@@ -60,6 +60,7 @@ pub mod chaos;
 pub mod compact;
 pub mod exec;
 pub mod fingerprint;
+pub mod fleet;
 pub mod journal;
 pub mod lock;
 pub mod plan;
@@ -70,8 +71,12 @@ pub mod store;
 pub mod supervise;
 
 pub use chaos::{chaos_execute, render_chaos_summary, with_quiet_injected_panics, ChaosLane};
-pub use compact::{compact, CompactReport};
+pub use compact::{compact, compact_with, CompactReport};
 pub use exec::{run_request, try_run_request};
+pub use fleet::{
+    fleet_members, live_member, sweep_dead_members, FleetMemberInfo, FleetMembership,
+    DEFAULT_MEMBER_STALE, FLEET_DIR,
+};
 pub use fingerprint::{current_epoch, journal_key};
 pub use journal::{
     execute_journaled, execute_journaled_with, load_bytes, load_file, render_resume_report,
@@ -79,12 +84,12 @@ pub use journal::{
     JournalSession, JournalWriter, LoadedJournal, ResumeReport, DEFAULT_CACHE_DIR,
 };
 pub use lock::{
-    acquire, fresh_token, pid_alive, probe, Claims, LockConfig, LockError, LockErrorKind,
-    LockGuard, LockStatus, SessionInfo, Sessions, DEFAULT_LOCK_TIMEOUT,
+    acquire, fresh_token, parse_field, pid_alive, probe, Claims, LockConfig, LockError,
+    LockErrorKind, LockGuard, LockStatus, SessionInfo, Sessions, DEFAULT_LOCK_TIMEOUT,
 };
 pub use serve::{
-    parse_request, parse_response, request_stop, serve, serve_status, submit, wait,
-    withdraw_stop, PlanService, Reject, RejectKind, ServeAccounting, ServeConfig, ServeError,
+    deadline_in, parse_request, parse_response, request_stop, serve, serve_status, submit,
+    wait, withdraw_stop, PlanService, Reject, RejectKind, ServeAccounting, ServeConfig, ServeError,
     ServeOutcome, ServeReport, ServeRequest, ServeResponse, ServeStatus, WaitOutcome,
     DEFAULT_SERVE_POLL, DEFAULT_SERVE_QUEUE,
 };
@@ -92,10 +97,10 @@ pub use status::{cache_status, render_cache_status, CacheStatus};
 pub use plan::Plan;
 pub use pool::{
     default_jobs, execute, execute_supervised, execute_with, render_failures, render_timings,
-    supervise_with, ExecutedPlan, RunTiming,
+    run_concurrently, supervise_with, ExecutedPlan, RunTiming,
 };
 pub use store::{ArtifactStore, ResolveError};
-pub use supervise::{FailureKind, RunFailure, SuperviseConfig};
+pub use supervise::{backoff_delay, FailureKind, RunFailure, SuperviseConfig};
 
 use interp_core::RunRequest;
 

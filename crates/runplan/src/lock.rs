@@ -188,8 +188,10 @@ pub fn pid_alive(pid: u32) -> bool {
     }
 }
 
-/// Parse `key value` lines of a lock/registry/claim file.
-fn parse_field<'a>(content: &'a str, key: &str) -> Option<&'a str> {
+/// Parse `key value` lines of a lock/registry/claim/heartbeat file —
+/// the one line-oriented metadata format every serve/lock state file
+/// shares.
+pub fn parse_field<'a>(content: &'a str, key: &str) -> Option<&'a str> {
     content.lines().find_map(|line| {
         line.strip_prefix(key)
             .and_then(|rest| rest.strip_prefix(' '))

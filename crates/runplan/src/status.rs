@@ -29,8 +29,8 @@ pub struct CacheStatus {
     pub sessions: Vec<SessionInfo>,
     /// In-flight execution claims on file.
     pub claims: usize,
-    /// Serve-daemon state (pid liveness, heartbeat age, inbox/outbox
-    /// depth) — all read-only probes.
+    /// Serve-fleet state (per-member pid liveness, heartbeat ages,
+    /// inbox/outbox depth) — all read-only probes.
     pub serve: ServeStatus,
 }
 
@@ -214,6 +214,21 @@ mod tests {
         assert!(text.contains("held by pid"), "{text}");
         assert!(text.contains("1 of 4 planned run(s) cached (25% reuse"), "{text}");
         drop(guard);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_members_surface_in_the_status_report() {
+        let dir = fresh_dir("fleet");
+        let member = crate::fleet::FleetMembership::register(&dir).expect("register");
+        member.heartbeat(1, 2, 0);
+        let status = cache_status(&dir, EPOCH).expect("status");
+        assert_eq!(status.serve.members.len(), 1);
+        assert!(status.serve.daemon_live);
+        let text = render_cache_status(&status, &dir, None);
+        assert!(text.contains("fleet of 1 member(s) (1 live)"), "{text}");
+        assert!(text.contains("2 served"), "{text}");
+        drop(member);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -147,6 +147,16 @@ impl Default for SuperviseConfig {
     }
 }
 
+/// Deterministic exponential backoff for bounded retries: `base`
+/// doubled per attempt (attempt 1 → `base`, attempt 2 → `2·base`, …),
+/// saturating at `cap`. Pure — callers that want jitter layer it on
+/// top (see the serve module's wait backoff).
+pub fn backoff_delay(base: Duration, attempt: u32, cap: Duration) -> Duration {
+    let base = base.max(Duration::from_millis(1));
+    let doublings = attempt.saturating_sub(1).min(16);
+    base.saturating_mul(1u32 << doublings).min(cap.max(base))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +186,22 @@ mod tests {
         assert_eq!(c.timeout_fuel, Some(1_000_000));
         assert_eq!(c.wall_deadline, Some(Duration::from_secs(5)));
         assert_eq!(SuperviseConfig::default().retries, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        assert_eq!(backoff_delay(base, 1, cap), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, 2, cap), Duration::from_millis(20));
+        assert_eq!(backoff_delay(base, 5, cap), Duration::from_millis(160));
+        assert_eq!(backoff_delay(base, 30, cap), cap, "saturates at the cap");
+        // Attempt 0 behaves like attempt 1, and a zero base is bumped
+        // to a real interval so retry loops cannot spin.
+        assert_eq!(backoff_delay(base, 0, cap), Duration::from_millis(10));
+        assert_eq!(backoff_delay(Duration::ZERO, 1, cap), Duration::from_millis(1));
+        // A cap below base never undercuts base (callers pass sane
+        // caps; this keeps the function total).
+        assert_eq!(backoff_delay(base, 9, Duration::from_millis(5)), base);
     }
 }

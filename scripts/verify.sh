@@ -44,17 +44,26 @@
 #                        exactly-once; then a second daemon is SIGKILLed
 #                        mid-request and a restarted daemon recovers the
 #                        orphaned claim, again byte-identical.
-#   journal-chaos      — 26 seeds = two full rotations of the thirteen
+#   fleet smoke        — two `repro serve` daemons join one cache as a
+#                        failover fleet; one is SIGKILLed mid-burst and
+#                        the survivor adopts its claimed work: every
+#                        response byte-identical to the serial cold run
+#                        with balanced exactly-once accounting, and one
+#                        `--stop` drains the fleet clean.
+#   journal-chaos      — 32 seeds = two full rotations of the sixteen
 #                        lanes: six corruption lanes (torn tail, bit
 #                        flip, mid-truncation, duplicate key, stale
 #                        epoch, bad version) each detected, classified,
 #                        and healed; three multi-writer lanes
 #                        (interleaved writers, stale-lock takeover,
 #                        compaction raced against an appender) each
-#                        exactly-once and clean; three serve lanes
+#                        exactly-once and clean; six serve lanes
 #                        (torn client request, daemon killed between
 #                        claim and commit, clients racing a daemon and a
-#                        batch run) each typed-rejected or recovered;
+#                        batch run, a wedged fleet member swept by its
+#                        peer, a dead member's work adopted exactly-once
+#                        by two racing daemons, a storm of expired
+#                        deadlines) each typed-rejected or recovered;
 #                        and the tiered guard-trip lane (spurious trace
 #                        guard failure mid-run) aborted, blacklisted,
 #                        and byte-identical to a never-tiered run.
@@ -220,11 +229,58 @@ cmp /tmp/repro_serial.txt /tmp/repro_serve_r.txt \
 grep "^serve smoke-r:" /tmp/repro_serve_r.err
 rm -rf "$SERVE" "$KILLCACHE"
 
+echo "== fleet smoke (2 daemons, SIGKILL one mid-burst, survivor adopts, drain) =="
+FLEET=/tmp/repro_fleet_cache
+rm -rf "$FLEET"
+"$REPRO" serve --cache-dir "$FLEET" --poll-ms 10 --serve-jobs 2 --jobs 4 \
+  2>/tmp/repro_fleet_a.err &
+fleet_a=$!
+"$REPRO" serve --cache-dir "$FLEET" --poll-ms 10 --serve-jobs 2 --jobs 4 \
+  2>/tmp/repro_fleet_b.err &
+fleet_b=$!
+for _ in $(seq 1 1200); do
+  members=$(find "$FLEET/serve/fleet" -maxdepth 1 -type f ! -name '.*' ! -name '*.hb' 2>/dev/null | wc -l)
+  [ "$members" -eq 2 ] && break
+  sleep 0.05
+done
+[ "$members" -eq 2 ] || { echo "fleet never reached 2 members"; exit 1; }
+"$REPRO" submit all --id fleet-0 --cache-dir "$FLEET" >/dev/null 2>&1
+"$REPRO" submit all --id fleet-1 --cache-dir "$FLEET" >/dev/null 2>&1
+"$REPRO" submit all --id fleet-2 --cache-dir "$FLEET" >/dev/null 2>&1
+for _ in $(seq 1 1200); do
+  [ -s "$FLEET/artifacts.journal" ] && break
+  sleep 0.05
+done
+[ -s "$FLEET/artifacts.journal" ] \
+  || { echo "no fleet member ever started journaling the burst"; exit 1; }
+kill -9 "$fleet_a" 2>/dev/null || true
+wait "$fleet_a" 2>/dev/null || true
+for id in fleet-0 fleet-1 fleet-2; do
+  "$REPRO" wait "$id" --cache-dir "$FLEET" --poll-ms 10 \
+    >"/tmp/repro_fleet_$id.txt" 2>"/tmp/repro_fleet_$id.err" \
+    || { echo "wait $id failed after the kill"; cat "/tmp/repro_fleet_$id.err"; exit 1; }
+  cmp /tmp/repro_serial.txt "/tmp/repro_fleet_$id.txt" \
+    || { echo "fleet response $id differs from the serial cold run"; exit 1; }
+  reused=$(sed -n 's/^serve [^:]*: reused \([0-9]*\) of.*/\1/p' "/tmp/repro_fleet_$id.err")
+  planned=$(sed -n 's/.* of \([0-9]*\) planned.*/\1/p' "/tmp/repro_fleet_$id.err")
+  executed=$(sed -n 's/.*executed \([0-9]*\),.*/\1/p' "/tmp/repro_fleet_$id.err")
+  live=$(sed -n 's/.*reused-live \([0-9]*\).*/\1/p' "/tmp/repro_fleet_$id.err")
+  [ "$((reused + executed + live))" -eq "$planned" ] \
+    || { echo "fleet accounting for $id does not balance: $reused + $executed + $live != $planned"; exit 1; }
+done
+"$REPRO" serve --stop --cache-dir "$FLEET" --poll-ms 10 >/dev/null \
+  || { echo "fleet stop failed"; exit 1; }
+wait "$fleet_b" || { echo "surviving fleet member failed"; cat /tmp/repro_fleet_b.err; exit 1; }
+leftover=$(find "$FLEET/serve/fleet" -maxdepth 1 -type f 2>/dev/null | wc -l)
+[ "$leftover" -eq 0 ] || { echo "drained fleet left $leftover member file(s)"; exit 1; }
+echo "fleet survived a SIGKILL mid-burst: 3 byte-identical responses, clean drain"
+rm -rf "$FLEET"
+
 echo "== bench trajectory (JSON artifact + dispatch-tier gate) =="
 "$REPRO" bench --scale test --jobs 4 --out /tmp/repro_bench.json >/tmp/repro_bench_summary.txt \
   || { echo "bench failed (a fast dispatch tier regressed vs naive?)"; \
        cat /tmp/repro_bench_summary.txt; exit 1; }
-grep -q '"schema": "bench-trajectory/4"' /tmp/repro_bench.json \
+grep -q '"schema": "bench-trajectory/5"' /tmp/repro_bench.json \
   || { echo "bench trajectory missing schema marker"; exit 1; }
 grep -q '"dispatch"' /tmp/repro_bench.json \
   || { echo "bench trajectory missing dispatch-tier section"; exit 1; }
@@ -233,8 +289,8 @@ grep -q "bench: dispatch tiers ok" /tmp/repro_bench_summary.txt \
        cat /tmp/repro_bench_summary.txt; exit 1; }
 rm -f /tmp/repro_bench.json /tmp/repro_bench_summary.txt
 
-echo "== journal-chaos (corruption + multi-writer + serve + tiered lanes, 2 full rotations) =="
-"$REPRO" journal-chaos --seeds 26
+echo "== journal-chaos (corruption + multi-writer + serve + fleet + tiered lanes, 2 full rotations) =="
+"$REPRO" journal-chaos --seeds 32
 
 echo "== golden snapshots (byte-diff vs committed renders) =="
 cargo test -q -p interp-harness --test goldens \
