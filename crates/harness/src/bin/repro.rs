@@ -213,8 +213,10 @@ struct Cli {
     /// `--seeds` if given; `guard` and `conform` default to 64, `chaos`
     /// to 8, `journal-chaos` to 16 (one full lane rotation).
     seeds: Option<u64>,
-    /// Retry budget for transient failures (faults, deadlines).
-    retries: u32,
+    /// `--retries` if given. Batch supervision defaults to 1;
+    /// `repro serve` keeps [`ServeConfig::new`]'s own default (2) when
+    /// the flag is absent rather than silently overriding it.
+    retries: Option<u32>,
     /// Cooperative fuel deadline per attempt, if any.
     timeout_fuel: Option<u64>,
     /// Exit 3 instead of 0 when the report is degraded.
@@ -263,7 +265,7 @@ struct Cli {
 impl Cli {
     /// The supervision policy the flags describe.
     fn supervise_config(&self) -> SuperviseConfig {
-        let config = SuperviseConfig::new().with_retries(self.retries);
+        let config = SuperviseConfig::new().with_retries(self.retries.unwrap_or(1));
         match self.timeout_fuel {
             Some(fuel) => config.with_timeout_fuel(fuel),
             None => config,
@@ -479,7 +481,7 @@ fn parse(args: &[String]) -> Cli {
         scale,
         jobs: jobs.unwrap_or_else(default_jobs),
         seeds,
-        retries: retries.unwrap_or(1),
+        retries,
         timeout_fuel,
         strict,
         cache_dir,
@@ -782,7 +784,11 @@ fn run_serve(cli: &Cli) -> ! {
     config.max_requests = cli.max_requests;
     config.crash_after = cli.crash_after;
     config.exclusive = cli.exclusive;
-    config.request_retries = cli.retries;
+    // Only an explicit --retries overrides ServeConfig's own default
+    // degraded-request re-drive budget.
+    if let Some(n) = cli.retries {
+        config.request_retries = n;
+    }
     if let Some(n) = cli.serve_jobs {
         config.serve_jobs = n;
     }

@@ -29,6 +29,8 @@ use crate::journal::{io_err, JournalError};
 use crate::lock::{fresh_token, holder_pid, holder_token, parse_field, pid_alive};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The fleet member registry directory inside a cache dir.
@@ -43,6 +45,15 @@ pub(crate) fn unix_ms() -> u128 {
     std::time::SystemTime::now()
         .duration_since(std::time::SystemTime::UNIX_EPOCH)
         .map_or(0, |d| d.as_millis())
+}
+
+/// Render one heartbeat file body.
+fn heartbeat_body(tick: u64, served: u64, in_flight: usize) -> String {
+    format!(
+        "pid {}\ntick {tick}\nunix_ms {}\nserved {served}\nin-flight {in_flight}\n",
+        std::process::id(),
+        unix_ms()
+    )
 }
 
 /// One daemon's registered identity in the fleet: its member file, its
@@ -100,14 +111,94 @@ impl FleetMembership {
     /// must not kill the daemon). Carries the member's served and
     /// in-flight counters for the `repro status` fleet table.
     pub fn heartbeat(&self, tick: u64, served: u64, in_flight: usize) {
-        let _ = std::fs::write(
-            &self.hb_path,
-            format!(
-                "pid {}\ntick {tick}\nunix_ms {}\nserved {served}\nin-flight {in_flight}\n",
-                std::process::id(),
-                unix_ms()
-            ),
-        );
+        let _ = std::fs::write(&self.hb_path, heartbeat_body(tick, served, in_flight));
+    }
+
+    /// Is this member's registration still on disk? A peer that judged
+    /// this member wedged (stale heartbeat) retires its member file and
+    /// work dir; after that, every claim rename fails on the missing
+    /// work dir and this process serves nothing until it re-registers
+    /// under a fresh token.
+    pub fn still_registered(&self) -> bool {
+        self.work_dir.is_dir()
+            && std::fs::read_to_string(&self.member_path)
+                .is_ok_and(|content| holder_token(&content) == Some(self.token.as_str()))
+    }
+
+    /// Spawn this member's background heartbeat writer: a thread that
+    /// rewrites the heartbeat file every quarter of `stale_after` (and
+    /// promptly after each [`HeartbeatPulse::record`]), so a scan loop
+    /// busy executing a long batch keeps proving liveness instead of
+    /// being judged wedged by its peers. Drop the pulse *before* the
+    /// membership so it cannot recreate a retired heartbeat file.
+    pub fn spawn_pulse(&self, stale_after: Duration) -> HeartbeatPulse {
+        HeartbeatPulse::spawn(self.hb_path.clone(), stale_after)
+    }
+}
+
+/// Counters the serve loop publishes for the heartbeat thread to write.
+#[derive(Debug, Default)]
+struct PulseState {
+    tick: AtomicU64,
+    served: AtomicU64,
+    in_flight: AtomicU64,
+    dirty: AtomicBool,
+    stop: AtomicBool,
+}
+
+/// A member's background heartbeat writer
+/// (see [`FleetMembership::spawn_pulse`]). Stopped and joined on drop.
+#[derive(Debug)]
+pub struct HeartbeatPulse {
+    state: Arc<PulseState>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatPulse {
+    fn spawn(hb_path: PathBuf, stale_after: Duration) -> HeartbeatPulse {
+        let state = Arc::new(PulseState::default());
+        let shared = Arc::clone(&state);
+        let interval = (stale_after / 4).max(Duration::from_millis(20));
+        // Sleep in short slices so counter updates land promptly and
+        // drop joins fast, while full rewrites stay interval-paced.
+        let slice = interval.min(Duration::from_millis(20));
+        let handle = std::thread::spawn(move || {
+            let mut since_rewrite = interval; // first pass writes immediately
+            while !shared.stop.load(Ordering::Acquire) {
+                if since_rewrite >= interval || shared.dirty.swap(false, Ordering::AcqRel) {
+                    let _ = std::fs::write(
+                        &hb_path,
+                        heartbeat_body(
+                            shared.tick.load(Ordering::Relaxed),
+                            shared.served.load(Ordering::Relaxed),
+                            shared.in_flight.load(Ordering::Relaxed) as usize,
+                        ),
+                    );
+                    since_rewrite = Duration::ZERO;
+                }
+                std::thread::sleep(slice);
+                since_rewrite += slice;
+            }
+        });
+        HeartbeatPulse { state, handle: Some(handle) }
+    }
+
+    /// Publish fresh counters; the thread rewrites the heartbeat on its
+    /// next slice (tens of milliseconds), not the next full interval.
+    pub fn record(&self, tick: u64, served: u64, in_flight: usize) {
+        self.state.tick.store(tick, Ordering::Relaxed);
+        self.state.served.store(served, Ordering::Relaxed);
+        self.state.in_flight.store(in_flight as u64, Ordering::Relaxed);
+        self.state.dirty.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for HeartbeatPulse {
+    fn drop(&mut self) {
+        self.state.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -319,6 +410,43 @@ mod tests {
         assert!(!members[0].is_dead(DEFAULT_MEMBER_STALE));
         drop(member);
         assert!(fleet_members(&dir).is_empty(), "drop must deregister");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pulse_heartbeats_in_the_background_and_stops_on_drop() {
+        let dir = fresh_dir("pulse");
+        let member = FleetMembership::register(&dir).expect("register");
+        let pulse = member.spawn_pulse(Duration::from_millis(80));
+        pulse.record(2, 9, 3);
+        // The thread writes the recorded counters within a few slices,
+        // with no call from the "scan loop" in between — exactly what a
+        // member stuck executing a long batch needs.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let members = fleet_members(&dir);
+            if members.len() == 1 && members[0].served == 9 {
+                assert!(!members[0].is_dead(Duration::from_secs(5)));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "pulse never wrote: {members:?}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(pulse);
+        drop(member);
+        assert!(fleet_members(&dir).is_empty(), "drop must deregister");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn still_registered_detects_a_peer_sweep() {
+        let dir = fresh_dir("retired");
+        let member = FleetMembership::register(&dir).expect("register");
+        assert!(member.still_registered());
+        // What a peer's sweep does to a member it judged wedged.
+        std::fs::remove_file(dir.join(FLEET_DIR).join(&member.token)).expect("retire");
+        let _ = std::fs::remove_dir_all(&member.work_dir);
+        assert!(!member.still_registered());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -531,10 +531,19 @@ pub fn load_file(path: &Path, epoch: u64) -> Result<LoadedJournal, JournalError>
 
 /// Atomically publish `bytes` as the file at `path`: write a temp file
 /// in the same directory, fsync it, rename it over the target, and
-/// best-effort fsync the directory. Shared by the journal writer and
-/// compaction.
+/// best-effort fsync the directory. Shared by the journal writer,
+/// compaction, and the serve protocol files. The temp name is unique
+/// per process and call (pid + counter), so two processes publishing
+/// the same target — e.g. fleet members racing over a re-adopted
+/// request's response — can interleave freely: each rename lands one
+/// writer's complete bytes, never a blend.
 pub(crate) fn publish_bytes(path: &Path, bytes: &[u8]) -> Result<(), JournalError> {
-    let tmp = path.with_extension("journal.tmp");
+    static PUBLISH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = PUBLISH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!(
+        "journal.{}-{seq}.tmp",
+        std::process::id()
+    ));
     {
         let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, "write", e))?;
         f.write_all(bytes).map_err(|e| io_err(&tmp, "write", e))?;

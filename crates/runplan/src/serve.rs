@@ -57,7 +57,10 @@
 //! * **Bounded admission**: at most [`ServeConfig::queue`] requests are
 //!   admitted per inbox scan — in priority order, highest first — and
 //!   the rest are rejected with a typed [`RejectKind::Overloaded`]
-//!   response: backpressure, never OOM.
+//!   response: backpressure, never OOM. The rejection is published only
+//!   after the member *claims* the overflow request (the same atomic
+//!   rename as admission), so it can never race — or overwrite — a
+//!   peer's real response for a request that peer admitted.
 //! * **Deadlines**: a request whose `deadline-ms` has passed when it
 //!   would execute is answered with [`RejectKind::DeadlineExpired`]
 //!   instead of running. Each admitted request executes under the
@@ -76,10 +79,20 @@
 //!   member out consumes the marker. A marker left behind by a dead
 //!   fleet (no live members) is cleared at the next daemon's startup,
 //!   so a stop aimed at a crashed daemon can never kill a fresh one.
-//! * **Liveness**: every member publishes `serve/fleet/<token>` and
-//!   rewrites its per-member heartbeat every scan (plus the legacy
-//!   aggregate `serve/heartbeat`), which `repro status` reports
-//!   read-only via [`serve_status`] as a fleet table.
+//! * **Contention**: a journal advisory-lock timeout while executing
+//!   one request (fleet peers and concurrent batch runs compete for the
+//!   shared journal) requeues that request's claim back to the inbox
+//!   for re-service by any member instead of terminating the daemon;
+//!   daemon exit is reserved for cache-wide I/O failure.
+//! * **Liveness**: every member publishes `serve/fleet/<token>`, and a
+//!   background thread rewrites its per-member heartbeat on a fixed
+//!   interval — execution time never counts as staleness, however long
+//!   a batch runs. The scan loop still rewrites the legacy aggregate
+//!   `serve/heartbeat`; `repro status` reports both read-only via
+//!   [`serve_status`] as a fleet table. A member whose registration was
+//!   nonetheless retired by a peer detects the loss at its next scan
+//!   and re-registers under a fresh token instead of spinning as a
+//!   zombie whose claim renames all fail.
 //! * **Crash recovery**: a request is *claimed* by an atomic rename
 //!   from `inbox/` into the member's `work/<token>/` directory. A
 //!   daemon killed mid-request leaves the claimed file behind; any live
@@ -91,7 +104,8 @@
 
 use crate::fleet::{self, unix_ms, FleetMemberInfo, FleetMembership};
 use crate::journal::{
-    execute_journaled, io_err, publish_bytes, JournalConfig, JournalError, ResumeReport,
+    execute_journaled, io_err, publish_bytes, JournalConfig, JournalError, JournalErrorKind,
+    ResumeReport,
 };
 use crate::lock::{holder_pid, pid_alive};
 use crate::plan::Plan;
@@ -743,6 +757,9 @@ pub struct ServeReport {
     pub rejected: usize,
     /// Orphaned requests re-adopted from dead fleet members.
     pub adopted: usize,
+    /// Claims handed back to the inbox after a journal lock timeout
+    /// (contention, not failure); each is re-served on a later scan.
+    pub requeued: usize,
     /// The daemon exited through the stop-file drain path.
     pub drained: bool,
 }
@@ -751,12 +768,17 @@ impl ServeReport {
     /// One-line stderr summary for the CLI.
     pub fn render(&self) -> String {
         format!(
-            "serve: {} response(s) ({} ok, {} rejected){}{}",
+            "serve: {} response(s) ({} ok, {} rejected){}{}{}",
             self.served + self.rejected,
             self.served,
             self.rejected,
             if self.adopted > 0 {
                 format!(", {} orphan(s) adopted", self.adopted)
+            } else {
+                String::new()
+            },
+            if self.requeued > 0 {
+                format!(", {} requeued on lock contention", self.requeued)
             } else {
                 String::new()
             },
@@ -886,11 +908,23 @@ fn execute_with_retry(
     }
 }
 
+/// What serving one claimed request produced.
+enum ProcessOutcome {
+    /// Response published with a rendered body.
+    Served,
+    /// Response published with a typed rejection.
+    Rejected,
+    /// Journal lock contention: the claim went back to the inbox for
+    /// re-service (by this member or a peer); no response published.
+    Requeued,
+}
+
 /// Serve one claimed request file end to end: deadline gate, service
 /// plan, journaled exactly-once execution (with bounded transient
-/// retry), response publish. Returns whether the response was a
-/// success body. Only infrastructure failures (journal I/O, lock
-/// timeout) escape as errors.
+/// retry), response publish. An advisory-lock timeout requeues the
+/// claim instead of erroring — one contended request must not take
+/// down a fleet member. Only cache-wide infrastructure failures
+/// (journal/outbox I/O) escape as errors.
 fn process_request(
     dirs: &ServeDirs,
     config: &ServeConfig,
@@ -898,7 +932,7 @@ fn process_request(
     id: &str,
     path: &Path,
     parsed: &Result<ServeRequest, Reject>,
-) -> Result<bool, ServeError> {
+) -> Result<ProcessOutcome, ServeError> {
     note_progress(dirs, id, "admitted");
     let outcome = match parsed {
         Err(reject) => ServeOutcome::Rejected(reject.clone()),
@@ -919,20 +953,32 @@ fn process_request(
             Err(reject) => ServeOutcome::Rejected(reject),
             Ok(plan) => {
                 note_progress(dirs, id, "executing");
-                let (executed, report) = execute_with_retry(&plan, config)?;
-                ServeOutcome::Ok {
-                    degraded: executed.is_degraded(),
-                    accounting: ServeAccounting::from_report(&report),
-                    body: service.render(request, &executed).into_bytes(),
+                match execute_with_retry(&plan, config) {
+                    Ok((executed, report)) => ServeOutcome::Ok {
+                        degraded: executed.is_degraded(),
+                        accounting: ServeAccounting::from_report(&report),
+                        body: service.render(request, &executed).into_bytes(),
+                    },
+                    // Losing the advisory lock to contention (fleet
+                    // peers, concurrent batch runs) is a per-request
+                    // fate, not a daemon failure: hand the claim back
+                    // for re-service on a later scan and answer
+                    // nothing yet.
+                    Err(e) if e.kind == JournalErrorKind::LockTimeout => {
+                        let _ = std::fs::rename(path, dirs.inbox.join(format!("{id}.req")));
+                        note_progress(dirs, id, "requeued");
+                        return Ok(ProcessOutcome::Requeued);
+                    }
+                    Err(e) => return Err(e.into()),
                 }
             }
         },
     };
-    let ok = matches!(outcome, ServeOutcome::Ok { .. });
+    let served = matches!(outcome, ServeOutcome::Ok { .. });
     publish_response(dirs, &ServeResponse { id: id.to_string(), outcome })?;
     let _ = std::fs::remove_file(path);
-    note_progress(dirs, id, if ok { "done" } else { "rejected" });
-    Ok(ok)
+    note_progress(dirs, id, if served { "done" } else { "rejected" });
+    Ok(if served { ProcessOutcome::Served } else { ProcessOutcome::Rejected })
 }
 
 /// One scanned inbox entry, read and parsed before admission so
@@ -964,7 +1010,7 @@ pub fn serve(config: &ServeConfig, service: &dyn PlanService) -> Result<ServeRep
             return Err(ServeError::AlreadyRunning { pid: member.pid });
         }
     }
-    let membership = FleetMembership::register(&config.cache_dir)?;
+    let mut membership = FleetMembership::register(&config.cache_dir)?;
     // A stop marker with no *other* live member behind it was left by a
     // dead (or already-drained) fleet — stale, and it must not drain a
     // freshly started daemon. With live members it is a fleet-wide
@@ -979,9 +1025,23 @@ pub fn serve(config: &ServeConfig, service: &dyn PlanService) -> Result<ServeRep
     }
     let mut report = ServeReport::default();
     report.adopted += recover_orphans(&dirs);
+    // Heartbeat from a background thread: execution time never counts
+    // as staleness, however long an admitted batch runs.
+    let mut pulse = membership.spawn_pulse(config.member_stale_after);
     let mut tick = 0u64;
     'daemon: loop {
-        membership.heartbeat(
+        // A peer that judged this member wedged has retired its
+        // registration and re-adopted its claims. Detect the loss and
+        // take a fresh identity instead of spinning as a zombie whose
+        // claim renames all fail on the missing work dir.
+        if !membership.still_registered() {
+            // The pulse joins first so it cannot recreate the retired
+            // heartbeat file after the old membership is dropped.
+            drop(pulse);
+            membership = FleetMembership::register(&config.cache_dir)?;
+            pulse = membership.spawn_pulse(config.member_stale_after);
+        }
+        pulse.record(
             tick,
             (report.served + report.rejected) as u64,
             scan_requests(&membership.work_dir).len(),
@@ -1029,6 +1089,15 @@ pub fn serve(config: &ServeConfig, service: &dyn PlanService) -> Result<ServeRep
                     ..scanned
                 });
             } else {
+                // Claim before rejecting: a peer may admit this same
+                // request in its own scan, and publishing `overloaded`
+                // for a request a peer is executing would race — and
+                // can overwrite — the real response. Losing the rename
+                // means the request is a peer's to answer, not ours.
+                let work_path = membership.work_dir.join(format!("{}.req", scanned.id));
+                if std::fs::rename(&scanned.inbox_path, &work_path).is_err() {
+                    continue;
+                }
                 publish_response(
                     &dirs,
                     &ServeResponse {
@@ -1043,7 +1112,7 @@ pub fn serve(config: &ServeConfig, service: &dyn PlanService) -> Result<ServeRep
                         )),
                     },
                 )?;
-                let _ = std::fs::remove_file(&scanned.inbox_path);
+                let _ = std::fs::remove_file(&work_path);
                 report.rejected += 1;
             }
         }
@@ -1063,8 +1132,9 @@ pub fn serve(config: &ServeConfig, service: &dyn PlanService) -> Result<ServeRep
         });
         for outcome in outcomes {
             match outcome {
-                Some(Ok(true)) => report.served += 1,
-                Some(Ok(false)) => report.rejected += 1,
+                Some(Ok(ProcessOutcome::Served)) => report.served += 1,
+                Some(Ok(ProcessOutcome::Rejected)) => report.rejected += 1,
+                Some(Ok(ProcessOutcome::Requeued)) => report.requeued += 1,
                 Some(Err(e)) => return Err(e),
                 // A panicked worker left its claimed file behind; the
                 // fleet re-adopts it once this member exits or goes
@@ -1081,6 +1151,9 @@ pub fn serve(config: &ServeConfig, service: &dyn PlanService) -> Result<ServeRep
         std::thread::sleep(config.poll);
     }
     let drained = report.drained;
+    // The pulse joins first so it cannot recreate the heartbeat file
+    // after the membership's Drop retires it.
+    drop(pulse);
     drop(membership);
     // Last member out consumes the stop marker; if two members race
     // out and both see the other still registered, the marker stays
@@ -1770,6 +1843,86 @@ mod tests {
         };
         assert!(matches!(response.outcome, ServeOutcome::Ok { .. }));
         assert!(fleet::fleet_members(&dir).is_empty(), "corpse must be retired");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn swept_member_re_registers_instead_of_zombieing() {
+        let dir = fresh_dir("zombie");
+        let mut config = ServeConfig::new(&dir);
+        config.poll = Duration::from_millis(1);
+        config.max_requests = Some(1);
+        config.jobs = 2;
+        let daemon = std::thread::spawn({
+            let config = config.clone();
+            move || serve(&config, &TinyService)
+        });
+        // Retire the member's registration out from under it, the way
+        // a peer that misjudged it as wedged would.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let members = fleet::fleet_members(&dir);
+            if let Some(member) = members.first() {
+                let _ = std::fs::remove_file(
+                    dir.join(FLEET_DIR).join(format!("{}.hb", member.token)),
+                );
+                let _ = std::fs::remove_file(dir.join(FLEET_DIR).join(&member.token));
+                let _ = std::fs::remove_dir_all(dir.join(WORK_DIR).join(&member.token));
+                break;
+            }
+            assert!(Instant::now() < deadline, "daemon never registered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // A zombie would mis-read every claim rename's ENOENT as "a
+        // peer got it" and serve nothing forever; a re-registered
+        // member answers this.
+        submit(&dir, &ServeRequest::new("z", &["tiny"], Scale::Test)).expect("submit");
+        let report = daemon.join().expect("daemon thread").expect("serve");
+        assert_eq!(report.served, 1, "{report:?}");
+        let outcome =
+            wait(&dir, "z", Duration::from_secs(5), Duration::from_millis(1)).expect("wait");
+        let WaitOutcome::Response(response) = outcome else {
+            panic!("no response from the re-registered member");
+        };
+        assert!(matches!(response.outcome, ServeOutcome::Ok { .. }));
+        assert!(
+            fleet::fleet_members(&dir).is_empty(),
+            "the fresh identity must deregister on exit, leaving no orphan files"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_lock_contention_requeues_instead_of_killing_the_daemon() {
+        let dir = fresh_dir("requeue");
+        submit(&dir, &ServeRequest::new("held", &["tiny"], Scale::Test)).expect("submit");
+        // Hold the journal's advisory lock from this (live) process so
+        // every execution attempt times out.
+        let lock = crate::lock::acquire(
+            &crate::lock::LockConfig::for_dir(&dir, &crate::lock::fresh_token(), 1),
+        )
+        .expect("hold the journal lock");
+        let mut config = fast_config(&dir, 1);
+        config.lock_timeout = Duration::from_millis(20);
+        let daemon = std::thread::spawn({
+            let config = config.clone();
+            move || serve(&config, &TinyService)
+        });
+        // Several contention cycles: the daemon must stay alive, keep
+        // the request unanswered, and keep bouncing the claim.
+        std::thread::sleep(Duration::from_millis(250));
+        assert!(
+            !dir.join(OUTBOX_DIR).join("held.resp").exists(),
+            "no response can exist while the lock is held"
+        );
+        drop(lock);
+        let report = daemon
+            .join()
+            .expect("daemon thread")
+            .expect("one contended request must not kill the daemon");
+        assert_eq!(report.served, 1, "{report:?}");
+        assert!(report.requeued >= 1, "{report:?}");
+        assert!(report.render().contains("requeued on lock contention"), "{}", report.render());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
